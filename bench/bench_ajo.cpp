@@ -1,0 +1,114 @@
+// The AJO protocol layer: encode/decode scaling with job-graph size and
+// nesting depth, plus signing. The AJO is "the transferable unit
+// between the UNICORE components" (§4.1) — this is the marshalling cost
+// of every consignment.
+#include <benchmark/benchmark.h>
+
+#include "ajo/codec.h"
+#include "ajo/generator.h"
+#include "ajo/outcome.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace unicore;
+
+crypto::DistinguishedName user_dn() {
+  crypto::DistinguishedName dn;
+  dn.country = "DE";
+  dn.organization = "Org";
+  dn.common_name = "Jane";
+  return dn;
+}
+
+ajo::AbstractJobObject job_of(std::int64_t tasks, std::int64_t depth,
+                              std::uint64_t seed = 42) {
+  util::Rng rng(seed);
+  ajo::RandomJobOptions options;
+  options.tasks_per_group = static_cast<std::size_t>(tasks);
+  options.max_depth = static_cast<std::size_t>(depth);
+  options.subjob_probability = depth > 1 ? 0.25 : 0.0;
+  return ajo::random_job(rng, options, user_dn());
+}
+
+void BM_AjoEncode(benchmark::State& state) {
+  ajo::AbstractJobObject job = job_of(state.range(0), state.range(1));
+  std::size_t bytes = ajo::encode_action(job).size();
+  for (auto _ : state) benchmark::DoNotOptimize(ajo::encode_action(job));
+  state.counters["actions"] = static_cast<double>(job.total_actions());
+  state.counters["wire_bytes"] = static_cast<double>(bytes);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * bytes));
+}
+BENCHMARK(BM_AjoEncode)
+    ->ArgsProduct({{4, 16, 64, 256}, {1, 2, 3}})
+    ->ArgNames({"tasks", "depth"});
+
+void BM_AjoDecode(benchmark::State& state) {
+  ajo::AbstractJobObject job = job_of(state.range(0), state.range(1));
+  util::Bytes wire = ajo::encode_action(job);
+  for (auto _ : state) benchmark::DoNotOptimize(ajo::decode_action(wire));
+  state.counters["wire_bytes"] = static_cast<double>(wire.size());
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * wire.size()));
+}
+BENCHMARK(BM_AjoDecode)
+    ->ArgsProduct({{4, 16, 64, 256}, {1, 2, 3}})
+    ->ArgNames({"tasks", "depth"});
+
+void BM_AjoValidate(benchmark::State& state) {
+  ajo::AbstractJobObject job = job_of(state.range(0), 2);
+  for (auto _ : state) benchmark::DoNotOptimize(job.validate());
+  state.counters["actions"] = static_cast<double>(job.total_actions());
+}
+BENCHMARK(BM_AjoValidate)->Arg(4)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_AjoSignAndVerify(benchmark::State& state) {
+  util::Rng rng(9);
+  crypto::DistinguishedName ca_dn{"DE", "CA", "", "Root", ""};
+  crypto::CertificateAuthority ca(ca_dn, rng, 0, 1'000'000'000);
+  crypto::Credential user =
+      ca.issue_credential(user_dn(), rng, 0, 1'000'000,
+                          crypto::kUsageClientAuth);
+  ajo::AbstractJobObject job = job_of(state.range(0), 2);
+  for (auto _ : state) {
+    ajo::SignedAjo signed_ajo = ajo::sign_ajo(job, user);
+    benchmark::DoNotOptimize(ajo::verify_ajo_signature(signed_ajo));
+  }
+  state.counters["actions"] = static_cast<double>(job.total_actions());
+}
+BENCHMARK(BM_AjoSignAndVerify)->Arg(4)->Arg(64)->Arg(256);
+
+void BM_AjoDeepCopy(benchmark::State& state) {
+  ajo::AbstractJobObject job = job_of(state.range(0), 2);
+  for (auto _ : state) {
+    ajo::AbstractJobObject copy = job;
+    benchmark::DoNotOptimize(copy.total_actions());
+  }
+}
+BENCHMARK(BM_AjoDeepCopy)->Arg(16)->Arg(256);
+
+void BM_OutcomeEncodeDecode(benchmark::State& state) {
+  // A wide, task-level outcome tree like a finished JMC query result.
+  ajo::Outcome root;
+  root.type = ajo::ActionType::kAbstractJobObject;
+  root.status = ajo::ActionStatus::kSuccessful;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    ajo::Outcome leaf;
+    leaf.action = static_cast<ajo::ActionId>(i + 2);
+    leaf.type = ajo::ActionType::kUserTask;
+    leaf.status = ajo::ActionStatus::kSuccessful;
+    leaf.detail = ajo::ExecuteOutcome{0, "stdout line\n", ""};
+    root.children.push_back(std::move(leaf));
+  }
+  for (auto _ : state) {
+    util::ByteWriter w;
+    root.encode(w);
+    util::ByteReader r(w.bytes());
+    benchmark::DoNotOptimize(ajo::Outcome::decode(r));
+  }
+}
+BENCHMARK(BM_OutcomeEncodeDecode)->Arg(8)->Arg(64)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

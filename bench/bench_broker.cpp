@@ -1,0 +1,136 @@
+// Extension experiment (§6): does the resource broker actually help?
+// The same stream of abstract jobs is placed three ways on the German
+// testbed — always at the home T3E (what a 1999 user did), uniformly at
+// random, and by the broker with a fresh load survey per job — and the
+// mean virtual turnaround is compared.
+#include <benchmark/benchmark.h>
+
+#include "broker/broker.h"
+#include "broker/grid_adapter.h"
+#include "client/job_builder.h"
+#include "common/test_env.h"
+#include "grid/testbed.h"
+
+namespace {
+
+using namespace unicore;
+
+enum Placement { kHomeSite = 0, kRandom = 1, kBroker = 2 };
+
+struct TestbedTarget {
+  const char* usite;
+  const char* vsite;
+};
+constexpr TestbedTarget kAllTargets[] = {
+    {"FZ-Juelich", "T3E-600"}, {"RUS", "SX-4"},   {"RUS", "T3E-512"},
+    {"RUKA", "SP2"},           {"LRZ", "VPP700"}, {"ZIB", "T3E-900"},
+    {"DWD", "T3E-DWD"},        {"DWD", "SX-4-DWD"},
+};
+
+void BM_BrokerPlacement(benchmark::State& state) {
+  auto placement = static_cast<Placement>(state.range(0));
+  int jobs = static_cast<int>(state.range(1));
+
+  double turnaround_total = 0;
+  double failed_total = 0;
+  int runs = 0;
+  for (auto _ : state) {
+    grid::Grid grid(static_cast<std::uint64_t>(runs) + 5);
+    grid::make_german_testbed(grid);
+    crypto::Credential user =
+        grid::add_testbed_user(grid, "Bench", "b@e.de");
+    gateway::AuthenticatedUser auth{user.certificate.subject, "login",
+                                    {"project-a"}};
+    sim::Engine& engine = grid.engine();
+    util::Rng rng(17);
+
+    int remaining = jobs;
+    double turnaround_sum = 0;
+    int failed = 0;
+
+    // Jobs arrive every ~2 minutes; placement happens at arrival time so
+    // the broker sees the then-current load.
+    for (int j = 0; j < jobs; ++j) {
+      sim::Time arrival = sim::sec(j * 120 + rng.range(0, 60));
+      double gflop_hours = rng.exponential(20.0) + 1.0;
+      std::int64_t useful = 1LL << (3 + rng.below(5));  // 8..128
+      engine.at(arrival, [&, gflop_hours, useful, arrival] {
+        std::string usite, vsite;
+        std::int64_t processors = useful;
+        if (placement == kHomeSite) {
+          usite = "FZ-Juelich";
+          vsite = "T3E-600";
+        } else if (placement == kRandom) {
+          const TestbedTarget& target =
+              kAllTargets[rng.below(std::size(kAllTargets))];
+          usite = target.usite;
+          vsite = target.vsite;
+        } else {
+          broker::ResourceBroker broker;
+          for (const std::string& site : grid.sites())
+            broker::feed(broker,
+                         broker::survey_usite(grid.site(site)->njs()));
+          broker::AbstractRequirement requirement;
+          requirement.gflop_hours = gflop_hours;
+          requirement.max_useful_processors = useful;
+          auto best = broker.select(requirement);
+          if (!best.ok()) {
+            ++failed;
+            --remaining;
+            return;
+          }
+          usite = best.value().usite;
+          vsite = best.value().vsite;
+          processors = best.value().request.processors;
+        }
+
+        // The destination system's per-PE speed determines the nominal
+        // compute so all strategies run the same *work*.
+        client::JobBuilder builder("job");
+        builder.destination(usite, vsite).account_group("project-a");
+        client::TaskOptions options;
+        // Within every testbed queue limit (the T3E 'prod' queues allow
+        // 43 200 s).
+        options.resources = {processors, 40'000, 256, 0, 16};
+        options.behavior.nominal_seconds =
+            gflop_hours * 3600.0 / static_cast<double>(processors);
+        builder.script("work", "./work\n", options);
+        auto job = builder.build(user.certificate.subject);
+        if (!job.ok()) {
+          ++failed;
+          --remaining;
+          return;
+        }
+        auto token = grid.site(usite)->njs().consign(
+            job.value(), auth, user.certificate,
+            [&, arrival](ajo::JobToken, const ajo::Outcome& outcome) {
+              turnaround_sum += sim::to_seconds(engine.now() - arrival);
+              if (outcome.status != ajo::ActionStatus::kSuccessful) ++failed;
+              --remaining;
+            });
+        if (!token.ok()) {
+          ++failed;
+          --remaining;
+        }
+      });
+    }
+    engine.run();
+    if (remaining != 0) state.SkipWithError("did not drain");
+    turnaround_total += turnaround_sum / jobs;
+    failed_total += failed;
+    ++runs;
+  }
+  state.counters["mean_turnaround_s"] = turnaround_total / runs;
+  state.counters["failed"] = failed_total / runs;
+  state.SetLabel(placement == kHomeSite ? "home site only"
+                 : placement == kRandom ? "uniform random"
+                                        : "resource broker");
+}
+BENCHMARK(BM_BrokerPlacement)
+    ->ArgsProduct({{kHomeSite, kRandom, kBroker}, {60, 180}})
+    ->ArgNames({"placement", "jobs"})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

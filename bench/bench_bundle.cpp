@@ -1,0 +1,68 @@
+// C8 — signed software bundles (§4.1/§5.2): the per-connection cost of
+// the "always latest, tamper-evident applet" property: bundle encode,
+// decode, and full verification (chain + payload signature) vs payload
+// size.
+#include <benchmark/benchmark.h>
+
+#include "crypto/bundle.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace unicore;
+
+struct BundleBench {
+  util::Rng rng{9};
+  crypto::CertificateAuthority ca{{"DE", "DFN-PCA", "", "Root", ""}, rng, 0,
+                                  1'000'000'000};
+  crypto::Credential developer = ca.issue_credential(
+      {"DE", "UNICORE", "Dev", "Release Eng", ""}, rng, 0, 1'000'000,
+      crypto::kUsageCodeSign | crypto::kUsageDigitalSignature);
+  crypto::TrustStore trust;
+
+  BundleBench() { trust.add_root(ca.certificate()); }
+
+  crypto::SoftwareBundle bundle_of(std::size_t payload_bytes) {
+    return crypto::make_bundle("JPA", 1, rng.bytes(payload_bytes),
+                               developer);
+  }
+};
+
+void BM_BundleSign(benchmark::State& state) {
+  BundleBench bench;
+  util::Bytes payload =
+      bench.rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        crypto::make_bundle("JPA", 1, payload, bench.developer));
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BundleSign)->Range(1 << 10, 1 << 22);
+
+void BM_BundleVerify(benchmark::State& state) {
+  BundleBench bench;
+  crypto::SoftwareBundle bundle =
+      bench.bundle_of(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto status = crypto::verify_bundle(bundle, bench.trust, 100);
+    if (!status.ok()) state.SkipWithError("verification failed");
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BundleVerify)->Range(1 << 10, 1 << 22);
+
+void BM_BundleWireRoundTrip(benchmark::State& state) {
+  BundleBench bench;
+  crypto::SoftwareBundle bundle =
+      bench.bundle_of(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    util::Bytes wire = bundle.encode();
+    benchmark::DoNotOptimize(crypto::SoftwareBundle::decode(wire));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BundleWireRoundTrip)->Range(1 << 10, 1 << 22);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,111 @@
+// C3 — the certificate -> uid mapping: "This mechanism eliminates the
+// need to install uniform UNIX uid/gid pairs" (§4). The cost of that
+// indirection is one UUDB lookup per request plus the consignment
+// checks; this bench shows it stays flat as the user database grows.
+#include <benchmark/benchmark.h>
+
+#include "ajo/tasks.h"
+#include "gateway/gateway.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace unicore;
+
+crypto::DistinguishedName user_dn(int i) {
+  crypto::DistinguishedName dn;
+  dn.country = "DE";
+  dn.organization = "Org" + std::to_string(i % 40);
+  dn.common_name = "User " + std::to_string(i);
+  dn.email = "u" + std::to_string(i) + "@org.de";
+  return dn;
+}
+
+struct GatewayBench {
+  util::Rng rng{77};
+  crypto::CertificateAuthority ca{{"DE", "CA", "", "Root", ""}, rng, 0,
+                                  1'000'000'000};
+  gateway::Gateway gateway;
+  std::vector<crypto::Credential> users;
+
+  explicit GatewayBench(int n_users) : gateway(make(n_users)) {
+    // A sample of actual credentials to authenticate with.
+    for (int i = 0; i < std::min(n_users, 64); ++i)
+      users.push_back(ca.issue_credential(user_dn(i), rng, 0, 1'000'000,
+                                          crypto::kUsageClientAuth));
+  }
+
+  gateway::Gateway make(int n_users) {
+    crypto::TrustStore trust;
+    trust.add_root(ca.certificate());
+    gateway::UserDatabase uudb;
+    for (int i = 0; i < n_users; ++i)
+      uudb.add_mapping(user_dn(i),
+                       {"login" + std::to_string(i), {"proj"}});
+    return gateway::Gateway("bench-site", std::move(trust), std::move(uudb));
+  }
+};
+
+void BM_CertificateToUidMapping(benchmark::State& state) {
+  GatewayBench bench(static_cast<int>(state.range(0)));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const crypto::Credential& user = bench.users[i++ % bench.users.size()];
+    auto result = bench.gateway.authenticate_user(user.certificate, 100);
+    if (!result.ok()) state.SkipWithError("authentication failed");
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["uudb_size"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_CertificateToUidMapping)
+    ->Arg(100)
+    ->Arg(1'000)
+    ->Arg(10'000)
+    ->Arg(100'000);
+
+void BM_ConsignmentCheck(benchmark::State& state) {
+  GatewayBench bench(1'000);
+  const crypto::Credential& user = bench.users[0];
+  ajo::AbstractJobObject job;
+  job.set_name("bench");
+  job.vsite = "V";
+  job.user = user.certificate.subject;
+  job.account_group = "proj";
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    auto task = std::make_unique<ajo::ExecuteScriptTask>();
+    task->script = "true\n";
+    job.add(std::move(task));
+  }
+  ajo::SignedAjo signed_ajo = ajo::sign_ajo(job, user);
+  for (auto _ : state) {
+    auto result = bench.gateway.check_consignment(signed_ajo, 100);
+    if (!result.ok()) state.SkipWithError("consignment rejected");
+  }
+  state.counters["tasks"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_ConsignmentCheck)->Arg(1)->Arg(16)->Arg(128);
+
+void BM_RejectedConsignment(benchmark::State& state) {
+  // Failure path cost (wrong account group) — relevant for auditing
+  // under abuse.
+  GatewayBench bench(1'000);
+  const crypto::Credential& user = bench.users[0];
+  ajo::AbstractJobObject job;
+  job.set_name("bench");
+  job.vsite = "V";
+  job.user = user.certificate.subject;
+  job.account_group = "not-my-project";
+  auto task = std::make_unique<ajo::ExecuteScriptTask>();
+  task->script = "true\n";
+  job.add(std::move(task));
+  ajo::SignedAjo signed_ajo = ajo::sign_ajo(job, user);
+  for (auto _ : state) {
+    auto result = bench.gateway.check_consignment(signed_ajo, 100);
+    if (result.ok()) state.SkipWithError("should have been rejected");
+  }
+}
+BENCHMARK(BM_RejectedConsignment);
+
+}  // namespace
+
+BENCHMARK_MAIN();

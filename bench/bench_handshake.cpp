@@ -1,0 +1,125 @@
+// C2 — the security architecture's connection cost: mutual SSL-style
+// handshake latency, combined vs firewall-split deployment, and the
+// end-to-end consign latency including gateway checks.
+//
+// Real time measures CPU cost; the `virtual_ms` counter reports the
+// protocol latency in simulated network time (what a 1999 user felt).
+#include <benchmark/benchmark.h>
+
+#include "common/test_env.h"
+
+namespace {
+
+using namespace unicore;
+using testing::SingleSite;
+
+void BM_HandshakeLatency(benchmark::State& state) {
+  bool split = state.range(0) != 0;
+  SingleSite site(/*seed=*/1, split);
+  double virtual_ms_total = 0;
+  int connections = 0;
+
+  for (auto _ : state) {
+    auto client =
+        site.make_client("ws" + std::to_string(connections) + ".example.de");
+    sim::Time start = site.grid.engine().now();
+    bool ok = false;
+    client->connect(site.address(),
+                    [&ok](util::Status status) { ok = status.ok(); });
+    site.grid.engine().run();
+    if (!ok) state.SkipWithError("handshake failed");
+    virtual_ms_total +=
+        sim::to_seconds(site.grid.engine().now() - start) * 1e3;
+    ++connections;
+  }
+  state.counters["virtual_ms"] = virtual_ms_total / connections;
+  state.SetLabel(split ? "firewall-split" : "combined");
+}
+BENCHMARK(BM_HandshakeLatency)->Arg(0)->Arg(1)->ArgNames({"split"});
+
+void BM_ConsignLatency(benchmark::State& state) {
+  bool split = state.range(0) != 0;
+  SingleSite site(/*seed=*/2, split);
+  auto client = site.make_client();
+  client->connect(site.address(), [](util::Status) {});
+  site.grid.engine().run();
+
+  auto job = testing::make_cle_job(site.user.certificate.subject,
+                                   SingleSite::kUsite, SingleSite::kVsite)
+                 .value();
+  double virtual_ms_total = 0;
+  int submissions = 0;
+  for (auto _ : state) {
+    sim::Time start = site.grid.engine().now();
+    bool done = false;
+    client->submit(job, [&done](util::Result<ajo::JobToken> result) {
+      done = result.ok();
+    });
+    // Drain only until the consign reply arrives; leave jobs running.
+    while (!done && site.grid.engine().step()) {
+    }
+    if (!done) state.SkipWithError("consign failed");
+    virtual_ms_total +=
+        sim::to_seconds(site.grid.engine().now() - start) * 1e3;
+    ++submissions;
+  }
+  state.counters["virtual_ms"] = virtual_ms_total / submissions;
+  state.SetLabel(split ? "firewall-split" : "combined");
+}
+BENCHMARK(BM_ConsignLatency)->Arg(0)->Arg(1)->ArgNames({"split"});
+
+void BM_SecureChannelMessageThroughput(benchmark::State& state) {
+  SingleSite site(/*seed=*/3);
+  sim::Engine& engine = site.grid.engine();
+  net::Network& network = site.grid.network();
+
+  // A raw secure channel pair on a LAN-like link.
+  net::LinkProfile lan;
+  lan.latency = sim::usec(200);
+  lan.bandwidth_bytes_per_sec = 100e6;
+  network.set_link("h1", "h2", lan);
+
+  crypto::TrustStore trust = site.grid.make_trust_store();
+  crypto::Credential server_cred = site.grid.ca().issue_credential(
+      {"DE", "X", "", "h2", ""}, site.grid.rng(), site.grid.now_epoch(),
+      86'400 * 365, crypto::kUsageServerAuth);
+
+  std::shared_ptr<net::SecureChannel> server;
+  net::SecureChannel::Config server_config{server_cred, &trust, 0,
+                                           sim::sec(30)};
+  (void)network.listen({"h2", 1}, [&](std::shared_ptr<net::Endpoint> e) {
+    server = net::SecureChannel::as_server(engine, site.grid.rng(),
+                                           std::move(e), server_config,
+                                           [](util::Status) {});
+  });
+  net::SecureChannel::Config client_config{site.user, &trust,
+                                           crypto::kUsageServerAuth,
+                                           sim::sec(30)};
+  auto endpoint = network.connect("h1", {"h2", 1}).value();
+  auto client = net::SecureChannel::as_client(
+      engine, site.grid.rng(), std::move(endpoint), client_config,
+      [](util::Status) {});
+  engine.run();
+
+  std::size_t payload = static_cast<std::size_t>(state.range(0));
+  util::Bytes message = util::Rng(4).bytes(payload);
+  std::uint64_t received = 0;
+  server->set_receiver([&received](util::Bytes&&) { ++received; });
+
+  for (auto _ : state) {
+    client->send(message);
+    engine.run();
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * payload));
+  state.counters["received"] = static_cast<double>(received);
+}
+BENCHMARK(BM_SecureChannelMessageThroughput)
+    ->Arg(1 << 10)
+    ->Arg(1 << 14)
+    ->Arg(1 << 18)
+    ->Arg(1 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

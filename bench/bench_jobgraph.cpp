@@ -1,0 +1,164 @@
+// C6 — dependency scheduling: end-to-end makespan for canonical job
+// graph shapes (chain, fan-out, diamond) as the graph grows, plus the
+// "minimal interference" check: what does routing a job through
+// UNICORE cost over submitting the same work directly to the batch
+// subsystem? (§5.5: UNICORE jobs "are treated the same way any other
+// batch job is treated".)
+#include <benchmark/benchmark.h>
+
+#include "batch/target_system.h"
+#include "common/test_env.h"
+
+namespace {
+
+using namespace unicore;
+
+constexpr double kTaskSeconds = 10.0;  // nominal per-task compute
+
+std::unique_ptr<ajo::ExecuteScriptTask> task_of(int i) {
+  auto task = std::make_unique<ajo::ExecuteScriptTask>();
+  task->set_name("t" + std::to_string(i));
+  task->script = "true\n";
+  task->set_resource_request({1, 3'600, 64, 0, 8});
+  task->behavior.nominal_seconds = kTaskSeconds;
+  return task;
+}
+
+enum Shape { kChain = 0, kFanOut = 1, kDiamond = 2 };
+
+ajo::AbstractJobObject shaped_job(Shape shape, int n,
+                                  const crypto::DistinguishedName& user) {
+  ajo::AbstractJobObject job;
+  job.set_name("shaped");
+  job.vsite = testing::SingleSite::kVsite;
+  job.user = user;
+  std::vector<ajo::ActionId> ids;
+  for (int i = 0; i < n; ++i) ids.push_back(job.add(task_of(i)));
+  switch (shape) {
+    case kChain:
+      for (int i = 0; i + 1 < n; ++i) job.add_dependency(ids[i], ids[i + 1]);
+      break;
+    case kFanOut:
+      for (int i = 1; i < n; ++i) job.add_dependency(ids[0], ids[i]);
+      break;
+    case kDiamond:
+      // source -> (n-2) parallel -> sink
+      for (int i = 1; i + 1 < n; ++i) {
+        job.add_dependency(ids[0], ids[i]);
+        job.add_dependency(ids[i], ids[static_cast<std::size_t>(n) - 1]);
+      }
+      break;
+  }
+  return job;
+}
+
+const char* shape_name(Shape s) {
+  switch (s) {
+    case kChain: return "chain";
+    case kFanOut: return "fan-out";
+    case kDiamond: return "diamond";
+  }
+  return "?";
+}
+
+void BM_JobGraphMakespan(benchmark::State& state) {
+  auto shape = static_cast<Shape>(state.range(0));
+  int n = static_cast<int>(state.range(1));
+  double virtual_s_total = 0;
+  int runs = 0;
+  for (auto _ : state) {
+    testing::SingleSite site(/*seed=*/100 + runs);
+    gateway::AuthenticatedUser auth{site.user.certificate.subject,
+                                    testing::SingleSite::kLogin,
+                                    {"project-a"}};
+    ajo::AbstractJobObject job =
+        shaped_job(shape, n, site.user.certificate.subject);
+    sim::Time start = site.grid.engine().now();
+    bool done = false;
+    auto token = site.server->njs().consign(
+        job, auth, site.user.certificate,
+        [&done](ajo::JobToken, const ajo::Outcome&) { done = true; });
+    if (!token.ok()) state.SkipWithError("consign failed");
+    while (!done && site.grid.engine().step()) {
+    }
+    virtual_s_total += sim::to_seconds(site.grid.engine().now() - start);
+    ++runs;
+  }
+  double mean = virtual_s_total / runs;
+  state.counters["virtual_s"] = mean;
+  // NJS orchestration overhead beyond the pure compute of the critical
+  // path (task runtime on the 0.6-GFLOPS T3E PEs).
+  double task_wall = kTaskSeconds / 0.6;
+  double critical_path =
+      shape == kChain ? n * task_wall
+      : shape == kFanOut ? 2 * task_wall
+                         : 3 * task_wall;
+  state.counters["overhead_s"] = mean - critical_path;
+  state.SetLabel(shape_name(shape));
+}
+BENCHMARK(BM_JobGraphMakespan)
+    ->ArgsProduct({{kChain, kFanOut, kDiamond}, {4, 8, 16, 32}})
+    ->ArgNames({"shape", "tasks"});
+
+void BM_NjsOverheadVsDirectBatch(benchmark::State& state) {
+  // The same n independent tasks submitted (a) through the full UNICORE
+  // path and (b) directly to the batch subsystem.
+  int n = static_cast<int>(state.range(0));
+  bool direct = state.range(1) != 0;
+  double virtual_s_total = 0;
+  int runs = 0;
+  for (auto _ : state) {
+    testing::SingleSite site(/*seed=*/200 + runs);
+    sim::Engine& engine = site.grid.engine();
+    sim::Time start = engine.now();
+    if (direct) {
+      auto* subsystem =
+          site.server->njs().subsystem(testing::SingleSite::kVsite);
+      batch::BatchRequest request;
+      request.queue = "prod";
+      request.processors = 1;
+      request.wallclock_seconds = 3'600;
+      request.memory_mb = 64;
+      int remaining = n;
+      for (int i = 0; i < n; ++i) {
+        batch::ExecutionSpec spec;
+        spec.nominal_seconds = kTaskSeconds;
+        (void)subsystem->submit(
+            batch::render_directives(resources::Architecture::kCrayT3E,
+                                     request),
+            "local-user", std::move(spec),
+            [&remaining](batch::BatchJobId, const batch::BatchResult&) {
+              --remaining;
+            });
+      }
+      while (remaining > 0 && engine.step()) {
+      }
+    } else {
+      gateway::AuthenticatedUser auth{site.user.certificate.subject,
+                                      testing::SingleSite::kLogin,
+                                      {"project-a"}};
+      ajo::AbstractJobObject job;
+      job.set_name("independent");
+      job.vsite = testing::SingleSite::kVsite;
+      job.user = site.user.certificate.subject;
+      for (int i = 0; i < n; ++i) job.add(task_of(i));
+      bool done = false;
+      (void)site.server->njs().consign(
+          job, auth, site.user.certificate,
+          [&done](ajo::JobToken, const ajo::Outcome&) { done = true; });
+      while (!done && engine.step()) {
+      }
+    }
+    virtual_s_total += sim::to_seconds(engine.now() - start);
+    ++runs;
+  }
+  state.counters["virtual_s"] = virtual_s_total / runs;
+  state.SetLabel(direct ? "direct batch submission" : "through UNICORE");
+}
+BENCHMARK(BM_NjsOverheadVsDirectBatch)
+    ->ArgsProduct({{8, 32, 128}, {0, 1}})
+    ->ArgNames({"tasks", "direct"});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,223 @@
+// C1 — the §5.3 robustness claim:
+//
+// "It is an asynchronous protocol. This design is suitable for batch
+//  processing and it is more robust than a synchronous protocol. By
+//  minimizing the length of time that an interaction takes the
+//  asynchronous protocol protects against any unreliability of the
+//  underlying communication mechanism."
+//
+// Both strategies run the same small job over the same lossy link:
+//   async — short, independently retried interactions (submit once with
+//           retries; each status poll retries on its own; the job keeps
+//           running server-side regardless of client connectivity);
+//   sync  — one long interaction: if ANY message of the conversation is
+//           lost, the whole interaction — including the job — restarts
+//           from scratch (the behaviour of a blocking RPC session).
+//
+// Reported per loss rate: virtual seconds to a successful result and
+// the number of attempts. Expect sync to degrade sharply with loss while
+// async stays near the loss-free baseline.
+#include <benchmark/benchmark.h>
+
+#include "common/test_env.h"
+
+namespace {
+
+using namespace unicore;
+using testing::SingleSite;
+
+struct ProtocolRun {
+  SingleSite site;
+  std::unique_ptr<client::UnicoreClient> client;
+  ajo::AbstractJobObject job;
+
+  explicit ProtocolRun(std::uint64_t seed, double loss)
+      : site(seed), job(make_job()) {
+    net::LinkProfile lossy;
+    lossy.latency = sim::msec(20);
+    lossy.bandwidth_bytes_per_sec = 2e6;
+    lossy.loss_probability = loss;
+    site.grid.network().set_link("ws.example.de", "gw.fz-juelich.de", lossy);
+
+    client::UnicoreClient::Config config;
+    config.host = "ws.example.de";
+    config.user = site.user;
+    config.trust = &site.client_trust;
+    config.request_timeout = sim::sec(5);
+    client = std::make_unique<client::UnicoreClient>(
+        site.grid.engine(), site.grid.network(), site.grid.rng(), config);
+  }
+
+  ajo::AbstractJobObject make_job() {
+    client::JobBuilder builder("protocol-bench");
+    builder.destination(SingleSite::kUsite, SingleSite::kVsite)
+        .account_group("project-a");
+    client::TaskOptions options;
+    options.resources = {1, 600, 64, 0, 8};
+    options.behavior.nominal_seconds = 30;  // ~50 s on the T3E
+    builder.script("work", "true\n", options);
+    return builder.build(site.user.certificate.subject).value();
+  }
+
+  sim::Engine& engine() { return site.grid.engine(); }
+};
+
+/// Async strategy: every interaction short and independently retried.
+/// Returns virtual seconds to success, or -1 on give-up.
+double run_async(ProtocolRun& run, int& attempts) {
+  sim::Time start = run.engine().now();
+  bool finished = false, gave_up = false;
+  attempts = 0;
+
+  std::shared_ptr<std::function<void()>> poll;
+  std::shared_ptr<std::function<void(int)>> ensure_connected;
+  auto token = std::make_shared<ajo::JobToken>(0);
+
+  poll = std::make_shared<std::function<void()>>();
+  ensure_connected = std::make_shared<std::function<void(int)>>();
+
+  *ensure_connected = [&, token](int budget) {
+    if (budget <= 0) {
+      gave_up = true;
+      return;
+    }
+    ++attempts;
+    run.client->connect(run.site.address(), [&, token, budget](
+                                                util::Status status) {
+      if (!status.ok()) {
+        (*ensure_connected)(budget - 1);
+        return;
+      }
+      if (*token == 0) {
+        run.client->submit_with_retry(
+            run.job, 10, [&, token](util::Result<ajo::JobToken> result) {
+              if (!result.ok()) {
+                (*ensure_connected)(budget - 1);
+                return;
+              }
+              *token = result.value();
+              (*poll)();
+            });
+      } else {
+        (*poll)();
+      }
+    });
+  };
+
+  *poll = [&, token] {
+    run.client->query(
+        *token, ajo::QueryService::Detail::kSummary,
+        [&, token](util::Result<ajo::Outcome> outcome) {
+          if (!outcome.ok()) {
+            // One lost poll costs only a reconnect — the job kept running.
+            (*ensure_connected)(50);
+            return;
+          }
+          if (ajo::is_terminal(outcome.value().status)) {
+            finished = true;
+            return;
+          }
+          run.engine().after(sim::sec(5), [&] { (*poll)(); });
+        });
+  };
+
+  (*ensure_connected)(50);
+  while (!finished && !gave_up && run.engine().step()) {
+  }
+  if (!finished) return -1;
+  return sim::to_seconds(run.engine().now() - start);
+}
+
+/// Sync strategy: one uninterrupted conversation; any failure restarts
+/// everything, job included.
+double run_sync(ProtocolRun& run, int& attempts) {
+  sim::Time start = run.engine().now();
+  bool finished = false, gave_up = false;
+  attempts = 0;
+
+  auto attempt = std::make_shared<std::function<void(int)>>();
+  *attempt = [&](int budget) {
+    if (budget <= 0) {
+      gave_up = true;
+      return;
+    }
+    ++attempts;
+    auto restart = [&, budget] { (*attempt)(budget - 1); };
+    run.client->connect(run.site.address(), [&, restart](
+                                                util::Status status) {
+      if (!status.ok()) {
+        restart();
+        return;
+      }
+      run.client->submit(run.job, [&, restart](
+                                      util::Result<ajo::JobToken> result) {
+        if (!result.ok()) {
+          restart();
+          return;
+        }
+        ajo::JobToken token = result.value();
+        auto poll = std::make_shared<std::function<void()>>();
+        *poll = [&, token, restart, poll] {
+          run.client->query(
+              token, ajo::QueryService::Detail::kSummary,
+              [&, restart, poll](util::Result<ajo::Outcome> outcome) {
+                if (!outcome.ok()) {
+                  // The conversation broke: a synchronous client starts
+                  // the whole interaction over.
+                  restart();
+                  return;
+                }
+                if (ajo::is_terminal(outcome.value().status)) {
+                  finished = true;
+                  return;
+                }
+                run.engine().after(sim::sec(5), [poll] { (*poll)(); });
+              });
+        };
+        (*poll)();
+      });
+    });
+  };
+
+  (*attempt)(100);
+  while (!finished && !gave_up && run.engine().step()) {
+  }
+  if (!finished) return -1;
+  return sim::to_seconds(run.engine().now() - start);
+}
+
+void BM_ProtocolUnderLoss(benchmark::State& state) {
+  bool async = state.range(0) != 0;
+  double loss = static_cast<double>(state.range(1)) / 100.0;
+  double virtual_s_total = 0, attempts_total = 0;
+  int runs = 0, failures = 0;
+  for (auto _ : state) {
+    ProtocolRun run(1'000 + static_cast<std::uint64_t>(runs), loss);
+    int attempts = 0;
+    double elapsed = async ? run_async(run, attempts)
+                           : run_sync(run, attempts);
+    if (elapsed < 0) {
+      ++failures;
+    } else {
+      virtual_s_total += elapsed;
+      attempts_total += attempts;
+    }
+    ++runs;
+  }
+  int successes = runs - failures;
+  state.counters["virtual_s"] =
+      successes > 0 ? virtual_s_total / successes : -1;
+  state.counters["attempts"] =
+      successes > 0 ? attempts_total / successes : -1;
+  state.counters["give_ups"] = failures;
+  state.SetLabel(std::string(async ? "asynchronous" : "synchronous") +
+                 " @ " + std::to_string(state.range(1)) + "% loss");
+}
+BENCHMARK(BM_ProtocolUnderLoss)
+    ->ArgsProduct({{1, 0}, {0, 2, 5, 10}})
+    ->ArgNames({"async", "loss_pct"})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

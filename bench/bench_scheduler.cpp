@@ -1,0 +1,83 @@
+// Batch-subsystem scheduling ablation: FCFS vs EASY backfill on a
+// synthetic workload (the design-choice knob DESIGN.md §5 calls out for
+// the third tier). Reported in virtual time: mean wait, makespan,
+// utilisation, and how many jobs backfilled.
+#include <benchmark/benchmark.h>
+
+#include "batch/subsystem.h"
+#include "batch/target_system.h"
+#include "sim/engine.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace unicore;
+
+void BM_ScheduleWorkload(benchmark::State& state) {
+  bool backfill = state.range(0) != 0;
+  int jobs = static_cast<int>(state.range(1));
+
+  double wait_total = 0, makespan_total = 0, util_total = 0,
+         backfilled_total = 0;
+  int runs = 0;
+  for (auto _ : state) {
+    sim::Engine engine;
+    batch::SystemConfig config;
+    config.vsite = "bench";
+    config.architecture = resources::Architecture::kGenericUnix;
+    config.nodes = 64;
+    config.processors_per_node = 1;
+    config.gflops_per_processor = 1.0;
+    config.queues = {{"default", 64, 86'400, 1 << 20}};
+    config.use_backfill = backfill;
+    batch::BatchSubsystem batch(engine, util::Rng(runs + 1), config);
+
+    util::Rng workload(999);
+    int remaining = jobs;
+    // A bursty arrival pattern: all jobs arrive within the first hour.
+    for (int i = 0; i < jobs; ++i) {
+      // Log-uniform-ish size mix: mostly small jobs, a few very wide.
+      std::int64_t procs = 1LL << workload.below(7);  // 1..64
+      double runtime = workload.exponential(600.0);
+      std::int64_t requested = static_cast<std::int64_t>(runtime * 2) + 600;
+      engine.at(sim::sec(workload.range(0, 3'600)), [&, procs, requested,
+                                                     runtime] {
+        batch::BatchRequest request;
+        request.queue = "default";
+        request.processors = procs;
+        request.wallclock_seconds = requested;
+        request.memory_mb = 64;
+        batch::ExecutionSpec spec;
+        spec.nominal_seconds = runtime;
+        (void)batch.submit(
+            batch::render_directives(config.architecture, request), "user",
+            std::move(spec),
+            [&remaining](batch::BatchJobId, const batch::BatchResult&) {
+              --remaining;
+            });
+      });
+    }
+    engine.run();
+    if (remaining != 0) state.SkipWithError("jobs did not drain");
+
+    const batch::SubsystemStats& stats = batch.stats();
+    wait_total += stats.total_wait_seconds / jobs;
+    makespan_total += sim::to_seconds(engine.now());
+    util_total += batch.utilization();
+    backfilled_total += static_cast<double>(stats.backfilled_starts);
+    ++runs;
+  }
+  state.counters["mean_wait_s"] = wait_total / runs;
+  state.counters["makespan_s"] = makespan_total / runs;
+  state.counters["utilization"] = util_total / runs;
+  state.counters["backfilled"] = backfilled_total / runs;
+  state.SetLabel(backfill ? "EASY backfill" : "pure FCFS");
+}
+BENCHMARK(BM_ScheduleWorkload)
+    ->ArgsProduct({{0, 1}, {100, 400, 1600}})
+    ->ArgNames({"backfill", "jobs"})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

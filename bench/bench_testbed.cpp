@@ -1,0 +1,185 @@
+// C7 — the §5.7 deployment at scale: the six-site German testbed under
+// a mixed workload of single-site and distributed jobs from many users.
+// Regenerates the operational picture the paper describes (four system
+// families, per-site logins, NJS-NJS exchange of job parts and data).
+//
+// Counters: virtual makespan, mean job turnaround, completed jobs, and
+// aggregate node utilisation across all Vsites.
+#include <benchmark/benchmark.h>
+
+#include "common/test_env.h"
+#include "grid/testbed.h"
+
+namespace {
+
+using namespace unicore;
+
+struct TestbedWorkload {
+  grid::Grid grid{77};
+  std::vector<crypto::Credential> users;
+  crypto::TrustStore trust;
+
+  TestbedWorkload(int n_users) {
+    grid::make_german_testbed(grid);
+    trust = grid.make_trust_store();
+    for (int i = 0; i < n_users; ++i)
+      users.push_back(grid::add_testbed_user(
+          grid, "User " + std::to_string(i),
+          "user" + std::to_string(i) + "@example.de"));
+  }
+
+  struct Target {
+    const char* usite;
+    const char* vsite;
+  };
+  static constexpr Target kTargets[] = {
+      {"FZ-Juelich", "T3E-600"}, {"RUS", "SX-4"},    {"RUS", "T3E-512"},
+      {"RUKA", "SP2"},           {"LRZ", "VPP700"},  {"ZIB", "T3E-900"},
+      {"DWD", "T3E-DWD"},
+  };
+
+  ajo::AbstractJobObject single_site_job(util::Rng& rng,
+                                         const crypto::Credential& user,
+                                         int index) {
+    const Target& target = kTargets[rng.below(std::size(kTargets))];
+    client::JobBuilder builder("job-" + std::to_string(index));
+    builder.destination(target.usite, target.vsite)
+        .account_group("project-a");
+    client::TaskOptions options;
+    options.resources = {static_cast<std::int64_t>(1 + rng.below(32)),
+                         7'200, 512, 0, 64};
+    options.behavior.nominal_seconds = rng.exponential(120.0);
+    options.behavior.output_files = {
+        {"out.dat", 1 + rng.below(4 << 20)}};
+    builder.script("work", "./app\n", options);
+    return builder.build(user.certificate.subject).value();
+  }
+
+  ajo::AbstractJobObject distributed_job(util::Rng& rng,
+                                         const crypto::Credential& user,
+                                         int index) {
+    const Target& a = kTargets[rng.below(std::size(kTargets))];
+    const Target& b = kTargets[rng.below(std::size(kTargets))];
+    client::JobBuilder pre("pre-" + std::to_string(index));
+    pre.destination(a.usite, a.vsite).account_group("project-a");
+    client::TaskOptions pre_options;
+    pre_options.resources = {4, 3'600, 256, 0, 32};
+    pre_options.behavior.nominal_seconds = rng.exponential(60.0);
+    pre_options.behavior.output_files = {{"stage.dat", 1 << 20}};
+    pre.script("pre", "./pre\n", pre_options);
+
+    client::JobBuilder main_part("main-" + std::to_string(index));
+    main_part.destination(b.usite, b.vsite).account_group("project-a");
+    client::TaskOptions main_options;
+    // Sized within every testbed machine (the smallest, LRZ's VPP700,
+    // has 52 PEs) — the check a user would do against the resource page.
+    main_options.resources = {static_cast<std::int64_t>(8 + rng.below(40)),
+                              14'400, 1'024, 0, 128};
+    main_options.behavior.nominal_seconds = rng.exponential(300.0);
+    main_part.script("main", "./main stage.dat\n", main_options);
+
+    client::JobBuilder root("dist-" + std::to_string(index));
+    root.destination("FZ-Juelich", "");
+    root.account_group("project-a");
+    auto pre_id = root.add_subjob(pre.build(user.certificate.subject).value());
+    auto main_id =
+        root.add_subjob(main_part.build(user.certificate.subject).value());
+    root.after(pre_id, main_id, {"stage.dat"});
+    return root.build(user.certificate.subject).value();
+  }
+};
+
+void BM_GermanTestbedWorkload(benchmark::State& state) {
+  int n_users = static_cast<int>(state.range(0));
+  int jobs_per_user = static_cast<int>(state.range(1));
+
+  double makespan_total = 0, turnaround_total = 0;
+  double completed_total = 0, failed_total = 0, utilization_total = 0;
+  int runs = 0;
+  for (auto _ : state) {
+    TestbedWorkload workload(n_users);
+    sim::Engine& engine = workload.grid.engine();
+    util::Rng rng(static_cast<std::uint64_t>(runs) + 31);
+
+    int total_jobs = n_users * jobs_per_user;
+    int remaining = total_jobs;
+    double turnaround_sum = 0;
+    int completed = 0, failed = 0;
+
+    for (int u = 0; u < n_users; ++u) {
+      const crypto::Credential& user = workload.users[
+          static_cast<std::size_t>(u)];
+      for (int j = 0; j < jobs_per_user; ++j) {
+        int index = u * jobs_per_user + j;
+        ajo::AbstractJobObject job =
+            rng.chance(0.25)
+                ? workload.distributed_job(rng, user, index)
+                : workload.single_site_job(rng, user, index);
+        // Jobs trickle in over the first simulated hour; consign at the
+        // user's home site via the NJS (the server/network layer costs
+        // are covered by the protocol benches).
+        sim::Time arrival = sim::sec(rng.range(0, 3'600));
+        engine.at(arrival, [&workload, &engine, &remaining, &turnaround_sum,
+                            &completed, &failed, job, user, arrival]() {
+          gateway::AuthenticatedUser auth{user.certificate.subject, "login",
+                                          {"project-a"}};
+          // Jobs are consigned at their destination Usite's NJS.
+          auto token = workload.grid.site(job.usite)
+                           ->njs()
+                           .consign(job, auth, user.certificate,
+                                    [&, arrival](ajo::JobToken,
+                                                 const ajo::Outcome& outcome) {
+                                      turnaround_sum += sim::to_seconds(
+                                          engine.now() - arrival);
+                                      if (outcome.status ==
+                                          ajo::ActionStatus::kSuccessful)
+                                        ++completed;
+                                      else
+                                        ++failed;
+                                      --remaining;
+                                    });
+          if (!token.ok()) {
+            ++failed;
+            --remaining;
+          }
+        });
+      }
+    }
+    engine.run();
+    if (remaining != 0) state.SkipWithError("workload did not drain");
+
+    // Aggregate utilisation across all eight Vsites.
+    double busy_node_seconds = 0, capacity_node_seconds = 0;
+    for (const std::string& site : workload.grid.sites()) {
+      njs::Njs& njs = workload.grid.site(site)->njs();
+      for (const std::string& vsite : njs.vsites()) {
+        batch::BatchSubsystem* subsystem = njs.subsystem(vsite);
+        busy_node_seconds += subsystem->stats().busy_node_seconds;
+        capacity_node_seconds +=
+            sim::to_seconds(engine.now()) *
+            static_cast<double>(subsystem->config().nodes);
+      }
+    }
+    utilization_total += busy_node_seconds / capacity_node_seconds;
+
+    makespan_total += sim::to_seconds(engine.now());
+    turnaround_total += turnaround_sum / total_jobs;
+    completed_total += completed;
+    failed_total += failed;
+    ++runs;
+  }
+  state.counters["virtual_makespan_s"] = makespan_total / runs;
+  state.counters["mean_turnaround_s"] = turnaround_total / runs;
+  state.counters["completed"] = completed_total / runs;
+  state.counters["failed"] = failed_total / runs;
+  state.counters["grid_utilization"] = utilization_total / runs;
+  state.SetLabel("6 sites / 4 system families");
+}
+BENCHMARK(BM_GermanTestbedWorkload)
+    ->ArgsProduct({{4, 16}, {4, 16}})
+    ->ArgNames({"users", "jobs_each"})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

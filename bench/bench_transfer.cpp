@@ -1,0 +1,195 @@
+// C5 — the §5.6 file-transfer picture:
+//
+// "Imports from Xspace to Uspace and exports from Uspace to Xspace are
+//  always local operations performed at a Vsite. ... The file transfer
+//  between Uspaces has to be accomplished through NJS–NJS communication
+//  via the gateway ... As this solution has disadvantages with respect
+//  to transfer rates especially for huge data sets UNICORE is working
+//  on alternatives."
+//
+// This bench regenerates that comparison: local copy vs gateway-mediated
+// inter-site transfer across file sizes. Expect the local path to win by
+// a growing factor as files grow (disk bandwidth vs WAN bandwidth plus
+// protocol overheads) — the "shape" conceded by the paper.
+//
+// `virtual_ms` is the simulated elapsed time; `virtual_MBps` the
+// effective rate the user observes.
+#include <benchmark/benchmark.h>
+
+#include "common/test_env.h"
+#include "grid/testbed.h"
+
+namespace {
+
+using namespace unicore;
+
+struct TwoSites {
+  grid::Grid grid{5};
+  crypto::Credential user;
+  ajo::JobToken receiver_token = 0;  // a parked job at LRZ whose Uspace
+                                     // receives the remote deliveries
+
+  TwoSites() {
+    grid::make_german_testbed(grid);
+    user = grid::add_testbed_user(grid, "Bench User", "bench@example.de");
+
+    // Park a long-running job at LRZ so its Uspace exists.
+    ajo::AbstractJobObject job;
+    job.set_name("receiver");
+    job.vsite = "VPP700";
+    job.user = user.certificate.subject;
+    auto task = std::make_unique<ajo::ExecuteScriptTask>();
+    task->set_name("sleeper");
+    task->script = "sleep forever\n";
+    task->set_resource_request({1, 86'400, 64, 0, 8});
+    task->behavior.nominal_seconds = 1e7;
+    job.add(std::move(task));
+
+    gateway::AuthenticatedUser auth{user.certificate.subject, "xbench",
+                                    {"project-a"}};
+    auto token = grid.site("LRZ")->njs().consign(job, auth,
+                                                 user.certificate);
+    receiver_token = token.value();
+    grid.engine().run_until(grid.engine().now() + sim::sec(1));
+  }
+};
+
+void BM_LocalImportXspaceToUspace(benchmark::State& state) {
+  TwoSites env;
+  std::uint64_t bytes = static_cast<std::uint64_t>(state.range(0));
+  auto* njs = &env.grid.site("FZ-Juelich")->njs();
+  auto* home = njs->xspace("T3E-600")->find_volume("home");
+  (void)home->write("data/in.bin", uspace::FileBlob::synthetic(bytes, 1));
+
+  gateway::AuthenticatedUser auth{env.user.certificate.subject, "ucbench",
+                                  {"project-a"}};
+  double virtual_ms_total = 0;
+  int runs = 0;
+  for (auto _ : state) {
+    ajo::AbstractJobObject job;
+    job.set_name("import");
+    job.vsite = "T3E-600";
+    job.user = env.user.certificate.subject;
+    auto import = std::make_unique<ajo::ImportTask>();
+    import->source = ajo::ImportTask::Source::kXspace;
+    import->xspace_source = {"home", "data/in.bin"};
+    import->uspace_name = "in.bin";
+    job.add(std::move(import));
+
+    sim::Time start = env.grid.engine().now();
+    bool done = false;
+    bool ok = false;
+    auto token = njs->consign(
+        job, auth, env.user.certificate,
+        [&done, &ok](ajo::JobToken, const ajo::Outcome& outcome) {
+          done = true;
+          ok = outcome.status == ajo::ActionStatus::kSuccessful;
+        });
+    if (!token.ok()) state.SkipWithError("consign failed");
+    while (!done && env.grid.engine().step()) {
+    }
+    if (!ok) state.SkipWithError("import failed");
+    virtual_ms_total +=
+        sim::to_seconds(env.grid.engine().now() - start) * 1e3;
+    ++runs;
+  }
+  double mean_ms = virtual_ms_total / runs;
+  state.counters["virtual_ms"] = mean_ms;
+  state.counters["virtual_MBps"] =
+      static_cast<double>(bytes) / 1e6 / (mean_ms / 1e3);
+  state.SetLabel("local copy (Xspace->Uspace)");
+}
+BENCHMARK(BM_LocalImportXspaceToUspace)
+    ->Arg(64 << 10)
+    ->Arg(1 << 20)
+    ->Arg(8 << 20)
+    ->Arg(64 << 20);
+
+void BM_RemoteUspaceToUspaceViaGateway(benchmark::State& state) {
+  TwoSites env;
+  std::uint64_t bytes = static_cast<std::uint64_t>(state.range(0));
+  uspace::FileBlob blob = uspace::FileBlob::synthetic(bytes, 2);
+  njs::RemoteJobHandle handle{"LRZ", env.receiver_token};
+  auto* juelich = env.grid.site("FZ-Juelich");
+
+  // Warm up the peer channel so the handshake is not measured.
+  bool warm = false;
+  juelich->deliver_file(handle, "warmup", uspace::FileBlob::synthetic(8, 3),
+                        [&](util::Status) { warm = true; });
+  while (!warm && env.grid.engine().step()) {
+  }
+  if (!warm) state.SkipWithError("peer link failed");
+
+  double virtual_ms_total = 0;
+  int runs = 0;
+  for (auto _ : state) {
+    sim::Time start = env.grid.engine().now();
+    bool done = false;
+    bool replied = false;
+    juelich->deliver_file(handle, "chunk" + std::to_string(runs), blob,
+                          [&](util::Status status) {
+                            replied = true;
+                            done = status.ok();
+                          });
+    while (!replied && env.grid.engine().step()) {
+    }
+    if (!done) state.SkipWithError("delivery failed");
+    virtual_ms_total +=
+        sim::to_seconds(env.grid.engine().now() - start) * 1e3;
+    ++runs;
+  }
+  double mean_ms = virtual_ms_total / runs;
+  state.counters["virtual_ms"] = mean_ms;
+  state.counters["virtual_MBps"] =
+      static_cast<double>(bytes) / 1e6 / (mean_ms / 1e3);
+  state.SetLabel("NJS-NJS via gateways (FZJ->LRZ)");
+}
+BENCHMARK(BM_RemoteUspaceToUspaceViaGateway)
+    ->Arg(64 << 10)
+    ->Arg(1 << 20)
+    ->Arg(8 << 20)
+    ->Arg(64 << 20);
+
+void BM_RemoteFetchFile(benchmark::State& state) {
+  // The reverse direction: pulling a dependency file from a remote
+  // predecessor's Uspace.
+  TwoSites env;
+  std::uint64_t bytes = static_cast<std::uint64_t>(state.range(0));
+  (void)env.grid.site("LRZ")->njs().deliver_file(
+      env.receiver_token, "big.out", uspace::FileBlob::synthetic(bytes, 4));
+  njs::RemoteJobHandle handle{"LRZ", env.receiver_token};
+  auto* juelich = env.grid.site("FZ-Juelich");
+
+  bool warm = false;
+  juelich->fetch_file(handle, "big.out",
+                      [&](util::Result<uspace::FileBlob>) { warm = true; });
+  while (!warm && env.grid.engine().step()) {
+  }
+
+  double virtual_ms_total = 0;
+  int runs = 0;
+  for (auto _ : state) {
+    sim::Time start = env.grid.engine().now();
+    bool done = false;
+    bool replied = false;
+    juelich->fetch_file(handle, "big.out",
+                        [&](util::Result<uspace::FileBlob> result) {
+                          replied = true;
+                          done = result.ok();
+                        });
+    while (!replied && env.grid.engine().step()) {
+    }
+    if (!done) state.SkipWithError("fetch failed");
+    virtual_ms_total +=
+        sim::to_seconds(env.grid.engine().now() - start) * 1e3;
+    ++runs;
+  }
+  state.counters["virtual_ms"] = virtual_ms_total / runs;
+  state.counters["virtual_MBps"] = static_cast<double>(bytes) / 1e6 /
+                                   (virtual_ms_total / runs / 1e3);
+}
+BENCHMARK(BM_RemoteFetchFile)->Arg(1 << 20)->Arg(8 << 20)->Arg(64 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+// Application-specific interfaces (§6, first enhancement): the user
+// fills in a "Gaussian form" — an input deck and nothing else — and the
+// launcher finds a site offering the package, builds the UNICORE job,
+// and submits it. The WebSubmit-style experience (§2) on top of the JPA.
+//
+// Run: ./application_portal
+#include <cstdio>
+
+#include "batch/target_system.h"
+#include "client/app_templates.h"
+#include "client/client.h"
+#include "grid/grid.h"
+
+using namespace unicore;
+
+int main() {
+  std::printf("== UNICORE application portal (Gaussian 94) ==\n\n");
+
+  grid::Grid grid(/*seed=*/94);
+  grid::Grid::SiteSpec spec;
+  spec.config.name = "RUKA";
+  spec.config.gateway_host = "gw.rz.uni-karlsruhe.de";
+  njs::Njs::VsiteConfig vsite;
+  vsite.system = batch::make_ibm_sp2("SP2", 64);
+  vsite.software = {{resources::SoftwareKind::kPackage, "Gaussian", "94"},
+                    {resources::SoftwareKind::kPackage, "Ansys", "5.5"}};
+  spec.vsites.push_back(std::move(vsite));
+  auto& site = grid.add_site(std::move(spec));
+
+  crypto::Credential user =
+      grid.create_user("Industry User", "ACME GmbH", "user@acme.de");
+  (void)grid.map_user(user.certificate.subject, "RUKA", "kacme",
+                      {"industry"});
+  crypto::TrustStore trust = grid.make_trust_store();
+
+  client::UnicoreClient::Config config;
+  config.host = "pc.acme.de";
+  config.user = user;
+  config.trust = &trust;
+  client::UnicoreClient client(grid.engine(), grid.network(), grid.rng(),
+                               config);
+  client.connect(site.address(), [](util::Status) {});
+  grid.engine().run();
+
+  // The portal downloads the resource pages and knows the templates.
+  std::vector<resources::ResourcePage> pages;
+  client.fetch_resource_pages(
+      [&pages](util::Result<std::vector<resources::ResourcePage>> result) {
+        if (result.ok()) pages = std::move(result.value());
+      });
+  grid.engine().run();
+
+  client::ApplicationLauncher launcher(pages);
+  std::printf("packages with templates:");
+  for (const std::string& name : launcher.packages())
+    std::printf(" %s(%zu site%s)", name.c_str(),
+                launcher.sites_offering(name).size(),
+                launcher.sites_offering(name).size() == 1 ? "" : "s");
+  std::printf("\n\n");
+
+  // The user's entire input: the Gaussian deck.
+  client::ApplicationJobRequest request;
+  request.package = "Gaussian";
+  request.input = util::to_bytes(
+      "%chk=benzene\n# B3LYP/6-31G* opt freq\n\nbenzene optimisation\n");
+  request.input_name = "benzene.com";
+  request.output_name = "benzene.log";
+  request.account_group = "industry";
+
+  auto job = launcher.make_job(request, user.certificate.subject);
+  if (!job.ok()) {
+    std::printf("cannot build job: %s\n", job.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("portal built job '%s' -> %s/%s\n",
+              job.value().name().c_str(), job.value().usite.c_str(),
+              job.value().vsite.c_str());
+
+  ajo::JobToken token = 0;
+  client.submit(job.value(), [&](util::Result<ajo::JobToken> result) {
+    token = result.ok() ? result.value() : 0;
+  });
+  grid.engine().run_until(grid.engine().now() + sim::sec(1));
+
+  client.wait_for_completion(token, sim::sec(30),
+                             [&](util::Result<ajo::Outcome> outcome) {
+                               if (outcome.ok())
+                                 std::printf("\n%s",
+                                             outcome.value()
+                                                 .to_tree_string()
+                                                 .c_str());
+                             });
+  grid.engine().run();
+
+  client.fetch_output(token, "benzene.log",
+                      [](util::Result<uspace::FileBlob> blob) {
+                        if (blob.ok())
+                          std::printf("\nfetched benzene.log (%llu bytes)\n",
+                                      static_cast<unsigned long long>(
+                                          blob.value().size()));
+                      });
+  grid.engine().run();
+  return 0;
+}

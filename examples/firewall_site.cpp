@@ -1,0 +1,98 @@
+// The firewall deployment of §4.2/§5.2: the Web-server/gateway half of
+// the UNICORE server sits on the firewall host; the NJS runs on a
+// machine inside. All gateway-NJS traffic crosses one IP socket on a
+// site-selectable port, and the firewall admits only that flow.
+//
+// Run: ./firewall_site
+#include <cstdio>
+
+#include "batch/target_system.h"
+#include "client/client.h"
+#include "client/job_builder.h"
+#include "grid/grid.h"
+
+using namespace unicore;
+
+int main() {
+  std::printf("== UNICORE firewall-split deployment ==\n\n");
+
+  grid::Grid grid(/*seed=*/4711);
+  grid::Grid::SiteSpec spec;
+  spec.config.name = "FZ-Juelich";
+  spec.config.gateway_host = "gw.fz-juelich.de";   // on the firewall
+  spec.config.port = 4433;
+  spec.config.njs_host = "njs.fz-juelich.de";      // inside
+  spec.config.njs_port = 7700;                     // site-selectable port
+  njs::Njs::VsiteConfig vsite;
+  vsite.system = batch::make_cray_t3e("T3E-600", 256);
+  spec.vsites.push_back(std::move(vsite));
+  auto& site = grid.add_site(std::move(spec));
+
+  std::printf("gateway: %s (firewall host)\n",
+              site.config().gateway_host.c_str());
+  std::printf("NJS:     %s:%u (inside the firewall)\n\n",
+              site.config().njs_host.c_str(), site.config().njs_port);
+
+  // Demonstrate the firewall: outside hosts cannot reach the NJS port.
+  auto direct = grid.network().connect("attacker.example.com",
+                                       {"njs.fz-juelich.de", 7700});
+  std::printf("direct NJS access from the outside: %s\n",
+              direct.ok() ? "PERMITTED (!!)"
+                          : direct.error().to_string().c_str());
+  auto via_gateway = grid.network().connect("gw.fz-juelich.de",
+                                            {"njs.fz-juelich.de", 7700});
+  std::printf("gateway -> NJS pipe:                 %s\n\n",
+              via_gateway.ok() ? "permitted" : "blocked (!!)");
+
+  // A regular user still works exactly as with a combined server.
+  crypto::Credential user =
+      grid.create_user("Jane Doe", "Uni Koeln", "jane@uni-koeln.de");
+  (void)grid.map_user(user.certificate.subject, "FZ-Juelich", "ucjdoe",
+                      {"project-a"});
+  crypto::TrustStore trust = grid.make_trust_store();
+  client::UnicoreClient::Config config;
+  config.host = "ws.uni-koeln.de";
+  config.user = user;
+  config.trust = &trust;
+  client::UnicoreClient client(grid.engine(), grid.network(), grid.rng(),
+                               config);
+  client.connect(site.address(), [](util::Status status) {
+    std::printf("user handshake through the firewall host: %s\n",
+                status.to_string().c_str());
+  });
+  grid.engine().run();
+
+  client::JobBuilder builder("behind the firewall");
+  builder.destination("FZ-Juelich", "T3E-600").account_group("project-a");
+  client::TaskOptions options;
+  options.resources = {32, 1'800, 2'048, 0, 64};
+  options.behavior.nominal_seconds = 120;
+  options.behavior.stdout_text = "computation finished\n";
+  builder.script("compute", "mpprun -n 32 ./app\n", options);
+  auto job = builder.build(user.certificate.subject);
+
+  ajo::JobToken token = 0;
+  client.submit(job.value(), [&](util::Result<ajo::JobToken> result) {
+    token = result.ok() ? result.value() : 0;
+    std::printf("consigned through gateway->pipe->NJS: token %llu\n",
+                static_cast<unsigned long long>(token));
+  });
+  grid.engine().run_until(grid.engine().now() + sim::sec(1));
+
+  client.wait_for_completion(token, sim::sec(30),
+                             [&](util::Result<ajo::Outcome> outcome) {
+                               if (outcome.ok())
+                                 std::printf("\n%s",
+                                             outcome.value()
+                                                 .to_tree_string()
+                                                 .c_str());
+                             });
+  grid.engine().run();
+
+  std::printf("\naudit log at the gateway:\n");
+  for (const auto& record : site.gateway().audit_log())
+    std::printf("  [%s] %-12s %s %s\n", record.accepted ? "OK" : "NO",
+                record.action.c_str(), record.subject.c_str(),
+                record.detail.c_str());
+  return 0;
+}

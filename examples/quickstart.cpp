@@ -1,0 +1,162 @@
+// Quickstart: the complete UNICORE flow on a single Usite.
+//
+//   1. Stand up a Usite (gateway + NJS + one Cray T3E Vsite).
+//   2. Register a user: CA-issued certificate + UUDB login mapping.
+//   3. Connect with mutual https-style authentication, download and
+//      verify the signed JPA "applet" bundle.
+//   4. Build a compile-link-execute job from the resource pages.
+//   5. Submit, monitor (JMC-style polling), fetch stdout and results.
+//
+// Run: ./quickstart
+#include <cstdio>
+#include <memory>
+
+#include "batch/target_system.h"
+#include "client/client.h"
+#include "client/job_builder.h"
+#include "grid/grid.h"
+
+using namespace unicore;
+
+int main() {
+  std::printf("== UNICORE quickstart: one Usite, one job ==\n\n");
+
+  // --- 1. the Usite -----------------------------------------------------
+  grid::Grid grid(/*seed=*/2026);
+  grid::Grid::SiteSpec spec;
+  spec.config.name = "FZ-Juelich";
+  spec.config.gateway_host = "gw.fz-juelich.de";
+  spec.config.port = 4433;
+  njs::Njs::VsiteConfig vsite;
+  vsite.system = batch::make_cray_t3e("T3E-600", 512);
+  spec.vsites.push_back(std::move(vsite));
+  auto& site = grid.add_site(std::move(spec));
+  std::printf("Usite '%s' online at %s (Vsite T3E-600, 512 PEs)\n",
+              site.config().name.c_str(), site.address().to_string().c_str());
+
+  // --- 2. the user --------------------------------------------------------
+  crypto::Credential jane =
+      grid.create_user("Jane Doe", "University of Cologne",
+                       "jane@uni-koeln.de");
+  (void)grid.map_user(jane.certificate.subject, "FZ-Juelich", "ucjdoe",
+                      {"project-a"});
+  std::printf("User certificate: %s (serial %llu)\n",
+              jane.certificate.subject.to_string().c_str(),
+              static_cast<unsigned long long>(jane.certificate.serial));
+
+  // --- 3. connect + fetch the applet ---------------------------------------
+  crypto::TrustStore trust = grid.make_trust_store();
+  client::UnicoreClient::Config client_config;
+  client_config.host = "ws.uni-koeln.de";
+  client_config.user = jane;
+  client_config.trust = &trust;
+  client::UnicoreClient client(grid.engine(), grid.network(), grid.rng(),
+                               client_config);
+
+  client.connect(site.address(), [](util::Status status) {
+    std::printf("SSL-style handshake: %s\n", status.to_string().c_str());
+  });
+  grid.engine().run();
+
+  client.fetch_bundle("JPA", [](util::Result<crypto::SoftwareBundle> b) {
+    if (b.ok())
+      std::printf("JPA applet v%u downloaded, signature verified (%s)\n",
+                  b.value().version,
+                  b.value().signer.subject.common_name.c_str());
+  });
+
+  std::vector<resources::ResourcePage> pages;
+  client.fetch_resource_pages(
+      [&pages](util::Result<std::vector<resources::ResourcePage>> result) {
+        if (result.ok()) pages = std::move(result.value());
+      });
+  grid.engine().run();
+  for (const auto& page : pages)
+    std::printf("Resource page: %s/%s, %s, max %lld PEs, %lld s\n",
+                page.usite.c_str(), page.vsite.c_str(),
+                resources::architecture_name(page.architecture),
+                static_cast<long long>(page.maximum.processors),
+                static_cast<long long>(page.maximum.wallclock_seconds));
+
+  // --- 4. the job -----------------------------------------------------------
+  client::JobBuilder builder("laplace solver");
+  builder.destination("FZ-Juelich", "T3E-600").account_group("project-a");
+  auto source = builder.import_from_workstation(
+      "laplace.f90",
+      util::to_bytes("      PROGRAM LAPLACE\n      END PROGRAM\n"));
+  client::TaskOptions compile_options;
+  compile_options.resources = {1, 600, 128, 0, 16};
+  compile_options.behavior.nominal_seconds = 8;
+  auto compile = builder.compile("compile", "laplace.f90", "laplace.o",
+                                 compile_options, {"-O3"});
+  client::TaskOptions link_options = compile_options;
+  auto link = builder.link("link", {"laplace.o"}, "laplace", link_options);
+  client::TaskOptions run_options;
+  run_options.resources = {128, 3'600, 8'192, 0, 256};
+  run_options.behavior.nominal_seconds = 400;
+  run_options.behavior.stdout_text =
+      "grid 1024x1024, 128 PEs\nconverged after 812 iterations\n";
+  run_options.behavior.output_files = {{"solution.dat", 8 << 20}};
+  auto run = builder.run("solve", "laplace", run_options, {"-grid", "1024"});
+  auto save = builder.export_to_xspace("solution.dat", "home",
+                                       "results/solution.dat");
+  builder.after(source, compile, {"laplace.f90"});
+  builder.after(compile, link, {"laplace.o"});
+  builder.after(link, run, {"laplace"});
+  builder.after(run, save, {"solution.dat"});
+
+  auto job = builder.build_checked(jane.certificate.subject, pages);
+  if (!job.ok()) {
+    std::printf("job rejected by the JPA: %s\n",
+                job.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("\nJob '%s' built: %zu actions, %zu dependencies\n",
+              job.value().name().c_str(), job.value().children().size(),
+              job.value().dependencies().size());
+
+  // --- 5. submit & monitor -----------------------------------------------
+  ajo::JobToken token = 0;
+  client.submit(job.value(), [&token](util::Result<ajo::JobToken> result) {
+    if (result.ok()) {
+      token = result.value();
+      std::printf("consigned: job token %llu\n",
+                  static_cast<unsigned long long>(token));
+    } else {
+      std::printf("consignment rejected: %s\n",
+                  result.error().to_string().c_str());
+    }
+  });
+  grid.engine().run_until(grid.engine().now() + sim::sec(1));
+
+  client.wait_for_completion(
+      token, sim::sec(30), [&](util::Result<ajo::Outcome> outcome) {
+        if (!outcome.ok()) return;
+        std::printf("\nJMC status tree at completion (t=%.1f s):\n%s",
+                    sim::to_seconds(grid.engine().now()),
+                    outcome.value().to_tree_string().c_str());
+        const ajo::Outcome* solve = nullptr;
+        for (const auto& child : outcome.value().children)
+          if (child.name == "solve") solve = &child;
+        if (solve != nullptr)
+          if (const auto* detail =
+                  std::get_if<ajo::ExecuteOutcome>(&solve->detail))
+            std::printf("stdout of 'solve':\n%s", detail->stdout_text.c_str());
+      });
+  grid.engine().run();
+
+  client.fetch_output(token, "solution.dat",
+                      [](util::Result<uspace::FileBlob> blob) {
+                        if (blob.ok())
+                          std::printf("fetched solution.dat: %llu bytes\n",
+                                      static_cast<unsigned long long>(
+                                          blob.value().size()));
+                      });
+  grid.engine().run();
+
+  std::printf("\ndone: %llu request(s) served by the gateway, %.1f virtual "
+              "seconds elapsed\n",
+              static_cast<unsigned long long>(site.requests_served()),
+              sim::to_seconds(grid.engine().now()));
+  return 0;
+}

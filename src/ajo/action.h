@@ -1,0 +1,132 @@
+// The Abstract Job Object protocol — base classes (Figure 3).
+//
+// "The UNICORE protocol is implemented as a Java object called the
+//  abstract job object (AJO). It specifies all actions to be performed
+//  by the NJS which are grouped together in the Java class
+//  AbstractAction." (§5.3)
+//
+// The hierarchy reproduced here, exactly as in Figure 3:
+//
+//   AbstractAction
+//   ├── AbstractJobObject                  (recursive job groups; job.h)
+//   ├── AbstractTaskObject                 (this file + tasks.h)
+//   │   ├── ExecuteTask
+//   │   │   ├── CompileTask
+//   │   │   ├── LinkTask
+//   │   │   ├── UserTask
+//   │   │   └── ExecuteScriptTask
+//   │   └── FileTask
+//   │       ├── ImportTask
+//   │       ├── ExportTask
+//   │       └── TransferTask
+//   └── AbstractService                    (services.h)
+//       ├── ControlService
+//       ├── ListService
+//       └── QueryService
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "resources/resource_set.h"
+#include "util/bytes.h"
+
+namespace unicore::ajo {
+
+/// Identifier of an action, unique within its enclosing root AJO.
+using ActionId = std::uint64_t;
+
+/// Wire/type tag of every concrete action class.
+enum class ActionType : std::uint8_t {
+  kAbstractJobObject = 1,
+  kCompileTask = 2,
+  kLinkTask = 3,
+  kUserTask = 4,
+  kExecuteScriptTask = 5,
+  kImportTask = 6,
+  kExportTask = 7,
+  kTransferTask = 8,
+  kControlService = 9,
+  kListService = 10,
+  kQueryService = 11,
+};
+
+const char* action_type_name(ActionType type);
+
+/// What a task will do when the simulated batch subsystem runs it.
+/// The real UNICORE executes the incarnated script on the target
+/// machine; the reproduction's batch simulator interprets this
+/// behaviour spec instead (see DESIGN.md §2).
+struct TaskBehavior {
+  /// Runtime on a 1-GFLOPS reference system, in seconds; the batch
+  /// simulator scales it by the Vsite's per-processor performance.
+  double nominal_seconds = 1.0;
+  /// Exit code the task will report (non-zero => NOT_SUCCESSFUL).
+  std::int32_t exit_code = 0;
+  std::string stdout_text;
+  std::string stderr_text;
+  /// Files (name, size in bytes) the task creates in the job's Uspace.
+  std::vector<std::pair<std::string, std::uint64_t>> output_files;
+
+  bool operator==(const TaskBehavior&) const = default;
+};
+
+/// Root of the hierarchy. Every action has an id (assigned when added to
+/// a job), a human-readable name, and knows how to encode its body.
+class AbstractAction {
+ public:
+  virtual ~AbstractAction() = default;
+
+  virtual ActionType type() const = 0;
+  const char* type_name() const { return action_type_name(type()); }
+
+  ActionId id() const { return id_; }
+  void set_id(ActionId id) { id_ = id; }
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Position in the Figure 3 hierarchy.
+  virtual bool is_job() const { return false; }
+  virtual bool is_task() const { return false; }
+  virtual bool is_service() const { return false; }
+
+  /// Deep copy preserving the dynamic type.
+  virtual std::unique_ptr<AbstractAction> clone() const = 0;
+
+  /// Serializes the subclass body (header fields id/name are written by
+  /// the codec).
+  virtual void encode_body(util::ByteWriter& w) const = 0;
+
+ protected:
+  AbstractAction() = default;
+  AbstractAction(const AbstractAction&) = default;
+  AbstractAction& operator=(const AbstractAction&) = default;
+
+  ActionId id_ = 0;
+  std::string name_;
+};
+
+/// "A task is the unit which boils down to a batch job for the
+///  destination system." Carries the resource request of §5.4.
+class AbstractTaskObject : public AbstractAction {
+ public:
+  bool is_task() const final { return true; }
+
+  const resources::ResourceSet& resource_request() const { return resources_; }
+  void set_resource_request(resources::ResourceSet r) { resources_ = r; }
+
+ protected:
+  resources::ResourceSet resources_;
+};
+
+/// Base of the monitoring/control services (§5.3: "the abstract service
+/// for job monitoring [is one of] the non-recursive parts of the AJO").
+class AbstractService : public AbstractAction {
+ public:
+  bool is_service() const final { return true; }
+};
+
+}  // namespace unicore::ajo

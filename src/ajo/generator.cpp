@@ -1,0 +1,148 @@
+#include "ajo/generator.h"
+
+#include "ajo/services.h"
+#include "ajo/tasks.h"
+
+namespace unicore::ajo {
+
+namespace {
+
+resources::ResourceSet random_resources(util::Rng& rng) {
+  resources::ResourceSet r;
+  r.processors = rng.range(1, 64);
+  r.wallclock_seconds = rng.range(60, 7'200);
+  r.memory_mb = rng.range(32, 2'048);
+  r.permanent_disk_mb = rng.range(0, 512);
+  r.temporary_disk_mb = rng.range(1, 1'024);
+  return r;
+}
+
+TaskBehavior random_behavior(util::Rng& rng, const std::string& tag) {
+  TaskBehavior b;
+  b.nominal_seconds = 0.5 + rng.uniform() * 30.0;
+  b.exit_code = 0;
+  b.stdout_text = "output of " + tag + "\n";
+  if (rng.chance(0.3))
+    b.output_files.emplace_back(tag + ".out", rng.range(1024, 1 << 20));
+  return b;
+}
+
+std::unique_ptr<AbstractAction> random_task(util::Rng& rng,
+                                            std::size_t index) {
+  std::string tag = "t" + std::to_string(index);
+  switch (rng.below(6)) {
+    case 0: {
+      auto task = std::make_unique<CompileTask>();
+      task->set_name("compile " + tag);
+      task->source_file = tag + ".f90";
+      task->object_file = tag + ".o";
+      task->compiler_flags = {"-O2"};
+      task->set_resource_request(random_resources(rng));
+      task->behavior = random_behavior(rng, tag);
+      return task;
+    }
+    case 1: {
+      auto task = std::make_unique<LinkTask>();
+      task->set_name("link " + tag);
+      task->object_files = {tag + ".o"};
+      task->executable = tag + ".exe";
+      task->set_resource_request(random_resources(rng));
+      task->behavior = random_behavior(rng, tag);
+      return task;
+    }
+    case 2: {
+      auto task = std::make_unique<UserTask>();
+      task->set_name("run " + tag);
+      task->executable = tag + ".exe";
+      task->arguments = {"-v", std::to_string(rng.below(100))};
+      task->environment = {{"OMP_NUM_THREADS", "4"}};
+      task->set_resource_request(random_resources(rng));
+      task->behavior = random_behavior(rng, tag);
+      return task;
+    }
+    case 3: {
+      auto task = std::make_unique<ExecuteScriptTask>();
+      task->set_name("script " + tag);
+      task->script = "echo " + tag + "\n./step_" + tag + "\n";
+      task->set_resource_request(random_resources(rng));
+      task->behavior = random_behavior(rng, tag);
+      return task;
+    }
+    case 4: {
+      auto task = std::make_unique<ImportTask>();
+      task->set_name("import " + tag);
+      if (rng.chance(0.5)) {
+        task->source = ImportTask::Source::kUserWorkstation;
+        task->inline_content = rng.bytes(128);
+      } else {
+        task->source = ImportTask::Source::kXspace;
+        task->xspace_source = {"home", "data/" + tag + ".in"};
+      }
+      task->uspace_name = tag + ".in";
+      return task;
+    }
+    default: {
+      auto task = std::make_unique<ExportTask>();
+      task->set_name("export " + tag);
+      task->uspace_name = tag + ".out";
+      task->destination = {"home", "results/" + tag + ".out"};
+      return task;
+    }
+  }
+}
+
+AbstractJobObject random_group(util::Rng& rng, const RandomJobOptions& options,
+                               std::size_t depth, std::size_t& counter) {
+  AbstractJobObject group;
+  group.set_name("group-" + std::to_string(counter));
+  group.usite = options.usites[rng.below(options.usites.size())];
+  group.vsite = options.vsites[rng.below(options.vsites.size())];
+
+  std::size_t count =
+      1 + rng.below(std::max<std::size_t>(1, options.tasks_per_group * 2));
+  std::vector<ActionId> ids;
+  for (std::size_t i = 0; i < count; ++i) {
+    ++counter;
+    if (depth + 1 < options.max_depth && rng.chance(options.subjob_probability)) {
+      auto sub = std::make_unique<AbstractJobObject>(
+          random_group(rng, options, depth + 1, counter));
+      ids.push_back(group.add(std::move(sub)));
+    } else {
+      ids.push_back(group.add(random_task(rng, counter)));
+    }
+  }
+
+  // Forward edges only (i -> j with i < j) keep the graph acyclic by
+  // construction.
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    for (std::size_t j = i + 1; j < ids.size(); ++j) {
+      if (!rng.chance(options.dependency_density)) continue;
+      std::vector<std::string> files;
+      if (rng.chance(options.file_edge_probability))
+        files.push_back("f" + std::to_string(ids[i]) + ".dat");
+      group.add_dependency(ids[i], ids[j], std::move(files));
+    }
+  }
+  return group;
+}
+
+}  // namespace
+
+AbstractJobObject random_job(util::Rng& rng, const RandomJobOptions& options,
+                             const crypto::DistinguishedName& user) {
+  std::size_t counter = 0;
+  AbstractJobObject job = random_group(rng, options, 0, counter);
+  job.set_name("random-job");
+  std::function<void(AbstractJobObject&)> set_user =
+      [&](AbstractJobObject& node) {
+        node.user = user;
+        for (const auto& child : node.children())
+          if (child->is_job())
+            set_user(static_cast<AbstractJobObject&>(*child));
+      };
+  set_user(job);
+  job.renumber();
+  return job;
+}
+
+}  // namespace unicore::ajo

@@ -1,0 +1,29 @@
+// Random job-graph generator: produces structurally valid AJOs with
+// configurable size, nesting, and dependency density. Drives the codec
+// property tests and the serialization/scheduling benchmarks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ajo/job.h"
+#include "util/rng.h"
+
+namespace unicore::ajo {
+
+struct RandomJobOptions {
+  std::size_t tasks_per_group = 6;       // mean task count per job group
+  std::size_t max_depth = 2;             // nesting of sub-jobs
+  double subjob_probability = 0.25;      // chance a child is a sub-job
+  double dependency_density = 0.3;       // chance of an edge i -> j (i<j)
+  double file_edge_probability = 0.5;    // chance an edge carries files
+  std::size_t inline_import_bytes = 256; // workstation import payloads
+  std::vector<std::string> usites = {"FZ-Juelich"};
+  std::vector<std::string> vsites = {"T3E-600"};
+};
+
+/// Generates a random, validate()-clean job for `user`.
+AbstractJobObject random_job(util::Rng& rng, const RandomJobOptions& options,
+                             const crypto::DistinguishedName& user);
+
+}  // namespace unicore::ajo

@@ -1,0 +1,127 @@
+// AbstractJobObject — the recursive heart of the AJO (Figure 3, §3, §5.3).
+//
+// "The class AbstractJobObject contains the directed acyclic job graph
+//  representing the job components (AbstractTaskObject and
+//  AbstractJobObjects) together with their dependencies and information
+//  about the destination site (Vsite), the user, site specific security,
+//  and the user account group. The recursive structure of the AJO allows
+//  for the AJO to contain sub-AJOs (corresponding to job groups in a
+//  UNICORE job) which are intended for other execution systems."
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ajo/action.h"
+#include "crypto/x509.h"
+#include "util/result.h"
+
+namespace unicore::ajo {
+
+/// An edge of the job graph. "Each dependency can be augmented by the
+/// names of the files to be transferred from one to the other. UNICORE
+/// then guarantees that the specified data sets created by the
+/// predecessor are available to the successor." (§5.7)
+struct Dependency {
+  ActionId predecessor = 0;
+  ActionId successor = 0;
+  std::vector<std::string> files;  // Uspace names produced by predecessor
+
+  bool operator==(const Dependency&) const = default;
+};
+
+class AbstractJobObject final : public AbstractAction {
+ public:
+  AbstractJobObject() = default;
+  AbstractJobObject(const AbstractJobObject& other);
+  AbstractJobObject& operator=(const AbstractJobObject& other);
+  AbstractJobObject(AbstractJobObject&&) = default;
+  AbstractJobObject& operator=(AbstractJobObject&&) = default;
+
+  ActionType type() const override { return ActionType::kAbstractJobObject; }
+  bool is_job() const override { return true; }
+  std::unique_ptr<AbstractAction> clone() const override {
+    return std::make_unique<AbstractJobObject>(*this);
+  }
+  void encode_body(util::ByteWriter& w) const override;
+
+  // --- destination & identity ------------------------------------------
+  std::string usite;          // destination UNICORE site
+  std::string vsite;          // destination virtual site at that Usite
+  crypto::DistinguishedName user;  // the unique UNICORE user identification
+  std::string account_group;       // accounting group at the destination
+  std::string site_security_info;  // opaque site-specific security data
+
+  // --- children & dependency DAG ----------------------------------------
+  /// Adds a child action; assigns and returns its id (unique within this
+  /// job object's subtree root).
+  ActionId add(std::unique_ptr<AbstractAction> action);
+
+  /// Declares that `successor` must not start before `predecessor`
+  /// completed successfully, optionally carrying files across.
+  void add_dependency(ActionId predecessor, ActionId successor,
+                      std::vector<std::string> files = {});
+
+  const std::vector<std::unique_ptr<AbstractAction>>& children() const {
+    return children_;
+  }
+  const std::vector<Dependency>& dependencies() const { return dependencies_; }
+
+  /// Looks up a direct child by id (not recursive); nullptr if absent.
+  AbstractAction* find_child(ActionId id) const;
+
+  // --- structure queries -------------------------------------------------
+  /// Number of actions in the whole subtree, this job included.
+  std::size_t total_actions() const;
+  /// Deepest nesting of sub-jobs (a leaf-only job has depth 1).
+  std::size_t depth() const;
+  /// Applies fn to every action in the subtree (pre-order, this first).
+  void visit(const std::function<void(const AbstractAction&)>& fn) const;
+
+  /// Topological order of the direct children (dependency-respecting);
+  /// fails on cycles.
+  util::Result<std::vector<ActionId>> topological_order() const;
+
+  /// Structural validation of the whole subtree:
+  ///  - dependency endpoints exist and differ,
+  ///  - the dependency graph is acyclic,
+  ///  - ids are unique within this level,
+  ///  - TransferTask targets are sub-jobs of this level,
+  ///  - sub-jobs carry a destination Vsite (the root may leave its own
+  ///    destination empty only if all children are sub-jobs).
+  util::Status validate() const;
+
+  /// Reassigns fresh ids across the whole subtree (used by builders after
+  /// assembling from pieces). Returns the next unused id.
+  ActionId renumber(ActionId first = 1);
+
+ private:
+  std::vector<std::unique_ptr<AbstractAction>> children_;
+  std::vector<Dependency> dependencies_;
+  ActionId next_child_id_ = 1;
+};
+
+/// A root AJO signed by the user's credential — what actually crosses
+/// the wire to a gateway. The signature covers the canonical encoding,
+/// binding the job to the certificate that the gateway maps to a login.
+struct SignedAjo {
+  AbstractJobObject job;
+  crypto::Certificate user_certificate;
+  crypto::Signature signature;
+
+  util::Bytes encode() const;
+  static util::Result<SignedAjo> decode(util::ByteView wire);
+};
+
+/// Signs `job` with the user credential.
+SignedAjo sign_ajo(const AbstractJobObject& job,
+                   const crypto::Credential& user);
+
+/// Verifies the signature against the embedded certificate (chain
+/// validation against a trust store is the gateway's separate concern).
+bool verify_ajo_signature(const SignedAjo& signed_ajo);
+
+}  // namespace unicore::ajo

@@ -1,0 +1,68 @@
+// The AbstractService subtree of Figure 3: non-recursive requests for
+// job monitoring and control, spoken from the JMC to an NJS.
+#pragma once
+
+#include <string>
+
+#include "ajo/action.h"
+
+namespace unicore::ajo {
+
+/// Identifier a consigned root AJO receives at the NJS; services refer
+/// to jobs by it.
+using JobToken = std::uint64_t;
+
+/// Controls a previously consigned job.
+class ControlService final : public AbstractService {
+ public:
+  enum class Command : std::uint8_t {
+    kAbort = 0,    // kill queued/running parts, mark job aborted
+    kHold = 1,     // stop dispatching new parts
+    kRelease = 2,  // resume dispatching after hold
+    kDelete = 3,   // remove a finished job and its Uspace
+  };
+
+  Command command = Command::kAbort;
+  JobToken target = 0;
+
+  ActionType type() const override { return ActionType::kControlService; }
+  std::unique_ptr<AbstractAction> clone() const override {
+    return std::make_unique<ControlService>(*this);
+  }
+  void encode_body(util::ByteWriter& w) const override;
+};
+
+const char* control_command_name(ControlService::Command c);
+
+/// Lists the calling user's jobs known to the NJS.
+class ListService final : public AbstractService {
+ public:
+  ActionType type() const override { return ActionType::kListService; }
+  std::unique_ptr<AbstractAction> clone() const override {
+    return std::make_unique<ListService>(*this);
+  }
+  void encode_body(util::ByteWriter& w) const override;
+};
+
+/// Queries the status / outcome of one job, with a JMC-style level of
+/// detail (§5.7: "Depending on the chosen level of detail the status is
+/// displayed for job groups and/or tasks").
+class QueryService final : public AbstractService {
+ public:
+  enum class Detail : std::uint8_t {
+    kSummary = 0,   // root status only
+    kJobGroups = 1, // root + job-group statuses
+    kTasks = 2,     // full tree including task outcomes and output files
+  };
+
+  JobToken target = 0;
+  Detail detail = Detail::kTasks;
+
+  ActionType type() const override { return ActionType::kQueryService; }
+  std::unique_ptr<AbstractAction> clone() const override {
+    return std::make_unique<QueryService>(*this);
+  }
+  void encode_body(util::ByteWriter& w) const override;
+};
+
+}  // namespace unicore::ajo

@@ -1,0 +1,151 @@
+// Concrete task classes of the AJO hierarchy (Figure 3): the ExecuteTask
+// family (compile / link / user binary / script) and the FileTask family
+// (import / export / transfer) implementing the Uspace/Xspace data model
+// of §4 and §5.6.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ajo/action.h"
+
+namespace unicore::ajo {
+
+/// A location in a Vsite's external file space (Xspace): a named volume
+/// (filesystem) plus a path on it.
+struct XspaceRef {
+  std::string volume;
+  std::string path;
+
+  bool operator==(const XspaceRef&) const = default;
+  std::string to_string() const { return volume + ":" + path; }
+};
+
+// ---- ExecuteTask family -------------------------------------------------
+
+/// Common base of everything that runs on the destination system's batch
+/// subsystem.
+class ExecuteTask : public AbstractTaskObject {
+ public:
+  std::vector<std::string> arguments;
+  std::map<std::string, std::string> environment;
+  TaskBehavior behavior;
+
+ protected:
+  void encode_execute_fields(util::ByteWriter& w) const;
+};
+
+/// Compiles one source file in the Uspace into an object file. "At this
+/// point in time the compile is implemented for F90." (§5.7)
+class CompileTask final : public ExecuteTask {
+ public:
+  std::string source_file;             // Uspace name of the source
+  std::string object_file;             // Uspace name of the result
+  std::string language = "F90";
+  std::vector<std::string> compiler_flags;
+
+  ActionType type() const override { return ActionType::kCompileTask; }
+  std::unique_ptr<AbstractAction> clone() const override {
+    return std::make_unique<CompileTask>(*this);
+  }
+  void encode_body(util::ByteWriter& w) const override;
+};
+
+/// Links object files (plus site libraries) into an executable.
+class LinkTask final : public ExecuteTask {
+ public:
+  std::vector<std::string> object_files;  // Uspace names
+  std::string executable;                 // Uspace name of the result
+  std::vector<std::string> libraries;     // site software catalogue names
+
+  ActionType type() const override { return ActionType::kLinkTask; }
+  std::unique_ptr<AbstractAction> clone() const override {
+    return std::make_unique<LinkTask>(*this);
+  }
+  void encode_body(util::ByteWriter& w) const override;
+};
+
+/// Runs an executable already present in the Uspace (either imported or
+/// produced by a LinkTask).
+class UserTask final : public ExecuteTask {
+ public:
+  std::string executable;  // Uspace name
+
+  ActionType type() const override { return ActionType::kUserTask; }
+  std::unique_ptr<AbstractAction> clone() const override {
+    return std::make_unique<UserTask>(*this);
+  }
+  void encode_body(util::ByteWriter& w) const override;
+};
+
+/// Runs a user-supplied script — the vehicle for "existing batch
+/// applications" (§5.7).
+class ExecuteScriptTask final : public ExecuteTask {
+ public:
+  std::string script;              // script text, shipped inside the AJO
+  std::string interpreter = "sh";
+
+  ActionType type() const override { return ActionType::kExecuteScriptTask; }
+  std::unique_ptr<AbstractAction> clone() const override {
+    return std::make_unique<ExecuteScriptTask>(*this);
+  }
+  void encode_body(util::ByteWriter& w) const override;
+};
+
+// ---- FileTask family ------------------------------------------------------
+
+/// Base of the data-staging tasks. The data model distinguishes data
+/// inside UNICORE (Uspace) from data outside (Xspace, user workstation);
+/// every boundary crossing is an explicit task (§5.6).
+class FileTask : public AbstractTaskObject {};
+
+/// Brings data into the job's Uspace. Two sources, as in the paper:
+/// the user's workstation (file content travels inside the AJO over the
+/// https connection) or a UNIX filesystem at the Vsite (local copy).
+class ImportTask final : public FileTask {
+ public:
+  enum class Source : std::uint8_t { kUserWorkstation = 0, kXspace = 1 };
+
+  Source source = Source::kUserWorkstation;
+  util::Bytes inline_content;  // workstation imports: payload in the AJO
+  XspaceRef xspace_source;     // xspace imports: where to copy from
+  std::string uspace_name;     // destination name in the Uspace
+
+  ActionType type() const override { return ActionType::kImportTask; }
+  std::unique_ptr<AbstractAction> clone() const override {
+    return std::make_unique<ImportTask>(*this);
+  }
+  void encode_body(util::ByteWriter& w) const override;
+};
+
+/// Puts a Uspace file onto permanent file space at the Vsite (Xspace).
+class ExportTask final : public FileTask {
+ public:
+  std::string uspace_name;
+  XspaceRef destination;
+
+  ActionType type() const override { return ActionType::kExportTask; }
+  std::unique_ptr<AbstractAction> clone() const override {
+    return std::make_unique<ExportTask>(*this);
+  }
+  void encode_body(util::ByteWriter& w) const override;
+};
+
+/// Moves a Uspace file to the Uspace of another job group — possibly at
+/// a different Usite, in which case the transfer runs over NJS–NJS
+/// communication via the gateways (§5.6).
+class TransferTask final : public FileTask {
+ public:
+  std::string uspace_name;   // file in this job's Uspace
+  ActionId target_job = 0;   // id of the sub-AJO whose Uspace receives it
+  std::string rename_to;     // optional new name (empty keeps the name)
+
+  ActionType type() const override { return ActionType::kTransferTask; }
+  std::unique_ptr<AbstractAction> clone() const override {
+    return std::make_unique<TransferTask>(*this);
+  }
+  void encode_body(util::ByteWriter& w) const override;
+};
+
+}  // namespace unicore::ajo

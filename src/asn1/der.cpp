@@ -1,0 +1,417 @@
+#include "asn1/der.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace unicore::asn1 {
+
+using util::ByteView;
+using util::Bytes;
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+
+std::string Oid::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < arcs.size(); ++i) {
+    if (i) out.push_back('.');
+    out += std::to_string(arcs[i]);
+  }
+  return out;
+}
+
+// ---- constructors ----------------------------------------------------
+
+Value Value::boolean(bool v) {
+  Value out;
+  out.data_ = v;
+  return out;
+}
+Value Value::integer(std::int64_t v) {
+  Value out;
+  out.data_ = v;
+  return out;
+}
+Value Value::octet_string(Bytes v) {
+  Value out;
+  out.data_ = std::move(v);
+  return out;
+}
+Value Value::null() {
+  Value out;
+  out.data_ = Null{};
+  return out;
+}
+Value Value::oid(Oid v) {
+  Value out;
+  out.data_ = std::move(v);
+  return out;
+}
+Value Value::utf8(std::string v) {
+  Value out;
+  out.data_ = std::move(v);
+  return out;
+}
+Value Value::utc_time(std::int64_t seconds) {
+  Value out;
+  out.data_ = UtcTime{seconds};
+  return out;
+}
+Value Value::sequence(ValueList items) {
+  Value out;
+  out.data_ = Constructed{Tag::kSequence, std::move(items)};
+  return out;
+}
+Value Value::set(ValueList items) {
+  Value out;
+  out.data_ = Constructed{Tag::kSet, std::move(items)};
+  return out;
+}
+
+Tag Value::tag() const {
+  if (is_boolean()) return Tag::kBoolean;
+  if (is_integer()) return Tag::kInteger;
+  if (is_octet_string()) return Tag::kOctetString;
+  if (is_null()) return Tag::kNull;
+  if (is_oid()) return Tag::kOid;
+  if (is_utf8()) return Tag::kUtf8String;
+  if (is_utc_time()) return Tag::kUtcTime;
+  return std::get<Constructed>(data_).tag;
+}
+
+bool Value::is_boolean() const { return std::holds_alternative<bool>(data_); }
+bool Value::is_integer() const {
+  return std::holds_alternative<std::int64_t>(data_);
+}
+bool Value::is_octet_string() const {
+  return std::holds_alternative<Bytes>(data_);
+}
+bool Value::is_null() const { return std::holds_alternative<Null>(data_); }
+bool Value::is_oid() const { return std::holds_alternative<Oid>(data_); }
+bool Value::is_utf8() const {
+  return std::holds_alternative<std::string>(data_);
+}
+bool Value::is_utc_time() const {
+  return std::holds_alternative<UtcTime>(data_);
+}
+bool Value::is_sequence() const {
+  return std::holds_alternative<Constructed>(data_) &&
+         std::get<Constructed>(data_).tag == Tag::kSequence;
+}
+bool Value::is_set() const {
+  return std::holds_alternative<Constructed>(data_) &&
+         std::get<Constructed>(data_).tag == Tag::kSet;
+}
+
+namespace {
+[[noreturn]] void type_error(const char* expected) {
+  throw std::runtime_error(std::string("asn1: value is not a ") + expected);
+}
+}  // namespace
+
+bool Value::as_boolean() const {
+  if (!is_boolean()) type_error("BOOLEAN");
+  return std::get<bool>(data_);
+}
+std::int64_t Value::as_integer() const {
+  if (!is_integer()) type_error("INTEGER");
+  return std::get<std::int64_t>(data_);
+}
+const Bytes& Value::as_octet_string() const {
+  if (!is_octet_string()) type_error("OCTET STRING");
+  return std::get<Bytes>(data_);
+}
+const Oid& Value::as_oid() const {
+  if (!is_oid()) type_error("OBJECT IDENTIFIER");
+  return std::get<Oid>(data_);
+}
+const std::string& Value::as_utf8() const {
+  if (!is_utf8()) type_error("UTF8String");
+  return std::get<std::string>(data_);
+}
+std::int64_t Value::as_utc_time() const {
+  if (!is_utc_time()) type_error("UTCTime");
+  return std::get<UtcTime>(data_).seconds_since_epoch;
+}
+const ValueList& Value::as_sequence() const {
+  if (!is_sequence()) type_error("SEQUENCE");
+  return std::get<Constructed>(data_).items;
+}
+const ValueList& Value::as_set() const {
+  if (!is_set()) type_error("SET");
+  return std::get<Constructed>(data_).items;
+}
+
+// ---- encoding ---------------------------------------------------------
+
+namespace {
+
+void encode_length(Bytes& out, std::size_t len) {
+  if (len < 0x80) {
+    out.push_back(static_cast<std::uint8_t>(len));
+    return;
+  }
+  // Long form: 0x80 | number-of-length-bytes, then big-endian length.
+  Bytes digits;
+  while (len > 0) {
+    digits.push_back(static_cast<std::uint8_t>(len & 0xff));
+    len >>= 8;
+  }
+  out.push_back(static_cast<std::uint8_t>(0x80 | digits.size()));
+  out.insert(out.end(), digits.rbegin(), digits.rend());
+}
+
+void encode_tlv(Bytes& out, Tag tag, ByteView content) {
+  out.push_back(static_cast<std::uint8_t>(tag));
+  encode_length(out, content.size());
+  util::append(out, content);
+}
+
+Bytes encode_integer_content(std::int64_t v) {
+  // Minimal two's-complement big-endian representation.
+  Bytes digits;
+  bool negative = v < 0;
+  auto u = static_cast<std::uint64_t>(v);
+  for (int i = 0; i < 8; ++i) {
+    digits.push_back(static_cast<std::uint8_t>(u & 0xff));
+    u >>= 8;
+  }
+  std::reverse(digits.begin(), digits.end());
+  // Strip redundant leading bytes while preserving the sign bit.
+  std::size_t start = 0;
+  while (start + 1 < digits.size()) {
+    std::uint8_t first = digits[start];
+    std::uint8_t second = digits[start + 1];
+    if (!negative && first == 0x00 && (second & 0x80) == 0)
+      ++start;
+    else if (negative && first == 0xff && (second & 0x80) != 0)
+      ++start;
+    else
+      break;
+  }
+  return Bytes(digits.begin() + static_cast<std::ptrdiff_t>(start),
+               digits.end());
+}
+
+Bytes encode_oid_content(const Oid& oid) {
+  if (oid.arcs.size() < 2)
+    throw std::runtime_error("asn1: OID needs at least two arcs");
+  Bytes out;
+  out.push_back(static_cast<std::uint8_t>(oid.arcs[0] * 40 + oid.arcs[1]));
+  for (std::size_t i = 2; i < oid.arcs.size(); ++i) {
+    std::uint32_t arc = oid.arcs[i];
+    Bytes groups;
+    groups.push_back(static_cast<std::uint8_t>(arc & 0x7f));
+    arc >>= 7;
+    while (arc > 0) {
+      groups.push_back(static_cast<std::uint8_t>(0x80 | (arc & 0x7f)));
+      arc >>= 7;
+    }
+    out.insert(out.end(), groups.rbegin(), groups.rend());
+  }
+  return out;
+}
+
+void encode_value(Bytes& out, const Value& value);
+
+void encode_constructed(Bytes& out, Tag tag, const ValueList& items) {
+  Bytes content;
+  for (const Value& item : items) encode_value(content, item);
+  encode_tlv(out, tag, content);
+}
+
+void encode_value(Bytes& out, const Value& value) {
+  if (value.is_boolean()) {
+    Bytes content{value.as_boolean() ? std::uint8_t{0xff} : std::uint8_t{0x00}};
+    encode_tlv(out, Tag::kBoolean, content);
+  } else if (value.is_integer()) {
+    encode_tlv(out, Tag::kInteger, encode_integer_content(value.as_integer()));
+  } else if (value.is_octet_string()) {
+    encode_tlv(out, Tag::kOctetString, value.as_octet_string());
+  } else if (value.is_null()) {
+    encode_tlv(out, Tag::kNull, {});
+  } else if (value.is_oid()) {
+    encode_tlv(out, Tag::kOid, encode_oid_content(value.as_oid()));
+  } else if (value.is_utf8()) {
+    encode_tlv(out, Tag::kUtf8String, util::to_bytes(value.as_utf8()));
+  } else if (value.is_utc_time()) {
+    // Stored as a minimal INTEGER content inside the UTCTime TLV; the
+    // textual YYMMDDhhmmssZ form is irrelevant to this reproduction.
+    encode_tlv(out, Tag::kUtcTime, encode_integer_content(value.as_utc_time()));
+  } else if (value.is_sequence()) {
+    encode_constructed(out, Tag::kSequence, value.as_sequence());
+  } else {
+    encode_constructed(out, Tag::kSet, value.as_set());
+  }
+}
+
+}  // namespace
+
+Bytes encode(const Value& value) {
+  Bytes out;
+  encode_value(out, value);
+  return out;
+}
+
+// ---- decoding ---------------------------------------------------------
+
+namespace {
+
+struct Decoder {
+  ByteView data;
+  std::size_t pos = 0;
+
+  Error truncated() const {
+    return util::make_error(ErrorCode::kInvalidArgument,
+                            "asn1: truncated DER input");
+  }
+
+  Result<std::uint8_t> byte() {
+    if (pos >= data.size()) return truncated();
+    return data[pos++];
+  }
+
+  Result<std::size_t> length() {
+    auto first = byte();
+    if (!first) return first.error();
+    if ((*&first.value() & 0x80) == 0) return std::size_t{first.value()};
+    std::size_t count = first.value() & 0x7f;
+    if (count == 0 || count > sizeof(std::size_t))
+      return util::make_error(ErrorCode::kInvalidArgument,
+                              "asn1: unsupported length encoding");
+    std::size_t len = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      auto b = byte();
+      if (!b) return b.error();
+      len = len << 8 | b.value();
+    }
+    if (len < 0x80)
+      return util::make_error(ErrorCode::kInvalidArgument,
+                              "asn1: non-minimal length (not DER)");
+    return len;
+  }
+
+  Result<ByteView> content(std::size_t len) {
+    if (data.size() - pos < len) return truncated();
+    ByteView view = data.subspan(pos, len);
+    pos += len;
+    return view;
+  }
+
+  Result<Value> value();
+};
+
+Result<std::int64_t> decode_integer_content(ByteView content) {
+  if (content.empty())
+    return util::make_error(ErrorCode::kInvalidArgument,
+                            "asn1: empty INTEGER");
+  if (content.size() > 8)
+    return util::make_error(ErrorCode::kInvalidArgument,
+                            "asn1: INTEGER exceeds 64 bits");
+  // Sign-extend from the first content byte.
+  std::uint64_t v = (content[0] & 0x80) ? ~std::uint64_t{0} : 0;
+  for (std::uint8_t byte : content) v = v << 8 | byte;
+  return static_cast<std::int64_t>(v);
+}
+
+Result<Oid> decode_oid_content(ByteView content) {
+  if (content.empty())
+    return util::make_error(ErrorCode::kInvalidArgument, "asn1: empty OID");
+  Oid oid;
+  oid.arcs.push_back(content[0] / 40);
+  oid.arcs.push_back(content[0] % 40);
+  std::uint32_t arc = 0;
+  bool in_arc = false;
+  for (std::size_t i = 1; i < content.size(); ++i) {
+    arc = arc << 7 | (content[i] & 0x7f);
+    in_arc = true;
+    if ((content[i] & 0x80) == 0) {
+      oid.arcs.push_back(arc);
+      arc = 0;
+      in_arc = false;
+    }
+  }
+  if (in_arc)
+    return util::make_error(ErrorCode::kInvalidArgument,
+                            "asn1: truncated OID arc");
+  return oid;
+}
+
+Result<Value> Decoder::value() {
+  auto tag_byte = byte();
+  if (!tag_byte) return tag_byte.error();
+  auto len = length();
+  if (!len) return len.error();
+  auto body = content(len.value());
+  if (!body) return body.error();
+  ByteView c = body.value();
+
+  switch (static_cast<Tag>(tag_byte.value())) {
+    case Tag::kBoolean:
+      if (c.size() != 1 || (c[0] != 0x00 && c[0] != 0xff))
+        return util::make_error(ErrorCode::kInvalidArgument,
+                                "asn1: non-DER BOOLEAN");
+      return Value::boolean(c[0] == 0xff);
+    case Tag::kInteger: {
+      auto v = decode_integer_content(c);
+      if (!v) return v.error();
+      return Value::integer(v.value());
+    }
+    case Tag::kOctetString:
+      return Value::octet_string(Bytes(c.begin(), c.end()));
+    case Tag::kNull:
+      if (!c.empty())
+        return util::make_error(ErrorCode::kInvalidArgument,
+                                "asn1: NULL with content");
+      return Value::null();
+    case Tag::kOid: {
+      auto v = decode_oid_content(c);
+      if (!v) return v.error();
+      return Value::oid(std::move(v.value()));
+    }
+    case Tag::kUtf8String:
+      return Value::utf8(util::to_string(c));
+    case Tag::kUtcTime: {
+      auto v = decode_integer_content(c);
+      if (!v) return v.error();
+      return Value::utc_time(v.value());
+    }
+    case Tag::kSequence:
+    case Tag::kSet: {
+      Decoder inner{c};
+      ValueList items;
+      while (inner.pos < inner.data.size()) {
+        auto item = inner.value();
+        if (!item) return item.error();
+        items.push_back(std::move(item.value()));
+      }
+      return static_cast<Tag>(tag_byte.value()) == Tag::kSequence
+                 ? Value::sequence(std::move(items))
+                 : Value::set(std::move(items));
+    }
+  }
+  return util::make_error(ErrorCode::kInvalidArgument,
+                          "asn1: unsupported tag " +
+                              std::to_string(tag_byte.value()));
+}
+
+}  // namespace
+
+Result<Value> decode_prefix(ByteView der, std::size_t& consumed) {
+  Decoder d{der};
+  auto v = d.value();
+  if (v) consumed = d.pos;
+  return v;
+}
+
+Result<Value> decode(ByteView der) {
+  std::size_t consumed = 0;
+  auto v = decode_prefix(der, consumed);
+  if (!v) return v;
+  if (consumed != der.size())
+    return util::make_error(ErrorCode::kInvalidArgument,
+                            "asn1: trailing bytes after DER value");
+  return v;
+}
+
+}  // namespace unicore::asn1

@@ -1,0 +1,116 @@
+// A DER (Distinguished Encoding Rules) subset.
+//
+// The paper stores per-Vsite resource pages "in ASN1 format" (§5.4) and
+// builds its security architecture on X.509 certificates, whose native
+// encoding is DER. This module implements the value model and the
+// definite-length DER encoding for the universal types those two users
+// need: BOOLEAN, INTEGER, OCTET STRING, NULL, OBJECT IDENTIFIER,
+// UTF8String, UTCTime (as seconds since epoch), SEQUENCE and SET.
+//
+// Encoding is canonical: a value always encodes to exactly one byte
+// string, so encodings can be signed and compared directly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace unicore::asn1 {
+
+/// DER universal tag numbers (subset).
+enum class Tag : std::uint8_t {
+  kBoolean = 0x01,
+  kInteger = 0x02,
+  kOctetString = 0x04,
+  kNull = 0x05,
+  kOid = 0x06,
+  kUtf8String = 0x0c,
+  kUtcTime = 0x17,
+  kSequence = 0x30,  // constructed
+  kSet = 0x31,       // constructed
+};
+
+class Value;
+using ValueList = std::vector<Value>;
+
+/// Object identifier as its arc numbers, e.g. {2,5,4,3} = id-at-commonName.
+struct Oid {
+  std::vector<std::uint32_t> arcs;
+  bool operator==(const Oid&) const = default;
+  std::string to_string() const;  // dotted form "2.5.4.3"
+};
+
+/// A parsed or to-be-encoded ASN.1 value.
+class Value {
+ public:
+  struct Null {
+    bool operator==(const Null&) const = default;
+  };
+  struct UtcTime {
+    std::int64_t seconds_since_epoch = 0;
+    bool operator==(const UtcTime&) const = default;
+  };
+
+  // Constructors for each supported universal type.
+  static Value boolean(bool v);
+  static Value integer(std::int64_t v);
+  static Value octet_string(util::Bytes v);
+  static Value null();
+  static Value oid(Oid v);
+  static Value utf8(std::string v);
+  static Value utc_time(std::int64_t seconds_since_epoch);
+  static Value sequence(ValueList items);
+  static Value set(ValueList items);
+
+  Tag tag() const;
+
+  bool is_boolean() const;
+  bool is_integer() const;
+  bool is_octet_string() const;
+  bool is_null() const;
+  bool is_oid() const;
+  bool is_utf8() const;
+  bool is_utc_time() const;
+  bool is_sequence() const;
+  bool is_set() const;
+
+  // Checked accessors; throw std::runtime_error on type mismatch so that
+  // malformed certificates / resource pages fail loudly.
+  bool as_boolean() const;
+  std::int64_t as_integer() const;
+  const util::Bytes& as_octet_string() const;
+  const Oid& as_oid() const;
+  const std::string& as_utf8() const;
+  std::int64_t as_utc_time() const;
+  const ValueList& as_sequence() const;
+  const ValueList& as_set() const;
+
+  bool operator==(const Value&) const = default;
+
+ private:
+  struct Constructed {
+    Tag tag;
+    ValueList items;
+    bool operator==(const Constructed&) const = default;
+  };
+
+  std::variant<bool, std::int64_t, util::Bytes, Null, Oid, std::string,
+               UtcTime, Constructed>
+      data_;
+};
+
+/// Encodes a value to canonical DER.
+util::Bytes encode(const Value& value);
+
+/// Decodes exactly one DER value occupying the whole input.
+util::Result<Value> decode(util::ByteView der);
+
+/// Decodes one DER value from the front of `der`, reporting its size.
+util::Result<Value> decode_prefix(util::ByteView der, std::size_t& consumed);
+
+}  // namespace unicore::asn1

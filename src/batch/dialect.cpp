@@ -1,0 +1,245 @@
+#include "batch/dialect.h"
+
+#include <charconv>
+#include <sstream>
+
+namespace unicore::batch {
+
+using resources::Architecture;
+using util::ErrorCode;
+using util::Result;
+
+namespace {
+
+std::string hhmmss(std::int64_t seconds) {
+  std::int64_t h = seconds / 3600;
+  std::int64_t m = (seconds % 3600) / 60;
+  std::int64_t s = seconds % 60;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%02lld:%02lld:%02lld",
+                static_cast<long long>(h), static_cast<long long>(m),
+                static_cast<long long>(s));
+  return buf;
+}
+
+Result<std::int64_t> parse_hhmmss(const std::string& text) {
+  std::int64_t h = 0, m = 0, s = 0;
+  if (std::sscanf(text.c_str(), "%lld:%lld:%lld",
+                  reinterpret_cast<long long*>(&h),
+                  reinterpret_cast<long long*>(&m),
+                  reinterpret_cast<long long*>(&s)) != 3)
+    return util::make_error(ErrorCode::kInvalidArgument,
+                            "dialect: bad hh:mm:ss value: " + text);
+  return h * 3600 + m * 60 + s;
+}
+
+Result<std::int64_t> parse_int(const std::string& text) {
+  std::int64_t value = 0;
+  auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size())
+    return util::make_error(ErrorCode::kInvalidArgument,
+                            "dialect: bad integer value: " + text);
+  return value;
+}
+
+/// Strips a trailing "mb" unit (all dialects here render memory as
+/// "<n>mb").
+Result<std::int64_t> parse_mb(std::string text) {
+  if (text.size() > 2 && text.substr(text.size() - 2) == "mb")
+    text.resize(text.size() - 2);
+  return parse_int(text);
+}
+
+std::vector<std::string> split_lines(const std::string& script) {
+  std::vector<std::string> lines;
+  std::istringstream in(script);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+// ---- NQS-style dialects (Cray NQE, Fujitsu NQS, NEC NQS, generic) ----
+
+struct NqsKeywords {
+  const char* sentinel;  // "#QSUB " / "#@$"
+  const char* queue;     // "-q "
+  const char* account;
+  const char* time;
+  const char* memory;
+  const char* processors;
+  const char* job_name;
+};
+
+std::string render_nqs(const NqsKeywords& kw, const BatchRequest& r) {
+  std::ostringstream out;
+  out << "#!/bin/sh\n";
+  out << kw.sentinel << kw.queue << r.queue << "\n";
+  if (!r.account.empty())
+    out << kw.sentinel << kw.account << r.account << "\n";
+  out << kw.sentinel << kw.time << r.wallclock_seconds << "\n";
+  out << kw.sentinel << kw.memory << r.memory_mb << "mb\n";
+  out << kw.sentinel << kw.processors << r.processors << "\n";
+  out << kw.sentinel << kw.job_name << r.job_name << "\n";
+  return out.str();
+}
+
+Result<BatchRequest> parse_nqs(const NqsKeywords& kw,
+                               const std::string& script) {
+  BatchRequest request;
+  std::string sentinel = kw.sentinel;
+  for (const std::string& line : split_lines(script)) {
+    if (line.rfind(sentinel, 0) != 0) continue;
+    std::string body = line.substr(sentinel.size());
+    auto match = [&body](const char* keyword,
+                         std::string& value_out) -> bool {
+      std::string key = keyword;
+      if (body.rfind(key, 0) != 0) return false;
+      value_out = body.substr(key.size());
+      return true;
+    };
+    std::string value;
+    if (match(kw.queue, value)) {
+      request.queue = value;
+    } else if (match(kw.account, value)) {
+      request.account = value;
+    } else if (match(kw.time, value)) {
+      auto v = parse_int(value);
+      if (!v) return v.error();
+      request.wallclock_seconds = v.value();
+    } else if (match(kw.memory, value)) {
+      auto v = parse_mb(value);
+      if (!v) return v.error();
+      request.memory_mb = v.value();
+    } else if (match(kw.processors, value)) {
+      auto v = parse_int(value);
+      if (!v) return v.error();
+      request.processors = v.value();
+    } else if (match(kw.job_name, value)) {
+      request.job_name = value;
+    } else {
+      return util::make_error(ErrorCode::kInvalidArgument,
+                              "dialect: unknown directive: " + line);
+    }
+  }
+  return request;
+}
+
+constexpr NqsKeywords kCrayNqe{"#QSUB ", "-q ",  "-A ", "-lT ",
+                               "-lM ",   "-l mpp_p=", "-r "};
+constexpr NqsKeywords kFujitsuNqs{"#@$", "-q ", "-g ", "-lT ",
+                                  "-lM ", "-lP ", "-r "};
+constexpr NqsKeywords kNecNqs{"#@$", "-q ", "-g ", "-lT ",
+                              "-lM ", "-lp ", "-r "};
+constexpr NqsKeywords kGenericPbs{"#PBS ", "-q ", "-A ", "-l walltime=",
+                                  "-l mem=", "-l ncpus=", "-N "};
+
+// ---- LoadLeveler (IBM SP-2) ------------------------------------------
+
+std::string render_loadleveler(const BatchRequest& r) {
+  std::ostringstream out;
+  out << "#!/bin/sh\n";
+  out << "#@ job_name = " << r.job_name << "\n";
+  out << "#@ class = " << r.queue << "\n";
+  if (!r.account.empty()) out << "#@ account_no = " << r.account << "\n";
+  out << "#@ wall_clock_limit = " << hhmmss(r.wallclock_seconds) << "\n";
+  out << "#@ min_processors = " << r.processors << "\n";
+  out << "#@ max_processors = " << r.processors << "\n";
+  out << "#@ requirements = (Memory >= " << r.memory_mb << ")\n";
+  out << "#@ queue\n";
+  return out.str();
+}
+
+Result<BatchRequest> parse_loadleveler(const std::string& script) {
+  BatchRequest request;
+  for (const std::string& line : split_lines(script)) {
+    if (line.rfind("#@", 0) != 0) continue;
+    std::string body = line.substr(2);
+    // Trim leading blanks.
+    while (!body.empty() && body.front() == ' ') body.erase(body.begin());
+    if (body == "queue") break;  // end of LoadLeveler job step
+    auto eq = body.find(" = ");
+    if (eq == std::string::npos)
+      return util::make_error(ErrorCode::kInvalidArgument,
+                              "dialect: malformed LoadLeveler line: " + line);
+    std::string key = body.substr(0, eq);
+    std::string value = body.substr(eq + 3);
+    if (key == "job_name") {
+      request.job_name = value;
+    } else if (key == "class") {
+      request.queue = value;
+    } else if (key == "account_no") {
+      request.account = value;
+    } else if (key == "wall_clock_limit") {
+      auto v = parse_hhmmss(value);
+      if (!v) return v.error();
+      request.wallclock_seconds = v.value();
+    } else if (key == "min_processors" || key == "max_processors") {
+      auto v = parse_int(value);
+      if (!v) return v.error();
+      request.processors = v.value();
+    } else if (key == "requirements") {
+      std::int64_t mem = 0;
+      if (std::sscanf(value.c_str(), "(Memory >= %lld)",
+                      reinterpret_cast<long long*>(&mem)) != 1)
+        return util::make_error(ErrorCode::kInvalidArgument,
+                                "dialect: bad requirements: " + value);
+      request.memory_mb = mem;
+    } else {
+      return util::make_error(ErrorCode::kInvalidArgument,
+                              "dialect: unknown LoadLeveler keyword: " + key);
+    }
+  }
+  return request;
+}
+
+}  // namespace
+
+std::string render_directives(Architecture architecture,
+                              const BatchRequest& request) {
+  switch (architecture) {
+    case Architecture::kCrayT3E: return render_nqs(kCrayNqe, request);
+    case Architecture::kFujitsuVpp700: return render_nqs(kFujitsuNqs, request);
+    case Architecture::kIbmSp2: return render_loadleveler(request);
+    case Architecture::kNecSx4: return render_nqs(kNecNqs, request);
+    case Architecture::kGenericUnix: return render_nqs(kGenericPbs, request);
+  }
+  return "";
+}
+
+Result<BatchRequest> parse_directives(Architecture architecture,
+                                      const std::string& script) {
+  switch (architecture) {
+    case Architecture::kCrayT3E: return parse_nqs(kCrayNqe, script);
+    case Architecture::kFujitsuVpp700: return parse_nqs(kFujitsuNqs, script);
+    case Architecture::kIbmSp2: return parse_loadleveler(script);
+    case Architecture::kNecSx4: return parse_nqs(kNecNqs, script);
+    case Architecture::kGenericUnix: return parse_nqs(kGenericPbs, script);
+  }
+  return util::make_error(ErrorCode::kInvalidArgument,
+                          "dialect: unknown architecture");
+}
+
+const char* dialect_sentinel(Architecture architecture) {
+  switch (architecture) {
+    case Architecture::kCrayT3E: return "#QSUB";
+    case Architecture::kFujitsuVpp700: return "#@$";
+    case Architecture::kIbmSp2: return "#@";
+    case Architecture::kNecSx4: return "#@$";
+    case Architecture::kGenericUnix: return "#PBS";
+  }
+  return "#";
+}
+
+const char* dialect_name(Architecture architecture) {
+  switch (architecture) {
+    case Architecture::kCrayT3E: return "NQE";
+    case Architecture::kFujitsuVpp700: return "NQS/VPP";
+    case Architecture::kIbmSp2: return "LoadLeveler";
+    case Architecture::kNecSx4: return "NQS/SX";
+    case Architecture::kGenericUnix: return "PBS";
+  }
+  return "?";
+}
+
+}  // namespace unicore::batch

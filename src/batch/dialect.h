@@ -1,0 +1,50 @@
+// Vendor batch-script dialects.
+//
+// The NJS "translate[s] the abstract specifications into the local
+// system specific nomenclature using translation tables" (§5.5). Each
+// 1999 target family spoke a different directive language: NQE/NQS on
+// the Cray T3E, NQS variants on the Fujitsu VPP and NEC SX, LoadLeveler
+// on the IBM SP-2. This module defines those dialects: how a resource
+// request renders into script directives, and the inverse parser the
+// batch subsystem uses to validate an incoming script against its
+// limits (a real batch system rejects scripts with bad directives too).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "resources/resource_page.h"
+#include "util/result.h"
+
+namespace unicore::batch {
+
+/// Directive-relevant part of a batch submission.
+struct BatchRequest {
+  std::string queue = "default";
+  std::string account;  // account group, from the AJO
+  std::int64_t processors = 1;
+  std::int64_t wallclock_seconds = 300;
+  std::int64_t memory_mb = 64;
+  std::string job_name = "unicore-job";
+
+  bool operator==(const BatchRequest&) const = default;
+};
+
+/// Renders the directive preamble for `architecture` (without the
+/// payload commands that follow it).
+std::string render_directives(resources::Architecture architecture,
+                              const BatchRequest& request);
+
+/// Parses the directive preamble of a script back into a BatchRequest.
+/// Fails on unknown sentinels or malformed directives — the simulated
+/// batch system's front-end validation.
+util::Result<BatchRequest> parse_directives(
+    resources::Architecture architecture, const std::string& script);
+
+/// The comment sentinel each dialect uses ("#QSUB", "#@", "#@$", "#@$").
+const char* dialect_sentinel(resources::Architecture architecture);
+
+/// Human name of the batch product ("NQE", "LoadLeveler", ...).
+const char* dialect_name(resources::Architecture architecture);
+
+}  // namespace unicore::batch

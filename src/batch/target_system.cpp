@@ -1,0 +1,59 @@
+#include "batch/target_system.h"
+
+namespace unicore::batch {
+
+SystemConfig make_cray_t3e(std::string vsite, std::int64_t nodes) {
+  SystemConfig config;
+  config.vsite = std::move(vsite);
+  config.architecture = resources::Architecture::kCrayT3E;
+  config.operating_system = "UNICOS/mk";
+  config.nodes = nodes;  // T3E: one PE per node
+  config.processors_per_node = 1;
+  config.gflops_per_processor = 0.6;  // DEC Alpha EV5 @ 300 MHz
+  config.memory_mb_per_node = 128;
+  config.queues = {{"prod", nodes, 43'200, nodes * 128},
+                   {"devel", 64, 3'600, 64 * 128}};
+  return config;
+}
+
+SystemConfig make_fujitsu_vpp700(std::string vsite, std::int64_t nodes) {
+  SystemConfig config;
+  config.vsite = std::move(vsite);
+  config.architecture = resources::Architecture::kFujitsuVpp700;
+  config.operating_system = "UXP/V";
+  config.nodes = nodes;  // vector PEs
+  config.processors_per_node = 1;
+  config.gflops_per_processor = 2.2;  // vector unit peak
+  config.memory_mb_per_node = 2'048;
+  config.queues = {{"vpp", nodes, 86'400, nodes * 2'048}};
+  return config;
+}
+
+SystemConfig make_ibm_sp2(std::string vsite, std::int64_t nodes) {
+  SystemConfig config;
+  config.vsite = std::move(vsite);
+  config.architecture = resources::Architecture::kIbmSp2;
+  config.operating_system = "AIX";
+  config.nodes = nodes;
+  config.processors_per_node = 1;  // thin nodes
+  config.gflops_per_processor = 0.48;  // POWER2 @ 120 MHz
+  config.memory_mb_per_node = 256;
+  config.queues = {{"parallel", nodes, 43'200, nodes * 256},
+                   {"serial", 1, 86'400, 256}};
+  return config;
+}
+
+SystemConfig make_nec_sx4(std::string vsite, std::int64_t nodes) {
+  SystemConfig config;
+  config.vsite = std::move(vsite);
+  config.architecture = resources::Architecture::kNecSx4;
+  config.operating_system = "SUPER-UX";
+  config.nodes = nodes;
+  config.processors_per_node = 32;
+  config.gflops_per_processor = 2.0;
+  config.memory_mb_per_node = 8'192;
+  config.queues = {{"sx", nodes * 32, 86'400, nodes * 8'192}};
+  return config;
+}
+
+}  // namespace unicore::batch

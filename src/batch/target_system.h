@@ -1,0 +1,56 @@
+// Descriptors of the destination systems (tier 3). The 1999 deployment
+// (§5.7) covered Cray T3E, Fujitsu VPP/700, IBM SP-2 and NEC SX-4; the
+// SystemConfig captures what the NJS and the batch simulator need to
+// know about such a machine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "resources/resource_page.h"
+
+namespace unicore::batch {
+
+/// One batch queue with its admission limits — mirrors the per-queue
+/// limits a site publishes on its resource page (§5.4).
+struct QueueConfig {
+  std::string name = "default";
+  std::int64_t max_processors = 64;
+  std::int64_t max_wallclock_seconds = 86'400;
+  std::int64_t max_memory_mb = 65'536;
+};
+
+/// Full description of one destination system (one Vsite).
+struct SystemConfig {
+  std::string vsite;
+  resources::Architecture architecture = resources::Architecture::kGenericUnix;
+  std::string operating_system = "UNIX";
+  std::int64_t nodes = 16;
+  std::int64_t processors_per_node = 1;
+  double gflops_per_processor = 0.5;
+  std::int64_t memory_mb_per_node = 512;
+  std::vector<QueueConfig> queues = {QueueConfig{}};
+  /// EASY backfill on top of FCFS when true; pure FCFS otherwise
+  /// (ablation knob for the scheduling bench).
+  bool use_backfill = true;
+  /// Mean time between node failures; 0 disables failure injection.
+  double node_mtbf_hours = 0.0;
+
+  std::int64_t total_processors() const { return nodes * processors_per_node; }
+
+  const QueueConfig* find_queue(const std::string& name) const {
+    for (const auto& queue : queues)
+      if (queue.name == name) return &queue;
+    return nullptr;
+  }
+};
+
+/// Ready-made configurations of the four 1999 systems, dimensioned after
+/// the machines the paper's sites operated.
+SystemConfig make_cray_t3e(std::string vsite, std::int64_t nodes = 512);
+SystemConfig make_fujitsu_vpp700(std::string vsite, std::int64_t nodes = 52);
+SystemConfig make_ibm_sp2(std::string vsite, std::int64_t nodes = 77);
+SystemConfig make_nec_sx4(std::string vsite, std::int64_t nodes = 4);
+
+}  // namespace unicore::batch

@@ -1,0 +1,137 @@
+#include "broker/broker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+namespace unicore::broker {
+
+void ResourceBroker::add_candidate(resources::ResourcePage page,
+                                   Tariff tariff) {
+  for (Candidate& candidate : candidates_) {
+    if (candidate.page.usite == page.usite &&
+        candidate.page.vsite == page.vsite) {
+      candidate.page = std::move(page);
+      candidate.tariff = tariff;
+      return;
+    }
+  }
+  candidates_.push_back({std::move(page), tariff, {}, false});
+}
+
+void ResourceBroker::update_load(const SiteLoad& load) {
+  for (Candidate& candidate : candidates_) {
+    if (candidate.page.usite == load.usite &&
+        candidate.page.vsite == load.vsite) {
+      candidate.load = load;
+      candidate.has_load = true;
+      return;
+    }
+  }
+}
+
+std::vector<Proposal> ResourceBroker::propose(
+    const AbstractRequirement& requirement, const Policy& policy) const {
+  std::vector<Proposal> proposals;
+
+  for (const Candidate& candidate : candidates_) {
+    const resources::ResourcePage& page = candidate.page;
+
+    // --- capability filter ------------------------------------------------
+    if (requirement.min_memory_mb > page.maximum.memory_mb) continue;
+    if (requirement.temporary_disk_mb > page.maximum.temporary_disk_mb)
+      continue;
+    bool software_ok = true;
+    for (const auto& item : requirement.required_software)
+      if (!page.has_software(item.kind, item.name)) software_ok = false;
+    if (!software_ok) continue;
+
+    // --- sizing -----------------------------------------------------------
+    // Per-processor performance from the page ("performance" is one of
+    // the resource-page fields, §5.4).
+    double per_proc_gflops =
+        page.peak_gflops /
+        std::max<double>(1.0, static_cast<double>(page.maximum.processors));
+    // Use as many processors as helpful, capped by the machine; when a
+    // load report exists, prefer to fit the free partition so the job
+    // starts promptly (if any of it is free at all).
+    std::int64_t processors = std::min(requirement.max_useful_processors,
+                                       page.maximum.processors);
+    if (candidate.has_load && candidate.load.free_processors > 0)
+      processors = std::max<std::int64_t>(
+          1, std::min(processors, candidate.load.free_processors));
+
+    double run_seconds =
+        requirement.gflop_hours * 3600.0 /
+        (per_proc_gflops * static_cast<double>(processors));
+    double wait_seconds = 0.0;
+    if (candidate.has_load) {
+      wait_seconds = candidate.load.recent_wait_seconds;
+      // When the request does not fit the free partition, it must drain
+      // (a share of) the committed backlog first.
+      if (candidate.load.free_processors < processors &&
+          candidate.load.total_processors > 0)
+        wait_seconds = std::max(
+            wait_seconds,
+            candidate.load.backlog_node_seconds /
+                static_cast<double>(candidate.load.total_processors));
+    }
+
+    // Request padding: 50% headroom over the estimate, clamped to what
+    // the page admits.
+    std::int64_t wallclock = static_cast<std::int64_t>(run_seconds * 1.5) + 60;
+    if (wallclock > page.maximum.wallclock_seconds) {
+      // Not enough allowed time at full width: infeasible here.
+      if (run_seconds > static_cast<double>(page.maximum.wallclock_seconds))
+        continue;
+      wallclock = page.maximum.wallclock_seconds;
+    }
+
+    // --- deadline filter -----------------------------------------------
+    double turnaround = wait_seconds + run_seconds;
+    if (requirement.deadline_seconds > 0 &&
+        turnaround > static_cast<double>(requirement.deadline_seconds))
+      continue;
+
+    // --- accounting ------------------------------------------------------
+    double cost = candidate.tariff.cost_per_processor_hour *
+                  static_cast<double>(processors) * (run_seconds / 3600.0);
+
+    Proposal proposal;
+    proposal.usite = page.usite;
+    proposal.vsite = page.vsite;
+    proposal.request.processors = processors;
+    proposal.request.wallclock_seconds = wallclock;
+    proposal.request.memory_mb =
+        std::max(requirement.min_memory_mb, page.minimum.memory_mb);
+    proposal.request.permanent_disk_mb = page.minimum.permanent_disk_mb;
+    proposal.request.temporary_disk_mb =
+        std::max(requirement.temporary_disk_mb,
+                 page.minimum.temporary_disk_mb);
+    proposal.estimated_wait_seconds = wait_seconds;
+    proposal.estimated_run_seconds = run_seconds;
+    proposal.estimated_cost = cost;
+    proposal.score = turnaround + policy.cost_weight * cost;
+    proposals.push_back(std::move(proposal));
+  }
+
+  std::sort(proposals.begin(), proposals.end(),
+            [](const Proposal& a, const Proposal& b) {
+              if (a.score != b.score) return a.score < b.score;
+              // Deterministic tie-break by name.
+              return std::tie(a.usite, a.vsite) < std::tie(b.usite, b.vsite);
+            });
+  return proposals;
+}
+
+util::Result<Proposal> ResourceBroker::select(
+    const AbstractRequirement& requirement, const Policy& policy) const {
+  std::vector<Proposal> proposals = propose(requirement, policy);
+  if (proposals.empty())
+    return util::make_error(
+        util::ErrorCode::kNotFound,
+        "no system satisfies the abstract requirement (or its deadline)");
+  return proposals.front();
+}
+
+}  // namespace unicore::broker

@@ -1,0 +1,115 @@
+// Resource broker — the first of the paper's §6 enhancements:
+//
+// "A resource broker which supports the users in a way that they can
+//  specify the needed resources on a more abstract level and the broker
+//  finds the appropriate execution server for it. Together with
+//  accounting functions and load information the resource broker can
+//  find the best system for an application with given time
+//  constraints."
+//
+// The broker consumes the §5.4 resource pages (capability), per-Vsite
+// load reports, and per-Vsite tariffs (accounting), and turns an
+// *abstract* requirement — compute demand in GFLOP-hours, memory,
+// scalability limit, needed software, a deadline — into ranked concrete
+// proposals naming a destination system and a §5.4 resource request.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "resources/resource_page.h"
+#include "util/result.h"
+
+namespace unicore::broker {
+
+/// What the user can say without naming a machine.
+struct AbstractRequirement {
+  /// Total compute demand (work, not time): GFLOP-hours.
+  double gflop_hours = 1.0;
+  std::int64_t min_memory_mb = 64;
+  /// Beyond this many processors the application stops scaling.
+  std::int64_t max_useful_processors = 64;
+  std::int64_t temporary_disk_mb = 64;
+  std::vector<resources::SoftwareItem> required_software;
+  /// Wanted turnaround (wait + run), seconds; 0 = no constraint.
+  std::int64_t deadline_seconds = 0;
+};
+
+/// Load information a Vsite publishes to the broker.
+struct SiteLoad {
+  std::string usite;
+  std::string vsite;
+  std::int64_t free_processors = 0;
+  std::int64_t total_processors = 0;
+  std::size_t queued_jobs = 0;
+  /// Mean queue wait observed recently, seconds.
+  double recent_wait_seconds = 0;
+  /// Outstanding committed work (queued + running remainder) in
+  /// node-seconds; backlog / total_processors bounds the wait a job
+  /// that needs the whole machine would see.
+  double backlog_node_seconds = 0;
+};
+
+/// Accounting: what a node-hour costs at this Vsite (arbitrary units).
+struct Tariff {
+  double cost_per_processor_hour = 1.0;
+};
+
+/// Ranking policy: score = turnaround + cost_weight * cost.
+/// cost_weight 0 selects the fastest system; large values the cheapest.
+struct Policy {
+  double cost_weight = 0.0;
+};
+
+/// One concrete placement option.
+struct Proposal {
+  std::string usite;
+  std::string vsite;
+  resources::ResourceSet request;  // ready for a JobBuilder destination
+  double estimated_wait_seconds = 0;
+  double estimated_run_seconds = 0;
+  double estimated_cost = 0;
+  double score = 0;
+
+  double estimated_turnaround() const {
+    return estimated_wait_seconds + estimated_run_seconds;
+  }
+};
+
+class ResourceBroker {
+ public:
+  /// Registers a candidate system by its resource page (capabilities)
+  /// and tariff (accounting). Replaces an existing entry for the same
+  /// usite/vsite.
+  void add_candidate(resources::ResourcePage page, Tariff tariff);
+
+  /// Updates the load report for a known candidate; unknown reports are
+  /// ignored (a page must arrive first).
+  void update_load(const SiteLoad& load);
+
+  std::size_t candidates() const { return candidates_.size(); }
+
+  /// Feasibility-filters and ranks all candidates for `requirement`.
+  /// The best proposal comes first; an empty vector means no system can
+  /// satisfy the requirement (or its deadline).
+  std::vector<Proposal> propose(const AbstractRequirement& requirement,
+                                const Policy& policy = {}) const;
+
+  /// Convenience: the single best placement or an error explaining why
+  /// none exists.
+  util::Result<Proposal> select(const AbstractRequirement& requirement,
+                                const Policy& policy = {}) const;
+
+ private:
+  struct Candidate {
+    resources::ResourcePage page;
+    Tariff tariff;
+    SiteLoad load;
+    bool has_load = false;
+  };
+
+  std::vector<Candidate> candidates_;
+};
+
+}  // namespace unicore::broker

@@ -1,0 +1,45 @@
+#include "broker/grid_adapter.h"
+
+namespace unicore::broker {
+
+std::vector<Survey> survey_usite(njs::Njs& njs) {
+  std::vector<Survey> out;
+  for (const std::string& vsite : njs.vsites()) {
+    auto page = njs.resource_page(vsite);
+    if (!page.ok()) continue;
+    batch::BatchSubsystem* subsystem = njs.subsystem(vsite);
+    if (subsystem == nullptr) continue;
+
+    Survey survey;
+    survey.page = std::move(page.value());
+    survey.load.usite = survey.page.usite;
+    survey.load.vsite = vsite;
+    survey.load.free_processors =
+        subsystem->free_nodes() * subsystem->config().processors_per_node;
+    survey.load.total_processors = subsystem->config().total_processors();
+    survey.load.queued_jobs = subsystem->queued_jobs();
+    survey.load.backlog_node_seconds =
+        subsystem->backlog_node_seconds() *
+        static_cast<double>(subsystem->config().processors_per_node);
+    const batch::SubsystemStats& stats = subsystem->stats();
+    std::uint64_t started =
+        stats.jobs_submitted > subsystem->queued_jobs()
+            ? stats.jobs_submitted - subsystem->queued_jobs()
+            : 0;
+    survey.load.recent_wait_seconds =
+        started > 0 ? stats.total_wait_seconds / static_cast<double>(started)
+                    : 0.0;
+    out.push_back(std::move(survey));
+  }
+  return out;
+}
+
+void feed(ResourceBroker& broker, const std::vector<Survey>& surveys,
+          Tariff tariff) {
+  for (const Survey& survey : surveys) {
+    broker.add_candidate(survey.page, tariff);
+    broker.update_load(survey.load);
+  }
+}
+
+}  // namespace unicore::broker

@@ -1,0 +1,25 @@
+// Bridges a running deployment to the broker: surveys an NJS for its
+// resource pages and current load (free partition, queue depth,
+// observed waits) — the "load information" feed of §6.
+#pragma once
+
+#include <vector>
+
+#include "broker/broker.h"
+#include "njs/njs.h"
+
+namespace unicore::broker {
+
+struct Survey {
+  resources::ResourcePage page;
+  SiteLoad load;
+};
+
+/// Snapshot of every Vsite managed by `njs`.
+std::vector<Survey> survey_usite(njs::Njs& njs);
+
+/// Feeds a survey into the broker (pages first, then loads).
+void feed(ResourceBroker& broker, const std::vector<Survey>& surveys,
+          Tariff tariff = {});
+
+}  // namespace unicore::broker

@@ -1,0 +1,142 @@
+#include "client/app_templates.h"
+
+namespace unicore::client {
+
+using util::ErrorCode;
+using util::Result;
+
+ApplicationTemplate gaussian94_template() {
+  ApplicationTemplate t;
+  t.package = "Gaussian";
+  t.min_version = "94";
+  t.command_template = "g94 < %input% > %output%";
+  t.default_resources = {1, 14'400, 512, 0, 256};
+  t.nominal_seconds_per_input_mb = 600.0;  // ab-initio chemistry is slow
+  return t;
+}
+
+ApplicationTemplate pamcrash_template() {
+  ApplicationTemplate t;
+  t.package = "Pamcrash";
+  t.min_version = "";
+  t.command_template = "pamcrash -np %procs% %input% -o %output%";
+  t.default_resources = {16, 28'800, 4'096, 0, 1'024};
+  t.nominal_seconds_per_input_mb = 240.0;
+  return t;
+}
+
+ApplicationTemplate ansys_template() {
+  ApplicationTemplate t;
+  t.package = "Ansys";
+  t.min_version = "";
+  t.command_template = "ansys -b -i %input% -o %output%";
+  t.default_resources = {4, 14'400, 2'048, 0, 512};
+  t.nominal_seconds_per_input_mb = 180.0;
+  return t;
+}
+
+ApplicationLauncher::ApplicationLauncher(
+    std::vector<resources::ResourcePage> pages)
+    : pages_(std::move(pages)) {
+  register_template(gaussian94_template());
+  register_template(pamcrash_template());
+  register_template(ansys_template());
+}
+
+void ApplicationLauncher::register_template(ApplicationTemplate application) {
+  templates_[application.package] = std::move(application);
+}
+
+const ApplicationTemplate* ApplicationLauncher::find_template(
+    const std::string& package) const {
+  auto it = templates_.find(package);
+  return it == templates_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> ApplicationLauncher::packages() const {
+  std::vector<std::string> out;
+  out.reserve(templates_.size());
+  for (const auto& [name, t] : templates_) out.push_back(name);
+  return out;
+}
+
+std::vector<const resources::ResourcePage*>
+ApplicationLauncher::sites_offering(const std::string& package) const {
+  std::vector<const resources::ResourcePage*> out;
+  for (const resources::ResourcePage& page : pages_)
+    if (page.has_software(resources::SoftwareKind::kPackage, package))
+      out.push_back(&page);
+  return out;
+}
+
+namespace {
+std::string substitute(std::string text, const std::string& key,
+                       const std::string& value) {
+  std::size_t at = 0;
+  while ((at = text.find(key, at)) != std::string::npos) {
+    text.replace(at, key.size(), value);
+    at += value.size();
+  }
+  return text;
+}
+}  // namespace
+
+Result<ajo::AbstractJobObject> ApplicationLauncher::make_job(
+    const ApplicationJobRequest& request,
+    const crypto::DistinguishedName& user,
+    const std::string& preferred_vsite) const {
+  const ApplicationTemplate* application = find_template(request.package);
+  if (application == nullptr)
+    return util::make_error(ErrorCode::kNotFound,
+                            "no application template for " + request.package);
+
+  std::vector<const resources::ResourcePage*> candidates =
+      sites_offering(request.package);
+  if (candidates.empty())
+    return util::make_error(ErrorCode::kNotFound,
+                            "no UNICORE site offers " + request.package);
+
+  const resources::ResourcePage* destination = candidates.front();
+  if (!preferred_vsite.empty()) {
+    destination = nullptr;
+    for (const resources::ResourcePage* page : candidates)
+      if (page->vsite == preferred_vsite) destination = page;
+    if (destination == nullptr)
+      return util::make_error(ErrorCode::kNotFound,
+                              preferred_vsite + " does not offer " +
+                                  request.package);
+  }
+
+  resources::ResourceSet resources =
+      request.resources.value_or(application->default_resources);
+  if (auto status = destination->admits(resources); !status.ok())
+    return status.error();
+
+  JobBuilder builder(request.package + " run");
+  builder.destination(destination->usite, destination->vsite);
+  builder.account_group(request.account_group);
+
+  auto input_task =
+      builder.import_from_workstation(request.input_name, request.input);
+
+  std::string command = application->command_template;
+  command = substitute(command, "%input%", request.input_name);
+  command = substitute(command, "%output%", request.output_name);
+  command = substitute(command, "%procs%",
+                       std::to_string(resources.processors));
+
+  TaskOptions options;
+  options.resources = resources;
+  options.behavior.nominal_seconds =
+      application->nominal_seconds_per_input_mb *
+      (static_cast<double>(request.input.size()) / 1e6 + 0.01);
+  options.behavior.stdout_text = request.package + " finished\n";
+  options.behavior.output_files = {
+      {request.output_name, std::max<std::uint64_t>(1, request.input.size())}};
+  auto run_task = builder.script("run " + request.package, command + "\n",
+                                 options);
+  builder.after(input_task, run_task, {request.input_name});
+  return builder.build(user);
+}
+
+}  // namespace unicore::client

@@ -1,0 +1,81 @@
+// Application-specific interfaces — the first §6 enhancement:
+//
+// "Application specific interfaces for standard packages like Ansys or
+//  Pamcrash will make life easier especially for users from industry."
+//
+// An ApplicationTemplate describes how a named package runs (command
+// line, default resources, a runtime model); the ApplicationLauncher
+// matches templates against the §5.4 resource pages (which list the
+// installed packages) and assembles a complete UNICORE job from
+// application-level inputs — the WebSubmit-style experience of §2,
+// built on top of the JPA.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ajo/job.h"
+#include "client/job_builder.h"
+#include "resources/resource_page.h"
+#include "util/result.h"
+
+namespace unicore::client {
+
+/// How one packaged application runs on a UNICORE site.
+struct ApplicationTemplate {
+  std::string package;          // catalogue name, e.g. "Gaussian"
+  std::string min_version;      // informational; empty = any
+  /// Command template; "%input%" and "%output%" are substituted.
+  std::string command_template;
+  resources::ResourceSet default_resources;
+  /// Simple runtime model: seconds of nominal compute per MB of input.
+  double nominal_seconds_per_input_mb = 60.0;
+};
+
+/// Built-in templates for the packages the paper names.
+ApplicationTemplate gaussian94_template();
+ApplicationTemplate pamcrash_template();
+ApplicationTemplate ansys_template();
+
+/// Application-level job parameters: what an industry user fills into
+/// the package's form — no machine names, no batch nomenclature.
+struct ApplicationJobRequest {
+  std::string package;
+  util::Bytes input;             // travels inside the AJO (§5.6)
+  std::string input_name = "input.dat";
+  std::string output_name = "output.dat";
+  /// Optional overrides of the template defaults.
+  std::optional<resources::ResourceSet> resources;
+  std::string account_group;
+};
+
+class ApplicationLauncher {
+ public:
+  /// `pages` is the site catalogue the JPA downloaded.
+  explicit ApplicationLauncher(std::vector<resources::ResourcePage> pages);
+
+  void register_template(ApplicationTemplate application);
+  const ApplicationTemplate* find_template(const std::string& package) const;
+  std::vector<std::string> packages() const;
+
+  /// Resource pages whose software catalogue carries `package`.
+  std::vector<const resources::ResourcePage*> sites_offering(
+      const std::string& package) const;
+
+  /// Builds a ready-to-submit UNICORE job for `request`, destined for
+  /// the first (or a named) site offering the package: import the
+  /// input, run the package command, export nothing (the output stays
+  /// in the Uspace for JMC retrieval).
+  util::Result<ajo::AbstractJobObject> make_job(
+      const ApplicationJobRequest& request,
+      const crypto::DistinguishedName& user,
+      const std::string& preferred_vsite = "") const;
+
+ private:
+  std::vector<resources::ResourcePage> pages_;
+  std::map<std::string, ApplicationTemplate> templates_;
+};
+
+}  // namespace unicore::client

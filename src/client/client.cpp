@@ -1,0 +1,360 @@
+#include "client/client.h"
+
+#include "util/log.h"
+
+namespace unicore::client {
+
+using server::RequestKind;
+using util::ByteReader;
+using util::Bytes;
+using util::ByteWriter;
+using util::ErrorCode;
+using util::Result;
+using util::Status;
+
+UnicoreClient::UnicoreClient(sim::Engine& engine, net::Network& network,
+                             util::Rng& rng, Config config)
+    : engine_(engine),
+      network_(network),
+      rng_(rng.fork()),
+      config_(std::move(config)) {}
+
+UnicoreClient::~UnicoreClient() { disconnect(); }
+
+void UnicoreClient::connect(net::Address usite,
+                            std::function<void(Status)> done) {
+  disconnect();
+  usite_address_ = usite;
+  auto endpoint = network_.connect(config_.host, usite);
+  if (!endpoint) {
+    done(endpoint.error());
+    return;
+  }
+
+  net::SecureChannel::Config channel_config;
+  channel_config.credential = config_.user;
+  channel_config.trust = config_.trust;
+  channel_config.required_peer_usage = crypto::kUsageServerAuth;
+
+  channel_ = net::SecureChannel::as_client(
+      engine_, rng_, std::move(endpoint.value()), channel_config,
+      [this, done = std::move(done)](Status status) {
+        if (!status.ok()) {
+          established_ = false;
+          channel_.reset();
+          done(status);
+          return;
+        }
+        established_ = true;
+        channel_->set_receiver(
+            [this](Bytes&& wire) { handle_message(std::move(wire)); });
+        channel_->set_close_handler([this] {
+          established_ = false;
+          fail_all_pending(util::make_error(ErrorCode::kUnavailable,
+                                            "connection to Usite lost"));
+        });
+        done(Status::ok_status());
+      });
+}
+
+bool UnicoreClient::connected() const {
+  return established_ && channel_ && channel_->established();
+}
+
+void UnicoreClient::disconnect() {
+  if (channel_) channel_->close();
+  channel_.reset();
+  established_ = false;
+  fail_all_pending(
+      util::make_error(ErrorCode::kUnavailable, "client disconnected"));
+}
+
+void UnicoreClient::fail_all_pending(const util::Error& error) {
+  auto pending = std::move(pending_);
+  pending_.clear();
+  for (auto& [id, request] : pending) {
+    if (request.timeout != 0) engine_.cancel(request.timeout);
+    ++requests_failed_;
+    request.handler(error);
+  }
+}
+
+void UnicoreClient::send_request(
+    RequestKind kind, Bytes payload,
+    std::function<void(Result<Bytes>)> on_reply) {
+  if (!connected()) {
+    on_reply(util::make_error(ErrorCode::kUnavailable, "not connected"));
+    return;
+  }
+  std::uint64_t request_id = next_request_id_++;
+  ++requests_sent_;
+
+  PendingRequest pending;
+  pending.handler = std::move(on_reply);
+  pending.timeout = engine_.after(config_.request_timeout, [this, request_id] {
+    auto it = pending_.find(request_id);
+    if (it == pending_.end()) return;
+    auto handler = std::move(it->second.handler);
+    pending_.erase(it);
+    ++requests_failed_;
+    handler(util::make_error(ErrorCode::kUnavailable,
+                             "request timed out (message lost?)"));
+  });
+  pending_[request_id] = std::move(pending);
+  channel_->send(server::make_request(kind, request_id, payload));
+}
+
+void UnicoreClient::handle_message(Bytes&& wire) {
+  try {
+    ByteReader reader{wire};
+    auto type = static_cast<server::MessageType>(reader.u8());
+    if (type != server::MessageType::kReply) return;  // JPA/JMC only poll
+    std::uint64_t request_id = reader.u64();
+    bool ok = reader.u8() != 0;
+    auto it = pending_.find(request_id);
+    if (it == pending_.end()) return;  // reply after timeout
+    auto request = std::move(it->second);
+    pending_.erase(it);
+    if (request.timeout != 0) engine_.cancel(request.timeout);
+    if (ok)
+      request.handler(reader.raw(reader.remaining()));
+    else
+      request.handler(server::decode_error(reader));
+  } catch (const std::out_of_range&) {
+    UNICORE_WARN("client") << "malformed reply dropped";
+  }
+}
+
+// ---- operations ------------------------------------------------------------
+
+void UnicoreClient::fetch_bundle(
+    const std::string& name,
+    std::function<void(Result<crypto::SoftwareBundle>)> done) {
+  ByteWriter payload;
+  payload.str(name);
+  const crypto::TrustStore* trust = config_.trust;
+  sim::Time now = engine_.now();
+  send_request(RequestKind::kGetBundle, payload.take(),
+               [done = std::move(done), trust, now](Result<Bytes> reply) {
+                 if (!reply) {
+                   done(reply.error());
+                   return;
+                 }
+                 auto bundle = crypto::SoftwareBundle::decode(reply.value());
+                 if (!bundle) {
+                   done(bundle.error());
+                   return;
+                 }
+                 // "The applet certificate is checked to assure the user
+                 //  that the software has not been tampered with." (§4.1)
+                 if (trust != nullptr) {
+                   auto status = crypto::verify_bundle(
+                       bundle.value(), *trust, net::epoch_seconds(now));
+                   if (!status.ok()) {
+                     done(status.error());
+                     return;
+                   }
+                 }
+                 done(std::move(bundle.value()));
+               });
+}
+
+void UnicoreClient::fetch_resource_pages(
+    std::function<void(Result<std::vector<resources::ResourcePage>>)> done) {
+  send_request(
+      RequestKind::kResourcePages, {},
+      [done = std::move(done)](Result<Bytes> reply) {
+        if (!reply) {
+          done(reply.error());
+          return;
+        }
+        try {
+          ByteReader reader{reply.value()};
+          std::uint64_t count = reader.varint();
+          std::vector<resources::ResourcePage> pages;
+          pages.reserve(count);
+          for (std::uint64_t i = 0; i < count; ++i) {
+            Bytes der = reader.blob();
+            auto page = resources::ResourcePage::decode(der);
+            if (!page) {
+              done(page.error());
+              return;
+            }
+            pages.push_back(std::move(page.value()));
+          }
+          done(std::move(pages));
+        } catch (const std::out_of_range&) {
+          done(util::make_error(ErrorCode::kInvalidArgument,
+                                "malformed resource page reply"));
+        }
+      });
+}
+
+void UnicoreClient::submit(const ajo::AbstractJobObject& job,
+                           std::function<void(Result<ajo::JobToken>)> done) {
+  ajo::SignedAjo signed_ajo = ajo::sign_ajo(job, config_.user);
+  send_request(RequestKind::kConsign, signed_ajo.encode(),
+               [done = std::move(done)](Result<Bytes> reply) {
+                 if (!reply) {
+                   done(reply.error());
+                   return;
+                 }
+                 try {
+                   ByteReader reader{reply.value()};
+                   done(ajo::JobToken{reader.u64()});
+                 } catch (const std::out_of_range&) {
+                   done(util::make_error(ErrorCode::kInvalidArgument,
+                                         "malformed consign reply"));
+                 }
+               });
+}
+
+void UnicoreClient::submit_with_retry(
+    const ajo::AbstractJobObject& job, int attempts,
+    std::function<void(Result<ajo::JobToken>)> done) {
+  if (attempts < 1) {
+    done(util::make_error(ErrorCode::kUnavailable, "no attempts left"));
+    return;
+  }
+  auto attempt = std::make_shared<std::function<void(int)>>();
+  auto job_copy = std::make_shared<ajo::AbstractJobObject>(job);
+  *attempt = [this, job_copy, done, attempt](int remaining) {
+    auto retry = [this, attempt, remaining, done](const util::Error& error) {
+      if (remaining <= 1) {
+        done(error);
+        return;
+      }
+      // Reconnect, then try again — each interaction is short, so a
+      // lossy link only costs a retry (the §5.3 robustness argument).
+      connect(usite_address_, [attempt, remaining, done](Status status) {
+        if (!status.ok()) {
+          (*attempt)(remaining - 1);
+          return;
+        }
+        (*attempt)(remaining - 1);
+      });
+    };
+    if (!connected()) {
+      retry(util::make_error(ErrorCode::kUnavailable, "not connected"));
+      return;
+    }
+    submit(*job_copy, [done, retry](Result<ajo::JobToken> token) {
+      if (token) {
+        done(std::move(token));
+        return;
+      }
+      if (token.error().code == ErrorCode::kUnavailable) {
+        retry(token.error());
+        return;
+      }
+      done(token.error());  // a real rejection; retrying will not help
+    });
+  };
+  (*attempt)(attempts);
+}
+
+void UnicoreClient::query(ajo::JobToken token,
+                          ajo::QueryService::Detail detail,
+                          std::function<void(Result<ajo::Outcome>)> done) {
+  ByteWriter payload;
+  payload.u64(token);
+  payload.u8(static_cast<std::uint8_t>(detail));
+  send_request(RequestKind::kQuery, payload.take(),
+               [done = std::move(done)](Result<Bytes> reply) {
+                 if (!reply) {
+                   done(reply.error());
+                   return;
+                 }
+                 ByteReader reader{reply.value()};
+                 done(ajo::Outcome::decode(reader));
+               });
+}
+
+void UnicoreClient::list(
+    std::function<void(Result<std::vector<JobEntry>>)> done) {
+  send_request(RequestKind::kList, {},
+               [done = std::move(done)](Result<Bytes> reply) {
+                 if (!reply) {
+                   done(reply.error());
+                   return;
+                 }
+                 try {
+                   ByteReader reader{reply.value()};
+                   std::uint64_t count = reader.varint();
+                   std::vector<JobEntry> entries;
+                   entries.reserve(count);
+                   for (std::uint64_t i = 0; i < count; ++i) {
+                     JobEntry entry;
+                     entry.token = reader.u64();
+                     entry.name = reader.str();
+                     entry.status =
+                         static_cast<ajo::ActionStatus>(reader.u8());
+                     entry.consigned_at = reader.i64();
+                     entries.push_back(std::move(entry));
+                   }
+                   done(std::move(entries));
+                 } catch (const std::out_of_range&) {
+                   done(util::make_error(ErrorCode::kInvalidArgument,
+                                         "malformed list reply"));
+                 }
+               });
+}
+
+void UnicoreClient::control(ajo::JobToken token,
+                            ajo::ControlService::Command command,
+                            std::function<void(Status)> done) {
+  ByteWriter payload;
+  payload.u64(token);
+  payload.u8(static_cast<std::uint8_t>(command));
+  send_request(RequestKind::kControl, payload.take(),
+               [done = std::move(done)](Result<Bytes> reply) {
+                 if (!reply)
+                   done(reply.error());
+                 else
+                   done(Status::ok_status());
+               });
+}
+
+void UnicoreClient::fetch_output(
+    ajo::JobToken token, const std::string& name,
+    std::function<void(Result<uspace::FileBlob>)> done) {
+  ByteWriter payload;
+  payload.u64(token);
+  payload.str(name);
+  send_request(RequestKind::kFetchOutput, payload.take(),
+               [done = std::move(done)](Result<Bytes> reply) {
+                 if (!reply) {
+                   done(reply.error());
+                   return;
+                 }
+                 try {
+                   ByteReader reader{reply.value()};
+                   done(uspace::FileBlob::decode(reader));
+                 } catch (const std::out_of_range&) {
+                   done(util::make_error(ErrorCode::kInvalidArgument,
+                                         "malformed output reply"));
+                 }
+               });
+}
+
+void UnicoreClient::wait_for_completion(
+    ajo::JobToken token, sim::Time interval,
+    std::function<void(Result<ajo::Outcome>)> done) {
+  query(token, ajo::QueryService::Detail::kTasks,
+        [this, token, interval, done = std::move(done)](
+            Result<ajo::Outcome> outcome) {
+          if (!outcome) {
+            done(outcome.error());
+            return;
+          }
+          if (ajo::is_terminal(outcome.value().status)) {
+            done(std::move(outcome));
+            return;
+          }
+          engine_.after(interval, [this, token, interval, done] {
+            wait_for_completion(token, interval, done);
+          });
+        });
+}
+
+}  // namespace unicore::client

@@ -1,0 +1,135 @@
+// The user-level tier (§4.1): the client a user's workstation runs.
+//
+// Connecting mirrors the paper's flow: an https-like mutually
+// authenticated channel to the Usite server (the SSL handshake
+// validates the server certificate, then presents the user's), followed
+// by download and signature verification of the current JPA/JMC
+// software bundle ("the users always work with the latest version of
+// the software", §4.1). JPA operations prepare and consign jobs; JMC
+// operations monitor, control, and retrieve output — by polling, as in
+// the paper ("the current implementation sends data back to the
+// workstation only on user request while the user is working with the
+// JMC", §5.6).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ajo/job.h"
+#include "ajo/outcome.h"
+#include "ajo/services.h"
+#include "crypto/bundle.h"
+#include "crypto/x509.h"
+#include "net/network.h"
+#include "net/secure_channel.h"
+#include "resources/resource_page.h"
+#include "server/protocol.h"
+#include "uspace/blob.h"
+#include "util/result.h"
+
+namespace unicore::client {
+
+/// One row of the JMC job list.
+struct JobEntry {
+  ajo::JobToken token = 0;
+  std::string name;
+  ajo::ActionStatus status = ajo::ActionStatus::kPending;
+  sim::Time consigned_at = 0;
+};
+
+class UnicoreClient {
+ public:
+  struct Config {
+    std::string host;  // the user's workstation host name
+    crypto::Credential user;
+    const crypto::TrustStore* trust = nullptr;
+    /// Per-request timeout; a lost message surfaces as kUnavailable and
+    /// the caller decides whether to retry (the asynchronous high-level
+    /// protocol of §5.3).
+    sim::Time request_timeout = sim::sec(60);
+  };
+
+  UnicoreClient(sim::Engine& engine, net::Network& network, util::Rng& rng,
+                Config config);
+  ~UnicoreClient();
+
+  UnicoreClient(const UnicoreClient&) = delete;
+  UnicoreClient& operator=(const UnicoreClient&) = delete;
+
+  // --- connection -----------------------------------------------------
+  void connect(net::Address usite, std::function<void(util::Status)> done);
+  bool connected() const;
+  void disconnect();
+
+  const crypto::Credential& user() const { return config_.user; }
+
+  // --- software bundle ("applet") --------------------------------------
+  /// Downloads a named bundle and verifies its code signature against
+  /// the trust store before returning it.
+  void fetch_bundle(
+      const std::string& name,
+      std::function<void(util::Result<crypto::SoftwareBundle>)> done);
+
+  // --- JPA --------------------------------------------------------------
+  void fetch_resource_pages(
+      std::function<void(util::Result<std::vector<resources::ResourcePage>>)>
+          done);
+
+  /// Signs `job` with the user credential and consigns it.
+  void submit(const ajo::AbstractJobObject& job,
+              std::function<void(util::Result<ajo::JobToken>)> done);
+
+  /// submit() with up to `attempts` tries on transport failure
+  /// (reconnecting in between) — the retry loop an asynchronous protocol
+  /// affords (§5.3).
+  void submit_with_retry(const ajo::AbstractJobObject& job, int attempts,
+                         std::function<void(util::Result<ajo::JobToken>)>
+                             done);
+
+  // --- JMC --------------------------------------------------------------
+  void query(ajo::JobToken token, ajo::QueryService::Detail detail,
+             std::function<void(util::Result<ajo::Outcome>)> done);
+  void list(std::function<void(util::Result<std::vector<JobEntry>>)> done);
+  void control(ajo::JobToken token, ajo::ControlService::Command command,
+               std::function<void(util::Status)> done);
+  void fetch_output(ajo::JobToken token, const std::string& name,
+                    std::function<void(util::Result<uspace::FileBlob>)> done);
+
+  /// Polls query() every `interval` until the job is terminal.
+  void wait_for_completion(ajo::JobToken token, sim::Time interval,
+                           std::function<void(util::Result<ajo::Outcome>)>
+                               done);
+
+  // --- diagnostics ---------------------------------------------------------
+  std::uint64_t requests_sent() const { return requests_sent_; }
+  std::uint64_t requests_failed() const { return requests_failed_; }
+
+ private:
+  void send_request(server::RequestKind kind, util::Bytes payload,
+                    std::function<void(util::Result<util::Bytes>)> on_reply);
+  void handle_message(util::Bytes&& wire);
+  void fail_all_pending(const util::Error& error);
+
+  sim::Engine& engine_;
+  net::Network& network_;
+  util::Rng rng_;
+  Config config_;
+  net::Address usite_address_;
+  std::shared_ptr<net::SecureChannel> channel_;
+  bool established_ = false;
+
+  struct PendingRequest {
+    std::function<void(util::Result<util::Bytes>)> handler;
+    sim::EventId timeout = 0;
+  };
+  std::map<std::uint64_t, PendingRequest> pending_;
+  std::uint64_t next_request_id_ = 1;
+  std::uint64_t requests_sent_ = 0;
+  std::uint64_t requests_failed_ = 0;
+};
+
+}  // namespace unicore::client

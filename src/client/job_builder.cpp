@@ -1,0 +1,216 @@
+#include "client/job_builder.h"
+
+namespace unicore::client {
+
+using ajo::ActionId;
+using util::ErrorCode;
+using util::Result;
+
+JobBuilder::JobBuilder(std::string job_name) {
+  job_.set_name(std::move(job_name));
+}
+
+JobBuilder& JobBuilder::destination(std::string usite, std::string vsite) {
+  job_.usite = std::move(usite);
+  job_.vsite = std::move(vsite);
+  return *this;
+}
+
+JobBuilder& JobBuilder::account_group(std::string group) {
+  job_.account_group = std::move(group);
+  return *this;
+}
+
+JobBuilder& JobBuilder::site_security_info(std::string info) {
+  job_.site_security_info = std::move(info);
+  return *this;
+}
+
+ActionId JobBuilder::import_from_workstation(const std::string& uspace_name,
+                                             util::Bytes content,
+                                             std::string task_name) {
+  auto task = std::make_unique<ajo::ImportTask>();
+  task->set_name(task_name.empty() ? "import " + uspace_name
+                                   : std::move(task_name));
+  task->source = ajo::ImportTask::Source::kUserWorkstation;
+  task->inline_content = std::move(content);
+  task->uspace_name = uspace_name;
+  return job_.add(std::move(task));
+}
+
+ActionId JobBuilder::import_from_xspace(const std::string& volume,
+                                        const std::string& path,
+                                        const std::string& uspace_name,
+                                        std::string task_name) {
+  auto task = std::make_unique<ajo::ImportTask>();
+  task->set_name(task_name.empty() ? "import " + uspace_name
+                                   : std::move(task_name));
+  task->source = ajo::ImportTask::Source::kXspace;
+  task->xspace_source = {volume, path};
+  task->uspace_name = uspace_name;
+  return job_.add(std::move(task));
+}
+
+ActionId JobBuilder::export_to_xspace(const std::string& uspace_name,
+                                      const std::string& volume,
+                                      const std::string& path,
+                                      std::string task_name) {
+  auto task = std::make_unique<ajo::ExportTask>();
+  task->set_name(task_name.empty() ? "export " + uspace_name
+                                   : std::move(task_name));
+  task->uspace_name = uspace_name;
+  task->destination = {volume, path};
+  return job_.add(std::move(task));
+}
+
+ActionId JobBuilder::transfer_to_subjob(const std::string& uspace_name,
+                                        ActionId target_subjob,
+                                        std::string rename_to,
+                                        std::string task_name) {
+  auto task = std::make_unique<ajo::TransferTask>();
+  task->set_name(task_name.empty() ? "transfer " + uspace_name
+                                   : std::move(task_name));
+  task->uspace_name = uspace_name;
+  task->target_job = target_subjob;
+  task->rename_to = std::move(rename_to);
+  return job_.add(std::move(task));
+}
+
+ActionId JobBuilder::compile(std::string task_name, const std::string& source,
+                             const std::string& object,
+                             const TaskOptions& options,
+                             std::vector<std::string> flags) {
+  auto task = std::make_unique<ajo::CompileTask>();
+  task->set_name(std::move(task_name));
+  task->source_file = source;
+  task->object_file = object;
+  task->compiler_flags = std::move(flags);
+  task->set_resource_request(options.resources);
+  task->behavior = options.behavior;
+  return job_.add(std::move(task));
+}
+
+ActionId JobBuilder::link(std::string task_name,
+                          std::vector<std::string> objects,
+                          const std::string& executable,
+                          const TaskOptions& options,
+                          std::vector<std::string> libraries) {
+  auto task = std::make_unique<ajo::LinkTask>();
+  task->set_name(std::move(task_name));
+  task->object_files = std::move(objects);
+  task->executable = executable;
+  task->libraries = std::move(libraries);
+  task->set_resource_request(options.resources);
+  task->behavior = options.behavior;
+  return job_.add(std::move(task));
+}
+
+ActionId JobBuilder::run(std::string task_name, const std::string& executable,
+                         const TaskOptions& options,
+                         std::vector<std::string> arguments) {
+  auto task = std::make_unique<ajo::UserTask>();
+  task->set_name(std::move(task_name));
+  task->executable = executable;
+  task->arguments = std::move(arguments);
+  task->set_resource_request(options.resources);
+  task->behavior = options.behavior;
+  return job_.add(std::move(task));
+}
+
+ActionId JobBuilder::script(std::string task_name, std::string script_text,
+                            const TaskOptions& options) {
+  auto task = std::make_unique<ajo::ExecuteScriptTask>();
+  task->set_name(std::move(task_name));
+  task->script = std::move(script_text);
+  task->set_resource_request(options.resources);
+  task->behavior = options.behavior;
+  return job_.add(std::move(task));
+}
+
+ActionId JobBuilder::add_subjob(ajo::AbstractJobObject subjob) {
+  return job_.add(std::make_unique<ajo::AbstractJobObject>(std::move(subjob)));
+}
+
+JobBuilder& JobBuilder::after(ActionId predecessor, ActionId successor,
+                              std::vector<std::string> files) {
+  job_.add_dependency(predecessor, successor, std::move(files));
+  return *this;
+}
+
+Result<ajo::AbstractJobObject> JobBuilder::build(
+    const crypto::DistinguishedName& user) const {
+  ajo::AbstractJobObject job = job_;
+  job.user = user;
+  // Sub-jobs inherit the user identity throughout the tree.
+  std::function<void(ajo::AbstractJobObject&)> propagate =
+      [&](ajo::AbstractJobObject& node) {
+        node.user = user;
+        for (const auto& child : node.children())
+          if (child->is_job())
+            propagate(static_cast<ajo::AbstractJobObject&>(*child));
+      };
+  propagate(job);
+  if (auto status = job.validate(); !status.ok()) return status.error();
+  return job;
+}
+
+namespace {
+
+const resources::ResourcePage* find_page(
+    const std::vector<resources::ResourcePage>& pages,
+    const std::string& usite, const std::string& vsite) {
+  for (const auto& page : pages)
+    if ((usite.empty() || page.usite == usite) && page.vsite == vsite)
+      return &page;
+  return nullptr;
+}
+
+util::Status check_against_pages(
+    const ajo::AbstractJobObject& job,
+    const std::vector<resources::ResourcePage>& pages) {
+  if (!job.vsite.empty()) {
+    const resources::ResourcePage* page =
+        find_page(pages, job.usite, job.vsite);
+    // Pages for remote Usites may be absent locally; only check what we
+    // have — the remote gateway re-checks on arrival.
+    if (page != nullptr) {
+      for (const auto& child : job.children()) {
+        if (!child->is_task()) continue;
+        const auto& task =
+            static_cast<const ajo::AbstractTaskObject&>(*child);
+        if (auto status = page->admits(task.resource_request()); !status.ok())
+          return status;
+        if (child->type() == ajo::ActionType::kLinkTask) {
+          const auto& link = static_cast<const ajo::LinkTask&>(*child);
+          for (const auto& library : link.libraries)
+            if (!page->has_software(resources::SoftwareKind::kLibrary,
+                                    library))
+              return util::make_error(
+                  util::ErrorCode::kNotFound,
+                  "library not available at " + job.vsite + ": " + library);
+        }
+      }
+    }
+  }
+  for (const auto& child : job.children())
+    if (child->is_job()) {
+      auto status = check_against_pages(
+          static_cast<const ajo::AbstractJobObject&>(*child), pages);
+      if (!status.ok()) return status;
+    }
+  return util::Status::ok_status();
+}
+
+}  // namespace
+
+Result<ajo::AbstractJobObject> JobBuilder::build_checked(
+    const crypto::DistinguishedName& user,
+    const std::vector<resources::ResourcePage>& pages) const {
+  auto job = build(user);
+  if (!job) return job;
+  if (auto status = check_against_pages(job.value(), pages); !status.ok())
+    return status.error();
+  return job;
+}
+
+}  // namespace unicore::client

@@ -1,0 +1,97 @@
+// The job-preparation half of the JPA (§4.1/§5.7): assembles a
+// hierarchically structured UNICORE job — tasks, sub-jobs for other
+// destination systems, dependencies with file carriage — and checks it
+// against the destination's resource pages before submission, exactly
+// the assistance the GUI gives the user ("resource information ...
+// provided together with the applet to the user to support him/her in
+// generating jobs suitable for the destination system", §4.2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ajo/job.h"
+#include "ajo/services.h"
+#include "ajo/tasks.h"
+#include "resources/resource_page.h"
+#include "util/result.h"
+
+namespace unicore::client {
+
+/// Per-task knobs: the §5.4 resource request plus the simulated
+/// behaviour (see DESIGN.md §2).
+struct TaskOptions {
+  resources::ResourceSet resources;
+  ajo::TaskBehavior behavior;
+};
+
+class JobBuilder {
+ public:
+  explicit JobBuilder(std::string job_name);
+
+  JobBuilder& destination(std::string usite, std::string vsite);
+  JobBuilder& account_group(std::string group);
+  JobBuilder& site_security_info(std::string info);
+
+  // --- data staging ---------------------------------------------------
+  /// Stages a file from the user's workstation; its bytes travel inside
+  /// the AJO (§5.6).
+  ajo::ActionId import_from_workstation(const std::string& uspace_name,
+                                        util::Bytes content,
+                                        std::string task_name = "");
+  ajo::ActionId import_from_xspace(const std::string& volume,
+                                   const std::string& path,
+                                   const std::string& uspace_name,
+                                   std::string task_name = "");
+  ajo::ActionId export_to_xspace(const std::string& uspace_name,
+                                 const std::string& volume,
+                                 const std::string& path,
+                                 std::string task_name = "");
+  /// Moves a Uspace file to the Uspace of a sub-job (possibly remote).
+  ajo::ActionId transfer_to_subjob(const std::string& uspace_name,
+                                   ajo::ActionId target_subjob,
+                                   std::string rename_to = "",
+                                   std::string task_name = "");
+
+  // --- compute tasks ----------------------------------------------------
+  ajo::ActionId compile(std::string task_name, const std::string& source,
+                        const std::string& object,
+                        const TaskOptions& options = {},
+                        std::vector<std::string> flags = {});
+  ajo::ActionId link(std::string task_name,
+                     std::vector<std::string> objects,
+                     const std::string& executable,
+                     const TaskOptions& options = {},
+                     std::vector<std::string> libraries = {});
+  ajo::ActionId run(std::string task_name, const std::string& executable,
+                    const TaskOptions& options = {},
+                    std::vector<std::string> arguments = {});
+  ajo::ActionId script(std::string task_name, std::string script_text,
+                       const TaskOptions& options = {});
+
+  // --- structure -------------------------------------------------------
+  /// Adds a sub-job built separately (a job group for another — possibly
+  /// remote — destination system).
+  ajo::ActionId add_subjob(ajo::AbstractJobObject subjob);
+
+  /// Sequential dependency; `files` names the Uspace data sets UNICORE
+  /// must guarantee the successor sees (§5.7).
+  JobBuilder& after(ajo::ActionId predecessor, ajo::ActionId successor,
+                    std::vector<std::string> files = {});
+
+  /// Finalises the job for `user`. Runs AbstractJobObject::validate().
+  util::Result<ajo::AbstractJobObject> build(
+      const crypto::DistinguishedName& user) const;
+
+  /// Like build(), but additionally checks every task's resource request
+  /// and software needs against the destination's resource page — what
+  /// the JPA GUI does as the user types.
+  util::Result<ajo::AbstractJobObject> build_checked(
+      const crypto::DistinguishedName& user,
+      const std::vector<resources::ResourcePage>& pages) const;
+
+ private:
+  ajo::AbstractJobObject job_;
+};
+
+}  // namespace unicore::client

@@ -1,0 +1,24 @@
+// Saving and re-loading UNICORE jobs (§5.7): "The functions offered to
+// the users by the JPA include creation of a new UNICORE job, loading
+// of an old UNICORE job for resubmission, and loading and modification
+// of an old UNICORE job." Jobs persist on the user's workstation in the
+// canonical AJO wire format with a small header.
+#pragma once
+
+#include <string>
+
+#include "ajo/job.h"
+#include "util/result.h"
+
+namespace unicore::client {
+
+/// Serializes a job to a byte image (magic + version + AJO encoding).
+util::Bytes serialize_job(const ajo::AbstractJobObject& job);
+util::Result<ajo::AbstractJobObject> deserialize_job(util::ByteView image);
+
+/// Writes/reads the image to/from the real filesystem.
+util::Status save_job(const std::string& path,
+                      const ajo::AbstractJobObject& job);
+util::Result<ajo::AbstractJobObject> load_job(const std::string& path);
+
+}  // namespace unicore::client

@@ -1,0 +1,41 @@
+// Signed software bundles — the reproduction's analogue of UNICORE's
+// signed Java applets (§4.1/§5.2): the client fetches the JPA/JMC
+// software from the Usite server at connect time and verifies the
+// developer signature before "running" it, so the user always works with
+// the latest, untampered version.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "crypto/x509.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace unicore::crypto {
+
+struct SoftwareBundle {
+  std::string name;          // "JPA", "JMC"
+  std::uint32_t version = 0; // monotonically increasing release number
+  util::Bytes payload;       // the "applet" bytes
+  Certificate signer;        // developer certificate (code-signing usage)
+  Signature signature;       // over canonical encoding of name|version|payload
+
+  /// Canonical byte string the developer signs.
+  util::Bytes signing_input() const;
+
+  /// Serialized form served over the wire.
+  util::Bytes encode() const;
+  static util::Result<SoftwareBundle> decode(util::ByteView wire);
+};
+
+/// Creates and signs a bundle with the developer credential.
+SoftwareBundle make_bundle(std::string name, std::uint32_t version,
+                           util::Bytes payload, const Credential& developer);
+
+/// Verifies the developer chain against `trust` and the payload
+/// signature; `options.required_usage` is forced to kUsageCodeSign.
+util::Status verify_bundle(const SoftwareBundle& bundle,
+                           const TrustStore& trust, std::int64_t now);
+
+}  // namespace unicore::crypto

@@ -1,0 +1,58 @@
+#include "crypto/cipher.h"
+
+#include "crypto/hmac.h"
+
+namespace unicore::crypto {
+
+util::Bytes ctr_crypt(const SymmetricKey& key, std::uint64_t nonce,
+                      util::ByteView data) {
+  util::Bytes out(data.size());
+  std::uint64_t counter = 0;
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    util::ByteWriter block_input;
+    block_input.raw(key.material);
+    block_input.u64(nonce);
+    block_input.u64(counter++);
+    Digest stream = sha256(block_input.bytes());
+    std::size_t take = std::min<std::size_t>(stream.size(), data.size() - pos);
+    for (std::size_t i = 0; i < take; ++i)
+      out[pos + i] = data[pos + i] ^ stream[i];
+    pos += take;
+  }
+  return out;
+}
+
+namespace {
+Digest record_tag(const SymmetricKey& mac_key, std::uint64_t nonce,
+                  util::ByteView ciphertext, util::ByteView aad) {
+  util::ByteWriter mac_input;
+  mac_input.u64(nonce);
+  mac_input.blob(ciphertext);
+  mac_input.blob(aad);
+  return hmac_sha256(mac_key.material, mac_input.bytes());
+}
+}  // namespace
+
+SealedRecord seal(const SymmetricKey& enc_key, const SymmetricKey& mac_key,
+                  std::uint64_t nonce, util::ByteView plaintext,
+                  util::ByteView aad) {
+  SealedRecord record;
+  record.nonce = nonce;
+  record.ciphertext = ctr_crypt(enc_key, nonce, plaintext);
+  record.tag = record_tag(mac_key, nonce, record.ciphertext, aad);
+  return record;
+}
+
+util::Result<util::Bytes> open(const SymmetricKey& enc_key,
+                               const SymmetricKey& mac_key,
+                               const SealedRecord& record,
+                               util::ByteView aad) {
+  Digest expected = record_tag(mac_key, record.nonce, record.ciphertext, aad);
+  if (!util::constant_time_equal(expected, record.tag))
+    return util::make_error(util::ErrorCode::kAuthenticationFailed,
+                            "record MAC verification failed");
+  return ctr_crypt(enc_key, record.nonce, record.ciphertext);
+}
+
+}  // namespace unicore::crypto

@@ -1,0 +1,46 @@
+// Symmetric record protection for the SecureChannel.
+//
+// The keystream is SHA-256 in counter mode over (key || nonce || counter)
+// — a standard hash-CTR construction. seal()/open() provide
+// encrypt-then-MAC authenticated encryption: ciphertext is XOR with the
+// keystream, the tag is HMAC-SHA256 over (nonce || ciphertext || aad).
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace unicore::crypto {
+
+/// Symmetric key (32 bytes of HKDF output).
+struct SymmetricKey {
+  util::Bytes material;  // 32 bytes
+};
+
+/// XORs `data` with the hash-CTR keystream for (key, nonce). Applying it
+/// twice with the same parameters restores the plaintext.
+util::Bytes ctr_crypt(const SymmetricKey& key, std::uint64_t nonce,
+                      util::ByteView data);
+
+/// Sealed (encrypted + authenticated) record.
+struct SealedRecord {
+  std::uint64_t nonce = 0;
+  util::Bytes ciphertext;
+  Digest tag{};
+};
+
+/// Encrypt-then-MAC. `aad` is authenticated but not encrypted (used for
+/// record headers / sequence numbers).
+SealedRecord seal(const SymmetricKey& enc_key, const SymmetricKey& mac_key,
+                  std::uint64_t nonce, util::ByteView plaintext,
+                  util::ByteView aad);
+
+/// Verifies the tag (constant-time) and decrypts. Fails with
+/// kAuthenticationFailed on any mismatch.
+util::Result<util::Bytes> open(const SymmetricKey& enc_key,
+                               const SymmetricKey& mac_key,
+                               const SealedRecord& record, util::ByteView aad);
+
+}  // namespace unicore::crypto

@@ -1,0 +1,24 @@
+// HMAC-SHA256 (RFC 2104) and HKDF (RFC 5869).
+//
+// HMAC protects the record layer of the SecureChannel; HKDF derives the
+// per-direction session keys from the Diffie–Hellman shared secret during
+// the SSL-style handshake.
+#pragma once
+
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+
+namespace unicore::crypto {
+
+/// HMAC-SHA256 over `data` with `key` (any key length).
+Digest hmac_sha256(util::ByteView key, util::ByteView data);
+
+/// HKDF-Extract: PRK = HMAC(salt, ikm).
+Digest hkdf_extract(util::ByteView salt, util::ByteView ikm);
+
+/// HKDF-Expand: derives `length` bytes of key material bound to `info`.
+/// length must be <= 255 * 32.
+util::Bytes hkdf_expand(const Digest& prk, util::ByteView info,
+                        std::size_t length);
+
+}  // namespace unicore::crypto

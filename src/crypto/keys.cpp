@@ -1,0 +1,69 @@
+#include "crypto/keys.h"
+
+namespace unicore::crypto {
+
+std::string PublicKey::to_string() const {
+  return "rsa(n=" + std::to_string(n) + ",e=" + std::to_string(e) + ")";
+}
+
+PrivateKey generate_keypair(util::Rng& rng) {
+  constexpr std::uint64_t kPublicExponent = 65537;
+  for (;;) {
+    std::uint64_t p = random_prime(rng, 32);
+    std::uint64_t q = random_prime(rng, 32);
+    if (p == q) continue;
+    std::uint64_t n = p * q;  // < 2^64, no overflow
+    std::uint64_t phi = (p - 1) * (q - 1);
+    if (gcd(kPublicExponent, phi) != 1) continue;
+    std::uint64_t d = modinv(kPublicExponent, phi);
+    if (d == 0) continue;
+    PrivateKey key;
+    key.pub.n = n;
+    key.pub.e = kPublicExponent;
+    key.d = d;
+    return key;
+  }
+}
+
+Signature sign_digest(const PrivateKey& key, const Digest& digest) {
+  std::uint64_t h = digest_prefix64(digest) % key.pub.n;
+  return Signature{powmod(h, key.d, key.pub.n)};
+}
+
+Signature sign_message(const PrivateKey& key, util::ByteView message) {
+  return sign_digest(key, sha256(message));
+}
+
+bool verify_digest(const PublicKey& key, const Digest& digest,
+                   const Signature& sig) {
+  if (!key.valid()) return false;
+  std::uint64_t h = digest_prefix64(digest) % key.n;
+  return powmod(sig.value, key.e, key.n) == h;
+}
+
+bool verify_message(const PublicKey& key, util::ByteView message,
+                    const Signature& sig) {
+  return verify_digest(key, sha256(message), sig);
+}
+
+std::uint64_t dh_prime() {
+  // Largest 64-bit prime: 2^64 - 59.
+  return 0xffffffffffffffc5ULL;
+}
+
+std::uint64_t dh_generator() { return 5; }
+
+DhKeyPair dh_generate(util::Rng& rng) {
+  DhKeyPair pair;
+  // Secret exponent in [2, p-2].
+  pair.secret = 2 + rng.below(dh_prime() - 3);
+  pair.public_value = powmod(dh_generator(), pair.secret, dh_prime());
+  return pair;
+}
+
+std::uint64_t dh_shared_secret(const DhKeyPair& mine,
+                               std::uint64_t peer_public) {
+  return powmod(peer_public, mine.secret, dh_prime());
+}
+
+}  // namespace unicore::crypto

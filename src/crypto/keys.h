@@ -1,0 +1,71 @@
+// Public-key primitives: toy RSA signatures and classic Diffie–Hellman.
+//
+// Substitution note (DESIGN.md §2): the modulus is 64 bits instead of
+// 1024+, so these keys have no cryptographic strength — but keygen,
+// sign, verify, and key agreement run the genuine algorithms, which is
+// what the middleware's code paths exercise.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "crypto/modmath.h"
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace unicore::crypto {
+
+/// RSA public key (n, e).
+struct PublicKey {
+  std::uint64_t n = 0;
+  std::uint64_t e = 0;
+
+  bool operator==(const PublicKey&) const = default;
+  bool valid() const { return n > 1 && e > 1; }
+  std::string to_string() const;
+};
+
+/// RSA private key; keeps the public half alongside d.
+struct PrivateKey {
+  PublicKey pub;
+  std::uint64_t d = 0;
+};
+
+/// RSA signature: sig = H(m)^d mod n, with H(m) the 64-bit digest prefix
+/// reduced mod n.
+struct Signature {
+  std::uint64_t value = 0;
+  bool operator==(const Signature&) const = default;
+};
+
+/// Generates an RSA keypair with two 32-bit primes (64-bit modulus).
+PrivateKey generate_keypair(util::Rng& rng);
+
+/// Signs a message digest.
+Signature sign_digest(const PrivateKey& key, const Digest& digest);
+Signature sign_message(const PrivateKey& key, util::ByteView message);
+
+/// Verifies sig against the digest under `key`.
+bool verify_digest(const PublicKey& key, const Digest& digest,
+                   const Signature& sig);
+bool verify_message(const PublicKey& key, util::ByteView message,
+                    const Signature& sig);
+
+/// Diffie–Hellman over the fixed 64-bit prime group used by the
+/// SecureChannel handshake.
+struct DhKeyPair {
+  std::uint64_t secret = 0;  // a
+  std::uint64_t public_value = 0;  // g^a mod p
+};
+
+/// The group parameters (largest 64-bit prime, generator 5).
+std::uint64_t dh_prime();
+std::uint64_t dh_generator();
+
+DhKeyPair dh_generate(util::Rng& rng);
+
+/// Computes (peer_public ^ secret) mod p.
+std::uint64_t dh_shared_secret(const DhKeyPair& mine, std::uint64_t peer_public);
+
+}  // namespace unicore::crypto

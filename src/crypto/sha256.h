@@ -1,0 +1,51 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used as the single hash primitive of the security architecture:
+// certificate fingerprints and signatures, HMAC record protection, the
+// CTR keystream, and content checksums for staged files.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace unicore::crypto {
+
+using Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256 context.
+class Sha256 {
+ public:
+  Sha256();
+
+  Sha256& update(util::ByteView data);
+  Sha256& update(std::string_view s) {
+    return update(util::ByteView(reinterpret_cast<const std::uint8_t*>(s.data()),
+                                 s.size()));
+  }
+
+  /// Finishes the hash; the context must not be reused afterwards.
+  Digest finish();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bits_ = 0;
+};
+
+/// One-shot convenience.
+Digest sha256(util::ByteView data);
+Digest sha256(std::string_view s);
+
+/// Digest as a Bytes value (for wire formats).
+util::Bytes digest_bytes(const Digest& d);
+
+/// First 8 bytes of the digest as a big-endian integer; used as the
+/// to-be-signed representative in the toy RSA scheme.
+std::uint64_t digest_prefix64(const Digest& d);
+
+}  // namespace unicore::crypto

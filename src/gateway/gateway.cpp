@@ -1,0 +1,177 @@
+#include "gateway/gateway.h"
+
+namespace unicore::gateway {
+
+using util::ErrorCode;
+using util::Result;
+using util::Status;
+
+void Gateway::audit(std::int64_t now, const std::string& subject,
+                    const std::string& action, bool accepted,
+                    std::string detail) {
+  audit_.push_back({now, subject, action, accepted, std::move(detail)});
+}
+
+Result<AuthenticatedUser> Gateway::authenticate_user(
+    const crypto::Certificate& cert, std::int64_t now) {
+  crypto::ValidationOptions options;
+  options.now = now;
+  options.required_usage = crypto::kUsageClientAuth;
+  if (auto status = trust_.validate(cert, {}, options); !status.ok()) {
+    audit(now, cert.subject.to_string(), "authenticate", false,
+          status.error().message);
+    return status.error();
+  }
+
+  auto entry = uudb_.lookup(cert.subject);
+  if (!entry) {
+    audit(now, cert.subject.to_string(), "authenticate", false,
+          entry.error().message);
+    return entry.error();
+  }
+  if (entry.value().suspended) {
+    audit(now, cert.subject.to_string(), "authenticate", false, "suspended");
+    return util::make_error(ErrorCode::kPermissionDenied,
+                            "user suspended at " + usite_ + ": " +
+                                cert.subject.to_string());
+  }
+
+  AuthenticatedUser user;
+  user.dn = cert.subject;
+  user.login = entry.value().login;
+  user.account_groups = entry.value().account_groups;
+  audit(now, cert.subject.to_string(), "authenticate", true,
+        "login=" + user.login);
+  return user;
+}
+
+Status Gateway::authenticate_server(const crypto::Certificate& cert,
+                                    std::int64_t now) {
+  crypto::ValidationOptions options;
+  options.now = now;
+  options.required_usage = crypto::kUsageServerAuth;
+  auto status = trust_.validate(cert, {}, options);
+  audit(now, cert.subject.to_string(), "server-auth", status.ok(),
+        status.ok() ? "" : status.error().message);
+  return status;
+}
+
+Result<AuthenticatedUser> Gateway::check_consignment(
+    const ajo::SignedAjo& signed_ajo, std::int64_t now) {
+  const std::string subject = signed_ajo.user_certificate.subject.to_string();
+
+  auto user = authenticate_user(signed_ajo.user_certificate, now);
+  if (!user) {
+    audit(now, subject, "consign", false, user.error().message);
+    return user.error();
+  }
+
+  if (!ajo::verify_ajo_signature(signed_ajo)) {
+    audit(now, subject, "consign", false, "AJO signature invalid");
+    return util::make_error(ErrorCode::kAuthenticationFailed,
+                            "AJO signature does not verify against the "
+                            "presented certificate");
+  }
+
+  // The job must be consigned under the identity that signed it.
+  if (signed_ajo.job.user != signed_ajo.user_certificate.subject) {
+    audit(now, subject, "consign", false, "AJO user != certificate subject");
+    return util::make_error(ErrorCode::kPermissionDenied,
+                            "AJO names a different user than the signing "
+                            "certificate");
+  }
+
+  // Account-group authorisation: an explicit group must be one of the
+  // user's; an empty group falls back to the user's first group.
+  const std::string& group = signed_ajo.job.account_group;
+  auto in_group = [&user](const std::string& g) {
+    for (const auto& candidate : user.value().account_groups)
+      if (candidate == g) return true;
+    return false;
+  };
+  if (!group.empty() && !in_group(group)) {
+    audit(now, subject, "consign", false, "group " + group + " not allowed");
+    return util::make_error(ErrorCode::kPermissionDenied,
+                            "account group not authorised: " + group);
+  }
+
+  if (auto status = signed_ajo.job.validate(); !status.ok()) {
+    audit(now, subject, "consign", false, status.error().message);
+    return status.error();
+  }
+
+  if (site_hook_) {
+    auto status = site_hook_(signed_ajo.user_certificate,
+                             signed_ajo.job.site_security_info);
+    if (!status.ok()) {
+      audit(now, subject, "consign", false,
+            "site auth: " + status.error().message);
+      return status.error();
+    }
+  }
+
+  audit(now, subject, "consign", true, "login=" + user.value().login);
+  return user;
+}
+
+Result<AuthenticatedUser> Gateway::check_forwarded_consignment(
+    const ajo::AbstractJobObject& job,
+    const crypto::Certificate& user_certificate,
+    const crypto::Certificate& consignor_certificate,
+    const crypto::Signature& signature, util::ByteView signing_input,
+    std::int64_t now) {
+  const std::string subject = user_certificate.subject.to_string() +
+                              " via " +
+                              consignor_certificate.subject.to_string();
+
+  if (auto status = authenticate_server(consignor_certificate, now);
+      !status.ok()) {
+    audit(now, subject, "consign-forwarded", false, status.error().message);
+    return status.error();
+  }
+
+  if (!crypto::verify_message(consignor_certificate.subject_key,
+                              signing_input, signature)) {
+    audit(now, subject, "consign-forwarded", false,
+          "endorsement signature invalid");
+    return util::make_error(ErrorCode::kAuthenticationFailed,
+                            "forwarded consignment endorsement does not "
+                            "verify");
+  }
+
+  auto user = authenticate_user(user_certificate, now);
+  if (!user) {
+    audit(now, subject, "consign-forwarded", false, user.error().message);
+    return user.error();
+  }
+
+  if (job.user != user_certificate.subject) {
+    audit(now, subject, "consign-forwarded", false,
+          "job user != certificate subject");
+    return util::make_error(ErrorCode::kPermissionDenied,
+                            "forwarded job names a different user than the "
+                            "accompanying certificate");
+  }
+
+  const std::string& group = job.account_group;
+  bool group_ok = group.empty();
+  for (const auto& candidate : user.value().account_groups)
+    if (candidate == group) group_ok = true;
+  if (!group_ok) {
+    audit(now, subject, "consign-forwarded", false,
+          "group " + group + " not allowed");
+    return util::make_error(ErrorCode::kPermissionDenied,
+                            "account group not authorised: " + group);
+  }
+
+  if (auto status = job.validate(); !status.ok()) {
+    audit(now, subject, "consign-forwarded", false, status.error().message);
+    return status.error();
+  }
+
+  audit(now, subject, "consign-forwarded", true,
+        "login=" + user.value().login);
+  return user;
+}
+
+}  // namespace unicore::gateway

@@ -1,0 +1,96 @@
+// The gateway (Java security servlet of §4.2/§5.2): authenticates
+// certificates against the site's trust store, maps them to local
+// logins through the UUDB, runs optional site-specific authentication
+// (smart cards / DCE), authorises account groups, and keeps an audit
+// trail. Every consignment entering a Usite — from a user's JPA/JMC or
+// from a peer NJS — passes through here.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ajo/job.h"
+#include "crypto/x509.h"
+#include "gateway/uudb.h"
+#include "util/result.h"
+
+namespace unicore::gateway {
+
+/// Result of a successful authentication: who the certificate is locally.
+struct AuthenticatedUser {
+  crypto::DistinguishedName dn;
+  std::string login;
+  std::vector<std::string> account_groups;
+};
+
+/// Hook for "sites that require the use of smart cards or run DCE"
+/// (§4.2): called after certificate validation with the AJO's opaque
+/// site_security_info; a failing status rejects the consignment.
+using SiteAuthHook = std::function<util::Status(
+    const crypto::Certificate& cert, const std::string& site_security_info)>;
+
+struct AuditRecord {
+  std::int64_t at_epoch_seconds = 0;
+  std::string subject;   // DN string
+  std::string action;    // "authenticate", "consign", "server-auth"
+  bool accepted = false;
+  std::string detail;
+};
+
+class Gateway {
+ public:
+  Gateway(std::string usite, crypto::TrustStore trust, UserDatabase uudb)
+      : usite_(std::move(usite)),
+        trust_(std::move(trust)),
+        uudb_(std::move(uudb)) {}
+
+  const std::string& usite() const { return usite_; }
+  crypto::TrustStore& trust_store() { return trust_; }
+  const crypto::TrustStore& trust_store() const { return trust_; }
+  UserDatabase& uudb() { return uudb_; }
+
+  void set_site_auth_hook(SiteAuthHook hook) { site_hook_ = std::move(hook); }
+
+  /// Validates a *user* certificate (client-auth usage, chain, CRL) and
+  /// maps it to the local identity.
+  util::Result<AuthenticatedUser> authenticate_user(
+      const crypto::Certificate& cert, std::int64_t now_epoch_seconds);
+
+  /// Validates a *server* certificate presented by a peer NJS/gateway in
+  /// NJS–NJS communication.
+  util::Status authenticate_server(const crypto::Certificate& cert,
+                                   std::int64_t now_epoch_seconds);
+
+  /// Full consignment check for a signed AJO: user authentication, AJO
+  /// signature over the canonical encoding, account-group authorisation,
+  /// structural validation of the job, and the site hook.
+  util::Result<AuthenticatedUser> check_consignment(
+      const ajo::SignedAjo& signed_ajo, std::int64_t now_epoch_seconds);
+
+  /// Consignment check for a job group forwarded NJS-to-NJS (§4.3): the
+  /// consigning *server* endorses the job with its own signature over
+  /// `signing_input`; the original user's certificate is still mapped
+  /// through the UUDB so the job runs under the local login.
+  util::Result<AuthenticatedUser> check_forwarded_consignment(
+      const ajo::AbstractJobObject& job,
+      const crypto::Certificate& user_certificate,
+      const crypto::Certificate& consignor_certificate,
+      const crypto::Signature& signature, util::ByteView signing_input,
+      std::int64_t now_epoch_seconds);
+
+  const std::vector<AuditRecord>& audit_log() const { return audit_; }
+
+ private:
+  void audit(std::int64_t now, const std::string& subject,
+             const std::string& action, bool accepted, std::string detail);
+
+  std::string usite_;
+  crypto::TrustStore trust_;
+  UserDatabase uudb_;
+  SiteAuthHook site_hook_;
+  std::vector<AuditRecord> audit_;
+};
+
+}  // namespace unicore::gateway

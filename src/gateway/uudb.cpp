@@ -1,0 +1,40 @@
+#include "gateway/uudb.h"
+
+namespace unicore::gateway {
+
+using util::ErrorCode;
+using util::Result;
+using util::Status;
+
+void UserDatabase::add_mapping(const crypto::DistinguishedName& dn,
+                               UserEntry entry) {
+  entries_[dn.to_string()] = std::move(entry);
+}
+
+Status UserDatabase::remove_mapping(const crypto::DistinguishedName& dn) {
+  if (entries_.erase(dn.to_string()) == 0)
+    return util::make_error(ErrorCode::kNotFound,
+                            "no mapping for " + dn.to_string());
+  return Status::ok_status();
+}
+
+Status UserDatabase::set_suspended(const crypto::DistinguishedName& dn,
+                                   bool suspended) {
+  auto it = entries_.find(dn.to_string());
+  if (it == entries_.end())
+    return util::make_error(ErrorCode::kNotFound,
+                            "no mapping for " + dn.to_string());
+  it->second.suspended = suspended;
+  return Status::ok_status();
+}
+
+Result<UserEntry> UserDatabase::lookup(
+    const crypto::DistinguishedName& dn) const {
+  auto it = entries_.find(dn.to_string());
+  if (it == entries_.end())
+    return util::make_error(ErrorCode::kPermissionDenied,
+                            "no local mapping for " + dn.to_string());
+  return it->second;
+}
+
+}  // namespace unicore::gateway

@@ -1,0 +1,57 @@
+// The site's user database for certificate -> login mapping.
+//
+// "With the X.509 user certificate being the uniform and unique UNICORE
+//  user identification a mapping process has been implemented in the
+//  form of a Java servlet which maps the user's distinguished name to
+//  the corresponding user-id. Each UNICORE site administration therefore
+//  maintains a user data base for the local mapping." (§5.2)
+//
+// "This mechanism eliminates the need to install uniform UNIX uid/gid
+//  pairs for UNICORE users." (§4)
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "crypto/x509.h"
+#include "util/result.h"
+
+namespace unicore::gateway {
+
+/// One mapping entry: the local identity a certificate resolves to.
+struct UserEntry {
+  std::string login;                         // local user-id at the Vsites
+  std::vector<std::string> account_groups;   // groups the user may charge
+  bool suspended = false;                    // site admin kill switch
+
+  bool in_group(const std::string& group) const {
+    for (const auto& g : account_groups)
+      if (g == group) return true;
+    return false;
+  }
+};
+
+class UserDatabase {
+ public:
+  /// Adds or replaces the mapping for `dn`.
+  void add_mapping(const crypto::DistinguishedName& dn, UserEntry entry);
+
+  util::Status remove_mapping(const crypto::DistinguishedName& dn);
+
+  /// Marks/unmarks a user as suspended without removing the mapping.
+  util::Status set_suspended(const crypto::DistinguishedName& dn,
+                             bool suspended);
+
+  util::Result<UserEntry> lookup(const crypto::DistinguishedName& dn) const;
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  // Keyed by the RFC 2253 rendering of the DN — distinct DNs render
+  // distinctly because attribute order is fixed.
+  std::map<std::string, UserEntry> entries_;
+};
+
+}  // namespace unicore::gateway

@@ -1,0 +1,149 @@
+#include "grid/grid.h"
+
+namespace unicore::grid {
+
+namespace {
+
+crypto::DistinguishedName ca_name() {
+  crypto::DistinguishedName dn;
+  dn.country = "DE";
+  dn.organization = "DFN-PCA";
+  dn.organizational_unit = "Policy Certification Authority";
+  dn.common_name = "UNICORE Root CA";
+  return dn;
+}
+
+constexpr std::int64_t kTwoYears = 2 * 365 * 86'400LL;
+
+}  // namespace
+
+Grid::Grid(std::uint64_t seed)
+    : rng_(seed),
+      network_(engine_, util::Rng(seed ^ 0x9e3779b97f4a7c15ULL)),
+      ca_(ca_name(), rng_, net::kSimulationEpoch, kTwoYears * 5) {
+  crypto::DistinguishedName dev;
+  dev.country = "DE";
+  dev.organization = "UNICORE Consortium";
+  dev.organizational_unit = "Software Development";
+  dev.common_name = "UNICORE Release Engineering";
+  developer_ = ca_.issue_credential(
+      dev, rng_, net::kSimulationEpoch, kTwoYears,
+      crypto::kUsageCodeSign | crypto::kUsageDigitalSignature);
+
+  // 1999 German research network (B-WiN): ~34 Mbit/s backbone, ~15 ms
+  // between sites.
+  net::LinkProfile wan;
+  wan.latency = sim::msec(15);
+  wan.bandwidth_bytes_per_sec = 4.25e6;
+  wan.loss_probability = 0.0;
+  network_.set_default_link(wan);
+}
+
+crypto::TrustStore Grid::make_trust_store() const {
+  crypto::TrustStore trust;
+  trust.add_root(ca_.certificate());
+  return trust;
+}
+
+server::UsiteServer& Grid::add_site(SiteSpec spec) {
+  crypto::DistinguishedName dn;
+  dn.country = "DE";
+  dn.organization = spec.config.name;
+  dn.organizational_unit = "UNICORE Server";
+  dn.common_name = spec.config.gateway_host;
+  crypto::Credential credential = ca_.issue_credential(
+      dn, rng_, now_epoch(), kTwoYears,
+      crypto::kUsageServerAuth | crypto::kUsageDigitalSignature);
+
+  auto server = std::make_unique<server::UsiteServer>(
+      engine_, network_, rng_, spec.config, std::move(credential),
+      make_trust_store(), gateway::UserDatabase{});
+  for (auto& vsite : spec.vsites) server->njs().add_vsite(std::move(vsite));
+
+  auto payload = [this](const std::string& component) {
+    return util::to_bytes("UNICORE " + component + " applet v" +
+                          std::to_string(bundle_version_));
+  };
+  server->publish_bundle(crypto::make_bundle("JPA", bundle_version_,
+                                             payload("JPA"), developer_));
+  server->publish_bundle(crypto::make_bundle("JMC", bundle_version_,
+                                             payload("JMC"), developer_));
+
+  auto status = server->start();
+  (void)status;  // listen clashes only on duplicate site configs
+  server->apply_firewall_rules();
+
+  const std::string name = spec.config.name;
+  auto& slot = servers_[name];
+  slot = std::move(server);
+  return *slot;
+}
+
+server::UsiteServer* Grid::site(const std::string& name) {
+  auto it = servers_.find(name);
+  return it == servers_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Grid::sites() const {
+  std::vector<std::string> out;
+  out.reserve(servers_.size());
+  for (const auto& [name, server] : servers_) out.push_back(name);
+  return out;
+}
+
+void Grid::connect_all_peers() {
+  for (auto& [name, server] : servers_)
+    for (auto& [peer_name, peer] : servers_)
+      if (name != peer_name) server->add_peer(peer_name, peer->address());
+}
+
+crypto::Credential Grid::create_user(const std::string& common_name,
+                                     const std::string& organization,
+                                     const std::string& email) {
+  crypto::DistinguishedName dn;
+  dn.country = "DE";
+  dn.organization = organization;
+  dn.common_name = common_name;
+  dn.email = email;
+  return ca_.issue_credential(
+      dn, rng_, now_epoch(), kTwoYears,
+      crypto::kUsageClientAuth | crypto::kUsageDigitalSignature);
+}
+
+util::Status Grid::map_user(const crypto::DistinguishedName& user,
+                            const std::string& usite,
+                            const std::string& login,
+                            std::vector<std::string> account_groups) {
+  auto* server = site(usite);
+  if (server == nullptr)
+    return util::make_error(util::ErrorCode::kNotFound,
+                            "no such usite: " + usite);
+  gateway::UserEntry entry;
+  entry.login = login;
+  entry.account_groups = std::move(account_groups);
+  server->gateway().uudb().add_mapping(user, std::move(entry));
+  return util::Status::ok_status();
+}
+
+void Grid::revoke_certificate(std::uint64_t serial) {
+  ca_.revoke(serial);
+  crypto::RevocationList crl = ca_.crl(now_epoch());
+  for (auto& [name, server] : servers_)
+    (void)server->gateway().trust_store().add_crl(crl);
+}
+
+void Grid::publish_client_software(std::uint32_t version) {
+  bundle_version_ = version;
+  for (auto& [name, server] : servers_) {
+    server->publish_bundle(crypto::make_bundle(
+        "JPA", version,
+        util::to_bytes("UNICORE JPA applet v" + std::to_string(version)),
+        developer_));
+    server->publish_bundle(crypto::make_bundle(
+        "JMC", version,
+        util::to_bytes("UNICORE JMC applet v" + std::to_string(version)),
+        developer_));
+  }
+}
+
+}  // namespace unicore::grid

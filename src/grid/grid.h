@@ -1,0 +1,82 @@
+// Top-level assembly of a UNICORE deployment (Figure 2): one simulation
+// engine and network fabric, a certificate authority (the DFN-PCA role),
+// Usite servers with their Vsites, inter-site peering, registered users,
+// and published client software bundles.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "crypto/bundle.h"
+#include "crypto/x509.h"
+#include "net/network.h"
+#include "njs/njs.h"
+#include "server/usite_server.h"
+#include "sim/engine.h"
+#include "util/rng.h"
+
+namespace unicore::grid {
+
+class Grid {
+ public:
+  explicit Grid(std::uint64_t seed = 1999);
+
+  sim::Engine& engine() { return engine_; }
+  net::Network& network() { return network_; }
+  util::Rng& rng() { return rng_; }
+  crypto::CertificateAuthority& ca() { return ca_; }
+  /// A trust store containing the grid's root CA (copy per consumer).
+  crypto::TrustStore make_trust_store() const;
+  const crypto::Credential& developer() const { return developer_; }
+
+  struct SiteSpec {
+    server::UsiteConfig config;
+    std::vector<njs::Njs::VsiteConfig> vsites;
+  };
+
+  /// Creates, starts, and registers a Usite server: issues its server
+  /// credential, installs the Vsites, publishes the current JPA/JMC
+  /// bundles, and applies firewall rules when the deployment is split.
+  server::UsiteServer& add_site(SiteSpec spec);
+
+  server::UsiteServer* site(const std::string& name);
+  std::vector<std::string> sites() const;
+
+  /// Makes every pair of sites peers of each other (Figure 2's "the
+  /// different servers are connected").
+  void connect_all_peers();
+
+  /// Issues a user credential signed by the grid CA.
+  crypto::Credential create_user(const std::string& common_name,
+                                 const std::string& organization,
+                                 const std::string& email);
+
+  /// Adds the UUDB mapping for `user` at `usite` (per-site logins — the
+  /// whole point of the certificate mapping, §4).
+  util::Status map_user(const crypto::DistinguishedName& user,
+                        const std::string& usite, const std::string& login,
+                        std::vector<std::string> account_groups);
+
+  /// Publishes fresh JPA/JMC bundles (version bump) at every site.
+  void publish_client_software(std::uint32_t version);
+
+  /// Revokes a certificate and distributes the fresh CRL to every
+  /// site's trust store — the DFN-PCA distribution path of §5.2.
+  void revoke_certificate(std::uint64_t serial);
+
+  /// Current certificate-validation time.
+  std::int64_t now_epoch() const { return net::epoch_seconds(engine_.now()); }
+
+ private:
+  sim::Engine engine_;
+  util::Rng rng_;
+  net::Network network_;
+  crypto::CertificateAuthority ca_;
+  crypto::Credential developer_;
+  std::map<std::string, std::unique_ptr<server::UsiteServer>> servers_;
+  std::uint32_t bundle_version_ = 1;
+};
+
+}  // namespace unicore::grid

@@ -1,0 +1,75 @@
+#include "grid/testbed.h"
+
+#include "batch/target_system.h"
+
+namespace unicore::grid {
+
+namespace {
+
+njs::Njs::VsiteConfig vsite_of(batch::SystemConfig system) {
+  njs::Njs::VsiteConfig config;
+  config.system = std::move(system);
+  return config;
+}
+
+Grid::SiteSpec site_spec(std::string name, std::string host_prefix,
+                         std::vector<njs::Njs::VsiteConfig> vsites) {
+  Grid::SiteSpec spec;
+  spec.config.name = std::move(name);
+  spec.config.gateway_host = "gw." + host_prefix + ".de";
+  spec.config.port = 4433;
+  spec.vsites = std::move(vsites);
+  return spec;
+}
+
+}  // namespace
+
+void make_german_testbed(Grid& grid, bool split_juelich) {
+  {
+    // FZ Jülich: the T3E-600 the project was built around.
+    Grid::SiteSpec spec = site_spec(
+        "FZ-Juelich", "fz-juelich",
+        {vsite_of(batch::make_cray_t3e("T3E-600", 512))});
+    if (split_juelich) {
+      spec.config.njs_host = "njs.fz-juelich.de";
+      spec.config.njs_port = 7700;
+    }
+    grid.add_site(std::move(spec));
+  }
+  grid.add_site(site_spec("RUS", "rus.uni-stuttgart",
+                          {vsite_of(batch::make_nec_sx4("SX-4", 4)),
+                           vsite_of(batch::make_cray_t3e("T3E-512", 512))}));
+  grid.add_site(site_spec("RUKA", "rz.uni-karlsruhe",
+                          {vsite_of(batch::make_ibm_sp2("SP2", 256))}));
+  grid.add_site(site_spec(
+      "LRZ", "lrz-muenchen",
+      {vsite_of(batch::make_fujitsu_vpp700("VPP700", 52))}));
+  grid.add_site(site_spec("ZIB", "zib",
+                          {vsite_of(batch::make_cray_t3e("T3E-900", 256))}));
+  grid.add_site(site_spec("DWD", "dwd",
+                          {vsite_of(batch::make_cray_t3e("T3E-DWD", 128)),
+                           vsite_of(batch::make_nec_sx4("SX-4-DWD", 2))}));
+  grid.connect_all_peers();
+}
+
+crypto::Credential add_testbed_user(Grid& grid, const std::string& name,
+                                    const std::string& email) {
+  crypto::Credential credential =
+      grid.create_user(name, "Testbed Research Group", email);
+  // Per-site logins deliberately differ: the certificate mapping is what
+  // makes the user uniform across sites (§4).
+  std::string base;
+  for (char c : name)
+    if (c != ' ') base.push_back(static_cast<char>(std::tolower(c)));
+  const char* prefixes[] = {"uc", "x", "hpc", "k", "zb", "dw"};
+  std::size_t i = 0;
+  for (const std::string& site : testbed_sites()) {
+    (void)grid.map_user(credential.certificate.subject, site,
+                        std::string(prefixes[i % 6]) + base,
+                        {"project-a", "project-b"});
+    ++i;
+  }
+  return credential;
+}
+
+}  // namespace unicore::grid

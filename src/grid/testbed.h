@@ -1,0 +1,36 @@
+// The 1999 German UNICORE testbed (§5.7): "UNICORE is running at
+// different German sites including the Forschungszentrum Jülich
+// (FZ Jülich), the Computing Centers of the universities of Stuttgart
+// (RUS) and Karlsruhe (RUKA), the Leibniz Computing Center of the
+// Bavarian Academy of Science in Munich (LRZ), the Konrad-Zuse Zentrum
+// für Informationstechnik in Berlin (ZIB), and the Deutscher
+// Wetterdienst in Offenbach (DWD). The systems covered are Cray T3E,
+// Fujitsu VPP/700, IBM SP-2, and NEC SX-4."
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "grid/grid.h"
+
+namespace unicore::grid {
+
+/// Site names of the testbed.
+inline const std::vector<std::string>& testbed_sites() {
+  static const std::vector<std::string> kSites = {
+      "FZ-Juelich", "RUS", "RUKA", "LRZ", "ZIB", "DWD"};
+  return kSites;
+}
+
+/// Installs the six 1999 sites (with plausible machine sizes) into
+/// `grid` and peers them all. `split_juelich` deploys FZ Jülich with
+/// the firewall-separated gateway/NJS configuration of §4.2.
+void make_german_testbed(Grid& grid, bool split_juelich = false);
+
+/// Creates a user, maps a per-site login at every testbed site
+/// ("uc<login_suffix>" etc. — logins intentionally differ per site, the
+/// situation §4 says the mapping removes), and returns the credential.
+crypto::Credential add_testbed_user(Grid& grid, const std::string& name,
+                                    const std::string& email);
+
+}  // namespace unicore::grid

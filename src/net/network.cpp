@@ -1,0 +1,170 @@
+#include "net/network.h"
+
+#include <algorithm>
+
+namespace unicore::net {
+
+// Shared state between the two endpoints of a connection.
+struct Endpoint::ConnectionState {
+  Network* network = nullptr;
+  LinkProfile link;
+  bool open = true;
+  // FIFO ordering per direction: a message may not overtake its
+  // predecessor even when bandwidth delays differ.
+  sim::Time next_free_a_to_b = 0;
+  sim::Time next_free_b_to_a = 0;
+  std::weak_ptr<Endpoint> side_a;  // initiator
+  std::weak_ptr<Endpoint> side_b;  // acceptor
+};
+
+void Endpoint::send(util::Bytes message) {
+  if (!state_ || !state_->open) return;
+  bytes_sent_ += message.size();
+  state_->network->transmit(*this, std::move(message));
+}
+
+void Endpoint::set_receiver(Receiver receiver) {
+  receiver_ = std::move(receiver);
+  while (receiver_ && !inbox_.empty()) {
+    util::Bytes message = std::move(inbox_.front());
+    inbox_.pop_front();
+    receiver_(std::move(message));
+  }
+}
+
+void Endpoint::set_close_handler(std::function<void()> handler) {
+  close_handler_ = std::move(handler);
+}
+
+void Endpoint::close() {
+  if (!state_ || !state_->open) return;
+  state_->open = false;
+  auto peer = is_initiator_ ? state_->side_b.lock() : state_->side_a.lock();
+  if (peer) {
+    // The peer observes the close after one link latency.
+    std::weak_ptr<Endpoint> weak_peer = peer;
+    state_->network->engine_.after(state_->link.latency, [weak_peer] {
+      if (auto p = weak_peer.lock()) p->handle_peer_close();
+    });
+  }
+}
+
+bool Endpoint::is_open() const { return state_ && state_->open; }
+
+void Endpoint::deliver(util::Bytes&& message) {
+  if (receiver_) {
+    receiver_(std::move(message));
+  } else {
+    inbox_.push_back(std::move(message));
+  }
+}
+
+void Endpoint::handle_peer_close() {
+  if (close_handler_) {
+    auto handler = std::move(close_handler_);
+    close_handler_ = nullptr;
+    handler();
+  }
+}
+
+void Network::set_link(const std::string& a, const std::string& b,
+                       LinkProfile profile) {
+  auto key = std::minmax(a, b);
+  links_[{key.first, key.second}] = profile;
+}
+
+const LinkProfile& Network::link_between(const std::string& a,
+                                         const std::string& b) const {
+  if (a == b) {
+    // Loopback: effectively instantaneous and lossless.
+    static const LinkProfile kLoopback{sim::usec(10), 1e9, 0.0};
+    return kLoopback;
+  }
+  auto key = std::minmax(a, b);
+  auto it = links_.find({key.first, key.second});
+  return it == links_.end() ? default_link_ : it->second;
+}
+
+util::Status Network::listen(const Address& address, Acceptor acceptor) {
+  auto [it, inserted] = listeners_.emplace(address, std::move(acceptor));
+  (void)it;
+  if (!inserted)
+    return util::make_error(util::ErrorCode::kFailedPrecondition,
+                            "address already bound: " + address.to_string());
+  return util::Status::ok_status();
+}
+
+void Network::close_listener(const Address& address) {
+  listeners_.erase(address);
+}
+
+util::Result<std::shared_ptr<Endpoint>> Network::connect(
+    const std::string& from_host, const Address& to) {
+  auto listener = listeners_.find(to);
+  if (listener == listeners_.end())
+    return util::make_error(util::ErrorCode::kUnavailable,
+                            "connection refused: nothing listening at " +
+                                to.to_string());
+  if (auto fw = firewalls_.find(to.host);
+      fw != firewalls_.end() && !fw->second.permits(from_host, to.port))
+    return util::make_error(util::ErrorCode::kUnavailable,
+                            "firewall at " + to.host + " blocks " + from_host +
+                                " -> port " + std::to_string(to.port));
+
+  auto state = std::make_shared<Endpoint::ConnectionState>();
+  state->network = this;
+  state->link = link_between(from_host, to.host);
+
+  auto client = std::make_shared<Endpoint>();
+  client->state_ = state;
+  client->local_host_ = from_host;
+  client->remote_host_ = to.host;
+  client->remote_port_ = to.port;
+  client->is_initiator_ = true;
+
+  auto server = std::make_shared<Endpoint>();
+  server->state_ = state;
+  server->local_host_ = to.host;
+  server->remote_host_ = from_host;
+  server->remote_port_ = to.port;
+  server->is_initiator_ = false;
+
+  state->side_a = client;
+  state->side_b = server;
+
+  listener->second(server);
+  return client;
+}
+
+void Network::transmit(Endpoint& from, util::Bytes message) {
+  auto state = from.state_;
+  auto target = from.is_initiator_ ? state->side_b.lock() : state->side_a.lock();
+  if (!target) return;
+
+  if (rng_.chance(state->link.loss_probability)) {
+    ++messages_dropped_;
+    return;
+  }
+
+  sim::Time transmission =
+      state->link.bandwidth_bytes_per_sec > 0
+          ? sim::from_seconds(static_cast<double>(message.size()) /
+                              state->link.bandwidth_bytes_per_sec)
+          : 0;
+  sim::Time& next_free =
+      from.is_initiator_ ? state->next_free_a_to_b : state->next_free_b_to_a;
+  sim::Time departure = std::max(engine_.now(), next_free);
+  sim::Time arrival = departure + transmission + state->link.latency;
+  next_free = departure + transmission;
+
+  std::weak_ptr<Endpoint> weak_target = target;
+  engine_.at(arrival, [this, weak_target,
+                       payload = std::move(message)]() mutable {
+    auto endpoint = weak_target.lock();
+    if (!endpoint || !endpoint->is_open()) return;
+    ++messages_delivered_;
+    endpoint->deliver(std::move(payload));
+  });
+}
+
+}  // namespace unicore::net

@@ -1,0 +1,182 @@
+// Simulated network substrate.
+//
+// Hosts are named ("gateway.fz-juelich.de"); connections are reliable,
+// ordered, message-oriented pipes except for configurable per-message
+// loss — exactly the "unreliability of the underlying communication
+// mechanism" the paper's asynchronous protocol is designed to tolerate
+// (§5.3). Links have latency and bandwidth so benches can measure
+// transfer-rate effects (§5.6). Firewalls model the split-server
+// deployment of §4.2/§5.2.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/engine.h"
+#include "util/bytes.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace unicore::net {
+
+/// Seconds since the Unix epoch at simulation time 0 — 1999-08-25, the
+/// date of the paper's final revision. Certificate validity is expressed
+/// in epoch seconds, simulation time in microseconds since this instant.
+constexpr std::int64_t kSimulationEpoch = 935'536'000;
+
+/// Converts simulation time to certificate-validity epoch seconds.
+constexpr std::int64_t epoch_seconds(sim::Time t) {
+  return kSimulationEpoch + t / 1'000'000;
+}
+
+struct Address {
+  std::string host;
+  std::uint16_t port = 0;
+
+  bool operator==(const Address&) const = default;
+  auto operator<=>(const Address&) const = default;
+  std::string to_string() const {
+    return host + ":" + std::to_string(port);
+  }
+};
+
+/// Quality of the path between two hosts.
+struct LinkProfile {
+  sim::Time latency = sim::msec(5);
+  double bandwidth_bytes_per_sec = 10e6;
+  double loss_probability = 0.0;
+};
+
+/// Per-host inbound packet filter. Default-allow until a rule or
+/// deny_all() flips the host to default-deny; rules then whitelist
+/// (source-host, port) pairs, with "*" matching any source.
+class Firewall {
+ public:
+  void deny_all() { default_allow_ = false; }
+  void allow(std::string source_host, std::uint16_t port) {
+    default_allow_ = false;
+    rules_.push_back({std::move(source_host), port});
+  }
+  void allow_from_any(std::uint16_t port) { allow("*", port); }
+
+  bool permits(const std::string& source_host, std::uint16_t port) const {
+    if (default_allow_) return true;
+    for (const auto& rule : rules_)
+      if (rule.port == port && (rule.source == "*" || rule.source == source_host))
+        return true;
+    return false;
+  }
+
+ private:
+  struct Rule {
+    std::string source;
+    std::uint16_t port;
+  };
+  bool default_allow_ = true;
+  std::vector<Rule> rules_;
+};
+
+class Network;
+
+/// One side of an established connection. Message-oriented: each send()
+/// arrives as one receive callback (or is dropped by link loss).
+class Endpoint : public std::enable_shared_from_this<Endpoint> {
+ public:
+  using Receiver = std::function<void(util::Bytes&&)>;
+
+  /// Queues a message toward the peer. Silently drops on closed
+  /// connections (like writing to a dead TCP socket whose RST has not
+  /// arrived yet).
+  void send(util::Bytes message);
+
+  /// Installs the receive callback; any messages that arrived before the
+  /// receiver was set are delivered immediately (same event).
+  void set_receiver(Receiver receiver);
+
+  /// Installs a callback fired once when the connection closes.
+  void set_close_handler(std::function<void()> handler);
+
+  void close();
+  bool is_open() const;
+
+  const std::string& local_host() const { return local_host_; }
+  const std::string& remote_host() const { return remote_host_; }
+  std::uint16_t remote_port() const { return remote_port_; }
+
+  /// Total payload bytes accepted by send() on this side.
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  friend class Network;
+  struct ConnectionState;
+
+  std::shared_ptr<ConnectionState> state_;
+  std::string local_host_;
+  std::string remote_host_;
+  std::uint16_t remote_port_ = 0;
+  bool is_initiator_ = false;
+  Receiver receiver_;
+  std::function<void()> close_handler_;
+  std::deque<util::Bytes> inbox_;
+  std::uint64_t bytes_sent_ = 0;
+
+  void deliver(util::Bytes&& message);
+  void handle_peer_close();
+};
+
+/// The network fabric: host link profiles, firewalls, listeners.
+class Network {
+ public:
+  Network(sim::Engine& engine, util::Rng rng)
+      : engine_(engine), rng_(std::move(rng)) {}
+
+  sim::Engine& engine() { return engine_; }
+
+  void set_default_link(LinkProfile profile) { default_link_ = profile; }
+
+  /// Sets the (symmetric) profile between two hosts.
+  void set_link(const std::string& a, const std::string& b,
+                LinkProfile profile);
+
+  const LinkProfile& link_between(const std::string& a,
+                                  const std::string& b) const;
+
+  Firewall& firewall(const std::string& host) { return firewalls_[host]; }
+
+  using Acceptor = std::function<void(std::shared_ptr<Endpoint>)>;
+
+  /// Binds an acceptor to `address`. Fails if already bound.
+  util::Status listen(const Address& address, Acceptor acceptor);
+  void close_listener(const Address& address);
+
+  /// Opens a connection from `from_host` to `to`. Fails when nothing
+  /// listens there or the destination firewall rejects the source.
+  /// Connection setup itself is instantaneous (the cost is modelled in
+  /// the handshake round trips that follow).
+  util::Result<std::shared_ptr<Endpoint>> connect(const std::string& from_host,
+                                                  const Address& to);
+
+  std::uint64_t messages_delivered() const { return messages_delivered_; }
+  std::uint64_t messages_dropped() const { return messages_dropped_; }
+
+ private:
+  friend class Endpoint;
+
+  void transmit(Endpoint& from, util::Bytes message);
+
+  sim::Engine& engine_;
+  util::Rng rng_;
+  LinkProfile default_link_;
+  std::map<std::pair<std::string, std::string>, LinkProfile> links_;
+  std::map<std::string, Firewall> firewalls_;
+  std::map<Address, Acceptor> listeners_;
+  std::uint64_t messages_delivered_ = 0;
+  std::uint64_t messages_dropped_ = 0;
+};
+
+}  // namespace unicore::net

@@ -1,0 +1,136 @@
+// SSL-style secure channel over an Endpoint ("low-level protocol", §5.3).
+//
+// Mirrors the paper's https handshake (§4.1): the server first presents
+// its X.509 certificate for validation, then the client's certificate is
+// presented for user authentication — mutual authentication of all
+// UNICORE "players". Key agreement is Diffie–Hellman; the record layer
+// is encrypt-then-MAC with per-direction keys and sequence numbers.
+//
+// Handshake (3 messages, asynchronous):
+//   client -> ClientHello  { client_random, dh_public }
+//   server -> ServerHello  { server_random, dh_public, cert chain,
+//                            signature over transcript }
+//   client -> ClientCert   { cert chain, signature over transcript }
+// Either side aborts with an Alert on validation failure; a lost
+// handshake message surfaces as a timeout (the link may drop packets).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "crypto/cipher.h"
+#include "crypto/x509.h"
+#include "net/network.h"
+#include "sim/engine.h"
+#include "util/bytes.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace unicore::net {
+
+class SecureChannel : public std::enable_shared_from_this<SecureChannel> {
+ public:
+  struct Config {
+    crypto::Credential credential;           // our identity
+    const crypto::TrustStore* trust = nullptr;  // to validate the peer
+    std::uint8_t required_peer_usage = 0;    // e.g. kUsageServerAuth
+    sim::Time handshake_timeout = sim::sec(30);
+  };
+
+  /// Fired exactly once with the handshake result.
+  using EstablishedHandler = std::function<void(util::Status)>;
+  /// Fired per decrypted application message.
+  using MessageHandler = std::function<void(util::Bytes&&)>;
+
+  /// Starts a client-side handshake on `endpoint`.
+  static std::shared_ptr<SecureChannel> as_client(
+      sim::Engine& engine, util::Rng& rng,
+      std::shared_ptr<Endpoint> endpoint, Config config,
+      EstablishedHandler on_established);
+
+  /// Awaits a client handshake on `endpoint` (server side).
+  static std::shared_ptr<SecureChannel> as_server(
+      sim::Engine& engine, util::Rng& rng,
+      std::shared_ptr<Endpoint> endpoint, Config config,
+      EstablishedHandler on_established);
+
+  /// Encrypts and sends an application message. Must not be called
+  /// before the channel is established.
+  void send(util::Bytes plaintext);
+
+  /// Installs the application message handler.
+  void set_receiver(MessageHandler handler);
+
+  /// Fired when the underlying connection closes.
+  void set_close_handler(std::function<void()> handler);
+
+  void close();
+
+  bool established() const { return state_ == State::kEstablished; }
+  bool failed() const { return state_ == State::kFailed; }
+
+  /// The peer's validated certificate (only after establishment).
+  const crypto::Certificate& peer_certificate() const {
+    return peer_certificate_;
+  }
+
+  const std::string& remote_host() const { return endpoint_->remote_host(); }
+
+  /// Sequence numbers (diagnostics / tests).
+  std::uint64_t messages_sent() const { return send_seq_; }
+  std::uint64_t messages_received() const { return recv_seq_; }
+
+ private:
+  enum class State {
+    kClientAwaitServerHello,
+    kClientAwaitServerFinished,
+    kServerAwaitClientHello,
+    kServerAwaitClientCert,
+    kEstablished,
+    kFailed,
+  };
+
+  SecureChannel(sim::Engine& engine, util::Rng& rng,
+                std::shared_ptr<Endpoint> endpoint, Config config,
+                EstablishedHandler on_established, bool is_client);
+
+  void start();
+  void handle_wire_message(util::Bytes&& wire);
+  void handle_server_hello(util::ByteReader& reader);
+  void handle_client_hello(util::ByteReader& reader);
+  void handle_client_cert(util::ByteReader& reader);
+  void handle_server_finished(util::ByteReader& reader);
+  void handle_record(util::ByteReader& reader);
+  void fail(util::Error error, bool send_alert);
+  void succeed();
+  void derive_keys();
+  util::Status validate_peer(const crypto::Certificate& leaf,
+                             const std::vector<crypto::Certificate>& chain);
+
+  sim::Engine& engine_;
+  util::Rng rng_;
+  std::shared_ptr<Endpoint> endpoint_;
+  Config config_;
+  EstablishedHandler on_established_;
+  MessageHandler on_message_;
+  std::function<void()> on_close_;
+  bool is_client_;
+  State state_;
+
+  util::Bytes client_random_;
+  util::Bytes server_random_;
+  crypto::DhKeyPair dh_;
+  std::uint64_t peer_dh_public_ = 0;
+  util::Bytes transcript_;  // running concatenation of handshake bodies
+  crypto::Certificate peer_certificate_;
+
+  crypto::SymmetricKey send_enc_, send_mac_, recv_enc_, recv_mac_;
+  std::uint64_t send_seq_ = 0;
+  std::uint64_t recv_seq_ = 0;
+  std::optional<sim::EventId> timeout_event_;
+};
+
+}  // namespace unicore::net

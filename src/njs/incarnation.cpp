@@ -1,0 +1,161 @@
+#include "njs/incarnation.h"
+
+#include <sstream>
+
+namespace unicore::njs {
+
+using resources::Architecture;
+using util::ErrorCode;
+using util::Result;
+
+TranslationTable default_translation_table(Architecture arch) {
+  TranslationTable table;
+  switch (arch) {
+    case Architecture::kCrayT3E:
+      table.compiler_f90 = "f90";
+      table.linker = "f90";
+      table.run_template = "mpprun -n %d ./%s";
+      table.default_queue = "prod";
+      break;
+    case Architecture::kFujitsuVpp700:
+      table.compiler_f90 = "frt";
+      table.linker = "frt";
+      table.run_template = "./%s -np %d";
+      table.default_queue = "vpp";
+      break;
+    case Architecture::kIbmSp2:
+      table.compiler_f90 = "xlf90";
+      table.linker = "xlf90";
+      table.run_template = "poe ./%s -procs %d";
+      table.default_queue = "parallel";
+      break;
+    case Architecture::kNecSx4:
+      table.compiler_f90 = "f90sx";
+      table.linker = "f90sx";
+      table.run_template = "mpirun -np %d ./%s";
+      table.default_queue = "sx";
+      break;
+    case Architecture::kGenericUnix:
+      break;
+  }
+  return table;
+}
+
+namespace {
+
+/// Expands "%d" -> processors and "%s" -> executable in a run template.
+std::string expand_run_template(const std::string& tmpl,
+                                std::int64_t processors,
+                                const std::string& executable) {
+  std::string out;
+  for (std::size_t i = 0; i < tmpl.size(); ++i) {
+    if (tmpl[i] == '%' && i + 1 < tmpl.size()) {
+      if (tmpl[i + 1] == 'd') {
+        out += std::to_string(processors);
+        ++i;
+        continue;
+      }
+      if (tmpl[i + 1] == 's') {
+        out += executable;
+        ++i;
+        continue;
+      }
+    }
+    out += tmpl[i];
+  }
+  return out;
+}
+
+std::string shell_quote_lines(const std::string& text) {
+  // Payload text (user scripts) is embedded verbatim; directives were
+  // already emitted, so nothing needs escaping in the simulated shell.
+  return text;
+}
+
+}  // namespace
+
+Result<IncarnatedJob> incarnate(const ajo::AbstractTaskObject& task,
+                                const batch::SystemConfig& system,
+                                const TranslationTable& table,
+                                const std::string& account) {
+  IncarnatedJob job;
+  const resources::ResourceSet& r = task.resource_request();
+  job.request.queue = table.default_queue;
+  job.request.account = account;
+  job.request.processors = r.processors;
+  job.request.wallclock_seconds = r.wallclock_seconds;
+  job.request.memory_mb = r.memory_mb;
+  job.request.job_name =
+      task.name().empty() ? std::string(task.type_name()) : task.name();
+
+  std::ostringstream body;
+
+  switch (task.type()) {
+    case ajo::ActionType::kCompileTask: {
+      const auto& compile = static_cast<const ajo::CompileTask&>(task);
+      if (compile.language != "F90")
+        return util::make_error(
+            ErrorCode::kInvalidArgument,
+            "incarnation: only F90 compilation is implemented (got " +
+                compile.language + ")");
+      body << table.compiler_f90 << " -c";
+      for (const auto& flag : compile.compiler_flags) body << " " << flag;
+      body << " " << compile.source_file << " -o " << compile.object_file
+           << "\n";
+      job.spec.required_files.push_back(compile.source_file);
+      // Object size modelled as twice the source size is irrelevant to
+      // behaviour; a fixed representative size keeps it simple.
+      job.spec.output_files.emplace_back(compile.object_file, 64 * 1024);
+      break;
+    }
+    case ajo::ActionType::kLinkTask: {
+      const auto& link = static_cast<const ajo::LinkTask&>(task);
+      body << table.linker;
+      for (const auto& object : link.object_files) body << " " << object;
+      for (const auto& library : link.libraries)
+        body << " " << table.library_flag << library;
+      body << " -o " << link.executable << "\n";
+      job.spec.required_files = link.object_files;
+      job.spec.output_files.emplace_back(link.executable, 512 * 1024);
+      break;
+    }
+    case ajo::ActionType::kUserTask: {
+      const auto& user = static_cast<const ajo::UserTask&>(task);
+      body << expand_run_template(table.run_template, r.processors,
+                                  user.executable);
+      for (const auto& argument : user.arguments) body << " " << argument;
+      body << "\n";
+      job.spec.required_files.push_back(user.executable);
+      break;
+    }
+    case ajo::ActionType::kExecuteScriptTask: {
+      const auto& script = static_cast<const ajo::ExecuteScriptTask&>(task);
+      body << shell_quote_lines(script.script);
+      if (script.script.empty() || script.script.back() != '\n') body << "\n";
+      break;
+    }
+    default:
+      return util::make_error(
+          ErrorCode::kInvalidArgument,
+          std::string("incarnation: not an execute-family task: ") +
+              task.type_name());
+  }
+
+  const auto& execute = static_cast<const ajo::ExecuteTask&>(task);
+  job.spec.nominal_seconds = execute.behavior.nominal_seconds;
+  job.spec.exit_code = execute.behavior.exit_code;
+  job.spec.stdout_text = execute.behavior.stdout_text;
+  job.spec.stderr_text = execute.behavior.stderr_text;
+  for (const auto& [name, size] : execute.behavior.output_files)
+    job.spec.output_files.emplace_back(name, size);
+
+  std::ostringstream script;
+  script << batch::render_directives(system.architecture, job.request);
+  for (const auto& [key, value] : execute.environment)
+    script << "export " << key << "=" << value << "\n";
+  script << body.str();
+  job.script = script.str();
+  return job;
+}
+
+}  // namespace unicore::njs

@@ -1,0 +1,60 @@
+// Incarnation: translating abstract tasks into real batch jobs (§5.5).
+//
+// "transform the abstract job into a Codine internal format ...
+//  translate the abstract specifications into the local system specific
+//  nomenclature using translation tables ... submit the batch jobs to
+//  the execution system."
+//
+// For each destination architecture a TranslationTable supplies the
+// local nomenclature (compiler and linker names, parallel-run command,
+// library flags); incarnate() combines it with the dialect directive
+// renderer (batch/dialect.h) to produce the full script, plus the
+// structured ExecutionSpec the simulated batch system interprets.
+#pragma once
+
+#include <string>
+
+#include "ajo/tasks.h"
+#include "batch/dialect.h"
+#include "batch/subsystem.h"
+#include "batch/target_system.h"
+#include "util/result.h"
+
+namespace unicore::njs {
+
+/// Site-specific nomenclature for one architecture. The site
+/// administrator "establishes the environment for running UNICORE.
+/// This includes setting up the translation tables" (§5.5); defaults
+/// for the 1999 systems come from default_translation_table().
+struct TranslationTable {
+  std::string shell = "/bin/sh";
+  std::string compiler_f90 = "f90";   // F90 is what the prototype compiles
+  std::string linker = "f90";
+  std::string library_flag = "-l";    // prefix per library
+  /// printf-style template for launching an `n`-processor executable;
+  /// "%d" is replaced by the processor count, "%s" by the executable.
+  std::string run_template = "./%s";
+  std::string default_queue = "default";
+};
+
+/// The built-in tables for the four 1999 systems + generic UNIX.
+TranslationTable default_translation_table(resources::Architecture arch);
+
+/// The "Codine internal format" — the intermediate representation the
+/// NJS builds from an abstract task before handing it to the batch
+/// subsystem (§5.5 step 1). Keeping it explicit lets tests pin down
+/// each translation stage separately.
+struct IncarnatedJob {
+  batch::BatchRequest request;   // directive-level resources
+  std::string script;            // full vendor-dialect script
+  batch::ExecutionSpec spec;     // structured semantics for the simulator
+};
+
+/// Translates one execute-family task for the given system. The job
+/// name is derived from the task name; `account` comes from the AJO.
+util::Result<IncarnatedJob> incarnate(const ajo::AbstractTaskObject& task,
+                                      const batch::SystemConfig& system,
+                                      const TranslationTable& table,
+                                      const std::string& account);
+
+}  // namespace unicore::njs

@@ -1,0 +1,1038 @@
+#include "njs/njs.h"
+
+#include <algorithm>
+
+#include "ajo/codec.h"
+#include "util/log.h"
+
+namespace unicore::njs {
+
+using ajo::ActionId;
+using ajo::ActionStatus;
+using ajo::ActionType;
+using ajo::JobToken;
+using util::ErrorCode;
+using util::Result;
+using util::Status;
+
+util::Bytes ForwardedConsignment::signing_input(
+    const ajo::AbstractJobObject& job, const crypto::Certificate& user_cert) {
+  util::ByteWriter w;
+  w.blob(ajo::encode_action(job));
+  w.blob(user_cert.der());
+  return w.take();
+}
+
+// ---- internal structures -------------------------------------------------
+
+struct Njs::VsiteRuntime {
+  VsiteConfig config;
+  std::unique_ptr<batch::BatchSubsystem> subsystem;
+  uspace::Xspace xspace;
+  TranslationTable table;
+};
+
+struct Njs::ActionRun {
+  ajo::AbstractAction* action = nullptr;
+  ActionStatus status = ActionStatus::kPending;
+  int pending_predecessors = 0;
+  std::vector<const ajo::Dependency*> outgoing;
+  ajo::Outcome outcome;
+  batch::BatchJobId batch_id = 0;
+  std::unique_ptr<GroupRun> subgroup;            // local sub-job
+  std::optional<RemoteJobHandle> remote;         // remote sub-job
+  std::map<std::string, uspace::FileBlob> staged_files;  // pre-dispatch
+  bool dispatched = false;
+};
+
+struct Njs::GroupRun {
+  ajo::AbstractJobObject* group = nullptr;
+  GroupRun* parent = nullptr;          // enclosing group (null at root)
+  ActionRun* owner = nullptr;          // the ActionRun this group realises
+  VsiteRuntime* runtime = nullptr;     // destination system, if any
+  std::shared_ptr<uspace::Uspace> workspace;
+  std::map<ActionId, ActionRun> actions;
+  int open_actions = 0;  // direct children not yet terminal
+  bool held = false;
+};
+
+struct Njs::JobRun {
+  JobToken token = 0;
+  ajo::AbstractJobObject job;  // owned deep copy
+  gateway::AuthenticatedUser user;
+  crypto::Certificate user_certificate;
+  FinalHandler on_final;
+  GroupRun root;
+  sim::Time consigned_at = 0;
+  bool finalized = false;
+};
+
+// ---- construction ----------------------------------------------------------
+
+Njs::Njs(sim::Engine& engine, util::Rng rng, std::string usite,
+         crypto::Credential server_credential)
+    : engine_(engine),
+      rng_(std::move(rng)),
+      usite_(std::move(usite)),
+      credential_(std::move(server_credential)) {}
+
+Njs::~Njs() = default;
+
+batch::BatchSubsystem& Njs::add_vsite(VsiteConfig config) {
+  auto runtime = std::make_unique<VsiteRuntime>();
+  runtime->table = config.table.value_or(
+      default_translation_table(config.system.architecture));
+  runtime->config = std::move(config);
+  runtime->subsystem = std::make_unique<batch::BatchSubsystem>(
+      engine_, rng_.fork(), runtime->config.system);
+  // Every Vsite gets a home volume in its Xspace by default.
+  (void)runtime->xspace.create_volume("home", 0);
+  const std::string name = runtime->config.system.vsite;
+  auto& slot = vsites_[name];
+  slot = std::move(runtime);
+  return *slot->subsystem;
+}
+
+std::vector<std::string> Njs::vsites() const {
+  std::vector<std::string> out;
+  out.reserve(vsites_.size());
+  for (const auto& [name, runtime] : vsites_) out.push_back(name);
+  return out;
+}
+
+batch::BatchSubsystem* Njs::subsystem(const std::string& vsite) {
+  auto it = vsites_.find(vsite);
+  return it == vsites_.end() ? nullptr : it->second->subsystem.get();
+}
+
+uspace::Xspace* Njs::xspace(const std::string& vsite) {
+  auto it = vsites_.find(vsite);
+  return it == vsites_.end() ? nullptr : &it->second->xspace;
+}
+
+Result<resources::ResourcePage> Njs::resource_page(
+    const std::string& vsite) const {
+  auto it = vsites_.find(vsite);
+  if (it == vsites_.end())
+    return util::make_error(ErrorCode::kNotFound, "no such vsite: " + vsite);
+  const VsiteRuntime& runtime = *it->second;
+  const batch::SystemConfig& system = runtime.config.system;
+
+  std::int64_t max_wallclock = 0;
+  std::int64_t max_memory = 0;
+  for (const auto& queue : system.queues) {
+    max_wallclock = std::max(max_wallclock, queue.max_wallclock_seconds);
+    max_memory = std::max(max_memory, queue.max_memory_mb);
+  }
+
+  resources::ResourcePageEditor editor;
+  editor.usite(usite_)
+      .vsite(vsite)
+      .architecture(system.architecture)
+      .operating_system(system.operating_system)
+      .peak_gflops(system.gflops_per_processor *
+                   static_cast<double>(system.total_processors()))
+      .node_count(system.nodes)
+      .minimum({1, 1, 1, 0, 0})
+      .maximum({system.total_processors(), max_wallclock, max_memory,
+                1'048'576, 1'048'576})
+      .add_software(resources::SoftwareKind::kCompiler, runtime.table.compiler_f90,
+                    "F90");
+  for (const auto& item : runtime.config.software)
+    editor.add_software(item.kind, item.name, item.version);
+  return editor.build();
+}
+
+std::vector<resources::ResourcePage> Njs::resource_pages() const {
+  std::vector<resources::ResourcePage> pages;
+  for (const auto& [name, runtime] : vsites_) {
+    auto page = resource_page(name);
+    if (page) pages.push_back(std::move(page.value()));
+  }
+  return pages;
+}
+
+sim::Time Njs::staging_delay(const GroupRun& group,
+                             std::uint64_t bytes) const {
+  double bandwidth = group.runtime != nullptr
+                         ? group.runtime->config.disk_bandwidth_bytes_per_sec
+                         : 20e6;
+  return sim::msec(10) +
+         sim::from_seconds(static_cast<double>(bytes) / bandwidth);
+}
+
+// ---- consignment -----------------------------------------------------------
+
+Result<JobToken> Njs::consign(
+    const ajo::AbstractJobObject& job, const gateway::AuthenticatedUser& user,
+    const crypto::Certificate& user_certificate, FinalHandler on_final,
+    std::vector<std::pair<std::string, uspace::FileBlob>> staged_files) {
+  if (auto status = job.validate(); !status.ok()) return status.error();
+  if (!job.usite.empty() && job.usite != usite_)
+    return util::make_error(ErrorCode::kInvalidArgument,
+                            "job destined for " + job.usite +
+                                " consigned to " + usite_);
+
+  auto run = std::make_unique<JobRun>();
+  run->token = next_token_++;
+  run->job = job;
+  run->user = user;
+  run->user_certificate = user_certificate;
+  run->on_final = std::move(on_final);
+  run->consigned_at = engine_.now();
+  run->root.group = &run->job;
+  JobToken token = run->token;
+
+  JobRun& ref = *run;
+  jobs_[token] = std::move(run);
+  ++jobs_consigned_;
+
+  if (auto status = start_group(ref, ref.root); !status.ok()) {
+    jobs_.erase(token);
+    --jobs_consigned_;
+    return status.error();
+  }
+
+  // Files travelling with the consignment land in the root Uspace before
+  // anything dispatches (dispatch_latency_ > 0 guarantees the ordering).
+  for (auto& [name, blob] : staged_files) {
+    if (ref.root.workspace != nullptr)
+      (void)ref.root.workspace->write(name, std::move(blob));
+  }
+
+  UNICORE_INFO("njs/" + usite_)
+      << "consigned job " << token << " ('" << ref.job.name() << "') for "
+      << user.login << ", " << ref.job.total_actions() << " actions";
+  finalize_if_done(ref);  // degenerate empty jobs finish immediately
+  return token;
+}
+
+Status Njs::start_group(JobRun& job, GroupRun& group) {
+  // Resolve the destination system: a group names its own Vsite or runs
+  // at its parent's.
+  if (!group.group->vsite.empty()) {
+    auto it = vsites_.find(group.group->vsite);
+    if (it == vsites_.end())
+      return util::make_error(ErrorCode::kNotFound,
+                              usite_ + ": no such vsite: " +
+                                  group.group->vsite);
+    group.runtime = it->second.get();
+  } else if (group.parent != nullptr) {
+    group.runtime = group.parent->runtime;
+  }
+
+  // The UNICORE job directory for this job group (§5.5).
+  std::string directory = usite_ + "/job" + std::to_string(job.token) + "/g" +
+                          std::to_string(group.group->id());
+  std::uint64_t quota =
+      group.runtime != nullptr ? group.runtime->config.uspace_quota_bytes : 0;
+  group.workspace = std::make_shared<uspace::Uspace>(directory, quota);
+
+  // Build the action table and the dependency counters.
+  for (const auto& child : group.group->children()) {
+    ActionRun run;
+    run.action = child.get();
+    run.outcome.action = child->id();
+    run.outcome.type = child->type();
+    run.outcome.name = child->name();
+    group.actions.emplace(child->id(), std::move(run));
+  }
+  group.open_actions = static_cast<int>(group.actions.size());
+
+  for (const ajo::Dependency& dep : group.group->dependencies()) {
+    group.actions.at(dep.successor).pending_predecessors += 1;
+    group.actions.at(dep.predecessor).outgoing.push_back(&dep);
+  }
+
+  // Kick off the sources of the DAG.
+  for (auto& [id, run] : group.actions)
+    if (run.pending_predecessors == 0) dispatch_ready(job, group, run);
+  return Status::ok_status();
+}
+
+void Njs::dispatch_ready(JobRun& job, GroupRun& group, ActionRun& run) {
+  if (ajo::is_terminal(run.status)) return;
+  if (group.held) {
+    run.status = ActionStatus::kHeld;
+    run.outcome.status = ActionStatus::kHeld;
+    return;
+  }
+  // The NJS delivers actions with a processing latency; scheduling via
+  // the engine also keeps dispatch non-reentrant.
+  JobToken token = job.token;
+  GroupRun* group_ptr = &group;
+  ActionId id = run.action->id();
+  engine_.after(dispatch_latency_, [this, token, group_ptr, id] {
+    auto it = jobs_.find(token);
+    if (it == jobs_.end()) return;  // job deleted meanwhile
+    auto action_it = group_ptr->actions.find(id);
+    if (action_it == group_ptr->actions.end()) return;
+    ActionRun& run = action_it->second;
+    if (ajo::is_terminal(run.status) || run.dispatched) return;
+    if (group_ptr->held) {
+      run.status = ActionStatus::kHeld;
+      run.outcome.status = ActionStatus::kHeld;
+      return;
+    }
+    dispatch_action(*it->second, *group_ptr, run);
+  });
+}
+
+void Njs::dispatch_action(JobRun& job, GroupRun& group, ActionRun& run) {
+  run.dispatched = true;
+  run.outcome.submitted_at = engine_.now();
+  switch (run.action->type()) {
+    case ActionType::kCompileTask:
+    case ActionType::kLinkTask:
+    case ActionType::kUserTask:
+    case ActionType::kExecuteScriptTask:
+      dispatch_execute(job, group, run);
+      break;
+    case ActionType::kImportTask:
+    case ActionType::kExportTask:
+    case ActionType::kTransferTask:
+      dispatch_file_task(job, group, run);
+      break;
+    case ActionType::kAbstractJobObject:
+      dispatch_subjob(job, group, run);
+      break;
+    default:
+      complete_action(job, group, run, ActionStatus::kNotSuccessful,
+                      "services cannot appear inside a job graph");
+      break;
+  }
+}
+
+void Njs::dispatch_execute(JobRun& job, GroupRun& group, ActionRun& run) {
+  if (group.runtime == nullptr) {
+    complete_action(job, group, run, ActionStatus::kNotSuccessful,
+                    "no destination system for task");
+    return;
+  }
+  const auto& task = static_cast<const ajo::AbstractTaskObject&>(*run.action);
+  auto incarnated = incarnate(task, group.runtime->config.system,
+                              group.runtime->table, job.job.account_group);
+  if (!incarnated) {
+    complete_action(job, group, run, ActionStatus::kNotSuccessful,
+                    incarnated.error().message);
+    return;
+  }
+  incarnated.value().spec.workspace = group.workspace;
+
+  JobToken token = job.token;
+  GroupRun* group_ptr = &group;
+  ActionId id = run.action->id();
+  auto submitted = group.runtime->subsystem->submit(
+      incarnated.value().script, job.user.login,
+      std::move(incarnated.value().spec),
+      [this, token, group_ptr, id](batch::BatchJobId,
+                                   const batch::BatchResult& result) {
+        auto it = jobs_.find(token);
+        if (it == jobs_.end()) return;
+        auto action_it = group_ptr->actions.find(id);
+        if (action_it == group_ptr->actions.end()) return;
+        ActionRun& run = action_it->second;
+        if (ajo::is_terminal(run.status)) return;
+
+        run.outcome.started_at = result.started_at;
+        if (result.started_at >= 0 && result.finished_at > result.started_at) {
+          const auto& task =
+              static_cast<const ajo::AbstractTaskObject&>(*run.action);
+          accounting_[it->second->user.login] +=
+              sim::to_seconds(result.finished_at - result.started_at) *
+              static_cast<double>(task.resource_request().processors);
+        }
+        ajo::ExecuteOutcome detail;
+        detail.exit_code = result.exit_code;
+        detail.stdout_text = result.stdout_text;
+        detail.stderr_text = result.stderr_text;
+        run.outcome.detail = std::move(detail);
+
+        ActionStatus status;
+        std::string message;
+        switch (result.state) {
+          case batch::BatchJobState::kCompleted:
+            status = result.exit_code == 0 ? ActionStatus::kSuccessful
+                                           : ActionStatus::kNotSuccessful;
+            if (result.exit_code != 0)
+              message = "exit code " + std::to_string(result.exit_code);
+            break;
+          case batch::BatchJobState::kKilled:
+            status = ActionStatus::kNotSuccessful;
+            message = "killed at wallclock limit";
+            break;
+          case batch::BatchJobState::kFailed:
+            status = ActionStatus::kNotSuccessful;
+            message = "execution failed: " + result.stderr_text;
+            break;
+          case batch::BatchJobState::kCancelled:
+            status = ActionStatus::kAborted;
+            message = "cancelled";
+            break;
+          default:
+            status = ActionStatus::kNotSuccessful;
+            message = "unexpected batch state";
+            break;
+        }
+        complete_action(*it->second, *group_ptr, run, status,
+                        std::move(message));
+      });
+  if (!submitted) {
+    complete_action(job, group, run, ActionStatus::kNotSuccessful,
+                    submitted.error().message);
+    return;
+  }
+  run.batch_id = submitted.value();
+  run.status = ActionStatus::kQueued;
+  run.outcome.status = ActionStatus::kQueued;
+}
+
+void Njs::dispatch_file_task(JobRun& job, GroupRun& group, ActionRun& run) {
+  JobToken token = job.token;
+  GroupRun* group_ptr = &group;
+  ActionId id = run.action->id();
+  run.status = ActionStatus::kRunning;
+  run.outcome.status = ActionStatus::kRunning;
+  run.outcome.started_at = engine_.now();
+
+  auto finish = [this, token, group_ptr, id](ActionStatus status,
+                                             std::string message,
+                                             ajo::FileOutcome detail) {
+    auto it = jobs_.find(token);
+    if (it == jobs_.end()) return;
+    auto action_it = group_ptr->actions.find(id);
+    if (action_it == group_ptr->actions.end()) return;
+    ActionRun& run = action_it->second;
+    if (ajo::is_terminal(run.status)) return;
+    run.outcome.detail = std::move(detail);
+    complete_action(*it->second, *group_ptr, run, status, std::move(message));
+  };
+
+  switch (run.action->type()) {
+    case ActionType::kImportTask: {
+      const auto& import = static_cast<const ajo::ImportTask&>(*run.action);
+      uspace::FileBlob blob;
+      if (import.source == ajo::ImportTask::Source::kUserWorkstation) {
+        blob = uspace::FileBlob::from_bytes(import.inline_content);
+      } else {
+        if (group.runtime == nullptr)
+          return finish(ActionStatus::kNotSuccessful,
+                        "no Xspace available for import", {});
+        const uspace::Volume* volume =
+            group.runtime->xspace.find_volume(import.xspace_source.volume);
+        if (volume == nullptr)
+          return finish(ActionStatus::kNotSuccessful,
+                        "no such volume: " + import.xspace_source.volume, {});
+        auto read = volume->read(import.xspace_source.path);
+        if (!read)
+          return finish(ActionStatus::kNotSuccessful, read.error().message,
+                        {});
+        blob = std::move(read.value());
+      }
+      std::uint64_t bytes = blob.size();
+      std::string name = import.uspace_name;
+      engine_.after(staging_delay(group, bytes),
+                    [group_ptr, finish, name, blob = std::move(blob),
+                     bytes]() mutable {
+                      auto status = group_ptr->workspace->write(
+                          name, std::move(blob));
+                      if (!status.ok())
+                        finish(ActionStatus::kNotSuccessful,
+                               status.error().message, {});
+                      else
+                        finish(ActionStatus::kSuccessful, "",
+                               {{name}, bytes});
+                    });
+      return;
+    }
+    case ActionType::kExportTask: {
+      const auto& export_task =
+          static_cast<const ajo::ExportTask&>(*run.action);
+      auto read = group.workspace->read(export_task.uspace_name);
+      if (!read)
+        return finish(ActionStatus::kNotSuccessful, read.error().message, {});
+      if (group.runtime == nullptr)
+        return finish(ActionStatus::kNotSuccessful,
+                      "no Xspace available for export", {});
+      uspace::Volume* volume =
+          group.runtime->xspace.find_volume(export_task.destination.volume);
+      if (volume == nullptr)
+        return finish(ActionStatus::kNotSuccessful,
+                      "no such volume: " + export_task.destination.volume,
+                      {});
+      std::uint64_t bytes = read.value().size();
+      std::string path = export_task.destination.path;
+      engine_.after(staging_delay(group, bytes),
+                    [finish, volume, path, blob = std::move(read.value()),
+                     bytes]() mutable {
+                      auto status = volume->write(path, std::move(blob));
+                      if (!status.ok())
+                        finish(ActionStatus::kNotSuccessful,
+                               status.error().message, {});
+                      else
+                        finish(ActionStatus::kSuccessful, "",
+                               {{path}, bytes});
+                    });
+      return;
+    }
+    case ActionType::kTransferTask: {
+      const auto& transfer =
+          static_cast<const ajo::TransferTask&>(*run.action);
+      auto read = group.workspace->read(transfer.uspace_name);
+      if (!read)
+        return finish(ActionStatus::kNotSuccessful, read.error().message, {});
+      uspace::FileBlob blob = std::move(read.value());
+      std::uint64_t bytes = blob.size();
+      std::string target_name = transfer.rename_to.empty()
+                                    ? transfer.uspace_name
+                                    : transfer.rename_to;
+      auto target_it = group.actions.find(transfer.target_job);
+      if (target_it == group.actions.end())
+        return finish(ActionStatus::kNotSuccessful,
+                      "transfer target not found", {});
+      ActionRun& target = target_it->second;
+      if (ajo::is_terminal(target.status))
+        return finish(ActionStatus::kNotSuccessful,
+                      "transfer target already finished", {});
+
+      if (target.subgroup != nullptr) {
+        // Local sub-job, already running: a local Uspace-to-Uspace copy.
+        auto* workspace = target.subgroup->workspace.get();
+        engine_.after(staging_delay(group, bytes),
+                      [finish, workspace, target_name, blob = std::move(blob),
+                       bytes]() mutable {
+                        auto status = workspace->write(target_name,
+                                                       std::move(blob));
+                        if (!status.ok())
+                          finish(ActionStatus::kNotSuccessful,
+                                 status.error().message, {});
+                        else
+                          finish(ActionStatus::kSuccessful, "",
+                                 {{target_name}, bytes});
+                      });
+      } else if (target.remote.has_value()) {
+        // Remote sub-job: NJS–NJS transfer via the gateways (§5.6).
+        if (peer_link_ == nullptr)
+          return finish(ActionStatus::kNotSuccessful,
+                        "no peer link configured", {});
+        peer_link_->deliver_file(
+            *target.remote, target_name, blob,
+            [finish, target_name, bytes](Status status) {
+              if (!status.ok())
+                finish(ActionStatus::kNotSuccessful, status.error().message,
+                       {});
+              else
+                finish(ActionStatus::kSuccessful, "", {{target_name}, bytes});
+            });
+      } else {
+        // Sub-job not dispatched yet: stage the file; it travels with the
+        // sub-job's consignment.
+        target.staged_files[target_name] = std::move(blob);
+        finish(ActionStatus::kSuccessful, "staged for sub-job dispatch",
+               {{target_name}, bytes});
+      }
+      return;
+    }
+    default:
+      finish(ActionStatus::kNotSuccessful, "not a file task", {});
+  }
+}
+
+void Njs::dispatch_subjob(JobRun& job, GroupRun& group, ActionRun& run) {
+  auto& sub = static_cast<ajo::AbstractJobObject&>(*run.action);
+
+  // Collect the dependency files that must accompany the sub-job.
+  std::vector<std::pair<std::string, uspace::FileBlob>> staged;
+  for (const ajo::Dependency& dep : group.group->dependencies()) {
+    if (dep.successor != run.action->id()) continue;
+    for (const std::string& file : dep.files) {
+      auto blob = group.workspace->read(file);
+      if (!blob) {
+        complete_action(job, group, run, ActionStatus::kNotSuccessful,
+                        "dependency file missing: " + file);
+        return;
+      }
+      staged.emplace_back(file, std::move(blob.value()));
+    }
+  }
+  for (auto& [name, blob] : run.staged_files)
+    staged.emplace_back(name, std::move(blob));
+  run.staged_files.clear();
+
+  bool remote = !sub.usite.empty() && sub.usite != usite_;
+  if (!remote) {
+    run.subgroup = std::make_unique<GroupRun>();
+    run.subgroup->group = &sub;
+    run.subgroup->parent = &group;
+    run.subgroup->owner = &run;
+    run.status = ActionStatus::kRunning;
+    run.outcome.status = ActionStatus::kRunning;
+    run.outcome.started_at = engine_.now();
+    if (auto status = start_group(job, *run.subgroup); !status.ok()) {
+      complete_action(job, group, run, ActionStatus::kNotSuccessful,
+                      status.error().message);
+      return;
+    }
+    for (auto& [name, blob] : staged)
+      (void)run.subgroup->workspace->write(name, std::move(blob));
+    // An empty sub-job is immediately successful.
+    if (run.subgroup->open_actions == 0 && !ajo::is_terminal(run.status))
+      complete_action(job, group, run, ActionStatus::kSuccessful, "");
+    return;
+  }
+
+  // Remote: endorse and consign to the peer Usite.
+  if (peer_link_ == nullptr) {
+    complete_action(job, group, run, ActionStatus::kNotSuccessful,
+                    "no peer link to reach " + sub.usite);
+    return;
+  }
+  ForwardedConsignment consignment;
+  consignment.job = sub;
+  consignment.user_certificate = job.user_certificate;
+  consignment.consignor_certificate = credential_.certificate;
+  consignment.signature = crypto::sign_message(
+      credential_.key,
+      ForwardedConsignment::signing_input(consignment.job,
+                                          consignment.user_certificate));
+  consignment.staged_files = std::move(staged);
+
+  run.status = ActionStatus::kConsigned;
+  run.outcome.status = ActionStatus::kConsigned;
+
+  JobToken token = job.token;
+  GroupRun* group_ptr = &group;
+  ActionId id = run.action->id();
+  peer_link_->consign(
+      sub.usite, consignment,
+      [this, token, group_ptr, id](Result<RemoteJobHandle> handle) {
+        auto it = jobs_.find(token);
+        if (it == jobs_.end()) return;
+        auto action_it = group_ptr->actions.find(id);
+        if (action_it == group_ptr->actions.end()) return;
+        ActionRun& run = action_it->second;
+        if (ajo::is_terminal(run.status)) return;
+        if (!handle) {
+          complete_action(*it->second, *group_ptr, run,
+                          ActionStatus::kNotSuccessful,
+                          "remote consignment rejected: " +
+                              handle.error().message);
+          return;
+        }
+        run.remote = handle.value();
+        run.outcome.started_at = engine_.now();
+      },
+      [this, token, group_ptr, id](ajo::Outcome outcome) {
+        auto it = jobs_.find(token);
+        if (it == jobs_.end()) return;
+        auto action_it = group_ptr->actions.find(id);
+        if (action_it == group_ptr->actions.end()) return;
+        ActionRun& run = action_it->second;
+        if (ajo::is_terminal(run.status)) return;
+        run.outcome.children = std::move(outcome.children);
+        complete_action(*it->second, *group_ptr, run, outcome.status,
+                        std::move(outcome.message));
+      });
+}
+
+void Njs::complete_action(JobRun& job, GroupRun& group, ActionRun& run,
+                          ActionStatus status, std::string message) {
+  if (ajo::is_terminal(run.status)) return;
+  run.status = status;
+  run.outcome.status = status;
+  run.outcome.message = std::move(message);
+  run.outcome.finished_at = engine_.now();
+  --group.open_actions;
+
+  if (status == ActionStatus::kSuccessful)
+    process_edges(job, group, run);
+  else
+    propagate_failure(job, group, run);
+
+  if (group.open_actions == 0) {
+    // The whole group finished: report it as its owner's result.
+    ActionStatus aggregate = aggregate_status(group);
+    if (group.owner != nullptr) {
+      GroupRun& parent = *group.parent;
+      if (!ajo::is_terminal(group.owner->status))
+        complete_action(job, parent, *group.owner, aggregate,
+                        aggregate == ActionStatus::kSuccessful
+                            ? ""
+                            : "job group had unsuccessful actions");
+    } else {
+      finalize_if_done(job);
+    }
+  }
+}
+
+void Njs::propagate_failure(JobRun& job, GroupRun& group, ActionRun& failed) {
+  for (const ajo::Dependency* dep : failed.outgoing) {
+    auto it = group.actions.find(dep->successor);
+    if (it == group.actions.end()) continue;
+    ActionRun& successor = it->second;
+    if (ajo::is_terminal(successor.status)) continue;
+    complete_action(job, group, successor, ActionStatus::kNeverRun,
+                    "predecessor " + std::to_string(failed.action->id()) +
+                        " did not succeed");
+  }
+}
+
+void Njs::process_edges(JobRun& job, GroupRun& group, ActionRun& completed) {
+  for (const ajo::Dependency* dep : completed.outgoing) {
+    if (!group.actions.count(dep->successor)) continue;
+    JobToken token = job.token;
+    GroupRun* group_ptr = &group;
+    ActionId successor_id = dep->successor;
+
+    auto on_staged = [this, token, group_ptr, successor_id](Status status) {
+      auto job_it = jobs_.find(token);
+      if (job_it == jobs_.end()) return;
+      auto action_it = group_ptr->actions.find(successor_id);
+      if (action_it == group_ptr->actions.end()) return;
+      ActionRun& successor = action_it->second;
+      if (ajo::is_terminal(successor.status)) return;
+      if (!status.ok()) {
+        complete_action(*job_it->second, *group_ptr, successor,
+                        ActionStatus::kNotSuccessful,
+                        "dependency data unavailable: " +
+                            status.error().message);
+        return;
+      }
+      if (--successor.pending_predecessors == 0)
+        dispatch_ready(*job_it->second, *group_ptr, successor);
+    };
+
+    stage_edge_files_async(job, group, completed, dep->files, on_staged);
+  }
+}
+
+// Materialises the dependency files produced by `predecessor` into the
+// group workspace ("UNICORE then guarantees that the specified data sets
+// created by the predecessor are available to the successor", §5.7).
+void Njs::stage_edge_files_async(JobRun& job, GroupRun& group,
+                                 ActionRun& predecessor,
+                                 const std::vector<std::string>& files,
+                                 std::function<void(Status)> done) {
+  if (files.empty()) {
+    done(Status::ok_status());
+    return;
+  }
+
+  // Case 1: predecessor was a task of this group — its outputs are
+  // already in the group workspace; verify they exist.
+  if (!predecessor.action->is_job()) {
+    for (const std::string& file : files) {
+      if (!group.workspace->exists(file)) {
+        done(util::make_error(ErrorCode::kNotFound,
+                              "declared dependency file missing: " + file));
+        return;
+      }
+    }
+    done(Status::ok_status());
+    return;
+  }
+
+  // Case 2: predecessor was a local sub-job — copy from its Uspace.
+  if (predecessor.subgroup != nullptr) {
+    for (const std::string& file : files) {
+      auto blob = predecessor.subgroup->workspace->read(file);
+      if (!blob) {
+        done(util::make_error(ErrorCode::kNotFound,
+                              "sub-job did not produce file: " + file));
+        return;
+      }
+      if (auto status = group.workspace->write(file, std::move(blob.value()));
+          !status.ok()) {
+        done(status);
+        return;
+      }
+    }
+    done(Status::ok_status());
+    return;
+  }
+
+  // Case 3: predecessor ran at a remote Usite — fetch the files over the
+  // NJS–NJS link, one by one.
+  if (!predecessor.remote.has_value() || peer_link_ == nullptr) {
+    done(util::make_error(ErrorCode::kUnavailable,
+                          "remote sub-job handle unavailable"));
+    return;
+  }
+  auto remaining = std::make_shared<std::vector<std::string>>(files);
+  auto handle = *predecessor.remote;
+  JobToken token = job.token;
+  GroupRun* group_ptr = &group;
+
+  auto fetch_next = std::make_shared<std::function<void()>>();
+  *fetch_next = [this, remaining, handle, token, group_ptr, done,
+                 fetch_next]() {
+    if (remaining->empty()) {
+      done(Status::ok_status());
+      return;
+    }
+    std::string file = remaining->back();
+    remaining->pop_back();
+    peer_link_->fetch_file(
+        handle, file,
+        [this, token, group_ptr, file, done,
+         fetch_next](Result<uspace::FileBlob> blob) {
+          auto it = jobs_.find(token);
+          if (it == jobs_.end()) return;
+          if (!blob) {
+            done(util::make_error(ErrorCode::kNotFound,
+                                  "remote dependency file unavailable: " +
+                                      file + ": " + blob.error().message));
+            return;
+          }
+          if (auto status = group_ptr->workspace->write(
+                  file, std::move(blob.value()));
+              !status.ok()) {
+            done(status);
+            return;
+          }
+          (*fetch_next)();
+        });
+  };
+  (*fetch_next)();
+}
+
+void Njs::finalize_if_done(JobRun& job) {
+  if (job.finalized) return;
+  if (job.root.open_actions != 0) return;
+  job.finalized = true;
+  ++jobs_completed_;
+  UNICORE_INFO("njs/" + usite_)
+      << "job " << job.token << " finished: "
+      << ajo::action_status_name(aggregate_status(job.root));
+  if (job.on_final) {
+    auto outcome = build_outcome(job, job.root,
+                                 ajo::QueryService::Detail::kTasks);
+    auto handler = std::move(job.on_final);
+    job.on_final = nullptr;
+    handler(job.token, outcome);
+  }
+}
+
+ajo::ActionStatus Njs::aggregate_status(const GroupRun& group) const {
+  bool all_terminal = true;
+  bool any_active = false;
+  bool any_failed = false;
+  bool any_aborted = false;
+  for (const auto& [id, run] : group.actions) {
+    if (!ajo::is_terminal(run.status)) {
+      all_terminal = false;
+      if (run.status == ActionStatus::kQueued ||
+          run.status == ActionStatus::kRunning ||
+          run.status == ActionStatus::kConsigned)
+        any_active = true;
+    }
+    if (run.status == ActionStatus::kNotSuccessful ||
+        run.status == ActionStatus::kNeverRun)
+      any_failed = true;
+    if (run.status == ActionStatus::kAborted) any_aborted = true;
+  }
+  if (!all_terminal) return any_active ? ActionStatus::kRunning
+                                       : ActionStatus::kPending;
+  if (any_aborted) return ActionStatus::kAborted;
+  if (any_failed) return ActionStatus::kNotSuccessful;
+  return ActionStatus::kSuccessful;
+}
+
+ajo::Outcome Njs::build_outcome(const JobRun& job, const GroupRun& group,
+                                ajo::QueryService::Detail detail) const {
+  ajo::Outcome node;
+  node.action = group.group->id();
+  node.type = ActionType::kAbstractJobObject;
+  node.name = group.group->name();
+  node.status = aggregate_status(group);
+  node.submitted_at = job.consigned_at;
+
+  if (detail == ajo::QueryService::Detail::kSummary) return node;
+
+  for (const auto& child : group.group->children()) {
+    const ActionRun& run = group.actions.at(child->id());
+    if (run.subgroup != nullptr) {
+      ajo::Outcome sub = build_outcome(job, *run.subgroup, detail);
+      sub.action = child->id();
+      sub.name = child->name();
+      // While the sub-group runs, show the live aggregate; once its
+      // owner action is terminal, prefer the recorded result.
+      if (ajo::is_terminal(run.status)) {
+        sub.status = run.status;
+        sub.message = run.outcome.message;
+        sub.finished_at = run.outcome.finished_at;
+      }
+      node.children.push_back(std::move(sub));
+      continue;
+    }
+    if (child->is_job()) {
+      // Remote sub-job: one node carrying the remote outcome subtree.
+      ajo::Outcome sub = run.outcome;
+      if (detail == ajo::QueryService::Detail::kJobGroups)
+        sub.children.clear();
+      node.children.push_back(std::move(sub));
+      continue;
+    }
+    if (detail == ajo::QueryService::Detail::kJobGroups) continue;
+    ajo::Outcome leaf = run.outcome;
+    // Map QUEUED to RUNNING live when the batch system started the job.
+    if (run.status == ActionStatus::kQueued && group.runtime != nullptr) {
+      auto state = group.runtime->subsystem->state(run.batch_id);
+      if (state && state.value() == batch::BatchJobState::kRunning)
+        leaf.status = ActionStatus::kRunning;
+    }
+    node.children.push_back(std::move(leaf));
+  }
+  return node;
+}
+
+// ---- public services -------------------------------------------------------
+
+Result<ajo::Outcome> Njs::query(JobToken token,
+                                ajo::QueryService::Detail detail) const {
+  auto it = jobs_.find(token);
+  if (it == jobs_.end())
+    return util::make_error(ErrorCode::kNotFound,
+                            "no such job: " + std::to_string(token));
+  return build_outcome(*it->second, it->second->root, detail);
+}
+
+Result<crypto::DistinguishedName> Njs::owner(JobToken token) const {
+  auto it = jobs_.find(token);
+  if (it == jobs_.end())
+    return util::make_error(ErrorCode::kNotFound,
+                            "no such job: " + std::to_string(token));
+  return it->second->user.dn;
+}
+
+std::vector<JobSummary> Njs::list(
+    const crypto::DistinguishedName& user) const {
+  std::vector<JobSummary> out;
+  for (const auto& [token, job] : jobs_) {
+    if (job->user.dn != user) continue;
+    JobSummary summary;
+    summary.token = token;
+    summary.name = job->job.name();
+    summary.status = aggregate_status(job->root);
+    summary.consigned_at = job->consigned_at;
+    out.push_back(std::move(summary));
+  }
+  return out;
+}
+
+void Njs::abort_group(JobRun& job, GroupRun& group) {
+  // Take a snapshot of ids: complete_action mutates the counters and can
+  // cascade into parents.
+  std::vector<ActionId> ids;
+  ids.reserve(group.actions.size());
+  for (const auto& [id, run] : group.actions) ids.push_back(id);
+  for (ActionId id : ids) {
+    ActionRun& run = group.actions.at(id);
+    if (ajo::is_terminal(run.status)) continue;
+    switch (run.status) {
+      case ActionStatus::kQueued:
+      case ActionStatus::kRunning:
+        if (run.batch_id != 0 && group.runtime != nullptr) {
+          // Cancellation completes the action through the batch handler.
+          (void)group.runtime->subsystem->cancel(run.batch_id);
+          break;
+        }
+        if (run.subgroup != nullptr) {
+          abort_group(job, *run.subgroup);
+          break;
+        }
+        complete_action(job, group, run, ActionStatus::kAborted, "aborted");
+        break;
+      case ActionStatus::kConsigned:
+        if (run.remote.has_value() && peer_link_ != nullptr)
+          peer_link_->control(*run.remote,
+                              ajo::ControlService::Command::kAbort,
+                              [](Status) {});
+        complete_action(job, group, run, ActionStatus::kAborted, "aborted");
+        break;
+      default:
+        complete_action(job, group, run, ActionStatus::kAborted, "aborted");
+        break;
+    }
+  }
+}
+
+void Njs::set_held(GroupRun& group, bool held) {
+  group.held = held;
+  for (auto& [id, run] : group.actions)
+    if (run.subgroup != nullptr) set_held(*run.subgroup, held);
+}
+
+Status Njs::control(JobToken token, ajo::ControlService::Command command) {
+  auto it = jobs_.find(token);
+  if (it == jobs_.end())
+    return util::make_error(ErrorCode::kNotFound,
+                            "no such job: " + std::to_string(token));
+  JobRun& job = *it->second;
+  switch (command) {
+    case ajo::ControlService::Command::kAbort:
+      abort_group(job, job.root);
+      return Status::ok_status();
+    case ajo::ControlService::Command::kHold:
+      set_held(job.root, true);
+      return Status::ok_status();
+    case ajo::ControlService::Command::kRelease: {
+      set_held(job.root, false);
+      // Re-dispatch everything parked in HELD.
+      std::function<void(GroupRun&)> release = [&](GroupRun& group) {
+        for (auto& [id, run] : group.actions) {
+          if (run.status == ActionStatus::kHeld) {
+            run.status = ActionStatus::kPending;
+            run.outcome.status = ActionStatus::kPending;
+            dispatch_ready(job, group, run);
+          }
+          if (run.subgroup != nullptr) release(*run.subgroup);
+        }
+      };
+      release(job.root);
+      return Status::ok_status();
+    }
+    case ajo::ControlService::Command::kDelete: {
+      ajo::Outcome outcome =
+          build_outcome(job, job.root, ajo::QueryService::Detail::kSummary);
+      if (!ajo::is_terminal(outcome.status))
+        return util::make_error(ErrorCode::kFailedPrecondition,
+                                "job still active; abort it first");
+      jobs_.erase(it);
+      return Status::ok_status();
+    }
+  }
+  return util::make_error(ErrorCode::kInvalidArgument, "unknown command");
+}
+
+Status Njs::deliver_file(JobToken token, const std::string& name,
+                         uspace::FileBlob blob) {
+  auto it = jobs_.find(token);
+  if (it == jobs_.end())
+    return util::make_error(ErrorCode::kNotFound,
+                            "no such job: " + std::to_string(token));
+  return it->second->root.workspace->write(name, std::move(blob));
+}
+
+Result<uspace::FileBlob> Njs::fetch_file(JobToken token,
+                                         const std::string& name) const {
+  auto it = jobs_.find(token);
+  if (it == jobs_.end())
+    return util::make_error(ErrorCode::kNotFound,
+                            "no such job: " + std::to_string(token));
+  return it->second->root.workspace->read(name);
+}
+
+Result<uspace::FileBlob> Njs::read_output(JobToken token,
+                                          const std::string& name) const {
+  return fetch_file(token, name);
+}
+
+std::size_t Njs::active_jobs() const {
+  std::size_t count = 0;
+  for (const auto& [token, job] : jobs_)
+    if (!job->finalized) ++count;
+  return count;
+}
+
+}  // namespace unicore::njs

@@ -1,0 +1,186 @@
+// The Network Job Supervisor (§5.5) — the job-management half of the
+// UNICORE server.
+//
+// Responsibilities, as enumerated by the paper:
+//   - transform the abstract job into an internal format (incarnation.h),
+//   - split it into the job groups destined for different sites,
+//   - distribute and control the job groups (PeerLink),
+//   - translate abstract specifications via translation tables,
+//   - submit the batch jobs to the execution system,
+//   - create a UNICORE job directory (Uspace) per job group,
+//   - collect standard output/error and make them available (Outcome),
+//   - initiate all data transfers, imports, and exports.
+//
+// Scheduling "is limited to the delivery of the generated batch jobs to
+// the destination systems in the specified sequence. It has no means of
+// influencing the scheduling on the destination systems" — the NJS only
+// orders deliveries; queueing decisions stay with BatchSubsystem.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ajo/job.h"
+#include "ajo/outcome.h"
+#include "ajo/services.h"
+#include "batch/subsystem.h"
+#include "gateway/gateway.h"
+#include "njs/incarnation.h"
+#include "njs/peer_link.h"
+#include "sim/engine.h"
+#include "uspace/filespace.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace unicore::njs {
+
+/// One-line job record for the ListService.
+struct JobSummary {
+  ajo::JobToken token = 0;
+  std::string name;
+  ajo::ActionStatus status = ajo::ActionStatus::kPending;
+  sim::Time consigned_at = 0;
+};
+
+class Njs {
+ public:
+  struct VsiteConfig {
+    batch::SystemConfig system;
+    /// Empty optional selects default_translation_table(architecture).
+    std::optional<TranslationTable> table;
+    double disk_bandwidth_bytes_per_sec = 20e6;
+    std::uint64_t uspace_quota_bytes = 0;  // 0 = unlimited
+    std::vector<resources::SoftwareItem> software;
+  };
+
+  Njs(sim::Engine& engine, util::Rng rng, std::string usite,
+      crypto::Credential server_credential);
+  ~Njs();
+
+  Njs(const Njs&) = delete;
+  Njs& operator=(const Njs&) = delete;
+
+  const std::string& usite() const { return usite_; }
+  const crypto::Credential& server_credential() const { return credential_; }
+
+  /// Registers a Vsite (one destination system) at this Usite.
+  batch::BatchSubsystem& add_vsite(VsiteConfig config);
+
+  std::vector<std::string> vsites() const;
+  batch::BatchSubsystem* subsystem(const std::string& vsite);
+  uspace::Xspace* xspace(const std::string& vsite);
+
+  /// The resource page of one Vsite (§5.4), derived from its system
+  /// configuration and software catalogue.
+  util::Result<resources::ResourcePage> resource_page(
+      const std::string& vsite) const;
+  std::vector<resources::ResourcePage> resource_pages() const;
+
+  /// Wires this NJS to its peers (owned by the server/grid layer).
+  void set_peer_link(PeerLink* link) { peer_link_ = link; }
+
+  /// NJS-side processing latency per dispatched action (default 50 ms);
+  /// exposed for benches.
+  void set_dispatch_latency(sim::Time latency) { dispatch_latency_ = latency; }
+
+  // --- consignment -------------------------------------------------------
+
+  using FinalHandler = std::function<void(ajo::JobToken, const ajo::Outcome&)>;
+
+  /// Accepts an authenticated job for execution. The gateway has already
+  /// performed the consignment check; `user` is the mapped identity and
+  /// `user_certificate` the original user certificate (needed to endorse
+  /// sub-AJOs to peer sites). `on_final` (optional) fires once when the
+  /// job reaches a terminal state.
+  util::Result<ajo::JobToken> consign(
+      const ajo::AbstractJobObject& job, const gateway::AuthenticatedUser& user,
+      const crypto::Certificate& user_certificate,
+      FinalHandler on_final = nullptr,
+      std::vector<std::pair<std::string, uspace::FileBlob>> staged_files = {});
+
+  /// Files arriving with / for a consigned job (inter-site transfers and
+  /// consignment-staged dependency data) land in the root Uspace.
+  util::Status deliver_file(ajo::JobToken token, const std::string& name,
+                            uspace::FileBlob blob);
+  util::Result<uspace::FileBlob> fetch_file(ajo::JobToken token,
+                                            const std::string& name) const;
+
+  // --- JMC services ------------------------------------------------------
+
+  util::Result<ajo::Outcome> query(ajo::JobToken token,
+                                   ajo::QueryService::Detail detail) const;
+
+  /// Distinguished name of the user a job was consigned for (server-side
+  /// ownership checks).
+  util::Result<crypto::DistinguishedName> owner(ajo::JobToken token) const;
+  std::vector<JobSummary> list(const crypto::DistinguishedName& user) const;
+  util::Status control(ajo::JobToken token,
+                       ajo::ControlService::Command command);
+
+  /// Reads a file from a terminal job's Uspace (JMC "save output").
+  util::Result<uspace::FileBlob> read_output(ajo::JobToken token,
+                                             const std::string& name) const;
+
+  // --- statistics ---------------------------------------------------------
+  std::size_t active_jobs() const;
+  std::uint64_t jobs_consigned() const { return jobs_consigned_; }
+  std::uint64_t jobs_completed() const { return jobs_completed_; }
+
+  /// Accounting (§6 "accounting functions"): processor-seconds consumed
+  /// per local login across all Vsites of this Usite, accumulated as
+  /// batch jobs finish.
+  const std::map<std::string, double>& accounting() const {
+    return accounting_;
+  }
+
+ private:
+  struct VsiteRuntime;
+  struct ActionRun;
+  struct GroupRun;
+  struct JobRun;
+
+  // Group/graph engine.
+  util::Status start_group(JobRun& job, GroupRun& group);
+  void dispatch_ready(JobRun& job, GroupRun& group, ActionRun& run);
+  void dispatch_action(JobRun& job, GroupRun& group, ActionRun& run);
+  void dispatch_execute(JobRun& job, GroupRun& group, ActionRun& run);
+  void dispatch_file_task(JobRun& job, GroupRun& group, ActionRun& run);
+  void dispatch_subjob(JobRun& job, GroupRun& group, ActionRun& run);
+  void complete_action(JobRun& job, GroupRun& group, ActionRun& run,
+                       ajo::ActionStatus status, std::string message);
+  void propagate_failure(JobRun& job, GroupRun& group, ActionRun& failed);
+  void process_edges(JobRun& job, GroupRun& group, ActionRun& completed);
+  void stage_edge_files_async(JobRun& job, GroupRun& group,
+                              ActionRun& predecessor,
+                              const std::vector<std::string>& files,
+                              std::function<void(util::Status)> done);
+  void finalize_if_done(JobRun& job);
+  ajo::Outcome build_outcome(const JobRun& job, const GroupRun& group,
+                             ajo::QueryService::Detail detail) const;
+  ajo::ActionStatus aggregate_status(const GroupRun& group) const;
+  void abort_group(JobRun& job, GroupRun& group);
+  void set_held(GroupRun& group, bool held);
+
+  sim::Time staging_delay(const GroupRun& group, std::uint64_t bytes) const;
+
+  sim::Engine& engine_;
+  util::Rng rng_;
+  std::string usite_;
+  crypto::Credential credential_;
+  PeerLink* peer_link_ = nullptr;
+  sim::Time dispatch_latency_ = sim::msec(50);
+
+  std::map<std::string, std::unique_ptr<VsiteRuntime>> vsites_;
+  std::map<std::string, double> accounting_;
+  std::map<ajo::JobToken, std::unique_ptr<JobRun>> jobs_;
+  ajo::JobToken next_token_ = 1;
+  std::uint64_t jobs_consigned_ = 0;
+  std::uint64_t jobs_completed_ = 0;
+};
+
+}  // namespace unicore::njs

@@ -1,0 +1,78 @@
+// Interface the NJS uses to talk to peer Usites ("the different servers
+// are connected so that (parts of) UNICORE jobs, data, and control
+// information can be exchanged", §4.3). The server layer implements it
+// over gateway-to-gateway secure channels; tests may substitute an
+// in-process fake. All operations are asynchronous, matching §5.3.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "ajo/job.h"
+#include "ajo/outcome.h"
+#include "ajo/services.h"
+#include "uspace/blob.h"
+#include "util/result.h"
+
+namespace unicore::njs {
+
+/// A sub-AJO consigned NJS-to-NJS: the job group, the originating user's
+/// certificate, and the consigning server's endorsement signature over
+/// (job || user certificate).
+struct ForwardedConsignment {
+  ajo::AbstractJobObject job;
+  crypto::Certificate user_certificate;
+  crypto::Certificate consignor_certificate;
+  crypto::Signature signature;
+  /// Dependency files travelling with the job group, staged into its
+  /// Uspace on arrival (the analogue of workstation files travelling
+  /// inside the AJO, §5.6).
+  std::vector<std::pair<std::string, uspace::FileBlob>> staged_files;
+
+  /// Canonical signing input (covers job and user certificate).
+  static util::Bytes signing_input(const ajo::AbstractJobObject& job,
+                                   const crypto::Certificate& user_cert);
+};
+
+/// Handle of a job consigned at a remote Usite.
+struct RemoteJobHandle {
+  std::string usite;
+  ajo::JobToken token = 0;
+};
+
+class PeerLink {
+ public:
+  virtual ~PeerLink() = default;
+
+  /// Consigns a job group to `usite`. `on_accepted` fires with the
+  /// remote token (or the rejection); `on_final` fires once when the
+  /// remote job reaches a terminal state, carrying its full outcome.
+  virtual void consign(const std::string& usite,
+                       const ForwardedConsignment& consignment,
+                       std::function<void(util::Result<RemoteJobHandle>)>
+                           on_accepted,
+                       std::function<void(ajo::Outcome)> on_final) = 0;
+
+  /// Delivers a file into the Uspace of a remote job ("file transfer
+  /// between Uspaces ... through NJS–NJS communication via the
+  /// gateway", §5.6).
+  virtual void deliver_file(const RemoteJobHandle& target,
+                            const std::string& uspace_name,
+                            const uspace::FileBlob& blob,
+                            std::function<void(util::Status)> done) = 0;
+
+  /// Fetches a file from the Uspace of a remote job (dependency files
+  /// produced by a remote predecessor).
+  virtual void fetch_file(const RemoteJobHandle& source,
+                          const std::string& uspace_name,
+                          std::function<void(util::Result<uspace::FileBlob>)>
+                              done) = 0;
+
+  /// Forwards a control command (abort/hold/release/delete).
+  virtual void control(const RemoteJobHandle& target,
+                       ajo::ControlService::Command command,
+                       std::function<void(util::Status)> done) = 0;
+};
+
+}  // namespace unicore::njs

@@ -1,0 +1,103 @@
+// Per-Vsite resource pages (§5.4).
+//
+// "Each UNICORE site provides a so called resource page reflecting
+//  resource information about their Vsites. Besides minimum and maximum
+//  values for the resources needed for batch submission it contains
+//  information about the system architecture, performance, and operating
+//  system as well as available application and system software. ...
+//  It is stored in ASN1 format for the JPA to include it into the GUI."
+//
+// The page is produced by a site administrator through the
+// ResourcePageEditor and shipped to clients DER-encoded.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "asn1/der.h"
+#include "resources/resource_set.h"
+#include "util/result.h"
+
+namespace unicore::resources {
+
+/// The system families of the 1999 UNICORE deployment (§5.7) plus a
+/// generic fallback.
+enum class Architecture {
+  kCrayT3E,
+  kFujitsuVpp700,
+  kIbmSp2,
+  kNecSx4,
+  kGenericUnix,
+};
+
+const char* architecture_name(Architecture a);
+
+enum class SoftwareKind { kCompiler, kLibrary, kPackage };
+
+const char* software_kind_name(SoftwareKind k);
+
+/// One entry of the site's software catalogue (compilers, libraries,
+/// program packages like Gaussian or Ansys).
+struct SoftwareItem {
+  SoftwareKind kind = SoftwareKind::kPackage;
+  std::string name;
+  std::string version;
+
+  bool operator==(const SoftwareItem&) const = default;
+};
+
+struct ResourcePage {
+  std::string usite;  // e.g. "FZ-Juelich"
+  std::string vsite;  // e.g. "T3E-600"
+  Architecture architecture = Architecture::kGenericUnix;
+  std::string operating_system;
+  double peak_gflops = 0.0;
+  std::int64_t node_count = 1;
+  ResourceSet minimum;
+  ResourceSet maximum;
+  std::vector<SoftwareItem> software;
+
+  bool operator==(const ResourcePage&) const = default;
+
+  /// Checks a task's resource request against the page's min/max window;
+  /// the error message names the violated dimension so the JPA can point
+  /// the user at it.
+  util::Status admits(const ResourceSet& request) const;
+
+  bool has_software(SoftwareKind kind, std::string_view name) const;
+  const SoftwareItem* find_software(SoftwareKind kind,
+                                    std::string_view name) const;
+
+  /// DER encoding — the on-disk / on-wire form of the page.
+  util::Bytes encode() const;
+  static util::Result<ResourcePage> decode(util::ByteView der);
+
+  asn1::Value to_asn1() const;
+  static util::Result<ResourcePage> from_asn1(const asn1::Value& v);
+};
+
+/// Builder used by the Usite administrator to prepare a page (§5.4's
+/// "resource page editor"). Validates invariants at build():
+/// min <= max in every dimension, non-empty names.
+class ResourcePageEditor {
+ public:
+  ResourcePageEditor& usite(std::string name);
+  ResourcePageEditor& vsite(std::string name);
+  ResourcePageEditor& architecture(Architecture a);
+  ResourcePageEditor& operating_system(std::string name);
+  ResourcePageEditor& peak_gflops(double gflops);
+  ResourcePageEditor& node_count(std::int64_t n);
+  ResourcePageEditor& minimum(ResourceSet r);
+  ResourcePageEditor& maximum(ResourceSet r);
+  ResourcePageEditor& add_software(SoftwareKind kind, std::string name,
+                                   std::string version);
+
+  util::Result<ResourcePage> build() const;
+
+ private:
+  ResourcePage page_;
+};
+
+}  // namespace unicore::resources

@@ -1,0 +1,68 @@
+#include "resources/resource_set.h"
+
+#include <algorithm>
+
+namespace unicore::resources {
+
+using asn1::Value;
+
+bool ResourceSet::fits_within(const ResourceSet& min,
+                              const ResourceSet& max) const {
+  auto within = [](std::int64_t v, std::int64_t lo, std::int64_t hi) {
+    return v >= lo && v <= hi;
+  };
+  return within(processors, min.processors, max.processors) &&
+         within(wallclock_seconds, min.wallclock_seconds,
+                max.wallclock_seconds) &&
+         within(memory_mb, min.memory_mb, max.memory_mb) &&
+         within(permanent_disk_mb, min.permanent_disk_mb,
+                max.permanent_disk_mb) &&
+         within(temporary_disk_mb, min.temporary_disk_mb,
+                max.temporary_disk_mb);
+}
+
+ResourceSet ResourceSet::element_max(const ResourceSet& other) const {
+  ResourceSet out;
+  out.processors = std::max(processors, other.processors);
+  out.wallclock_seconds = std::max(wallclock_seconds, other.wallclock_seconds);
+  out.memory_mb = std::max(memory_mb, other.memory_mb);
+  out.permanent_disk_mb = std::max(permanent_disk_mb, other.permanent_disk_mb);
+  out.temporary_disk_mb = std::max(temporary_disk_mb, other.temporary_disk_mb);
+  return out;
+}
+
+std::string ResourceSet::to_string() const {
+  return "cpus=" + std::to_string(processors) +
+         " time=" + std::to_string(wallclock_seconds) + "s" +
+         " mem=" + std::to_string(memory_mb) + "MB" +
+         " permdisk=" + std::to_string(permanent_disk_mb) + "MB" +
+         " tempdisk=" + std::to_string(temporary_disk_mb) + "MB";
+}
+
+Value ResourceSet::to_asn1() const {
+  return Value::sequence({Value::integer(processors),
+                          Value::integer(wallclock_seconds),
+                          Value::integer(memory_mb),
+                          Value::integer(permanent_disk_mb),
+                          Value::integer(temporary_disk_mb)});
+}
+
+util::Result<ResourceSet> ResourceSet::from_asn1(const Value& v) {
+  if (!v.is_sequence() || v.as_sequence().size() != 5)
+    return util::make_error(util::ErrorCode::kInvalidArgument,
+                            "resources: malformed resource set");
+  const auto& f = v.as_sequence();
+  for (const auto& item : f)
+    if (!item.is_integer())
+      return util::make_error(util::ErrorCode::kInvalidArgument,
+                              "resources: non-integer resource value");
+  ResourceSet out;
+  out.processors = f[0].as_integer();
+  out.wallclock_seconds = f[1].as_integer();
+  out.memory_mb = f[2].as_integer();
+  out.permanent_disk_mb = f[3].as_integer();
+  out.temporary_disk_mb = f[4].as_integer();
+  return out;
+}
+
+}  // namespace unicore::resources

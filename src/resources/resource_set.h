@@ -1,0 +1,36 @@
+// The paper's "simple model for resources" (§5.4): a batch request names
+// the number of CPUs, execution time, memory, and permanent/temporary
+// disk space. These values travel inside every AbstractTaskObject and
+// are checked against the destination Vsite's resource page.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "asn1/der.h"
+#include "util/result.h"
+
+namespace unicore::resources {
+
+struct ResourceSet {
+  std::int64_t processors = 1;
+  std::int64_t wallclock_seconds = 300;
+  std::int64_t memory_mb = 64;
+  std::int64_t permanent_disk_mb = 0;
+  std::int64_t temporary_disk_mb = 16;
+
+  bool operator==(const ResourceSet&) const = default;
+
+  /// True when every dimension lies within [min, max] inclusive.
+  bool fits_within(const ResourceSet& min, const ResourceSet& max) const;
+
+  /// Component-wise maximum (used to aggregate group requirements).
+  ResourceSet element_max(const ResourceSet& other) const;
+
+  std::string to_string() const;
+
+  asn1::Value to_asn1() const;
+  static util::Result<ResourceSet> from_asn1(const asn1::Value& v);
+};
+
+}  // namespace unicore::resources

@@ -1,0 +1,147 @@
+#include "server/protocol.h"
+
+#include "ajo/codec.h"
+
+namespace unicore::server {
+
+using util::ByteReader;
+using util::Bytes;
+using util::ByteView;
+using util::ByteWriter;
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+
+const char* request_kind_name(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kConsign: return "consign";
+    case RequestKind::kQuery: return "query";
+    case RequestKind::kList: return "list";
+    case RequestKind::kControl: return "control";
+    case RequestKind::kFetchOutput: return "fetch-output";
+    case RequestKind::kResourcePages: return "resource-pages";
+    case RequestKind::kGetBundle: return "get-bundle";
+    case RequestKind::kForwardConsign: return "forward-consign";
+    case RequestKind::kDeliverFile: return "deliver-file";
+    case RequestKind::kFetchFile: return "fetch-file";
+    case RequestKind::kPeerControl: return "peer-control";
+  }
+  return "?";
+}
+
+Bytes make_request(RequestKind kind, std::uint64_t request_id,
+                   ByteView payload) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MessageType::kRequest));
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u64(request_id);
+  w.raw(payload);
+  return w.take();
+}
+
+Bytes make_ok_reply(std::uint64_t request_id, ByteView payload) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MessageType::kReply));
+  w.u64(request_id);
+  w.u8(1);
+  w.raw(payload);
+  return w.take();
+}
+
+Bytes make_error_reply(std::uint64_t request_id, const Error& error) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MessageType::kReply));
+  w.u64(request_id);
+  w.u8(0);
+  encode_error(w, error);
+  return w.take();
+}
+
+Bytes make_notification(std::uint64_t job_token, const ajo::Outcome& outcome) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MessageType::kNotification));
+  w.u64(job_token);
+  outcome.encode(w);
+  return w.take();
+}
+
+void encode_user(ByteWriter& w, const gateway::AuthenticatedUser& user) {
+  w.str(user.dn.country);
+  w.str(user.dn.organization);
+  w.str(user.dn.organizational_unit);
+  w.str(user.dn.common_name);
+  w.str(user.dn.email);
+  w.str(user.login);
+  w.varint(user.account_groups.size());
+  for (const auto& group : user.account_groups) w.str(group);
+}
+
+gateway::AuthenticatedUser decode_user(ByteReader& r) {
+  gateway::AuthenticatedUser user;
+  user.dn.country = r.str();
+  user.dn.organization = r.str();
+  user.dn.organizational_unit = r.str();
+  user.dn.common_name = r.str();
+  user.dn.email = r.str();
+  user.login = r.str();
+  std::uint64_t n = r.varint();
+  user.account_groups.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) user.account_groups.push_back(r.str());
+  return user;
+}
+
+Bytes encode_forwarded(const njs::ForwardedConsignment& consignment) {
+  ByteWriter w;
+  w.blob(ajo::encode_action(consignment.job));
+  w.blob(consignment.user_certificate.der());
+  w.blob(consignment.consignor_certificate.der());
+  w.u64(consignment.signature.value);
+  w.varint(consignment.staged_files.size());
+  for (const auto& [name, blob] : consignment.staged_files) {
+    w.str(name);
+    blob.encode(w);
+  }
+  return w.take();
+}
+
+Result<njs::ForwardedConsignment> decode_forwarded(ByteReader& r) {
+  njs::ForwardedConsignment out;
+  Bytes job_wire = r.blob();
+  auto action = ajo::decode_action(job_wire);
+  if (!action) return action.error();
+  if (!action.value()->is_job())
+    return util::make_error(ErrorCode::kInvalidArgument,
+                            "forwarded consignment root is not a job");
+  out.job = std::move(static_cast<ajo::AbstractJobObject&>(*action.value()));
+  Bytes user_der = r.blob();
+  auto user_cert = crypto::Certificate::from_der(user_der);
+  if (!user_cert) return user_cert.error();
+  out.user_certificate = std::move(user_cert.value());
+  Bytes consignor_der = r.blob();
+  auto consignor_cert = crypto::Certificate::from_der(consignor_der);
+  if (!consignor_cert) return consignor_cert.error();
+  out.consignor_certificate = std::move(consignor_cert.value());
+  out.signature.value = r.u64();
+  std::uint64_t n = r.varint();
+  out.staged_files.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string name = r.str();
+    out.staged_files.emplace_back(std::move(name),
+                                  uspace::FileBlob::decode(r));
+  }
+  return out;
+}
+
+void encode_error(ByteWriter& w, const Error& error) {
+  w.u8(static_cast<std::uint8_t>(error.code));
+  w.str(error.message);
+}
+
+Error decode_error(ByteReader& r) {
+  Error error;
+  error.code = static_cast<ErrorCode>(r.u8());
+  error.message = r.str();
+  return error;
+}
+
+}  // namespace unicore::server

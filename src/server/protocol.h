@@ -1,0 +1,71 @@
+// The UNICORE high-level protocol (§5.3): "a client-server type of
+// communication. JPA/JMC act as client while NJS (resp. the gateway)
+// acts as both client and server depending on the partner. ... It is an
+// asynchronous protocol."
+//
+// Message envelopes over a SecureChannel:
+//   kRequest      u8 | kind u8 | request_id u64 | payload
+//   kReply        u8 | request_id u64 | ok u8 | payload-or-error
+//   kNotification u8 | job token u64 | Outcome      (server -> client push
+//                                                    for forwarded jobs)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ajo/job.h"
+#include "ajo/outcome.h"
+#include "ajo/services.h"
+#include "gateway/gateway.h"
+#include "njs/njs.h"
+#include "njs/peer_link.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace unicore::server {
+
+enum class MessageType : std::uint8_t {
+  kRequest = 1,
+  kReply = 2,
+  kNotification = 3,
+};
+
+enum class RequestKind : std::uint8_t {
+  kConsign = 1,        // JPA: SignedAjo
+  kQuery = 2,          // JMC: token + detail
+  kList = 3,           // JMC
+  kControl = 4,        // JMC: token + command
+  kFetchOutput = 5,    // JMC: token + file name
+  kResourcePages = 6,  // JPA: resource info for the Usite's Vsites
+  kGetBundle = 7,      // "applet" download: bundle name
+  kForwardConsign = 8, // peer NJS: ForwardedConsignment
+  kDeliverFile = 9,    // peer NJS: token + name + blob
+  kFetchFile = 10,     // peer NJS: token + name
+  kPeerControl = 11,   // peer NJS: token + command
+};
+
+const char* request_kind_name(RequestKind kind);
+
+// --- envelope builders ---------------------------------------------------
+
+util::Bytes make_request(RequestKind kind, std::uint64_t request_id,
+                         util::ByteView payload);
+util::Bytes make_ok_reply(std::uint64_t request_id, util::ByteView payload);
+util::Bytes make_error_reply(std::uint64_t request_id,
+                             const util::Error& error);
+util::Bytes make_notification(std::uint64_t job_token,
+                              const ajo::Outcome& outcome);
+
+// --- payload codecs --------------------------------------------------------
+
+void encode_user(util::ByteWriter& w, const gateway::AuthenticatedUser& user);
+gateway::AuthenticatedUser decode_user(util::ByteReader& r);
+
+util::Bytes encode_forwarded(const njs::ForwardedConsignment& consignment);
+util::Result<njs::ForwardedConsignment> decode_forwarded(
+    util::ByteReader& r);
+
+void encode_error(util::ByteWriter& w, const util::Error& error);
+util::Error decode_error(util::ByteReader& r);
+
+}  // namespace unicore::server

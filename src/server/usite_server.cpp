@@ -1,0 +1,700 @@
+#include "server/usite_server.h"
+
+#include "ajo/codec.h"
+#include "util/log.h"
+
+namespace unicore::server {
+
+using ajo::JobToken;
+using util::ByteReader;
+using util::Bytes;
+using util::ByteWriter;
+using util::ErrorCode;
+using util::Result;
+using util::Status;
+
+namespace {
+
+enum PipeMessage : std::uint8_t {
+  kPipeRequest = 1,
+  kPipeReply = 2,
+  kPipeNotify = 3,
+};
+
+util::Error transport_error(const std::string& what) {
+  return util::make_error(ErrorCode::kUnavailable, what);
+}
+
+}  // namespace
+
+// ---- internal structures ---------------------------------------------------
+
+struct UsiteServer::ClientSession {
+  std::uint64_t id = 0;
+  std::shared_ptr<net::SecureChannel> channel;
+};
+
+struct UsiteServer::PeerConnection {
+  std::string usite;
+  net::Address address;
+  std::shared_ptr<net::SecureChannel> channel;
+  bool established = false;
+  std::deque<Bytes> backlog;  // requests queued during the handshake
+  std::map<std::uint64_t, std::function<void(Result<Bytes>)>> pending;
+  std::map<std::uint64_t, std::function<void(ajo::Outcome)>> finals;
+};
+
+// ---- construction ----------------------------------------------------------
+
+UsiteServer::UsiteServer(sim::Engine& engine, net::Network& network,
+                         util::Rng& rng, UsiteConfig config,
+                         crypto::Credential server_credential,
+                         crypto::TrustStore trust,
+                         gateway::UserDatabase uudb)
+    : engine_(engine),
+      network_(network),
+      rng_(rng.fork()),
+      config_(std::move(config)),
+      credential_(server_credential),
+      gateway_(config_.name, std::move(trust), std::move(uudb)),
+      njs_(engine, rng_.fork(), config_.name, std::move(server_credential)) {
+  njs_.set_peer_link(this);
+}
+
+UsiteServer::~UsiteServer() = default;
+
+Status UsiteServer::start() {
+  if (started_)
+    return util::make_error(ErrorCode::kFailedPrecondition,
+                            "server already started");
+  auto status = network_.listen(
+      address(), [this](std::shared_ptr<net::Endpoint> endpoint) {
+        accept_session(std::move(endpoint));
+      });
+  if (!status.ok()) return status;
+
+  if (config_.split()) {
+    // The "IP socket connection to a site selectable port" between the
+    // Web-server/gateway half (on the firewall) and the NJS inside.
+    status = network_.listen(
+        {config_.njs_host, config_.njs_port},
+        [this](std::shared_ptr<net::Endpoint> endpoint) {
+          // The pipe is a single long-lived connection from the gateway;
+          // anything after it (port probes from the gateway host) is
+          // refused so the pipe cannot be hijacked.
+          if (pipe_server_ != nullptr && pipe_server_->is_open()) {
+            endpoint->close();
+            return;
+          }
+          pipe_server_ = std::move(endpoint);
+          pipe_server_->set_receiver([this](Bytes&& wire) {
+            handle_pipe_server_message(std::move(wire));
+          });
+        });
+    if (!status.ok()) return status;
+    auto pipe = network_.connect(config_.gateway_host,
+                                 {config_.njs_host, config_.njs_port});
+    if (!pipe) return pipe.error();
+    pipe_client_ = std::move(pipe.value());
+    pipe_client_->set_receiver([this](Bytes&& wire) {
+      handle_pipe_client_message(std::move(wire));
+    });
+  }
+  started_ = true;
+  return Status::ok_status();
+}
+
+void UsiteServer::apply_firewall_rules() {
+  if (!config_.split()) return;
+  net::Firewall& inner = network_.firewall(config_.njs_host);
+  inner.deny_all();
+  inner.allow(config_.gateway_host, config_.njs_port);
+}
+
+void UsiteServer::add_peer(const std::string& usite,
+                           net::Address gateway_address) {
+  peers_[usite] = std::move(gateway_address);
+}
+
+void UsiteServer::publish_bundle(crypto::SoftwareBundle bundle) {
+  bundles_[bundle.name] = std::move(bundle);
+}
+
+// ---- inbound sessions -------------------------------------------------------
+
+void UsiteServer::accept_session(std::shared_ptr<net::Endpoint> endpoint) {
+  auto session = std::make_shared<ClientSession>();
+  session->id = next_session_id_++;
+
+  net::SecureChannel::Config channel_config;
+  channel_config.credential = credential_;
+  channel_config.trust = &gateway_.trust_store();
+  channel_config.required_peer_usage = 0;  // user or server; checked per-op
+
+  std::uint64_t id = session->id;
+  session->channel = net::SecureChannel::as_server(
+      engine_, rng_, std::move(endpoint), channel_config,
+      [this, id](Status status) {
+        auto it = sessions_.find(id);
+        if (it == sessions_.end()) return;
+        std::shared_ptr<ClientSession> session = it->second;
+        if (!status.ok()) {
+          sessions_.erase(it);
+          return;
+        }
+        session->channel->set_receiver([this, id](Bytes&& wire) {
+          auto it = sessions_.find(id);
+          if (it == sessions_.end()) return;
+          handle_session_message(it->second, std::move(wire));
+        });
+        session->channel->set_close_handler([this, id] {
+          sessions_.erase(id);
+        });
+      });
+  // The map entry keeps the session alive; the channel callbacks only
+  // capture the id, so erasing the entry tears everything down.
+  sessions_[id] = std::move(session);
+}
+
+void UsiteServer::handle_session_message(
+    const std::shared_ptr<ClientSession>& session, Bytes&& wire) {
+  try {
+    ByteReader reader{wire};
+    auto type = static_cast<MessageType>(reader.u8());
+    if (type != MessageType::kRequest) return;  // clients only send requests
+    auto kind = static_cast<RequestKind>(reader.u8());
+    std::uint64_t request_id = reader.u64();
+    ++requests_served_;
+    handle_request(session, kind, request_id, reader);
+  } catch (const std::out_of_range&) {
+    UNICORE_WARN("server/" + config_.name) << "malformed request dropped";
+  }
+}
+
+namespace {
+
+/// Packs the NJS half of a request for the (possibly remote) executor.
+Bytes pack_njs_request(RequestKind kind, std::uint64_t request_id,
+                       const gateway::AuthenticatedUser& user,
+                       util::ByteView payload) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u64(request_id);
+  encode_user(w, user);
+  w.raw(payload);
+  return w.take();
+}
+
+}  // namespace
+
+void UsiteServer::handle_request(const std::shared_ptr<ClientSession>& session,
+                                 RequestKind kind, std::uint64_t request_id,
+                                 ByteReader& payload) {
+  std::int64_t now_epoch = net::epoch_seconds(engine_.now());
+  std::uint64_t session_id = session->id;
+
+  auto reply_error = [session](std::uint64_t request_id,
+                               const util::Error& error) {
+    session->channel->send(make_error_reply(request_id, error));
+  };
+  // The reply callback runs on the gateway side in both deployments
+  // (directly when combined; in handle_pipe_client_message when split),
+  // so it hands the reply straight to the session.
+  auto forward = [this, session, session_id](Bytes packed) {
+    execute_at_njs(session_id, std::move(packed), [this, session_id](Bytes reply) {
+      deliver_to_session(session_id, std::move(reply));
+    });
+  };
+
+  switch (kind) {
+    case RequestKind::kGetBundle: {
+      // Served by the Web-server half directly: the signed applet.
+      std::string name = payload.str();
+      auto it = bundles_.find(name);
+      if (it == bundles_.end())
+        return reply_error(request_id,
+                           util::make_error(ErrorCode::kNotFound,
+                                            "no such bundle: " + name));
+      return session->channel->send(
+          make_ok_reply(request_id, it->second.encode()));
+    }
+    case RequestKind::kConsign: {
+      Bytes signed_wire = payload.raw(payload.remaining());
+      auto signed_ajo = ajo::SignedAjo::decode(signed_wire);
+      if (!signed_ajo) return reply_error(request_id, signed_ajo.error());
+      auto user = gateway_.check_consignment(signed_ajo.value(), now_epoch);
+      if (!user) return reply_error(request_id, user.error());
+      ByteWriter inner;
+      inner.blob(ajo::encode_action(signed_ajo.value().job));
+      inner.blob(signed_ajo.value().user_certificate.der());
+      return forward(
+          pack_njs_request(kind, request_id, user.value(), inner.bytes()));
+    }
+    case RequestKind::kForwardConsign: {
+      auto consignment = decode_forwarded(payload);
+      if (!consignment) return reply_error(request_id, consignment.error());
+      const auto& c = consignment.value();
+      auto user = gateway_.check_forwarded_consignment(
+          c.job, c.user_certificate, c.consignor_certificate, c.signature,
+          njs::ForwardedConsignment::signing_input(c.job, c.user_certificate),
+          now_epoch);
+      if (!user) return reply_error(request_id, user.error());
+      return forward(pack_njs_request(kind, request_id, user.value(),
+                                      encode_forwarded(c)));
+    }
+    case RequestKind::kQuery:
+    case RequestKind::kList:
+    case RequestKind::kControl:
+    case RequestKind::kFetchOutput: {
+      // JMC operations: the channel's peer certificate is the user.
+      auto user = gateway_.authenticate_user(
+          session->channel->peer_certificate(), now_epoch);
+      if (!user) return reply_error(request_id, user.error());
+      Bytes rest = payload.raw(payload.remaining());
+      return forward(pack_njs_request(kind, request_id, user.value(), rest));
+    }
+    case RequestKind::kDeliverFile:
+    case RequestKind::kFetchFile:
+    case RequestKind::kPeerControl: {
+      // Peer-NJS operations: the channel peer must be a UNICORE server.
+      auto status = gateway_.authenticate_server(
+          session->channel->peer_certificate(), now_epoch);
+      if (!status.ok()) return reply_error(request_id, status.error());
+      gateway::AuthenticatedUser server_identity;
+      server_identity.dn = session->channel->peer_certificate().subject;
+      Bytes rest = payload.raw(payload.remaining());
+      return forward(
+          pack_njs_request(kind, request_id, server_identity, rest));
+    }
+    case RequestKind::kResourcePages: {
+      gateway::AuthenticatedUser anonymous;
+      return forward(pack_njs_request(kind, request_id, anonymous, {}));
+    }
+  }
+  reply_error(request_id, util::make_error(ErrorCode::kInvalidArgument,
+                                           "unknown request kind"));
+}
+
+// ---- the NJS-side executor --------------------------------------------------
+
+Bytes UsiteServer::njs_execute(std::uint64_t session_id, ByteReader& packed) {
+  auto kind = static_cast<RequestKind>(packed.u8());
+  std::uint64_t request_id = packed.u64();
+  gateway::AuthenticatedUser user = decode_user(packed);
+
+  auto check_owner = [this, &user](JobToken token) -> Status {
+    auto owner = njs_.owner(token);
+    if (!owner) return owner.error();
+    if (owner.value() != user.dn)
+      return util::make_error(ErrorCode::kPermissionDenied,
+                              "job belongs to a different user");
+    return Status::ok_status();
+  };
+
+  try {
+    switch (kind) {
+      case RequestKind::kConsign: {
+        Bytes job_wire = packed.blob();
+        auto action = ajo::decode_action(job_wire);
+        if (!action) return make_error_reply(request_id, action.error());
+        Bytes cert_der = packed.blob();
+        auto cert = crypto::Certificate::from_der(cert_der);
+        if (!cert) return make_error_reply(request_id, cert.error());
+        auto token = njs_.consign(
+            static_cast<ajo::AbstractJobObject&>(*action.value()), user,
+            cert.value());
+        if (!token) return make_error_reply(request_id, token.error());
+        ByteWriter out;
+        out.u64(token.value());
+        return make_ok_reply(request_id, out.bytes());
+      }
+      case RequestKind::kForwardConsign: {
+        auto consignment = decode_forwarded(packed);
+        if (!consignment)
+          return make_error_reply(request_id, consignment.error());
+        auto& c = consignment.value();
+        auto token = njs_.consign(
+            c.job, user, c.user_certificate,
+            [this, session_id](JobToken token, const ajo::Outcome& outcome) {
+              notify_session_raw(session_id,
+                                 make_notification(token, outcome));
+            },
+            std::move(c.staged_files));
+        if (!token) return make_error_reply(request_id, token.error());
+        ByteWriter out;
+        out.u64(token.value());
+        return make_ok_reply(request_id, out.bytes());
+      }
+      case RequestKind::kQuery: {
+        JobToken token = packed.u64();
+        auto detail = static_cast<ajo::QueryService::Detail>(packed.u8());
+        if (auto status = check_owner(token); !status.ok())
+          return make_error_reply(request_id, status.error());
+        auto outcome = njs_.query(token, detail);
+        if (!outcome) return make_error_reply(request_id, outcome.error());
+        ByteWriter out;
+        outcome.value().encode(out);
+        return make_ok_reply(request_id, out.bytes());
+      }
+      case RequestKind::kList: {
+        auto summaries = njs_.list(user.dn);
+        ByteWriter out;
+        out.varint(summaries.size());
+        for (const auto& summary : summaries) {
+          out.u64(summary.token);
+          out.str(summary.name);
+          out.u8(static_cast<std::uint8_t>(summary.status));
+          out.i64(summary.consigned_at);
+        }
+        return make_ok_reply(request_id, out.bytes());
+      }
+      case RequestKind::kControl: {
+        JobToken token = packed.u64();
+        auto command = static_cast<ajo::ControlService::Command>(packed.u8());
+        if (auto status = check_owner(token); !status.ok())
+          return make_error_reply(request_id, status.error());
+        if (auto status = njs_.control(token, command); !status.ok())
+          return make_error_reply(request_id, status.error());
+        return make_ok_reply(request_id, {});
+      }
+      case RequestKind::kFetchOutput: {
+        JobToken token = packed.u64();
+        std::string name = packed.str();
+        if (auto status = check_owner(token); !status.ok())
+          return make_error_reply(request_id, status.error());
+        auto blob = njs_.read_output(token, name);
+        if (!blob) return make_error_reply(request_id, blob.error());
+        ByteWriter out;
+        blob.value().encode(out);
+        return make_ok_reply(request_id, out.bytes());
+      }
+      case RequestKind::kResourcePages: {
+        auto pages = njs_.resource_pages();
+        ByteWriter out;
+        out.varint(pages.size());
+        for (const auto& page : pages) out.blob(page.encode());
+        return make_ok_reply(request_id, out.bytes());
+      }
+      case RequestKind::kDeliverFile: {
+        JobToken token = packed.u64();
+        std::string name = packed.str();
+        uspace::FileBlob blob = uspace::FileBlob::decode(packed);
+        if (auto status = njs_.deliver_file(token, name, std::move(blob));
+            !status.ok())
+          return make_error_reply(request_id, status.error());
+        return make_ok_reply(request_id, {});
+      }
+      case RequestKind::kFetchFile: {
+        JobToken token = packed.u64();
+        std::string name = packed.str();
+        auto blob = njs_.fetch_file(token, name);
+        if (!blob) return make_error_reply(request_id, blob.error());
+        ByteWriter out;
+        blob.value().encode(out);
+        return make_ok_reply(request_id, out.bytes());
+      }
+      case RequestKind::kPeerControl: {
+        JobToken token = packed.u64();
+        auto command = static_cast<ajo::ControlService::Command>(packed.u8());
+        // Authorised by the gateway's server authentication; the job was
+        // consigned here by the requesting NJS in the first place.
+        if (auto status = njs_.control(token, command); !status.ok())
+          return make_error_reply(request_id, status.error());
+        return make_ok_reply(request_id, {});
+      }
+      case RequestKind::kGetBundle:
+        break;  // never reaches the NJS
+    }
+  } catch (const std::out_of_range&) {
+    return make_error_reply(request_id,
+                            util::make_error(ErrorCode::kInvalidArgument,
+                                             "malformed NJS request"));
+  }
+  return make_error_reply(request_id,
+                          util::make_error(ErrorCode::kInvalidArgument,
+                                           "unhandled request kind"));
+}
+
+void UsiteServer::execute_at_njs(std::uint64_t session_id, Bytes packed,
+                                 std::function<void(Bytes)> reply) {
+  if (!config_.split() || pipe_client_ == nullptr) {
+    ByteReader reader{packed};
+    reply(njs_execute(session_id, reader));
+    return;
+  }
+  std::uint64_t pipe_id = next_pipe_id_++;
+  pipe_pending_[pipe_id] = std::move(reply);
+  ByteWriter w;
+  w.u8(kPipeRequest);
+  w.u64(pipe_id);
+  w.u64(session_id);
+  w.raw(packed);
+  pipe_client_->send(w.take());
+}
+
+void UsiteServer::handle_pipe_server_message(Bytes&& wire) {
+  // Runs on the NJS host: execute and send the reply back across.
+  try {
+    ByteReader reader{wire};
+    auto type = static_cast<PipeMessage>(reader.u8());
+    if (type != kPipeRequest) return;
+    std::uint64_t pipe_id = reader.u64();
+    std::uint64_t session_id = reader.u64();
+    Bytes reply = njs_execute(session_id, reader);
+    ByteWriter w;
+    w.u8(kPipeReply);
+    w.u64(pipe_id);
+    w.raw(reply);
+    if (pipe_server_) pipe_server_->send(w.take());
+  } catch (const std::out_of_range&) {
+    UNICORE_WARN("server/" + config_.name) << "malformed pipe request";
+  }
+}
+
+void UsiteServer::handle_pipe_client_message(Bytes&& wire) {
+  // Runs on the gateway host: route replies and notifications out.
+  try {
+    ByteReader reader{wire};
+    auto type = static_cast<PipeMessage>(reader.u8());
+    if (type == kPipeReply) {
+      std::uint64_t pipe_id = reader.u64();
+      auto it = pipe_pending_.find(pipe_id);
+      if (it == pipe_pending_.end()) return;
+      auto handler = std::move(it->second);
+      pipe_pending_.erase(it);
+      handler(reader.raw(reader.remaining()));
+    } else if (type == kPipeNotify) {
+      std::uint64_t session_id = reader.u64();
+      deliver_to_session(session_id, reader.raw(reader.remaining()));
+    }
+  } catch (const std::out_of_range&) {
+    UNICORE_WARN("server/" + config_.name) << "malformed pipe reply";
+  }
+}
+
+void UsiteServer::notify_session_raw(std::uint64_t session_id, Bytes wire) {
+  // On the NJS host of a split deployment, traffic to clients goes back
+  // through the gateway across the pipe.
+  if (config_.split() && pipe_server_ != nullptr) {
+    ByteWriter w;
+    w.u8(kPipeNotify);
+    w.u64(session_id);
+    w.raw(wire);
+    pipe_server_->send(w.take());
+    return;
+  }
+  deliver_to_session(session_id, std::move(wire));
+}
+
+void UsiteServer::deliver_to_session(std::uint64_t session_id, Bytes wire) {
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return;
+  if (!it->second->channel->established()) return;
+  it->second->channel->send(std::move(wire));
+}
+
+// ---- PeerLink ----------------------------------------------------------------
+
+UsiteServer::PeerConnection& UsiteServer::peer_connection(
+    const std::string& usite) {
+  auto it = peer_connections_.find(usite);
+  if (it != peer_connections_.end()) return *it->second;
+
+  auto connection = std::make_unique<PeerConnection>();
+  connection->usite = usite;
+  connection->address = peers_.at(usite);
+  PeerConnection& ref = *connection;
+  peer_connections_[usite] = std::move(connection);
+
+  auto endpoint =
+      network_.connect(config_.njs_side_host(), ref.address);
+  if (!endpoint) {
+    // Leave channel null; callers see the failure when they try to send.
+    return ref;
+  }
+
+  net::SecureChannel::Config channel_config;
+  channel_config.credential = credential_;
+  channel_config.trust = &gateway_.trust_store();
+  channel_config.required_peer_usage = crypto::kUsageServerAuth;
+
+  std::string peer_name = usite;
+  ref.channel = net::SecureChannel::as_client(
+      engine_, rng_, std::move(endpoint.value()), channel_config,
+      [this, peer_name](Status status) {
+        auto it = peer_connections_.find(peer_name);
+        if (it == peer_connections_.end()) return;
+        PeerConnection& connection = *it->second;
+        if (!status.ok()) {
+          fail_peer_connection(peer_name, status.error());
+          return;
+        }
+        connection.established = true;
+        connection.channel->set_receiver([this, peer_name](Bytes&& wire) {
+          handle_peer_message(peer_name, std::move(wire));
+        });
+        connection.channel->set_close_handler([this, peer_name] {
+          fail_peer_connection(peer_name,
+                               transport_error("peer channel closed"));
+        });
+        for (Bytes& message : connection.backlog)
+          connection.channel->send(std::move(message));
+        connection.backlog.clear();
+      });
+  return ref;
+}
+
+void UsiteServer::fail_peer_connection(const std::string& usite,
+                                       const util::Error& error) {
+  auto it = peer_connections_.find(usite);
+  if (it == peer_connections_.end()) return;
+  auto connection = std::move(it->second);
+  peer_connections_.erase(it);
+  for (auto& [id, handler] : connection->pending) handler(error);
+  // Jobs already consigned remotely are reported unsuccessful: the link
+  // that would have carried their outcome is gone.
+  for (auto& [token, handler] : connection->finals) {
+    ajo::Outcome outcome;
+    outcome.status = ajo::ActionStatus::kNotSuccessful;
+    outcome.message = "peer link to " + usite + " lost: " + error.message;
+    handler(std::move(outcome));
+  }
+  if (connection->channel) connection->channel->close();
+}
+
+void UsiteServer::handle_peer_message(const std::string& usite, Bytes&& wire) {
+  auto it = peer_connections_.find(usite);
+  if (it == peer_connections_.end()) return;
+  PeerConnection& connection = *it->second;
+  try {
+    ByteReader reader{wire};
+    auto type = static_cast<MessageType>(reader.u8());
+    if (type == MessageType::kReply) {
+      std::uint64_t request_id = reader.u64();
+      bool ok = reader.u8() != 0;
+      auto handler_it = connection.pending.find(request_id);
+      if (handler_it == connection.pending.end()) return;
+      auto handler = std::move(handler_it->second);
+      connection.pending.erase(handler_it);
+      if (ok)
+        handler(reader.raw(reader.remaining()));
+      else
+        handler(decode_error(reader));
+    } else if (type == MessageType::kNotification) {
+      std::uint64_t token = reader.u64();
+      auto outcome = ajo::Outcome::decode(reader);
+      if (!outcome) return;
+      auto final_it = connection.finals.find(token);
+      if (final_it == connection.finals.end()) return;
+      auto handler = std::move(final_it->second);
+      connection.finals.erase(final_it);
+      handler(std::move(outcome.value()));
+    }
+  } catch (const std::out_of_range&) {
+    UNICORE_WARN("server/" + config_.name)
+        << "malformed peer message from " << usite;
+  }
+}
+
+void UsiteServer::send_peer_request(
+    const std::string& usite, RequestKind kind, Bytes payload,
+    std::function<void(Result<Bytes>)> on_reply) {
+  if (!peers_.count(usite)) {
+    on_reply(util::make_error(ErrorCode::kNotFound,
+                              "unknown peer usite: " + usite));
+    return;
+  }
+  PeerConnection& connection = peer_connection(usite);
+  if (connection.channel == nullptr) {
+    util::Error error = transport_error("cannot reach peer " + usite);
+    peer_connections_.erase(usite);
+    on_reply(std::move(error));
+    return;
+  }
+  std::uint64_t request_id = next_request_id_++;
+  connection.pending[request_id] = std::move(on_reply);
+  Bytes wire = make_request(kind, request_id, payload);
+  if (connection.established)
+    connection.channel->send(std::move(wire));
+  else
+    connection.backlog.push_back(std::move(wire));
+}
+
+void UsiteServer::consign(
+    const std::string& usite, const njs::ForwardedConsignment& consignment,
+    std::function<void(Result<njs::RemoteJobHandle>)> on_accepted,
+    std::function<void(ajo::Outcome)> on_final) {
+  send_peer_request(
+      usite, RequestKind::kForwardConsign, encode_forwarded(consignment),
+      [this, usite, on_accepted = std::move(on_accepted),
+       on_final = std::move(on_final)](Result<Bytes> reply) {
+        if (!reply) {
+          on_accepted(reply.error());
+          return;
+        }
+        ByteReader reader{reply.value()};
+        njs::RemoteJobHandle handle;
+        handle.usite = usite;
+        handle.token = reader.u64();
+        if (auto it = peer_connections_.find(usite);
+            it != peer_connections_.end() && on_final)
+          it->second->finals[handle.token] = std::move(on_final);
+        on_accepted(handle);
+      });
+}
+
+void UsiteServer::deliver_file(const njs::RemoteJobHandle& target,
+                               const std::string& uspace_name,
+                               const uspace::FileBlob& blob,
+                               std::function<void(Status)> done) {
+  ByteWriter payload;
+  payload.u64(target.token);
+  payload.str(uspace_name);
+  blob.encode(payload);
+  send_peer_request(target.usite, RequestKind::kDeliverFile, payload.take(),
+                    [done = std::move(done)](Result<Bytes> reply) {
+                      if (!reply)
+                        done(reply.error());
+                      else
+                        done(Status::ok_status());
+                    });
+}
+
+void UsiteServer::fetch_file(
+    const njs::RemoteJobHandle& source, const std::string& uspace_name,
+    std::function<void(Result<uspace::FileBlob>)> done) {
+  ByteWriter payload;
+  payload.u64(source.token);
+  payload.str(uspace_name);
+  send_peer_request(source.usite, RequestKind::kFetchFile, payload.take(),
+                    [done = std::move(done)](Result<Bytes> reply) {
+                      if (!reply) {
+                        done(reply.error());
+                        return;
+                      }
+                      try {
+                        ByteReader reader{reply.value()};
+                        done(uspace::FileBlob::decode(reader));
+                      } catch (const std::out_of_range&) {
+                        done(util::make_error(ErrorCode::kInvalidArgument,
+                                              "malformed file reply"));
+                      }
+                    });
+}
+
+void UsiteServer::control(const njs::RemoteJobHandle& target,
+                          ajo::ControlService::Command command,
+                          std::function<void(Status)> done) {
+  ByteWriter payload;
+  payload.u64(target.token);
+  payload.u8(static_cast<std::uint8_t>(command));
+  send_peer_request(target.usite, RequestKind::kPeerControl, payload.take(),
+                    [done = std::move(done)](Result<Bytes> reply) {
+                      if (!reply)
+                        done(reply.error());
+                      else
+                        done(Status::ok_status());
+                    });
+}
+
+}  // namespace unicore::server

@@ -1,0 +1,163 @@
+// The UNICORE server of one Usite (§4.2): the https-like front end that
+// serves resource pages and signed software bundles, the gateway
+// (security servlet), and the NJS — deployable combined on one host or
+// split across a firewall:
+//
+// "For sites using firewalls the UNICORE server can be separated into
+//  the Web server and the NJS part with the firewall in between. ...
+//  The communication between the two components is done via IP socket
+//  connection to a site selectable port." (§4.2/§5.2)
+//
+// The server also implements njs::PeerLink: sub-AJOs, files, and control
+// commands travel to peer Usites over mutually authenticated secure
+// channels to the *peer's* gateway (§4.3, §5.6).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "crypto/bundle.h"
+#include "gateway/gateway.h"
+#include "net/network.h"
+#include "net/secure_channel.h"
+#include "njs/njs.h"
+#include "njs/peer_link.h"
+#include "server/protocol.h"
+#include "util/result.h"
+
+namespace unicore::server {
+
+struct UsiteConfig {
+  std::string name;           // e.g. "FZ-Juelich"
+  std::string gateway_host;   // public host (on the firewall if split)
+  std::uint16_t port = 4433;  // the https-like port
+  /// Empty or equal to gateway_host => combined deployment; otherwise
+  /// the NJS runs on this host behind the firewall.
+  std::string njs_host;
+  std::uint16_t njs_port = 7700;  // the "site selectable port"
+
+  bool split() const {
+    return !njs_host.empty() && njs_host != gateway_host;
+  }
+  std::string njs_side_host() const {
+    return split() ? njs_host : gateway_host;
+  }
+};
+
+class UsiteServer : public njs::PeerLink {
+ public:
+  UsiteServer(sim::Engine& engine, net::Network& network, util::Rng& rng,
+              UsiteConfig config, crypto::Credential server_credential,
+              crypto::TrustStore trust, gateway::UserDatabase uudb);
+  ~UsiteServer() override;
+
+  UsiteServer(const UsiteServer&) = delete;
+  UsiteServer& operator=(const UsiteServer&) = delete;
+
+  /// Binds the public listener (and the internal gateway–NJS pipe when
+  /// split). Must be called once before any traffic.
+  util::Status start();
+
+  const UsiteConfig& config() const { return config_; }
+  net::Address address() const { return {config_.gateway_host, config_.port}; }
+  gateway::Gateway& gateway() { return gateway_; }
+  njs::Njs& njs() { return njs_; }
+
+  /// Installs default-deny firewall rules for a split deployment: only
+  /// the gateway host may reach the NJS port.
+  void apply_firewall_rules();
+
+  /// Registers the gateway address of a peer Usite for NJS–NJS traffic.
+  void add_peer(const std::string& usite, net::Address gateway_address);
+
+  /// Publishes a signed client software bundle (the "applet", §5.2).
+  void publish_bundle(crypto::SoftwareBundle bundle);
+
+  // --- njs::PeerLink --------------------------------------------------
+  void consign(const std::string& usite,
+               const njs::ForwardedConsignment& consignment,
+               std::function<void(util::Result<njs::RemoteJobHandle>)>
+                   on_accepted,
+               std::function<void(ajo::Outcome)> on_final) override;
+  void deliver_file(const njs::RemoteJobHandle& target,
+                    const std::string& uspace_name,
+                    const uspace::FileBlob& blob,
+                    std::function<void(util::Status)> done) override;
+  void fetch_file(const njs::RemoteJobHandle& source,
+                  const std::string& uspace_name,
+                  std::function<void(util::Result<uspace::FileBlob>)> done)
+      override;
+  void control(const njs::RemoteJobHandle& target,
+               ajo::ControlService::Command command,
+               std::function<void(util::Status)> done) override;
+
+  // Diagnostics.
+  std::uint64_t requests_served() const { return requests_served_; }
+
+ private:
+  struct ClientSession;
+  struct PeerConnection;
+  struct PendingPipeRequest;
+
+  void accept_session(std::shared_ptr<net::Endpoint> endpoint);
+  void handle_session_message(const std::shared_ptr<ClientSession>& session,
+                              util::Bytes&& wire);
+  void handle_request(const std::shared_ptr<ClientSession>& session,
+                      RequestKind kind, std::uint64_t request_id,
+                      util::ByteReader& payload);
+
+  /// Runs the NJS part of a request. In a split deployment the packed
+  /// request crosses the internal pipe; combined, it executes directly.
+  void execute_at_njs(std::uint64_t session_id, util::Bytes packed,
+                      std::function<void(util::Bytes)> reply);
+  /// The NJS-side executor (runs on the NJS host).
+  util::Bytes njs_execute(std::uint64_t session_id, util::ByteReader& packed);
+  /// Sends a raw wire message (reply or notification) toward a session,
+  /// crossing the pipe first when running split.
+  void notify_session_raw(std::uint64_t session_id, util::Bytes wire);
+  void deliver_to_session(std::uint64_t session_id, util::Bytes wire);
+
+  // Pipe plumbing (split mode).
+  void handle_pipe_server_message(util::Bytes&& wire);  // NJS side
+  void handle_pipe_client_message(util::Bytes&& wire);  // gateway side
+
+  // Peer connections.
+  PeerConnection& peer_connection(const std::string& usite);
+  void fail_peer_connection(const std::string& usite,
+                            const util::Error& error);
+  void handle_peer_message(const std::string& usite, util::Bytes&& wire);
+  void send_peer_request(const std::string& usite, RequestKind kind,
+                         util::Bytes payload,
+                         std::function<void(util::Result<util::Bytes>)>
+                             on_reply);
+
+  sim::Engine& engine_;
+  net::Network& network_;
+  util::Rng rng_;
+  UsiteConfig config_;
+  crypto::Credential credential_;
+  gateway::Gateway gateway_;
+  njs::Njs njs_;
+  std::map<std::string, crypto::SoftwareBundle> bundles_;
+
+  std::map<std::uint64_t, std::shared_ptr<ClientSession>> sessions_;
+  std::uint64_t next_session_id_ = 1;
+
+  std::map<std::string, net::Address> peers_;
+  std::map<std::string, std::unique_ptr<PeerConnection>> peer_connections_;
+  std::uint64_t next_request_id_ = 1;
+
+  // Split-mode pipe endpoints (gateway-side client, NJS-side server).
+  std::shared_ptr<net::Endpoint> pipe_client_;
+  std::shared_ptr<net::Endpoint> pipe_server_;
+  std::map<std::uint64_t, std::function<void(util::Bytes)>> pipe_pending_;
+  std::uint64_t next_pipe_id_ = 1;
+
+  std::uint64_t requests_served_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace unicore::server

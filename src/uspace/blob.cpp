@@ -1,0 +1,58 @@
+#include "uspace/blob.h"
+
+namespace unicore::uspace {
+
+FileBlob FileBlob::from_bytes(util::Bytes content) {
+  FileBlob blob;
+  blob.size_ = content.size();
+  blob.checksum_ = crypto::sha256(content);
+  blob.content_ = std::move(content);
+  return blob;
+}
+
+FileBlob FileBlob::from_string(std::string_view content) {
+  return from_bytes(util::to_bytes(content));
+}
+
+FileBlob FileBlob::synthetic(std::uint64_t size, std::uint64_t seed) {
+  FileBlob blob;
+  blob.size_ = size;
+  // Identity of a synthetic file is a hash over its (seed, size) header,
+  // domain-separated from real content hashes.
+  util::ByteWriter w;
+  w.str("unicore-synthetic-file");
+  w.u64(seed);
+  w.u64(size);
+  blob.checksum_ = crypto::sha256(w.bytes());
+  return blob;
+}
+
+void FileBlob::encode(util::ByteWriter& w) const {
+  w.boolean(is_synthetic());
+  w.u64(size_);
+  w.raw(checksum_);
+  if (content_) {
+    w.blob(*content_);
+  } else {
+    // A synthetic blob still costs its logical size on the wire — the
+    // simulated network charges by message length, so transfers of
+    // synthetic files must not be unrealistically cheap. The padding is
+    // skipped (not stored) on decode.
+    w.pad(static_cast<std::size_t>(size_));
+  }
+}
+
+FileBlob FileBlob::decode(util::ByteReader& r) {
+  FileBlob blob;
+  bool synthetic = r.boolean();
+  blob.size_ = r.u64();
+  util::Bytes checksum = r.raw(32);
+  std::copy(checksum.begin(), checksum.end(), blob.checksum_.begin());
+  if (synthetic)
+    r.skip(static_cast<std::size_t>(blob.size_));
+  else
+    blob.content_ = r.blob();
+  return blob;
+}
+
+}  // namespace unicore::uspace

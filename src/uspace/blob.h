@@ -1,0 +1,54 @@
+// File content representation for the simulated file spaces.
+//
+// Small files (sources, scripts, stdout) carry real bytes; large
+// workload files are *synthetic* — identified by (seed, size) with a
+// deterministic checksum — so benches can stage multi-gigabyte files
+// without allocating them. Both kinds hash stably, which is what the
+// data-integrity invariants (import → transfer → export preserves
+// content) are tested against.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+
+namespace unicore::uspace {
+
+class FileBlob {
+ public:
+  FileBlob() = default;
+
+  static FileBlob from_bytes(util::Bytes content);
+  static FileBlob from_string(std::string_view content);
+  /// A file of `size` bytes whose content is only identified, not stored.
+  static FileBlob synthetic(std::uint64_t size, std::uint64_t seed);
+
+  std::uint64_t size() const { return size_; }
+  bool is_synthetic() const { return !content_.has_value(); }
+
+  /// Real content; nullptr for synthetic blobs.
+  const util::Bytes* bytes() const {
+    return content_ ? &*content_ : nullptr;
+  }
+
+  /// Content identity: equal checksums <=> equal logical content.
+  const crypto::Digest& checksum() const { return checksum_; }
+
+  bool operator==(const FileBlob& other) const {
+    return size_ == other.size_ && checksum_ == other.checksum_;
+  }
+
+  /// Wire encoding (synthetic blobs stay synthetic across transfers).
+  void encode(util::ByteWriter& w) const;
+  static FileBlob decode(util::ByteReader& r);
+
+ private:
+  std::uint64_t size_ = 0;
+  crypto::Digest checksum_{};
+  std::optional<util::Bytes> content_;
+};
+
+}  // namespace unicore::uspace

@@ -1,0 +1,105 @@
+#include "uspace/filespace.h"
+
+namespace unicore::uspace {
+
+using util::ErrorCode;
+using util::Result;
+using util::Status;
+
+Status Volume::write(const std::string& path, FileBlob blob) {
+  std::uint64_t replaced = 0;
+  if (auto it = files_.find(path); it != files_.end())
+    replaced = it->second.size();
+  std::uint64_t new_usage = used_bytes_ - replaced + blob.size();
+  if (quota_bytes_ > 0 && new_usage > quota_bytes_)
+    return util::make_error(ErrorCode::kResourceExhausted,
+                            "quota exceeded on " + name_ + " writing " + path +
+                                " (" + std::to_string(new_usage) + " > " +
+                                std::to_string(quota_bytes_) + " bytes)");
+  used_bytes_ = new_usage;
+  files_[path] = std::move(blob);
+  return Status::ok_status();
+}
+
+Result<FileBlob> Volume::read(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end())
+    return util::make_error(ErrorCode::kNotFound,
+                            "no such file: " + name_ + ":" + path);
+  return it->second;
+}
+
+bool Volume::exists(const std::string& path) const {
+  return files_.count(path) > 0;
+}
+
+Status Volume::remove(const std::string& path) {
+  auto it = files_.find(path);
+  if (it == files_.end())
+    return util::make_error(ErrorCode::kNotFound,
+                            "no such file: " + name_ + ":" + path);
+  used_bytes_ -= it->second.size();
+  files_.erase(it);
+  return Status::ok_status();
+}
+
+std::vector<std::string> Volume::list(const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (const auto& [path, blob] : files_)
+    if (path.compare(0, prefix.size(), prefix) == 0) out.push_back(path);
+  return out;
+}
+
+Result<Volume*> Xspace::create_volume(const std::string& name,
+                                      std::uint64_t quota_bytes) {
+  if (volumes_.count(name))
+    return util::make_error(ErrorCode::kFailedPrecondition,
+                            "volume already exists: " + name);
+  auto volume = std::make_unique<Volume>(name, quota_bytes);
+  Volume* raw = volume.get();
+  volumes_[name] = std::move(volume);
+  return raw;
+}
+
+Volume* Xspace::find_volume(const std::string& name) {
+  auto it = volumes_.find(name);
+  return it == volumes_.end() ? nullptr : it->second.get();
+}
+
+const Volume* Xspace::find_volume(const std::string& name) const {
+  auto it = volumes_.find(name);
+  return it == volumes_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Xspace::volume_names() const {
+  std::vector<std::string> out;
+  out.reserve(volumes_.size());
+  for (const auto& [name, volume] : volumes_) out.push_back(name);
+  return out;
+}
+
+Status copy_in(const Xspace& xspace, const std::string& volume,
+               const std::string& path, Uspace& uspace,
+               const std::string& uspace_name) {
+  const Volume* source = xspace.find_volume(volume);
+  if (source == nullptr)
+    return util::make_error(ErrorCode::kNotFound,
+                            "no such volume: " + volume);
+  auto blob = source->read(path);
+  if (!blob) return blob.error();
+  return uspace.write(uspace_name, std::move(blob.value()));
+}
+
+Status copy_out(const Uspace& uspace, const std::string& uspace_name,
+                Xspace& xspace, const std::string& volume,
+                const std::string& path) {
+  auto blob = uspace.read(uspace_name);
+  if (!blob) return blob.error();
+  Volume* destination = xspace.find_volume(volume);
+  if (destination == nullptr)
+    return util::make_error(ErrorCode::kNotFound,
+                            "no such volume: " + volume);
+  return destination->write(path, std::move(blob.value()));
+}
+
+}  // namespace unicore::uspace

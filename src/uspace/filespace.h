@@ -1,0 +1,109 @@
+// The UNICORE data model (§4):
+//
+// "A Vsite (virtual site) consists of systems at one Usite sharing the
+//  same data space. The file systems available at the Vsites of a Usite
+//  are called Xspace. All data available to a UNICORE job constitute the
+//  UNICORE file space (Uspace). Thereby the data model used in UNICORE
+//  distinguishes between data inside (Uspace) and outside (Xspace and
+//  data from the user's workstation) of UNICORE."
+//
+// Volume models one mounted filesystem with a byte quota; Xspace is the
+// set of volumes visible at a Vsite; Uspace is the per-job directory the
+// NJS creates (§5.5: "create a UNICORE job directory to contain the data
+// for and created during the job run").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "uspace/blob.h"
+#include "util/result.h"
+
+namespace unicore::uspace {
+
+/// One filesystem: a flat path -> blob map with a quota.
+class Volume {
+ public:
+  Volume(std::string name, std::uint64_t quota_bytes)
+      : name_(std::move(name)), quota_bytes_(quota_bytes) {}
+
+  const std::string& name() const { return name_; }
+  std::uint64_t quota_bytes() const { return quota_bytes_; }
+  std::uint64_t used_bytes() const { return used_bytes_; }
+  std::size_t file_count() const { return files_.size(); }
+
+  /// Writes (creates or replaces) a file; fails when the quota would be
+  /// exceeded.
+  util::Status write(const std::string& path, FileBlob blob);
+
+  util::Result<FileBlob> read(const std::string& path) const;
+  bool exists(const std::string& path) const;
+  util::Status remove(const std::string& path);
+
+  /// Paths starting with `prefix`, sorted.
+  std::vector<std::string> list(const std::string& prefix = "") const;
+
+ private:
+  std::string name_;
+  std::uint64_t quota_bytes_;
+  std::uint64_t used_bytes_ = 0;
+  std::map<std::string, FileBlob> files_;
+};
+
+/// The external file spaces of a Vsite: named volumes.
+class Xspace {
+ public:
+  /// Creates a volume; fails on duplicate names.
+  util::Result<Volume*> create_volume(const std::string& name,
+                                      std::uint64_t quota_bytes);
+  Volume* find_volume(const std::string& name);
+  const Volume* find_volume(const std::string& name) const;
+
+  std::vector<std::string> volume_names() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Volume>> volumes_;
+};
+
+/// The inside-UNICORE file space of one job: the job directory.
+class Uspace {
+ public:
+  Uspace(std::string job_directory, std::uint64_t quota_bytes)
+      : directory_(std::move(job_directory)), files_(directory_, quota_bytes) {}
+
+  const std::string& directory() const { return directory_; }
+
+  util::Status write(const std::string& name, FileBlob blob) {
+    return files_.write(name, std::move(blob));
+  }
+  util::Result<FileBlob> read(const std::string& name) const {
+    return files_.read(name);
+  }
+  bool exists(const std::string& name) const { return files_.exists(name); }
+  util::Status remove(const std::string& name) { return files_.remove(name); }
+  std::vector<std::string> list(const std::string& prefix = "") const {
+    return files_.list(prefix);
+  }
+  std::uint64_t used_bytes() const { return files_.used_bytes(); }
+  std::uint64_t quota_bytes() const { return files_.quota_bytes(); }
+
+ private:
+  std::string directory_;
+  Volume files_;  // a Uspace behaves like a single-volume filesystem
+};
+
+/// Import: Xspace volume path -> Uspace name ("always local operations
+/// performed at a Vsite ... implemented as a copy process", §5.6).
+util::Status copy_in(const Xspace& xspace, const std::string& volume,
+                     const std::string& path, Uspace& uspace,
+                     const std::string& uspace_name);
+
+/// Export: Uspace name -> Xspace volume path.
+util::Status copy_out(const Uspace& uspace, const std::string& uspace_name,
+                      Xspace& xspace, const std::string& volume,
+                      const std::string& path);
+
+}  // namespace unicore::uspace

@@ -1,0 +1,52 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace unicore::util {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_sink_mutex;
+Log::Sink g_sink;  // empty => default stderr sink
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel Log::level() { return g_level.load(std::memory_order_relaxed); }
+
+void Log::set_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+void Log::set_sink(Sink sink) {
+  std::lock_guard lock(g_sink_mutex);
+  g_sink = std::move(sink);
+}
+
+void Log::write(LogLevel level, std::string_view source,
+                std::string_view message) {
+  if (level < Log::level()) return;
+  std::lock_guard lock(g_sink_mutex);
+  if (g_sink) {
+    g_sink(level, source, message);
+    return;
+  }
+  std::cerr << "[" << level_name(level) << "] " << source << ": " << message
+            << "\n";
+}
+
+}  // namespace unicore::util

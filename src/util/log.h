@@ -1,0 +1,63 @@
+// Minimal leveled logger. Components log under a source tag
+// ("njs/juelich", "gateway", ...); tests run with the level at kWarn so
+// output stays quiet, examples raise it to kInfo to narrate the flow.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace unicore::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-wide log configuration.
+class Log {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view source,
+                                  std::string_view message)>;
+
+  static LogLevel level();
+  static void set_level(LogLevel level);
+
+  /// Replaces the output sink (default writes to stderr). Passing nullptr
+  /// restores the default sink.
+  static void set_sink(Sink sink);
+
+  static void write(LogLevel level, std::string_view source,
+                    std::string_view message);
+};
+
+/// Stream-style log statement collector; emits on destruction.
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view source)
+      : level_(level), source_(source) {}
+  ~LogLine() { Log::write(level_, source_, stream_.str()); }
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string source_;
+  std::ostringstream stream_;
+};
+
+}  // namespace unicore::util
+
+#define UNICORE_LOG(level_, source_)                                 \
+  if (::unicore::util::Log::level() <= (level_))                     \
+  ::unicore::util::LogLine((level_), (source_))
+
+#define UNICORE_DEBUG(source) UNICORE_LOG(::unicore::util::LogLevel::kDebug, source)
+#define UNICORE_INFO(source) UNICORE_LOG(::unicore::util::LogLevel::kInfo, source)
+#define UNICORE_WARN(source) UNICORE_LOG(::unicore::util::LogLevel::kWarn, source)
+#define UNICORE_ERROR(source) UNICORE_LOG(::unicore::util::LogLevel::kError, source)

@@ -1,0 +1,19 @@
+#include "util/result.h"
+
+namespace unicore::util {
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kPermissionDenied: return "permission_denied";
+    case ErrorCode::kAuthenticationFailed: return "authentication_failed";
+    case ErrorCode::kResourceExhausted: return "resource_exhausted";
+    case ErrorCode::kUnavailable: return "unavailable";
+    case ErrorCode::kFailedPrecondition: return "failed_precondition";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+}  // namespace unicore::util

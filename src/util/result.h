@@ -1,0 +1,110 @@
+// A small Result<T> / Error pair used throughout the middleware for
+// recoverable failures (authentication rejections, quota violations,
+// translation errors, ...). Exceptions remain reserved for programming
+// errors and corrupt wire data.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace unicore::util {
+
+/// Coarse failure categories mirroring the middleware's trust and
+/// resource boundaries; used for dispatch in tests and retry policies.
+enum class ErrorCode {
+  kInvalidArgument,
+  kNotFound,
+  kPermissionDenied,     // gateway / security rejections
+  kAuthenticationFailed, // handshake and certificate failures
+  kResourceExhausted,    // quotas, batch limits
+  kUnavailable,          // network loss, peer down
+  kFailedPrecondition,   // protocol misuse, wrong job state
+  kInternal,
+};
+
+/// Human-readable name of an ErrorCode ("permission_denied", ...).
+const char* error_code_name(ErrorCode code);
+
+struct Error {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+
+  std::string to_string() const {
+    return std::string(error_code_name(code)) + ": " + message;
+  }
+};
+
+inline Error make_error(ErrorCode code, std::string message) {
+  return Error{code, std::move(message)};
+}
+
+/// Value-or-Error. `value()` throws std::runtime_error when holding an
+/// error so that tests fail loudly on unchecked access.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Error error) : data_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  T& value() & {
+    ensure_ok();
+    return std::get<T>(data_);
+  }
+  const T& value() const& {
+    ensure_ok();
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    ensure_ok();
+    return std::get<T>(std::move(data_));
+  }
+
+  const Error& error() const {
+    if (ok()) throw std::runtime_error("Result: error() on ok result");
+    return std::get<Error>(data_);
+  }
+
+  /// Value or `fallback` when holding an error.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  void ensure_ok() const {
+    if (!ok())
+      throw std::runtime_error("Result: value() on error: " +
+                               std::get<Error>(data_).to_string());
+  }
+
+  std::variant<T, Error> data_;
+};
+
+/// Result specialisation for operations without a payload.
+class Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  static Status ok_status() { return Status(); }
+
+  bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const Error& error() const {
+    if (ok()) throw std::runtime_error("Status: error() on ok status");
+    return *error_;
+  }
+
+  std::string to_string() const { return ok() ? "ok" : error_->to_string(); }
+
+ private:
+  std::optional<Error> error_;
+};
+
+}  // namespace unicore::util

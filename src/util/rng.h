@@ -1,0 +1,49 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic element of the middleware simulation (link loss, batch
+// job durations, failure injection, workload generators) draws from an
+// explicitly seeded Rng so that tests and benchmarks are reproducible
+// bit-for-bit across runs and platforms. xoshiro256** is used for its
+// quality/speed; SplitMix64 expands the seed.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace unicore::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed'0000'cafe'f00dULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform in [0, bound) without modulo bias (Lemire reduction).
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// True with probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean);
+
+  /// `n` uniform random bytes.
+  Bytes bytes(std::size_t n);
+
+  /// Derives an independent child generator; used to give each simulated
+  /// component its own stream so insertion order does not perturb others.
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace unicore::util

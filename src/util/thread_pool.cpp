@@ -1,0 +1,77 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace unicore::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0)
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  // Chunk the index space so tiny bodies do not drown in queue overhead.
+  std::size_t chunks = std::min(n, workers_.size() * 4);
+  std::atomic<std::size_t> next_chunk{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    futures.push_back(submit([&, chunks, n] {
+      for (;;) {
+        std::size_t chunk = next_chunk.fetch_add(1);
+        if (chunk >= chunks) return;
+        std::size_t begin = chunk * n / chunks;
+        std::size_t end = (chunk + 1) * n / chunks;
+        for (std::size_t i = begin; i < end; ++i) {
+          try {
+            fn(i);
+          } catch (...) {
+            std::lock_guard lock(error_mutex);
+            if (!first_error) first_error = std::current_exception();
+            return;
+          }
+        }
+      }
+    }));
+  }
+  for (auto& f : futures) f.get();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace unicore::util

@@ -1,0 +1,61 @@
+// A fixed-size worker pool for the genuinely parallel parts of the
+// middleware: bulk checksum of staged files, fan-out incarnation of large
+// job graphs, and benchmark ablations (serial vs parallel).
+//
+// The distributed-system behaviour itself runs on the deterministic
+// discrete-event kernel (src/sim); the pool is only used for data-parallel
+// work whose results are order-independent.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace unicore::util {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 selects hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task; the returned future observes its completion and
+  /// propagates exceptions.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  /// Applies `fn(i)` for i in [0, n) across the pool and waits for all.
+  /// Exceptions from any invocation are rethrown (first one wins).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace unicore::util

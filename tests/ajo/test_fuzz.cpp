@@ -1,0 +1,94 @@
+// Robustness: the decoders must reject arbitrary and mutated inputs
+// gracefully (error Results, never crashes or hangs) — everything they
+// see arrives from the network.
+#include <gtest/gtest.h>
+
+#include "ajo/codec.h"
+#include "ajo/generator.h"
+#include "ajo/job.h"
+#include "ajo/outcome.h"
+#include "asn1/der.h"
+#include "crypto/x509.h"
+#include "resources/resource_page.h"
+#include "uspace/blob.h"
+#include "util/rng.h"
+
+namespace unicore {
+namespace {
+
+class DecoderFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DecoderFuzz, RandomBytesNeverCrashDecoders) {
+  util::Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    util::Bytes junk = rng.bytes(1 + rng.below(300));
+    (void)ajo::decode_action(junk);
+    (void)ajo::SignedAjo::decode(junk);
+    (void)asn1::decode(junk);
+    (void)crypto::Certificate::from_der(junk);
+    (void)resources::ResourcePage::decode(junk);
+    try {
+      util::ByteReader r(junk);
+      (void)ajo::Outcome::decode(r);
+    } catch (const std::out_of_range&) {
+    }
+    try {
+      util::ByteReader r(junk);
+      (void)uspace::FileBlob::decode(r);
+    } catch (const std::out_of_range&) {
+    }
+  }
+  SUCCEED();
+}
+
+TEST_P(DecoderFuzz, MutatedValidWireHandledGracefully) {
+  util::Rng rng(GetParam() ^ 0xabcdef);
+  crypto::DistinguishedName user;
+  user.common_name = "Fuzz";
+  ajo::RandomJobOptions options;
+  options.tasks_per_group = 4;
+  ajo::AbstractJobObject job = ajo::random_job(rng, options, user);
+  util::Bytes wire = ajo::encode_action(job);
+
+  for (int i = 0; i < 300; ++i) {
+    util::Bytes mutated = wire;
+    // 1-3 random byte flips.
+    int flips = 1 + static_cast<int>(rng.below(3));
+    for (int f = 0; f < flips; ++f)
+      mutated[rng.below(mutated.size())] ^=
+          static_cast<std::uint8_t>(1 + rng.below(255));
+    auto decoded = ajo::decode_action(mutated);
+    if (decoded.ok()) {
+      // If it still parses, the object must be usable: encoding it back
+      // and walking it must not blow up.
+      (void)ajo::encode_action(*decoded.value());
+      if (decoded.value()->is_job()) {
+        auto& back = static_cast<ajo::AbstractJobObject&>(*decoded.value());
+        (void)back.validate();
+        (void)back.total_actions();
+      }
+    }
+  }
+  SUCCEED();
+}
+
+TEST_P(DecoderFuzz, TruncatedValidWireAlwaysRejected) {
+  util::Rng rng(GetParam() ^ 0x5555);
+  crypto::DistinguishedName user;
+  user.common_name = "Fuzz";
+  ajo::RandomJobOptions options;
+  ajo::AbstractJobObject job = ajo::random_job(rng, options, user);
+  util::Bytes wire = ajo::encode_action(job);
+  for (int i = 0; i < 100; ++i) {
+    std::size_t cut = rng.below(wire.size());
+    util::Bytes prefix(wire.begin(),
+                       wire.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_FALSE(ajo::decode_action(prefix).ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecoderFuzz,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+}  // namespace
+}  // namespace unicore

@@ -1,0 +1,125 @@
+// Figure 3 conformance: the implemented class hierarchy matches the
+// paper's AJO object hierarchy exactly — both statically (inheritance
+// relations) and dynamically (classification predicates).
+#include <gtest/gtest.h>
+
+#include <type_traits>
+
+#include "ajo/job.h"
+#include "ajo/services.h"
+#include "ajo/tasks.h"
+
+namespace unicore::ajo {
+namespace {
+
+// --- static shape of Figure 3 -------------------------------------------
+
+// Level 1: the three families under AbstractAction.
+static_assert(std::is_base_of_v<AbstractAction, AbstractJobObject>);
+static_assert(std::is_base_of_v<AbstractAction, AbstractTaskObject>);
+static_assert(std::is_base_of_v<AbstractAction, AbstractService>);
+
+// Level 2: the two task families.
+static_assert(std::is_base_of_v<AbstractTaskObject, ExecuteTask>);
+static_assert(std::is_base_of_v<AbstractTaskObject, FileTask>);
+
+// Level 3: the ExecuteTask leaves.
+static_assert(std::is_base_of_v<ExecuteTask, CompileTask>);
+static_assert(std::is_base_of_v<ExecuteTask, LinkTask>);
+static_assert(std::is_base_of_v<ExecuteTask, UserTask>);
+static_assert(std::is_base_of_v<ExecuteTask, ExecuteScriptTask>);
+
+// Level 3: the FileTask leaves.
+static_assert(std::is_base_of_v<FileTask, ImportTask>);
+static_assert(std::is_base_of_v<FileTask, ExportTask>);
+static_assert(std::is_base_of_v<FileTask, TransferTask>);
+
+// The services.
+static_assert(std::is_base_of_v<AbstractService, ControlService>);
+static_assert(std::is_base_of_v<AbstractService, ListService>);
+static_assert(std::is_base_of_v<AbstractService, QueryService>);
+
+// Families do not cross: a task is not a service and vice versa.
+static_assert(!std::is_base_of_v<AbstractService, FileTask>);
+static_assert(!std::is_base_of_v<AbstractTaskObject, QueryService>);
+static_assert(!std::is_base_of_v<ExecuteTask, ImportTask>);
+static_assert(!std::is_base_of_v<FileTask, CompileTask>);
+static_assert(!std::is_base_of_v<AbstractJobObject, AbstractTaskObject>);
+
+TEST(Hierarchy, ClassificationPredicates) {
+  CompileTask compile;
+  ImportTask import;
+  QueryService query;
+  AbstractJobObject job;
+
+  EXPECT_TRUE(compile.is_task());
+  EXPECT_FALSE(compile.is_job());
+  EXPECT_FALSE(compile.is_service());
+
+  EXPECT_TRUE(import.is_task());
+  EXPECT_TRUE(query.is_service());
+  EXPECT_FALSE(query.is_task());
+  EXPECT_TRUE(job.is_job());
+  EXPECT_FALSE(job.is_task());
+}
+
+TEST(Hierarchy, AllThirteenConcreteTypesHaveDistinctTags) {
+  std::vector<std::unique_ptr<AbstractAction>> all;
+  all.push_back(std::make_unique<AbstractJobObject>());
+  all.push_back(std::make_unique<CompileTask>());
+  all.push_back(std::make_unique<LinkTask>());
+  all.push_back(std::make_unique<UserTask>());
+  all.push_back(std::make_unique<ExecuteScriptTask>());
+  all.push_back(std::make_unique<ImportTask>());
+  all.push_back(std::make_unique<ExportTask>());
+  all.push_back(std::make_unique<TransferTask>());
+  all.push_back(std::make_unique<ControlService>());
+  all.push_back(std::make_unique<ListService>());
+  all.push_back(std::make_unique<QueryService>());
+
+  std::set<ActionType> tags;
+  std::set<std::string> names;
+  for (const auto& action : all) {
+    EXPECT_TRUE(tags.insert(action->type()).second);
+    EXPECT_TRUE(names.insert(action->type_name()).second);
+  }
+  EXPECT_EQ(tags.size(), 11u);  // 10 non-recursive leaves + the AJO itself
+}
+
+TEST(Hierarchy, TypeNamesMatchThePaper) {
+  EXPECT_STREQ(AbstractJobObject{}.type_name(), "AbstractJobObject");
+  EXPECT_STREQ(CompileTask{}.type_name(), "CompileTask");
+  EXPECT_STREQ(LinkTask{}.type_name(), "LinkTask");
+  EXPECT_STREQ(UserTask{}.type_name(), "UserTask");
+  EXPECT_STREQ(ExecuteScriptTask{}.type_name(), "ExecuteScriptTask");
+  EXPECT_STREQ(ImportTask{}.type_name(), "ImportTask");
+  EXPECT_STREQ(ExportTask{}.type_name(), "ExportTask");
+  EXPECT_STREQ(TransferTask{}.type_name(), "TransferTask");
+  EXPECT_STREQ(ControlService{}.type_name(), "ControlService");
+  EXPECT_STREQ(ListService{}.type_name(), "ListService");
+  EXPECT_STREQ(QueryService{}.type_name(), "QueryService");
+}
+
+TEST(Hierarchy, ClonePreservesDynamicType) {
+  CompileTask compile;
+  compile.set_name("c");
+  compile.source_file = "a.f90";
+  std::unique_ptr<AbstractAction> copy = compile.clone();
+  ASSERT_EQ(copy->type(), ActionType::kCompileTask);
+  EXPECT_EQ(static_cast<CompileTask&>(*copy).source_file, "a.f90");
+  EXPECT_EQ(copy->name(), "c");
+}
+
+TEST(Hierarchy, TasksCarryResourceRequests) {
+  // §5.4: the ATO is the entity carrying the resource request.
+  UserTask task;
+  resources::ResourceSet request{32, 7'200, 2'048, 0, 100};
+  task.set_resource_request(request);
+  EXPECT_EQ(task.resource_request(), request);
+  // Via the base pointer too.
+  AbstractTaskObject& base = task;
+  EXPECT_EQ(base.resource_request().processors, 32);
+}
+
+}  // namespace
+}  // namespace unicore::ajo

@@ -1,0 +1,226 @@
+// AbstractJobObject structure: DAG validation, topological order,
+// renumbering, deep copies.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ajo/generator.h"
+#include "ajo/job.h"
+#include "ajo/services.h"
+#include "ajo/tasks.h"
+
+namespace unicore::ajo {
+namespace {
+
+std::unique_ptr<ExecuteScriptTask> script(const std::string& name) {
+  auto task = std::make_unique<ExecuteScriptTask>();
+  task->set_name(name);
+  task->script = "echo " + name + "\n";
+  return task;
+}
+
+AbstractJobObject simple_job() {
+  AbstractJobObject job;
+  job.set_name("job");
+  job.vsite = "V";
+  return job;
+}
+
+TEST(Job, AddAssignsSequentialIds) {
+  AbstractJobObject job = simple_job();
+  EXPECT_EQ(job.add(script("a")), 1u);
+  EXPECT_EQ(job.add(script("b")), 2u);
+  EXPECT_EQ(job.children().size(), 2u);
+  EXPECT_NE(job.find_child(1), nullptr);
+  EXPECT_EQ(job.find_child(99), nullptr);
+}
+
+TEST(Job, ValidateAcceptsWellFormedDag) {
+  AbstractJobObject job = simple_job();
+  ActionId a = job.add(script("a"));
+  ActionId b = job.add(script("b"));
+  ActionId c = job.add(script("c"));
+  job.add_dependency(a, b);
+  job.add_dependency(b, c, {"x.dat"});
+  job.add_dependency(a, c);
+  EXPECT_TRUE(job.validate().ok());
+}
+
+TEST(Job, ValidateRejectsCycle) {
+  AbstractJobObject job = simple_job();
+  ActionId a = job.add(script("a"));
+  ActionId b = job.add(script("b"));
+  job.add_dependency(a, b);
+  job.add_dependency(b, a);
+  auto status = job.validate();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.error().message.find("cycle"), std::string::npos);
+}
+
+TEST(Job, ValidateRejectsSelfDependency) {
+  AbstractJobObject job = simple_job();
+  ActionId a = job.add(script("a"));
+  job.add_dependency(a, a);
+  EXPECT_FALSE(job.validate().ok());
+}
+
+TEST(Job, ValidateRejectsUnknownDependencyEndpoint) {
+  AbstractJobObject job = simple_job();
+  ActionId a = job.add(script("a"));
+  job.add_dependency(a, 42);
+  EXPECT_FALSE(job.validate().ok());
+}
+
+TEST(Job, ValidateRejectsTasksWithoutVsite) {
+  AbstractJobObject job;
+  job.set_name("no destination");
+  job.add(script("a"));
+  auto status = job.validate();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.error().message.find("vsite"), std::string::npos);
+}
+
+TEST(Job, ValidateRejectsTransferToNonJob) {
+  AbstractJobObject job = simple_job();
+  ActionId a = job.add(script("a"));
+  auto transfer = std::make_unique<TransferTask>();
+  transfer->uspace_name = "f";
+  transfer->target_job = a;  // a task, not a sub-job
+  job.add(std::move(transfer));
+  EXPECT_FALSE(job.validate().ok());
+}
+
+TEST(Job, ValidateAcceptsTransferToSubjob) {
+  AbstractJobObject job = simple_job();
+  auto sub = std::make_unique<AbstractJobObject>();
+  sub->set_name("sub");
+  sub->vsite = "W";
+  ActionId sub_id = job.add(std::move(sub));
+  auto transfer = std::make_unique<TransferTask>();
+  transfer->uspace_name = "f";
+  transfer->target_job = sub_id;
+  job.add(std::move(transfer));
+  EXPECT_TRUE(job.validate().ok());
+}
+
+TEST(Job, ValidateRecursesIntoSubjobs) {
+  AbstractJobObject job = simple_job();
+  auto sub = std::make_unique<AbstractJobObject>();
+  sub->set_name("sub");
+  sub->vsite = "W";
+  ActionId x = sub->add(script("x"));
+  ActionId y = sub->add(script("y"));
+  sub->add_dependency(x, y);
+  sub->add_dependency(y, x);  // cycle inside the sub-job
+  job.add(std::move(sub));
+  EXPECT_FALSE(job.validate().ok());
+}
+
+TEST(Job, TopologicalOrderRespectsEdges) {
+  AbstractJobObject job = simple_job();
+  ActionId a = job.add(script("a"));
+  ActionId b = job.add(script("b"));
+  ActionId c = job.add(script("c"));
+  ActionId d = job.add(script("d"));
+  job.add_dependency(c, a);
+  job.add_dependency(a, d);
+  job.add_dependency(b, d);
+
+  auto order = job.topological_order();
+  ASSERT_TRUE(order.ok());
+  const auto& ids = order.value();
+  ASSERT_EQ(ids.size(), 4u);
+  auto position = [&](ActionId id) {
+    return std::find(ids.begin(), ids.end(), id) - ids.begin();
+  };
+  EXPECT_LT(position(c), position(a));
+  EXPECT_LT(position(a), position(d));
+  EXPECT_LT(position(b), position(d));
+}
+
+TEST(Job, TopologicalOrderDeterministic) {
+  AbstractJobObject job = simple_job();
+  for (int i = 0; i < 5; ++i) job.add(script("t" + std::to_string(i)));
+  auto a = job.topological_order();
+  auto b = job.topological_order();
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.value(), b.value());
+  // With no edges the order is ascending id order.
+  EXPECT_TRUE(std::is_sorted(a.value().begin(), a.value().end()));
+}
+
+TEST(Job, StructureMeasures) {
+  AbstractJobObject job = simple_job();
+  job.add(script("a"));
+  auto sub = std::make_unique<AbstractJobObject>();
+  sub->vsite = "W";
+  sub->add(script("x"));
+  auto subsub = std::make_unique<AbstractJobObject>();
+  subsub->vsite = "Z";
+  subsub->add(script("deep"));
+  sub->add(std::move(subsub));
+  job.add(std::move(sub));
+
+  EXPECT_EQ(job.total_actions(), 6u);  // 3 groups + 3 tasks
+  EXPECT_EQ(job.depth(), 3u);
+
+  std::size_t visited = 0;
+  job.visit([&](const AbstractAction&) { ++visited; });
+  EXPECT_EQ(visited, 6u);
+}
+
+TEST(Job, DeepCopyIsIndependent) {
+  AbstractJobObject job = simple_job();
+  ActionId a = job.add(script("a"));
+  job.add_dependency(a, job.add(script("b")));
+
+  AbstractJobObject copy = job;
+  EXPECT_EQ(copy.total_actions(), job.total_actions());
+  // Mutating the copy leaves the original untouched.
+  static_cast<ExecuteScriptTask*>(copy.find_child(a))->script = "changed";
+  EXPECT_EQ(static_cast<ExecuteScriptTask*>(job.find_child(a))->script,
+            "echo a\n");
+  EXPECT_NE(copy.find_child(a), job.find_child(a));
+}
+
+TEST(Job, RenumberFixesReferences) {
+  AbstractJobObject job = simple_job();
+  ActionId a = job.add(script("a"));
+  auto sub = std::make_unique<AbstractJobObject>();
+  sub->vsite = "W";
+  sub->add(script("x"));
+  ActionId sub_id = job.add(std::move(sub));
+  auto transfer = std::make_unique<TransferTask>();
+  transfer->uspace_name = "f";
+  transfer->target_job = sub_id;
+  ActionId t = job.add(std::move(transfer));
+  job.add_dependency(a, t);
+
+  ActionId next = job.renumber(100);
+  EXPECT_GT(next, 100u);
+  // Ids are now >= 100 everywhere, edges and transfer targets remapped.
+  for (const auto& child : job.children()) EXPECT_GE(child->id(), 100u);
+  ASSERT_EQ(job.dependencies().size(), 1u);
+  EXPECT_GE(job.dependencies()[0].predecessor, 100u);
+  const auto* moved_transfer = static_cast<const TransferTask*>(
+      job.find_child(job.dependencies()[0].successor));
+  ASSERT_NE(moved_transfer, nullptr);
+  EXPECT_NE(job.find_child(moved_transfer->target_job), nullptr);
+  EXPECT_TRUE(job.validate().ok());
+}
+
+TEST(Job, RandomJobsAlwaysValid) {
+  util::Rng rng(123);
+  for (int i = 0; i < 20; ++i) {
+    RandomJobOptions options;
+    options.max_depth = 1 + i % 3;
+    options.dependency_density = 0.1 * (i % 10);
+    AbstractJobObject job =
+        random_job(rng, options, crypto::DistinguishedName{});
+    EXPECT_TRUE(job.validate().ok()) << i;
+    EXPECT_GE(job.total_actions(), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace unicore::ajo

@@ -1,0 +1,146 @@
+// Vendor dialect tests: each architecture renders its own directive
+// language, and render -> parse is the identity on BatchRequest.
+#include "batch/dialect.h"
+
+#include <gtest/gtest.h>
+
+namespace unicore::batch {
+namespace {
+
+using resources::Architecture;
+
+BatchRequest sample_request() {
+  BatchRequest request;
+  request.queue = "prod";
+  request.account = "project-a";
+  request.processors = 128;
+  request.wallclock_seconds = 7'230;  // exercises hh:mm:ss formatting
+  request.memory_mb = 512;
+  request.job_name = "solver-run";
+  return request;
+}
+
+class DialectRoundTrip : public ::testing::TestWithParam<Architecture> {};
+
+TEST_P(DialectRoundTrip, RenderParseIdentity) {
+  BatchRequest request = sample_request();
+  std::string script = render_directives(GetParam(), request);
+  auto parsed = parse_directives(GetParam(), script);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string() << "\n" << script;
+  EXPECT_EQ(parsed.value(), request);
+}
+
+TEST_P(DialectRoundTrip, EmptyAccountOmitted) {
+  BatchRequest request = sample_request();
+  request.account.clear();
+  std::string script = render_directives(GetParam(), request);
+  auto parsed = parse_directives(GetParam(), script);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), request);
+}
+
+TEST_P(DialectRoundTrip, PayloadLinesIgnoredByParser) {
+  std::string script = render_directives(GetParam(), sample_request());
+  script += "export OMP_NUM_THREADS=4\n./a.out -x\necho done\n";
+  auto parsed = parse_directives(GetParam(), script);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), sample_request());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllArchitectures, DialectRoundTrip,
+                         ::testing::Values(Architecture::kCrayT3E,
+                                           Architecture::kFujitsuVpp700,
+                                           Architecture::kIbmSp2,
+                                           Architecture::kNecSx4,
+                                           Architecture::kGenericUnix),
+                         [](const auto& info) {
+                           return std::string(dialect_name(info.param)) ==
+                                          "NQS/VPP"
+                                      ? std::string("NQS_VPP")
+                                  : std::string(dialect_name(info.param)) ==
+                                          "NQS/SX"
+                                      ? std::string("NQS_SX")
+                                      : std::string(dialect_name(info.param));
+                         });
+
+TEST(Dialect, CrayT3eUsesNqeSyntax) {
+  std::string script =
+      render_directives(Architecture::kCrayT3E, sample_request());
+  EXPECT_NE(script.find("#QSUB -q prod"), std::string::npos);
+  EXPECT_NE(script.find("#QSUB -lT 7230"), std::string::npos);
+  EXPECT_NE(script.find("#QSUB -lM 512mb"), std::string::npos);
+  EXPECT_NE(script.find("#QSUB -l mpp_p=128"), std::string::npos);
+  EXPECT_NE(script.find("#QSUB -A project-a"), std::string::npos);
+}
+
+TEST(Dialect, IbmSp2UsesLoadLevelerSyntax) {
+  std::string script =
+      render_directives(Architecture::kIbmSp2, sample_request());
+  EXPECT_NE(script.find("#@ class = prod"), std::string::npos);
+  EXPECT_NE(script.find("#@ wall_clock_limit = 02:00:30"), std::string::npos);
+  EXPECT_NE(script.find("#@ min_processors = 128"), std::string::npos);
+  EXPECT_NE(script.find("#@ requirements = (Memory >= 512)"),
+            std::string::npos);
+  EXPECT_NE(script.find("#@ queue"), std::string::npos);
+}
+
+TEST(Dialect, FujitsuAndNecDifferInProcessorKeyword) {
+  std::string vpp =
+      render_directives(Architecture::kFujitsuVpp700, sample_request());
+  std::string sx = render_directives(Architecture::kNecSx4, sample_request());
+  EXPECT_NE(vpp.find("#@$-lP 128"), std::string::npos);
+  EXPECT_NE(sx.find("#@$-lp 128"), std::string::npos);
+  EXPECT_EQ(vpp.find("#@$-lp "), std::string::npos);
+}
+
+TEST(Dialect, ParserRejectsUnknownDirective) {
+  std::string script = "#!/bin/sh\n#QSUB -q prod\n#QSUB --bogus 1\n";
+  EXPECT_FALSE(parse_directives(Architecture::kCrayT3E, script).ok());
+}
+
+TEST(Dialect, ParserRejectsMalformedNumbers) {
+  EXPECT_FALSE(parse_directives(Architecture::kCrayT3E,
+                                "#QSUB -lT notanumber\n")
+                   .ok());
+  EXPECT_FALSE(parse_directives(Architecture::kIbmSp2,
+                                "#@ wall_clock_limit = 99 min\n")
+                   .ok());
+}
+
+TEST(Dialect, CrossDialectScriptsFailCleanly) {
+  // A LoadLeveler script submitted to a Cray front end: the #@ lines are
+  // not #QSUB directives, so the request keeps defaults (like a real NQE
+  // front-end ignoring foreign comments).
+  std::string ll = render_directives(Architecture::kIbmSp2, sample_request());
+  auto parsed = parse_directives(Architecture::kCrayT3E, ll);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), BatchRequest{});
+}
+
+TEST(Dialect, SentinelsMatchVendors) {
+  EXPECT_STREQ(dialect_sentinel(Architecture::kCrayT3E), "#QSUB");
+  EXPECT_STREQ(dialect_sentinel(Architecture::kIbmSp2), "#@");
+  EXPECT_STREQ(dialect_sentinel(Architecture::kFujitsuVpp700), "#@$");
+  EXPECT_STREQ(dialect_name(Architecture::kIbmSp2), "LoadLeveler");
+  EXPECT_STREQ(dialect_name(Architecture::kCrayT3E), "NQE");
+}
+
+class DialectTimeSweep
+    : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(DialectTimeSweep, LoadLevelerTimeFormatting) {
+  BatchRequest request = sample_request();
+  request.wallclock_seconds = GetParam();
+  auto parsed = parse_directives(
+      Architecture::kIbmSp2,
+      render_directives(Architecture::kIbmSp2, request));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().wallclock_seconds, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Times, DialectTimeSweep,
+                         ::testing::Values(1, 59, 60, 61, 3'599, 3'600,
+                                           3'661, 86'399, 86'400, 360'000));
+
+}  // namespace
+}  // namespace unicore::batch

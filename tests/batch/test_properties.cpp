@@ -1,0 +1,130 @@
+// Randomized property tests of the batch subsystem: under arbitrary
+// workloads (mixed sizes, overruns, cancellations, failures) the node
+// accounting stays consistent and every job reaches a terminal state.
+#include <gtest/gtest.h>
+
+#include "batch/subsystem.h"
+#include "sim/engine.h"
+#include "util/rng.h"
+
+namespace unicore::batch {
+namespace {
+
+struct WorkloadResult {
+  std::int64_t min_free = 0;
+  std::int64_t max_free = 0;
+  int completions = 0;
+  int submitted_ok = 0;
+};
+
+class RandomWorkload : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomWorkload, NodeAccountingInvariantsHold) {
+  sim::Engine engine;
+  SystemConfig config;
+  config.vsite = "prop";
+  config.architecture = resources::Architecture::kGenericUnix;
+  config.nodes = 32;
+  config.gflops_per_processor = 1.0;
+  config.queues = {{"default", 32, 10'000, 1 << 20}};
+  config.use_backfill = (GetParam() % 2) == 0;
+  config.node_mtbf_hours = (GetParam() % 3) == 0 ? 5.0 : 0.0;
+  BatchSubsystem batch(engine, util::Rng(GetParam()), config);
+
+  util::Rng rng(GetParam() ^ 0xfeed);
+  WorkloadResult result;
+  result.min_free = config.nodes;
+  std::vector<BatchJobId> ids;
+
+  for (int i = 0; i < 120; ++i) {
+    engine.at(sim::sec(rng.range(0, 2'000)), [&, i] {
+      BatchRequest request;
+      request.queue = "default";
+      request.processors = 1 + static_cast<std::int64_t>(rng.below(32));
+      request.wallclock_seconds = 10 + static_cast<std::int64_t>(rng.below(2'000));
+      request.memory_mb = 64;
+      request.job_name = "p" + std::to_string(i);
+      ExecutionSpec spec;
+      // Some jobs overrun their limit on purpose.
+      spec.nominal_seconds =
+          static_cast<double>(request.wallclock_seconds) *
+          (rng.chance(0.2) ? 2.0 : rng.uniform());
+      auto id = batch.submit(
+          render_directives(config.architecture, request), "user",
+          std::move(spec),
+          [&result](BatchJobId, const BatchResult&) { ++result.completions; });
+      if (id.ok()) {
+        ++result.submitted_ok;
+        ids.push_back(id.value());
+      }
+    });
+  }
+  // Random cancellations mid-flight.
+  for (int i = 0; i < 10; ++i) {
+    engine.at(sim::sec(rng.range(100, 3'000)), [&] {
+      if (!ids.empty()) (void)batch.cancel(ids[rng.below(ids.size())]);
+    });
+  }
+  // Observe free-node bounds continuously.
+  for (int t = 0; t < 400; ++t) {
+    engine.at(sim::sec(t * 10), [&] {
+      result.min_free = std::min(result.min_free, batch.free_nodes());
+      result.max_free = std::max(result.max_free, batch.free_nodes());
+    });
+  }
+  engine.run();
+
+  // Invariants: free nodes never negative, never above the machine
+  // size; every submitted job reported exactly one completion; queues
+  // drained; all nodes returned.
+  EXPECT_GE(result.min_free, 0);
+  EXPECT_LE(result.max_free, config.nodes);
+  EXPECT_EQ(result.completions, result.submitted_ok);
+  EXPECT_EQ(batch.queued_jobs(), 0u);
+  EXPECT_EQ(batch.running_jobs(), 0u);
+  EXPECT_EQ(batch.free_nodes(), config.nodes);
+
+  // Stats are internally consistent.
+  const SubsystemStats& stats = batch.stats();
+  EXPECT_EQ(stats.jobs_completed + stats.jobs_failed + stats.jobs_killed +
+                stats.jobs_cancelled,
+            static_cast<std::uint64_t>(result.submitted_ok));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomWorkload,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+TEST(BatchDeterminism, IdenticalSeedsIdenticalTraces) {
+  auto run = [](std::uint64_t seed) {
+    sim::Engine engine;
+    SystemConfig config;
+    config.vsite = "det";
+    config.nodes = 16;
+    config.queues = {{"default", 16, 10'000, 1 << 20}};
+    BatchSubsystem batch(engine, util::Rng(seed), config);
+    util::Rng rng(99);
+    std::vector<sim::Time> finish_times;
+    for (int i = 0; i < 40; ++i) {
+      BatchRequest request;
+      request.queue = "default";
+      request.processors = 1 + static_cast<std::int64_t>(rng.below(16));
+      request.wallclock_seconds = 1'000;
+      request.memory_mb = 8;
+      ExecutionSpec spec;
+      spec.nominal_seconds = 10 + rng.uniform() * 500;
+      (void)batch.submit(
+          render_directives(config.architecture, request), "u",
+          std::move(spec),
+          [&finish_times, &engine](BatchJobId, const BatchResult&) {
+            finish_times.push_back(engine.now());
+          });
+    }
+    engine.run();
+    return finish_times;
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_EQ(run(6), run(6));
+}
+
+}  // namespace
+}  // namespace unicore::batch

@@ -1,0 +1,209 @@
+// The §6 resource-broker extension: abstract requirements -> ranked
+// concrete placements using capability, load, deadline, and accounting.
+#include "broker/broker.h"
+
+#include <gtest/gtest.h>
+
+#include "batch/target_system.h"
+#include "broker/grid_adapter.h"
+#include "grid/testbed.h"
+
+namespace unicore::broker {
+namespace {
+
+resources::ResourcePage page_of(const std::string& usite,
+                                const std::string& vsite,
+                                std::int64_t processors, double peak_gflops,
+                                std::int64_t memory_mb,
+                                std::int64_t wallclock = 86'400) {
+  resources::ResourcePageEditor editor;
+  editor.usite(usite)
+      .vsite(vsite)
+      .minimum({1, 1, 1, 0, 0})
+      .maximum({processors, wallclock, memory_mb, 10'240, 10'240})
+      .peak_gflops(peak_gflops)
+      .node_count(processors)
+      .add_software(resources::SoftwareKind::kCompiler, "f90", "3");
+  return editor.build().value();
+}
+
+struct BrokerFixture : public ::testing::Test {
+  ResourceBroker broker;
+
+  void SetUp() override {
+    // A T3E-like machine: wide but slow per PE.
+    broker.add_candidate(page_of("FZJ", "T3E", 512, 307.2, 65'536), {1.0});
+    // A VPP-like machine: narrow but fast per PE.
+    broker.add_candidate(page_of("LRZ", "VPP", 52, 114.4, 106'496), {4.0});
+    // A small cluster with little memory.
+    broker.add_candidate(page_of("UNI", "PC", 16, 8.0, 4'096), {0.1});
+  }
+};
+
+TEST_F(BrokerFixture, WideJobPrefersTheWideMachine) {
+  AbstractRequirement requirement;
+  requirement.gflop_hours = 500;
+  requirement.max_useful_processors = 512;
+  auto best = broker.select(requirement);
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(best.value().vsite, "T3E");
+  EXPECT_EQ(best.value().request.processors, 512);
+}
+
+TEST_F(BrokerFixture, NarrowJobPrefersFastProcessors) {
+  // An application that cannot use more than 4 processors runs fastest
+  // where each processor is fastest (the VPP's 2.2 GFLOPS vector PEs).
+  AbstractRequirement requirement;
+  requirement.gflop_hours = 10;
+  requirement.max_useful_processors = 4;
+  auto best = broker.select(requirement);
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(best.value().vsite, "VPP");
+}
+
+TEST_F(BrokerFixture, MemoryRequirementFilters) {
+  AbstractRequirement requirement;
+  requirement.gflop_hours = 1;
+  requirement.min_memory_mb = 50'000;  // only T3E and VPP qualify
+  auto proposals = broker.propose(requirement);
+  ASSERT_EQ(proposals.size(), 2u);
+  for (const Proposal& proposal : proposals) EXPECT_NE(proposal.vsite, "PC");
+}
+
+TEST_F(BrokerFixture, SoftwareRequirementFilters) {
+  ResourceBroker picky;
+  resources::ResourcePage with_gaussian = page_of("A", "X", 64, 30, 8'192);
+  with_gaussian.software.push_back(
+      {resources::SoftwareKind::kPackage, "Gaussian", "94"});
+  picky.add_candidate(with_gaussian, {});
+  picky.add_candidate(page_of("B", "Y", 64, 30, 8'192), {});
+
+  AbstractRequirement requirement;
+  requirement.required_software = {
+      {resources::SoftwareKind::kPackage, "Gaussian", ""}};
+  auto proposals = picky.propose(requirement);
+  ASSERT_EQ(proposals.size(), 1u);
+  EXPECT_EQ(proposals[0].vsite, "X");
+}
+
+TEST_F(BrokerFixture, DeadlineFiltersSlowSystems) {
+  AbstractRequirement requirement;
+  requirement.gflop_hours = 100;
+  requirement.max_useful_processors = 8;
+  // On the PC (0.5 GFLOPS/proc * 8) this takes 25 h; on the VPP
+  // (2.2 GFLOPS/proc * 8) about 5.7 h.
+  requirement.deadline_seconds = 8 * 3'600;
+  auto proposals = broker.propose(requirement);
+  ASSERT_FALSE(proposals.empty());
+  for (const Proposal& proposal : proposals) {
+    EXPECT_NE(proposal.vsite, "PC");
+    EXPECT_LE(proposal.estimated_turnaround(), 8 * 3'600.0);
+  }
+}
+
+TEST_F(BrokerFixture, ImpossibleDeadlineYieldsNothing) {
+  AbstractRequirement requirement;
+  requirement.gflop_hours = 10'000;
+  requirement.max_useful_processors = 4;
+  requirement.deadline_seconds = 60;
+  auto best = broker.select(requirement);
+  ASSERT_FALSE(best.ok());
+  EXPECT_EQ(best.error().code, util::ErrorCode::kNotFound);
+}
+
+TEST_F(BrokerFixture, LoadInformationShiftsTheChoice) {
+  // Without load the full T3E (512 x 0.6 = 307 GFLOPS) wins a fully
+  // scalable job. A heavy queue there should push the broker to the VPP.
+  AbstractRequirement requirement;
+  requirement.gflop_hours = 50;
+  requirement.max_useful_processors = 512;
+  ASSERT_EQ(broker.select(requirement).value().vsite, "T3E");
+
+  SiteLoad busy;
+  busy.usite = "FZJ";
+  busy.vsite = "T3E";
+  busy.free_processors = 512;
+  busy.recent_wait_seconds = 100'000;  // a day-long queue
+  broker.update_load(busy);
+  EXPECT_EQ(broker.select(requirement).value().vsite, "VPP");
+}
+
+TEST_F(BrokerFixture, FreePartitionCapsTheRequest) {
+  SiteLoad partial;
+  partial.usite = "FZJ";
+  partial.vsite = "T3E";
+  partial.free_processors = 32;
+  broker.update_load(partial);
+
+  AbstractRequirement requirement;
+  requirement.gflop_hours = 1;
+  requirement.max_useful_processors = 512;
+  auto proposals = broker.propose(requirement);
+  for (const Proposal& proposal : proposals) {
+    if (proposal.vsite == "T3E") {
+      EXPECT_EQ(proposal.request.processors, 32);
+    }
+  }
+}
+
+TEST_F(BrokerFixture, CostWeightFlipsTheRanking) {
+  AbstractRequirement requirement;
+  requirement.gflop_hours = 5;
+  requirement.max_useful_processors = 16;
+  requirement.min_memory_mb = 64;
+
+  // Fastest first (ignores cost): VPP (fast PEs).
+  auto fastest = broker.select(requirement, {0.0});
+  ASSERT_TRUE(fastest.ok());
+  EXPECT_EQ(fastest.value().vsite, "VPP");
+
+  // Heavily cost-weighted: the cheap PC cluster wins.
+  auto cheapest = broker.select(requirement, {1e3});
+  ASSERT_TRUE(cheapest.ok());
+  EXPECT_EQ(cheapest.value().vsite, "PC");
+  EXPECT_LT(cheapest.value().estimated_cost,
+            fastest.value().estimated_cost);
+}
+
+TEST_F(BrokerFixture, ProposalsAreSortedByScore) {
+  AbstractRequirement requirement;
+  requirement.gflop_hours = 5;
+  requirement.max_useful_processors = 16;
+  auto proposals = broker.propose(requirement);
+  for (std::size_t i = 1; i < proposals.size(); ++i)
+    EXPECT_LE(proposals[i - 1].score, proposals[i].score);
+}
+
+TEST_F(BrokerFixture, ReplacingACandidateUpdatesIt) {
+  EXPECT_EQ(broker.candidates(), 3u);
+  broker.add_candidate(page_of("FZJ", "T3E", 1024, 614.4, 131'072), {1.0});
+  EXPECT_EQ(broker.candidates(), 3u);
+  AbstractRequirement requirement;
+  requirement.max_useful_processors = 1024;
+  auto best = broker.select(requirement);
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(best.value().request.processors, 1024);
+}
+
+TEST(BrokerGridAdapter, SurveysLiveTestbed) {
+  grid::Grid grid(3);
+  grid::make_german_testbed(grid);
+  ResourceBroker broker;
+  for (const std::string& site : grid.sites())
+    feed(broker, survey_usite(grid.site(site)->njs()));
+  EXPECT_EQ(broker.candidates(), 8u);  // 8 Vsites across the 6 sites
+
+  AbstractRequirement requirement;
+  requirement.gflop_hours = 100;
+  requirement.max_useful_processors = 512;
+  requirement.required_software = {
+      {resources::SoftwareKind::kCompiler, "f90", ""}};
+  auto best = broker.select(requirement);
+  ASSERT_TRUE(best.ok());
+  // The Jülich or Stuttgart T3E (512 PEs) is the right answer for a
+  // scalable 100-GFLOP-hour job on the idle testbed.
+  EXPECT_EQ(best.value().request.processors, 512);
+}
+
+}  // namespace
+}  // namespace unicore::broker

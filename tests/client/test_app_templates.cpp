@@ -1,0 +1,143 @@
+// §6 enhancement: application-specific interfaces for standard
+// packages (Gaussian / Pamcrash / Ansys).
+#include "client/app_templates.h"
+
+#include <gtest/gtest.h>
+
+#include "ajo/tasks.h"
+
+namespace unicore::client {
+namespace {
+
+crypto::DistinguishedName jane() {
+  crypto::DistinguishedName dn;
+  dn.common_name = "Jane";
+  return dn;
+}
+
+resources::ResourcePage page_with(const std::string& usite,
+                                  const std::string& vsite,
+                                  std::vector<std::string> packages) {
+  resources::ResourcePageEditor editor;
+  editor.usite(usite).vsite(vsite).minimum({1, 1, 1, 0, 0}).maximum(
+      {256, 86'400, 32'768, 4'096, 4'096});
+  for (const std::string& package : packages)
+    editor.add_software(resources::SoftwareKind::kPackage, package, "1");
+  return editor.build().value();
+}
+
+struct LauncherFixture : public ::testing::Test {
+  ApplicationLauncher launcher{
+      {page_with("FZJ", "T3E", {"Gaussian"}),
+       page_with("RUKA", "SP2", {"Pamcrash", "Ansys"}),
+       page_with("LRZ", "VPP", {"Gaussian", "Ansys"})}};
+};
+
+TEST_F(LauncherFixture, BuiltinTemplatesPresent) {
+  EXPECT_NE(launcher.find_template("Gaussian"), nullptr);
+  EXPECT_NE(launcher.find_template("Pamcrash"), nullptr);
+  EXPECT_NE(launcher.find_template("Ansys"), nullptr);
+  EXPECT_EQ(launcher.find_template("Nonexistent"), nullptr);
+  EXPECT_EQ(launcher.packages().size(), 3u);
+}
+
+TEST_F(LauncherFixture, SitesOfferingFiltersByCatalogue) {
+  EXPECT_EQ(launcher.sites_offering("Gaussian").size(), 2u);
+  EXPECT_EQ(launcher.sites_offering("Pamcrash").size(), 1u);
+  EXPECT_EQ(launcher.sites_offering("Pamcrash")[0]->vsite, "SP2");
+  EXPECT_TRUE(launcher.sites_offering("CFX").empty());
+}
+
+TEST_F(LauncherFixture, MakeJobBuildsCompletePipeline) {
+  ApplicationJobRequest request;
+  request.package = "Gaussian";
+  request.input = util::to_bytes("%chk=water\n# HF/6-31G*\n");
+  request.input_name = "water.com";
+  request.output_name = "water.log";
+  request.account_group = "chem";
+
+  auto job = launcher.make_job(request, jane());
+  ASSERT_TRUE(job.ok()) << job.error().to_string();
+  EXPECT_EQ(job.value().usite, "FZJ");  // first offering site
+  EXPECT_EQ(job.value().vsite, "T3E");
+  EXPECT_EQ(job.value().account_group, "chem");
+  ASSERT_EQ(job.value().children().size(), 2u);
+  ASSERT_EQ(job.value().dependencies().size(), 1u);
+  EXPECT_TRUE(job.value().validate().ok());
+
+  // The run step carries the substituted command line.
+  const auto* script = dynamic_cast<const ajo::ExecuteScriptTask*>(
+      job.value().children()[1].get());
+  ASSERT_NE(script, nullptr);
+  EXPECT_EQ(script->script, "g94 < water.com > water.log\n");
+}
+
+TEST_F(LauncherFixture, PreferredVsiteRespected) {
+  ApplicationJobRequest request;
+  request.package = "Gaussian";
+  request.input = util::to_bytes("x");
+  auto job = launcher.make_job(request, jane(), "VPP");
+  ASSERT_TRUE(job.ok());
+  EXPECT_EQ(job.value().vsite, "VPP");
+  EXPECT_FALSE(launcher.make_job(request, jane(), "SP2").ok());
+}
+
+TEST_F(LauncherFixture, ProcsPlaceholderSubstituted) {
+  ApplicationJobRequest request;
+  request.package = "Pamcrash";
+  request.input = util::to_bytes("crash model");
+  resources::ResourceSet resources{32, 10'000, 4'096, 0, 512};
+  request.resources = resources;
+  auto job = launcher.make_job(request, jane());
+  ASSERT_TRUE(job.ok());
+  const auto* script = dynamic_cast<const ajo::ExecuteScriptTask*>(
+      job.value().children()[1].get());
+  ASSERT_NE(script, nullptr);
+  EXPECT_NE(script->script.find("-np 32"), std::string::npos);
+  EXPECT_EQ(
+      static_cast<const ajo::AbstractTaskObject*>(job.value().children()[1].get())
+          ->resource_request(),
+      resources);
+}
+
+TEST_F(LauncherFixture, OversizedResourceOverrideRejected) {
+  ApplicationJobRequest request;
+  request.package = "Ansys";
+  request.input = util::to_bytes("x");
+  request.resources = resources::ResourceSet{10'000, 100, 64, 0, 8};
+  auto job = launcher.make_job(request, jane());
+  ASSERT_FALSE(job.ok());
+  EXPECT_EQ(job.error().code, util::ErrorCode::kResourceExhausted);
+}
+
+TEST_F(LauncherFixture, MissingPackageErrors) {
+  ApplicationJobRequest request;
+  request.package = "CFX";
+  auto job = launcher.make_job(request, jane());
+  ASSERT_FALSE(job.ok());
+  EXPECT_EQ(job.error().code, util::ErrorCode::kNotFound);
+
+  ApplicationLauncher empty{{}};
+  ApplicationJobRequest gaussian;
+  gaussian.package = "Gaussian";
+  EXPECT_FALSE(empty.make_job(gaussian, jane()).ok());
+}
+
+TEST_F(LauncherFixture, RuntimeModelScalesWithInput) {
+  ApplicationJobRequest small_request;
+  small_request.package = "Gaussian";
+  small_request.input = util::Bytes(1'000, 'x');
+  ApplicationJobRequest big_request = small_request;
+  big_request.input = util::Bytes(10'000'000, 'x');
+
+  auto small_job = launcher.make_job(small_request, jane()).value();
+  auto big_job = launcher.make_job(big_request, jane()).value();
+  auto nominal = [](const ajo::AbstractJobObject& job) {
+    return static_cast<const ajo::ExecuteScriptTask*>(job.children()[1].get())
+        ->behavior.nominal_seconds;
+  };
+  EXPECT_GT(nominal(big_job), 100 * nominal(small_job));
+}
+
+}  // namespace
+}  // namespace unicore::client

@@ -1,0 +1,154 @@
+// JPA job assembly: builder surface, validation, checking against
+// resource pages.
+#include "client/job_builder.h"
+
+#include <gtest/gtest.h>
+
+namespace unicore::client {
+namespace {
+
+crypto::DistinguishedName jane() {
+  crypto::DistinguishedName dn;
+  dn.common_name = "Jane";
+  return dn;
+}
+
+resources::ResourcePage t3e_page() {
+  resources::ResourcePageEditor editor;
+  editor.usite("FZ-Juelich")
+      .vsite("T3E-600")
+      .architecture(resources::Architecture::kCrayT3E)
+      .minimum({1, 1, 1, 0, 0})
+      .maximum({512, 43'200, 32'768, 1'024, 2'048})
+      .add_software(resources::SoftwareKind::kCompiler, "f90", "3")
+      .add_software(resources::SoftwareKind::kLibrary, "mpi", "1.2");
+  return editor.build().value();
+}
+
+TEST(JobBuilder, BuildsCompileLinkExecutePipeline) {
+  JobBuilder builder("cle");
+  builder.destination("FZ-Juelich", "T3E-600").account_group("g");
+  auto src = builder.import_from_workstation("a.f90", util::to_bytes("X"));
+  auto compile = builder.compile("c", "a.f90", "a.o");
+  auto link = builder.link("l", {"a.o"}, "app");
+  auto run = builder.run("r", "app");
+  auto exp = builder.export_to_xspace("out.dat", "home", "o");
+  builder.after(src, compile, {"a.f90"});
+  builder.after(compile, link, {"a.o"});
+  builder.after(link, run, {"app"});
+  builder.after(run, exp);
+
+  auto job = builder.build(jane());
+  ASSERT_TRUE(job.ok()) << job.error().to_string();
+  EXPECT_EQ(job.value().children().size(), 5u);
+  EXPECT_EQ(job.value().dependencies().size(), 4u);
+  EXPECT_EQ(job.value().user, jane());
+  EXPECT_EQ(job.value().usite, "FZ-Juelich");
+}
+
+TEST(JobBuilder, DistinctActionIds) {
+  JobBuilder builder("ids");
+  builder.destination("U", "V");
+  std::set<ajo::ActionId> ids;
+  for (int i = 0; i < 10; ++i)
+    EXPECT_TRUE(ids.insert(builder.script("s" + std::to_string(i), "x\n"))
+                    .second);
+}
+
+TEST(JobBuilder, UserPropagatesIntoSubjobs) {
+  JobBuilder sub_builder("sub");
+  sub_builder.destination("LRZ", "VPP700");
+  sub_builder.script("s", "x\n");
+  // Built with a placeholder user; the outer build overwrites it.
+  crypto::DistinguishedName placeholder;
+  placeholder.common_name = "placeholder";
+  auto sub = sub_builder.build(placeholder);
+  ASSERT_TRUE(sub.ok());
+
+  JobBuilder builder("root");
+  builder.destination("FZ-Juelich", "");
+  builder.add_subjob(std::move(sub.value()));
+  auto job = builder.build(jane());
+  ASSERT_TRUE(job.ok());
+  const auto& child =
+      static_cast<const ajo::AbstractJobObject&>(*job.value().children()[0]);
+  EXPECT_EQ(child.user, jane());
+}
+
+TEST(JobBuilder, BuildRejectsInvalidGraphs) {
+  JobBuilder builder("bad");
+  builder.destination("U", "V");
+  auto a = builder.script("a", "x\n");
+  auto b = builder.script("b", "x\n");
+  builder.after(a, b);
+  builder.after(b, a);  // cycle
+  EXPECT_FALSE(builder.build(jane()).ok());
+}
+
+TEST(JobBuilder, CheckedBuildAcceptsAdmissibleJob) {
+  JobBuilder builder("ok");
+  builder.destination("FZ-Juelich", "T3E-600");
+  TaskOptions options;
+  options.resources = {64, 3'600, 1'024, 0, 128};
+  builder.run("r", "app", options);
+  EXPECT_TRUE(builder.build_checked(jane(), {t3e_page()}).ok());
+}
+
+TEST(JobBuilder, CheckedBuildRejectsOversizedRequest) {
+  JobBuilder builder("too big");
+  builder.destination("FZ-Juelich", "T3E-600");
+  TaskOptions options;
+  options.resources = {1'024, 3'600, 1'024, 0, 128};  // > 512 PEs
+  builder.run("r", "app", options);
+  auto job = builder.build_checked(jane(), {t3e_page()});
+  ASSERT_FALSE(job.ok());
+  EXPECT_NE(job.error().message.find("processors"), std::string::npos);
+}
+
+TEST(JobBuilder, CheckedBuildRejectsMissingLibrary) {
+  JobBuilder builder("needs lapack");
+  builder.destination("FZ-Juelich", "T3E-600");
+  builder.link("l", {"a.o"}, "app", {}, {"lapack"});
+  auto job = builder.build_checked(jane(), {t3e_page()});
+  ASSERT_FALSE(job.ok());
+  EXPECT_NE(job.error().message.find("lapack"), std::string::npos);
+  // With mpi (which the page has) it passes.
+  JobBuilder builder2("needs mpi");
+  builder2.destination("FZ-Juelich", "T3E-600");
+  builder2.link("l", {"a.o"}, "app", {}, {"mpi"});
+  EXPECT_TRUE(builder2.build_checked(jane(), {t3e_page()}).ok());
+}
+
+TEST(JobBuilder, CheckedBuildSkipsUnknownRemotePages) {
+  // No page for RUS locally: the remote gateway re-checks, so the local
+  // check passes it through.
+  JobBuilder builder("remote");
+  builder.destination("RUS", "SX-4");
+  TaskOptions options;
+  options.resources = {100'000, 1, 1, 0, 0};
+  builder.run("r", "app", options);
+  EXPECT_TRUE(builder.build_checked(jane(), {t3e_page()}).ok());
+}
+
+TEST(JobBuilder, TransferTargetsSubjob) {
+  JobBuilder builder("transfer");
+  builder.destination("FZ-Juelich", "T3E-600");
+  auto producer = builder.script("p", "x\n");
+  JobBuilder sub("sub");
+  sub.destination("LRZ", "VPP700");
+  sub.script("s", "y\n");
+  auto sub_id = builder.add_subjob(sub.build(jane()).value());
+  auto transfer = builder.transfer_to_subjob("data.out", sub_id, "input.dat");
+  builder.after(producer, transfer);
+  builder.after(transfer, sub_id);
+  auto job = builder.build(jane());
+  ASSERT_TRUE(job.ok()) << job.error().to_string();
+  const auto* task = dynamic_cast<const ajo::TransferTask*>(
+      job.value().find_child(transfer));
+  ASSERT_NE(task, nullptr);
+  EXPECT_EQ(task->target_job, sub_id);
+  EXPECT_EQ(task->rename_to, "input.dat");
+}
+
+}  // namespace
+}  // namespace unicore::client

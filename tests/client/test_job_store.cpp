@@ -1,0 +1,79 @@
+// §5.7: saving and re-loading UNICORE jobs for resubmission and
+// modification.
+#include "client/job_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "ajo/codec.h"
+#include "ajo/generator.h"
+#include "client/job_builder.h"
+
+namespace unicore::client {
+namespace {
+
+crypto::DistinguishedName jane() {
+  crypto::DistinguishedName dn;
+  dn.common_name = "Jane";
+  return dn;
+}
+
+TEST(JobStore, SerializeDeserializeRoundTrip) {
+  util::Rng rng(3);
+  ajo::RandomJobOptions options;
+  ajo::AbstractJobObject job = ajo::random_job(rng, options, jane());
+  auto back = deserialize_job(serialize_job(job));
+  ASSERT_TRUE(back.ok()) << back.error().to_string();
+  EXPECT_EQ(ajo::encode_action(back.value()), ajo::encode_action(job));
+}
+
+TEST(JobStore, RejectsWrongMagicAndVersion) {
+  EXPECT_FALSE(deserialize_job(util::to_bytes("garbage file")).ok());
+  util::ByteWriter w;
+  w.str("UNICOREJOB");
+  w.u32(999);  // future version
+  w.blob({});
+  EXPECT_FALSE(deserialize_job(w.bytes()).ok());
+}
+
+TEST(JobStore, SaveLoadViaFilesystem) {
+  JobBuilder builder("persisted");
+  builder.destination("U", "V");
+  builder.script("s", "echo hi\n");
+  auto job = builder.build(jane()).value();
+
+  std::string path = ::testing::TempDir() + "/unicore_job_test.uj";
+  ASSERT_TRUE(save_job(path, job).ok());
+  auto loaded = load_job(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().to_string();
+  EXPECT_EQ(loaded.value().name(), "persisted");
+  EXPECT_EQ(ajo::encode_action(loaded.value()), ajo::encode_action(job));
+  std::remove(path.c_str());
+}
+
+TEST(JobStore, LoadMissingFileFails) {
+  auto loaded = load_job("/nonexistent/path/job.uj");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.error().code, util::ErrorCode::kNotFound);
+}
+
+TEST(JobStore, LoadedJobCanBeModifiedAndRevalidated) {
+  // The §5.7 "loading and modification of an old UNICORE job" flow.
+  JobBuilder builder("original");
+  builder.destination("U", "V");
+  builder.script("s", "echo v1\n");
+  auto job = builder.build(jane()).value();
+
+  auto reloaded = deserialize_job(serialize_job(job));
+  ASSERT_TRUE(reloaded.ok());
+  auto* task = static_cast<ajo::ExecuteScriptTask*>(
+      reloaded.value().children()[0].get());
+  task->script = "echo v2\n";
+  reloaded.value().set_name("modified");
+  EXPECT_TRUE(reloaded.value().validate().ok());
+  EXPECT_NE(ajo::encode_action(reloaded.value()), ajo::encode_action(job));
+}
+
+}  // namespace
+}  // namespace unicore::client

@@ -1,0 +1,87 @@
+#include "crypto/bundle.h"
+
+#include <gtest/gtest.h>
+
+namespace unicore::crypto {
+namespace {
+
+constexpr std::int64_t kEpoch = 935'536'000;
+constexpr std::int64_t kYear = 365 * 86'400LL;
+
+struct BundleFixture : public ::testing::Test {
+  util::Rng rng{5};
+  DistinguishedName ca_dn{"DE", "DFN-PCA", "", "Root", ""};
+  CertificateAuthority ca{ca_dn, rng, kEpoch, 10 * kYear};
+  Credential developer = ca.issue_credential(
+      DistinguishedName{"DE", "UNICORE", "Dev", "Release Eng", ""}, rng,
+      kEpoch, kYear, kUsageCodeSign | kUsageDigitalSignature);
+  TrustStore trust;
+
+  void SetUp() override { trust.add_root(ca.certificate()); }
+};
+
+TEST_F(BundleFixture, SignVerifyRoundTrip) {
+  SoftwareBundle bundle =
+      make_bundle("JPA", 3, util::to_bytes("applet bytes"), developer);
+  EXPECT_TRUE(verify_bundle(bundle, trust, kEpoch + 100).ok());
+}
+
+TEST_F(BundleFixture, WireRoundTrip) {
+  SoftwareBundle bundle =
+      make_bundle("JMC", 7, util::to_bytes("monitor applet"), developer);
+  auto decoded = SoftwareBundle::decode(bundle.encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().name, "JMC");
+  EXPECT_EQ(decoded.value().version, 7u);
+  EXPECT_EQ(decoded.value().payload, bundle.payload);
+  EXPECT_TRUE(verify_bundle(decoded.value(), trust, kEpoch).ok());
+}
+
+TEST_F(BundleFixture, TamperedPayloadRejected) {
+  SoftwareBundle bundle =
+      make_bundle("JPA", 3, util::to_bytes("applet bytes"), developer);
+  bundle.payload[0] ^= 1;
+  auto status = verify_bundle(bundle, trust, kEpoch);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, util::ErrorCode::kAuthenticationFailed);
+}
+
+TEST_F(BundleFixture, VersionIsSigned) {
+  SoftwareBundle bundle =
+      make_bundle("JPA", 3, util::to_bytes("applet bytes"), developer);
+  bundle.version = 4;  // downgrade/upgrade spoofing
+  EXPECT_FALSE(verify_bundle(bundle, trust, kEpoch).ok());
+}
+
+TEST_F(BundleFixture, NonCodeSigningCertificateRejected) {
+  Credential not_dev = ca.issue_credential(
+      DistinguishedName{"DE", "X", "", "User", ""}, rng, kEpoch, kYear,
+      kUsageClientAuth);
+  SoftwareBundle bundle =
+      make_bundle("JPA", 1, util::to_bytes("x"), not_dev);
+  auto status = verify_bundle(bundle, trust, kEpoch);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, util::ErrorCode::kPermissionDenied);
+}
+
+TEST_F(BundleFixture, ExpiredDeveloperCertificateRejected) {
+  SoftwareBundle bundle =
+      make_bundle("JPA", 1, util::to_bytes("x"), developer);
+  EXPECT_FALSE(verify_bundle(bundle, trust, kEpoch + 2 * kYear).ok());
+}
+
+TEST_F(BundleFixture, DecodeRejectsTruncation) {
+  util::Bytes wire =
+      make_bundle("JPA", 1, util::to_bytes("payload"), developer).encode();
+  for (std::size_t cut : {0u, 1u, 5u, 10u}) {
+    util::Bytes prefix(wire.begin(),
+                       wire.begin() + static_cast<std::ptrdiff_t>(
+                                          std::min(cut, wire.size())));
+    EXPECT_FALSE(SoftwareBundle::decode(prefix).ok());
+  }
+  wire.push_back(0);
+  EXPECT_FALSE(SoftwareBundle::decode(wire).ok());  // trailing byte
+}
+
+}  // namespace
+}  // namespace unicore::crypto

@@ -1,0 +1,102 @@
+#include "crypto/cipher.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace unicore::crypto {
+namespace {
+
+using util::Bytes;
+
+SymmetricKey key_of(std::uint8_t fill) {
+  return SymmetricKey{Bytes(32, fill)};
+}
+
+TEST(CtrCipher, RoundTripIsIdentity) {
+  SymmetricKey key = key_of(0x42);
+  Bytes plaintext = util::to_bytes("attack at dawn");
+  Bytes ciphertext = ctr_crypt(key, 7, plaintext);
+  EXPECT_NE(ciphertext, plaintext);
+  EXPECT_EQ(ctr_crypt(key, 7, ciphertext), plaintext);
+}
+
+TEST(CtrCipher, EmptyInput) {
+  EXPECT_TRUE(ctr_crypt(key_of(1), 0, {}).empty());
+}
+
+class CtrSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CtrSizes, RoundTripAcrossBlockBoundaries) {
+  util::Rng rng(GetParam());
+  SymmetricKey key{rng.bytes(32)};
+  Bytes plaintext = rng.bytes(GetParam());
+  Bytes back = ctr_crypt(key, 3, ctr_crypt(key, 3, plaintext));
+  EXPECT_EQ(back, plaintext);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CtrSizes,
+                         ::testing::Values(1u, 31u, 32u, 33u, 64u, 100u,
+                                           1000u, 4096u));
+
+TEST(CtrCipher, NonceChangesKeystream) {
+  SymmetricKey key = key_of(0x11);
+  Bytes plaintext(64, 0);  // zero plaintext exposes the raw keystream
+  EXPECT_NE(ctr_crypt(key, 1, plaintext), ctr_crypt(key, 2, plaintext));
+}
+
+TEST(CtrCipher, KeyChangesKeystream) {
+  Bytes plaintext(64, 0);
+  EXPECT_NE(ctr_crypt(key_of(1), 5, plaintext),
+            ctr_crypt(key_of(2), 5, plaintext));
+}
+
+TEST(Seal, OpenRecoversPlaintext) {
+  SymmetricKey enc = key_of(0xaa), mac = key_of(0xbb);
+  Bytes plaintext = util::to_bytes("the abstract job object");
+  Bytes aad = util::to_bytes("header");
+  SealedRecord record = seal(enc, mac, 9, plaintext, aad);
+  auto opened = open(enc, mac, record, aad);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(opened.value(), plaintext);
+}
+
+TEST(Seal, TamperedCiphertextRejected) {
+  SymmetricKey enc = key_of(0xaa), mac = key_of(0xbb);
+  SealedRecord record = seal(enc, mac, 9, util::to_bytes("payload"), {});
+  record.ciphertext[0] ^= 0x01;
+  auto opened = open(enc, mac, record, {});
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.error().code, util::ErrorCode::kAuthenticationFailed);
+}
+
+TEST(Seal, TamperedTagRejected) {
+  SymmetricKey enc = key_of(0xaa), mac = key_of(0xbb);
+  SealedRecord record = seal(enc, mac, 9, util::to_bytes("payload"), {});
+  record.tag[31] ^= 0x80;
+  EXPECT_FALSE(open(enc, mac, record, {}).ok());
+}
+
+TEST(Seal, TamperedNonceRejected) {
+  SymmetricKey enc = key_of(0xaa), mac = key_of(0xbb);
+  SealedRecord record = seal(enc, mac, 9, util::to_bytes("payload"), {});
+  record.nonce = 10;
+  EXPECT_FALSE(open(enc, mac, record, {}).ok());
+}
+
+TEST(Seal, WrongAadRejected) {
+  SymmetricKey enc = key_of(0xaa), mac = key_of(0xbb);
+  SealedRecord record =
+      seal(enc, mac, 9, util::to_bytes("payload"), util::to_bytes("aad-1"));
+  EXPECT_FALSE(open(enc, mac, record, util::to_bytes("aad-2")).ok());
+  EXPECT_TRUE(open(enc, mac, record, util::to_bytes("aad-1")).ok());
+}
+
+TEST(Seal, WrongMacKeyRejected) {
+  SymmetricKey enc = key_of(0xaa);
+  SealedRecord record = seal(enc, key_of(0xbb), 9, util::to_bytes("p"), {});
+  EXPECT_FALSE(open(enc, key_of(0xbc), record, {}).ok());
+}
+
+}  // namespace
+}  // namespace unicore::crypto

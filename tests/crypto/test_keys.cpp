@@ -1,0 +1,100 @@
+#include "crypto/keys.h"
+
+#include <gtest/gtest.h>
+
+namespace unicore::crypto {
+namespace {
+
+TEST(Rsa, KeypairStructure) {
+  util::Rng rng(1);
+  PrivateKey key = generate_keypair(rng);
+  EXPECT_TRUE(key.pub.valid());
+  EXPECT_EQ(key.pub.e, 65537u);
+  EXPECT_GE(key.pub.n, 1ULL << 62);  // two 32-bit primes with top bits set
+  EXPECT_NE(key.d, 0u);
+}
+
+TEST(Rsa, SignVerifyRoundTrip) {
+  util::Rng rng(2);
+  PrivateKey key = generate_keypair(rng);
+  auto message = util::to_bytes("the network job supervisor");
+  Signature sig = sign_message(key, message);
+  EXPECT_TRUE(verify_message(key.pub, message, sig));
+}
+
+TEST(Rsa, VerifyFailsOnDifferentMessage) {
+  util::Rng rng(3);
+  PrivateKey key = generate_keypair(rng);
+  Signature sig = sign_message(key, util::to_bytes("message A"));
+  EXPECT_FALSE(verify_message(key.pub, util::to_bytes("message B"), sig));
+}
+
+TEST(Rsa, VerifyFailsWithWrongKey) {
+  util::Rng rng(4);
+  PrivateKey alice = generate_keypair(rng);
+  PrivateKey bob = generate_keypair(rng);
+  auto message = util::to_bytes("msg");
+  Signature sig = sign_message(alice, message);
+  EXPECT_FALSE(verify_message(bob.pub, message, sig));
+}
+
+TEST(Rsa, VerifyFailsOnTamperedSignature) {
+  util::Rng rng(5);
+  PrivateKey key = generate_keypair(rng);
+  auto message = util::to_bytes("msg");
+  Signature sig = sign_message(key, message);
+  sig.value ^= 1;
+  EXPECT_FALSE(verify_message(key.pub, message, sig));
+}
+
+TEST(Rsa, InvalidKeyNeverVerifies) {
+  PublicKey invalid;  // n = 0
+  EXPECT_FALSE(verify_message(invalid, util::to_bytes("m"), Signature{1}));
+}
+
+TEST(Rsa, ManyKeysManyMessagesProperty) {
+  util::Rng rng(6);
+  for (int k = 0; k < 10; ++k) {
+    PrivateKey key = generate_keypair(rng);
+    for (int m = 0; m < 10; ++m) {
+      util::Bytes message = rng.bytes(1 + rng.below(200));
+      Signature sig = sign_message(key, message);
+      EXPECT_TRUE(verify_message(key.pub, message, sig));
+      message[0] ^= 0xff;
+      EXPECT_FALSE(verify_message(key.pub, message, sig));
+    }
+  }
+}
+
+TEST(DiffieHellman, SharedSecretAgrees) {
+  util::Rng rng(7);
+  for (int i = 0; i < 20; ++i) {
+    DhKeyPair a = dh_generate(rng);
+    DhKeyPair b = dh_generate(rng);
+    EXPECT_EQ(dh_shared_secret(a, b.public_value),
+              dh_shared_secret(b, a.public_value));
+  }
+}
+
+TEST(DiffieHellman, DistinctPairsDistinctSecrets) {
+  util::Rng rng(8);
+  DhKeyPair a = dh_generate(rng);
+  DhKeyPair b = dh_generate(rng);
+  DhKeyPair c = dh_generate(rng);
+  EXPECT_NE(dh_shared_secret(a, b.public_value),
+            dh_shared_secret(a, c.public_value));
+}
+
+TEST(DiffieHellman, GroupParameters) {
+  EXPECT_TRUE(is_prime(dh_prime()));
+  EXPECT_GT(dh_generator(), 1u);
+  util::Rng rng(9);
+  DhKeyPair pair = dh_generate(rng);
+  EXPECT_GT(pair.secret, 1u);
+  EXPECT_LT(pair.secret, dh_prime() - 1);
+  EXPECT_EQ(pair.public_value,
+            powmod(dh_generator(), pair.secret, dh_prime()));
+}
+
+}  // namespace
+}  // namespace unicore::crypto

@@ -1,0 +1,111 @@
+#include "crypto/modmath.h"
+
+#include <gtest/gtest.h>
+
+namespace unicore::crypto {
+namespace {
+
+TEST(ModMath, MulmodNoOverflow) {
+  std::uint64_t big = 0xfffffffffffffff0ULL;
+  std::uint64_t m = 0xffffffffffffffc5ULL;
+  // (big * big) mod m computed via __int128; sanity: result < m.
+  EXPECT_LT(mulmod(big, big, m), m);
+  EXPECT_EQ(mulmod(7, 9, 10), 3u);
+  EXPECT_EQ(mulmod(0, 123, 7), 0u);
+}
+
+TEST(ModMath, PowmodKnownValues) {
+  EXPECT_EQ(powmod(2, 10, 1000), 24u);
+  EXPECT_EQ(powmod(3, 0, 7), 1u);
+  EXPECT_EQ(powmod(0, 5, 7), 0u);
+  EXPECT_EQ(powmod(5, 3, 1), 0u);  // mod 1
+  // Fermat: a^(p-1) = 1 mod p.
+  std::uint64_t p = 1'000'000'007ULL;
+  EXPECT_EQ(powmod(123456789, p - 1, p), 1u);
+}
+
+TEST(ModMath, Gcd) {
+  EXPECT_EQ(gcd(12, 18), 6u);
+  EXPECT_EQ(gcd(17, 5), 1u);
+  EXPECT_EQ(gcd(0, 5), 5u);
+  EXPECT_EQ(gcd(5, 0), 5u);
+  EXPECT_EQ(gcd(0, 0), 0u);
+}
+
+TEST(ModMath, ModinvInvertsWhenCoprime) {
+  EXPECT_EQ(modinv(3, 7), 5u);  // 3*5 = 15 = 1 mod 7
+  EXPECT_EQ(mulmod(modinv(65537, 4'294'836'224ULL), 65537,
+                   4'294'836'224ULL),
+            1u);
+  EXPECT_EQ(modinv(4, 8), 0u);  // not invertible
+}
+
+TEST(ModMath, ModinvRandomizedProperty) {
+  util::Rng rng(5);
+  std::uint64_t m = 0xffffffffffffffc5ULL;  // prime
+  for (int i = 0; i < 200; ++i) {
+    std::uint64_t a = 1 + rng.below(m - 1);
+    std::uint64_t inv = modinv(a, m);
+    ASSERT_NE(inv, 0u);
+    EXPECT_EQ(mulmod(a, inv, m), 1u);
+  }
+}
+
+TEST(ModMath, IsPrimeSmall) {
+  EXPECT_FALSE(is_prime(0));
+  EXPECT_FALSE(is_prime(1));
+  EXPECT_TRUE(is_prime(2));
+  EXPECT_TRUE(is_prime(3));
+  EXPECT_FALSE(is_prime(4));
+  EXPECT_TRUE(is_prime(37));
+  EXPECT_FALSE(is_prime(91));  // 7*13
+}
+
+TEST(ModMath, IsPrimeCarmichaelNumbers) {
+  // Fermat pseudoprimes that trip weak tests.
+  for (std::uint64_t c : {561ULL, 1105ULL, 1729ULL, 2465ULL, 2821ULL,
+                          6601ULL, 8911ULL, 41041ULL, 825265ULL})
+    EXPECT_FALSE(is_prime(c)) << c;
+}
+
+TEST(ModMath, IsPrimeLargeKnown) {
+  EXPECT_TRUE(is_prime(0xffffffffffffffc5ULL));  // largest 64-bit prime
+  EXPECT_TRUE(is_prime(2'147'483'647ULL));       // 2^31 - 1
+  EXPECT_FALSE(is_prime(0xffffffffffffffc5ULL - 2));
+  EXPECT_TRUE(is_prime(1'000'000'007ULL));
+  EXPECT_FALSE(is_prime(1'000'000'007ULL * 3));
+}
+
+TEST(ModMath, IsPrimeAgainstSieve) {
+  // Cross-check the first 1000 integers against trial division.
+  for (std::uint64_t n = 0; n < 1000; ++n) {
+    bool expected = n >= 2;
+    for (std::uint64_t d = 2; d * d <= n && expected; ++d)
+      if (n % d == 0) expected = false;
+    EXPECT_EQ(is_prime(n), expected) << n;
+  }
+}
+
+class RandomPrimeBits : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomPrimeBits, HasExactBitLengthAndIsPrime) {
+  util::Rng rng(31);
+  int bits = GetParam();
+  for (int i = 0; i < 10; ++i) {
+    std::uint64_t p = random_prime(rng, bits);
+    EXPECT_TRUE(is_prime(p));
+    EXPECT_EQ(64 - __builtin_clzll(p), bits);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, RandomPrimeBits,
+                         ::testing::Values(8, 16, 24, 32, 48, 63));
+
+TEST(ModMath, RandomPrimeRejectsBadBitCounts) {
+  util::Rng rng(1);
+  EXPECT_THROW(random_prime(rng, 1), std::invalid_argument);
+  EXPECT_THROW(random_prime(rng, 64), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace unicore::crypto

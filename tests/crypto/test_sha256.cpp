@@ -1,0 +1,71 @@
+#include "crypto/sha256.h"
+
+#include <gtest/gtest.h>
+
+namespace unicore::crypto {
+namespace {
+
+std::string hex(const Digest& d) { return util::hex_encode(d); }
+
+// FIPS 180-4 / NIST CAVP known-answer vectors.
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(hex(sha256(std::string_view{})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hex(sha256("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(hex(sha256("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 ctx;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) ctx.update(chunk);
+  EXPECT_EQ(hex(ctx.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  std::string message =
+      "The quick brown fox jumps over the lazy dog, repeatedly, to cross "
+      "block boundaries in interesting ways. 0123456789abcdef";
+  Digest one_shot = sha256(message);
+  // Feed in every possible two-way split.
+  for (std::size_t split = 0; split <= message.size(); ++split) {
+    Sha256 ctx;
+    ctx.update(std::string_view(message).substr(0, split));
+    ctx.update(std::string_view(message).substr(split));
+    EXPECT_EQ(ctx.finish(), one_shot) << "split=" << split;
+  }
+}
+
+TEST(Sha256, ExactBlockSizeInputs) {
+  // 55/56/63/64/65 bytes straddle the padding edge cases.
+  for (std::size_t n : {55u, 56u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    std::string message(n, 'x');
+    Sha256 ctx;
+    for (char c : message) ctx.update(std::string_view(&c, 1));
+    EXPECT_EQ(ctx.finish(), sha256(message)) << "n=" << n;
+  }
+}
+
+TEST(Sha256, DigestPrefix64BigEndian) {
+  Digest d{};
+  for (int i = 0; i < 8; ++i) d[static_cast<std::size_t>(i)] =
+      static_cast<std::uint8_t>(i + 1);
+  EXPECT_EQ(digest_prefix64(d), 0x0102030405060708ULL);
+}
+
+TEST(Sha256, DifferentInputsDiffer) {
+  EXPECT_NE(sha256("a"), sha256("b"));
+  EXPECT_NE(sha256(""), sha256(std::string(1, '\0')));
+}
+
+}  // namespace
+}  // namespace unicore::crypto

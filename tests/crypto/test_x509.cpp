@@ -1,0 +1,205 @@
+#include "crypto/x509.h"
+
+#include <gtest/gtest.h>
+
+namespace unicore::crypto {
+namespace {
+
+constexpr std::int64_t kEpoch = 935'536'000;
+constexpr std::int64_t kYear = 365 * 86'400LL;
+
+DistinguishedName dn(const std::string& cn) {
+  DistinguishedName out;
+  out.country = "DE";
+  out.organization = "FZ Juelich";
+  out.organizational_unit = "ZAM";
+  out.common_name = cn;
+  out.email = cn + "@fz-juelich.de";
+  return out;
+}
+
+struct CaFixture : public ::testing::Test {
+  util::Rng rng{77};
+  CertificateAuthority ca{dn("Root CA"), rng, kEpoch, 10 * kYear};
+  TrustStore trust;
+
+  void SetUp() override { trust.add_root(ca.certificate()); }
+
+  Credential user(const std::string& cn,
+                  std::uint8_t usage = kUsageClientAuth) {
+    return ca.issue_credential(dn(cn), rng, kEpoch, kYear, usage);
+  }
+
+  ValidationOptions at(std::int64_t now, std::uint8_t usage = 0) {
+    ValidationOptions options;
+    options.now = now;
+    options.required_usage = usage;
+    return options;
+  }
+};
+
+TEST_F(CaFixture, DistinguishedNameRendering) {
+  EXPECT_EQ(dn("Jane").to_string(),
+            "C=DE, O=FZ Juelich, OU=ZAM, CN=Jane, E=Jane@fz-juelich.de");
+  DistinguishedName partial;
+  partial.common_name = "X";
+  EXPECT_EQ(partial.to_string(), "CN=X");
+}
+
+TEST_F(CaFixture, RootIsSelfSigned) {
+  const Certificate& root = ca.certificate();
+  EXPECT_EQ(root.issuer, root.subject);
+  EXPECT_TRUE(root.is_ca);
+  EXPECT_TRUE(root.verify_signature(root.subject_key));
+}
+
+TEST_F(CaFixture, DerRoundTrip) {
+  Credential c = user("Jane Doe");
+  auto decoded = Certificate::from_der(c.certificate.der());
+  ASSERT_TRUE(decoded.ok()) << decoded.error().to_string();
+  EXPECT_EQ(decoded.value(), c.certificate);
+  EXPECT_EQ(decoded.value().fingerprint(), c.certificate.fingerprint());
+}
+
+TEST_F(CaFixture, FromDerRejectsGarbage) {
+  EXPECT_FALSE(Certificate::from_der(util::to_bytes("not a cert")).ok());
+  EXPECT_FALSE(Certificate::from_der({}).ok());
+}
+
+TEST_F(CaFixture, FromDerRejectsBitFlips) {
+  util::Bytes der = user("Jane").certificate.der();
+  // Flipping any length byte must not crash, and the result either fails
+  // to parse or fails signature verification.
+  for (std::size_t i = 0; i < der.size(); i += 7) {
+    util::Bytes mutated = der;
+    mutated[i] ^= 0xff;
+    auto decoded = Certificate::from_der(mutated);
+    if (decoded.ok()) {
+      EXPECT_FALSE(
+          decoded.value().verify_signature(ca.certificate().subject_key) &&
+          decoded.value() != Certificate{})
+          << i;
+    }
+  }
+}
+
+TEST_F(CaFixture, ValidCertificateChainValidates) {
+  Credential c = user("Jane Doe");
+  EXPECT_TRUE(trust.validate(c.certificate, {}, at(kEpoch + 100)).ok());
+}
+
+TEST_F(CaFixture, ExpiredCertificateRejected) {
+  Credential c = user("Jane Doe");
+  auto status = trust.validate(c.certificate, {}, at(kEpoch + 2 * kYear));
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, util::ErrorCode::kAuthenticationFailed);
+}
+
+TEST_F(CaFixture, NotYetValidCertificateRejected) {
+  Credential c = user("Jane Doe");
+  EXPECT_FALSE(trust.validate(c.certificate, {}, at(kEpoch - 100)).ok());
+}
+
+TEST_F(CaFixture, UsageEnforced) {
+  Credential c = user("Jane Doe", kUsageClientAuth);
+  EXPECT_TRUE(
+      trust.validate(c.certificate, {}, at(kEpoch, kUsageClientAuth)).ok());
+  auto status =
+      trust.validate(c.certificate, {}, at(kEpoch, kUsageServerAuth));
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, util::ErrorCode::kPermissionDenied);
+}
+
+TEST_F(CaFixture, UnknownIssuerRejected) {
+  util::Rng other_rng(88);
+  CertificateAuthority other(dn("Other CA"), other_rng, kEpoch, kYear);
+  Credential c =
+      other.issue_credential(dn("Jane Doe"), other_rng, kEpoch, kYear,
+                             kUsageClientAuth);
+  EXPECT_FALSE(trust.validate(c.certificate, {}, at(kEpoch)).ok());
+}
+
+TEST_F(CaFixture, ForgedSignatureRejected) {
+  Credential c = user("Jane Doe");
+  c.certificate.subject = dn("Mallory");  // alter after signing
+  EXPECT_FALSE(trust.validate(c.certificate, {}, at(kEpoch)).ok());
+}
+
+TEST_F(CaFixture, IntermediateChainValidates) {
+  // root -> intermediate CA -> leaf.
+  util::Rng leaf_rng(99);
+  PrivateKey intermediate_key = generate_keypair(leaf_rng);
+  Certificate intermediate =
+      ca.issue(dn("Intermediate CA"), intermediate_key.pub, kEpoch, kYear,
+               kUsageCertSign, /*is_ca=*/true);
+
+  PrivateKey leaf_key = generate_keypair(leaf_rng);
+  Certificate leaf;
+  leaf.serial = 1000;
+  leaf.issuer = intermediate.subject;
+  leaf.subject = dn("Leaf");
+  leaf.not_before = kEpoch;
+  leaf.not_after = kEpoch + kYear;
+  leaf.subject_key = leaf_key.pub;
+  leaf.key_usage = kUsageClientAuth;
+  leaf.signature = sign_message(intermediate_key, leaf.tbs_der());
+
+  Certificate chain[] = {intermediate};
+  EXPECT_TRUE(trust.validate(leaf, chain, at(kEpoch)).ok());
+
+  // Without the intermediate, the chain cannot be built.
+  EXPECT_FALSE(trust.validate(leaf, {}, at(kEpoch)).ok());
+
+  // A non-CA intermediate is rejected.
+  Certificate bogus = intermediate;
+  bogus.is_ca = false;
+  bogus.signature = sign_message(
+      PrivateKey{ca.credential().key}, bogus.tbs_der());
+  Certificate bad_chain[] = {bogus};
+  EXPECT_FALSE(trust.validate(leaf, bad_chain, at(kEpoch)).ok());
+}
+
+TEST_F(CaFixture, RevocationViaCrl) {
+  Credential c = user("Jane Doe");
+  EXPECT_TRUE(trust.validate(c.certificate, {}, at(kEpoch)).ok());
+
+  ca.revoke(c.certificate.serial);
+  EXPECT_TRUE(ca.is_revoked(c.certificate.serial));
+  RevocationList crl = ca.crl(kEpoch + 10);
+  EXPECT_TRUE(crl.contains(c.certificate.serial));
+  ASSERT_TRUE(trust.add_crl(crl).ok());
+
+  auto status = trust.validate(c.certificate, {}, at(kEpoch + 20));
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.error().message.find("revoked"), std::string::npos);
+}
+
+TEST_F(CaFixture, CrlMustBeSignedByTrustedRoot) {
+  util::Rng other_rng(111);
+  CertificateAuthority rogue(dn("Rogue"), other_rng, kEpoch, kYear);
+  rogue.revoke(12345);
+  RevocationList fake = rogue.crl(kEpoch);
+  fake.issuer = ca.certificate().subject;  // impersonate the real CA
+  EXPECT_FALSE(trust.add_crl(fake).ok());
+}
+
+TEST_F(CaFixture, CrlReplacedNotAccumulated) {
+  Credential a = user("A"), b = user("B");
+  ca.revoke(a.certificate.serial);
+  ASSERT_TRUE(trust.add_crl(ca.crl(kEpoch + 1)).ok());
+  ca.revoke(b.certificate.serial);
+  ASSERT_TRUE(trust.add_crl(ca.crl(kEpoch + 2)).ok());
+  EXPECT_FALSE(trust.validate(a.certificate, {}, at(kEpoch + 3)).ok());
+  EXPECT_FALSE(trust.validate(b.certificate, {}, at(kEpoch + 3)).ok());
+}
+
+TEST_F(CaFixture, SerialsAreUnique) {
+  std::set<std::uint64_t> serials{ca.certificate().serial};
+  for (int i = 0; i < 50; ++i)
+    EXPECT_TRUE(serials.insert(user("u" + std::to_string(i))
+                                   .certificate.serial)
+                    .second);
+}
+
+}  // namespace
+}  // namespace unicore::crypto

@@ -1,0 +1,190 @@
+// The security servlet: UUDB mapping, user/server authentication, full
+// consignment checks, the audit trail.
+#include "gateway/gateway.h"
+
+#include <gtest/gtest.h>
+
+#include "ajo/codec.h"
+#include "ajo/tasks.h"
+
+namespace unicore::gateway {
+namespace {
+
+constexpr std::int64_t kEpoch = 935'536'000;
+constexpr std::int64_t kYear = 365 * 86'400LL;
+
+crypto::DistinguishedName dn(const std::string& cn) {
+  crypto::DistinguishedName out;
+  out.country = "DE";
+  out.organization = "Org";
+  out.common_name = cn;
+  return out;
+}
+
+struct GatewayFixture : public ::testing::Test {
+  util::Rng rng{55};
+  crypto::CertificateAuthority ca{dn("CA"), rng, kEpoch, 10 * kYear};
+  crypto::Credential user = ca.issue_credential(
+      dn("Jane"), rng, kEpoch, kYear,
+      crypto::kUsageClientAuth | crypto::kUsageDigitalSignature);
+  crypto::Credential peer_server = ca.issue_credential(
+      dn("peer-njs"), rng, kEpoch, kYear,
+      crypto::kUsageServerAuth | crypto::kUsageDigitalSignature);
+  Gateway gateway = make_gateway();
+
+  Gateway make_gateway() {
+    crypto::TrustStore trust;
+    trust.add_root(ca.certificate());
+    UserDatabase uudb;
+    uudb.add_mapping(dn("Jane"), {"ucjane", {"project-a", "project-b"}});
+    return Gateway("FZ-Juelich", std::move(trust), std::move(uudb));
+  }
+
+  ajo::AbstractJobObject job(const std::string& group = "project-a") {
+    ajo::AbstractJobObject out;
+    out.set_name("j");
+    out.vsite = "T3E";
+    out.user = dn("Jane");
+    out.account_group = group;
+    auto task = std::make_unique<ajo::ExecuteScriptTask>();
+    task->script = "true\n";
+    out.add(std::move(task));
+    return out;
+  }
+};
+
+TEST(UserDatabase, MappingLifecycle) {
+  UserDatabase uudb;
+  EXPECT_EQ(uudb.size(), 0u);
+  uudb.add_mapping(dn("A"), {"ua", {"g1"}});
+  uudb.add_mapping(dn("B"), {"ub", {}});
+  EXPECT_EQ(uudb.size(), 2u);
+  ASSERT_TRUE(uudb.lookup(dn("A")).ok());
+  EXPECT_EQ(uudb.lookup(dn("A")).value().login, "ua");
+  EXPECT_FALSE(uudb.lookup(dn("C")).ok());
+
+  // Replace keeps size, changes entry.
+  uudb.add_mapping(dn("A"), {"ua2", {"g2"}});
+  EXPECT_EQ(uudb.size(), 2u);
+  EXPECT_EQ(uudb.lookup(dn("A")).value().login, "ua2");
+
+  EXPECT_TRUE(uudb.set_suspended(dn("A"), true).ok());
+  EXPECT_TRUE(uudb.lookup(dn("A")).value().suspended);
+  EXPECT_FALSE(uudb.set_suspended(dn("C"), true).ok());
+
+  EXPECT_TRUE(uudb.remove_mapping(dn("A")).ok());
+  EXPECT_FALSE(uudb.remove_mapping(dn("A")).ok());
+  EXPECT_EQ(uudb.size(), 1u);
+}
+
+TEST_F(GatewayFixture, AuthenticateMapsCertificateToLogin) {
+  auto result = gateway.authenticate_user(user.certificate, kEpoch + 1);
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  EXPECT_EQ(result.value().login, "ucjane");
+  EXPECT_EQ(result.value().account_groups.size(), 2u);
+  EXPECT_EQ(result.value().dn, dn("Jane"));
+}
+
+TEST_F(GatewayFixture, AuthenticateRejectsServerCertAsUser) {
+  EXPECT_FALSE(gateway.authenticate_user(peer_server.certificate,
+                                         kEpoch + 1)
+                   .ok());
+}
+
+TEST_F(GatewayFixture, AuthenticateServerRequiresServerUsage) {
+  EXPECT_TRUE(
+      gateway.authenticate_server(peer_server.certificate, kEpoch + 1).ok());
+  EXPECT_FALSE(
+      gateway.authenticate_server(user.certificate, kEpoch + 1).ok());
+}
+
+TEST_F(GatewayFixture, ConsignmentHappyPath) {
+  ajo::SignedAjo signed_ajo = ajo::sign_ajo(job(), user);
+  auto result = gateway.check_consignment(signed_ajo, kEpoch + 1);
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  EXPECT_EQ(result.value().login, "ucjane");
+}
+
+TEST_F(GatewayFixture, ConsignmentRejectsEmptyGroupFallback) {
+  // Empty account group falls back to the user's default; accepted.
+  ajo::SignedAjo signed_ajo = ajo::sign_ajo(job(""), user);
+  EXPECT_TRUE(gateway.check_consignment(signed_ajo, kEpoch + 1).ok());
+}
+
+TEST_F(GatewayFixture, ConsignmentRejectsWrongSigner) {
+  crypto::Credential other = ca.issue_credential(
+      dn("Eve"), rng, kEpoch, kYear, crypto::kUsageClientAuth);
+  // Eve signs a job naming Jane as the user.
+  ajo::SignedAjo signed_ajo = ajo::sign_ajo(job(), other);
+  auto result = gateway.check_consignment(signed_ajo, kEpoch + 1);
+  ASSERT_FALSE(result.ok());
+}
+
+TEST_F(GatewayFixture, ConsignmentRejectsInvalidStructure) {
+  ajo::AbstractJobObject bad = job();
+  bad.add_dependency(1, 1);  // self-dependency
+  ajo::SignedAjo signed_ajo = ajo::sign_ajo(bad, user);
+  EXPECT_FALSE(gateway.check_consignment(signed_ajo, kEpoch + 1).ok());
+}
+
+TEST_F(GatewayFixture, ForwardedConsignmentHappyPath) {
+  ajo::AbstractJobObject group = job();
+  util::Bytes input = util::Bytes();
+  {
+    util::ByteWriter w;
+    w.blob(ajo::encode_action(group));
+    w.blob(user.certificate.der());
+    input = w.take();
+  }
+  crypto::Signature endorsement =
+      crypto::sign_message(peer_server.key, input);
+  auto result = gateway.check_forwarded_consignment(
+      group, user.certificate, peer_server.certificate, endorsement, input,
+      kEpoch + 1);
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  EXPECT_EQ(result.value().login, "ucjane");
+}
+
+TEST_F(GatewayFixture, ForwardedConsignmentRejectsUserAsEndorser) {
+  ajo::AbstractJobObject group = job();
+  util::Bytes input = util::to_bytes("x");
+  crypto::Signature endorsement = crypto::sign_message(user.key, input);
+  // The consignor must hold a *server* certificate.
+  EXPECT_FALSE(gateway
+                   .check_forwarded_consignment(group, user.certificate,
+                                                user.certificate, endorsement,
+                                                input, kEpoch + 1)
+                   .ok());
+}
+
+TEST_F(GatewayFixture, ForwardedConsignmentRejectsBadEndorsement) {
+  ajo::AbstractJobObject group = job();
+  util::Bytes input = util::to_bytes("payload");
+  crypto::Signature endorsement =
+      crypto::sign_message(peer_server.key, util::to_bytes("other"));
+  EXPECT_FALSE(gateway
+                   .check_forwarded_consignment(
+                       group, user.certificate, peer_server.certificate,
+                       endorsement, input, kEpoch + 1)
+                   .ok());
+}
+
+TEST_F(GatewayFixture, AuditTrailRecordsDecisions) {
+  (void)gateway.authenticate_user(user.certificate, kEpoch + 1);
+  (void)gateway.authenticate_user(peer_server.certificate, kEpoch + 1);
+  ajo::SignedAjo signed_ajo = ajo::sign_ajo(job("project-z"), user);
+  (void)gateway.check_consignment(signed_ajo, kEpoch + 2);
+
+  const auto& log = gateway.audit_log();
+  ASSERT_GE(log.size(), 3u);
+  EXPECT_TRUE(log[0].accepted);
+  EXPECT_EQ(log[0].action, "authenticate");
+  EXPECT_FALSE(log[1].accepted);
+  // The consignment attempt with the bad group is rejected and audited.
+  EXPECT_FALSE(log.back().accepted);
+  EXPECT_EQ(log.back().action, "consign");
+  EXPECT_NE(log.back().detail.find("project-z"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace unicore::gateway

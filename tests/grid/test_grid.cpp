@@ -1,0 +1,143 @@
+// Grid assembly and the German testbed factory.
+#include "grid/grid.h"
+
+#include <gtest/gtest.h>
+
+#include "batch/target_system.h"
+#include "grid/testbed.h"
+
+namespace unicore::grid {
+namespace {
+
+TEST(Grid, StartsEmptyWithWorkingCa) {
+  Grid grid(1);
+  EXPECT_TRUE(grid.sites().empty());
+  EXPECT_EQ(grid.site("nope"), nullptr);
+  // The CA root anchors the trust store.
+  crypto::TrustStore trust = grid.make_trust_store();
+  ASSERT_EQ(trust.roots().size(), 1u);
+  EXPECT_TRUE(trust.roots()[0].is_ca);
+}
+
+TEST(Grid, AddSiteIssuesServerCredentialAndPublishesBundles) {
+  Grid grid(2);
+  Grid::SiteSpec spec;
+  spec.config.name = "Site-A";
+  spec.config.gateway_host = "gw.a.de";
+  njs::Njs::VsiteConfig vsite;
+  vsite.system = batch::make_ibm_sp2("SP2", 16);
+  spec.vsites.push_back(std::move(vsite));
+  auto& site = grid.add_site(std::move(spec));
+
+  EXPECT_EQ(grid.sites(), std::vector<std::string>{"Site-A"});
+  EXPECT_EQ(site.njs().vsites(), std::vector<std::string>{"SP2"});
+  // The server credential chains to the grid CA with server usage.
+  crypto::TrustStore trust = grid.make_trust_store();
+  crypto::ValidationOptions options;
+  options.now = grid.now_epoch();
+  options.required_usage = crypto::kUsageServerAuth;
+  EXPECT_TRUE(trust
+                  .validate(site.njs().server_credential().certificate, {},
+                            options)
+                  .ok());
+}
+
+TEST(Grid, UserCreationAndMapping) {
+  Grid grid(3);
+  Grid::SiteSpec spec;
+  spec.config.name = "Site-A";
+  spec.config.gateway_host = "gw.a.de";
+  auto& site = grid.add_site(std::move(spec));
+
+  crypto::Credential user = grid.create_user("Jane", "Org", "j@o.de");
+  EXPECT_TRUE(grid.map_user(user.certificate.subject, "Site-A", "uja",
+                            {"g1"})
+                  .ok());
+  EXPECT_FALSE(grid.map_user(user.certificate.subject, "Nope", "x", {})
+                   .ok());
+  auto entry = site.gateway().uudb().lookup(user.certificate.subject);
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry.value().login, "uja");
+}
+
+TEST(Grid, PublishClientSoftwareBumpsVersions) {
+  Grid grid(4);
+  Grid::SiteSpec spec;
+  spec.config.name = "Site-A";
+  spec.config.gateway_host = "gw.a.de";
+  grid.add_site(std::move(spec));
+  grid.publish_client_software(7);
+  // New sites added afterwards get the current version too.
+  Grid::SiteSpec spec_b;
+  spec_b.config.name = "Site-B";
+  spec_b.config.gateway_host = "gw.b.de";
+  grid.add_site(std::move(spec_b));
+  SUCCEED();  // version visibility is asserted end-to-end in client tests
+}
+
+TEST(Testbed, SixSitesEightVsitesFourFamilies) {
+  Grid grid(5);
+  make_german_testbed(grid);
+  EXPECT_EQ(grid.sites().size(), 6u);
+  for (const std::string& name : testbed_sites())
+    EXPECT_NE(grid.site(name), nullptr) << name;
+
+  std::set<resources::Architecture> families;
+  std::size_t vsites = 0;
+  for (const std::string& name : grid.sites()) {
+    for (const auto& page : grid.site(name)->njs().resource_pages()) {
+      families.insert(page.architecture);
+      ++vsites;
+    }
+  }
+  EXPECT_EQ(vsites, 8u);
+  // "The systems covered are Cray T3E, Fujitsu VPP/700, IBM SP-2, and
+  //  NEC SX-4." (§5.7)
+  EXPECT_EQ(families.size(), 4u);
+  EXPECT_TRUE(families.count(resources::Architecture::kCrayT3E));
+  EXPECT_TRUE(families.count(resources::Architecture::kFujitsuVpp700));
+  EXPECT_TRUE(families.count(resources::Architecture::kIbmSp2));
+  EXPECT_TRUE(families.count(resources::Architecture::kNecSx4));
+}
+
+TEST(Testbed, UserMappedEverywhereWithDistinctLogins) {
+  Grid grid(6);
+  make_german_testbed(grid);
+  crypto::Credential user = add_testbed_user(grid, "Jane Doe", "j@o.de");
+  std::set<std::string> logins;
+  for (const std::string& name : testbed_sites()) {
+    auto entry =
+        grid.site(name)->gateway().uudb().lookup(user.certificate.subject);
+    ASSERT_TRUE(entry.ok()) << name;
+    logins.insert(entry.value().login);
+  }
+  // The logins genuinely differ per site — the situation the
+  // certificate mapping shields the user from (§4).
+  EXPECT_EQ(logins.size(), testbed_sites().size());
+}
+
+TEST(Testbed, SplitJuelichVariant) {
+  Grid grid(7);
+  make_german_testbed(grid, /*split_juelich=*/true);
+  EXPECT_TRUE(grid.site("FZ-Juelich")->config().split());
+  EXPECT_FALSE(grid.site("LRZ")->config().split());
+  // The firewall rules are active: outsiders cannot reach the NJS port.
+  EXPECT_FALSE(grid.network()
+                   .connect("outside.example.com",
+                            {"njs.fz-juelich.de", 7700})
+                   .ok());
+}
+
+TEST(Grid, DeterministicAcrossRuns) {
+  auto fingerprint = [](std::uint64_t seed) {
+    Grid grid(seed);
+    make_german_testbed(grid);
+    crypto::Credential user = add_testbed_user(grid, "U", "u@e.de");
+    return user.certificate.fingerprint();
+  };
+  EXPECT_EQ(fingerprint(11), fingerprint(11));
+  EXPECT_NE(fingerprint(11), fingerprint(12));
+}
+
+}  // namespace
+}  // namespace unicore::grid

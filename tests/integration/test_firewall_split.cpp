@@ -1,0 +1,117 @@
+// The §4.2/§5.2 firewall deployment: "the Web server has to sit on the
+// firewall system while NJS runs on a system within the firewall", with
+// gateway–NJS traffic on an IP socket to a site-selectable port.
+#include <gtest/gtest.h>
+
+#include "common/test_env.h"
+
+namespace unicore {
+namespace {
+
+using testing::SingleSite;
+
+TEST(FirewallSplit, JobRunsThroughSplitDeployment) {
+  SingleSite site(/*seed=*/11, /*split=*/true);
+  ASSERT_TRUE(site.server->config().split());
+  auto client = site.make_client();
+  client->connect(site.address(), [](util::Status) {});
+  site.grid.engine().run();
+  ASSERT_TRUE(client->connected());
+
+  auto job = testing::make_cle_job(site.user.certificate.subject,
+                                   SingleSite::kUsite, SingleSite::kVsite);
+  ASSERT_TRUE(job.ok());
+  ajo::JobToken token = 0;
+  client->submit(job.value(), [&](util::Result<ajo::JobToken> result) {
+    ASSERT_TRUE(result.ok()) << result.error().to_string();
+    token = result.value();
+  });
+  site.grid.engine().run();
+  ASSERT_NE(token, 0u);
+
+  util::Result<ajo::Outcome> outcome =
+      util::make_error(util::ErrorCode::kInternal, "unset");
+  client->wait_for_completion(token, sim::sec(10),
+                              [&](util::Result<ajo::Outcome> o) {
+                                outcome = std::move(o);
+                              });
+  site.grid.engine().run();
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value().status, ajo::ActionStatus::kSuccessful)
+      << outcome.value().to_tree_string();
+}
+
+TEST(FirewallSplit, FirewallBlocksDirectNjsAccess) {
+  SingleSite site(/*seed=*/12, /*split=*/true);
+  // An attacker on an external host tries to reach the NJS port
+  // directly, bypassing the gateway.
+  auto direct = site.grid.network().connect(
+      "attacker.example.com", {"njs.fz-juelich.de", 7700});
+  ASSERT_FALSE(direct.ok());
+  EXPECT_EQ(direct.error().code, util::ErrorCode::kUnavailable);
+
+  // The gateway host itself is allowed through (that is the pipe).
+  auto from_gateway = site.grid.network().connect(
+      "gw.fz-juelich.de", {"njs.fz-juelich.de", 7700});
+  EXPECT_TRUE(from_gateway.ok());
+}
+
+TEST(FirewallSplit, PipeCannotBeHijackedFromGatewayHost) {
+  // Even a connection from the gateway host itself (behind which a
+  // compromised process could sit) must not displace the established
+  // gateway-NJS pipe: jobs keep flowing after the probe.
+  SingleSite site(/*seed=*/14, /*split=*/true);
+  auto probe = site.grid.network().connect("gw.fz-juelich.de",
+                                           {"njs.fz-juelich.de", 7700});
+  ASSERT_TRUE(probe.ok());  // firewall admits the gateway host
+  site.grid.engine().run();
+
+  auto client = site.make_client();
+  client->connect(site.address(), [](util::Status) {});
+  site.grid.engine().run();
+  auto job = testing::make_cle_job(site.user.certificate.subject,
+                                   SingleSite::kUsite, SingleSite::kVsite);
+  util::Result<ajo::JobToken> token =
+      util::make_error(util::ErrorCode::kInternal, "unset");
+  client->submit(job.value(), [&](util::Result<ajo::JobToken> result) {
+    token = std::move(result);
+  });
+  site.grid.engine().run();
+  ASSERT_TRUE(token.ok()) << token.error().to_string();
+  // The probe's endpoint was refused (closed by the server).
+  EXPECT_FALSE(probe.value()->is_open());
+}
+
+TEST(FirewallSplit, SplitCostsExtraHopsButSameResults) {
+  // The same job through combined and split deployments; both succeed,
+  // the split one no earlier.
+  auto run = [](bool split) {
+    SingleSite site(/*seed=*/13, split);
+    auto client = site.make_client();
+    client->connect(site.address(), [](util::Status) {});
+    site.grid.engine().run();
+    auto job = testing::make_cle_job(site.user.certificate.subject,
+                                     SingleSite::kUsite, SingleSite::kVsite);
+    ajo::JobToken token = 0;
+    client->submit(job.value(), [&](util::Result<ajo::JobToken> result) {
+      token = result.value();
+    });
+    site.grid.engine().run();
+    util::Result<ajo::Outcome> outcome =
+        util::make_error(util::ErrorCode::kInternal, "unset");
+    client->wait_for_completion(token, sim::sec(5),
+                                [&](util::Result<ajo::Outcome> o) {
+                                  outcome = std::move(o);
+                                });
+    site.grid.engine().run();
+    EXPECT_TRUE(outcome.ok());
+    EXPECT_EQ(outcome.value().status, ajo::ActionStatus::kSuccessful);
+    return site.grid.engine().now();
+  };
+  sim::Time combined = run(false);
+  sim::Time split = run(true);
+  EXPECT_GE(split, combined);
+}
+
+}  // namespace
+}  // namespace unicore

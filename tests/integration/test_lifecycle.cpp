@@ -1,0 +1,181 @@
+// Cross-cutting lifecycle scenarios: save/reload/resubmit (§5.7),
+// deeply nested job trees, grid-wide revocation, applet version bumps,
+// and accounting across a job's life.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "client/job_store.h"
+#include "common/test_env.h"
+
+namespace unicore {
+namespace {
+
+using testing::SingleSite;
+
+TEST(Lifecycle, SaveReloadModifyResubmit) {
+  SingleSite site(31);
+  auto client = site.make_client();
+  client->connect(site.address(), [](util::Status) {});
+  site.grid.engine().run();
+
+  auto job = testing::make_cle_job(site.user.certificate.subject,
+                                   SingleSite::kUsite, SingleSite::kVsite)
+                 .value();
+
+  // First submission.
+  ajo::JobToken first = 0;
+  client->submit(job, [&](util::Result<ajo::JobToken> r) {
+    first = r.value();
+  });
+  site.grid.engine().run();
+
+  // Save to the workstation disk, reload, modify, resubmit (§5.7).
+  std::string path = ::testing::TempDir() + "/resubmit.uj";
+  ASSERT_TRUE(client::save_job(path, job).ok());
+  auto reloaded = client::load_job(path);
+  ASSERT_TRUE(reloaded.ok());
+  reloaded.value().set_name("resubmitted run");
+
+  ajo::JobToken second = 0;
+  client->submit(reloaded.value(), [&](util::Result<ajo::JobToken> r) {
+    second = r.value();
+  });
+  site.grid.engine().run();
+  EXPECT_NE(second, 0u);
+  EXPECT_NE(second, first);
+
+  // Both jobs finished; the JMC lists two entries.
+  std::vector<client::JobEntry> entries;
+  client->list([&](util::Result<std::vector<client::JobEntry>> r) {
+    entries = std::move(r.value());
+  });
+  site.grid.engine().run();
+  ASSERT_EQ(entries.size(), 2u);
+  for (const auto& entry : entries)
+    EXPECT_EQ(entry.status, ajo::ActionStatus::kSuccessful);
+  std::remove(path.c_str());
+}
+
+TEST(Lifecycle, ThreeLevelNestedJobTree) {
+  SingleSite site(32);
+  gateway::AuthenticatedUser auth{site.user.certificate.subject,
+                                  SingleSite::kLogin,
+                                  {"project-a"}};
+
+  auto leaf_task = [](const std::string& name) {
+    auto task = std::make_unique<ajo::ExecuteScriptTask>();
+    task->set_name(name);
+    task->script = "true\n";
+    task->set_resource_request({1, 600, 64, 0, 8});
+    task->behavior.nominal_seconds = 1;
+    return task;
+  };
+
+  ajo::AbstractJobObject root;
+  root.set_name("level-0");
+  root.vsite = SingleSite::kVsite;
+  root.user = site.user.certificate.subject;
+  root.add(leaf_task("t0"));
+  auto level1 = std::make_unique<ajo::AbstractJobObject>();
+  level1->set_name("level-1");
+  level1->vsite = SingleSite::kVsite;
+  level1->user = site.user.certificate.subject;
+  level1->add(leaf_task("t1"));
+  auto level2 = std::make_unique<ajo::AbstractJobObject>();
+  level2->set_name("level-2");
+  level2->vsite = SingleSite::kVsite;
+  level2->user = site.user.certificate.subject;
+  level2->add(leaf_task("t2"));
+  level2->add(leaf_task("t3"));
+  level1->add(std::move(level2));
+  root.add(std::move(level1));
+  ASSERT_EQ(root.depth(), 3u);
+
+  bool done = false;
+  ajo::Outcome final_outcome;
+  auto token = site.server->njs().consign(
+      root, auth, site.user.certificate,
+      [&](ajo::JobToken, const ajo::Outcome& outcome) {
+        done = true;
+        final_outcome = outcome;
+      });
+  ASSERT_TRUE(token.ok());
+  site.grid.engine().run();
+  ASSERT_TRUE(done);
+  EXPECT_EQ(final_outcome.status, ajo::ActionStatus::kSuccessful)
+      << final_outcome.to_tree_string();
+  // The outcome tree mirrors the nesting.
+  ASSERT_EQ(final_outcome.children.size(), 2u);
+  const ajo::Outcome& nested = final_outcome.children[1];
+  ASSERT_EQ(nested.children.size(), 2u);
+  EXPECT_EQ(nested.children[1].children.size(), 2u);
+}
+
+TEST(Lifecycle, GridWideRevocationTakesEffectEverywhere) {
+  grid::Grid grid(33);
+  grid::make_german_testbed(grid);
+  crypto::Credential user =
+      grid::add_testbed_user(grid, "Jane Doe", "j@e.de");
+  grid.revoke_certificate(user.certificate.serial);
+
+  crypto::TrustStore trust = grid.make_trust_store();
+  for (const std::string& name : grid.sites()) {
+    client::UnicoreClient::Config config;
+    config.host = "ws.example.de";
+    config.user = user;
+    config.trust = &trust;
+    client::UnicoreClient client(grid.engine(), grid.network(), grid.rng(),
+                                 config);
+    util::Status status = util::Status::ok_status();
+    client.connect(grid.site(name)->address(),
+                   [&](util::Status s) { status = s; });
+    grid.engine().run();
+    EXPECT_FALSE(status.ok()) << name;
+  }
+}
+
+TEST(Lifecycle, AppletVersionBumpVisibleOnNextFetch) {
+  SingleSite site(34);
+  auto client = site.make_client();
+  client->connect(site.address(), [](util::Status) {});
+  site.grid.engine().run();
+
+  std::uint32_t version = 0;
+  client->fetch_bundle("JPA", [&](util::Result<crypto::SoftwareBundle> b) {
+    version = b.value().version;
+  });
+  site.grid.engine().run();
+  EXPECT_EQ(version, 1u);
+
+  // The consortium releases version 2; the very next connect/fetch sees
+  // it — "the users always work with the latest version" (§4.1).
+  site.grid.publish_client_software(2);
+  client->fetch_bundle("JPA", [&](util::Result<crypto::SoftwareBundle> b) {
+    version = b.value().version;
+  });
+  site.grid.engine().run();
+  EXPECT_EQ(version, 2u);
+}
+
+TEST(Lifecycle, AccountingAccumulatesAcrossJobs) {
+  SingleSite site(35);
+  auto client = site.make_client();
+  client->connect(site.address(), [](util::Status) {});
+  site.grid.engine().run();
+
+  auto job = testing::make_cle_job(site.user.certificate.subject,
+                                   SingleSite::kUsite, SingleSite::kVsite)
+                 .value();
+  for (int i = 0; i < 2; ++i) {
+    client->submit(job, [](util::Result<ajo::JobToken>) {});
+    site.grid.engine().run();
+  }
+  const auto& accounting = site.server->njs().accounting();
+  ASSERT_EQ(accounting.count(SingleSite::kLogin), 1u);
+  // Each CLE run: ~(5+2)/0.6 s at 1 PE + 60/0.6 s at 8 PEs ≈ 811 s.
+  EXPECT_NEAR(accounting.at(SingleSite::kLogin), 2 * 811.6, 10.0);
+}
+
+}  // namespace
+}  // namespace unicore

@@ -1,0 +1,246 @@
+// Figure 2 end-to-end: multiple Usite servers exchanging job parts,
+// data, and control information. Exercises forwarded consignments,
+// staged dependency files, inter-Uspace transfers via the gateways, and
+// remote outcome collection.
+#include <gtest/gtest.h>
+
+#include "common/test_env.h"
+
+namespace unicore {
+namespace {
+
+/// A distributed pre-process -> main -> post-process pipeline across
+/// three testbed sites — exactly the motivating scenario of §1
+/// ("complex pre- and post-processing tasks which run best on another
+/// architecture than the main application").
+ajo::AbstractJobObject make_distributed_job(
+    const crypto::DistinguishedName& user) {
+  // Pre-processing at RUKA on the SP-2.
+  client::JobBuilder pre("preprocess");
+  pre.destination("RUKA", "SP2").account_group("project-a");
+  client::TaskOptions pre_options;
+  pre_options.resources = {4, 600, 128, 0, 32};
+  pre_options.behavior.nominal_seconds = 10;
+  pre_options.behavior.output_files = {{"mesh.dat", 4 << 20}};
+  pre.script("generate mesh", "./genmesh input.cfg > mesh.dat\n",
+             pre_options);
+
+  // Main computation at FZ Jülich on the T3E.
+  client::JobBuilder main_job("main computation");
+  main_job.destination("FZ-Juelich", "T3E-600").account_group("project-a");
+  client::TaskOptions main_options;
+  main_options.resources = {64, 7200, 4096, 0, 256};
+  main_options.behavior.nominal_seconds = 120;
+  main_options.behavior.stdout_text = "simulation complete\n";
+  main_options.behavior.output_files = {{"field.out", 16 << 20}};
+  main_job.script("simulate", "mpprun -n 64 ./solver mesh.dat\n",
+                  main_options);
+
+  // Post-processing at LRZ on the VPP700.
+  client::JobBuilder post("postprocess");
+  post.destination("LRZ", "VPP700").account_group("project-a");
+  client::TaskOptions post_options;
+  post_options.resources = {1, 1200, 512, 0, 64};
+  post_options.behavior.nominal_seconds = 15;
+  post_options.behavior.stdout_text = "visualization written\n";
+  post_options.behavior.output_files = {{"viz.ppm", 2 << 20}};
+  post.script("visualize", "./render field.out > viz.ppm\n", post_options);
+
+  client::JobBuilder root("distributed pipeline");
+  root.destination("FZ-Juelich", "");
+  root.account_group("project-a");
+  auto pre_id = root.add_subjob(pre.build(user).value());
+  auto main_id = root.add_subjob(main_job.build(user).value());
+  auto post_id = root.add_subjob(post.build(user).value());
+  root.after(pre_id, main_id, {"mesh.dat"});
+  root.after(main_id, post_id, {"field.out"});
+  return root.build(user).value();
+}
+
+struct Testbed : public ::testing::Test {
+  grid::Grid grid{7};
+  crypto::Credential user;
+  crypto::TrustStore trust;
+  std::unique_ptr<client::UnicoreClient> client;
+
+  void SetUp() override {
+    grid::make_german_testbed(grid);
+    user = grid::add_testbed_user(grid, "Erika Mustermann",
+                                  "erika@example.de");
+    trust = grid.make_trust_store();
+
+    client::UnicoreClient::Config config;
+    config.host = "ws.uni-koeln.de";
+    config.user = user;
+    config.trust = &trust;
+    client = std::make_unique<client::UnicoreClient>(
+        grid.engine(), grid.network(), grid.rng(), config);
+    client->connect(grid.site("FZ-Juelich")->address(),
+                    [](util::Status) {});
+    grid.engine().run();
+    ASSERT_TRUE(client->connected());
+  }
+
+  ajo::Outcome run_to_completion(const ajo::AbstractJobObject& job) {
+    ajo::JobToken token = 0;
+    client->submit(job, [&](util::Result<ajo::JobToken> result) {
+      EXPECT_TRUE(result.ok()) << result.error().to_string();
+      if (result.ok()) token = result.value();
+    });
+    grid.engine().run();
+    EXPECT_NE(token, 0u);
+
+    util::Result<ajo::Outcome> final_outcome =
+        util::make_error(util::ErrorCode::kInternal, "unset");
+    client->wait_for_completion(token, sim::sec(30),
+                                [&](util::Result<ajo::Outcome> outcome) {
+                                  final_outcome = std::move(outcome);
+                                });
+    grid.engine().run();
+    EXPECT_TRUE(final_outcome.ok());
+    return final_outcome.ok() ? final_outcome.value() : ajo::Outcome{};
+  }
+};
+
+TEST_F(Testbed, DistributedPipelineRunsAcrossThreeSites) {
+  ajo::Outcome outcome = run_to_completion(make_distributed_job(
+      user.certificate.subject));
+  EXPECT_EQ(outcome.status, ajo::ActionStatus::kSuccessful)
+      << outcome.to_tree_string();
+
+  // All three job groups succeeded; the two remote ones carry the
+  // outcome subtrees collected from their sites.
+  ASSERT_EQ(outcome.children.size(), 3u);
+  for (const ajo::Outcome& group : outcome.children) {
+    EXPECT_EQ(group.status, ajo::ActionStatus::kSuccessful)
+        << group.name << ": " << group.message;
+    ASSERT_FALSE(group.children.empty()) << group.name;
+  }
+
+  // The remote sites actually executed the work: their NJSs saw one
+  // consignment each.
+  EXPECT_EQ(grid.site("RUKA")->njs().jobs_consigned(), 1u);
+  EXPECT_EQ(grid.site("LRZ")->njs().jobs_consigned(), 1u);
+  // Jülich ran the root (the main sub-job is local to Jülich).
+  EXPECT_EQ(grid.site("FZ-Juelich")->njs().jobs_consigned(), 1u);
+}
+
+TEST_F(Testbed, SequencingRespectedAcrossSites) {
+  ajo::Outcome outcome = run_to_completion(make_distributed_job(
+      user.certificate.subject));
+  ASSERT_EQ(outcome.children.size(), 3u);
+  const ajo::Outcome& pre = outcome.children[0];
+  const ajo::Outcome& main_group = outcome.children[1];
+  const ajo::Outcome& post = outcome.children[2];
+  // Dependent parts executed in the predefined sequence (§5.5): each
+  // group finished before its successor started.
+  EXPECT_LE(pre.finished_at, main_group.finished_at);
+  EXPECT_LE(main_group.finished_at, post.finished_at);
+  EXPECT_GT(pre.finished_at, 0);
+}
+
+TEST_F(Testbed, FailurePropagatesToDependentRemoteGroups) {
+  // Make the pre-processing step fail; main and post must never run.
+  client::JobBuilder pre("preprocess");
+  pre.destination("RUKA", "SP2").account_group("project-a");
+  client::TaskOptions failing;
+  failing.resources = {4, 600, 128, 0, 32};
+  failing.behavior.nominal_seconds = 5;
+  failing.behavior.exit_code = 3;
+  failing.behavior.stderr_text = "genmesh: bad input\n";
+  pre.script("generate mesh", "./genmesh broken.cfg\n", failing);
+
+  client::JobBuilder main_job("main computation");
+  main_job.destination("FZ-Juelich", "T3E-600").account_group("project-a");
+  client::TaskOptions ok_options;
+  ok_options.resources = {8, 600, 256, 0, 32};
+  ok_options.behavior.nominal_seconds = 10;
+  main_job.script("simulate", "./solver\n", ok_options);
+
+  client::JobBuilder root("failing pipeline");
+  root.destination("FZ-Juelich", "");
+  root.account_group("project-a");
+  auto pre_id = root.add_subjob(pre.build(user.certificate.subject).value());
+  auto main_id =
+      root.add_subjob(main_job.build(user.certificate.subject).value());
+  root.after(pre_id, main_id, {"mesh.dat"});
+
+  ajo::Outcome outcome =
+      run_to_completion(root.build(user.certificate.subject).value());
+  EXPECT_EQ(outcome.status, ajo::ActionStatus::kNotSuccessful);
+  ASSERT_EQ(outcome.children.size(), 2u);
+  EXPECT_EQ(outcome.children[0].status, ajo::ActionStatus::kNotSuccessful);
+  EXPECT_EQ(outcome.children[1].status, ajo::ActionStatus::kNeverRun);
+}
+
+TEST_F(Testbed, UserCanContactAnyUnicoreServer) {
+  // "...to allow the user to contact any UNICORE server" (§4.3): the
+  // same certificate works at RUS, where the login differs.
+  client::UnicoreClient::Config config;
+  config.host = "ws.uni-koeln.de";
+  config.user = user;
+  config.trust = &trust;
+  client::UnicoreClient stuttgart(grid.engine(), grid.network(), grid.rng(),
+                                  config);
+  stuttgart.connect(grid.site("RUS")->address(), [](util::Status) {});
+  grid.engine().run();
+  ASSERT_TRUE(stuttgart.connected());
+
+  client::JobBuilder builder("stuttgart job");
+  builder.destination("RUS", "SX-4").account_group("project-b");
+  client::TaskOptions options;
+  options.resources = {2, 300, 512, 0, 16};
+  options.behavior.nominal_seconds = 4;
+  options.behavior.stdout_text = "ok\n";
+  builder.script("vector job", "./vector_code\n", options);
+  auto job = builder.build(user.certificate.subject);
+  ASSERT_TRUE(job.ok());
+
+  ajo::JobToken token = 0;
+  stuttgart.submit(job.value(), [&](util::Result<ajo::JobToken> result) {
+    ASSERT_TRUE(result.ok()) << result.error().to_string();
+    token = result.value();
+  });
+  grid.engine().run();
+
+  util::Result<ajo::Outcome> outcome =
+      util::make_error(util::ErrorCode::kInternal, "unset");
+  stuttgart.wait_for_completion(token, sim::sec(10),
+                                [&](util::Result<ajo::Outcome> o) {
+                                  outcome = std::move(o);
+                                });
+  grid.engine().run();
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value().status, ajo::ActionStatus::kSuccessful)
+      << outcome.value().to_tree_string();
+}
+
+TEST_F(Testbed, AbortKillsRemoteGroups) {
+  ajo::AbstractJobObject job =
+      make_distributed_job(user.certificate.subject);
+  ajo::JobToken token = 0;
+  client->submit(job, [&](util::Result<ajo::JobToken> result) {
+    token = result.value();
+  });
+  grid.engine().run_until(grid.engine().now() + sim::sec(5));
+  ASSERT_NE(token, 0u);
+
+  util::Status aborted = util::make_error(util::ErrorCode::kInternal, "x");
+  client->control(token, ajo::ControlService::Command::kAbort,
+                  [&](util::Status status) { aborted = status; });
+  grid.engine().run();
+  EXPECT_TRUE(aborted.ok()) << aborted.to_string();
+
+  util::Result<ajo::Outcome> outcome =
+      util::make_error(util::ErrorCode::kInternal, "unset");
+  client->query(token, ajo::QueryService::Detail::kTasks,
+                [&](util::Result<ajo::Outcome> o) { outcome = std::move(o); });
+  grid.engine().run();
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(ajo::is_terminal(outcome.value().status))
+      << outcome.value().to_tree_string();
+  EXPECT_EQ(outcome.value().status, ajo::ActionStatus::kAborted);
+}
+
+}  // namespace
+}  // namespace unicore

@@ -1,0 +1,127 @@
+// §5.3 robustness: "By minimizing the length of time that an interaction
+// takes the asynchronous protocol protects against any unreliability of
+// the underlying communication mechanism." These tests run the client
+// over lossy links: individual interactions may fail, but short
+// retried interactions eventually succeed, and consigned jobs keep
+// running server-side regardless of the client's connection.
+#include <gtest/gtest.h>
+
+#include "common/test_env.h"
+
+namespace unicore {
+namespace {
+
+using testing::SingleSite;
+
+client::JobBuilder tiny_job_builder() {
+  client::JobBuilder builder("tiny");
+  builder.destination(SingleSite::kUsite, SingleSite::kVsite)
+      .account_group("project-a");
+  client::TaskOptions options;
+  options.behavior.nominal_seconds = 2;
+  options.behavior.stdout_text = "done\n";
+  builder.script("noop", "true\n", options);
+  return builder;
+}
+
+TEST(Unreliable, SubmitWithRetrySurvivesLossyLink) {
+  SingleSite site(/*seed=*/21);
+  // 10% per-message loss between the workstation and the gateway.
+  net::LinkProfile lossy;
+  lossy.latency = sim::msec(20);
+  lossy.bandwidth_bytes_per_sec = 1e6;
+  lossy.loss_probability = 0.10;
+  site.grid.network().set_link("ws.example.de", "gw.fz-juelich.de", lossy);
+
+  auto client = site.make_client();
+  // Short per-request timeout so lost messages fail fast.
+  // (Config is copied at construction; rebuild the client instead.)
+  client::UnicoreClient::Config config;
+  config.host = "ws.example.de";
+  config.user = site.user;
+  config.trust = &site.client_trust;
+  config.request_timeout = sim::sec(5);
+  client::UnicoreClient lossy_client(site.grid.engine(), site.grid.network(),
+                                     site.grid.rng(), config);
+
+  // Connection establishment may itself need several tries.
+  bool connected = false;
+  for (int attempt = 0; attempt < 20 && !connected; ++attempt) {
+    lossy_client.connect(site.address(),
+                         [&](util::Status status) { connected = status.ok(); });
+    site.grid.engine().run();
+  }
+  ASSERT_TRUE(connected);
+
+  auto job = tiny_job_builder().build(site.user.certificate.subject);
+  ASSERT_TRUE(job.ok());
+  util::Result<ajo::JobToken> token =
+      util::make_error(util::ErrorCode::kInternal, "unset");
+  lossy_client.submit_with_retry(job.value(), /*attempts=*/25,
+                                 [&](util::Result<ajo::JobToken> result) {
+                                   token = std::move(result);
+                                 });
+  site.grid.engine().run();
+  ASSERT_TRUE(token.ok()) << token.error().to_string();
+  EXPECT_GE(lossy_client.requests_sent(), 1u);
+}
+
+TEST(Unreliable, ConsignedJobRunsEvenIfClientDisconnects) {
+  SingleSite site(/*seed=*/22);
+  auto client = site.make_client();
+  client->connect(site.address(), [](util::Status) {});
+  site.grid.engine().run();
+
+  auto job = tiny_job_builder().build(site.user.certificate.subject);
+  ajo::JobToken token = 0;
+  client->submit(job.value(), [&](util::Result<ajo::JobToken> result) {
+    token = result.value();
+  });
+  site.grid.engine().run_until(site.grid.engine().now() + sim::msec(600));
+  ASSERT_NE(token, 0u);
+
+  // The user walks away: close the JPA connection entirely.
+  client->disconnect();
+  site.grid.engine().run();
+
+  // The job finished server-side (asynchronous batch processing).
+  auto outcome = site.server->njs().query(
+      token, ajo::QueryService::Detail::kSummary);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value().status, ajo::ActionStatus::kSuccessful);
+
+  // Reconnecting later retrieves the result — §5.6's poll model.
+  auto again = site.make_client();
+  again->connect(site.address(), [](util::Status) {});
+  site.grid.engine().run();
+  util::Result<ajo::Outcome> fetched =
+      util::make_error(util::ErrorCode::kInternal, "unset");
+  again->query(token, ajo::QueryService::Detail::kTasks,
+               [&](util::Result<ajo::Outcome> o) { fetched = std::move(o); });
+  site.grid.engine().run();
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(fetched.value().status, ajo::ActionStatus::kSuccessful);
+}
+
+TEST(Unreliable, HandshakeTimesOutOnDeadLink) {
+  SingleSite site(/*seed=*/23);
+  net::LinkProfile dead;
+  dead.latency = sim::msec(20);
+  dead.loss_probability = 1.0;  // everything is lost
+  site.grid.network().set_link("ws.example.de", "gw.fz-juelich.de", dead);
+
+  auto client = site.make_client();
+  util::Status status = util::Status::ok_status();
+  bool called = false;
+  client->connect(site.address(), [&](util::Status s) {
+    status = s;
+    called = true;
+  });
+  site.grid.engine().run();
+  ASSERT_TRUE(called);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, util::ErrorCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace unicore

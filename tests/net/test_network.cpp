@@ -1,0 +1,210 @@
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+namespace unicore::net {
+namespace {
+
+struct NetworkFixture : public ::testing::Test {
+  sim::Engine engine;
+  Network network{engine, util::Rng(1)};
+};
+
+TEST_F(NetworkFixture, ConnectRefusedWithoutListener) {
+  auto endpoint = network.connect("a", {"b", 80});
+  ASSERT_FALSE(endpoint.ok());
+  EXPECT_EQ(endpoint.error().code, util::ErrorCode::kUnavailable);
+}
+
+TEST_F(NetworkFixture, MessageDeliveredWithLatency) {
+  LinkProfile link;
+  link.latency = sim::msec(10);
+  link.bandwidth_bytes_per_sec = 0;  // disable serialization delay
+  network.set_link("a", "b", link);
+
+  std::shared_ptr<Endpoint> server;
+  ASSERT_TRUE(network.listen({"b", 80}, [&](std::shared_ptr<Endpoint> e) {
+    server = std::move(e);
+  }).ok());
+  auto client = network.connect("a", {"b", 80});
+  ASSERT_TRUE(client.ok());
+  ASSERT_NE(server, nullptr);
+
+  sim::Time arrival = -1;
+  server->set_receiver([&](util::Bytes&& message) {
+    arrival = engine.now();
+    EXPECT_EQ(util::to_string(message), "ping");
+  });
+  client.value()->send(util::to_bytes("ping"));
+  engine.run();
+  EXPECT_EQ(arrival, sim::msec(10));
+}
+
+TEST_F(NetworkFixture, BandwidthAddsSerializationDelay) {
+  LinkProfile link;
+  link.latency = 0;
+  link.bandwidth_bytes_per_sec = 1'000'000;  // 1 MB/s
+  network.set_link("a", "b", link);
+
+  std::shared_ptr<Endpoint> server;
+  (void)network.listen({"b", 80}, [&](std::shared_ptr<Endpoint> e) {
+    server = std::move(e);
+  });
+  auto client = network.connect("a", {"b", 80});
+  ASSERT_TRUE(client.ok());
+
+  sim::Time arrival = -1;
+  server->set_receiver([&](util::Bytes&&) { arrival = engine.now(); });
+  client.value()->send(util::Bytes(500'000, 0));  // 0.5 MB -> 0.5 s
+  engine.run();
+  EXPECT_EQ(arrival, sim::from_seconds(0.5));
+}
+
+TEST_F(NetworkFixture, FifoOrderPreservedPerDirection) {
+  std::shared_ptr<Endpoint> server;
+  (void)network.listen({"b", 80}, [&](std::shared_ptr<Endpoint> e) {
+    server = std::move(e);
+  });
+  auto client = network.connect("a", {"b", 80});
+  ASSERT_TRUE(client.ok());
+
+  std::vector<std::size_t> sizes;
+  server->set_receiver(
+      [&](util::Bytes&& message) { sizes.push_back(message.size()); });
+  // A large message followed by a tiny one: the tiny one must not
+  // overtake despite its smaller serialization time.
+  client.value()->send(util::Bytes(4'000'000, 0));
+  client.value()->send(util::Bytes(10, 0));
+  engine.run();
+  ASSERT_EQ(sizes.size(), 2u);
+  EXPECT_EQ(sizes[0], 4'000'000u);
+  EXPECT_EQ(sizes[1], 10u);
+}
+
+TEST_F(NetworkFixture, MessagesQueueUntilReceiverSet) {
+  std::shared_ptr<Endpoint> server;
+  (void)network.listen({"b", 80}, [&](std::shared_ptr<Endpoint> e) {
+    server = std::move(e);
+  });
+  auto client = network.connect("a", {"b", 80});
+  client.value()->send(util::to_bytes("early"));
+  engine.run();  // delivered into the inbox
+
+  std::string received;
+  server->set_receiver([&](util::Bytes&& message) {
+    received = util::to_string(message);
+  });
+  EXPECT_EQ(received, "early");
+}
+
+TEST_F(NetworkFixture, LossDropsMessages) {
+  LinkProfile lossy;
+  lossy.loss_probability = 1.0;
+  network.set_link("a", "b", lossy);
+  std::shared_ptr<Endpoint> server;
+  (void)network.listen({"b", 80}, [&](std::shared_ptr<Endpoint> e) {
+    server = std::move(e);
+  });
+  auto client = network.connect("a", {"b", 80});
+  bool received = false;
+  server->set_receiver([&](util::Bytes&&) { received = true; });
+  for (int i = 0; i < 20; ++i) client.value()->send(util::to_bytes("x"));
+  engine.run();
+  EXPECT_FALSE(received);
+  EXPECT_EQ(network.messages_dropped(), 20u);
+}
+
+TEST_F(NetworkFixture, PartialLossStatistics) {
+  LinkProfile lossy;
+  lossy.loss_probability = 0.3;
+  network.set_link("a", "b", lossy);
+  std::shared_ptr<Endpoint> server;
+  (void)network.listen({"b", 80}, [&](std::shared_ptr<Endpoint> e) {
+    server = std::move(e);
+  });
+  auto client = network.connect("a", {"b", 80});
+  int received = 0;
+  server->set_receiver([&](util::Bytes&&) { ++received; });
+  for (int i = 0; i < 1000; ++i) client.value()->send(util::to_bytes("x"));
+  engine.run();
+  EXPECT_NEAR(received, 700, 60);
+}
+
+TEST_F(NetworkFixture, CloseNotifiesPeer) {
+  std::shared_ptr<Endpoint> server;
+  (void)network.listen({"b", 80}, [&](std::shared_ptr<Endpoint> e) {
+    server = std::move(e);
+  });
+  auto client = network.connect("a", {"b", 80});
+  bool closed = false;
+  server->set_close_handler([&] { closed = true; });
+  client.value()->close();
+  engine.run();
+  EXPECT_TRUE(closed);
+  EXPECT_FALSE(server->is_open());
+  EXPECT_FALSE(client.value()->is_open());
+}
+
+TEST_F(NetworkFixture, SendAfterCloseIsDropped) {
+  std::shared_ptr<Endpoint> server;
+  (void)network.listen({"b", 80}, [&](std::shared_ptr<Endpoint> e) {
+    server = std::move(e);
+  });
+  auto client = network.connect("a", {"b", 80});
+  int received = 0;
+  server->set_receiver([&](util::Bytes&&) { ++received; });
+  client.value()->close();
+  client.value()->send(util::to_bytes("late"));
+  engine.run();
+  EXPECT_EQ(received, 0);
+}
+
+TEST_F(NetworkFixture, DuplicateListenerRejected) {
+  ASSERT_TRUE(network.listen({"b", 80}, [](std::shared_ptr<Endpoint>) {}).ok());
+  EXPECT_FALSE(network.listen({"b", 80}, [](std::shared_ptr<Endpoint>) {}).ok());
+  network.close_listener({"b", 80});
+  EXPECT_TRUE(network.listen({"b", 80}, [](std::shared_ptr<Endpoint>) {}).ok());
+}
+
+TEST_F(NetworkFixture, LoopbackIsFast) {
+  const LinkProfile& loop = network.link_between("a", "a");
+  EXPECT_LT(loop.latency, sim::msec(1));
+  EXPECT_EQ(loop.loss_probability, 0.0);
+}
+
+TEST(Firewall, DefaultAllows) {
+  Firewall fw;
+  EXPECT_TRUE(fw.permits("anyone", 1234));
+}
+
+TEST(Firewall, DenyAllBlocksEverything) {
+  Firewall fw;
+  fw.deny_all();
+  EXPECT_FALSE(fw.permits("anyone", 1234));
+}
+
+TEST(Firewall, RulesWhitelist) {
+  Firewall fw;
+  fw.allow("gw.site.de", 7700);
+  EXPECT_TRUE(fw.permits("gw.site.de", 7700));
+  EXPECT_FALSE(fw.permits("gw.site.de", 7701));
+  EXPECT_FALSE(fw.permits("evil.com", 7700));
+}
+
+TEST(Firewall, WildcardSource) {
+  Firewall fw;
+  fw.allow_from_any(443);
+  EXPECT_TRUE(fw.permits("anyone", 443));
+  EXPECT_FALSE(fw.permits("anyone", 80));
+}
+
+TEST_F(NetworkFixture, FirewallBlocksConnect) {
+  (void)network.listen({"b", 80}, [](std::shared_ptr<Endpoint>) {});
+  network.firewall("b").deny_all();
+  network.firewall("b").allow("friend", 80);
+  EXPECT_FALSE(network.connect("stranger", {"b", 80}).ok());
+  EXPECT_TRUE(network.connect("friend", {"b", 80}).ok());
+}
+
+}  // namespace
+}  // namespace unicore::net

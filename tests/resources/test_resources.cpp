@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "resources/resource_page.h"
+#include "resources/resource_set.h"
+
+namespace unicore::resources {
+namespace {
+
+TEST(ResourceSet, FitsWithin) {
+  ResourceSet min{1, 60, 32, 0, 0};
+  ResourceSet max{128, 86'400, 4'096, 1'024, 2'048};
+  EXPECT_TRUE((ResourceSet{8, 3'600, 512, 0, 100}).fits_within(min, max));
+  EXPECT_FALSE((ResourceSet{256, 3'600, 512, 0, 100}).fits_within(min, max));
+  EXPECT_FALSE((ResourceSet{8, 30, 512, 0, 100}).fits_within(min, max));
+  // Boundary values are inclusive.
+  EXPECT_TRUE((ResourceSet{128, 86'400, 4'096, 1'024, 2'048})
+                  .fits_within(min, max));
+  EXPECT_TRUE((ResourceSet{1, 60, 32, 0, 0}).fits_within(min, max));
+}
+
+TEST(ResourceSet, ElementMax) {
+  ResourceSet a{1, 100, 64, 5, 10};
+  ResourceSet b{4, 50, 128, 0, 20};
+  ResourceSet m = a.element_max(b);
+  EXPECT_EQ(m, (ResourceSet{4, 100, 128, 5, 20}));
+}
+
+TEST(ResourceSet, Asn1RoundTrip) {
+  ResourceSet r{16, 7'200, 1'024, 100, 200};
+  auto back = ResourceSet::from_asn1(r.to_asn1());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), r);
+}
+
+TEST(ResourceSet, Asn1RejectsMalformed) {
+  EXPECT_FALSE(ResourceSet::from_asn1(asn1::Value::integer(1)).ok());
+  EXPECT_FALSE(
+      ResourceSet::from_asn1(asn1::Value::sequence({asn1::Value::integer(1)}))
+          .ok());
+}
+
+ResourcePage sample_page() {
+  ResourcePageEditor editor;
+  editor.usite("FZ-Juelich")
+      .vsite("T3E-600")
+      .architecture(Architecture::kCrayT3E)
+      .operating_system("UNICOS/mk")
+      .peak_gflops(307.2)
+      .node_count(512)
+      .minimum({1, 60, 1, 0, 0})
+      .maximum({512, 43'200, 65'536, 10'240, 10'240})
+      .add_software(SoftwareKind::kCompiler, "f90", "3.1")
+      .add_software(SoftwareKind::kLibrary, "mpi", "1.2")
+      .add_software(SoftwareKind::kPackage, "Gaussian", "94");
+  auto page = editor.build();
+  EXPECT_TRUE(page.ok());
+  return page.value();
+}
+
+TEST(ResourcePage, AdmitsWithinWindow) {
+  ResourcePage page = sample_page();
+  EXPECT_TRUE(page.admits({128, 3'600, 8'192, 0, 512}).ok());
+}
+
+TEST(ResourcePage, RejectsNamingTheViolatedDimension) {
+  ResourcePage page = sample_page();
+  auto status = page.admits({1024, 3'600, 8'192, 0, 512});
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.error().message.find("processors"), std::string::npos);
+
+  status = page.admits({8, 100'000, 8'192, 0, 512});
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.error().message.find("wallclock"), std::string::npos);
+
+  status = page.admits({8, 3'600, 8'192, 0, 100'000});
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.error().message.find("temporary_disk"), std::string::npos);
+}
+
+TEST(ResourcePage, SoftwareCatalogue) {
+  ResourcePage page = sample_page();
+  EXPECT_TRUE(page.has_software(SoftwareKind::kCompiler, "f90"));
+  EXPECT_TRUE(page.has_software(SoftwareKind::kPackage, "Gaussian"));
+  EXPECT_FALSE(page.has_software(SoftwareKind::kPackage, "Ansys"));
+  // Kind matters: f90 is a compiler, not a package.
+  EXPECT_FALSE(page.has_software(SoftwareKind::kPackage, "f90"));
+  const SoftwareItem* item =
+      page.find_software(SoftwareKind::kLibrary, "mpi");
+  ASSERT_NE(item, nullptr);
+  EXPECT_EQ(item->version, "1.2");
+}
+
+TEST(ResourcePage, DerRoundTrip) {
+  ResourcePage page = sample_page();
+  util::Bytes der = page.encode();
+  auto back = ResourcePage::decode(der);
+  ASSERT_TRUE(back.ok()) << back.error().to_string();
+  EXPECT_EQ(back.value(), page);
+}
+
+TEST(ResourcePage, DecodeRejectsGarbage) {
+  EXPECT_FALSE(ResourcePage::decode(util::to_bytes("junk")).ok());
+  EXPECT_FALSE(
+      ResourcePage::from_asn1(asn1::Value::sequence({asn1::Value::null()}))
+          .ok());
+}
+
+TEST(ResourcePageEditor, RejectsInvalidPages) {
+  // Missing names.
+  EXPECT_FALSE(ResourcePageEditor{}.build().ok());
+  // min > max.
+  ResourcePageEditor editor;
+  editor.usite("U").vsite("V").minimum({10, 1, 1, 0, 0}).maximum(
+      {1, 1, 1, 0, 0});
+  EXPECT_FALSE(editor.build().ok());
+  // node_count < 1.
+  ResourcePageEditor editor2;
+  editor2.usite("U").vsite("V").node_count(0);
+  EXPECT_FALSE(editor2.build().ok());
+}
+
+TEST(ResourcePage, ArchitectureNames) {
+  EXPECT_STREQ(architecture_name(Architecture::kCrayT3E), "Cray T3E");
+  EXPECT_STREQ(architecture_name(Architecture::kFujitsuVpp700),
+               "Fujitsu VPP/700");
+  EXPECT_STREQ(architecture_name(Architecture::kIbmSp2), "IBM SP-2");
+  EXPECT_STREQ(architecture_name(Architecture::kNecSx4), "NEC SX-4");
+}
+
+}  // namespace
+}  // namespace unicore::resources

@@ -1,0 +1,145 @@
+// Server request handling at the wire level: a hand-rolled secure
+// channel speaks raw envelopes to the gateway and checks the replies —
+// including malformed and unauthorized traffic.
+#include <gtest/gtest.h>
+
+#include "common/test_env.h"
+
+namespace unicore::server {
+namespace {
+
+using testing::SingleSite;
+
+struct RawClient {
+  SingleSite& site;
+  std::shared_ptr<net::SecureChannel> channel;
+  std::vector<util::Bytes> replies;
+
+  explicit RawClient(SingleSite& s, const crypto::Credential& credential)
+      : site(s) {
+    auto endpoint =
+        s.grid.network().connect("raw.example.de", s.address()).value();
+    net::SecureChannel::Config config;
+    config.credential = credential;
+    config.trust = &s.client_trust;
+    config.required_peer_usage = crypto::kUsageServerAuth;
+    channel = net::SecureChannel::as_client(
+        s.grid.engine(), s.grid.rng(), std::move(endpoint), config,
+        [](util::Status) {});
+    s.grid.engine().run();
+    channel->set_receiver(
+        [this](util::Bytes&& wire) { replies.push_back(std::move(wire)); });
+  }
+
+  /// Sends raw bytes and drains the engine.
+  void send(util::Bytes wire) {
+    channel->send(std::move(wire));
+    site.grid.engine().run();
+  }
+
+  /// Parses the last reply; returns (ok flag, remaining payload reader
+  /// consumed as error when !ok).
+  std::pair<bool, util::Error> last_reply_status() {
+    EXPECT_FALSE(replies.empty());
+    util::ByteReader r(replies.back());
+    EXPECT_EQ(static_cast<MessageType>(r.u8()), MessageType::kReply);
+    (void)r.u64();
+    bool ok = r.u8() != 0;
+    util::Error error;
+    if (!ok) error = decode_error(r);
+    return {ok, error};
+  }
+};
+
+TEST(ServerRequests, MalformedRequestIsDroppedNotFatal) {
+  SingleSite site(81);
+  RawClient raw(site, site.user);
+  raw.send(util::to_bytes("complete garbage"));
+  EXPECT_TRUE(raw.replies.empty());  // dropped
+  // The channel and the server survive: a valid request still works.
+  raw.send(make_request(RequestKind::kResourcePages, 1, {}));
+  ASSERT_EQ(raw.replies.size(), 1u);
+  EXPECT_TRUE(raw.last_reply_status().first);
+}
+
+TEST(ServerRequests, UnknownBundleYieldsNotFound) {
+  SingleSite site(82);
+  RawClient raw(site, site.user);
+  util::ByteWriter payload;
+  payload.str("NoSuchApplet");
+  raw.send(make_request(RequestKind::kGetBundle, 2, payload.bytes()));
+  auto [ok, error] = raw.last_reply_status();
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(error.code, util::ErrorCode::kNotFound);
+}
+
+TEST(ServerRequests, QueryForUnknownTokenFails) {
+  SingleSite site(83);
+  RawClient raw(site, site.user);
+  util::ByteWriter payload;
+  payload.u64(424242);
+  payload.u8(0);
+  raw.send(make_request(RequestKind::kQuery, 3, payload.bytes()));
+  auto [ok, error] = raw.last_reply_status();
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(error.code, util::ErrorCode::kNotFound);
+}
+
+TEST(ServerRequests, PeerOperationsRejectedForUserCertificates) {
+  // DeliverFile / FetchFile / PeerControl demand a *server* certificate;
+  // an ordinary user credential must be turned away.
+  SingleSite site(84);
+  RawClient raw(site, site.user);
+  util::ByteWriter payload;
+  payload.u64(1);
+  payload.str("x.dat");
+  uspace::FileBlob::from_string("x").encode(payload);
+  raw.send(make_request(RequestKind::kDeliverFile, 4, payload.bytes()));
+  auto [ok, error] = raw.last_reply_status();
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(error.code, util::ErrorCode::kPermissionDenied);
+}
+
+TEST(ServerRequests, ForwardConsignRejectedWithoutServerEndorsement) {
+  SingleSite site(85);
+  RawClient raw(site, site.user);
+
+  // A user fabricates a "forwarded" consignment endorsing it with their
+  // own (client-auth) certificate.
+  njs::ForwardedConsignment consignment;
+  consignment.job.set_name("forged");
+  consignment.job.vsite = SingleSite::kVsite;
+  consignment.job.user = site.user.certificate.subject;
+  auto task = std::make_unique<ajo::ExecuteScriptTask>();
+  task->script = "true\n";
+  consignment.job.add(std::move(task));
+  consignment.user_certificate = site.user.certificate;
+  consignment.consignor_certificate = site.user.certificate;
+  consignment.signature = crypto::sign_message(
+      site.user.key, njs::ForwardedConsignment::signing_input(
+                         consignment.job, consignment.user_certificate));
+
+  raw.send(make_request(RequestKind::kForwardConsign, 5,
+                        encode_forwarded(consignment)));
+  auto [ok, error] = raw.last_reply_status();
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(error.code, util::ErrorCode::kPermissionDenied);
+}
+
+TEST(ServerRequests, TruncatedPayloadGetsErrorNotCrash) {
+  SingleSite site(86);
+  RawClient raw(site, site.user);
+  // kQuery with a payload too short for token + detail.
+  util::ByteWriter payload;
+  payload.u8(7);
+  raw.send(make_request(RequestKind::kQuery, 6, payload.bytes()));
+  // Either a malformed-request error reply or a silent drop is
+  // acceptable; the server must stay alive.
+  raw.send(make_request(RequestKind::kResourcePages, 7, {}));
+  ASSERT_FALSE(raw.replies.empty());
+  util::ByteReader r(raw.replies.back());
+  EXPECT_EQ(static_cast<MessageType>(r.u8()), MessageType::kReply);
+}
+
+}  // namespace
+}  // namespace unicore::server

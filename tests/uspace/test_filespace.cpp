@@ -1,0 +1,162 @@
+#include "uspace/filespace.h"
+
+#include <gtest/gtest.h>
+
+namespace unicore::uspace {
+namespace {
+
+TEST(FileBlob, FromBytesChecksumsContent) {
+  FileBlob a = FileBlob::from_string("hello");
+  FileBlob b = FileBlob::from_string("hello");
+  FileBlob c = FileBlob::from_string("world");
+  EXPECT_EQ(a.size(), 5u);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.checksum(), c.checksum());
+  ASSERT_NE(a.bytes(), nullptr);
+  EXPECT_EQ(util::to_string(*a.bytes()), "hello");
+  EXPECT_FALSE(a.is_synthetic());
+}
+
+TEST(FileBlob, SyntheticIdentity) {
+  FileBlob a = FileBlob::synthetic(1 << 30, 42);
+  FileBlob b = FileBlob::synthetic(1 << 30, 42);
+  FileBlob c = FileBlob::synthetic(1 << 30, 43);
+  FileBlob d = FileBlob::synthetic((1 << 30) + 1, 42);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.checksum(), c.checksum());
+  EXPECT_NE(a.checksum(), d.checksum());
+  EXPECT_EQ(a.size(), 1u << 30);
+  EXPECT_EQ(a.bytes(), nullptr);  // no storage for a gigabyte
+  EXPECT_TRUE(a.is_synthetic());
+}
+
+TEST(FileBlob, SyntheticAndRealNeverCollide) {
+  // Domain separation: a synthetic blob's checksum differs from a real
+  // blob of equal size.
+  FileBlob synthetic = FileBlob::synthetic(5, 1);
+  FileBlob real = FileBlob::from_string("12345");
+  EXPECT_NE(synthetic.checksum(), real.checksum());
+}
+
+TEST(FileBlob, WireRoundTripBothKinds) {
+  for (FileBlob original :
+       {FileBlob::from_string("content"), FileBlob::synthetic(777, 9)}) {
+    util::ByteWriter w;
+    original.encode(w);
+    util::ByteReader r(w.bytes());
+    FileBlob back = FileBlob::decode(r);
+    EXPECT_EQ(back, original);
+    EXPECT_EQ(back.is_synthetic(), original.is_synthetic());
+    EXPECT_TRUE(r.done());
+  }
+}
+
+TEST(Volume, WriteReadRemove) {
+  Volume volume("scratch", 0);
+  ASSERT_TRUE(volume.write("a.dat", FileBlob::from_string("data")).ok());
+  EXPECT_TRUE(volume.exists("a.dat"));
+  auto read = volume.read("a.dat");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value().size(), 4u);
+  EXPECT_TRUE(volume.remove("a.dat").ok());
+  EXPECT_FALSE(volume.exists("a.dat"));
+  EXPECT_FALSE(volume.read("a.dat").ok());
+  EXPECT_FALSE(volume.remove("a.dat").ok());
+}
+
+TEST(Volume, QuotaEnforced) {
+  Volume volume("small", 100);
+  EXPECT_TRUE(volume.write("x", FileBlob::synthetic(60, 1)).ok());
+  auto status = volume.write("y", FileBlob::synthetic(50, 2));
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, util::ErrorCode::kResourceExhausted);
+  EXPECT_EQ(volume.used_bytes(), 60u);
+  // Exactly filling the quota is allowed.
+  EXPECT_TRUE(volume.write("y", FileBlob::synthetic(40, 2)).ok());
+  EXPECT_EQ(volume.used_bytes(), 100u);
+}
+
+TEST(Volume, ReplaceAccountsCorrectly) {
+  Volume volume("v", 100);
+  ASSERT_TRUE(volume.write("x", FileBlob::synthetic(80, 1)).ok());
+  // Replacing an 80-byte file with a 90-byte one fits: 90 <= 100.
+  EXPECT_TRUE(volume.write("x", FileBlob::synthetic(90, 2)).ok());
+  EXPECT_EQ(volume.used_bytes(), 90u);
+  EXPECT_EQ(volume.file_count(), 1u);
+  // Removing restores the budget.
+  ASSERT_TRUE(volume.remove("x").ok());
+  EXPECT_EQ(volume.used_bytes(), 0u);
+}
+
+TEST(Volume, ZeroQuotaMeansUnlimited) {
+  Volume volume("big", 0);
+  EXPECT_TRUE(volume.write("x", FileBlob::synthetic(1ULL << 40, 1)).ok());
+}
+
+TEST(Volume, ListWithPrefix) {
+  Volume volume("v", 0);
+  for (const char* path : {"runs/1/a", "runs/1/b", "runs/2/a", "other"})
+    ASSERT_TRUE(volume.write(path, FileBlob::from_string("x")).ok());
+  EXPECT_EQ(volume.list("runs/1/").size(), 2u);
+  EXPECT_EQ(volume.list("runs/").size(), 3u);
+  EXPECT_EQ(volume.list().size(), 4u);
+  EXPECT_TRUE(volume.list("nope").empty());
+  // Sorted output.
+  auto all = volume.list();
+  EXPECT_TRUE(std::is_sorted(all.begin(), all.end()));
+}
+
+TEST(Xspace, VolumeManagement) {
+  Xspace xspace;
+  auto home = xspace.create_volume("home", 0);
+  ASSERT_TRUE(home.ok());
+  EXPECT_FALSE(xspace.create_volume("home", 0).ok());  // duplicate
+  EXPECT_NE(xspace.find_volume("home"), nullptr);
+  EXPECT_EQ(xspace.find_volume("nope"), nullptr);
+  (void)xspace.create_volume("archive", 1000);
+  EXPECT_EQ(xspace.volume_names().size(), 2u);
+}
+
+TEST(CopyInOut, MovesDataAcrossTheUnicoreBoundary) {
+  Xspace xspace;
+  Volume* home = xspace.create_volume("home", 0).value();
+  ASSERT_TRUE(home->write("input.dat", FileBlob::from_string("payload")).ok());
+
+  Uspace uspace("job1", 0);
+  // Import: Xspace -> Uspace.
+  ASSERT_TRUE(copy_in(xspace, "home", "input.dat", uspace, "in.dat").ok());
+  ASSERT_TRUE(uspace.exists("in.dat"));
+  EXPECT_EQ(uspace.read("in.dat").value().checksum(),
+            home->read("input.dat").value().checksum());
+
+  // Export: Uspace -> Xspace.
+  ASSERT_TRUE(uspace.write("result.out", FileBlob::synthetic(999, 3)).ok());
+  ASSERT_TRUE(copy_out(uspace, "result.out", xspace, "home",
+                       "results/result.out")
+                  .ok());
+  EXPECT_TRUE(home->exists("results/result.out"));
+  EXPECT_EQ(home->read("results/result.out").value(),
+            uspace.read("result.out").value());
+}
+
+TEST(CopyInOut, ErrorsOnMissingPieces) {
+  Xspace xspace;
+  Uspace uspace("job", 0);
+  EXPECT_FALSE(copy_in(xspace, "nope", "x", uspace, "x").ok());
+  (void)xspace.create_volume("home", 0);
+  EXPECT_FALSE(copy_in(xspace, "home", "missing", uspace, "x").ok());
+  EXPECT_FALSE(copy_out(uspace, "missing", xspace, "home", "x").ok());
+  ASSERT_TRUE(uspace.write("f", FileBlob::from_string("x")).ok());
+  EXPECT_FALSE(copy_out(uspace, "f", xspace, "nope", "x").ok());
+}
+
+TEST(Uspace, QuotaAppliesToJobDirectory) {
+  Uspace uspace("job", 50);
+  EXPECT_TRUE(uspace.write("a", FileBlob::synthetic(50, 1)).ok());
+  EXPECT_FALSE(uspace.write("b", FileBlob::synthetic(1, 2)).ok());
+  EXPECT_EQ(uspace.quota_bytes(), 50u);
+  EXPECT_EQ(uspace.directory(), "job");
+}
+
+}  // namespace
+}  // namespace unicore::uspace

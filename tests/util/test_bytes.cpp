@@ -1,0 +1,124 @@
+#include "util/bytes.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace unicore::util {
+namespace {
+
+TEST(ByteWriter, FixedWidthBigEndian) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0102030405060708ULL);
+  const Bytes& b = w.bytes();
+  ASSERT_EQ(b.size(), 15u);
+  EXPECT_EQ(b[0], 0xab);
+  EXPECT_EQ(b[1], 0x12);
+  EXPECT_EQ(b[2], 0x34);
+  EXPECT_EQ(b[3], 0xde);
+  EXPECT_EQ(b[6], 0xef);
+  EXPECT_EQ(b[7], 0x01);
+  EXPECT_EQ(b[14], 0x08);
+}
+
+TEST(ByteRoundTrip, AllScalarTypes) {
+  ByteWriter w;
+  w.u8(200);
+  w.u16(65535);
+  w.u32(4'000'000'000u);
+  w.u64(std::numeric_limits<std::uint64_t>::max());
+  w.i64(-42);
+  w.f64(3.14159265358979);
+  w.boolean(true);
+  w.boolean(false);
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 200);
+  EXPECT_EQ(r.u16(), 65535);
+  EXPECT_EQ(r.u32(), 4'000'000'000u);
+  EXPECT_EQ(r.u64(), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159265358979);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_TRUE(r.done());
+}
+
+class VarintRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VarintRoundTrip, Exact) {
+  ByteWriter w;
+  w.varint(GetParam());
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.varint(), GetParam());
+  EXPECT_TRUE(r.done());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundaries, VarintRoundTrip,
+    ::testing::Values(0ULL, 1ULL, 127ULL, 128ULL, 129ULL, 16'383ULL,
+                      16'384ULL, 1ULL << 21, 1ULL << 28, 1ULL << 35,
+                      1ULL << 42, 1ULL << 49, 1ULL << 56, 1ULL << 63,
+                      std::numeric_limits<std::uint64_t>::max()));
+
+TEST(Varint, SmallValuesAreOneByte) {
+  for (std::uint64_t v = 0; v < 128; ++v) {
+    ByteWriter w;
+    w.varint(v);
+    EXPECT_EQ(w.size(), 1u) << v;
+  }
+}
+
+TEST(ByteReader, ThrowsOnTruncatedInput) {
+  ByteWriter w;
+  w.u32(5);
+  ByteReader r(w.bytes());
+  EXPECT_THROW(r.u64(), std::out_of_range);
+}
+
+TEST(ByteReader, ThrowsOnOversizedBlobLength) {
+  // A varint length far beyond the actual data must not allocate.
+  Bytes evil{0xff, 0xff, 0xff, 0xff, 0x0f};  // varint ~2^32
+  ByteReader r(evil);
+  EXPECT_THROW(r.blob(), std::out_of_range);
+}
+
+TEST(ByteRoundTrip, StringsAndBlobs) {
+  ByteWriter w;
+  w.str("");
+  w.str("hello, UNICORE");
+  w.blob(Bytes{1, 2, 3});
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.str(), "hello, UNICORE");
+  EXPECT_EQ(r.blob(), (Bytes{1, 2, 3}));
+}
+
+TEST(Hex, EncodeDecodeRoundTrip) {
+  Bytes data{0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(hex_encode(data), "0001abff");
+  EXPECT_EQ(hex_decode("0001abff"), data);
+  EXPECT_EQ(hex_decode("0001ABFF"), data);  // upper case accepted
+}
+
+TEST(Hex, RejectsMalformedInput) {
+  EXPECT_THROW(hex_decode("abc"), std::invalid_argument);   // odd length
+  EXPECT_THROW(hex_decode("zz"), std::invalid_argument);    // bad digit
+}
+
+TEST(ConstantTimeEqual, Semantics) {
+  Bytes a{1, 2, 3};
+  Bytes b{1, 2, 3};
+  Bytes c{1, 2, 4};
+  Bytes d{1, 2};
+  EXPECT_TRUE(constant_time_equal(a, b));
+  EXPECT_FALSE(constant_time_equal(a, c));
+  EXPECT_FALSE(constant_time_equal(a, d));
+  EXPECT_TRUE(constant_time_equal({}, {}));
+}
+
+}  // namespace
+}  // namespace unicore::util

@@ -1,0 +1,68 @@
+#include "util/result.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+namespace unicore::util {
+namespace {
+
+TEST(Result, HoldsValue) {
+  Result<int> r(5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 5);
+  EXPECT_EQ(r.value_or(9), 5);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(make_error(ErrorCode::kNotFound, "missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kNotFound);
+  EXPECT_EQ(r.error().message, "missing");
+  EXPECT_EQ(r.value_or(9), 9);
+}
+
+TEST(Result, ValueOnErrorThrows) {
+  Result<int> r(make_error(ErrorCode::kInternal, "x"));
+  EXPECT_THROW(r.value(), std::runtime_error);
+}
+
+TEST(Result, ErrorOnValueThrows) {
+  Result<int> r(1);
+  EXPECT_THROW(r.error(), std::runtime_error);
+}
+
+TEST(Result, MoveOnlyPayload) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> p = std::move(r).value();
+  EXPECT_EQ(*p, 7);
+}
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.to_string(), "ok");
+}
+
+TEST(Status, CarriesError) {
+  Status s(make_error(ErrorCode::kPermissionDenied, "no"));
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, ErrorCode::kPermissionDenied);
+  EXPECT_EQ(s.to_string(), "permission_denied: no");
+}
+
+TEST(ErrorCodeNames, AllDistinct) {
+  const ErrorCode codes[] = {
+      ErrorCode::kInvalidArgument,  ErrorCode::kNotFound,
+      ErrorCode::kPermissionDenied, ErrorCode::kAuthenticationFailed,
+      ErrorCode::kResourceExhausted, ErrorCode::kUnavailable,
+      ErrorCode::kFailedPrecondition, ErrorCode::kInternal};
+  std::set<std::string> names;
+  for (ErrorCode c : codes) names.insert(error_code_name(c));
+  EXPECT_EQ(names.size(), std::size(codes));
+}
+
+}  // namespace
+}  // namespace unicore::util
