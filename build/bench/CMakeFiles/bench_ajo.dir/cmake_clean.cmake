@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ajo.dir/bench_ajo.cpp.o"
+  "CMakeFiles/bench_ajo.dir/bench_ajo.cpp.o.d"
+  "bench_ajo"
+  "bench_ajo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ajo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_crypto.cpp" "bench/CMakeFiles/bench_crypto.dir/bench_crypto.cpp.o" "gcc" "bench/CMakeFiles/bench_crypto.dir/bench_crypto.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/grid/CMakeFiles/unicore_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/broker/CMakeFiles/unicore_broker.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/unicore_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/unicore_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/njs/CMakeFiles/unicore_njs.dir/DependInfo.cmake"
+  "/root/repo/build/src/gateway/CMakeFiles/unicore_gateway.dir/DependInfo.cmake"
+  "/root/repo/build/src/batch/CMakeFiles/unicore_batch.dir/DependInfo.cmake"
+  "/root/repo/build/src/uspace/CMakeFiles/unicore_uspace.dir/DependInfo.cmake"
+  "/root/repo/build/src/ajo/CMakeFiles/unicore_ajo.dir/DependInfo.cmake"
+  "/root/repo/build/src/resources/CMakeFiles/unicore_resources.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/unicore_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/unicore_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn1/CMakeFiles/unicore_asn1.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/unicore_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/unicore_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

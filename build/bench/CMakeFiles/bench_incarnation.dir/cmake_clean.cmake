@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_incarnation.dir/bench_incarnation.cpp.o"
+  "CMakeFiles/bench_incarnation.dir/bench_incarnation.cpp.o.d"
+  "bench_incarnation"
+  "bench_incarnation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_incarnation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

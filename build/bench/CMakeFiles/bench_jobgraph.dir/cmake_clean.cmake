@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_jobgraph.dir/bench_jobgraph.cpp.o"
+  "CMakeFiles/bench_jobgraph.dir/bench_jobgraph.cpp.o.d"
+  "bench_jobgraph"
+  "bench_jobgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_jobgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

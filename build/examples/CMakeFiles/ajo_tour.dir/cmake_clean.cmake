@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ajo_tour.dir/ajo_tour.cpp.o"
+  "CMakeFiles/ajo_tour.dir/ajo_tour.cpp.o.d"
+  "ajo_tour"
+  "ajo_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ajo_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

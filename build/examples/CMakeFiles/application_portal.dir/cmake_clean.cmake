@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/application_portal.dir/application_portal.cpp.o"
+  "CMakeFiles/application_portal.dir/application_portal.cpp.o.d"
+  "application_portal"
+  "application_portal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/application_portal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firewall_site.dir/firewall_site.cpp.o"
+  "CMakeFiles/firewall_site.dir/firewall_site.cpp.o.d"
+  "firewall_site"
+  "firewall_site.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firewall_site.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multisite_workflow.dir/multisite_workflow.cpp.o"
+  "CMakeFiles/multisite_workflow.dir/multisite_workflow.cpp.o.d"
+  "multisite_workflow"
+  "multisite_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multisite_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

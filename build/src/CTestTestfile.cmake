@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("asn1")
+subdirs("crypto")
+subdirs("net")
+subdirs("resources")
+subdirs("ajo")
+subdirs("uspace")
+subdirs("batch")
+subdirs("gateway")
+subdirs("njs")
+subdirs("server")
+subdirs("client")
+subdirs("broker")
+subdirs("grid")

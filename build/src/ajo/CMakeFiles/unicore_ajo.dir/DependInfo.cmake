@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ajo/codec.cpp" "src/ajo/CMakeFiles/unicore_ajo.dir/codec.cpp.o" "gcc" "src/ajo/CMakeFiles/unicore_ajo.dir/codec.cpp.o.d"
+  "/root/repo/src/ajo/generator.cpp" "src/ajo/CMakeFiles/unicore_ajo.dir/generator.cpp.o" "gcc" "src/ajo/CMakeFiles/unicore_ajo.dir/generator.cpp.o.d"
+  "/root/repo/src/ajo/job.cpp" "src/ajo/CMakeFiles/unicore_ajo.dir/job.cpp.o" "gcc" "src/ajo/CMakeFiles/unicore_ajo.dir/job.cpp.o.d"
+  "/root/repo/src/ajo/outcome.cpp" "src/ajo/CMakeFiles/unicore_ajo.dir/outcome.cpp.o" "gcc" "src/ajo/CMakeFiles/unicore_ajo.dir/outcome.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/unicore_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/resources/CMakeFiles/unicore_resources.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/unicore_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/unicore_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn1/CMakeFiles/unicore_asn1.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

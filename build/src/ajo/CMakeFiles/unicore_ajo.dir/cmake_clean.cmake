@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unicore_ajo.dir/codec.cpp.o"
+  "CMakeFiles/unicore_ajo.dir/codec.cpp.o.d"
+  "CMakeFiles/unicore_ajo.dir/generator.cpp.o"
+  "CMakeFiles/unicore_ajo.dir/generator.cpp.o.d"
+  "CMakeFiles/unicore_ajo.dir/job.cpp.o"
+  "CMakeFiles/unicore_ajo.dir/job.cpp.o.d"
+  "CMakeFiles/unicore_ajo.dir/outcome.cpp.o"
+  "CMakeFiles/unicore_ajo.dir/outcome.cpp.o.d"
+  "libunicore_ajo.a"
+  "libunicore_ajo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unicore_ajo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

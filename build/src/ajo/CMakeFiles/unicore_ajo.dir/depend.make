@@ -1,0 +1,2 @@
+# Empty dependencies file for unicore_ajo.
+# This may be replaced when dependencies are built.

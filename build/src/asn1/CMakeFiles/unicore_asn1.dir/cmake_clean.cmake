@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unicore_asn1.dir/der.cpp.o"
+  "CMakeFiles/unicore_asn1.dir/der.cpp.o.d"
+  "libunicore_asn1.a"
+  "libunicore_asn1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unicore_asn1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

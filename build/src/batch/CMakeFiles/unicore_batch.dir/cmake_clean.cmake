@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unicore_batch.dir/dialect.cpp.o"
+  "CMakeFiles/unicore_batch.dir/dialect.cpp.o.d"
+  "CMakeFiles/unicore_batch.dir/subsystem.cpp.o"
+  "CMakeFiles/unicore_batch.dir/subsystem.cpp.o.d"
+  "CMakeFiles/unicore_batch.dir/target_system.cpp.o"
+  "CMakeFiles/unicore_batch.dir/target_system.cpp.o.d"
+  "libunicore_batch.a"
+  "libunicore_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unicore_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unicore_broker.dir/broker.cpp.o"
+  "CMakeFiles/unicore_broker.dir/broker.cpp.o.d"
+  "CMakeFiles/unicore_broker.dir/grid_adapter.cpp.o"
+  "CMakeFiles/unicore_broker.dir/grid_adapter.cpp.o.d"
+  "libunicore_broker.a"
+  "libunicore_broker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unicore_broker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unicore_client.dir/app_templates.cpp.o"
+  "CMakeFiles/unicore_client.dir/app_templates.cpp.o.d"
+  "CMakeFiles/unicore_client.dir/client.cpp.o"
+  "CMakeFiles/unicore_client.dir/client.cpp.o.d"
+  "CMakeFiles/unicore_client.dir/job_builder.cpp.o"
+  "CMakeFiles/unicore_client.dir/job_builder.cpp.o.d"
+  "CMakeFiles/unicore_client.dir/job_store.cpp.o"
+  "CMakeFiles/unicore_client.dir/job_store.cpp.o.d"
+  "libunicore_client.a"
+  "libunicore_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unicore_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

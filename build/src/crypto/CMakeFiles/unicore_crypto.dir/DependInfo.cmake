@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/bundle.cpp" "src/crypto/CMakeFiles/unicore_crypto.dir/bundle.cpp.o" "gcc" "src/crypto/CMakeFiles/unicore_crypto.dir/bundle.cpp.o.d"
+  "/root/repo/src/crypto/cipher.cpp" "src/crypto/CMakeFiles/unicore_crypto.dir/cipher.cpp.o" "gcc" "src/crypto/CMakeFiles/unicore_crypto.dir/cipher.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/crypto/CMakeFiles/unicore_crypto.dir/hmac.cpp.o" "gcc" "src/crypto/CMakeFiles/unicore_crypto.dir/hmac.cpp.o.d"
+  "/root/repo/src/crypto/keys.cpp" "src/crypto/CMakeFiles/unicore_crypto.dir/keys.cpp.o" "gcc" "src/crypto/CMakeFiles/unicore_crypto.dir/keys.cpp.o.d"
+  "/root/repo/src/crypto/modmath.cpp" "src/crypto/CMakeFiles/unicore_crypto.dir/modmath.cpp.o" "gcc" "src/crypto/CMakeFiles/unicore_crypto.dir/modmath.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/unicore_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/unicore_crypto.dir/sha256.cpp.o.d"
+  "/root/repo/src/crypto/x509.cpp" "src/crypto/CMakeFiles/unicore_crypto.dir/x509.cpp.o" "gcc" "src/crypto/CMakeFiles/unicore_crypto.dir/x509.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/unicore_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn1/CMakeFiles/unicore_asn1.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unicore_crypto.dir/bundle.cpp.o"
+  "CMakeFiles/unicore_crypto.dir/bundle.cpp.o.d"
+  "CMakeFiles/unicore_crypto.dir/cipher.cpp.o"
+  "CMakeFiles/unicore_crypto.dir/cipher.cpp.o.d"
+  "CMakeFiles/unicore_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/unicore_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/unicore_crypto.dir/keys.cpp.o"
+  "CMakeFiles/unicore_crypto.dir/keys.cpp.o.d"
+  "CMakeFiles/unicore_crypto.dir/modmath.cpp.o"
+  "CMakeFiles/unicore_crypto.dir/modmath.cpp.o.d"
+  "CMakeFiles/unicore_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/unicore_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/unicore_crypto.dir/x509.cpp.o"
+  "CMakeFiles/unicore_crypto.dir/x509.cpp.o.d"
+  "libunicore_crypto.a"
+  "libunicore_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unicore_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

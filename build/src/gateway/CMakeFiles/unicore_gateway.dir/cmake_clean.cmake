@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unicore_gateway.dir/gateway.cpp.o"
+  "CMakeFiles/unicore_gateway.dir/gateway.cpp.o.d"
+  "CMakeFiles/unicore_gateway.dir/uudb.cpp.o"
+  "CMakeFiles/unicore_gateway.dir/uudb.cpp.o.d"
+  "libunicore_gateway.a"
+  "libunicore_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unicore_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

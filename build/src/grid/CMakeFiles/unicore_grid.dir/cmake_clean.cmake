@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unicore_grid.dir/grid.cpp.o"
+  "CMakeFiles/unicore_grid.dir/grid.cpp.o.d"
+  "CMakeFiles/unicore_grid.dir/testbed.cpp.o"
+  "CMakeFiles/unicore_grid.dir/testbed.cpp.o.d"
+  "libunicore_grid.a"
+  "libunicore_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unicore_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/network.cpp" "src/net/CMakeFiles/unicore_net.dir/network.cpp.o" "gcc" "src/net/CMakeFiles/unicore_net.dir/network.cpp.o.d"
+  "/root/repo/src/net/secure_channel.cpp" "src/net/CMakeFiles/unicore_net.dir/secure_channel.cpp.o" "gcc" "src/net/CMakeFiles/unicore_net.dir/secure_channel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/unicore_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/unicore_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/unicore_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn1/CMakeFiles/unicore_asn1.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unicore_net.dir/network.cpp.o"
+  "CMakeFiles/unicore_net.dir/network.cpp.o.d"
+  "CMakeFiles/unicore_net.dir/secure_channel.cpp.o"
+  "CMakeFiles/unicore_net.dir/secure_channel.cpp.o.d"
+  "libunicore_net.a"
+  "libunicore_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unicore_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

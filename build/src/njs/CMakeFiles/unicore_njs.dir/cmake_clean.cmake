@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unicore_njs.dir/incarnation.cpp.o"
+  "CMakeFiles/unicore_njs.dir/incarnation.cpp.o.d"
+  "CMakeFiles/unicore_njs.dir/njs.cpp.o"
+  "CMakeFiles/unicore_njs.dir/njs.cpp.o.d"
+  "libunicore_njs.a"
+  "libunicore_njs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unicore_njs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

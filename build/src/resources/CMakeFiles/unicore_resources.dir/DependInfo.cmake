@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/resources/resource_page.cpp" "src/resources/CMakeFiles/unicore_resources.dir/resource_page.cpp.o" "gcc" "src/resources/CMakeFiles/unicore_resources.dir/resource_page.cpp.o.d"
+  "/root/repo/src/resources/resource_set.cpp" "src/resources/CMakeFiles/unicore_resources.dir/resource_set.cpp.o" "gcc" "src/resources/CMakeFiles/unicore_resources.dir/resource_set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/unicore_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn1/CMakeFiles/unicore_asn1.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

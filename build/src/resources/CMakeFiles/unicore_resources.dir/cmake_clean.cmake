@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unicore_resources.dir/resource_page.cpp.o"
+  "CMakeFiles/unicore_resources.dir/resource_page.cpp.o.d"
+  "CMakeFiles/unicore_resources.dir/resource_set.cpp.o"
+  "CMakeFiles/unicore_resources.dir/resource_set.cpp.o.d"
+  "libunicore_resources.a"
+  "libunicore_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unicore_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unicore_server.dir/protocol.cpp.o"
+  "CMakeFiles/unicore_server.dir/protocol.cpp.o.d"
+  "CMakeFiles/unicore_server.dir/usite_server.cpp.o"
+  "CMakeFiles/unicore_server.dir/usite_server.cpp.o.d"
+  "libunicore_server.a"
+  "libunicore_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unicore_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

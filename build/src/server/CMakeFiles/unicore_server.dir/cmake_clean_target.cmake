@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libunicore_server.a"
+)

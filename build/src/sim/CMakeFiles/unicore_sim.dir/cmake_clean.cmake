@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unicore_sim.dir/engine.cpp.o"
+  "CMakeFiles/unicore_sim.dir/engine.cpp.o.d"
+  "libunicore_sim.a"
+  "libunicore_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unicore_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

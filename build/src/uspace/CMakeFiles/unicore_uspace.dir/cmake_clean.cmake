@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unicore_uspace.dir/blob.cpp.o"
+  "CMakeFiles/unicore_uspace.dir/blob.cpp.o.d"
+  "CMakeFiles/unicore_uspace.dir/filespace.cpp.o"
+  "CMakeFiles/unicore_uspace.dir/filespace.cpp.o.d"
+  "libunicore_uspace.a"
+  "libunicore_uspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unicore_uspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unicore_util.dir/bytes.cpp.o"
+  "CMakeFiles/unicore_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/unicore_util.dir/log.cpp.o"
+  "CMakeFiles/unicore_util.dir/log.cpp.o.d"
+  "CMakeFiles/unicore_util.dir/result.cpp.o"
+  "CMakeFiles/unicore_util.dir/result.cpp.o.d"
+  "CMakeFiles/unicore_util.dir/rng.cpp.o"
+  "CMakeFiles/unicore_util.dir/rng.cpp.o.d"
+  "CMakeFiles/unicore_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/unicore_util.dir/thread_pool.cpp.o.d"
+  "libunicore_util.a"
+  "libunicore_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unicore_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ajo.dir/ajo/test_codec.cpp.o"
+  "CMakeFiles/test_ajo.dir/ajo/test_codec.cpp.o.d"
+  "CMakeFiles/test_ajo.dir/ajo/test_fuzz.cpp.o"
+  "CMakeFiles/test_ajo.dir/ajo/test_fuzz.cpp.o.d"
+  "CMakeFiles/test_ajo.dir/ajo/test_hierarchy.cpp.o"
+  "CMakeFiles/test_ajo.dir/ajo/test_hierarchy.cpp.o.d"
+  "CMakeFiles/test_ajo.dir/ajo/test_job.cpp.o"
+  "CMakeFiles/test_ajo.dir/ajo/test_job.cpp.o.d"
+  "CMakeFiles/test_ajo.dir/ajo/test_outcome.cpp.o"
+  "CMakeFiles/test_ajo.dir/ajo/test_outcome.cpp.o.d"
+  "test_ajo"
+  "test_ajo.pdb"
+  "test_ajo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ajo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

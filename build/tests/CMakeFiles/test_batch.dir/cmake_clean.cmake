@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_batch.dir/batch/test_dialect.cpp.o"
+  "CMakeFiles/test_batch.dir/batch/test_dialect.cpp.o.d"
+  "CMakeFiles/test_batch.dir/batch/test_properties.cpp.o"
+  "CMakeFiles/test_batch.dir/batch/test_properties.cpp.o.d"
+  "CMakeFiles/test_batch.dir/batch/test_subsystem.cpp.o"
+  "CMakeFiles/test_batch.dir/batch/test_subsystem.cpp.o.d"
+  "test_batch"
+  "test_batch.pdb"
+  "test_batch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_client.dir/client/test_app_templates.cpp.o"
+  "CMakeFiles/test_client.dir/client/test_app_templates.cpp.o.d"
+  "CMakeFiles/test_client.dir/client/test_job_builder.cpp.o"
+  "CMakeFiles/test_client.dir/client/test_job_builder.cpp.o.d"
+  "CMakeFiles/test_client.dir/client/test_job_store.cpp.o"
+  "CMakeFiles/test_client.dir/client/test_job_store.cpp.o.d"
+  "test_client"
+  "test_client.pdb"
+  "test_client[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crypto.dir/crypto/test_bundle.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_bundle.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_cipher.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_cipher.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_hmac.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_hmac.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_keys.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_keys.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_modmath.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_modmath.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_sha256.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_sha256.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_x509.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_x509.cpp.o.d"
+  "test_crypto"
+  "test_crypto.pdb"
+  "test_crypto[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_firewall_split.dir/integration/test_firewall_split.cpp.o"
+  "CMakeFiles/test_integration_firewall_split.dir/integration/test_firewall_split.cpp.o.d"
+  "test_integration_firewall_split"
+  "test_integration_firewall_split.pdb"
+  "test_integration_firewall_split[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_firewall_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_lifecycle.dir/integration/test_lifecycle.cpp.o"
+  "CMakeFiles/test_integration_lifecycle.dir/integration/test_lifecycle.cpp.o.d"
+  "test_integration_lifecycle"
+  "test_integration_lifecycle.pdb"
+  "test_integration_lifecycle[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_lifecycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

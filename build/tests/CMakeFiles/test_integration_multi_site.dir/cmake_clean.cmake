@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_multi_site.dir/integration/test_multi_site.cpp.o"
+  "CMakeFiles/test_integration_multi_site.dir/integration/test_multi_site.cpp.o.d"
+  "test_integration_multi_site"
+  "test_integration_multi_site.pdb"
+  "test_integration_multi_site[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_multi_site.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_security.dir/integration/test_security.cpp.o"
+  "CMakeFiles/test_integration_security.dir/integration/test_security.cpp.o.d"
+  "test_integration_security"
+  "test_integration_security.pdb"
+  "test_integration_security[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_unreliable.dir/integration/test_unreliable.cpp.o"
+  "CMakeFiles/test_integration_unreliable.dir/integration/test_unreliable.cpp.o.d"
+  "test_integration_unreliable"
+  "test_integration_unreliable.pdb"
+  "test_integration_unreliable[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_unreliable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_njs.dir/njs/test_accounting.cpp.o"
+  "CMakeFiles/test_njs.dir/njs/test_accounting.cpp.o.d"
+  "CMakeFiles/test_njs.dir/njs/test_edge_cases.cpp.o"
+  "CMakeFiles/test_njs.dir/njs/test_edge_cases.cpp.o.d"
+  "CMakeFiles/test_njs.dir/njs/test_incarnation.cpp.o"
+  "CMakeFiles/test_njs.dir/njs/test_incarnation.cpp.o.d"
+  "CMakeFiles/test_njs.dir/njs/test_multi_vsite.cpp.o"
+  "CMakeFiles/test_njs.dir/njs/test_multi_vsite.cpp.o.d"
+  "CMakeFiles/test_njs.dir/njs/test_njs.cpp.o"
+  "CMakeFiles/test_njs.dir/njs/test_njs.cpp.o.d"
+  "CMakeFiles/test_njs.dir/njs/test_peer_link.cpp.o"
+  "CMakeFiles/test_njs.dir/njs/test_peer_link.cpp.o.d"
+  "test_njs"
+  "test_njs.pdb"
+  "test_njs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_njs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

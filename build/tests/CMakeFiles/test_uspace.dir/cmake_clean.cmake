@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uspace.dir/uspace/test_filespace.cpp.o"
+  "CMakeFiles/test_uspace.dir/uspace/test_filespace.cpp.o.d"
+  "test_uspace"
+  "test_uspace.pdb"
+  "test_uspace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

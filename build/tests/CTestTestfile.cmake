@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_integration_single_site[1]_include.cmake")
+include("/root/repo/build/tests/test_integration_multi_site[1]_include.cmake")
+include("/root/repo/build/tests/test_integration_firewall_split[1]_include.cmake")
+include("/root/repo/build/tests/test_integration_security[1]_include.cmake")
+include("/root/repo/build/tests/test_integration_unreliable[1]_include.cmake")
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_asn1[1]_include.cmake")
+include("/root/repo/build/tests/test_crypto[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_resources[1]_include.cmake")
+include("/root/repo/build/tests/test_ajo[1]_include.cmake")
+include("/root/repo/build/tests/test_uspace[1]_include.cmake")
+include("/root/repo/build/tests/test_batch[1]_include.cmake")
+include("/root/repo/build/tests/test_gateway[1]_include.cmake")
+include("/root/repo/build/tests/test_njs[1]_include.cmake")
+include("/root/repo/build/tests/test_client[1]_include.cmake")
+include("/root/repo/build/tests/test_broker[1]_include.cmake")
+include("/root/repo/build/tests/test_server[1]_include.cmake")
+include("/root/repo/build/tests/test_grid[1]_include.cmake")
+include("/root/repo/build/tests/test_integration_lifecycle[1]_include.cmake")
