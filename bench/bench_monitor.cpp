@@ -1,0 +1,160 @@
+// Observability overhead: the per-event cost of the instrumentation the
+// Usite records on its hot paths (counter adds, histogram observations,
+// trace spans), and the cost of producing a MonitorService snapshot —
+// including the Prometheus text dump — from a registry populated the
+// way a full job run populates it.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace {
+
+using namespace unicore;
+
+void BM_CounterAdd(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Counter& counter = registry.counter(
+      "unicore_net_bytes_sent_total", {});
+  for (auto _ : state) counter.add(1024.0);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterAdd);
+
+void BM_GaugeSet(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Gauge& gauge = registry.gauge("unicore_batch_queued_jobs", {});
+  double depth = 0.0;
+  for (auto _ : state) gauge.set(depth += 1.0);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GaugeSet);
+
+void BM_HistogramObserve(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& histogram = registry.histogram(
+      "unicore_batch_queue_wait_seconds", {}, obs::latency_buckets());
+  double value = 0.0;
+  for (auto _ : state) {
+    value += 0.0137;
+    if (value > 90.0) value = 0.0;
+    histogram.observe(value);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramObserve);
+
+void BM_RegistryLookupAndAdd(benchmark::State& state) {
+  // The slow path components avoid by caching references: a full
+  // (name, labels) map lookup per event.
+  obs::MetricsRegistry registry;
+  for (auto _ : state) {
+    registry
+        .counter("unicore_gateway_auth_total",
+                 {{"usite", "FZ-Juelich"},
+                  {"action", "consign"},
+                  {"result", "accept"}})
+        .increment();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RegistryLookupAndAdd);
+
+void BM_TraceRecordSpan(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    obs::TraceTimeline timeline;
+    obs::SpanId root = timeline.begin("consign", 0);
+    state.ResumeTiming();
+    for (int i = 0; i < 32; ++i) {
+      obs::SpanId span = timeline.begin("submit", sim::sec(i), root);
+      timeline.annotate(span, "action", "task");
+      timeline.record("batch-run", sim::sec(i), sim::sec(i + 1), span);
+      timeline.end(span, sim::sec(i + 1));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 32 * 3);  // spans recorded
+}
+BENCHMARK(BM_TraceRecordSpan);
+
+obs::MetricsRegistry& populated_registry() {
+  // Roughly what one Usite's registry holds after a day of mixed jobs:
+  // a few dozen label sets across counters, gauges, and histograms.
+  static obs::MetricsRegistry* registry = [] {
+    auto* r = new obs::MetricsRegistry();
+    const std::vector<std::string> usites = {"FZ-Juelich", "RUKA", "LRZ",
+                                             "RUS", "ZIB"};
+    for (const auto& usite : usites) {
+      for (const char* result : {"accept", "reject"})
+        r->counter("unicore_gateway_auth_total",
+                   {{"usite", usite},
+                    {"action", "consign"},
+                    {"result", result}})
+            .add(100);
+      r->counter("unicore_njs_jobs_consigned_total", {{"usite", usite}})
+          .add(250);
+      r->gauge("unicore_njs_active_jobs", {{"usite", usite}}).set(12);
+      auto& wait = r->histogram("unicore_batch_queue_wait_seconds",
+                                {{"usite", usite}, {"vsite", "T3E"}},
+                                obs::latency_buckets());
+      auto& run = r->histogram("unicore_batch_run_seconds",
+                               {{"usite", usite}, {"vsite", "T3E"}},
+                               obs::duration_buckets());
+      for (int i = 0; i < 500; ++i) {
+        wait.observe(0.01 * i);
+        run.observe(10.0 * i);
+      }
+    }
+    r->counter("unicore_net_bytes_sent_total").add(4.2e9);
+    r->counter("unicore_net_bytes_delivered_total").add(4.1e9);
+    return r;
+  }();
+  return *registry;
+}
+
+void BM_SnapshotEncode(benchmark::State& state) {
+  obs::MetricsRegistry& registry = populated_registry();
+  std::size_t wire_size = 0;
+  for (auto _ : state) {
+    obs::MetricsSnapshot snapshot = registry.snapshot();
+    util::ByteWriter writer;
+    snapshot.encode(writer);
+    util::Bytes wire = writer.take();
+    wire_size = wire.size();
+    benchmark::DoNotOptimize(wire);
+  }
+  state.counters["wire_bytes"] = static_cast<double>(wire_size);
+}
+BENCHMARK(BM_SnapshotEncode);
+
+void BM_SnapshotDecode(benchmark::State& state) {
+  obs::MetricsSnapshot snapshot = populated_registry().snapshot();
+  util::ByteWriter writer;
+  snapshot.encode(writer);
+  util::Bytes wire = writer.take();
+  for (auto _ : state) {
+    util::ByteReader reader{wire};
+    auto decoded = obs::MetricsSnapshot::decode(reader);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_SnapshotDecode);
+
+void BM_PrometheusRender(benchmark::State& state) {
+  obs::MetricsRegistry& registry = populated_registry();
+  std::size_t text_size = 0;
+  for (auto _ : state) {
+    std::string text = registry.render_prometheus();
+    text_size = text.size();
+    benchmark::DoNotOptimize(text);
+  }
+  state.counters["text_bytes"] = static_cast<double>(text_size);
+}
+BENCHMARK(BM_PrometheusRender);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -86,6 +86,8 @@ Result<BatchJobId> BatchSubsystem::submit(const std::string& script,
   jobs_[id] = std::move(job);
   queue_.push_back(id);
   ++stats_.jobs_submitted;
+  if (submitted_counter_) submitted_counter_->increment();
+  update_gauges();
 
   // Scheduling runs as its own event so submit() stays non-reentrant.
   engine_.after(0, [this] { schedule_pass(); });
@@ -158,8 +160,11 @@ void BatchSubsystem::start_job(Job& job, bool backfilled) {
   job.backfilled = backfilled;
   if (backfilled) ++stats_.backfilled_starts;
   job.result.started_at = engine_.now();
-  stats_.total_wait_seconds +=
+  double wait_seconds =
       sim::to_seconds(job.result.started_at - job.result.submitted_at);
+  stats_.total_wait_seconds += wait_seconds;
+  if (queue_wait_hist_) queue_wait_hist_->observe(wait_seconds);
+  update_gauges();
   job.limit_deadline =
       engine_.now() + sim::sec(job.request.wallclock_seconds);
 
@@ -265,6 +270,9 @@ void BatchSubsystem::finish_job(Job& job, BatchJobState state,
   stats_.total_run_seconds += run_seconds;
   stats_.busy_node_seconds +=
       run_seconds * static_cast<double>(job.nodes_needed);
+  if (run_time_hist_) run_time_hist_->observe(run_seconds);
+  count_outcome(state);
+  update_gauges();
 
   switch (state) {
     case BatchJobState::kCompleted: ++stats_.jobs_completed; break;
@@ -311,6 +319,8 @@ Status BatchSubsystem::cancel(BatchJobId id) {
       job.result.exit_code = 130;
       job.result.finished_at = engine_.now();
       ++stats_.jobs_cancelled;
+      count_outcome(BatchJobState::kCancelled);
+      update_gauges();
       if (job.on_complete) {
         auto handler = std::move(job.on_complete);
         job.on_complete = nullptr;
@@ -365,6 +375,49 @@ double BatchSubsystem::utilization() const {
   if (elapsed <= 0) return 0;
   return stats_.busy_node_seconds /
          (elapsed * static_cast<double>(config_.nodes));
+}
+
+void BatchSubsystem::set_metrics(obs::MetricsRegistry* registry,
+                                 const std::string& usite) {
+  metrics_ = registry;
+  if (!metrics_) {
+    submitted_counter_ = nullptr;
+    queue_wait_hist_ = nullptr;
+    run_time_hist_ = nullptr;
+    queued_gauge_ = nullptr;
+    running_gauge_ = nullptr;
+    free_nodes_gauge_ = nullptr;
+    return;
+  }
+  metric_labels_ = {{"usite", usite}, {"vsite", config_.vsite}};
+  submitted_counter_ =
+      &metrics_->counter("unicore_batch_jobs_submitted_total", metric_labels_);
+  queue_wait_hist_ = &metrics_->histogram("unicore_batch_queue_wait_seconds",
+                                          metric_labels_,
+                                          obs::duration_buckets());
+  run_time_hist_ = &metrics_->histogram("unicore_batch_run_seconds",
+                                        metric_labels_,
+                                        obs::duration_buckets());
+  queued_gauge_ = &metrics_->gauge("unicore_batch_queued_jobs", metric_labels_);
+  running_gauge_ =
+      &metrics_->gauge("unicore_batch_running_jobs", metric_labels_);
+  free_nodes_gauge_ =
+      &metrics_->gauge("unicore_batch_free_nodes", metric_labels_);
+  update_gauges();
+}
+
+void BatchSubsystem::update_gauges() {
+  if (!metrics_) return;
+  queued_gauge_->set(static_cast<double>(queue_.size()));
+  running_gauge_->set(static_cast<double>(running_.size()));
+  free_nodes_gauge_->set(static_cast<double>(free_nodes_));
+}
+
+void BatchSubsystem::count_outcome(BatchJobState state) {
+  if (!metrics_) return;
+  obs::Labels labels = metric_labels_;
+  labels.emplace_back("outcome", batch_job_state_name(state));
+  metrics_->counter("unicore_batch_jobs_total", std::move(labels)).increment();
 }
 
 }  // namespace unicore::batch

@@ -21,6 +21,7 @@
 
 #include "batch/dialect.h"
 #include "batch/target_system.h"
+#include "obs/metrics.h"
 #include "sim/engine.h"
 #include "uspace/filespace.h"
 #include "util/result.h"
@@ -120,6 +121,11 @@ class BatchSubsystem {
   /// node count bounds the wait a newly arriving full-machine job sees.
   double backlog_node_seconds() const;
 
+  /// Records queue-wait/run-time histograms, outcome counters, and
+  /// queue-depth gauges into `registry`, labeled {usite, vsite}.
+  /// Re-callable; nullptr detaches.
+  void set_metrics(obs::MetricsRegistry* registry, const std::string& usite);
+
  private:
   struct Job {
     BatchJobId id = 0;
@@ -138,6 +144,8 @@ class BatchSubsystem {
   };
 
   util::Status validate(const BatchRequest& request) const;
+  void update_gauges();
+  void count_outcome(BatchJobState state);
   void schedule_pass();
   void start_job(Job& job, bool backfilled);
   void finish_job(Job& job, BatchJobState state, std::int32_t exit_code,
@@ -156,6 +164,15 @@ class BatchSubsystem {
   std::deque<BatchJobId> queue_;
   std::vector<BatchJobId> running_;
   SubsystemStats stats_;
+
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Labels metric_labels_;
+  obs::Counter* submitted_counter_ = nullptr;
+  obs::Histogram* queue_wait_hist_ = nullptr;
+  obs::Histogram* run_time_hist_ = nullptr;
+  obs::Gauge* queued_gauge_ = nullptr;
+  obs::Gauge* running_gauge_ = nullptr;
+  obs::Gauge* free_nodes_gauge_ = nullptr;
 };
 
 }  // namespace unicore::batch

@@ -337,6 +337,45 @@ void UnicoreClient::fetch_output(
                });
 }
 
+void UnicoreClient::fetch_metrics(
+    std::function<void(Result<obs::MetricsSnapshot>)> done) {
+  send_request(RequestKind::kMonitorMetrics, {},
+               [done = std::move(done)](Result<Bytes> reply) {
+                 if (!reply) {
+                   done(reply.error());
+                   return;
+                 }
+                 try {
+                   ByteReader reader{reply.value()};
+                   done(obs::MetricsSnapshot::decode(reader));
+                 } catch (const std::out_of_range&) {
+                   done(util::make_error(ErrorCode::kInvalidArgument,
+                                         "malformed metrics reply"));
+                 }
+               });
+}
+
+void UnicoreClient::fetch_trace(
+    ajo::JobToken token,
+    std::function<void(Result<obs::TraceTimeline>)> done) {
+  ByteWriter payload;
+  payload.u64(token);
+  send_request(RequestKind::kMonitorTrace, payload.take(),
+               [done = std::move(done)](Result<Bytes> reply) {
+                 if (!reply) {
+                   done(reply.error());
+                   return;
+                 }
+                 try {
+                   ByteReader reader{reply.value()};
+                   done(obs::TraceTimeline::decode(reader));
+                 } catch (const std::out_of_range&) {
+                   done(util::make_error(ErrorCode::kInvalidArgument,
+                                         "malformed trace reply"));
+                 }
+               });
+}
+
 void UnicoreClient::wait_for_completion(
     ajo::JobToken token, sim::Time interval,
     std::function<void(Result<ajo::Outcome>)> done) {

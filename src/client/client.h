@@ -26,6 +26,8 @@
 #include "crypto/x509.h"
 #include "net/network.h"
 #include "net/secure_channel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "resources/resource_page.h"
 #include "server/protocol.h"
 #include "uspace/blob.h"
@@ -103,6 +105,15 @@ class UnicoreClient {
   void wait_for_completion(ajo::JobToken token, sim::Time interval,
                            std::function<void(util::Result<ajo::Outcome>)>
                                done);
+
+  // --- MonitorService ----------------------------------------------------
+  /// Fetches the Usite's current metrics snapshot (gateway, NJS, batch,
+  /// and — with a grid-shared registry — network series).
+  void fetch_metrics(
+      std::function<void(util::Result<obs::MetricsSnapshot>)> done);
+  /// Fetches the recorded trace timeline of one of the caller's jobs.
+  void fetch_trace(ajo::JobToken token,
+                   std::function<void(util::Result<obs::TraceTimeline>)> done);
 
   // --- diagnostics ---------------------------------------------------------
   std::uint64_t requests_sent() const { return requests_sent_; }

@@ -9,6 +9,13 @@ using util::Status;
 void Gateway::audit(std::int64_t now, const std::string& subject,
                     const std::string& action, bool accepted,
                     std::string detail) {
+  if (metrics_)
+    metrics_
+        ->counter("unicore_gateway_auth_total",
+                  {{"usite", usite_},
+                   {"action", action},
+                   {"result", accepted ? "accept" : "reject"}})
+        .increment();
   audit_.push_back({now, subject, action, accepted, std::move(detail)});
 }
 

@@ -14,6 +14,7 @@
 #include "ajo/job.h"
 #include "crypto/x509.h"
 #include "gateway/uudb.h"
+#include "obs/metrics.h"
 #include "util/result.h"
 
 namespace unicore::gateway {
@@ -82,6 +83,10 @@ class Gateway {
 
   const std::vector<AuditRecord>& audit_log() const { return audit_; }
 
+  /// Counts every audited decision into `registry` as
+  /// unicore_gateway_auth_total{usite, action, result}. nullptr detaches.
+  void set_metrics(obs::MetricsRegistry* registry) { metrics_ = registry; }
+
  private:
   void audit(std::int64_t now, const std::string& subject,
              const std::string& action, bool accepted, std::string detail);
@@ -91,6 +96,7 @@ class Gateway {
   UserDatabase uudb_;
   SiteAuthHook site_hook_;
   std::vector<AuditRecord> audit_;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace unicore::gateway

@@ -37,6 +37,9 @@ Grid::Grid(std::uint64_t seed)
   wan.bandwidth_bytes_per_sec = 4.25e6;
   wan.loss_probability = 0.0;
   network_.set_default_link(wan);
+
+  metrics_ = std::make_shared<obs::MetricsRegistry>();
+  network_.set_metrics(metrics_);
 }
 
 crypto::TrustStore Grid::make_trust_store() const {
@@ -58,6 +61,7 @@ server::UsiteServer& Grid::add_site(SiteSpec spec) {
   auto server = std::make_unique<server::UsiteServer>(
       engine_, network_, rng_, spec.config, std::move(credential),
       make_trust_store(), gateway::UserDatabase{});
+  server->set_metrics(metrics_);
   for (auto& vsite : spec.vsites) server->njs().add_vsite(std::move(vsite));
 
   auto payload = [this](const std::string& component) {

@@ -13,6 +13,7 @@
 #include "crypto/x509.h"
 #include "net/network.h"
 #include "njs/njs.h"
+#include "obs/metrics.h"
 #include "server/usite_server.h"
 #include "sim/engine.h"
 #include "util/rng.h"
@@ -26,6 +27,10 @@ class Grid {
   sim::Engine& engine() { return engine_; }
   net::Network& network() { return network_; }
   util::Rng& rng() { return rng_; }
+  /// The grid-wide metrics registry: every site's gateway/NJS/batch
+  /// series plus the network fabric's counters land here, so one
+  /// MonitorService snapshot (from any site) covers the deployment.
+  const std::shared_ptr<obs::MetricsRegistry>& metrics() { return metrics_; }
   crypto::CertificateAuthority& ca() { return ca_; }
   /// A trust store containing the grid's root CA (copy per consumer).
   crypto::TrustStore make_trust_store() const;
@@ -73,6 +78,7 @@ class Grid {
   sim::Engine engine_;
   util::Rng rng_;
   net::Network network_;
+  std::shared_ptr<obs::MetricsRegistry> metrics_;
   crypto::CertificateAuthority ca_;
   crypto::Credential developer_;
   std::map<std::string, std::unique_ptr<server::UsiteServer>> servers_;

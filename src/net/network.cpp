@@ -4,21 +4,27 @@
 
 namespace unicore::net {
 
-// Shared state between the two endpoints of a connection.
+// Shared state between the two endpoints of a connection. Open-state is
+// tracked per side: a close() shuts the closing side at once but the
+// peer keeps receiving until the close notification — which may not
+// overtake in-flight data — reaches it.
 struct Endpoint::ConnectionState {
   Network* network = nullptr;
   LinkProfile link;
-  bool open = true;
+  bool open_a = true;  // initiator side
+  bool open_b = true;  // acceptor side
   // FIFO ordering per direction: a message may not overtake its
   // predecessor even when bandwidth delays differ.
   sim::Time next_free_a_to_b = 0;
   sim::Time next_free_b_to_a = 0;
   std::weak_ptr<Endpoint> side_a;  // initiator
   std::weak_ptr<Endpoint> side_b;  // acceptor
+
+  bool& side_open(bool initiator) { return initiator ? open_a : open_b; }
 };
 
 void Endpoint::send(util::Bytes message) {
-  if (!state_ || !state_->open) return;
+  if (!is_open()) return;
   bytes_sent_ += message.size();
   state_->network->transmit(*this, std::move(message));
 }
@@ -37,19 +43,33 @@ void Endpoint::set_close_handler(std::function<void()> handler) {
 }
 
 void Endpoint::close() {
-  if (!state_ || !state_->open) return;
-  state_->open = false;
+  if (!is_open()) return;
+  state_->side_open(is_initiator_) = false;
   auto peer = is_initiator_ ? state_->side_b.lock() : state_->side_a.lock();
   if (peer) {
-    // The peer observes the close after one link latency.
+    // The close notification travels behind everything already queued in
+    // this direction: it departs once the pipe is free and then takes one
+    // link latency, so in-flight messages (scheduled earlier, same or
+    // earlier arrival time) are delivered first.
+    sim::Engine& engine = state_->network->engine_;
+    sim::Time next_free =
+        is_initiator_ ? state_->next_free_a_to_b : state_->next_free_b_to_a;
+    sim::Time notice_at =
+        std::max(engine.now(), next_free) + state_->link.latency;
     std::weak_ptr<Endpoint> weak_peer = peer;
-    state_->network->engine_.after(state_->link.latency, [weak_peer] {
+    engine.at(notice_at, [weak_peer] {
       if (auto p = weak_peer.lock()) p->handle_peer_close();
     });
   }
 }
 
-bool Endpoint::is_open() const { return state_ && state_->open; }
+bool Endpoint::is_open() const {
+  return state_ && state_->side_open(is_initiator_);
+}
+
+obs::MetricsRegistry* Endpoint::metrics() const {
+  return state_ && state_->network ? state_->network->metrics() : nullptr;
+}
 
 void Endpoint::deliver(util::Bytes&& message) {
   if (receiver_) {
@@ -60,6 +80,7 @@ void Endpoint::deliver(util::Bytes&& message) {
 }
 
 void Endpoint::handle_peer_close() {
+  if (state_) state_->side_open(is_initiator_) = false;
   if (close_handler_) {
     auto handler = std::move(close_handler_);
     close_handler_ = nullptr;
@@ -136,13 +157,33 @@ util::Result<std::shared_ptr<Endpoint>> Network::connect(
   return client;
 }
 
+void Network::set_metrics(std::shared_ptr<obs::MetricsRegistry> registry) {
+  metrics_ = std::move(registry);
+  if (metrics_) {
+    bytes_sent_counter_ = &metrics_->counter("unicore_net_bytes_sent_total");
+    bytes_delivered_counter_ =
+        &metrics_->counter("unicore_net_bytes_delivered_total");
+    delivered_counter_ =
+        &metrics_->counter("unicore_net_messages_delivered_total");
+    dropped_counter_ = &metrics_->counter("unicore_net_messages_dropped_total");
+  } else {
+    bytes_sent_counter_ = nullptr;
+    bytes_delivered_counter_ = nullptr;
+    delivered_counter_ = nullptr;
+    dropped_counter_ = nullptr;
+  }
+}
+
 void Network::transmit(Endpoint& from, util::Bytes message) {
   auto state = from.state_;
+  if (bytes_sent_counter_)
+    bytes_sent_counter_->add(static_cast<double>(message.size()));
   auto target = from.is_initiator_ ? state->side_b.lock() : state->side_a.lock();
   if (!target) return;
 
   if (rng_.chance(state->link.loss_probability)) {
     ++messages_dropped_;
+    if (dropped_counter_) dropped_counter_->increment();
     return;
   }
 
@@ -158,11 +199,19 @@ void Network::transmit(Endpoint& from, util::Bytes message) {
   next_free = departure + transmission;
 
   std::weak_ptr<Endpoint> weak_target = target;
-  engine_.at(arrival, [this, weak_target,
+  std::weak_ptr<Endpoint> weak_sender = from.weak_from_this();
+  engine_.at(arrival, [this, weak_target, weak_sender,
                        payload = std::move(message)]() mutable {
     auto endpoint = weak_target.lock();
+    // Only the *receiving* side's open flag gates delivery: a sender
+    // that closed after the send has already paid for the bytes.
     if (!endpoint || !endpoint->is_open()) return;
     ++messages_delivered_;
+    if (delivered_counter_) delivered_counter_->increment();
+    if (bytes_delivered_counter_)
+      bytes_delivered_counter_->add(static_cast<double>(payload.size()));
+    if (auto sender = weak_sender.lock())
+      sender->bytes_delivered_ += payload.size();
     endpoint->deliver(std::move(payload));
   });
 }

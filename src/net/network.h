@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "sim/engine.h"
 #include "util/bytes.h"
 #include "util/result.h"
@@ -101,6 +102,9 @@ class Endpoint : public std::enable_shared_from_this<Endpoint> {
   /// Installs a callback fired once when the connection closes.
   void set_close_handler(std::function<void()> handler);
 
+  /// Closes this side immediately; the peer observes the close only
+  /// after every message already in flight toward it has arrived (FIFO:
+  /// a close may not overtake data).
   void close();
   bool is_open() const;
 
@@ -108,8 +112,14 @@ class Endpoint : public std::enable_shared_from_this<Endpoint> {
   const std::string& remote_host() const { return remote_host_; }
   std::uint16_t remote_port() const { return remote_port_; }
 
-  /// Total payload bytes accepted by send() on this side.
+  /// Total payload bytes *attempted* by send() on this side (counted
+  /// before link loss, like interface TX counters).
   std::uint64_t bytes_sent() const { return bytes_sent_; }
+  /// Payload bytes actually handed to the peer's receiver/inbox.
+  std::uint64_t bytes_delivered() const { return bytes_delivered_; }
+
+  /// The owning network's metrics registry; nullptr when none is wired.
+  obs::MetricsRegistry* metrics() const;
 
  private:
   friend class Network;
@@ -124,6 +134,7 @@ class Endpoint : public std::enable_shared_from_this<Endpoint> {
   std::function<void()> close_handler_;
   std::deque<util::Bytes> inbox_;
   std::uint64_t bytes_sent_ = 0;
+  std::uint64_t bytes_delivered_ = 0;
 
   void deliver(util::Bytes&& message);
   void handle_peer_close();
@@ -164,6 +175,11 @@ class Network {
   std::uint64_t messages_delivered() const { return messages_delivered_; }
   std::uint64_t messages_dropped() const { return messages_dropped_; }
 
+  /// Routes fabric-level byte/message/drop counters through `registry`
+  /// (shared with the Usites so one snapshot covers the whole grid).
+  void set_metrics(std::shared_ptr<obs::MetricsRegistry> registry);
+  obs::MetricsRegistry* metrics() const { return metrics_.get(); }
+
  private:
   friend class Endpoint;
 
@@ -177,6 +193,11 @@ class Network {
   std::map<Address, Acceptor> listeners_;
   std::uint64_t messages_delivered_ = 0;
   std::uint64_t messages_dropped_ = 0;
+  std::shared_ptr<obs::MetricsRegistry> metrics_;
+  obs::Counter* bytes_sent_counter_ = nullptr;
+  obs::Counter* bytes_delivered_counter_ = nullptr;
+  obs::Counter* delivered_counter_ = nullptr;
+  obs::Counter* dropped_counter_ = nullptr;
 };
 
 }  // namespace unicore::net

@@ -83,10 +83,14 @@ void SecureChannel::start() {
 
   timeout_event_ = engine_.after(config_.handshake_timeout, [self] {
     self->timeout_event_.reset();
-    if (self->state_ != State::kEstablished && self->state_ != State::kFailed)
+    if (self->state_ != State::kEstablished && self->state_ != State::kFailed) {
+      if (auto* metrics = self->endpoint_->metrics())
+        metrics->counter("unicore_channel_handshake_timeouts_total")
+            .increment();
       self->fail(util::make_error(ErrorCode::kUnavailable,
                                   "handshake timed out"),
                  /*send_alert=*/false);
+    }
   });
 
   dh_ = crypto::dh_generate(rng_);
@@ -340,6 +344,9 @@ void SecureChannel::derive_keys() {
 
 void SecureChannel::succeed() {
   state_ = State::kEstablished;
+  if (auto* metrics = endpoint_->metrics())
+    metrics->counter("unicore_channel_handshakes_total", {{"result", "ok"}})
+        .increment();
   if (timeout_event_) {
     engine_.cancel(*timeout_event_);
     timeout_event_.reset();
@@ -355,6 +362,11 @@ void SecureChannel::fail(Error error, bool send_alert) {
   if (state_ == State::kFailed) return;
   bool was_established = state_ == State::kEstablished;
   state_ = State::kFailed;
+  if (!was_established) {
+    if (auto* metrics = endpoint_->metrics())
+      metrics->counter("unicore_channel_handshakes_total", {{"result", "fail"}})
+          .increment();
+  }
   if (timeout_event_) {
     engine_.cancel(*timeout_event_);
     timeout_event_.reset();

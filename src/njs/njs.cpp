@@ -43,6 +43,8 @@ struct Njs::ActionRun {
   std::optional<RemoteJobHandle> remote;         // remote sub-job
   std::map<std::string, uspace::FileBlob> staged_files;  // pre-dispatch
   bool dispatched = false;
+  obs::SpanId span = 0;        // trace span covering this action
+  sim::Time ready_at = -1;     // when the action became dispatchable
 };
 
 struct Njs::GroupRun {
@@ -54,6 +56,7 @@ struct Njs::GroupRun {
   std::map<ActionId, ActionRun> actions;
   int open_actions = 0;  // direct children not yet terminal
   bool held = false;
+  obs::SpanId span = 0;  // parent span for this group's action spans
 };
 
 struct Njs::JobRun {
@@ -65,6 +68,7 @@ struct Njs::JobRun {
   GroupRun root;
   sim::Time consigned_at = 0;
   bool finalized = false;
+  obs::TraceTimeline trace;
 };
 
 // ---- construction ----------------------------------------------------------
@@ -74,9 +78,45 @@ Njs::Njs(sim::Engine& engine, util::Rng rng, std::string usite,
     : engine_(engine),
       rng_(std::move(rng)),
       usite_(std::move(usite)),
-      credential_(std::move(server_credential)) {}
+      credential_(std::move(server_credential)),
+      metrics_(std::make_shared<obs::MetricsRegistry>()) {
+  wire_metrics();
+}
 
 Njs::~Njs() = default;
+
+void Njs::wire_metrics() {
+  obs::Labels labels{{"usite", usite_}};
+  consigned_counter_ =
+      &metrics_->counter("unicore_njs_jobs_consigned_total", labels);
+  completed_counter_ =
+      &metrics_->counter("unicore_njs_jobs_completed_total", labels);
+  dispatch_latency_hist_ = &metrics_->histogram(
+      "unicore_njs_dispatch_latency_seconds", labels, obs::latency_buckets());
+  job_duration_hist_ = &metrics_->histogram("unicore_njs_job_duration_seconds",
+                                            labels, obs::duration_buckets());
+  for (auto& [name, runtime] : vsites_)
+    runtime->subsystem->set_metrics(metrics_.get(), usite_);
+}
+
+void Njs::set_metrics(std::shared_ptr<obs::MetricsRegistry> registry) {
+  if (registry == nullptr || registry == metrics_) return;
+  metrics_ = std::move(registry);
+  wire_metrics();
+}
+
+void Njs::refresh_gauges() {
+  metrics_->gauge("unicore_njs_active_jobs", {{"usite", usite_}})
+      .set(static_cast<double>(active_jobs()));
+}
+
+Result<const obs::TraceTimeline*> Njs::trace(JobToken token) const {
+  auto it = jobs_.find(token);
+  if (it == jobs_.end())
+    return util::make_error(ErrorCode::kNotFound,
+                            "no such job: " + std::to_string(token));
+  return &it->second->trace;
+}
 
 batch::BatchSubsystem& Njs::add_vsite(VsiteConfig config) {
   auto runtime = std::make_unique<VsiteRuntime>();
@@ -90,6 +130,7 @@ batch::BatchSubsystem& Njs::add_vsite(VsiteConfig config) {
   const std::string name = runtime->config.system.vsite;
   auto& slot = vsites_[name];
   slot = std::move(runtime);
+  slot->subsystem->set_metrics(metrics_.get(), usite_);
   return *slot->subsystem;
 }
 
@@ -186,6 +227,10 @@ Result<JobToken> Njs::consign(
   JobRun& ref = *run;
   jobs_[token] = std::move(run);
   ++jobs_consigned_;
+  if (consigned_counter_) consigned_counter_->increment();
+  ref.root.span = ref.trace.begin("consign", engine_.now());
+  ref.trace.annotate(ref.root.span, "job", ref.job.name());
+  ref.trace.annotate(ref.root.span, "user", ref.user.login);
 
   if (auto status = start_group(ref, ref.root); !status.ok()) {
     jobs_.erase(token);
@@ -257,6 +302,7 @@ void Njs::dispatch_ready(JobRun& job, GroupRun& group, ActionRun& run) {
     run.outcome.status = ActionStatus::kHeld;
     return;
   }
+  run.ready_at = engine_.now();
   // The NJS delivers actions with a processing latency; scheduling via
   // the engine also keeps dispatch non-reentrant.
   JobToken token = job.token;
@@ -281,6 +327,35 @@ void Njs::dispatch_ready(JobRun& job, GroupRun& group, ActionRun& run) {
 void Njs::dispatch_action(JobRun& job, GroupRun& group, ActionRun& run) {
   run.dispatched = true;
   run.outcome.submitted_at = engine_.now();
+  if (dispatch_latency_hist_ && run.ready_at >= 0)
+    dispatch_latency_hist_->observe(
+        sim::to_seconds(engine_.now() - run.ready_at));
+  // One span per action, named after its lifecycle phase; sub-jobs name
+  // theirs in dispatch_subjob (local vs PeerLink hop).
+  const char* phase = nullptr;
+  switch (run.action->type()) {
+    case ActionType::kCompileTask:
+    case ActionType::kLinkTask:
+    case ActionType::kUserTask:
+    case ActionType::kExecuteScriptTask:
+      phase = "submit";
+      break;
+    case ActionType::kImportTask:
+      phase = "stage-in";
+      break;
+    case ActionType::kExportTask:
+      phase = "stage-out";
+      break;
+    case ActionType::kTransferTask:
+      phase = "transfer";
+      break;
+    default:
+      break;
+  }
+  if (phase != nullptr) {
+    run.span = job.trace.begin(phase, engine_.now(), group.span);
+    job.trace.annotate(run.span, "action", run.action->name());
+  }
   switch (run.action->type()) {
     case ActionType::kCompileTask:
     case ActionType::kLinkTask:
@@ -318,6 +393,7 @@ void Njs::dispatch_execute(JobRun& job, GroupRun& group, ActionRun& run) {
     return;
   }
   incarnated.value().spec.workspace = group.workspace;
+  job.trace.record("incarnate", engine_.now(), engine_.now(), run.span);
 
   JobToken token = job.token;
   GroupRun* group_ptr = &group;
@@ -334,13 +410,27 @@ void Njs::dispatch_execute(JobRun& job, GroupRun& group, ActionRun& run) {
         ActionRun& run = action_it->second;
         if (ajo::is_terminal(run.status)) return;
 
+        JobRun& job_run = *it->second;
         run.outcome.started_at = result.started_at;
+        if (run.span != 0 && result.started_at >= result.submitted_at &&
+            result.started_at >= 0) {
+          job_run.trace.record("queue-wait", result.submitted_at,
+                               result.started_at, run.span);
+          if (result.finished_at >= result.started_at)
+            job_run.trace.record("batch-run", result.started_at,
+                                 result.finished_at, run.span);
+        }
         if (result.started_at >= 0 && result.finished_at > result.started_at) {
           const auto& task =
               static_cast<const ajo::AbstractTaskObject&>(*run.action);
-          accounting_[it->second->user.login] +=
+          double cpu_seconds =
               sim::to_seconds(result.finished_at - result.started_at) *
               static_cast<double>(task.resource_request().processors);
+          accounting_[job_run.user.login] += cpu_seconds;
+          metrics_
+              ->counter("unicore_njs_accounting_cpu_seconds_total",
+                        {{"usite", usite_}, {"login", job_run.user.login}})
+              .add(cpu_seconds);
         }
         ajo::ExecuteOutcome detail;
         detail.exit_code = result.exit_code;
@@ -540,6 +630,12 @@ void Njs::dispatch_file_task(JobRun& job, GroupRun& group, ActionRun& run) {
 
 void Njs::dispatch_subjob(JobRun& job, GroupRun& group, ActionRun& run) {
   auto& sub = static_cast<ajo::AbstractJobObject&>(*run.action);
+  bool remote = !sub.usite.empty() && sub.usite != usite_;
+
+  run.span = job.trace.begin(remote ? "peer-consign" : "subjob", engine_.now(),
+                             group.span);
+  job.trace.annotate(run.span, "action", run.action->name());
+  if (remote) job.trace.annotate(run.span, "usite", sub.usite);
 
   // Collect the dependency files that must accompany the sub-job.
   std::vector<std::pair<std::string, uspace::FileBlob>> staged;
@@ -559,12 +655,12 @@ void Njs::dispatch_subjob(JobRun& job, GroupRun& group, ActionRun& run) {
     staged.emplace_back(name, std::move(blob));
   run.staged_files.clear();
 
-  bool remote = !sub.usite.empty() && sub.usite != usite_;
   if (!remote) {
     run.subgroup = std::make_unique<GroupRun>();
     run.subgroup->group = &sub;
     run.subgroup->parent = &group;
     run.subgroup->owner = &run;
+    run.subgroup->span = run.span;
     run.status = ActionStatus::kRunning;
     run.outcome.status = ActionStatus::kRunning;
     run.outcome.started_at = engine_.now();
@@ -621,6 +717,8 @@ void Njs::dispatch_subjob(JobRun& job, GroupRun& group, ActionRun& run) {
         }
         run.remote = handle.value();
         run.outcome.started_at = engine_.now();
+        it->second->trace.record("remote-accept", engine_.now(), engine_.now(),
+                                 run.span);
       },
       [this, token, group_ptr, id](ajo::Outcome outcome) {
         auto it = jobs_.find(token);
@@ -642,6 +740,10 @@ void Njs::complete_action(JobRun& job, GroupRun& group, ActionRun& run,
   run.outcome.status = status;
   run.outcome.message = std::move(message);
   run.outcome.finished_at = engine_.now();
+  if (run.span != 0) {
+    job.trace.annotate(run.span, "status", ajo::action_status_name(status));
+    job.trace.end(run.span, engine_.now());
+  }
   --group.open_actions;
 
   if (status == ActionStatus::kSuccessful)
@@ -801,9 +903,20 @@ void Njs::finalize_if_done(JobRun& job) {
   if (job.root.open_actions != 0) return;
   job.finalized = true;
   ++jobs_completed_;
+  if (completed_counter_) completed_counter_->increment();
+  if (job_duration_hist_)
+    job_duration_hist_->observe(
+        sim::to_seconds(engine_.now() - job.consigned_at));
+  ActionStatus aggregate = aggregate_status(job.root);
+  if (job.root.span != 0) {
+    job.trace.record("outcome", engine_.now(), engine_.now(), job.root.span);
+    job.trace.annotate(job.root.span, "status",
+                       ajo::action_status_name(aggregate));
+    job.trace.end(job.root.span, engine_.now());
+  }
   UNICORE_INFO("njs/" + usite_)
       << "job " << job.token << " finished: "
-      << ajo::action_status_name(aggregate_status(job.root));
+      << ajo::action_status_name(aggregate);
   if (job.on_final) {
     auto outcome = build_outcome(job, job.root,
                                  ajo::QueryService::Detail::kTasks);

@@ -32,6 +32,8 @@
 #include "gateway/gateway.h"
 #include "njs/incarnation.h"
 #include "njs/peer_link.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/engine.h"
 #include "uspace/filespace.h"
 #include "util/result.h"
@@ -131,6 +133,22 @@ class Njs {
   std::uint64_t jobs_consigned() const { return jobs_consigned_; }
   std::uint64_t jobs_completed() const { return jobs_completed_; }
 
+  // --- observability ------------------------------------------------------
+
+  /// Shares `registry` (e.g. one per deployment, owned by the grid) and
+  /// re-registers all NJS/batch series there. Never null after
+  /// construction: the NJS creates a private registry by default.
+  void set_metrics(std::shared_ptr<obs::MetricsRegistry> registry);
+  const std::shared_ptr<obs::MetricsRegistry>& metrics() const {
+    return metrics_;
+  }
+
+  /// Updates sampled gauges (active jobs); call before a snapshot.
+  void refresh_gauges();
+
+  /// The recorded lifecycle timeline of a consigned job (MonitorService).
+  util::Result<const obs::TraceTimeline*> trace(ajo::JobToken token) const;
+
   /// Accounting (§6 "accounting functions"): processor-seconds consumed
   /// per local login across all Vsites of this Usite, accumulated as
   /// batch jobs finish.
@@ -165,6 +183,7 @@ class Njs {
   ajo::ActionStatus aggregate_status(const GroupRun& group) const;
   void abort_group(JobRun& job, GroupRun& group);
   void set_held(GroupRun& group, bool held);
+  void wire_metrics();
 
   sim::Time staging_delay(const GroupRun& group, std::uint64_t bytes) const;
 
@@ -181,6 +200,12 @@ class Njs {
   ajo::JobToken next_token_ = 1;
   std::uint64_t jobs_consigned_ = 0;
   std::uint64_t jobs_completed_ = 0;
+
+  std::shared_ptr<obs::MetricsRegistry> metrics_;
+  obs::Counter* consigned_counter_ = nullptr;
+  obs::Counter* completed_counter_ = nullptr;
+  obs::Histogram* dispatch_latency_hist_ = nullptr;
+  obs::Histogram* job_duration_hist_ = nullptr;
 };
 
 }  // namespace unicore::njs

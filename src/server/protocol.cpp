@@ -25,6 +25,8 @@ const char* request_kind_name(RequestKind kind) {
     case RequestKind::kDeliverFile: return "deliver-file";
     case RequestKind::kFetchFile: return "fetch-file";
     case RequestKind::kPeerControl: return "peer-control";
+    case RequestKind::kMonitorMetrics: return "monitor-metrics";
+    case RequestKind::kMonitorTrace: return "monitor-trace";
   }
   return "?";
 }

@@ -42,6 +42,8 @@ enum class RequestKind : std::uint8_t {
   kDeliverFile = 9,    // peer NJS: token + name + blob
   kFetchFile = 10,     // peer NJS: token + name
   kPeerControl = 11,   // peer NJS: token + command
+  kMonitorMetrics = 12,  // MonitorService: Usite metrics snapshot
+  kMonitorTrace = 13,    // MonitorService: token -> job trace timeline
 };
 
 const char* request_kind_name(RequestKind kind);

@@ -57,8 +57,17 @@ UsiteServer::UsiteServer(sim::Engine& engine, net::Network& network,
       config_(std::move(config)),
       credential_(server_credential),
       gateway_(config_.name, std::move(trust), std::move(uudb)),
-      njs_(engine, rng_.fork(), config_.name, std::move(server_credential)) {
+      njs_(engine, rng_.fork(), config_.name, std::move(server_credential)),
+      metrics_(njs_.metrics()) {
   njs_.set_peer_link(this);
+  gateway_.set_metrics(metrics_.get());
+}
+
+void UsiteServer::set_metrics(std::shared_ptr<obs::MetricsRegistry> registry) {
+  if (registry == nullptr || registry == metrics_) return;
+  metrics_ = std::move(registry);
+  njs_.set_metrics(metrics_);
+  gateway_.set_metrics(metrics_.get());
 }
 
 UsiteServer::~UsiteServer() = default;
@@ -200,10 +209,23 @@ void UsiteServer::handle_request(const std::shared_ptr<ClientSession>& session,
   // The reply callback runs on the gateway side in both deployments
   // (directly when combined; in handle_pipe_client_message when split),
   // so it hands the reply straight to the session.
-  auto forward = [this, session, session_id](Bytes packed) {
-    execute_at_njs(session_id, std::move(packed), [this, session_id](Bytes reply) {
-      deliver_to_session(session_id, std::move(reply));
-    });
+  sim::Time received_at = engine_.now();
+  metrics_
+      ->counter("unicore_server_requests_total",
+                {{"kind", request_kind_name(kind)}, {"usite", config_.name}})
+      .increment();
+  auto forward = [this, session, session_id, kind, received_at](Bytes packed) {
+    execute_at_njs(
+        session_id, std::move(packed),
+        [this, session_id, kind, received_at](Bytes reply) {
+          metrics_
+              ->histogram("unicore_gateway_request_latency_seconds",
+                          {{"kind", request_kind_name(kind)},
+                           {"usite", config_.name}},
+                          obs::latency_buckets())
+              .observe(sim::to_seconds(engine_.now() - received_at));
+          deliver_to_session(session_id, std::move(reply));
+        });
   };
 
   switch (kind) {
@@ -245,7 +267,9 @@ void UsiteServer::handle_request(const std::shared_ptr<ClientSession>& session,
     case RequestKind::kQuery:
     case RequestKind::kList:
     case RequestKind::kControl:
-    case RequestKind::kFetchOutput: {
+    case RequestKind::kFetchOutput:
+    case RequestKind::kMonitorMetrics:
+    case RequestKind::kMonitorTrace: {
       // JMC operations: the channel's peer certificate is the user.
       auto user = gateway_.authenticate_user(
           session->channel->peer_certificate(), now_epoch);
@@ -401,6 +425,25 @@ Bytes UsiteServer::njs_execute(std::uint64_t session_id, ByteReader& packed) {
         if (auto status = njs_.control(token, command); !status.ok())
           return make_error_reply(request_id, status.error());
         return make_ok_reply(request_id, {});
+      }
+      case RequestKind::kMonitorMetrics: {
+        // MonitorService: a point-in-time snapshot of every metric the
+        // Usite (and, with a shared registry, the whole grid) recorded.
+        njs_.refresh_gauges();
+        obs::MetricsSnapshot snapshot = metrics_->snapshot();
+        ByteWriter out;
+        snapshot.encode(out);
+        return make_ok_reply(request_id, out.bytes());
+      }
+      case RequestKind::kMonitorTrace: {
+        JobToken token = packed.u64();
+        if (auto status = check_owner(token); !status.ok())
+          return make_error_reply(request_id, status.error());
+        auto timeline = njs_.trace(token);
+        if (!timeline) return make_error_reply(request_id, timeline.error());
+        ByteWriter out;
+        timeline.value()->encode(out);
+        return make_ok_reply(request_id, out.bytes());
       }
       case RequestKind::kGetBundle:
         break;  // never reaches the NJS

@@ -25,6 +25,7 @@
 #include "net/secure_channel.h"
 #include "njs/njs.h"
 #include "njs/peer_link.h"
+#include "obs/metrics.h"
 #include "server/protocol.h"
 #include "util/result.h"
 
@@ -97,6 +98,14 @@ class UsiteServer : public njs::PeerLink {
   // Diagnostics.
   std::uint64_t requests_served() const { return requests_served_; }
 
+  /// Shares a deployment-wide registry (set by the grid layer so one
+  /// MonitorService snapshot covers gateway, NJS, batch, and network).
+  /// By default the server uses the registry its NJS created.
+  void set_metrics(std::shared_ptr<obs::MetricsRegistry> registry);
+  const std::shared_ptr<obs::MetricsRegistry>& metrics() const {
+    return metrics_;
+  }
+
  private:
   struct ClientSession;
   struct PeerConnection;
@@ -141,6 +150,7 @@ class UsiteServer : public njs::PeerLink {
   crypto::Credential credential_;
   gateway::Gateway gateway_;
   njs::Njs njs_;
+  std::shared_ptr<obs::MetricsRegistry> metrics_;
   std::map<std::string, crypto::SoftwareBundle> bundles_;
 
   std::map<std::uint64_t, std::shared_ptr<ClientSession>> sessions_;

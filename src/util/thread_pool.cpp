@@ -45,33 +45,70 @@ void ThreadPool::parallel_for(std::size_t n,
   if (n == 0) return;
   // Chunk the index space so tiny bodies do not drown in queue overhead.
   std::size_t chunks = std::min(n, workers_.size() * 4);
-  std::atomic<std::size_t> next_chunk{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
 
-  std::vector<std::future<void>> futures;
-  futures.reserve(chunks);
-  for (std::size_t c = 0; c < chunks; ++c) {
-    futures.push_back(submit([&, chunks, n] {
-      for (;;) {
-        std::size_t chunk = next_chunk.fetch_add(1);
-        if (chunk >= chunks) return;
-        std::size_t begin = chunk * n / chunks;
-        std::size_t end = (chunk + 1) * n / chunks;
+  // All state lives in a shared control block and the calling thread
+  // drains chunks itself: parallel_for called from inside a worker makes
+  // progress even when every other worker is busy (previously it
+  // submitted helpers to its own pool and blocked on their futures — a
+  // deadlock on a saturated pool). Helper tasks that wake up after the
+  // caller already finished find no chunks left and exit.
+  struct Control {
+    std::size_t n;
+    std::size_t chunks;
+    std::function<void(std::size_t)> fn;
+    std::atomic<std::size_t> next_chunk{0};
+    std::atomic<std::size_t> done_chunks{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr first_error;
+    std::mutex mutex;
+    std::condition_variable done_cv;
+  };
+  auto control = std::make_shared<Control>();
+  control->n = n;
+  control->chunks = chunks;
+  control->fn = fn;
+
+  auto drain = [](const std::shared_ptr<Control>& ctl) {
+    for (;;) {
+      std::size_t chunk = ctl->next_chunk.fetch_add(1);
+      if (chunk >= ctl->chunks) return;
+      // After a failure the remaining chunks are claimed but skipped, so
+      // done_chunks still reaches chunks and every waiter wakes.
+      if (!ctl->failed.load(std::memory_order_acquire)) {
+        std::size_t begin = chunk * ctl->n / ctl->chunks;
+        std::size_t end = (chunk + 1) * ctl->n / ctl->chunks;
         for (std::size_t i = begin; i < end; ++i) {
           try {
-            fn(i);
+            ctl->fn(i);
           } catch (...) {
-            std::lock_guard lock(error_mutex);
-            if (!first_error) first_error = std::current_exception();
-            return;
+            std::lock_guard lock(ctl->mutex);
+            if (!ctl->first_error) ctl->first_error = std::current_exception();
+            ctl->failed.store(true, std::memory_order_release);
+            break;
           }
         }
       }
-    }));
+      if (ctl->done_chunks.fetch_add(1) + 1 == ctl->chunks) {
+        std::lock_guard lock(ctl->mutex);
+        ctl->done_cv.notify_all();
+      }
+    }
+  };
+
+  // One helper per chunk beyond the one the caller will start on.
+  for (std::size_t c = 1; c < chunks; ++c) {
+    std::lock_guard lock(mutex_);
+    queue_.emplace_back([control, drain] { drain(control); });
   }
-  for (auto& f : futures) f.get();
-  if (first_error) std::rethrow_exception(first_error);
+  if (chunks > 1) cv_.notify_all();
+
+  drain(control);
+
+  std::unique_lock lock(control->mutex);
+  control->done_cv.wait(lock, [&] {
+    return control->done_chunks.load() == control->chunks;
+  });
+  if (control->first_error) std::rethrow_exception(control->first_error);
 }
 
 }  // namespace unicore::util

@@ -45,7 +45,10 @@ class ThreadPool {
   }
 
   /// Applies `fn(i)` for i in [0, n) across the pool and waits for all.
-  /// Exceptions from any invocation are rethrown (first one wins).
+  /// Exceptions from any invocation are rethrown (first one wins; after a
+  /// failure the remaining indexes are skipped). The calling thread
+  /// participates in the work, so this is safe to call from inside a
+  /// worker task — even on a fully saturated pool.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:

@@ -145,6 +145,113 @@ TEST_F(NetworkFixture, CloseNotifiesPeer) {
   EXPECT_FALSE(client.value()->is_open());
 }
 
+TEST_F(NetworkFixture, CloseDeliversInFlightMessages) {
+  // Closing is a FIFO event per side: data already sent must still
+  // arrive before the peer learns of the close.
+  LinkProfile link;
+  link.latency = sim::msec(10);
+  link.bandwidth_bytes_per_sec = 0;
+  network.set_link("a", "b", link);
+
+  std::shared_ptr<Endpoint> server;
+  (void)network.listen({"b", 80}, [&](std::shared_ptr<Endpoint> e) {
+    server = std::move(e);
+  });
+  auto client = network.connect("a", {"b", 80});
+  ASSERT_TRUE(client.ok());
+
+  std::vector<std::string> events;
+  server->set_receiver([&](util::Bytes&& message) {
+    events.push_back(util::to_string(message));
+  });
+  server->set_close_handler([&] { events.push_back("<close>"); });
+
+  client.value()->send(util::to_bytes("goodbye"));
+  client.value()->close();  // same instant: must not overtake the data
+  engine.run();
+
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0], "goodbye");
+  EXPECT_EQ(events[1], "<close>");
+}
+
+TEST_F(NetworkFixture, CloseOnlyStopsTheClosingSide) {
+  // close() is per side: the closing endpoint goes down immediately,
+  // but the peer stays open until the notification crosses the link.
+  LinkProfile link;
+  link.latency = sim::msec(10);
+  link.bandwidth_bytes_per_sec = 0;
+  network.set_link("a", "b", link);
+
+  std::shared_ptr<Endpoint> server;
+  (void)network.listen({"b", 80}, [&](std::shared_ptr<Endpoint> e) {
+    server = std::move(e);
+  });
+  auto client = network.connect("a", {"b", 80});
+  ASSERT_TRUE(client.ok());
+
+  bool notified = false;
+  server->set_close_handler([&] {
+    notified = true;
+    // By the time the handler runs, our side is down too.
+    EXPECT_FALSE(server->is_open());
+    EXPECT_EQ(engine.now(), sim::msec(10));
+  });
+
+  client.value()->close();
+  EXPECT_FALSE(client.value()->is_open());
+  // The notification is still in flight; the server has not heard yet.
+  EXPECT_FALSE(notified);
+  EXPECT_TRUE(server->is_open());
+  engine.run();
+  EXPECT_TRUE(notified);
+  EXPECT_FALSE(server->is_open());
+}
+
+TEST_F(NetworkFixture, BytesSentCountsAttemptsAndDeliveredCountsArrivals) {
+  LinkProfile lossy;
+  lossy.loss_probability = 1.0;
+  network.set_link("a", "b", lossy);
+  std::shared_ptr<Endpoint> server;
+  (void)network.listen({"b", 80}, [&](std::shared_ptr<Endpoint> e) {
+    server = std::move(e);
+  });
+  auto client = network.connect("a", {"b", 80});
+  ASSERT_TRUE(client.ok());
+
+  auto metrics = std::make_shared<obs::MetricsRegistry>();
+  network.set_metrics(metrics);
+
+  for (int i = 0; i < 5; ++i) client.value()->send(util::Bytes(100, 0));
+  engine.run();
+
+  // Every send was attempted; the total link dropped all of them.
+  EXPECT_EQ(client.value()->bytes_sent(), 500u);
+  EXPECT_EQ(client.value()->bytes_delivered(), 0u);
+
+  obs::MetricsSnapshot snapshot = metrics->snapshot();
+  EXPECT_DOUBLE_EQ(snapshot.total("unicore_net_bytes_sent_total"), 500.0);
+  EXPECT_DOUBLE_EQ(snapshot.total("unicore_net_bytes_delivered_total"), 0.0);
+  EXPECT_DOUBLE_EQ(snapshot.total("unicore_net_messages_dropped_total"), 5.0);
+
+  // On a clean link both statistics advance together. (The profile is
+  // captured at connect time, so use a fresh connection pair.)
+  std::shared_ptr<Endpoint> clean_server;
+  (void)network.listen({"d", 80}, [&](std::shared_ptr<Endpoint> e) {
+    clean_server = std::move(e);
+  });
+  auto clean = network.connect("c", {"d", 80});
+  ASSERT_TRUE(clean.ok());
+  clean.value()->send(util::Bytes(40, 0));
+  engine.run();
+  EXPECT_EQ(clean.value()->bytes_sent(), 40u);
+  EXPECT_EQ(clean.value()->bytes_delivered(), 40u);
+  snapshot = metrics->snapshot();
+  EXPECT_DOUBLE_EQ(snapshot.total("unicore_net_bytes_sent_total"), 540.0);
+  EXPECT_DOUBLE_EQ(snapshot.total("unicore_net_bytes_delivered_total"),
+                   40.0);
+}
+
 TEST_F(NetworkFixture, SendAfterCloseIsDropped) {
   std::shared_ptr<Endpoint> server;
   (void)network.listen({"b", 80}, [&](std::shared_ptr<Endpoint> e) {

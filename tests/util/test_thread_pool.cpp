@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <vector>
 
@@ -51,6 +52,30 @@ TEST(ThreadPool, ParallelForRethrowsWorkerException) {
                                      throw std::logic_error("bad index");
                                  }),
                std::logic_error);
+}
+
+TEST(ThreadPool, ParallelForFromInsideAWorkerDoesNotDeadlock) {
+  // A nested parallel_for used to park the calling worker in the
+  // completion wait while the chunks it needed sat behind it in the
+  // queue. The caller now drains chunks itself.
+  ThreadPool pool(1);  // worst case: the only worker issues the call
+  std::atomic<int> inner_hits{0};
+  auto future = pool.submit([&] {
+    pool.parallel_for(64, [&](std::size_t) { inner_hits.fetch_add(1); });
+  });
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(30)),
+            std::future_status::ready);
+  future.get();
+  EXPECT_EQ(inner_hits.load(), 64);
+}
+
+TEST(ThreadPool, NestedParallelForOnSmallPool) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    pool.parallel_for(8, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 64);
 }
 
 TEST(ThreadPool, ManyTasksComplete) {
