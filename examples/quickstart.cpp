@@ -14,6 +14,7 @@
 #include "batch/target_system.h"
 #include "client/client.h"
 #include "client/job_builder.h"
+#include "client/sync_client.h"
 #include "grid/grid.h"
 
 using namespace unicore;
@@ -50,27 +51,23 @@ int main() {
   client_config.host = "ws.uni-koeln.de";
   client_config.user = jane;
   client_config.trust = &trust;
-  client::UnicoreClient client(grid.engine(), grid.network(), grid.rng(),
-                               client_config);
+  client::UnicoreClient async_client(grid.engine(), grid.network(),
+                                     grid.rng(), client_config);
+  // The blocking facade: every call below drives the engine until its
+  // reply arrives, so the flow reads top-to-bottom.
+  client::SyncClient client(grid.engine(), async_client);
 
-  client.connect(site.address(), [](util::Status status) {
-    std::printf("SSL-style handshake: %s\n", status.to_string().c_str());
-  });
-  grid.engine().run();
+  util::Status handshake = client.connect(site.address());
+  std::printf("SSL-style handshake: %s\n", handshake.to_string().c_str());
 
-  client.fetch_bundle("JPA", [](util::Result<crypto::SoftwareBundle> b) {
-    if (b.ok())
-      std::printf("JPA applet v%u downloaded, signature verified (%s)\n",
-                  b.value().version,
-                  b.value().signer.subject.common_name.c_str());
-  });
+  auto bundle = client.fetch_bundle("JPA");
+  if (bundle.ok())
+    std::printf("JPA applet v%u downloaded, signature verified (%s)\n",
+                bundle.value().version,
+                bundle.value().signer.subject.common_name.c_str());
 
-  std::vector<resources::ResourcePage> pages;
-  client.fetch_resource_pages(
-      [&pages](util::Result<std::vector<resources::ResourcePage>> result) {
-        if (result.ok()) pages = std::move(result.value());
-      });
-  grid.engine().run();
+  std::vector<resources::ResourcePage> pages =
+      client.fetch_resource_pages().value_or({});
   for (const auto& page : pages)
     std::printf("Resource page: %s/%s, %s, max %lld PEs, %lld s\n",
                 page.usite.c_str(), page.vsite.c_str(),
@@ -116,42 +113,33 @@ int main() {
               job.value().dependencies().size());
 
   // --- 5. submit & monitor -----------------------------------------------
-  ajo::JobToken token = 0;
-  client.submit(job.value(), [&token](util::Result<ajo::JobToken> result) {
-    if (result.ok()) {
-      token = result.value();
-      std::printf("consigned: job token %llu\n",
-                  static_cast<unsigned long long>(token));
-    } else {
-      std::printf("consignment rejected: %s\n",
-                  result.error().to_string().c_str());
-    }
-  });
-  grid.engine().run_until(grid.engine().now() + sim::sec(1));
+  auto token = client.submit(job.value());
+  if (!token.ok()) {
+    std::printf("consignment rejected: %s\n",
+                token.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("consigned: job token %llu\n",
+              static_cast<unsigned long long>(token.value()));
 
-  client.wait_for_completion(
-      token, sim::sec(30), [&](util::Result<ajo::Outcome> outcome) {
-        if (!outcome.ok()) return;
-        std::printf("\nJMC status tree at completion (t=%.1f s):\n%s",
-                    sim::to_seconds(grid.engine().now()),
-                    outcome.value().to_tree_string().c_str());
-        const ajo::Outcome* solve = nullptr;
-        for (const auto& child : outcome.value().children)
-          if (child.name == "solve") solve = &child;
-        if (solve != nullptr)
-          if (const auto* detail =
-                  std::get_if<ajo::ExecuteOutcome>(&solve->detail))
-            std::printf("stdout of 'solve':\n%s", detail->stdout_text.c_str());
-      });
-  grid.engine().run();
+  auto outcome = client.wait_for_completion(token.value(), sim::sec(30));
+  if (outcome.ok()) {
+    std::printf("\nJMC status tree at completion (t=%.1f s):\n%s",
+                sim::to_seconds(grid.engine().now()),
+                outcome.value().to_tree_string().c_str());
+    const ajo::Outcome* solve = nullptr;
+    for (const auto& child : outcome.value().children)
+      if (child.name == "solve") solve = &child;
+    if (solve != nullptr)
+      if (const auto* detail =
+              std::get_if<ajo::ExecuteOutcome>(&solve->detail))
+        std::printf("stdout of 'solve':\n%s", detail->stdout_text.c_str());
+  }
 
-  client.fetch_output(token, "solution.dat",
-                      [](util::Result<uspace::FileBlob> blob) {
-                        if (blob.ok())
-                          std::printf("fetched solution.dat: %llu bytes\n",
-                                      static_cast<unsigned long long>(
-                                          blob.value().size()));
-                      });
+  auto blob = client.fetch_output(token.value(), "solution.dat");
+  if (blob.ok())
+    std::printf("fetched solution.dat: %llu bytes\n",
+                static_cast<unsigned long long>(blob.value().size()));
   grid.engine().run();
 
   std::printf("\ndone: %llu request(s) served by the gateway, %.1f virtual "

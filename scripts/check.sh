@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Builds and tests the plain (RelWithDebInfo) and sanitized
+# (ASan+UBSan Debug) configurations via the CMake presets.
+#
+#   scripts/check.sh            both configurations
+#   scripts/check.sh plain      just the regular build
+#   scripts/check.sh sanitize   just the sanitizer build
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+presets=("$@")
+if [ ${#presets[@]} -eq 0 ]; then
+  presets=(plain sanitize)
+fi
+
+for preset in "${presets[@]}"; do
+  echo "==> configure [$preset]"
+  cmake --preset "$preset"
+  echo "==> build [$preset]"
+  cmake --build --preset "$preset" -j "$(nproc)"
+  echo "==> test [$preset]"
+  ctest --preset "$preset"
+done
+
+echo "All checks passed: ${presets[*]}"

@@ -62,6 +62,9 @@ Result<BatchJobId> BatchSubsystem::submit(const std::string& script,
                                           const std::string& owner,
                                           ExecutionSpec spec,
                                           CompletionHandler on_complete) {
+  if (offline_)
+    return util::make_error(ErrorCode::kUnavailable,
+                            config_.vsite + ": batch subsystem offline");
   if (owner.empty())
     return util::make_error(ErrorCode::kPermissionDenied,
                             config_.vsite + ": submission without a login");
@@ -302,6 +305,26 @@ void BatchSubsystem::finish_job(Job& job, BatchJobState state,
     handler(job.id, job.result);
   }
   engine_.after(0, [this] { schedule_pass(); });
+}
+
+Status BatchSubsystem::reattach(BatchJobId id, CompletionHandler on_complete) {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end())
+    return util::make_error(ErrorCode::kNotFound,
+                            "no such batch job: " + std::to_string(id));
+  Job& job = *it->second;
+  if (job.state == BatchJobState::kQueued ||
+      job.state == BatchJobState::kRunning) {
+    job.on_complete = std::move(on_complete);
+    return Status::ok_status();
+  }
+  // Already terminal: deliver the stored result asynchronously so the
+  // caller sees the same once-at-completion contract as submit().
+  engine_.after(0, [this, id, handler = std::move(on_complete)] {
+    auto jt = jobs_.find(id);
+    if (jt != jobs_.end() && handler) handler(id, jt->second->result);
+  });
+  return Status::ok_status();
 }
 
 Status BatchSubsystem::cancel(BatchJobId id) {

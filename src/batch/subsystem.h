@@ -101,11 +101,24 @@ class BatchSubsystem {
                                   ExecutionSpec spec,
                                   CompletionHandler on_complete);
 
+  /// NJS crash recovery: re-attaches a completion handler to an
+  /// existing job, replacing any stored one. The batch subsystem is a
+  /// separate process and keeps running through an NJS restart, so the
+  /// recovered NJS reconnects to its submissions instead of submitting
+  /// duplicates. If the job is already terminal the handler fires on
+  /// the next engine event with the stored result.
+  util::Status reattach(BatchJobId id, CompletionHandler on_complete);
+
   /// qdel: cancels a queued or running job.
   util::Status cancel(BatchJobId id);
 
   util::Result<BatchJobState> state(BatchJobId id) const;
   util::Result<BatchResult> result(BatchJobId id) const;
+
+  /// Fault injection: an offline subsystem rejects new submissions with
+  /// kUnavailable (already queued/running jobs keep executing).
+  void set_offline(bool offline) { offline_ = offline; }
+  bool offline() const { return offline_; }
 
   std::int64_t free_nodes() const { return free_nodes_; }
   std::size_t queued_jobs() const { return queue_.size(); }
@@ -163,6 +176,7 @@ class BatchSubsystem {
   std::map<BatchJobId, std::unique_ptr<Job>> jobs_;
   std::deque<BatchJobId> queue_;
   std::vector<BatchJobId> running_;
+  bool offline_ = false;
   SubsystemStats stats_;
 
   obs::MetricsRegistry* metrics_ = nullptr;

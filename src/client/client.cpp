@@ -35,6 +35,8 @@ void UnicoreClient::connect(net::Address usite,
   channel_config.credential = config_.user;
   channel_config.trust = config_.trust;
   channel_config.required_peer_usage = crypto::kUsageServerAuth;
+  channel_config.protocol_version = config_.protocol_version;
+  channel_config.features = config_.channel_features;
 
   channel_ = net::SecureChannel::as_client(
       engine_, rng_, std::move(endpoint.value()), channel_config,
@@ -97,7 +99,7 @@ void UnicoreClient::send_request(
     auto handler = std::move(it->second.handler);
     pending_.erase(it);
     ++requests_failed_;
-    handler(util::make_error(ErrorCode::kUnavailable,
+    handler(util::make_error(ErrorCode::kTimeout,
                              "request timed out (message lost?)"));
   });
   pending_[request_id] = std::move(pending);
@@ -126,6 +128,8 @@ void UnicoreClient::handle_message(Bytes&& wire) {
 }
 
 // ---- operations ------------------------------------------------------------
+// Each operation is its codec plus a payload writer; the call<> template
+// owns the request/reply/timeout plumbing.
 
 void UnicoreClient::fetch_bundle(
     const std::string& name,
@@ -134,79 +138,37 @@ void UnicoreClient::fetch_bundle(
   payload.str(name);
   const crypto::TrustStore* trust = config_.trust;
   sim::Time now = engine_.now();
-  send_request(RequestKind::kGetBundle, payload.take(),
-               [done = std::move(done), trust, now](Result<Bytes> reply) {
-                 if (!reply) {
-                   done(reply.error());
-                   return;
-                 }
-                 auto bundle = crypto::SoftwareBundle::decode(reply.value());
-                 if (!bundle) {
-                   done(bundle.error());
-                   return;
-                 }
-                 // "The applet certificate is checked to assure the user
-                 //  that the software has not been tampered with." (§4.1)
-                 if (trust != nullptr) {
-                   auto status = crypto::verify_bundle(
-                       bundle.value(), *trust, net::epoch_seconds(now));
-                   if (!status.ok()) {
-                     done(status.error());
-                     return;
-                   }
-                 }
-                 done(std::move(bundle.value()));
-               });
+  call<wire::BundleCodec>(
+      payload.take(),
+      [done = std::move(done), trust, now](Result<crypto::SoftwareBundle>
+                                               bundle) {
+        if (!bundle) {
+          done(bundle.error());
+          return;
+        }
+        // "The applet certificate is checked to assure the user that the
+        //  software has not been tampered with." (§4.1)
+        if (trust != nullptr) {
+          auto status = crypto::verify_bundle(bundle.value(), *trust,
+                                              net::epoch_seconds(now));
+          if (!status.ok()) {
+            done(status.error());
+            return;
+          }
+        }
+        done(std::move(bundle.value()));
+      });
 }
 
 void UnicoreClient::fetch_resource_pages(
     std::function<void(Result<std::vector<resources::ResourcePage>>)> done) {
-  send_request(
-      RequestKind::kResourcePages, {},
-      [done = std::move(done)](Result<Bytes> reply) {
-        if (!reply) {
-          done(reply.error());
-          return;
-        }
-        try {
-          ByteReader reader{reply.value()};
-          std::uint64_t count = reader.varint();
-          std::vector<resources::ResourcePage> pages;
-          pages.reserve(count);
-          for (std::uint64_t i = 0; i < count; ++i) {
-            Bytes der = reader.blob();
-            auto page = resources::ResourcePage::decode(der);
-            if (!page) {
-              done(page.error());
-              return;
-            }
-            pages.push_back(std::move(page.value()));
-          }
-          done(std::move(pages));
-        } catch (const std::out_of_range&) {
-          done(util::make_error(ErrorCode::kInvalidArgument,
-                                "malformed resource page reply"));
-        }
-      });
+  call<wire::ResourcePagesCodec>({}, std::move(done));
 }
 
 void UnicoreClient::submit(const ajo::AbstractJobObject& job,
                            std::function<void(Result<ajo::JobToken>)> done) {
   ajo::SignedAjo signed_ajo = ajo::sign_ajo(job, config_.user);
-  send_request(RequestKind::kConsign, signed_ajo.encode(),
-               [done = std::move(done)](Result<Bytes> reply) {
-                 if (!reply) {
-                   done(reply.error());
-                   return;
-                 }
-                 try {
-                   ByteReader reader{reply.value()};
-                   done(ajo::JobToken{reader.u64()});
-                 } catch (const std::out_of_range&) {
-                   done(util::make_error(ErrorCode::kInvalidArgument,
-                                         "malformed consign reply"));
-                 }
-               });
+  call<wire::ConsignCodec>(signed_ajo.encode(), std::move(done));
 }
 
 void UnicoreClient::submit_with_retry(
@@ -218,20 +180,30 @@ void UnicoreClient::submit_with_retry(
   }
   auto attempt = std::make_shared<std::function<void(int)>>();
   auto job_copy = std::make_shared<ajo::AbstractJobObject>(job);
-  *attempt = [this, job_copy, done, attempt](int remaining) {
-    auto retry = [this, attempt, remaining, done](const util::Error& error) {
+  int total = attempts;
+  // The loop function holds itself only weakly; the strong reference
+  // that keeps the retry chain alive rides in the scheduled callbacks
+  // below (self-capture here would be a permanent shared_ptr cycle).
+  *attempt = [this, job_copy, done, total,
+              weak_attempt = std::weak_ptr<std::function<void(int)>>(
+                  attempt)](int remaining) {
+    auto attempt = weak_attempt.lock();
+    auto retry = [this, attempt, remaining, total,
+                  done](const util::Error& error) {
       if (remaining <= 1) {
         done(error);
         return;
       }
-      // Reconnect, then try again — each interaction is short, so a
-      // lossy link only costs a retry (the §5.3 robustness argument).
-      connect(usite_address_, [attempt, remaining, done](Status status) {
-        if (!status.ok()) {
+      // Back off, reconnect, then try again — each interaction is short,
+      // so a lossy link only costs a retry (the §5.3 robustness
+      // argument); the growing delay keeps a down Usite from being
+      // hammered.
+      sim::Time delay = util::backoff_delay_us(
+          config_.retry_backoff, total - remaining + 1, rng_);
+      engine_.after(delay, [this, attempt, remaining, done] {
+        connect(usite_address_, [attempt, remaining, done](Status) {
           (*attempt)(remaining - 1);
-          return;
-        }
-        (*attempt)(remaining - 1);
+        });
       });
     };
     if (!connected()) {
@@ -243,7 +215,7 @@ void UnicoreClient::submit_with_retry(
         done(std::move(token));
         return;
       }
-      if (token.error().code == ErrorCode::kUnavailable) {
+      if (util::is_retryable(token.error().code)) {
         retry(token.error());
         return;
       }
@@ -259,45 +231,12 @@ void UnicoreClient::query(ajo::JobToken token,
   ByteWriter payload;
   payload.u64(token);
   payload.u8(static_cast<std::uint8_t>(detail));
-  send_request(RequestKind::kQuery, payload.take(),
-               [done = std::move(done)](Result<Bytes> reply) {
-                 if (!reply) {
-                   done(reply.error());
-                   return;
-                 }
-                 ByteReader reader{reply.value()};
-                 done(ajo::Outcome::decode(reader));
-               });
+  call<wire::QueryCodec>(payload.take(), std::move(done));
 }
 
 void UnicoreClient::list(
     std::function<void(Result<std::vector<JobEntry>>)> done) {
-  send_request(RequestKind::kList, {},
-               [done = std::move(done)](Result<Bytes> reply) {
-                 if (!reply) {
-                   done(reply.error());
-                   return;
-                 }
-                 try {
-                   ByteReader reader{reply.value()};
-                   std::uint64_t count = reader.varint();
-                   std::vector<JobEntry> entries;
-                   entries.reserve(count);
-                   for (std::uint64_t i = 0; i < count; ++i) {
-                     JobEntry entry;
-                     entry.token = reader.u64();
-                     entry.name = reader.str();
-                     entry.status =
-                         static_cast<ajo::ActionStatus>(reader.u8());
-                     entry.consigned_at = reader.i64();
-                     entries.push_back(std::move(entry));
-                   }
-                   done(std::move(entries));
-                 } catch (const std::out_of_range&) {
-                   done(util::make_error(ErrorCode::kInvalidArgument,
-                                         "malformed list reply"));
-                 }
-               });
+  call<wire::ListCodec>({}, std::move(done));
 }
 
 void UnicoreClient::control(ajo::JobToken token,
@@ -306,13 +245,13 @@ void UnicoreClient::control(ajo::JobToken token,
   ByteWriter payload;
   payload.u64(token);
   payload.u8(static_cast<std::uint8_t>(command));
-  send_request(RequestKind::kControl, payload.take(),
-               [done = std::move(done)](Result<Bytes> reply) {
-                 if (!reply)
-                   done(reply.error());
-                 else
-                   done(Status::ok_status());
-               });
+  call<wire::ControlCodec>(payload.take(),
+                           [done = std::move(done)](Result<Ack> reply) {
+                             if (!reply)
+                               done(reply.error());
+                             else
+                               done(Status::ok_status());
+                           });
 }
 
 void UnicoreClient::fetch_output(
@@ -321,38 +260,12 @@ void UnicoreClient::fetch_output(
   ByteWriter payload;
   payload.u64(token);
   payload.str(name);
-  send_request(RequestKind::kFetchOutput, payload.take(),
-               [done = std::move(done)](Result<Bytes> reply) {
-                 if (!reply) {
-                   done(reply.error());
-                   return;
-                 }
-                 try {
-                   ByteReader reader{reply.value()};
-                   done(uspace::FileBlob::decode(reader));
-                 } catch (const std::out_of_range&) {
-                   done(util::make_error(ErrorCode::kInvalidArgument,
-                                         "malformed output reply"));
-                 }
-               });
+  call<wire::FetchOutputCodec>(payload.take(), std::move(done));
 }
 
 void UnicoreClient::fetch_metrics(
     std::function<void(Result<obs::MetricsSnapshot>)> done) {
-  send_request(RequestKind::kMonitorMetrics, {},
-               [done = std::move(done)](Result<Bytes> reply) {
-                 if (!reply) {
-                   done(reply.error());
-                   return;
-                 }
-                 try {
-                   ByteReader reader{reply.value()};
-                   done(obs::MetricsSnapshot::decode(reader));
-                 } catch (const std::out_of_range&) {
-                   done(util::make_error(ErrorCode::kInvalidArgument,
-                                         "malformed metrics reply"));
-                 }
-               });
+  call<wire::MetricsCodec>({}, std::move(done));
 }
 
 void UnicoreClient::fetch_trace(
@@ -360,20 +273,12 @@ void UnicoreClient::fetch_trace(
     std::function<void(Result<obs::TraceTimeline>)> done) {
   ByteWriter payload;
   payload.u64(token);
-  send_request(RequestKind::kMonitorTrace, payload.take(),
-               [done = std::move(done)](Result<Bytes> reply) {
-                 if (!reply) {
-                   done(reply.error());
-                   return;
-                 }
-                 try {
-                   ByteReader reader{reply.value()};
-                   done(obs::TraceTimeline::decode(reader));
-                 } catch (const std::out_of_range&) {
-                   done(util::make_error(ErrorCode::kInvalidArgument,
-                                         "malformed trace reply"));
-                 }
-               });
+  call<wire::TraceCodec>(payload.take(), std::move(done));
+}
+
+void UnicoreClient::inspect_journal(
+    std::function<void(Result<JournalInfo>)> done) {
+  call<wire::JournalInspectCodec>({}, std::move(done));
 }
 
 void UnicoreClient::wait_for_completion(

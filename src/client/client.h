@@ -32,6 +32,7 @@
 #include "server/protocol.h"
 #include "uspace/blob.h"
 #include "util/result.h"
+#include "util/retry.h"
 
 namespace unicore::client {
 
@@ -43,16 +44,160 @@ struct JobEntry {
   sim::Time consigned_at = 0;
 };
 
+/// Reply of kJournalInspect: recovery diagnostics of the Usite's NJS.
+struct JournalInfo {
+  bool has_journal = false;
+  std::uint64_t records = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t consigns_deduped = 0;
+  std::uint64_t batch_retries = 0;
+};
+
+/// Reply type of request kinds whose success carries no payload.
+struct Ack {};
+
+/// Per-request codec traits: each RequestKind the client speaks is one
+/// struct binding the kind, its reply type, and the reply decoder. The
+/// generic UnicoreClient::call<Codec>() template supplies everything
+/// else (request-id bookkeeping, timeout, error replies, malformed-reply
+/// handling), so adding a request kind is one codec + one thin wrapper.
+namespace wire {
+
+struct ConsignCodec {
+  using Reply = ajo::JobToken;
+  static constexpr server::RequestKind kKind = server::RequestKind::kConsign;
+  static constexpr const char* kName = "consign";
+  static Reply decode(util::ByteReader& r) { return ajo::JobToken{r.u64()}; }
+};
+
+struct QueryCodec {
+  using Reply = ajo::Outcome;
+  static constexpr server::RequestKind kKind = server::RequestKind::kQuery;
+  static constexpr const char* kName = "query";
+  static util::Result<Reply> decode(util::ByteReader& r) {
+    return ajo::Outcome::decode(r);
+  }
+};
+
+struct ListCodec {
+  using Reply = std::vector<JobEntry>;
+  static constexpr server::RequestKind kKind = server::RequestKind::kList;
+  static constexpr const char* kName = "list";
+  static Reply decode(util::ByteReader& r) {
+    std::uint64_t count = r.varint();
+    Reply entries;
+    entries.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      JobEntry entry;
+      entry.token = r.u64();
+      entry.name = r.str();
+      entry.status = static_cast<ajo::ActionStatus>(r.u8());
+      entry.consigned_at = r.i64();
+      entries.push_back(std::move(entry));
+    }
+    return entries;
+  }
+};
+
+struct ControlCodec {
+  using Reply = Ack;
+  static constexpr server::RequestKind kKind = server::RequestKind::kControl;
+  static constexpr const char* kName = "control";
+  static Reply decode(util::ByteReader&) { return {}; }
+};
+
+struct FetchOutputCodec {
+  using Reply = uspace::FileBlob;
+  static constexpr server::RequestKind kKind =
+      server::RequestKind::kFetchOutput;
+  static constexpr const char* kName = "output";
+  static Reply decode(util::ByteReader& r) {
+    return uspace::FileBlob::decode(r);
+  }
+};
+
+struct ResourcePagesCodec {
+  using Reply = std::vector<resources::ResourcePage>;
+  static constexpr server::RequestKind kKind =
+      server::RequestKind::kResourcePages;
+  static constexpr const char* kName = "resource page";
+  static util::Result<Reply> decode(util::ByteReader& r) {
+    std::uint64_t count = r.varint();
+    Reply pages;
+    pages.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      util::Bytes der = r.blob();
+      auto page = resources::ResourcePage::decode(der);
+      if (!page) return page.error();
+      pages.push_back(std::move(page.value()));
+    }
+    return pages;
+  }
+};
+
+struct BundleCodec {
+  using Reply = crypto::SoftwareBundle;
+  static constexpr server::RequestKind kKind = server::RequestKind::kGetBundle;
+  static constexpr const char* kName = "bundle";
+  static util::Result<Reply> decode(util::ByteReader& r) {
+    return crypto::SoftwareBundle::decode(r.raw(r.remaining()));
+  }
+};
+
+struct MetricsCodec {
+  using Reply = obs::MetricsSnapshot;
+  static constexpr server::RequestKind kKind =
+      server::RequestKind::kMonitorMetrics;
+  static constexpr const char* kName = "metrics";
+  static util::Result<Reply> decode(util::ByteReader& r) {
+    return obs::MetricsSnapshot::decode(r);
+  }
+};
+
+struct TraceCodec {
+  using Reply = obs::TraceTimeline;
+  static constexpr server::RequestKind kKind =
+      server::RequestKind::kMonitorTrace;
+  static constexpr const char* kName = "trace";
+  static util::Result<Reply> decode(util::ByteReader& r) {
+    return obs::TraceTimeline::decode(r);
+  }
+};
+
+struct JournalInspectCodec {
+  using Reply = JournalInfo;
+  static constexpr server::RequestKind kKind =
+      server::RequestKind::kJournalInspect;
+  static constexpr const char* kName = "journal";
+  static Reply decode(util::ByteReader& r) {
+    JournalInfo info;
+    info.has_journal = r.u8() != 0;
+    info.records = r.varint();
+    info.recoveries = r.u64();
+    info.consigns_deduped = r.u64();
+    info.batch_retries = r.u64();
+    return info;
+  }
+};
+
+}  // namespace wire
+
 class UnicoreClient {
  public:
   struct Config {
     std::string host;  // the user's workstation host name
     crypto::Credential user;
     const crypto::TrustStore* trust = nullptr;
-    /// Per-request timeout; a lost message surfaces as kUnavailable and
-    /// the caller decides whether to retry (the asynchronous high-level
+    /// Per-request timeout; a lost message surfaces as kTimeout and the
+    /// caller decides whether to retry (the asynchronous high-level
     /// protocol of §5.3).
     sim::Time request_timeout = sim::sec(60);
+    /// Backoff between submit_with_retry attempts.
+    util::BackoffPolicy retry_backoff;
+    /// Channel protocol version and feature bits offered in the hello
+    /// (see PROTOCOL.md); lower them to emulate a legacy client.
+    std::uint8_t protocol_version = net::kProtocolVersion;
+    std::uint64_t channel_features = net::kDefaultFeatures;
   };
 
   UnicoreClient(sim::Engine& engine, net::Network& network, util::Rng& rng,
@@ -114,6 +259,34 @@ class UnicoreClient {
   /// Fetches the recorded trace timeline of one of the caller's jobs.
   void fetch_trace(ajo::JobToken token,
                    std::function<void(util::Result<obs::TraceTimeline>)> done);
+  /// Fetches the NJS journal / recovery diagnostics. Requires the
+  /// kFeatureJournalInspect channel feature (negotiated in the hello
+  /// exchange); v1 servers reject the request.
+  void inspect_journal(std::function<void(util::Result<JournalInfo>)> done);
+
+  // --- the generic request path ------------------------------------------
+  /// Sends one request of `Codec`'s kind and decodes the reply with its
+  /// codec. All named operations above are thin wrappers around this.
+  template <typename Codec>
+  void call(util::Bytes payload,
+            std::function<void(util::Result<typename Codec::Reply>)> done) {
+    send_request(
+        Codec::kKind, std::move(payload),
+        [done = std::move(done)](util::Result<util::Bytes> reply) {
+          if (!reply) {
+            done(reply.error());
+            return;
+          }
+          try {
+            util::ByteReader reader{reply.value()};
+            done(Codec::decode(reader));
+          } catch (const std::out_of_range&) {
+            done(util::make_error(
+                util::ErrorCode::kInvalidArgument,
+                std::string("malformed ") + Codec::kName + " reply"));
+          }
+        });
+  }
 
   // --- diagnostics ---------------------------------------------------------
   std::uint64_t requests_sent() const { return requests_sent_; }

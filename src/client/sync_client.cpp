@@ -1,0 +1,97 @@
+#include "client/sync_client.h"
+
+namespace unicore::client {
+
+using util::Result;
+using util::Status;
+
+Status SyncClient::connect(net::Address usite) {
+  std::optional<Status> result;
+  client_.connect(usite, [&result](Status s) { result = std::move(s); });
+  while (!result.has_value() && engine_.step()) {
+  }
+  if (!result.has_value())
+    return util::make_error(util::ErrorCode::kInternal,
+                            "event queue drained before the reply");
+  return std::move(*result);
+}
+
+Result<crypto::SoftwareBundle> SyncClient::fetch_bundle(
+    const std::string& name) {
+  return await<crypto::SoftwareBundle>([&](auto done) {
+    client_.fetch_bundle(name, std::move(done));
+  });
+}
+
+Result<std::vector<resources::ResourcePage>>
+SyncClient::fetch_resource_pages() {
+  return await<std::vector<resources::ResourcePage>>(
+      [&](auto done) { client_.fetch_resource_pages(std::move(done)); });
+}
+
+Result<ajo::JobToken> SyncClient::submit(const ajo::AbstractJobObject& job) {
+  return await<ajo::JobToken>(
+      [&](auto done) { client_.submit(job, std::move(done)); });
+}
+
+Result<ajo::JobToken> SyncClient::submit_with_retry(
+    const ajo::AbstractJobObject& job, int attempts) {
+  return await<ajo::JobToken>([&](auto done) {
+    client_.submit_with_retry(job, attempts, std::move(done));
+  });
+}
+
+Result<ajo::Outcome> SyncClient::query(ajo::JobToken token,
+                                       ajo::QueryService::Detail detail) {
+  return await<ajo::Outcome>(
+      [&](auto done) { client_.query(token, detail, std::move(done)); });
+}
+
+Result<std::vector<JobEntry>> SyncClient::list() {
+  return await<std::vector<JobEntry>>(
+      [&](auto done) { client_.list(std::move(done)); });
+}
+
+Status SyncClient::control(ajo::JobToken token,
+                           ajo::ControlService::Command command) {
+  std::optional<Status> result;
+  client_.control(token, command,
+                  [&result](Status s) { result = std::move(s); });
+  while (!result.has_value() && engine_.step()) {
+  }
+  if (!result.has_value())
+    return util::make_error(util::ErrorCode::kInternal,
+                            "event queue drained before the reply");
+  return std::move(*result);
+}
+
+Result<uspace::FileBlob> SyncClient::fetch_output(ajo::JobToken token,
+                                                  const std::string& name) {
+  return await<uspace::FileBlob>([&](auto done) {
+    client_.fetch_output(token, name, std::move(done));
+  });
+}
+
+Result<ajo::Outcome> SyncClient::wait_for_completion(ajo::JobToken token,
+                                                     sim::Time interval) {
+  return await<ajo::Outcome>([&](auto done) {
+    client_.wait_for_completion(token, interval, std::move(done));
+  });
+}
+
+Result<obs::MetricsSnapshot> SyncClient::fetch_metrics() {
+  return await<obs::MetricsSnapshot>(
+      [&](auto done) { client_.fetch_metrics(std::move(done)); });
+}
+
+Result<obs::TraceTimeline> SyncClient::fetch_trace(ajo::JobToken token) {
+  return await<obs::TraceTimeline>(
+      [&](auto done) { client_.fetch_trace(token, std::move(done)); });
+}
+
+Result<JournalInfo> SyncClient::inspect_journal() {
+  return await<JournalInfo>(
+      [&](auto done) { client_.inspect_journal(std::move(done)); });
+}
+
+}  // namespace unicore::client

@@ -1,0 +1,64 @@
+// Blocking facade over UnicoreClient for tests and examples: each call
+// issues the asynchronous request and steps the simulation engine until
+// the reply (or timeout) arrives, turning the callback protocol into
+// plain return values. Only usable from code that owns the engine loop —
+// i.e. drivers, never from inside an event handler.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "client/client.h"
+#include "sim/engine.h"
+
+namespace unicore::client {
+
+class SyncClient {
+ public:
+  SyncClient(sim::Engine& engine, UnicoreClient& client)
+      : engine_(engine), client_(client) {}
+
+  util::Status connect(net::Address usite);
+
+  util::Result<crypto::SoftwareBundle> fetch_bundle(const std::string& name);
+  util::Result<std::vector<resources::ResourcePage>> fetch_resource_pages();
+  util::Result<ajo::JobToken> submit(const ajo::AbstractJobObject& job);
+  util::Result<ajo::JobToken> submit_with_retry(
+      const ajo::AbstractJobObject& job, int attempts);
+  util::Result<ajo::Outcome> query(ajo::JobToken token,
+                                   ajo::QueryService::Detail detail);
+  util::Result<std::vector<JobEntry>> list();
+  util::Status control(ajo::JobToken token,
+                       ajo::ControlService::Command command);
+  util::Result<uspace::FileBlob> fetch_output(ajo::JobToken token,
+                                              const std::string& name);
+  /// Polls until the job is terminal, then returns its outcome.
+  util::Result<ajo::Outcome> wait_for_completion(ajo::JobToken token,
+                                                 sim::Time interval);
+  util::Result<obs::MetricsSnapshot> fetch_metrics();
+  util::Result<obs::TraceTimeline> fetch_trace(ajo::JobToken token);
+  util::Result<JournalInfo> inspect_journal();
+
+  UnicoreClient& async() { return client_; }
+
+ private:
+  /// Starts an async operation and pumps the engine until its callback
+  /// fires. `start` receives the completion callback to pass on.
+  template <typename T, typename Start>
+  util::Result<T> await(Start&& start) {
+    std::optional<util::Result<T>> result;
+    start([&result](util::Result<T> r) { result = std::move(r); });
+    while (!result.has_value() && engine_.step()) {
+    }
+    if (!result.has_value())
+      return util::make_error(util::ErrorCode::kInternal,
+                              "event queue drained before the reply");
+    return std::move(*result);
+  }
+
+  sim::Engine& engine_;
+  UnicoreClient& client_;
+};
+
+}  // namespace unicore::client

@@ -1,0 +1,45 @@
+#include "net/faults.h"
+
+namespace unicore::net {
+
+void FaultInjector::partition_at(sim::Time when, const std::string& a,
+                                 const std::string& b) {
+  ++scheduled_;
+  engine_.at(when, [this, a, b] { network_.partition(a, b); });
+}
+
+void FaultInjector::heal_at(sim::Time when, const std::string& a,
+                            const std::string& b) {
+  ++scheduled_;
+  engine_.at(when, [this, a, b] { network_.heal(a, b); });
+}
+
+void FaultInjector::partition_for(sim::Time when, sim::Time duration,
+                                  const std::string& a, const std::string& b) {
+  partition_at(when, a, b);
+  heal_at(when + duration, a, b);
+}
+
+void FaultInjector::latency_spike_at(sim::Time when, const std::string& a,
+                                     const std::string& b, sim::Time extra,
+                                     sim::Time duration) {
+  ++scheduled_;
+  engine_.at(when, [this, a, b, extra, until = when + duration] {
+    network_.add_latency_spike(a, b, extra, until);
+  });
+}
+
+void FaultInjector::drop_next_at(sim::Time when, const std::string& from,
+                                 const std::string& to, int count) {
+  ++scheduled_;
+  engine_.at(when, [this, from, to, count] {
+    network_.drop_next(from, to, count);
+  });
+}
+
+void FaultInjector::at(sim::Time when, std::function<void()> action) {
+  ++scheduled_;
+  engine_.at(when, std::move(action));
+}
+
+}  // namespace unicore::net

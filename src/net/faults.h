@@ -1,0 +1,55 @@
+// Fault-injection harness: schedules network faults (partitions, drop
+// bursts, latency spikes) and arbitrary fault callbacks (process crash /
+// restart, batch-subsystem offline) at simulation times, so recovery
+// tests read as a timeline instead of hand-woven engine events.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/network.h"
+#include "sim/engine.h"
+
+namespace unicore::net {
+
+class FaultInjector {
+ public:
+  FaultInjector(sim::Engine& engine, Network& network)
+      : engine_(engine), network_(network) {}
+
+  /// Severs the path between two hosts at `when`.
+  void partition_at(sim::Time when, const std::string& a, const std::string& b);
+
+  /// Restores the path between two hosts at `when`.
+  void heal_at(sim::Time when, const std::string& a, const std::string& b);
+
+  /// Severs the path at `when` and restores it `duration` later.
+  void partition_for(sim::Time when, sim::Time duration, const std::string& a,
+                     const std::string& b);
+
+  /// From `when` until `when + duration`, every message between the two
+  /// hosts takes `extra` additional latency.
+  void latency_spike_at(sim::Time when, const std::string& a,
+                        const std::string& b, sim::Time extra,
+                        sim::Time duration);
+
+  /// At `when`, arms a burst that drops the next `count` messages sent
+  /// from `from` to `to`.
+  void drop_next_at(sim::Time when, const std::string& from,
+                    const std::string& to, int count);
+
+  /// Schedules an arbitrary fault action (crash an NJS, take a batch
+  /// subsystem offline, ...) at `when`.
+  void at(sim::Time when, std::function<void()> action);
+
+  /// Number of fault events scheduled so far.
+  int scheduled() const { return scheduled_; }
+
+ private:
+  sim::Engine& engine_;
+  Network& network_;
+  int scheduled_ = 0;
+};
+
+}  // namespace unicore::net

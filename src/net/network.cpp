@@ -106,6 +106,33 @@ const LinkProfile& Network::link_between(const std::string& a,
   return it == links_.end() ? default_link_ : it->second;
 }
 
+void Network::partition(const std::string& a, const std::string& b) {
+  partitions_[host_pair(a, b)] = true;
+}
+
+void Network::heal(const std::string& a, const std::string& b) {
+  partitions_.erase(host_pair(a, b));
+}
+
+bool Network::partitioned(const std::string& a, const std::string& b) const {
+  auto it = partitions_.find(host_pair(a, b));
+  return it != partitions_.end() && it->second;
+}
+
+void Network::drop_next(const std::string& from, const std::string& to,
+                        int count) {
+  if (count <= 0) {
+    drop_schedules_.erase({from, to});
+    return;
+  }
+  drop_schedules_[{from, to}] = count;
+}
+
+void Network::add_latency_spike(const std::string& a, const std::string& b,
+                                sim::Time extra, sim::Time until) {
+  spikes_[host_pair(a, b)] = LatencySpike{extra, until};
+}
+
 util::Status Network::listen(const Address& address, Acceptor acceptor) {
   auto [it, inserted] = listeners_.emplace(address, std::move(acceptor));
   (void)it;
@@ -126,6 +153,10 @@ util::Result<std::shared_ptr<Endpoint>> Network::connect(
     return util::make_error(util::ErrorCode::kUnavailable,
                             "connection refused: nothing listening at " +
                                 to.to_string());
+  if (partitioned(from_host, to.host))
+    return util::make_error(util::ErrorCode::kUnavailable,
+                            "network partitioned: " + from_host + " <-> " +
+                                to.host);
   if (auto fw = firewalls_.find(to.host);
       fw != firewalls_.end() && !fw->second.permits(from_host, to.port))
     return util::make_error(util::ErrorCode::kUnavailable,
@@ -181,6 +212,25 @@ void Network::transmit(Endpoint& from, util::Bytes message) {
   auto target = from.is_initiator_ ? state->side_b.lock() : state->side_a.lock();
   if (!target) return;
 
+  // Injected faults take precedence over probabilistic link loss: a
+  // partitioned pair drops everything, a drop schedule eats the next N
+  // messages in one direction.
+  bool fault_drop = false;
+  if (partitioned(from.local_host_, target->local_host_)) {
+    fault_drop = true;
+  } else if (auto sched =
+                 drop_schedules_.find({from.local_host_, target->local_host_});
+             sched != drop_schedules_.end()) {
+    fault_drop = true;
+    if (--sched->second <= 0) drop_schedules_.erase(sched);
+  }
+  if (fault_drop) {
+    ++messages_dropped_;
+    ++messages_dropped_by_faults_;
+    if (dropped_counter_) dropped_counter_->increment();
+    return;
+  }
+
   if (rng_.chance(state->link.loss_probability)) {
     ++messages_dropped_;
     if (dropped_counter_) dropped_counter_->increment();
@@ -197,6 +247,14 @@ void Network::transmit(Endpoint& from, util::Bytes message) {
   sim::Time departure = std::max(engine_.now(), next_free);
   sim::Time arrival = departure + transmission + state->link.latency;
   next_free = departure + transmission;
+
+  if (auto spike = spikes_.find(host_pair(from.local_host_, target->local_host_));
+      spike != spikes_.end()) {
+    if (engine_.now() < spike->second.until)
+      arrival += spike->second.extra;
+    else
+      spikes_.erase(spike);
+  }
 
   std::weak_ptr<Endpoint> weak_target = target;
   std::weak_ptr<Endpoint> weak_sender = from.weak_from_this();

@@ -175,6 +175,31 @@ class Network {
   std::uint64_t messages_delivered() const { return messages_delivered_; }
   std::uint64_t messages_dropped() const { return messages_dropped_; }
 
+  // --- fault injection ---------------------------------------------------
+  // Knobs consulted per message in transmit(); see net/faults.h for the
+  // scheduling harness that drives them from tests.
+
+  /// Severs the path between two hosts (both directions): messages are
+  /// dropped and new connects fail with kUnavailable.
+  void partition(const std::string& a, const std::string& b);
+  void heal(const std::string& a, const std::string& b);
+  bool partitioned(const std::string& a, const std::string& b) const;
+
+  /// Drops the next `count` messages sent from `from` to `to` (one
+  /// direction only); models a burst of loss on an otherwise good link.
+  void drop_next(const std::string& from, const std::string& to, int count);
+
+  /// Adds `extra` latency to every message between two hosts until
+  /// simulation time `until` (a latency spike).
+  void add_latency_spike(const std::string& a, const std::string& b,
+                         sim::Time extra, sim::Time until);
+
+  /// Messages dropped by partitions or drop schedules (a subset of
+  /// messages_dropped()).
+  std::uint64_t messages_dropped_by_faults() const {
+    return messages_dropped_by_faults_;
+  }
+
   /// Routes fabric-level byte/message/drop counters through `registry`
   /// (shared with the Usites so one snapshot covers the whole grid).
   void set_metrics(std::shared_ptr<obs::MetricsRegistry> registry);
@@ -185,14 +210,27 @@ class Network {
 
   void transmit(Endpoint& from, util::Bytes message);
 
+  struct LatencySpike {
+    sim::Time extra = 0;
+    sim::Time until = 0;
+  };
+  static std::pair<std::string, std::string> host_pair(const std::string& a,
+                                                       const std::string& b) {
+    return a <= b ? std::make_pair(a, b) : std::make_pair(b, a);
+  }
+
   sim::Engine& engine_;
   util::Rng rng_;
   LinkProfile default_link_;
   std::map<std::pair<std::string, std::string>, LinkProfile> links_;
   std::map<std::string, Firewall> firewalls_;
   std::map<Address, Acceptor> listeners_;
+  std::map<std::pair<std::string, std::string>, bool> partitions_;
+  std::map<std::pair<std::string, std::string>, int> drop_schedules_;
+  std::map<std::pair<std::string, std::string>, LatencySpike> spikes_;
   std::uint64_t messages_delivered_ = 0;
   std::uint64_t messages_dropped_ = 0;
+  std::uint64_t messages_dropped_by_faults_ = 0;
   std::shared_ptr<obs::MetricsRegistry> metrics_;
   obs::Counter* bytes_sent_counter_ = nullptr;
   obs::Counter* bytes_delivered_counter_ = nullptr;

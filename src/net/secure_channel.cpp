@@ -1,5 +1,7 @@
 #include "net/secure_channel.h"
 
+#include <algorithm>
+
 #include "crypto/hmac.h"
 #include "util/log.h"
 
@@ -69,10 +71,17 @@ SecureChannel::SecureChannel(sim::Engine& engine, util::Rng& rng,
                        : State::kServerAwaitClientHello) {}
 
 void SecureChannel::start() {
-  auto self = shared_from_this();
-  endpoint_->set_receiver(
-      [self](Bytes&& wire) { self->handle_wire_message(std::move(wire)); });
-  endpoint_->set_close_handler([self] {
+  // Weak captures: the endpoint outlives the channel (the network owns
+  // it), so strong captures here would form an endpoint -> handler ->
+  // channel -> endpoint cycle and no channel would ever be destroyed.
+  // The channel's owner (session, peer table, client) keeps it alive.
+  std::weak_ptr<SecureChannel> weak = shared_from_this();
+  endpoint_->set_receiver([weak](Bytes&& wire) {
+    if (auto self = weak.lock()) self->handle_wire_message(std::move(wire));
+  });
+  endpoint_->set_close_handler([weak] {
+    auto self = weak.lock();
+    if (!self) return;
     if (self->state_ != State::kEstablished && self->state_ != State::kFailed)
       self->fail(util::make_error(ErrorCode::kUnavailable,
                                   "connection closed during handshake"),
@@ -81,13 +90,15 @@ void SecureChannel::start() {
       self->on_close_();
   });
 
-  timeout_event_ = engine_.after(config_.handshake_timeout, [self] {
+  timeout_event_ = engine_.after(config_.handshake_timeout, [weak] {
+    auto self = weak.lock();
+    if (!self) return;
     self->timeout_event_.reset();
     if (self->state_ != State::kEstablished && self->state_ != State::kFailed) {
       if (auto* metrics = self->endpoint_->metrics())
         metrics->counter("unicore_channel_handshake_timeouts_total")
             .increment();
-      self->fail(util::make_error(ErrorCode::kUnavailable,
+      self->fail(util::make_error(ErrorCode::kTimeout,
                                   "handshake timed out"),
                  /*send_alert=*/false);
     }
@@ -100,6 +111,13 @@ void SecureChannel::start() {
     hello.u8(kClientHello);
     hello.blob(client_random_);
     hello.u64(dh_.public_value);
+    // v2 negotiation tail: version byte + advertised feature bits. A v1
+    // peer never reads past the DH value and the transcript still covers
+    // the full message, so the tail is backward compatible.
+    if (config_.protocol_version >= 2) {
+      hello.u8(config_.protocol_version);
+      hello.u64(config_.features);
+    }
     util::append(transcript_, hello.bytes());
     endpoint_->send(hello.take());
   }
@@ -171,6 +189,17 @@ util::Status SecureChannel::validate_peer(
 void SecureChannel::handle_client_hello(ByteReader& reader) {
   client_random_ = reader.blob();
   peer_dh_public_ = reader.u64();
+  // Tolerant tail parse: a v1 client's hello ends at the DH value.
+  std::uint8_t client_version = 1;
+  std::uint64_t client_features = 0;
+  if (reader.remaining() >= 9) {
+    client_version = reader.u8();
+    client_features = reader.u64();
+  }
+  if (config_.protocol_version >= 2 && client_version >= 2) {
+    negotiated_version_ = std::min(config_.protocol_version, client_version);
+    negotiated_features_ = client_features & config_.features;
+  }
   server_random_ = rng_.bytes(32);
 
   // ServerHello core (everything the signature covers).
@@ -179,6 +208,12 @@ void SecureChannel::handle_client_hello(ByteReader& reader) {
   core.blob(server_random_);
   core.u64(dh_.public_value);
   write_chain(core, config_.credential.certificate);
+  // Echo the negotiation result inside the signed core — but only when
+  // the client offered v2, so a v1 client's parse is undisturbed.
+  if (negotiated_version_ >= 2) {
+    core.u8(negotiated_version_);
+    core.u64(negotiated_features_);
+  }
 
   util::append(transcript_, core.bytes());
   crypto::Signature sig =
@@ -214,6 +249,19 @@ void SecureChannel::handle_server_hello(ByteReader& reader) {
   if (auto status = validate_peer(leaf, chain); !status.ok())
     return fail(status.error(), true);
 
+  // After the chain the message holds either just the 8-byte signature
+  // (v1 server, or we offered v1) or the 9-byte negotiation echo
+  // followed by the signature.
+  bool has_negotiation = reader.remaining() >= 17;
+  std::uint8_t server_version = 1;
+  std::uint64_t server_features = 0;
+  if (has_negotiation) {
+    server_version = reader.u8();
+    server_features = reader.u64();
+    negotiated_version_ = std::min(config_.protocol_version, server_version);
+    negotiated_features_ = server_features & config_.features;
+  }
+
   crypto::Signature sig{reader.u64()};
   // Reconstruct the signed ServerHello core by re-serialising the parsed
   // fields — the encoding is canonical, so this reproduces the exact
@@ -225,6 +273,10 @@ void SecureChannel::handle_server_hello(ByteReader& reader) {
   core.varint(n_certs);
   core.blob(leaf.der());
   for (const Certificate& c : chain) core.blob(c.der());
+  if (has_negotiation) {
+    core.u8(server_version);
+    core.u64(server_features);
+  }
 
   util::append(transcript_, core.bytes());
   if (!crypto::verify_message(leaf.subject_key, transcript_, sig))

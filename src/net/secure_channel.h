@@ -31,6 +31,17 @@
 
 namespace unicore::net {
 
+/// Current protocol version of the secure channel. Version 2 adds the
+/// version/feature negotiation fields to the hello exchange; version 1
+/// peers simply omit them and both sides fall back to the v1 feature
+/// set (see PROTOCOL.md "Version negotiation").
+constexpr std::uint8_t kProtocolVersion = 2;
+
+/// Feature bits exchanged during the hello negotiation. The effective
+/// feature set of a channel is the AND of what both sides advertise.
+constexpr std::uint64_t kFeatureJournalInspect = 1ull << 0;
+constexpr std::uint64_t kDefaultFeatures = kFeatureJournalInspect;
+
 class SecureChannel : public std::enable_shared_from_this<SecureChannel> {
  public:
   struct Config {
@@ -38,6 +49,12 @@ class SecureChannel : public std::enable_shared_from_this<SecureChannel> {
     const crypto::TrustStore* trust = nullptr;  // to validate the peer
     std::uint8_t required_peer_usage = 0;    // e.g. kUsageServerAuth
     sim::Time handshake_timeout = sim::sec(30);
+    /// Highest protocol version we speak. Setting 1 emits v1 wire
+    /// messages (no negotiation tail) — used by tests to prove
+    /// backward compatibility.
+    std::uint8_t protocol_version = kProtocolVersion;
+    /// Features we advertise (only meaningful for version >= 2).
+    std::uint64_t features = kDefaultFeatures;
   };
 
   /// Fired exactly once with the handshake result.
@@ -75,6 +92,16 @@ class SecureChannel : public std::enable_shared_from_this<SecureChannel> {
   /// The peer's validated certificate (only after establishment).
   const crypto::Certificate& peer_certificate() const {
     return peer_certificate_;
+  }
+
+  /// Negotiated protocol version: min of both sides' offers; 1 when the
+  /// peer predates negotiation. Meaningful once established.
+  std::uint8_t negotiated_version() const { return negotiated_version_; }
+  /// Negotiated feature set: AND of both sides' advertised features
+  /// (empty for v1 peers).
+  std::uint64_t negotiated_features() const { return negotiated_features_; }
+  bool feature_enabled(std::uint64_t feature) const {
+    return (negotiated_features_ & feature) != 0;
   }
 
   const std::string& remote_host() const { return endpoint_->remote_host(); }
@@ -126,6 +153,8 @@ class SecureChannel : public std::enable_shared_from_this<SecureChannel> {
   std::uint64_t peer_dh_public_ = 0;
   util::Bytes transcript_;  // running concatenation of handshake bodies
   crypto::Certificate peer_certificate_;
+  std::uint8_t negotiated_version_ = 1;
+  std::uint64_t negotiated_features_ = 0;
 
   crypto::SymmetricKey send_enc_, send_mac_, recv_enc_, recv_mac_;
   std::uint64_t send_seq_ = 0;

@@ -1,0 +1,179 @@
+#include "njs/journal.h"
+
+#include <algorithm>
+
+#include "ajo/codec.h"
+
+namespace unicore::njs {
+namespace {
+
+// AuthenticatedUser codec, local to the journal (the NJS cannot use the
+// server-layer codec without a dependency cycle).
+void encode_user(util::ByteWriter& w, const gateway::AuthenticatedUser& user) {
+  w.str(user.dn.country);
+  w.str(user.dn.organization);
+  w.str(user.dn.organizational_unit);
+  w.str(user.dn.common_name);
+  w.str(user.dn.email);
+  w.str(user.login);
+  w.varint(user.account_groups.size());
+  for (const auto& group : user.account_groups) w.str(group);
+}
+
+gateway::AuthenticatedUser decode_user(util::ByteReader& r) {
+  gateway::AuthenticatedUser user;
+  user.dn.country = r.str();
+  user.dn.organization = r.str();
+  user.dn.organizational_unit = r.str();
+  user.dn.common_name = r.str();
+  user.dn.email = r.str();
+  user.login = r.str();
+  std::uint64_t n = r.varint();
+  user.account_groups.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) user.account_groups.push_back(r.str());
+  return user;
+}
+
+}  // namespace
+
+const char* journal_record_type_name(JournalRecordType type) {
+  switch (type) {
+    case JournalRecordType::kConsigned: return "consigned";
+    case JournalRecordType::kBatchSubmitted: return "batch-submitted";
+    case JournalRecordType::kActionState: return "action-state";
+    case JournalRecordType::kFinalized: return "finalized";
+    case JournalRecordType::kDeleted: return "deleted";
+  }
+  return "unknown";
+}
+
+void MemoryJournalStore::append(JournalRecord record) {
+  records_.push_back(std::move(record));
+}
+
+void MemoryJournalStore::replay(
+    const std::function<void(const JournalRecord&)>& visit) const {
+  for (const JournalRecord& record : records_) visit(record);
+}
+
+std::size_t MemoryJournalStore::size() const { return records_.size(); }
+
+std::shared_ptr<uspace::Uspace> MemoryJournalStore::workspace(
+    const std::string& directory, std::uint64_t quota_bytes) {
+  auto it = workspaces_.find(directory);
+  if (it != workspaces_.end()) return it->second;
+  auto created = std::make_shared<uspace::Uspace>(directory, quota_bytes);
+  workspaces_.emplace(directory, created);
+  return created;
+}
+
+void Journal::record_consigned(
+    ajo::JobToken token, const ajo::AbstractJobObject& job,
+    const gateway::AuthenticatedUser& user,
+    const crypto::Certificate& user_certificate,
+    const util::Bytes& idempotency_key,
+    const std::vector<std::pair<std::string, uspace::FileBlob>>& staged_files,
+    sim::Time consigned_at) {
+  util::ByteWriter w;
+  w.blob(ajo::encode_action(job));
+  w.blob(user_certificate.der());
+  encode_user(w, user);
+  w.blob(idempotency_key);
+  w.varint(staged_files.size());
+  for (const auto& [name, blob] : staged_files) {
+    w.str(name);
+    blob.encode(w);
+  }
+  w.i64(consigned_at);
+  store_->append({JournalRecordType::kConsigned, token, w.take()});
+}
+
+void Journal::record_batch_submitted(ajo::JobToken token,
+                                     const std::string& action_path,
+                                     batch::BatchJobId batch_id) {
+  util::ByteWriter w;
+  w.str(action_path);
+  w.u64(batch_id);
+  store_->append({JournalRecordType::kBatchSubmitted, token, w.take()});
+}
+
+void Journal::record_action_state(ajo::JobToken token,
+                                  const std::string& action_path,
+                                  ajo::ActionStatus status) {
+  util::ByteWriter w;
+  w.str(action_path);
+  w.u8(static_cast<std::uint8_t>(status));
+  store_->append({JournalRecordType::kActionState, token, w.take()});
+}
+
+void Journal::record_finalized(ajo::JobToken token,
+                               const ajo::Outcome& outcome) {
+  util::ByteWriter w;
+  outcome.encode(w);
+  store_->append({JournalRecordType::kFinalized, token, w.take()});
+}
+
+void Journal::record_deleted(ajo::JobToken token) {
+  store_->append({JournalRecordType::kDeleted, token, {}});
+}
+
+std::vector<Journal::RecoveredJob> Journal::recover() const {
+  std::map<ajo::JobToken, RecoveredJob> jobs;
+  store_->replay([&](const JournalRecord& record) {
+    try {
+      util::ByteReader r{record.payload};
+      switch (record.type) {
+        case JournalRecordType::kConsigned: {
+          RecoveredJob recovered;
+          recovered.token = record.token;
+          util::Bytes job_wire = r.blob();
+          auto action = ajo::decode_action(job_wire);
+          if (!action || !action.value()->is_job()) return;
+          recovered.job =
+              std::move(static_cast<ajo::AbstractJobObject&>(*action.value()));
+          auto cert = crypto::Certificate::from_der(r.blob());
+          if (!cert) return;
+          recovered.user_certificate = std::move(cert.value());
+          recovered.user = decode_user(r);
+          recovered.idempotency_key = r.blob();
+          std::uint64_t n = r.varint();
+          for (std::uint64_t i = 0; i < n; ++i) {
+            std::string name = r.str();
+            recovered.staged_files.emplace_back(std::move(name),
+                                                uspace::FileBlob::decode(r));
+          }
+          recovered.consigned_at = r.i64();
+          jobs[record.token] = std::move(recovered);
+          break;
+        }
+        case JournalRecordType::kBatchSubmitted: {
+          auto it = jobs.find(record.token);
+          if (it == jobs.end()) return;
+          std::string path = r.str();
+          it->second.batch_ids[path] = r.u64();
+          break;
+        }
+        case JournalRecordType::kActionState:
+          break;  // inspection only; replay reconstructs live state
+        case JournalRecordType::kFinalized: {
+          auto it = jobs.find(record.token);
+          if (it == jobs.end()) return;
+          auto outcome = ajo::Outcome::decode(r);
+          if (outcome) it->second.outcome = std::move(outcome.value());
+          break;
+        }
+        case JournalRecordType::kDeleted:
+          jobs.erase(record.token);
+          break;
+      }
+    } catch (const std::out_of_range&) {
+      // Truncated record: skip it rather than abandoning recovery.
+    }
+  });
+  std::vector<RecoveredJob> out;
+  out.reserve(jobs.size());
+  for (auto& [token, job] : jobs) out.push_back(std::move(job));
+  return out;
+}
+
+}  // namespace unicore::njs

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "ajo/codec.h"
+#include "crypto/sha256.h"
 #include "util/log.h"
 
 namespace unicore::njs {
@@ -23,6 +24,14 @@ util::Bytes ForwardedConsignment::signing_input(
   return w.take();
 }
 
+util::Bytes ForwardedConsignment::idempotency_key() const {
+  util::ByteWriter w;
+  w.blob(signing_input(job, user_certificate));
+  w.u64(signature.value);
+  w.blob(consignor_certificate.der());
+  return crypto::digest_bytes(crypto::sha256(w.take()));
+}
+
 // ---- internal structures -------------------------------------------------
 
 struct Njs::VsiteRuntime {
@@ -30,6 +39,9 @@ struct Njs::VsiteRuntime {
   std::unique_ptr<batch::BatchSubsystem> subsystem;
   uspace::Xspace xspace;
   TranslationTable table;
+  // Opens after consecutive kUnavailable submit failures (dead Vsite);
+  // static validation rejections never trip it.
+  util::CircuitBreaker breaker;
 };
 
 struct Njs::ActionRun {
@@ -43,6 +55,7 @@ struct Njs::ActionRun {
   std::optional<RemoteJobHandle> remote;         // remote sub-job
   std::map<std::string, uspace::FileBlob> staged_files;  // pre-dispatch
   bool dispatched = false;
+  bool recovered = false;      // re-attached to a pre-crash batch job
   obs::SpanId span = 0;        // trace span covering this action
   sim::Time ready_at = -1;     // when the action became dispatchable
 };
@@ -68,6 +81,10 @@ struct Njs::JobRun {
   GroupRun root;
   sim::Time consigned_at = 0;
   bool finalized = false;
+  util::Bytes idempotency_key;  // non-empty for forwarded consignments
+  // Terminal Outcome restored from the journal; when set, the job has no
+  // live GroupRun tree and query/list answer from this record.
+  std::optional<ajo::Outcome> recovered_outcome;
   obs::TraceTimeline trace;
 };
 
@@ -91,6 +108,14 @@ void Njs::wire_metrics() {
       &metrics_->counter("unicore_njs_jobs_consigned_total", labels);
   completed_counter_ =
       &metrics_->counter("unicore_njs_jobs_completed_total", labels);
+  recoveries_counter_ =
+      &metrics_->counter("unicore_njs_recoveries_total", labels);
+  dedupe_counter_ =
+      &metrics_->counter("unicore_njs_consigns_deduped_total", labels);
+  batch_retry_counter_ =
+      &metrics_->counter("unicore_njs_batch_retries_total", labels);
+  reattach_counter_ =
+      &metrics_->counter("unicore_njs_batch_reattached_total", labels);
   dispatch_latency_hist_ = &metrics_->histogram(
       "unicore_njs_dispatch_latency_seconds", labels, obs::latency_buckets());
   job_duration_hist_ = &metrics_->histogram("unicore_njs_job_duration_seconds",
@@ -207,22 +232,66 @@ sim::Time Njs::staging_delay(const GroupRun& group,
 Result<JobToken> Njs::consign(
     const ajo::AbstractJobObject& job, const gateway::AuthenticatedUser& user,
     const crypto::Certificate& user_certificate, FinalHandler on_final,
-    std::vector<std::pair<std::string, uspace::FileBlob>> staged_files) {
+    std::vector<std::pair<std::string, uspace::FileBlob>> staged_files,
+    util::Bytes idempotency_key) {
   if (auto status = job.validate(); !status.ok()) return status.error();
   if (!job.usite.empty() && job.usite != usite_)
     return util::make_error(ErrorCode::kInvalidArgument,
                             "job destined for " + job.usite +
                                 " consigned to " + usite_);
 
+  // Idempotent consign: a retried consignment (same signed-AJO digest)
+  // returns the original token and re-registers the final handler —
+  // without this, a retry after a lost reply would run the job twice.
+  if (!idempotency_key.empty()) {
+    auto key_it = consign_keys_.find(idempotency_key);
+    if (key_it != consign_keys_.end()) {
+      JobToken token = key_it->second;
+      ++consigns_deduped_;
+      if (dedupe_counter_) dedupe_counter_->increment();
+      auto job_it = jobs_.find(token);
+      if (job_it != jobs_.end() && on_final) {
+        JobRun& existing = *job_it->second;
+        if (existing.finalized) {
+          ajo::Outcome outcome =
+              existing.recovered_outcome.has_value()
+                  ? *existing.recovered_outcome
+                  : build_outcome(existing, existing.root,
+                                  ajo::QueryService::Detail::kTasks);
+          engine_.after(0, [token, outcome = std::move(outcome),
+                            handler = std::move(on_final)] {
+            handler(token, outcome);
+          });
+        } else {
+          existing.on_final = std::move(on_final);
+        }
+      }
+      UNICORE_INFO("njs/" + usite_)
+          << "duplicate consign deduped -> job " << token;
+      return token;
+    }
+  }
+
+  return admit(next_token_++, job, user, user_certificate,
+               std::move(on_final), std::move(staged_files),
+               std::move(idempotency_key), /*journal_it=*/true);
+}
+
+Result<JobToken> Njs::admit(
+    JobToken token, const ajo::AbstractJobObject& job,
+    const gateway::AuthenticatedUser& user,
+    const crypto::Certificate& user_certificate, FinalHandler on_final,
+    std::vector<std::pair<std::string, uspace::FileBlob>> staged_files,
+    util::Bytes idempotency_key, bool journal_it) {
   auto run = std::make_unique<JobRun>();
-  run->token = next_token_++;
+  run->token = token;
   run->job = job;
   run->user = user;
   run->user_certificate = user_certificate;
   run->on_final = std::move(on_final);
   run->consigned_at = engine_.now();
   run->root.group = &run->job;
-  JobToken token = run->token;
+  run->idempotency_key = idempotency_key;
 
   JobRun& ref = *run;
   jobs_[token] = std::move(run);
@@ -232,7 +301,17 @@ Result<JobToken> Njs::consign(
   ref.trace.annotate(ref.root.span, "job", ref.job.name());
   ref.trace.annotate(ref.root.span, "user", ref.user.login);
 
+  // Write-ahead: the journal record lands before any action dispatches
+  // (dispatch runs behind engine events, never synchronously from here).
+  if (journal_it && journal_ != nullptr)
+    journal_->record_consigned(token, ref.job, user, user_certificate,
+                               idempotency_key, staged_files, engine_.now());
+  if (!idempotency_key.empty())
+    consign_keys_[std::move(idempotency_key)] = token;
+
   if (auto status = start_group(ref, ref.root); !status.ok()) {
+    if (!ref.idempotency_key.empty()) consign_keys_.erase(ref.idempotency_key);
+    if (journal_ != nullptr) journal_->record_deleted(token);
     jobs_.erase(token);
     --jobs_consigned_;
     return status.error();
@@ -271,7 +350,7 @@ Status Njs::start_group(JobRun& job, GroupRun& group) {
                           std::to_string(group.group->id());
   std::uint64_t quota =
       group.runtime != nullptr ? group.runtime->config.uspace_quota_bytes : 0;
-  group.workspace = std::make_shared<uspace::Uspace>(directory, quota);
+  group.workspace = make_workspace(directory, quota);
 
   // Build the action table and the dependency counters.
   for (const auto& child : group.group->children()) {
@@ -308,7 +387,9 @@ void Njs::dispatch_ready(JobRun& job, GroupRun& group, ActionRun& run) {
   JobToken token = job.token;
   GroupRun* group_ptr = &group;
   ActionId id = run.action->id();
-  engine_.after(dispatch_latency_, [this, token, group_ptr, id] {
+  engine_.after(dispatch_latency_, [this, token, group_ptr, id,
+                                    epoch = epoch_] {
+    if (epoch != epoch_) return;    // NJS restarted meanwhile
     auto it = jobs_.find(token);
     if (it == jobs_.end()) return;  // job deleted meanwhile
     auto action_it = group_ptr->actions.find(id);
@@ -378,10 +459,123 @@ void Njs::dispatch_action(JobRun& job, GroupRun& group, ActionRun& run) {
   }
 }
 
+batch::BatchSubsystem::CompletionHandler Njs::make_batch_handler(
+    JobToken token, GroupRun* group_ptr, ActionId id, bool recovered) {
+  return [this, token, group_ptr, id, recovered,
+          epoch = epoch_](batch::BatchJobId, const batch::BatchResult& result) {
+    if (epoch != epoch_) return;
+    auto it = jobs_.find(token);
+    if (it == jobs_.end()) return;
+    auto action_it = group_ptr->actions.find(id);
+    if (action_it == group_ptr->actions.end()) return;
+    ActionRun& run = action_it->second;
+    if (ajo::is_terminal(run.status)) return;
+
+    JobRun& job_run = *it->second;
+    run.outcome.started_at = result.started_at;
+    if (run.span != 0 && result.started_at >= result.submitted_at &&
+        result.started_at >= 0) {
+      job_run.trace.record("queue-wait", result.submitted_at,
+                           result.started_at, run.span);
+      if (result.finished_at >= result.started_at)
+        job_run.trace.record("batch-run", result.started_at,
+                             result.finished_at, run.span);
+    }
+    // Re-attached jobs may have been (partly) accounted before the
+    // crash; skip them so a restart can never double-charge (at-most-
+    // once accounting, see docs/FAULTS.md).
+    if (!recovered && result.started_at >= 0 &&
+        result.finished_at > result.started_at) {
+      const auto& task =
+          static_cast<const ajo::AbstractTaskObject&>(*run.action);
+      double cpu_seconds =
+          sim::to_seconds(result.finished_at - result.started_at) *
+          static_cast<double>(task.resource_request().processors);
+      accounting_[job_run.user.login] += cpu_seconds;
+      metrics_
+          ->counter("unicore_njs_accounting_cpu_seconds_total",
+                    {{"usite", usite_}, {"login", job_run.user.login}})
+          .add(cpu_seconds);
+    }
+    ajo::ExecuteOutcome detail;
+    detail.exit_code = result.exit_code;
+    detail.stdout_text = result.stdout_text;
+    detail.stderr_text = result.stderr_text;
+    run.outcome.detail = std::move(detail);
+
+    ActionStatus status;
+    std::string message;
+    switch (result.state) {
+      case batch::BatchJobState::kCompleted:
+        status = result.exit_code == 0 ? ActionStatus::kSuccessful
+                                       : ActionStatus::kNotSuccessful;
+        if (result.exit_code != 0)
+          message = "exit code " + std::to_string(result.exit_code);
+        break;
+      case batch::BatchJobState::kKilled:
+        status = ActionStatus::kNotSuccessful;
+        message = "killed at wallclock limit";
+        break;
+      case batch::BatchJobState::kFailed:
+        status = ActionStatus::kNotSuccessful;
+        message = "execution failed: " + result.stderr_text;
+        break;
+      case batch::BatchJobState::kCancelled:
+        status = ActionStatus::kAborted;
+        message = "cancelled";
+        break;
+      default:
+        status = ActionStatus::kNotSuccessful;
+        message = "unexpected batch state";
+        break;
+    }
+    complete_action(*it->second, *group_ptr, run, status, std::move(message));
+  };
+}
+
 void Njs::dispatch_execute(JobRun& job, GroupRun& group, ActionRun& run) {
   if (group.runtime == nullptr) {
     complete_action(job, group, run, ActionStatus::kNotSuccessful,
                     "no destination system for task");
+    return;
+  }
+
+  // Crash recovery: the journal says this action already reached a batch
+  // queue — re-attach to that submission instead of duplicating it.
+  auto rec = recovered_batch_.find({job.token, action_path(group,
+                                                          run.action->id())});
+  if (rec != recovered_batch_.end()) {
+    batch::BatchJobId batch_id = rec->second;
+    recovered_batch_.erase(rec);
+    auto reattached = group.runtime->subsystem->reattach(
+        batch_id,
+        make_batch_handler(job.token, &group, run.action->id(),
+                           /*recovered=*/true));
+    if (reattached.ok()) {
+      run.batch_id = batch_id;
+      run.recovered = true;
+      run.status = ActionStatus::kQueued;
+      run.outcome.status = ActionStatus::kQueued;
+      if (reattach_counter_) reattach_counter_->increment();
+      job.trace.record("batch-reattach", engine_.now(), engine_.now(),
+                       run.span);
+      return;
+    }
+    // The batch job vanished (e.g. the subsystem itself was reset):
+    // fall through to a fresh submission.
+  }
+
+  dispatch_execute_attempt(job, group, run, 1);
+}
+
+void Njs::dispatch_execute_attempt(JobRun& job, GroupRun& group,
+                                   ActionRun& run, int attempt) {
+  // A dead Vsite fails fast instead of wedging the graph behind full
+  // backoff ladders for every action.
+  if (!group.runtime->breaker.allow(engine_.now())) {
+    complete_action(job, group, run, ActionStatus::kNotSuccessful,
+                    "vsite circuit open: " +
+                        group.runtime->config.system.vsite);
     return;
   }
   const auto& task = static_cast<const ajo::AbstractTaskObject&>(*run.action);
@@ -401,80 +595,41 @@ void Njs::dispatch_execute(JobRun& job, GroupRun& group, ActionRun& run) {
   auto submitted = group.runtime->subsystem->submit(
       incarnated.value().script, job.user.login,
       std::move(incarnated.value().spec),
-      [this, token, group_ptr, id](batch::BatchJobId,
-                                   const batch::BatchResult& result) {
+      make_batch_handler(token, group_ptr, id, /*recovered=*/false));
+  if (!submitted) {
+    if (submitted.error().code == ErrorCode::kUnavailable)
+      group.runtime->breaker.record_failure(engine_.now());
+    if (util::is_retryable(submitted.error().code) &&
+        attempt < batch_backoff_.max_attempts) {
+      ++batch_retries_;
+      if (batch_retry_counter_) batch_retry_counter_->increment();
+      job.trace.record("batch-retry", engine_.now(), engine_.now(), run.span);
+      sim::Time delay = backoff_delay_us(batch_backoff_, attempt, rng_);
+      engine_.after(delay, [this, token, group_ptr, id, attempt,
+                            epoch = epoch_] {
+        if (epoch != epoch_) return;
         auto it = jobs_.find(token);
         if (it == jobs_.end()) return;
         auto action_it = group_ptr->actions.find(id);
         if (action_it == group_ptr->actions.end()) return;
         ActionRun& run = action_it->second;
         if (ajo::is_terminal(run.status)) return;
-
-        JobRun& job_run = *it->second;
-        run.outcome.started_at = result.started_at;
-        if (run.span != 0 && result.started_at >= result.submitted_at &&
-            result.started_at >= 0) {
-          job_run.trace.record("queue-wait", result.submitted_at,
-                               result.started_at, run.span);
-          if (result.finished_at >= result.started_at)
-            job_run.trace.record("batch-run", result.started_at,
-                                 result.finished_at, run.span);
-        }
-        if (result.started_at >= 0 && result.finished_at > result.started_at) {
-          const auto& task =
-              static_cast<const ajo::AbstractTaskObject&>(*run.action);
-          double cpu_seconds =
-              sim::to_seconds(result.finished_at - result.started_at) *
-              static_cast<double>(task.resource_request().processors);
-          accounting_[job_run.user.login] += cpu_seconds;
-          metrics_
-              ->counter("unicore_njs_accounting_cpu_seconds_total",
-                        {{"usite", usite_}, {"login", job_run.user.login}})
-              .add(cpu_seconds);
-        }
-        ajo::ExecuteOutcome detail;
-        detail.exit_code = result.exit_code;
-        detail.stdout_text = result.stdout_text;
-        detail.stderr_text = result.stderr_text;
-        run.outcome.detail = std::move(detail);
-
-        ActionStatus status;
-        std::string message;
-        switch (result.state) {
-          case batch::BatchJobState::kCompleted:
-            status = result.exit_code == 0 ? ActionStatus::kSuccessful
-                                           : ActionStatus::kNotSuccessful;
-            if (result.exit_code != 0)
-              message = "exit code " + std::to_string(result.exit_code);
-            break;
-          case batch::BatchJobState::kKilled:
-            status = ActionStatus::kNotSuccessful;
-            message = "killed at wallclock limit";
-            break;
-          case batch::BatchJobState::kFailed:
-            status = ActionStatus::kNotSuccessful;
-            message = "execution failed: " + result.stderr_text;
-            break;
-          case batch::BatchJobState::kCancelled:
-            status = ActionStatus::kAborted;
-            message = "cancelled";
-            break;
-          default:
-            status = ActionStatus::kNotSuccessful;
-            message = "unexpected batch state";
-            break;
-        }
-        complete_action(*it->second, *group_ptr, run, status,
-                        std::move(message));
+        dispatch_execute_attempt(*it->second, *group_ptr, run, attempt + 1);
       });
-  if (!submitted) {
+      return;
+    }
     complete_action(job, group, run, ActionStatus::kNotSuccessful,
                     submitted.error().message);
     return;
   }
+  group.runtime->breaker.record_success();
   run.batch_id = submitted.value();
   run.status = ActionStatus::kQueued;
   run.outcome.status = ActionStatus::kQueued;
+  if (journal_ != nullptr)
+    journal_->record_batch_submitted(token,
+                                     action_path(group, run.action->id()),
+                                     run.batch_id);
 }
 
 void Njs::dispatch_file_task(JobRun& job, GroupRun& group, ActionRun& run) {
@@ -485,9 +640,10 @@ void Njs::dispatch_file_task(JobRun& job, GroupRun& group, ActionRun& run) {
   run.outcome.status = ActionStatus::kRunning;
   run.outcome.started_at = engine_.now();
 
-  auto finish = [this, token, group_ptr, id](ActionStatus status,
-                                             std::string message,
-                                             ajo::FileOutcome detail) {
+  auto finish = [this, token, group_ptr, id,
+                 epoch = epoch_](ActionStatus status, std::string message,
+                                 ajo::FileOutcome detail) {
+    if (epoch != epoch_) return;
     auto it = jobs_.find(token);
     if (it == jobs_.end()) return;
     auto action_it = group_ptr->actions.find(id);
@@ -521,10 +677,12 @@ void Njs::dispatch_file_task(JobRun& job, GroupRun& group, ActionRun& run) {
       }
       std::uint64_t bytes = blob.size();
       std::string name = import.uspace_name;
+      // Capture the workspace by shared_ptr: the GroupRun may be gone
+      // (job deleted, NJS restarted) by the time the write lands.
       engine_.after(staging_delay(group, bytes),
-                    [group_ptr, finish, name, blob = std::move(blob),
-                     bytes]() mutable {
-                      auto status = group_ptr->workspace->write(
+                    [workspace = group.workspace, finish, name,
+                     blob = std::move(blob), bytes]() mutable {
+                      auto status = workspace->write(
                           name, std::move(blob));
                       if (!status.ok())
                         finish(ActionStatus::kNotSuccessful,
@@ -587,7 +745,7 @@ void Njs::dispatch_file_task(JobRun& job, GroupRun& group, ActionRun& run) {
 
       if (target.subgroup != nullptr) {
         // Local sub-job, already running: a local Uspace-to-Uspace copy.
-        auto* workspace = target.subgroup->workspace.get();
+        auto workspace = target.subgroup->workspace;
         engine_.after(staging_delay(group, bytes),
                       [finish, workspace, target_name, blob = std::move(blob),
                        bytes]() mutable {
@@ -701,7 +859,9 @@ void Njs::dispatch_subjob(JobRun& job, GroupRun& group, ActionRun& run) {
   ActionId id = run.action->id();
   peer_link_->consign(
       sub.usite, consignment,
-      [this, token, group_ptr, id](Result<RemoteJobHandle> handle) {
+      [this, token, group_ptr, id, epoch = epoch_](
+          Result<RemoteJobHandle> handle) {
+        if (epoch != epoch_) return;
         auto it = jobs_.find(token);
         if (it == jobs_.end()) return;
         auto action_it = group_ptr->actions.find(id);
@@ -720,7 +880,8 @@ void Njs::dispatch_subjob(JobRun& job, GroupRun& group, ActionRun& run) {
         it->second->trace.record("remote-accept", engine_.now(), engine_.now(),
                                  run.span);
       },
-      [this, token, group_ptr, id](ajo::Outcome outcome) {
+      [this, token, group_ptr, id, epoch = epoch_](ajo::Outcome outcome) {
+        if (epoch != epoch_) return;
         auto it = jobs_.find(token);
         if (it == jobs_.end()) return;
         auto action_it = group_ptr->actions.find(id);
@@ -744,6 +905,10 @@ void Njs::complete_action(JobRun& job, GroupRun& group, ActionRun& run,
     job.trace.annotate(run.span, "status", ajo::action_status_name(status));
     job.trace.end(run.span, engine_.now());
   }
+  if (journal_ != nullptr)
+    journal_->record_action_state(job.token,
+                                  action_path(group, run.outcome.action),
+                                  status);
   --group.open_actions;
 
   if (status == ActionStatus::kSuccessful)
@@ -786,7 +951,9 @@ void Njs::process_edges(JobRun& job, GroupRun& group, ActionRun& completed) {
     GroupRun* group_ptr = &group;
     ActionId successor_id = dep->successor;
 
-    auto on_staged = [this, token, group_ptr, successor_id](Status status) {
+    auto on_staged = [this, token, group_ptr, successor_id,
+                      epoch = epoch_](Status status) {
+      if (epoch != epoch_) return;
       auto job_it = jobs_.find(token);
       if (job_it == jobs_.end()) return;
       auto action_it = group_ptr->actions.find(successor_id);
@@ -865,9 +1032,15 @@ void Njs::stage_edge_files_async(JobRun& job, GroupRun& group,
   JobToken token = job.token;
   GroupRun* group_ptr = &group;
 
+  // The loop function holds itself only weakly; the strong reference
+  // that keeps the chain alive across each async hop lives in the
+  // in-flight fetch callback, so the whole closure is freed as soon as
+  // the last callback runs (a self-capture here would be a permanent
+  // shared_ptr cycle).
   auto fetch_next = std::make_shared<std::function<void()>>();
   *fetch_next = [this, remaining, handle, token, group_ptr, done,
-                 fetch_next]() {
+                 weak_next =
+                     std::weak_ptr<std::function<void()>>(fetch_next)]() {
     if (remaining->empty()) {
       done(Status::ok_status());
       return;
@@ -876,8 +1049,9 @@ void Njs::stage_edge_files_async(JobRun& job, GroupRun& group,
     remaining->pop_back();
     peer_link_->fetch_file(
         handle, file,
-        [this, token, group_ptr, file, done,
-         fetch_next](Result<uspace::FileBlob> blob) {
+        [this, token, group_ptr, file, done, fetch_next = weak_next.lock(),
+         epoch = epoch_](Result<uspace::FileBlob> blob) {
+          if (epoch != epoch_) return;
           auto it = jobs_.find(token);
           if (it == jobs_.end()) return;
           if (!blob) {
@@ -917,6 +1091,10 @@ void Njs::finalize_if_done(JobRun& job) {
   UNICORE_INFO("njs/" + usite_)
       << "job " << job.token << " finished: "
       << ajo::action_status_name(aggregate);
+  if (journal_ != nullptr)
+    journal_->record_finalized(
+        job.token,
+        build_outcome(job, job.root, ajo::QueryService::Detail::kTasks));
   if (job.on_final) {
     auto outcome = build_outcome(job, job.root,
                                  ajo::QueryService::Detail::kTasks);
@@ -999,6 +1177,107 @@ ajo::Outcome Njs::build_outcome(const JobRun& job, const GroupRun& group,
   return node;
 }
 
+// ---- crash recovery --------------------------------------------------------
+
+void Njs::set_journal(std::shared_ptr<Journal> journal) {
+  journal_ = std::move(journal);
+}
+
+std::shared_ptr<uspace::Uspace> Njs::make_workspace(
+    const std::string& directory, std::uint64_t quota_bytes) {
+  if (journal_ != nullptr) return journal_->workspace(directory, quota_bytes);
+  return std::make_shared<uspace::Uspace>(directory, quota_bytes);
+}
+
+std::string Njs::action_path(const GroupRun& group, ActionId id) {
+  std::vector<const GroupRun*> chain;
+  for (const GroupRun* g = &group; g != nullptr; g = g->parent)
+    chain.push_back(g);
+  std::string path;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it)
+    path += "g" + std::to_string((*it)->group->id()) + "/";
+  path += "a" + std::to_string(id);
+  return path;
+}
+
+void Njs::crash() {
+  // The NJS process dies: every in-memory JobRun, dedupe key, and
+  // pending callback is gone. Bumping the epoch invalidates callbacks
+  // already queued inside the engine or held by the batch subsystems.
+  ++epoch_;
+  jobs_.clear();
+  consign_keys_.clear();
+  recovered_batch_.clear();
+  UNICORE_INFO("njs/" + usite_) << "simulated crash (epoch " << epoch_ << ")";
+}
+
+Result<std::size_t> Njs::recover() {
+  if (journal_ == nullptr)
+    return util::make_error(ErrorCode::kFailedPrecondition,
+                            "no journal attached");
+  std::size_t recovered = 0;
+  for (auto& image : journal_->recover()) {
+    next_token_ = std::max(next_token_, image.token + 1);
+    if (jobs_.count(image.token) != 0) continue;  // already live
+
+    if (image.outcome.has_value()) {
+      // Terminal before the crash: restore the record, not the run
+      // tree, so queries and output reads keep working.
+      auto run = std::make_unique<JobRun>();
+      run->token = image.token;
+      run->job = std::move(image.job);
+      run->user = std::move(image.user);
+      run->user_certificate = std::move(image.user_certificate);
+      run->consigned_at = image.consigned_at;
+      run->finalized = true;
+      run->idempotency_key = image.idempotency_key;
+      run->recovered_outcome = std::move(*image.outcome);
+      run->root.group = &run->job;
+      std::string directory = usite_ + "/job" + std::to_string(run->token) +
+                              "/g" + std::to_string(run->job.id());
+      std::uint64_t quota = 0;
+      if (auto it = vsites_.find(run->job.vsite); it != vsites_.end())
+        quota = it->second->config.uspace_quota_bytes;
+      run->root.workspace = make_workspace(directory, quota);
+      if (!image.idempotency_key.empty())
+        consign_keys_[image.idempotency_key] = image.token;
+      jobs_[image.token] = std::move(run);
+      ++recovered;
+      continue;
+    }
+
+    // Still live at the crash: re-admit through the normal dispatch
+    // path. Actions whose batch submissions are journaled re-attach in
+    // dispatch_execute; everything else replays idempotently against
+    // the durable workspaces.
+    for (auto& [path, batch_id] : image.batch_ids)
+      recovered_batch_[{image.token, path}] = batch_id;
+    auto admitted =
+        admit(image.token, image.job, image.user, image.user_certificate,
+              nullptr, std::move(image.staged_files), image.idempotency_key,
+              /*journal_it=*/false);
+    if (!admitted) {
+      UNICORE_WARN("njs/" + usite_)
+          << "recovery of job " << image.token
+          << " failed: " << admitted.error().message;
+      continue;
+    }
+    auto it = jobs_.find(image.token);
+    if (it != jobs_.end()) {
+      it->second->consigned_at = image.consigned_at;
+      it->second->trace.annotate(it->second->root.span, "recovered", "true");
+    }
+    ++recovered;
+  }
+  recoveries_ += recovered;
+  if (recoveries_counter_ && recovered > 0)
+    recoveries_counter_->add(static_cast<double>(recovered));
+  UNICORE_INFO("njs/" + usite_)
+      << "recovered " << recovered << " job(s) from " << journal_->records()
+      << " journal record(s)";
+  return recovered;
+}
+
 // ---- public services -------------------------------------------------------
 
 Result<ajo::Outcome> Njs::query(JobToken token,
@@ -1007,6 +1286,11 @@ Result<ajo::Outcome> Njs::query(JobToken token,
   if (it == jobs_.end())
     return util::make_error(ErrorCode::kNotFound,
                             "no such job: " + std::to_string(token));
+  if (it->second->recovered_outcome.has_value()) {
+    ajo::Outcome outcome = *it->second->recovered_outcome;
+    if (detail == ajo::QueryService::Detail::kSummary) outcome.children.clear();
+    return outcome;
+  }
   return build_outcome(*it->second, it->second->root, detail);
 }
 
@@ -1026,7 +1310,9 @@ std::vector<JobSummary> Njs::list(
     JobSummary summary;
     summary.token = token;
     summary.name = job->job.name();
-    summary.status = aggregate_status(job->root);
+    summary.status = job->recovered_outcome.has_value()
+                         ? job->recovered_outcome->status
+                         : aggregate_status(job->root);
     summary.consigned_at = job->consigned_at;
     out.push_back(std::move(summary));
   }
@@ -1106,11 +1392,18 @@ Status Njs::control(JobToken token, ajo::ControlService::Command command) {
       return Status::ok_status();
     }
     case ajo::ControlService::Command::kDelete: {
-      ajo::Outcome outcome =
-          build_outcome(job, job.root, ajo::QueryService::Detail::kSummary);
-      if (!ajo::is_terminal(outcome.status))
+      ajo::ActionStatus status =
+          job.recovered_outcome.has_value()
+              ? job.recovered_outcome->status
+              : build_outcome(job, job.root,
+                              ajo::QueryService::Detail::kSummary)
+                    .status;
+      if (!ajo::is_terminal(status))
         return util::make_error(ErrorCode::kFailedPrecondition,
                                 "job still active; abort it first");
+      if (!job.idempotency_key.empty())
+        consign_keys_.erase(job.idempotency_key);
+      if (journal_ != nullptr) journal_->record_deleted(token);
       jobs_.erase(it);
       return Status::ok_status();
     }

@@ -31,12 +31,14 @@
 #include "batch/subsystem.h"
 #include "gateway/gateway.h"
 #include "njs/incarnation.h"
+#include "njs/journal.h"
 #include "njs/peer_link.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/engine.h"
 #include "uspace/filespace.h"
 #include "util/result.h"
+#include "util/retry.h"
 #include "util/rng.h"
 
 namespace unicore::njs {
@@ -99,11 +101,17 @@ class Njs {
   /// `user_certificate` the original user certificate (needed to endorse
   /// sub-AJOs to peer sites). `on_final` (optional) fires once when the
   /// job reaches a terminal state.
+  /// A non-empty `idempotency_key` (the signed-AJO digest, computed by
+  /// the server layer for forwarded consignments) makes the consign
+  /// idempotent: a duplicate key returns the original token, and
+  /// `on_final` is (re-)registered against the existing job — this is
+  /// what lets the peer link retry consigns safely.
   util::Result<ajo::JobToken> consign(
       const ajo::AbstractJobObject& job, const gateway::AuthenticatedUser& user,
       const crypto::Certificate& user_certificate,
       FinalHandler on_final = nullptr,
-      std::vector<std::pair<std::string, uspace::FileBlob>> staged_files = {});
+      std::vector<std::pair<std::string, uspace::FileBlob>> staged_files = {},
+      util::Bytes idempotency_key = {});
 
   /// Files arriving with / for a consigned job (inter-site transfers and
   /// consignment-staged dependency data) land in the root Uspace.
@@ -127,6 +135,35 @@ class Njs {
   /// Reads a file from a terminal job's Uspace (JMC "save output").
   util::Result<uspace::FileBlob> read_output(ajo::JobToken token,
                                              const std::string& name) const;
+
+  // --- crash recovery -----------------------------------------------------
+
+  /// Attaches the write-ahead journal. From here on every consignment,
+  /// batch submission, and finalization is journaled, and job
+  /// workspaces come from the journal store's durable directories.
+  void set_journal(std::shared_ptr<Journal> journal);
+  const std::shared_ptr<Journal>& journal() const { return journal_; }
+
+  /// Simulates an NJS process crash: all in-memory job state vanishes.
+  /// Vsites, batch subsystems, Xspace volumes, and the journal store
+  /// model other processes/disks and survive.
+  void crash();
+
+  /// Rebuilds jobs from the journal after a crash(): finalized jobs are
+  /// restored with their recorded Outcome; live jobs are re-admitted
+  /// through the normal dispatch path, re-attaching to batch jobs that
+  /// were already submitted (no duplicate submissions). Returns the
+  /// number of jobs recovered.
+  util::Result<std::size_t> recover();
+
+  std::uint64_t recoveries() const { return recoveries_; }
+  std::uint64_t consigns_deduped() const { return consigns_deduped_; }
+  std::uint64_t batch_retries() const { return batch_retries_; }
+
+  /// Backoff ladder for retryable batch-submit failures.
+  void set_batch_backoff(util::BackoffPolicy policy) {
+    batch_backoff_ = policy;
+  }
 
   // --- statistics ---------------------------------------------------------
   std::size_t active_jobs() const;
@@ -162,11 +199,25 @@ class Njs {
   struct GroupRun;
   struct JobRun;
 
+  // Admission shared by consign() and recover(): `token` is fixed by
+  // the caller; journaling is skipped on the recovery path.
+  util::Result<ajo::JobToken> admit(
+      ajo::JobToken token, const ajo::AbstractJobObject& job,
+      const gateway::AuthenticatedUser& user,
+      const crypto::Certificate& user_certificate, FinalHandler on_final,
+      std::vector<std::pair<std::string, uspace::FileBlob>> staged_files,
+      util::Bytes idempotency_key, bool journal_it);
+
   // Group/graph engine.
   util::Status start_group(JobRun& job, GroupRun& group);
   void dispatch_ready(JobRun& job, GroupRun& group, ActionRun& run);
   void dispatch_action(JobRun& job, GroupRun& group, ActionRun& run);
   void dispatch_execute(JobRun& job, GroupRun& group, ActionRun& run);
+  void dispatch_execute_attempt(JobRun& job, GroupRun& group, ActionRun& run,
+                                int attempt);
+  batch::BatchSubsystem::CompletionHandler make_batch_handler(
+      ajo::JobToken token, GroupRun* group_ptr, ajo::ActionId id,
+      bool recovered);
   void dispatch_file_task(JobRun& job, GroupRun& group, ActionRun& run);
   void dispatch_subjob(JobRun& job, GroupRun& group, ActionRun& run);
   void complete_action(JobRun& job, GroupRun& group, ActionRun& run,
@@ -185,6 +236,15 @@ class Njs {
   void set_held(GroupRun& group, bool held);
   void wire_metrics();
 
+  /// Stable identifier of an action across restarts (group-id chain +
+  /// action id), used as the journal's batch-submission key.
+  static std::string action_path(const GroupRun& group, ajo::ActionId id);
+
+  /// Makes a workspace for `directory`: from the journal's durable
+  /// store when attached, otherwise a fresh in-memory Uspace.
+  std::shared_ptr<uspace::Uspace> make_workspace(const std::string& directory,
+                                                 std::uint64_t quota_bytes);
+
   sim::Time staging_delay(const GroupRun& group, std::uint64_t bytes) const;
 
   sim::Engine& engine_;
@@ -201,9 +261,27 @@ class Njs {
   std::uint64_t jobs_consigned_ = 0;
   std::uint64_t jobs_completed_ = 0;
 
+  // Crash-recovery state. `epoch_` is bumped by crash(): every async
+  // callback captures the epoch it was created under and drops itself
+  // when the NJS has restarted since (the token alone is not enough —
+  // recovery re-inserts the same token with fresh GroupRuns).
+  std::shared_ptr<Journal> journal_;
+  std::uint64_t epoch_ = 0;
+  std::map<util::Bytes, ajo::JobToken> consign_keys_;
+  std::map<std::pair<ajo::JobToken, std::string>, batch::BatchJobId>
+      recovered_batch_;
+  util::BackoffPolicy batch_backoff_;
+  std::uint64_t recoveries_ = 0;
+  std::uint64_t consigns_deduped_ = 0;
+  std::uint64_t batch_retries_ = 0;
+
   std::shared_ptr<obs::MetricsRegistry> metrics_;
   obs::Counter* consigned_counter_ = nullptr;
   obs::Counter* completed_counter_ = nullptr;
+  obs::Counter* recoveries_counter_ = nullptr;
+  obs::Counter* dedupe_counter_ = nullptr;
+  obs::Counter* batch_retry_counter_ = nullptr;
+  obs::Counter* reattach_counter_ = nullptr;
   obs::Histogram* dispatch_latency_hist_ = nullptr;
   obs::Histogram* job_duration_hist_ = nullptr;
 };

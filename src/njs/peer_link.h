@@ -33,6 +33,11 @@ struct ForwardedConsignment {
   /// Canonical signing input (covers job and user certificate).
   static util::Bytes signing_input(const ajo::AbstractJobObject& job,
                                    const crypto::Certificate& user_cert);
+
+  /// Digest of the signed consignment (signing input, signature, and
+  /// consignor certificate). Stable across retries of the same
+  /// consignment, so the receiving NJS can dedupe.
+  util::Bytes idempotency_key() const;
 };
 
 /// Handle of a job consigned at a remote Usite.

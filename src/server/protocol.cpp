@@ -27,6 +27,7 @@ const char* request_kind_name(RequestKind kind) {
     case RequestKind::kPeerControl: return "peer-control";
     case RequestKind::kMonitorMetrics: return "monitor-metrics";
     case RequestKind::kMonitorTrace: return "monitor-trace";
+    case RequestKind::kJournalInspect: return "journal-inspect";
   }
   return "?";
 }

@@ -44,6 +44,9 @@ enum class RequestKind : std::uint8_t {
   kPeerControl = 11,   // peer NJS: token + command
   kMonitorMetrics = 12,  // MonitorService: Usite metrics snapshot
   kMonitorTrace = 13,    // MonitorService: token -> job trace timeline
+  kJournalInspect = 14,  // recovery diagnostics: NJS journal stats
+                         // (requires the kFeatureJournalInspect channel
+                         // feature — v1 peers get kUnimplemented)
 };
 
 const char* request_kind_name(RequestKind kind);

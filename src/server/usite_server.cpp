@@ -35,12 +35,17 @@ struct UsiteServer::ClientSession {
 };
 
 struct UsiteServer::PeerConnection {
+  struct PendingPeer {
+    std::function<void(Result<Bytes>)> handler;
+    std::optional<sim::EventId> timeout;
+  };
+
   std::string usite;
   net::Address address;
   std::shared_ptr<net::SecureChannel> channel;
   bool established = false;
   std::deque<Bytes> backlog;  // requests queued during the handshake
-  std::map<std::uint64_t, std::function<void(Result<Bytes>)>> pending;
+  std::map<std::uint64_t, PendingPeer> pending;
   std::map<std::uint64_t, std::function<void(ajo::Outcome)>> finals;
 };
 
@@ -264,6 +269,19 @@ void UsiteServer::handle_request(const std::shared_ptr<ClientSession>& session,
       return forward(pack_njs_request(kind, request_id, user.value(),
                                       encode_forwarded(c)));
     }
+    case RequestKind::kJournalInspect:
+      // Negotiated at the hello exchange: a v1 channel never agreed to
+      // this request kind, so it is refused before touching the NJS.
+      if (!session->channel->feature_enabled(net::kFeatureJournalInspect))
+        return reply_error(
+            request_id,
+            util::make_error(ErrorCode::kFailedPrecondition,
+                             "journal-inspect requires the v2 channel "
+                             "feature (peer negotiated v" +
+                                 std::to_string(
+                                     session->channel->negotiated_version()) +
+                                 ")"));
+      [[fallthrough]];
     case RequestKind::kQuery:
     case RequestKind::kList:
     case RequestKind::kControl:
@@ -337,13 +355,17 @@ Bytes UsiteServer::njs_execute(std::uint64_t session_id, ByteReader& packed) {
         if (!consignment)
           return make_error_reply(request_id, consignment.error());
         auto& c = consignment.value();
+        // The digest of the signed consignment keys deduplication: a
+        // retried kForwardConsign (sender timed out, we had accepted)
+        // maps onto the existing job and returns its original token.
+        Bytes key = c.idempotency_key();
         auto token = njs_.consign(
             c.job, user, c.user_certificate,
             [this, session_id](JobToken token, const ajo::Outcome& outcome) {
               notify_session_raw(session_id,
                                  make_notification(token, outcome));
             },
-            std::move(c.staged_files));
+            std::move(c.staged_files), std::move(key));
         if (!token) return make_error_reply(request_id, token.error());
         ByteWriter out;
         out.u64(token.value());
@@ -443,6 +465,17 @@ Bytes UsiteServer::njs_execute(std::uint64_t session_id, ByteReader& packed) {
         if (!timeline) return make_error_reply(request_id, timeline.error());
         ByteWriter out;
         timeline.value()->encode(out);
+        return make_ok_reply(request_id, out.bytes());
+      }
+      case RequestKind::kJournalInspect: {
+        // Recovery diagnostics: journal depth plus the fault counters.
+        ByteWriter out;
+        auto journal = njs_.journal();
+        out.u8(journal != nullptr ? 1 : 0);
+        out.varint(journal != nullptr ? journal->records() : 0);
+        out.u64(njs_.recoveries());
+        out.u64(njs_.consigns_deduped());
+        out.u64(njs_.batch_retries());
         return make_ok_reply(request_id, out.bytes());
       }
       case RequestKind::kGetBundle:
@@ -593,7 +626,10 @@ void UsiteServer::fail_peer_connection(const std::string& usite,
   if (it == peer_connections_.end()) return;
   auto connection = std::move(it->second);
   peer_connections_.erase(it);
-  for (auto& [id, handler] : connection->pending) handler(error);
+  for (auto& [id, request] : connection->pending) {
+    if (request.timeout) engine_.cancel(*request.timeout);
+    request.handler(error);
+  }
   // Jobs already consigned remotely are reported unsuccessful: the link
   // that would have carried their outcome is gone.
   for (auto& [token, handler] : connection->finals) {
@@ -616,8 +652,9 @@ void UsiteServer::handle_peer_message(const std::string& usite, Bytes&& wire) {
       std::uint64_t request_id = reader.u64();
       bool ok = reader.u8() != 0;
       auto handler_it = connection.pending.find(request_id);
-      if (handler_it == connection.pending.end()) return;
-      auto handler = std::move(handler_it->second);
+      if (handler_it == connection.pending.end()) return;  // after timeout
+      if (handler_it->second.timeout) engine_.cancel(*handler_it->second.timeout);
+      auto handler = std::move(handler_it->second.handler);
       connection.pending.erase(handler_it);
       if (ok)
         handler(reader.raw(reader.remaining()));
@@ -655,7 +692,27 @@ void UsiteServer::send_peer_request(
     return;
   }
   std::uint64_t request_id = next_request_id_++;
-  connection.pending[request_id] = std::move(on_reply);
+  PeerConnection::PendingPeer pending;
+  pending.handler = std::move(on_reply);
+  // A lost request or reply must not hang the caller forever: after the
+  // deadline the request fails kTimeout — retryable, and the peer may
+  // have acted, which is why consignments carry idempotency keys.
+  pending.timeout =
+      engine_.after(peer_request_timeout_, [this, usite, request_id] {
+        auto conn_it = peer_connections_.find(usite);
+        if (conn_it == peer_connections_.end()) return;
+        auto it = conn_it->second->pending.find(request_id);
+        if (it == conn_it->second->pending.end()) return;
+        auto handler = std::move(it->second.handler);
+        conn_it->second->pending.erase(it);
+        metrics_
+            ->counter("unicore_peer_request_timeouts_total",
+                      {{"usite", config_.name}})
+            .increment();
+        handler(util::make_error(ErrorCode::kTimeout,
+                                 "peer request to " + usite + " timed out"));
+      });
+  connection.pending[request_id] = std::move(pending);
   Bytes wire = make_request(kind, request_id, payload);
   if (connection.established)
     connection.channel->send(std::move(wire));
@@ -663,12 +720,66 @@ void UsiteServer::send_peer_request(
     connection.backlog.push_back(std::move(wire));
 }
 
+void UsiteServer::peer_call(const std::string& usite, RequestKind kind,
+                            Bytes payload, int attempt,
+                            std::function<void(Result<Bytes>)> on_reply) {
+  util::CircuitBreaker& breaker = peer_breakers_[usite];
+  if (!breaker.allow(engine_.now())) {
+    metrics_
+        ->counter("unicore_peer_circuit_rejections_total",
+                  {{"usite", config_.name}, {"peer", usite}})
+        .increment();
+    on_reply(util::make_error(
+        ErrorCode::kUnavailable,
+        "peer circuit open: " + usite + " (" +
+            util::circuit_state_name(breaker.state()) + ")"));
+    return;
+  }
+  Bytes wire_payload = payload;  // the original is retained for retries
+  auto handler = [this, usite, kind, payload = std::move(payload), attempt,
+                  on_reply = std::move(on_reply)](Result<Bytes> reply) mutable {
+    util::CircuitBreaker& breaker = peer_breakers_[usite];
+    if (reply) {
+      breaker.record_success();
+      on_reply(std::move(reply));
+      return;
+    }
+    if (!util::is_retryable(reply.error().code)) {
+      // A real rejection; the breaker only counts transport-level
+      // failures, and retrying would repeat the same answer.
+      on_reply(std::move(reply));
+      return;
+    }
+    breaker.record_failure(engine_.now());
+    if (attempt >= peer_backoff_.max_attempts) {
+      on_reply(std::move(reply));
+      return;
+    }
+    ++peer_retries_;
+    metrics_
+        ->counter("unicore_peer_retries_total",
+                  {{"usite", config_.name}, {"peer", usite}})
+        .increment();
+    sim::Time delay = util::backoff_delay_us(peer_backoff_, attempt, rng_);
+    UNICORE_DEBUG("server/" + config_.name)
+        << "peer request to " << usite << " failed ("
+        << reply.error().to_string() << "); retry " << attempt + 1 << " in "
+        << delay << "us";
+    engine_.after(delay, [this, usite, kind, payload = std::move(payload),
+                          attempt, on_reply = std::move(on_reply)]() mutable {
+      peer_call(usite, kind, std::move(payload), attempt + 1,
+                std::move(on_reply));
+    });
+  };
+  send_peer_request(usite, kind, std::move(wire_payload), std::move(handler));
+}
+
 void UsiteServer::consign(
     const std::string& usite, const njs::ForwardedConsignment& consignment,
     std::function<void(Result<njs::RemoteJobHandle>)> on_accepted,
     std::function<void(ajo::Outcome)> on_final) {
-  send_peer_request(
-      usite, RequestKind::kForwardConsign, encode_forwarded(consignment),
+  peer_call(
+      usite, RequestKind::kForwardConsign, encode_forwarded(consignment), 1,
       [this, usite, on_accepted = std::move(on_accepted),
        on_final = std::move(on_final)](Result<Bytes> reply) {
         if (!reply) {
@@ -694,8 +805,8 @@ void UsiteServer::deliver_file(const njs::RemoteJobHandle& target,
   payload.u64(target.token);
   payload.str(uspace_name);
   blob.encode(payload);
-  send_peer_request(target.usite, RequestKind::kDeliverFile, payload.take(),
-                    [done = std::move(done)](Result<Bytes> reply) {
+  peer_call(target.usite, RequestKind::kDeliverFile, payload.take(), 1,
+            [done = std::move(done)](Result<Bytes> reply) {
                       if (!reply)
                         done(reply.error());
                       else
@@ -709,8 +820,8 @@ void UsiteServer::fetch_file(
   ByteWriter payload;
   payload.u64(source.token);
   payload.str(uspace_name);
-  send_peer_request(source.usite, RequestKind::kFetchFile, payload.take(),
-                    [done = std::move(done)](Result<Bytes> reply) {
+  peer_call(source.usite, RequestKind::kFetchFile, payload.take(), 1,
+            [done = std::move(done)](Result<Bytes> reply) {
                       if (!reply) {
                         done(reply.error());
                         return;
@@ -731,8 +842,8 @@ void UsiteServer::control(const njs::RemoteJobHandle& target,
   ByteWriter payload;
   payload.u64(target.token);
   payload.u8(static_cast<std::uint8_t>(command));
-  send_peer_request(target.usite, RequestKind::kPeerControl, payload.take(),
-                    [done = std::move(done)](Result<Bytes> reply) {
+  peer_call(target.usite, RequestKind::kPeerControl, payload.take(), 1,
+            [done = std::move(done)](Result<Bytes> reply) {
                       if (!reply)
                         done(reply.error());
                       else

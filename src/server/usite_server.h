@@ -28,6 +28,7 @@
 #include "obs/metrics.h"
 #include "server/protocol.h"
 #include "util/result.h"
+#include "util/retry.h"
 
 namespace unicore::server {
 
@@ -97,6 +98,18 @@ class UsiteServer : public njs::PeerLink {
 
   // Diagnostics.
   std::uint64_t requests_served() const { return requests_served_; }
+  /// Peer requests re-sent after a retryable failure (timeouts, link
+  /// loss) — each retry is covered by the consignment idempotency key.
+  std::uint64_t peer_retries() const { return peer_retries_; }
+
+  /// Retry/backoff parameters for NJS–NJS peer requests.
+  void set_peer_backoff(util::BackoffPolicy policy) {
+    peer_backoff_ = policy;
+  }
+  /// Per-request deadline after which a peer request fails kTimeout.
+  void set_peer_request_timeout(sim::Time timeout) {
+    peer_request_timeout_ = timeout;
+  }
 
   /// Shares a deployment-wide registry (set by the grid layer so one
   /// MonitorService snapshot covers gateway, NJS, batch, and network).
@@ -142,6 +155,12 @@ class UsiteServer : public njs::PeerLink {
                          util::Bytes payload,
                          std::function<void(util::Result<util::Bytes>)>
                              on_reply);
+  /// send_peer_request plus the fault-tolerance envelope: a per-request
+  /// timeout, exponential backoff retries on retryable errors, and a
+  /// per-peer circuit breaker that fails fast while a peer is down.
+  void peer_call(const std::string& usite, RequestKind kind,
+                 util::Bytes payload, int attempt,
+                 std::function<void(util::Result<util::Bytes>)> on_reply);
 
   sim::Engine& engine_;
   net::Network& network_;
@@ -158,6 +177,10 @@ class UsiteServer : public njs::PeerLink {
 
   std::map<std::string, net::Address> peers_;
   std::map<std::string, std::unique_ptr<PeerConnection>> peer_connections_;
+  std::map<std::string, util::CircuitBreaker> peer_breakers_;
+  util::BackoffPolicy peer_backoff_;
+  sim::Time peer_request_timeout_ = sim::sec(60);
+  std::uint64_t peer_retries_ = 0;
   std::uint64_t next_request_id_ = 1;
 
   // Split-mode pipe endpoints (gateway-side client, NJS-side server).

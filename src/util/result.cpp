@@ -12,8 +12,20 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::kUnavailable: return "unavailable";
     case ErrorCode::kFailedPrecondition: return "failed_precondition";
     case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kTimeout: return "timeout";
   }
   return "unknown";
+}
+
+bool is_retryable(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kUnavailable:
+    case ErrorCode::kTimeout:
+    case ErrorCode::kResourceExhausted:
+      return true;
+    default:
+      return false;
+  }
 }
 
 }  // namespace unicore::util

@@ -23,10 +23,19 @@ enum class ErrorCode {
   kUnavailable,          // network loss, peer down
   kFailedPrecondition,   // protocol misuse, wrong job state
   kInternal,
+  kTimeout,              // no reply within the deadline (peer may have
+                         // acted — retries must be idempotent)
 };
 
 /// Human-readable name of an ErrorCode ("permission_denied", ...).
 const char* error_code_name(ErrorCode code);
+
+/// The retry classification every tier agrees on: kUnavailable (peer
+/// down / link lost), kTimeout (no reply in time) and
+/// kResourceExhausted (quota or queue pressure that may clear) are
+/// worth retrying; everything else is permanent and retrying would
+/// only repeat the same rejection.
+bool is_retryable(ErrorCode code);
 
 struct Error {
   ErrorCode code = ErrorCode::kInternal;

@@ -1,0 +1,64 @@
+#include "util/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace unicore::util {
+
+std::int64_t backoff_delay_us(const BackoffPolicy& policy, int attempt,
+                              Rng& rng) {
+  if (attempt < 1) attempt = 1;
+  double delay = static_cast<double>(policy.initial_us) *
+                 std::pow(policy.multiplier, attempt - 1);
+  delay = std::min(delay, static_cast<double>(policy.max_us));
+  if (policy.jitter > 0)
+    delay *= 1.0 + policy.jitter * (2.0 * rng.uniform() - 1.0);
+  return std::max<std::int64_t>(0, static_cast<std::int64_t>(delay));
+}
+
+bool CircuitBreaker::allow(std::int64_t now_us) {
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (now_us - opened_at_ >= config_.open_interval_us) {
+        state_ = State::kHalfOpen;
+        probe_in_flight_ = true;
+        return true;
+      }
+      return false;
+    case State::kHalfOpen:
+      if (!probe_in_flight_) {
+        probe_in_flight_ = true;
+        return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+void CircuitBreaker::record_success() {
+  state_ = State::kClosed;
+  failures_ = 0;
+  probe_in_flight_ = false;
+}
+
+void CircuitBreaker::record_failure(std::int64_t now_us) {
+  ++failures_;
+  probe_in_flight_ = false;
+  if (state_ == State::kHalfOpen || failures_ >= config_.failure_threshold) {
+    state_ = State::kOpen;
+    opened_at_ = now_us;
+  }
+}
+
+const char* circuit_state_name(CircuitBreaker::State state) {
+  switch (state) {
+    case CircuitBreaker::State::kClosed: return "closed";
+    case CircuitBreaker::State::kOpen: return "open";
+    case CircuitBreaker::State::kHalfOpen: return "half-open";
+  }
+  return "unknown";
+}
+
+}  // namespace unicore::util

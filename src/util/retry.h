@@ -1,0 +1,67 @@
+// Retry policy building blocks shared by the client, the NJS batch
+// submit path, and the NJS↔NJS peer link: truncated exponential backoff
+// with jitter, and a per-target circuit breaker so a dead Vsite or peer
+// Usite degrades fast instead of wedging callers behind full retry
+// ladders. Times are plain int64 microseconds so the simulation clock
+// plugs in directly.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace unicore::util {
+
+/// Parameters of a truncated exponential backoff ladder. The delay
+/// before retry n (1-based) is `initial * multiplier^(n-1)`, capped at
+/// `max_us` and spread by ±`jitter` so synchronized retries de-correlate.
+struct BackoffPolicy {
+  std::int64_t initial_us = 200'000;     // 200 ms
+  std::int64_t max_us = 10'000'000;      // 10 s cap
+  double multiplier = 2.0;
+  double jitter = 0.2;                   // ± fraction of the delay
+  int max_attempts = 4;                  // total tries, first included
+};
+
+/// Delay to wait before retry number `attempt` (1 = the retry after the
+/// first failure). Never negative.
+std::int64_t backoff_delay_us(const BackoffPolicy& policy, int attempt,
+                              Rng& rng);
+
+/// Classic closed → open → half-open breaker. After `failure_threshold`
+/// consecutive failures the breaker opens and `allow()` rejects
+/// immediately; once `open_interval_us` has elapsed a single probe is
+/// let through (half-open) and its outcome decides between closing and
+/// re-opening.
+class CircuitBreaker {
+ public:
+  struct Config {
+    int failure_threshold = 3;
+    std::int64_t open_interval_us = 30'000'000;  // 30 s cool-down
+  };
+
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  CircuitBreaker() = default;
+  explicit CircuitBreaker(Config config) : config_(config) {}
+
+  /// May a request proceed at `now_us`? Transitions open → half-open
+  /// when the cool-down elapsed; in half-open only one probe at a time.
+  bool allow(std::int64_t now_us);
+  void record_success();
+  void record_failure(std::int64_t now_us);
+
+  State state() const { return state_; }
+  int consecutive_failures() const { return failures_; }
+
+ private:
+  Config config_;
+  State state_ = State::kClosed;
+  int failures_ = 0;
+  std::int64_t opened_at_ = 0;
+  bool probe_in_flight_ = false;
+};
+
+const char* circuit_state_name(CircuitBreaker::State state);
+
+}  // namespace unicore::util

@@ -1,11 +1,13 @@
 // Cross-cutting lifecycle scenarios: save/reload/resubmit (§5.7),
 // deeply nested job trees, grid-wide revocation, applet version bumps,
-// and accounting across a job's life.
+// and accounting across a job's life. Client interactions go through
+// the blocking SyncClient facade.
 #include <gtest/gtest.h>
 
 #include <cstdio>
 
 #include "client/job_store.h"
+#include "client/sync_client.h"
 #include "common/test_env.h"
 
 namespace unicore {
@@ -15,19 +17,17 @@ using testing::SingleSite;
 
 TEST(Lifecycle, SaveReloadModifyResubmit) {
   SingleSite site(31);
-  auto client = site.make_client();
-  client->connect(site.address(), [](util::Status) {});
-  site.grid.engine().run();
+  auto async_client = site.make_client();
+  client::SyncClient client(site.grid.engine(), *async_client);
+  ASSERT_TRUE(client.connect(site.address()).ok());
 
   auto job = testing::make_cle_job(site.user.certificate.subject,
                                    SingleSite::kUsite, SingleSite::kVsite)
                  .value();
 
   // First submission.
-  ajo::JobToken first = 0;
-  client->submit(job, [&](util::Result<ajo::JobToken> r) {
-    first = r.value();
-  });
+  auto first = client.submit(job);
+  ASSERT_TRUE(first.ok()) << first.error().to_string();
   site.grid.engine().run();
 
   // Save to the workstation disk, reload, modify, resubmit (§5.7).
@@ -37,22 +37,17 @@ TEST(Lifecycle, SaveReloadModifyResubmit) {
   ASSERT_TRUE(reloaded.ok());
   reloaded.value().set_name("resubmitted run");
 
-  ajo::JobToken second = 0;
-  client->submit(reloaded.value(), [&](util::Result<ajo::JobToken> r) {
-    second = r.value();
-  });
+  auto second = client.submit(reloaded.value());
+  ASSERT_TRUE(second.ok()) << second.error().to_string();
   site.grid.engine().run();
-  EXPECT_NE(second, 0u);
-  EXPECT_NE(second, first);
+  EXPECT_NE(second.value(), 0u);
+  EXPECT_NE(second.value(), first.value());
 
   // Both jobs finished; the JMC lists two entries.
-  std::vector<client::JobEntry> entries;
-  client->list([&](util::Result<std::vector<client::JobEntry>> r) {
-    entries = std::move(r.value());
-  });
-  site.grid.engine().run();
-  ASSERT_EQ(entries.size(), 2u);
-  for (const auto& entry : entries)
+  auto entries = client.list();
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries.value().size(), 2u);
+  for (const auto& entry : entries.value())
     EXPECT_EQ(entry.status, ajo::ActionStatus::kSuccessful);
   std::remove(path.c_str());
 }
@@ -125,50 +120,42 @@ TEST(Lifecycle, GridWideRevocationTakesEffectEverywhere) {
     config.host = "ws.example.de";
     config.user = user;
     config.trust = &trust;
-    client::UnicoreClient client(grid.engine(), grid.network(), grid.rng(),
-                                 config);
-    util::Status status = util::Status::ok_status();
-    client.connect(grid.site(name)->address(),
-                   [&](util::Status s) { status = s; });
-    grid.engine().run();
-    EXPECT_FALSE(status.ok()) << name;
+    client::UnicoreClient async_client(grid.engine(), grid.network(),
+                                       grid.rng(), config);
+    client::SyncClient client(grid.engine(), async_client);
+    EXPECT_FALSE(client.connect(grid.site(name)->address()).ok()) << name;
   }
 }
 
 TEST(Lifecycle, AppletVersionBumpVisibleOnNextFetch) {
   SingleSite site(34);
-  auto client = site.make_client();
-  client->connect(site.address(), [](util::Status) {});
-  site.grid.engine().run();
+  auto async_client = site.make_client();
+  client::SyncClient client(site.grid.engine(), *async_client);
+  ASSERT_TRUE(client.connect(site.address()).ok());
 
-  std::uint32_t version = 0;
-  client->fetch_bundle("JPA", [&](util::Result<crypto::SoftwareBundle> b) {
-    version = b.value().version;
-  });
-  site.grid.engine().run();
-  EXPECT_EQ(version, 1u);
+  auto bundle = client.fetch_bundle("JPA");
+  ASSERT_TRUE(bundle.ok());
+  EXPECT_EQ(bundle.value().version, 1u);
 
   // The consortium releases version 2; the very next connect/fetch sees
   // it — "the users always work with the latest version" (§4.1).
   site.grid.publish_client_software(2);
-  client->fetch_bundle("JPA", [&](util::Result<crypto::SoftwareBundle> b) {
-    version = b.value().version;
-  });
-  site.grid.engine().run();
-  EXPECT_EQ(version, 2u);
+  bundle = client.fetch_bundle("JPA");
+  ASSERT_TRUE(bundle.ok());
+  EXPECT_EQ(bundle.value().version, 2u);
 }
 
 TEST(Lifecycle, AccountingAccumulatesAcrossJobs) {
   SingleSite site(35);
-  auto client = site.make_client();
-  client->connect(site.address(), [](util::Status) {});
-  site.grid.engine().run();
+  auto async_client = site.make_client();
+  client::SyncClient client(site.grid.engine(), *async_client);
+  ASSERT_TRUE(client.connect(site.address()).ok());
 
   auto job = testing::make_cle_job(site.user.certificate.subject,
                                    SingleSite::kUsite, SingleSite::kVsite)
                  .value();
   for (int i = 0; i < 2; ++i) {
-    client->submit(job, [](util::Result<ajo::JobToken>) {});
+    ASSERT_TRUE(client.submit(job).ok());
     site.grid.engine().run();
   }
   const auto& accounting = site.server->njs().accounting();

@@ -120,7 +120,8 @@ TEST(Unreliable, HandshakeTimesOutOnDeadLink) {
   site.grid.engine().run();
   ASSERT_TRUE(called);
   EXPECT_FALSE(status.ok());
-  EXPECT_EQ(status.error().code, util::ErrorCode::kUnavailable);
+  EXPECT_EQ(status.error().code, util::ErrorCode::kTimeout);
+  EXPECT_TRUE(util::is_retryable(status.error().code));
 }
 
 }  // namespace

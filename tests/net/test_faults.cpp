@@ -1,0 +1,124 @@
+// Network fault injection: partitions, drop bursts, latency spikes, and
+// the FaultInjector timeline harness that schedules them.
+#include "net/faults.h"
+
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+
+namespace unicore::net {
+namespace {
+
+struct FaultsFixture : public ::testing::Test {
+  sim::Engine engine;
+  Network network{engine, util::Rng(5)};
+  std::shared_ptr<Endpoint> server;
+  std::shared_ptr<Endpoint> client;
+  int received = 0;
+
+  void SetUp() override {
+    LinkProfile link;
+    link.latency = sim::msec(10);
+    link.bandwidth_bytes_per_sec = 0;
+    network.set_link("a", "b", link);
+    ASSERT_TRUE(network
+                    .listen({"b", 80},
+                            [&](std::shared_ptr<Endpoint> e) {
+                              server = std::move(e);
+                            })
+                    .ok());
+    auto endpoint = network.connect("a", {"b", 80});
+    ASSERT_TRUE(endpoint.ok());
+    client = std::move(endpoint.value());
+    ASSERT_NE(server, nullptr);
+    server->set_receiver([&](util::Bytes&&) { ++received; });
+  }
+};
+
+TEST_F(FaultsFixture, PartitionDropsMessagesHealRestores) {
+  network.partition("a", "b");
+  EXPECT_TRUE(network.partitioned("a", "b"));
+  EXPECT_TRUE(network.partitioned("b", "a"));  // symmetric
+
+  client->send(util::to_bytes("lost"));
+  engine.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(network.messages_dropped_by_faults(), 1u);
+
+  network.heal("a", "b");
+  EXPECT_FALSE(network.partitioned("a", "b"));
+  client->send(util::to_bytes("delivered"));
+  engine.run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST_F(FaultsFixture, PartitionRefusesNewConnections) {
+  network.partition("a", "b");
+  auto endpoint = network.connect("a", {"b", 80});
+  ASSERT_FALSE(endpoint.ok());
+  EXPECT_EQ(endpoint.error().code, util::ErrorCode::kUnavailable);
+  network.heal("a", "b");
+  EXPECT_TRUE(network.connect("a", {"b", 80}).ok());
+}
+
+TEST_F(FaultsFixture, DropNextDropsExactlyNMessages) {
+  network.drop_next("a", "b", 2);
+  for (int i = 0; i < 4; ++i) client->send(util::to_bytes("m"));
+  engine.run();
+  EXPECT_EQ(received, 2);
+  EXPECT_EQ(network.messages_dropped_by_faults(), 2u);
+}
+
+TEST_F(FaultsFixture, DropNextIsDirectional) {
+  int client_received = 0;
+  client->set_receiver([&](util::Bytes&&) { ++client_received; });
+  network.drop_next("a", "b", 1);
+  client->send(util::to_bytes("dropped"));
+  engine.run();
+  server->send(util::to_bytes("reverse direction passes"));
+  engine.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(client_received, 1);
+}
+
+TEST_F(FaultsFixture, LatencySpikeDelaysThenExpires) {
+  network.add_latency_spike("a", "b", sim::msec(500), sim::sec(1));
+
+  sim::Time arrival = -1;
+  server->set_receiver([&](util::Bytes&&) { arrival = engine.now(); });
+  client->send(util::to_bytes("slow"));
+  engine.run();
+  EXPECT_EQ(arrival, sim::msec(510));  // 10 ms link + 500 ms spike
+
+  // After the spike deadline the link is back to its base latency.
+  engine.at(sim::sec(2), [&] { client->send(util::to_bytes("fast")); });
+  engine.run();
+  EXPECT_EQ(arrival, sim::sec(2) + sim::msec(10));
+}
+
+TEST_F(FaultsFixture, InjectorSchedulesTimeline) {
+  FaultInjector faults(engine, network);
+  faults.partition_for(sim::sec(1), sim::sec(2), "a", "b");
+  faults.drop_next_at(sim::sec(5), "a", "b", 1);
+  bool fired = false;
+  faults.at(sim::sec(6), [&] { fired = true; });
+  EXPECT_EQ(faults.scheduled(), 4);  // partition + heal + drop + action
+
+  // t=0: healthy.
+  client->send(util::to_bytes("ok"));
+  // t=1.5s: inside the partition window.
+  engine.at(sim::msec(1'500), [&] { client->send(util::to_bytes("lost")); });
+  // t=4s: healed again.
+  engine.at(sim::sec(4), [&] { client->send(util::to_bytes("ok")); });
+  // t=5.5s: eaten by the drop burst.
+  engine.at(sim::msec(5'500), [&] { client->send(util::to_bytes("lost")); });
+  engine.run();
+
+  EXPECT_EQ(received, 2);
+  EXPECT_EQ(network.messages_dropped_by_faults(), 2u);
+  EXPECT_TRUE(fired);
+  EXPECT_FALSE(network.partitioned("a", "b"));
+}
+
+}  // namespace
+}  // namespace unicore::net

@@ -137,7 +137,7 @@ TEST_F(ChannelFixture, HandshakeTimesOutOnTotalLoss) {
   network.set_link("client", "server", dead);
   establish(client_config(), server_config());
   EXPECT_FALSE(client_status.ok());
-  EXPECT_EQ(client_status.error().code, util::ErrorCode::kUnavailable);
+  EXPECT_EQ(client_status.error().code, util::ErrorCode::kTimeout);
   EXPECT_FALSE(server_status.ok());
 }
 
@@ -157,6 +157,52 @@ TEST_F(ChannelFixture, TamperedRecordTearsDownChannel) {
   client_channel->send(util::to_bytes("after close"));
   engine.run();
   SUCCEED();
+}
+
+TEST_F(ChannelFixture, V2PeersNegotiateVersionAndFeatures) {
+  establish(client_config(), server_config());
+  ASSERT_TRUE(client_status.ok()) << client_status.to_string();
+  EXPECT_EQ(client_channel->negotiated_version(), kProtocolVersion);
+  EXPECT_EQ(server_channel->negotiated_version(), kProtocolVersion);
+  EXPECT_EQ(client_channel->negotiated_features(), kDefaultFeatures);
+  EXPECT_EQ(server_channel->negotiated_features(), kDefaultFeatures);
+  EXPECT_TRUE(client_channel->feature_enabled(kFeatureJournalInspect));
+  EXPECT_TRUE(server_channel->feature_enabled(kFeatureJournalInspect));
+}
+
+TEST_F(ChannelFixture, LegacyClientFallsBackToV1) {
+  SecureChannel::Config old_client = client_config();
+  old_client.protocol_version = 1;  // pre-negotiation hello: no tail
+  old_client.features = 0;
+  establish(old_client, server_config());
+  ASSERT_TRUE(client_status.ok()) << client_status.to_string();
+  ASSERT_TRUE(server_status.ok()) << server_status.to_string();
+  EXPECT_EQ(client_channel->negotiated_version(), 1);
+  EXPECT_EQ(server_channel->negotiated_version(), 1);
+  EXPECT_EQ(server_channel->negotiated_features(), 0u);
+  EXPECT_FALSE(server_channel->feature_enabled(kFeatureJournalInspect));
+}
+
+TEST_F(ChannelFixture, LegacyServerFallsBackToV1) {
+  SecureChannel::Config old_server = server_config();
+  old_server.protocol_version = 1;  // ignores the hello tail, no echo
+  old_server.features = 0;
+  establish(client_config(), old_server);
+  ASSERT_TRUE(client_status.ok()) << client_status.to_string();
+  ASSERT_TRUE(server_status.ok()) << server_status.to_string();
+  EXPECT_EQ(client_channel->negotiated_version(), 1);
+  EXPECT_FALSE(client_channel->feature_enabled(kFeatureJournalInspect));
+}
+
+TEST_F(ChannelFixture, FeatureSetsIntersect) {
+  SecureChannel::Config plain_client = client_config();
+  plain_client.features = 0;  // v2, but offers nothing
+  establish(plain_client, server_config());
+  ASSERT_TRUE(client_status.ok()) << client_status.to_string();
+  EXPECT_EQ(client_channel->negotiated_version(), kProtocolVersion);
+  EXPECT_EQ(client_channel->negotiated_features(), 0u);
+  EXPECT_EQ(server_channel->negotiated_features(), 0u);
+  EXPECT_FALSE(server_channel->feature_enabled(kFeatureJournalInspect));
 }
 
 TEST_F(ChannelFixture, LargePayloadRoundTrip) {

@@ -1,0 +1,133 @@
+// Backoff ladder and circuit breaker (util/retry.h): deterministic
+// growth, cap and jitter bounds; closed → open → half-open transitions.
+#include "util/retry.h"
+
+#include <gtest/gtest.h>
+
+#include "util/result.h"
+
+namespace unicore::util {
+namespace {
+
+TEST(Backoff, GrowsExponentiallyWithoutJitter) {
+  BackoffPolicy policy;
+  policy.initial_us = 100;
+  policy.max_us = 100'000;
+  policy.multiplier = 2.0;
+  policy.jitter = 0.0;
+  Rng rng(1);
+  EXPECT_EQ(backoff_delay_us(policy, 1, rng), 100);
+  EXPECT_EQ(backoff_delay_us(policy, 2, rng), 200);
+  EXPECT_EQ(backoff_delay_us(policy, 3, rng), 400);
+  EXPECT_EQ(backoff_delay_us(policy, 4, rng), 800);
+}
+
+TEST(Backoff, CappedAtMax) {
+  BackoffPolicy policy;
+  policy.initial_us = 1'000;
+  policy.max_us = 4'000;
+  policy.multiplier = 2.0;
+  policy.jitter = 0.0;
+  Rng rng(1);
+  EXPECT_EQ(backoff_delay_us(policy, 10, rng), 4'000);
+  EXPECT_EQ(backoff_delay_us(policy, 100, rng), 4'000);
+}
+
+TEST(Backoff, AttemptBelowOneClampsToFirst) {
+  BackoffPolicy policy;
+  policy.initial_us = 500;
+  policy.jitter = 0.0;
+  Rng rng(1);
+  EXPECT_EQ(backoff_delay_us(policy, 0, rng), 500);
+  EXPECT_EQ(backoff_delay_us(policy, -3, rng), 500);
+}
+
+TEST(Backoff, JitterStaysWithinFraction) {
+  BackoffPolicy policy;
+  policy.initial_us = 1'000'000;
+  policy.max_us = 1'000'000;
+  policy.jitter = 0.2;
+  Rng rng(7);
+  bool varied = false;
+  std::int64_t first = backoff_delay_us(policy, 1, rng);
+  for (int i = 0; i < 200; ++i) {
+    std::int64_t delay = backoff_delay_us(policy, 1, rng);
+    EXPECT_GE(delay, 800'000);
+    EXPECT_LE(delay, 1'200'000);
+    if (delay != first) varied = true;
+  }
+  EXPECT_TRUE(varied);  // jitter actually spreads the delays
+}
+
+TEST(Breaker, OpensAfterThresholdFailures) {
+  CircuitBreaker::Config config;
+  config.failure_threshold = 3;
+  config.open_interval_us = 1'000;
+  CircuitBreaker breaker(config);
+
+  EXPECT_TRUE(breaker.allow(0));
+  breaker.record_failure(0);
+  breaker.record_failure(0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.allow(0));
+  breaker.record_failure(10);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.allow(11));
+  EXPECT_EQ(breaker.consecutive_failures(), 3);
+}
+
+TEST(Breaker, HalfOpenAdmitsSingleProbe) {
+  CircuitBreaker::Config config;
+  config.failure_threshold = 1;
+  config.open_interval_us = 1'000;
+  CircuitBreaker breaker(config);
+
+  breaker.record_failure(0);
+  EXPECT_FALSE(breaker.allow(999));
+  // Cool-down elapsed: exactly one probe may pass.
+  EXPECT_TRUE(breaker.allow(1'000));
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_FALSE(breaker.allow(1'001));
+}
+
+TEST(Breaker, ProbeSuccessClosesProbeFailureReopens) {
+  CircuitBreaker::Config config;
+  config.failure_threshold = 1;
+  config.open_interval_us = 1'000;
+  CircuitBreaker breaker(config);
+
+  breaker.record_failure(0);
+  ASSERT_TRUE(breaker.allow(1'000));
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.consecutive_failures(), 0);
+  EXPECT_TRUE(breaker.allow(1'001));
+
+  breaker.record_failure(2'000);
+  ASSERT_TRUE(breaker.allow(3'000));
+  breaker.record_failure(3'001);  // probe failed: straight back to open
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.allow(3'002));
+  // ...until the next cool-down elapses.
+  EXPECT_TRUE(breaker.allow(4'001));
+}
+
+TEST(Breaker, StateNames) {
+  EXPECT_STREQ(circuit_state_name(CircuitBreaker::State::kClosed), "closed");
+  EXPECT_STREQ(circuit_state_name(CircuitBreaker::State::kOpen), "open");
+  EXPECT_STREQ(circuit_state_name(CircuitBreaker::State::kHalfOpen),
+               "half-open");
+}
+
+TEST(Retryable, ClassifiesTransientCodes) {
+  EXPECT_TRUE(is_retryable(ErrorCode::kUnavailable));
+  EXPECT_TRUE(is_retryable(ErrorCode::kTimeout));
+  EXPECT_TRUE(is_retryable(ErrorCode::kResourceExhausted));
+  EXPECT_FALSE(is_retryable(ErrorCode::kPermissionDenied));
+  EXPECT_FALSE(is_retryable(ErrorCode::kInvalidArgument));
+  EXPECT_FALSE(is_retryable(ErrorCode::kNotFound));
+  EXPECT_FALSE(is_retryable(ErrorCode::kInternal));
+}
+
+}  // namespace
+}  // namespace unicore::util
