@@ -1,4 +1,5 @@
-// C5 — the §5.6 file-transfer picture:
+// C5 — the §5.6 file-transfer picture, before and after the chunked
+// transfer engine:
 //
 // "Imports from Xspace to Uspace and exports from Uspace to Xspace are
 //  always local operations performed at a Vsite. ... The file transfer
@@ -7,14 +8,18 @@
 //  to transfer rates especially for huge data sets UNICORE is working
 //  on alternatives."
 //
-// This bench regenerates that comparison: local copy vs gateway-mediated
-// inter-site transfer across file sizes. Expect the local path to win by
-// a growing factor as files grow (disk bandwidth vs WAN bandwidth plus
-// protocol overheads) — the "shape" conceded by the paper.
+// Three series:
+//   - the local Xspace->Uspace copy (the paper's fast case),
+//   - the legacy whole-blob NJS–NJS delivery (one message, one
+//     connection — the transfer-rate ceiling the paper concedes),
+//   - the chunked engine (src/xfer/) at 1/2/4/8 parallel streams.
 //
 // `virtual_ms` is the simulated elapsed time; `virtual_MBps` the
-// effective rate the user observes.
+// effective rate the user observes. The simulated network serialises
+// bandwidth per connection direction, so N rails ≈ N lanes.
 #include <benchmark/benchmark.h>
+
+#include <limits>
 
 #include "common/test_env.h"
 #include "grid/testbed.h"
@@ -105,17 +110,29 @@ BENCHMARK(BM_LocalImportXspaceToUspace)
     ->Arg(8 << 20)
     ->Arg(64 << 20);
 
-void BM_RemoteUspaceToUspaceViaGateway(benchmark::State& state) {
+/// Shared driver for the two remote-delivery series.
+void run_remote_delivery(benchmark::State& state, std::uint64_t bytes,
+                         bool chunked, std::size_t streams) {
   TwoSites env;
-  std::uint64_t bytes = static_cast<std::uint64_t>(state.range(0));
-  uspace::FileBlob blob = uspace::FileBlob::synthetic(bytes, 2);
+  auto blob = std::make_shared<const uspace::FileBlob>(
+      uspace::FileBlob::synthetic(bytes, 2));
   njs::RemoteJobHandle handle{"LRZ", env.receiver_token};
   auto* juelich = env.grid.site("FZ-Juelich");
+  if (chunked) {
+    juelich->set_transfer_threshold(0);
+    juelich->set_transfer_streams(streams);
+  } else {
+    juelich->set_transfer_threshold(
+        std::numeric_limits<std::uint64_t>::max());
+  }
 
-  // Warm up the peer channel so the handshake is not measured.
+  // Warm up the peer channel (and rails) so handshakes are not measured.
   bool warm = false;
-  juelich->deliver_file(handle, "warmup", uspace::FileBlob::synthetic(8, 3),
-                        [&](util::Status) { warm = true; });
+  juelich->deliver_file(
+      handle, "warmup",
+      std::make_shared<const uspace::FileBlob>(
+          uspace::FileBlob::synthetic(8, 3)),
+      [&](util::Status) { warm = true; });
   while (!warm && env.grid.engine().step()) {
   }
   if (!warm) state.SkipWithError("peer link failed");
@@ -142,7 +159,12 @@ void BM_RemoteUspaceToUspaceViaGateway(benchmark::State& state) {
   state.counters["virtual_ms"] = mean_ms;
   state.counters["virtual_MBps"] =
       static_cast<double>(bytes) / 1e6 / (mean_ms / 1e3);
-  state.SetLabel("NJS-NJS via gateways (FZJ->LRZ)");
+}
+
+void BM_RemoteUspaceToUspaceViaGateway(benchmark::State& state) {
+  run_remote_delivery(state, static_cast<std::uint64_t>(state.range(0)),
+                      /*chunked=*/false, 1);
+  state.SetLabel("legacy whole-blob (FZJ->LRZ)");
 }
 BENCHMARK(BM_RemoteUspaceToUspaceViaGateway)
     ->Arg(64 << 10)
@@ -150,15 +172,34 @@ BENCHMARK(BM_RemoteUspaceToUspaceViaGateway)
     ->Arg(8 << 20)
     ->Arg(64 << 20);
 
+void BM_RemoteChunkedDeliver(benchmark::State& state) {
+  run_remote_delivery(state, static_cast<std::uint64_t>(state.range(0)),
+                      /*chunked=*/true,
+                      static_cast<std::size_t>(state.range(1)));
+  state.SetLabel("chunked x" + std::to_string(state.range(1)) +
+                 " streams (FZJ->LRZ)");
+}
+BENCHMARK(BM_RemoteChunkedDeliver)
+    ->ArgsProduct({{64 << 10, 1 << 20, 8 << 20, 64 << 20}, {1, 2, 4, 8}});
+
 void BM_RemoteFetchFile(benchmark::State& state) {
   // The reverse direction: pulling a dependency file from a remote
-  // predecessor's Uspace.
+  // predecessor's Uspace. range(1): 0 = legacy whole-blob, else the
+  // chunked stream count.
   TwoSites env;
   std::uint64_t bytes = static_cast<std::uint64_t>(state.range(0));
+  bool chunked = state.range(1) != 0;
   (void)env.grid.site("LRZ")->njs().deliver_file(
       env.receiver_token, "big.out", uspace::FileBlob::synthetic(bytes, 4));
   njs::RemoteJobHandle handle{"LRZ", env.receiver_token};
   auto* juelich = env.grid.site("FZ-Juelich");
+  if (chunked) {
+    juelich->set_transfer_threshold(0);
+    juelich->set_transfer_streams(static_cast<std::size_t>(state.range(1)));
+  } else {
+    juelich->set_transfer_threshold(
+        std::numeric_limits<std::uint64_t>::max());
+  }
 
   bool warm = false;
   juelich->fetch_file(handle, "big.out",
@@ -187,8 +228,11 @@ void BM_RemoteFetchFile(benchmark::State& state) {
   state.counters["virtual_ms"] = virtual_ms_total / runs;
   state.counters["virtual_MBps"] = static_cast<double>(bytes) / 1e6 /
                                    (virtual_ms_total / runs / 1e3);
+  state.SetLabel(chunked ? "fetch chunked x" + std::to_string(state.range(1))
+                         : "fetch legacy whole-blob");
 }
-BENCHMARK(BM_RemoteFetchFile)->Arg(1 << 20)->Arg(8 << 20)->Arg(64 << 20);
+BENCHMARK(BM_RemoteFetchFile)
+    ->ArgsProduct({{1 << 20, 8 << 20, 64 << 20}, {0, 4}});
 
 }  // namespace
 

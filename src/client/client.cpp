@@ -12,14 +12,55 @@ using util::ErrorCode;
 using util::Result;
 using util::Status;
 
+namespace {
+
+/// The client's hybrid ChunkTransport: stream 0 is the established JMC
+/// channel (so the inline-open fast path costs no extra handshake);
+/// streams 1..n ride a bundle of extra rails authenticated with the
+/// same user credential.
+class ClientTransport : public xfer::ChunkTransport {
+ public:
+  ClientTransport(UnicoreClient& client, std::shared_ptr<bool> alive,
+                  std::shared_ptr<server::XferRails> rails)
+      : client_(client), alive_(std::move(alive)), rails_(std::move(rails)) {}
+
+  std::size_t streams() const override {
+    return 1 + (rails_ ? rails_->streams() : 0);
+  }
+
+  void call(std::size_t stream, xfer::Op op, Bytes body,
+            std::function<void(Result<Bytes>)> done) override {
+    if (stream == 0 || rails_ == nullptr) {
+      if (!*alive_) {
+        done(util::make_error(ErrorCode::kUnavailable, "client destroyed"));
+        return;
+      }
+      client_.xfer_call(op, std::move(body), std::move(done));
+      return;
+    }
+    rails_->call(stream - 1, op, std::move(body), std::move(done));
+  }
+
+ private:
+  UnicoreClient& client_;
+  std::shared_ptr<bool> alive_;
+  std::shared_ptr<server::XferRails> rails_;
+};
+
+}  // namespace
+
 UnicoreClient::UnicoreClient(sim::Engine& engine, net::Network& network,
                              util::Rng& rng, Config config)
     : engine_(engine),
       network_(network),
       rng_(rng.fork()),
-      config_(std::move(config)) {}
+      config_(std::move(config)),
+      xfer_manager_(engine, rng_) {}
 
-UnicoreClient::~UnicoreClient() { disconnect(); }
+UnicoreClient::~UnicoreClient() {
+  *alive_ = false;
+  disconnect();
+}
 
 void UnicoreClient::connect(net::Address usite,
                             std::function<void(Status)> done) {
@@ -67,6 +108,7 @@ void UnicoreClient::disconnect() {
   if (channel_) channel_->close();
   channel_.reset();
   established_ = false;
+  transport_.reset();  // drops the rails toward the old Usite
   fail_all_pending(
       util::make_error(ErrorCode::kUnavailable, "client disconnected"));
 }
@@ -254,13 +296,77 @@ void UnicoreClient::control(ajo::JobToken token,
                            });
 }
 
-void UnicoreClient::fetch_output(
+void UnicoreClient::fetch_output_legacy(
     ajo::JobToken token, const std::string& name,
     std::function<void(Result<uspace::FileBlob>)> done) {
+  ++outputs_legacy_;
   ByteWriter payload;
   payload.u64(token);
   payload.str(name);
   call<wire::FetchOutputCodec>(payload.take(), std::move(done));
+}
+
+void UnicoreClient::xfer_call(
+    xfer::Op op, Bytes body,
+    std::function<void(Result<Bytes>)> done) {
+  send_request(server::xfer_request_kind(op), std::move(body),
+               std::move(done));
+}
+
+std::shared_ptr<xfer::ChunkTransport> UnicoreClient::transfer_transport() {
+  if (transport_) return transport_;
+  std::shared_ptr<server::XferRails> rails;
+  if (config_.transfer_streams > 1) {
+    server::XferRails::Config rails_config;
+    rails_config.local_host = config_.host;
+    rails_config.remote = usite_address_;
+    rails_config.streams = config_.transfer_streams - 1;
+    rails_config.credential = config_.user;
+    rails_config.trust = config_.trust;
+    rails_config.required_peer_usage = crypto::kUsageServerAuth;
+    rails_config.request_timeout = config_.request_timeout;
+    rails = server::XferRails::create(engine_, network_, rng_,
+                                      std::move(rails_config));
+  }
+  transport_ =
+      std::make_shared<ClientTransport>(*this, alive_, std::move(rails));
+  return transport_;
+}
+
+void UnicoreClient::fetch_output(
+    ajo::JobToken token, const std::string& name,
+    std::function<void(Result<uspace::FileBlob>)> done) {
+  // Chunked retrieval needs a v2 channel on both ends; everything else
+  // (v1 server, chunking disabled) takes the legacy whole-blob request.
+  bool chunked = config_.transfer_streams > 0 && connected() &&
+                 channel_->feature_enabled(net::kFeatureChunkedXfer);
+  if (!chunked) {
+    fetch_output_legacy(token, name, std::move(done));
+    return;
+  }
+  ++outputs_chunked_;
+  xfer::PullSpec spec;
+  spec.role = xfer::Role::kClientPull;
+  spec.token = token;
+  spec.name = name;
+  auto alive = alive_;
+  xfer_manager_.pull(
+      transfer_transport(), spec, config_.transfer_options,
+      [this, alive, token, name,
+       done = std::move(done)](Result<xfer::PullResult> result) mutable {
+        if (!result &&
+            result.error().code == ErrorCode::kFailedPrecondition &&
+            *alive) {
+          // Refused mid-flight (e.g. the Usite restarted into an old
+          // build): fall back to the whole-blob request.
+          fetch_output_legacy(token, name, std::move(done));
+          return;
+        }
+        if (!result)
+          done(result.error());
+        else
+          done(std::move(result.value().blob));
+      });
 }
 
 void UnicoreClient::fetch_metrics(

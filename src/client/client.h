@@ -30,9 +30,11 @@
 #include "obs/trace.h"
 #include "resources/resource_page.h"
 #include "server/protocol.h"
+#include "server/xfer_transport.h"
 #include "uspace/blob.h"
 #include "util/result.h"
 #include "util/retry.h"
+#include "xfer/transfer.h"
 
 namespace unicore::client {
 
@@ -198,6 +200,12 @@ class UnicoreClient {
     /// (see PROTOCOL.md); lower them to emulate a legacy client.
     std::uint8_t protocol_version = net::kProtocolVersion;
     std::uint64_t channel_features = net::kDefaultFeatures;
+    /// Streams for chunked output retrieval (stream 0 rides the main
+    /// channel; the rest are extra rails). 0 disables the chunked
+    /// engine and every fetch_output uses the whole-blob request.
+    std::size_t transfer_streams = 4;
+    /// Sender-side tuning of chunked pulls (window, inline limit, ...).
+    xfer::TransferOptions transfer_options;
   };
 
   UnicoreClient(sim::Engine& engine, net::Network& network, util::Rng& rng,
@@ -288,15 +296,28 @@ class UnicoreClient {
         });
   }
 
+  /// Sends one chunked-transfer operation over the *main* channel
+  /// (stream 0 of the hybrid transport; extra streams ride XferRails).
+  void xfer_call(xfer::Op op, util::Bytes body,
+                 std::function<void(util::Result<util::Bytes>)> done);
+
   // --- diagnostics ---------------------------------------------------------
   std::uint64_t requests_sent() const { return requests_sent_; }
   std::uint64_t requests_failed() const { return requests_failed_; }
+  /// fetch_output calls that went through the chunked engine vs. the
+  /// legacy whole-blob request.
+  std::uint64_t outputs_chunked() const { return outputs_chunked_; }
+  std::uint64_t outputs_legacy() const { return outputs_legacy_; }
 
  private:
   void send_request(server::RequestKind kind, util::Bytes payload,
                     std::function<void(util::Result<util::Bytes>)> on_reply);
   void handle_message(util::Bytes&& wire);
   void fail_all_pending(const util::Error& error);
+  std::shared_ptr<xfer::ChunkTransport> transfer_transport();
+  void fetch_output_legacy(
+      ajo::JobToken token, const std::string& name,
+      std::function<void(util::Result<uspace::FileBlob>)> done);
 
   sim::Engine& engine_;
   net::Network& network_;
@@ -314,6 +335,14 @@ class UnicoreClient {
   std::uint64_t next_request_id_ = 1;
   std::uint64_t requests_sent_ = 0;
   std::uint64_t requests_failed_ = 0;
+
+  xfer::TransferManager xfer_manager_;
+  std::shared_ptr<xfer::ChunkTransport> transport_;
+  /// Guards the main-channel leg of in-flight transfers against the
+  /// client being destroyed while the engine still runs.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  std::uint64_t outputs_chunked_ = 0;
+  std::uint64_t outputs_legacy_ = 0;
 };
 
 }  // namespace unicore::client

@@ -40,7 +40,12 @@ constexpr std::uint8_t kProtocolVersion = 2;
 /// Feature bits exchanged during the hello negotiation. The effective
 /// feature set of a channel is the AND of what both sides advertise.
 constexpr std::uint64_t kFeatureJournalInspect = 1ull << 0;
-constexpr std::uint64_t kDefaultFeatures = kFeatureJournalInspect;
+/// Peer understands the chunked transfer protocol (kXferOpen /
+/// kXferChunk / kXferClose). Without it the sender falls back to the
+/// legacy whole-blob kDeliverFile / kFetchFile requests.
+constexpr std::uint64_t kFeatureChunkedXfer = 1ull << 1;
+constexpr std::uint64_t kDefaultFeatures =
+    kFeatureJournalInspect | kFeatureChunkedXfer;
 
 class SecureChannel : public std::enable_shared_from_this<SecureChannel> {
  public:

@@ -43,6 +43,9 @@ const char* journal_record_type_name(JournalRecordType type) {
     case JournalRecordType::kActionState: return "action-state";
     case JournalRecordType::kFinalized: return "finalized";
     case JournalRecordType::kDeleted: return "deleted";
+    case JournalRecordType::kXferManifest: return "xfer-manifest";
+    case JournalRecordType::kXferChunk: return "xfer-chunk";
+    case JournalRecordType::kXferDone: return "xfer-done";
   }
   return "unknown";
 }
@@ -165,6 +168,10 @@ std::vector<Journal::RecoveredJob> Journal::recover() const {
         case JournalRecordType::kDeleted:
           jobs.erase(record.token);
           break;
+        case JournalRecordType::kXferManifest:
+        case JournalRecordType::kXferChunk:
+        case JournalRecordType::kXferDone:
+          break;  // owned by the transfer engine (xfer::recover_transfers)
       }
     } catch (const std::out_of_range&) {
       // Truncated record: skip it rather than abandoning recovery.

@@ -42,6 +42,12 @@ enum class JournalRecordType : std::uint8_t {
   kActionState = 3,     // per-action state transition (inspection)
   kFinalized = 4,       // the job's terminal Outcome
   kDeleted = 5,         // the owner deleted the job (do not resurrect)
+  // Chunked-transfer records (owned by src/xfer/, opaque to job
+  // recovery): an inbound transfer manifest, one applied chunk, and the
+  // completed-transfer tombstone. See xfer/manifest.h for the codecs.
+  kXferManifest = 6,
+  kXferChunk = 7,
+  kXferDone = 8,
 };
 
 const char* journal_record_type_name(JournalRecordType type);
@@ -133,6 +139,14 @@ class Journal {
   std::shared_ptr<uspace::Uspace> workspace(const std::string& directory,
                                             std::uint64_t quota_bytes) {
     return store_->workspace(directory, quota_bytes);
+  }
+
+  /// Raw access for subsystems that journal their own record types
+  /// (the transfer engine's manifests and chunks). Job recovery skips
+  /// record types it does not own.
+  void append(JournalRecord record) { store_->append(std::move(record)); }
+  void replay(const std::function<void(const JournalRecord&)>& visit) const {
+    store_->replay(visit);
   }
 
   std::size_t records() const { return store_->size(); }

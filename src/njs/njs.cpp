@@ -726,11 +726,14 @@ void Njs::dispatch_file_task(JobRun& job, GroupRun& group, ActionRun& run) {
     case ActionType::kTransferTask: {
       const auto& transfer =
           static_cast<const ajo::TransferTask&>(*run.action);
-      auto read = group.workspace->read(transfer.uspace_name);
+      // Shared read: the blob may sit in this workspace, the target
+      // workspace, and a chunked transfer's flight window at once —
+      // one allocation serves all of them.
+      auto read = group.workspace->read_shared(transfer.uspace_name);
       if (!read)
         return finish(ActionStatus::kNotSuccessful, read.error().message, {});
-      uspace::FileBlob blob = std::move(read.value());
-      std::uint64_t bytes = blob.size();
+      std::shared_ptr<const uspace::FileBlob> blob = std::move(read.value());
+      std::uint64_t bytes = blob->size();
       std::string target_name = transfer.rename_to.empty()
                                     ? transfer.uspace_name
                                     : transfer.rename_to;
@@ -749,8 +752,8 @@ void Njs::dispatch_file_task(JobRun& job, GroupRun& group, ActionRun& run) {
         engine_.after(staging_delay(group, bytes),
                       [finish, workspace, target_name, blob = std::move(blob),
                        bytes]() mutable {
-                        auto status = workspace->write(target_name,
-                                                       std::move(blob));
+                        auto status = workspace->write_shared(target_name,
+                                                              std::move(blob));
                         if (!status.ok())
                           finish(ActionStatus::kNotSuccessful,
                                  status.error().message, {});
@@ -764,7 +767,7 @@ void Njs::dispatch_file_task(JobRun& job, GroupRun& group, ActionRun& run) {
           return finish(ActionStatus::kNotSuccessful,
                         "no peer link configured", {});
         peer_link_->deliver_file(
-            *target.remote, target_name, blob,
+            *target.remote, target_name, std::move(blob),
             [finish, target_name, bytes](Status status) {
               if (!status.ok())
                 finish(ActionStatus::kNotSuccessful, status.error().message,
@@ -774,8 +777,8 @@ void Njs::dispatch_file_task(JobRun& job, GroupRun& group, ActionRun& run) {
             });
       } else {
         // Sub-job not dispatched yet: stage the file; it travels with the
-        // sub-job's consignment.
-        target.staged_files[target_name] = std::move(blob);
+        // sub-job's consignment (by value: it crosses the wire there).
+        target.staged_files[target_name] = *blob;
         finish(ActionStatus::kSuccessful, "staged for sub-job dispatch",
                {{target_name}, bytes});
       }
@@ -1001,16 +1004,18 @@ void Njs::stage_edge_files_async(JobRun& job, GroupRun& group,
     return;
   }
 
-  // Case 2: predecessor was a local sub-job — copy from its Uspace.
+  // Case 2: predecessor was a local sub-job — share from its Uspace
+  // (blobs are immutable; no byte copy).
   if (predecessor.subgroup != nullptr) {
     for (const std::string& file : files) {
-      auto blob = predecessor.subgroup->workspace->read(file);
+      auto blob = predecessor.subgroup->workspace->read_shared(file);
       if (!blob) {
         done(util::make_error(ErrorCode::kNotFound,
                               "sub-job did not produce file: " + file));
         return;
       }
-      if (auto status = group.workspace->write(file, std::move(blob.value()));
+      if (auto status =
+              group.workspace->write_shared(file, std::move(blob.value()));
           !status.ok()) {
         done(status);
         return;
@@ -1208,6 +1213,8 @@ void Njs::crash() {
   jobs_.clear();
   consign_keys_.clear();
   recovered_batch_.clear();
+  for (CrashParticipant* participant : crash_participants_)
+    participant->on_njs_crash();
   UNICORE_INFO("njs/" + usite_) << "simulated crash (epoch " << epoch_ << ")";
 }
 
@@ -1272,6 +1279,10 @@ Result<std::size_t> Njs::recover() {
   recoveries_ += recovered;
   if (recoveries_counter_ && recovered > 0)
     recoveries_counter_->add(static_cast<double>(recovered));
+  // Jobs are back; now let co-resident subsystems (the transfer engine)
+  // fold their own journal records against them.
+  for (CrashParticipant* participant : crash_participants_)
+    participant->on_njs_recover();
   UNICORE_INFO("njs/" + usite_)
       << "recovered " << recovered << " job(s) from " << journal_->records()
       << " journal record(s)";
@@ -1413,11 +1424,17 @@ Status Njs::control(JobToken token, ajo::ControlService::Command command) {
 
 Status Njs::deliver_file(JobToken token, const std::string& name,
                          uspace::FileBlob blob) {
+  return deliver_file(token, name,
+                      std::make_shared<const uspace::FileBlob>(std::move(blob)));
+}
+
+Status Njs::deliver_file(JobToken token, const std::string& name,
+                         std::shared_ptr<const uspace::FileBlob> blob) {
   auto it = jobs_.find(token);
   if (it == jobs_.end())
     return util::make_error(ErrorCode::kNotFound,
                             "no such job: " + std::to_string(token));
-  return it->second->root.workspace->write(name, std::move(blob));
+  return it->second->root.workspace->write_shared(name, std::move(blob));
 }
 
 Result<uspace::FileBlob> Njs::fetch_file(JobToken token,
@@ -1429,9 +1446,35 @@ Result<uspace::FileBlob> Njs::fetch_file(JobToken token,
   return it->second->root.workspace->read(name);
 }
 
+Result<std::shared_ptr<const uspace::FileBlob>> Njs::fetch_file_shared(
+    JobToken token, const std::string& name) const {
+  auto it = jobs_.find(token);
+  if (it == jobs_.end())
+    return util::make_error(ErrorCode::kNotFound,
+                            "no such job: " + std::to_string(token));
+  return it->second->root.workspace->read_shared(name);
+}
+
 Result<uspace::FileBlob> Njs::read_output(JobToken token,
                                           const std::string& name) const {
   return fetch_file(token, name);
+}
+
+Result<std::shared_ptr<const uspace::FileBlob>> Njs::read_output_shared(
+    JobToken token, const std::string& name) const {
+  return fetch_file_shared(token, name);
+}
+
+void Njs::record_transfer_span(
+    JobToken token, const std::string& name, sim::Time start, sim::Time end,
+    const std::vector<std::pair<std::string, std::string>>& attributes) {
+  auto it = jobs_.find(token);
+  if (it == jobs_.end()) return;
+  // Parent 0 (root): transfers can outlive the job phases they feed, so
+  // nesting them under a lifecycle span would break trace validation.
+  obs::SpanId span = it->second->trace.record(name, start, end, 0);
+  for (const auto& [key, value] : attributes)
+    it->second->trace.annotate(span, key, value);
 }
 
 std::size_t Njs::active_jobs() const {

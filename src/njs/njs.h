@@ -43,6 +43,18 @@
 
 namespace unicore::njs {
 
+/// A subsystem whose in-memory state lives inside the NJS process and
+/// must die and be rebuilt with it (the transfer engine's open-transfer
+/// table). `on_njs_crash` fires after the NJS wiped its own state;
+/// `on_njs_recover` after jobs were rebuilt from the journal, so
+/// participants can fold their own journal records against live jobs.
+class CrashParticipant {
+ public:
+  virtual ~CrashParticipant() = default;
+  virtual void on_njs_crash() = 0;
+  virtual void on_njs_recover() = 0;
+};
+
 /// One-line job record for the ListService.
 struct JobSummary {
   ajo::JobToken token = 0;
@@ -117,8 +129,14 @@ class Njs {
   /// consignment-staged dependency data) land in the root Uspace.
   util::Status deliver_file(ajo::JobToken token, const std::string& name,
                             uspace::FileBlob blob);
+  util::Status deliver_file(ajo::JobToken token, const std::string& name,
+                            std::shared_ptr<const uspace::FileBlob> blob);
   util::Result<uspace::FileBlob> fetch_file(ajo::JobToken token,
                                             const std::string& name) const;
+  /// Zero-copy read: the returned blob is shared with the Uspace (blobs
+  /// are immutable once written).
+  util::Result<std::shared_ptr<const uspace::FileBlob>> fetch_file_shared(
+      ajo::JobToken token, const std::string& name) const;
 
   // --- JMC services ------------------------------------------------------
 
@@ -135,6 +153,8 @@ class Njs {
   /// Reads a file from a terminal job's Uspace (JMC "save output").
   util::Result<uspace::FileBlob> read_output(ajo::JobToken token,
                                              const std::string& name) const;
+  util::Result<std::shared_ptr<const uspace::FileBlob>> read_output_shared(
+      ajo::JobToken token, const std::string& name) const;
 
   // --- crash recovery -----------------------------------------------------
 
@@ -143,6 +163,13 @@ class Njs {
   /// workspaces come from the journal store's durable directories.
   void set_journal(std::shared_ptr<Journal> journal);
   const std::shared_ptr<Journal>& journal() const { return journal_; }
+
+  /// Registers a subsystem that must be wiped on crash() and rebuilt on
+  /// recover(). The pointer must outlive the NJS (or be removed by
+  /// destroying the NJS first).
+  void add_crash_participant(CrashParticipant* participant) {
+    crash_participants_.push_back(participant);
+  }
 
   /// Simulates an NJS process crash: all in-memory job state vanishes.
   /// Vsites, batch subsystems, Xspace volumes, and the journal store
@@ -185,6 +212,14 @@ class Njs {
 
   /// The recorded lifecycle timeline of a consigned job (MonitorService).
   util::Result<const obs::TraceTimeline*> trace(ajo::JobToken token) const;
+
+  /// Appends a closed span to a job's timeline on behalf of the
+  /// transfer engine (chunked deliveries into this job's Uspace).
+  /// Silently ignored for unknown tokens.
+  void record_transfer_span(
+      ajo::JobToken token, const std::string& name, sim::Time start,
+      sim::Time end,
+      const std::vector<std::pair<std::string, std::string>>& attributes = {});
 
   /// Accounting (§6 "accounting functions"): processor-seconds consumed
   /// per local login across all Vsites of this Usite, accumulated as
@@ -271,6 +306,7 @@ class Njs {
   std::map<std::pair<ajo::JobToken, std::string>, batch::BatchJobId>
       recovered_batch_;
   util::BackoffPolicy batch_backoff_;
+  std::vector<CrashParticipant*> crash_participants_;
   std::uint64_t recoveries_ = 0;
   std::uint64_t consigns_deduped_ = 0;
   std::uint64_t batch_retries_ = 0;

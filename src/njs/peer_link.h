@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "ajo/job.h"
@@ -61,10 +62,11 @@ class PeerLink {
 
   /// Delivers a file into the Uspace of a remote job ("file transfer
   /// between Uspaces ... through NJS–NJS communication via the
-  /// gateway", §5.6).
+  /// gateway", §5.6). The blob is shared, not copied — the transfer
+  /// engine holds it across many chunk sends without duplicating it.
   virtual void deliver_file(const RemoteJobHandle& target,
                             const std::string& uspace_name,
-                            const uspace::FileBlob& blob,
+                            std::shared_ptr<const uspace::FileBlob> blob,
                             std::function<void(util::Status)> done) = 0;
 
   /// Fetches a file from the Uspace of a remote job (dependency files

@@ -47,6 +47,15 @@ enum class RequestKind : std::uint8_t {
   kJournalInspect = 14,  // recovery diagnostics: NJS journal stats
                          // (requires the kFeatureJournalInspect channel
                          // feature — v1 peers get kUnimplemented)
+  // Chunked transfer engine (src/xfer/). All three require the
+  // kFeatureChunkedXfer channel feature — v1 peers get
+  // kFailedPrecondition and the sender falls back to kDeliverFile /
+  // kFetchFile. Bodies start with a xfer::Role byte that selects the
+  // authentication path (push / peer pull: server certificate; client
+  // pull: user certificate).
+  kXferOpen = 15,   // open or resume a transfer by durable key
+  kXferChunk = 16,  // one chunk (push) or one chunk request (pull)
+  kXferClose = 17,  // verify + commit (push) / release (pull)
 };
 
 const char* request_kind_name(RequestKind kind);

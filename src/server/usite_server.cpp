@@ -1,5 +1,7 @@
 #include "server/usite_server.h"
 
+#include <limits>
+
 #include "ajo/codec.h"
 #include "util/log.h"
 
@@ -47,6 +49,9 @@ struct UsiteServer::PeerConnection {
   std::deque<Bytes> backlog;  // requests queued during the handshake
   std::map<std::uint64_t, PendingPeer> pending;
   std::map<std::uint64_t, std::function<void(ajo::Outcome)>> finals;
+  /// Callers waiting to learn the channel's negotiated feature set
+  /// (chunked-vs-legacy transfer routing) while the handshake runs.
+  std::vector<std::function<void(Result<std::uint64_t>)>> feature_waiters;
 };
 
 // ---- construction ----------------------------------------------------------
@@ -63,9 +68,13 @@ UsiteServer::UsiteServer(sim::Engine& engine, net::Network& network,
       credential_(server_credential),
       gateway_(config_.name, std::move(trust), std::move(uudb)),
       njs_(engine, rng_.fork(), config_.name, std::move(server_credential)),
-      metrics_(njs_.metrics()) {
+      metrics_(njs_.metrics()),
+      xfer_manager_(engine, rng_),
+      xfer_service_(engine, njs_) {
   njs_.set_peer_link(this);
+  njs_.add_crash_participant(&xfer_service_);
   gateway_.set_metrics(metrics_.get());
+  xfer_manager_.set_metrics(metrics_.get(), config_.name);
 }
 
 void UsiteServer::set_metrics(std::shared_ptr<obs::MetricsRegistry> registry) {
@@ -73,6 +82,7 @@ void UsiteServer::set_metrics(std::shared_ptr<obs::MetricsRegistry> registry) {
   metrics_ = std::move(registry);
   njs_.set_metrics(metrics_);
   gateway_.set_metrics(metrics_.get());
+  xfer_manager_.set_metrics(metrics_.get(), config_.name);
 }
 
 UsiteServer::~UsiteServer() = default;
@@ -144,6 +154,7 @@ void UsiteServer::accept_session(std::shared_ptr<net::Endpoint> endpoint) {
   channel_config.credential = credential_;
   channel_config.trust = &gateway_.trust_store();
   channel_config.required_peer_usage = 0;  // user or server; checked per-op
+  channel_config.features = advertised_features_;
 
   std::uint64_t id = session->id;
   session->channel = net::SecureChannel::as_server(
@@ -312,6 +323,45 @@ void UsiteServer::handle_request(const std::shared_ptr<ClientSession>& session,
       gateway::AuthenticatedUser anonymous;
       return forward(pack_njs_request(kind, request_id, anonymous, {}));
     }
+    case RequestKind::kXferOpen:
+    case RequestKind::kXferChunk:
+    case RequestKind::kXferClose: {
+      // Negotiated at the hello exchange like kJournalInspect: a v1
+      // channel never agreed to the chunked protocol, so senders fall
+      // back to kDeliverFile / kFetchFile on this error.
+      if (!session->channel->feature_enabled(net::kFeatureChunkedXfer))
+        return reply_error(
+            request_id,
+            util::make_error(ErrorCode::kFailedPrecondition,
+                             "chunked transfer requires the v2 channel "
+                             "feature (peer negotiated v" +
+                                 std::to_string(
+                                     session->channel->negotiated_version()) +
+                                 ")"));
+      // The leading Role byte picks the authentication path: pushes and
+      // peer pulls are NJS–NJS (server certificate), client pulls are
+      // JMC traffic (user certificate + ownership check in the NJS).
+      auto role = static_cast<xfer::Role>(payload.u8());
+      bool server_peer = role != xfer::Role::kClientPull;
+      gateway::AuthenticatedUser principal;
+      if (server_peer) {
+        auto status = gateway_.authenticate_server(
+            session->channel->peer_certificate(), now_epoch);
+        if (!status.ok()) return reply_error(request_id, status.error());
+        principal.dn = session->channel->peer_certificate().subject;
+      } else {
+        auto user = gateway_.authenticate_user(
+            session->channel->peer_certificate(), now_epoch);
+        if (!user) return reply_error(request_id, user.error());
+        principal = user.value();
+      }
+      ByteWriter body;
+      body.u8(server_peer ? 1 : 0);
+      body.u8(static_cast<std::uint8_t>(role));
+      body.raw(payload.raw(payload.remaining()));
+      return forward(
+          pack_njs_request(kind, request_id, principal, body.bytes()));
+    }
   }
   reply_error(request_id, util::make_error(ErrorCode::kInvalidArgument,
                                            "unknown request kind"));
@@ -478,6 +528,21 @@ Bytes UsiteServer::njs_execute(std::uint64_t session_id, ByteReader& packed) {
         out.u64(njs_.batch_retries());
         return make_ok_reply(request_id, out.bytes());
       }
+      case RequestKind::kXferOpen:
+      case RequestKind::kXferChunk:
+      case RequestKind::kXferClose: {
+        bool server_peer = packed.u8() != 0;
+        auto role = static_cast<xfer::Role>(packed.u8());
+        Result<Bytes> reply =
+            kind == RequestKind::kXferOpen
+                ? xfer_service_.open(user.dn, server_peer, role, packed)
+                : kind == RequestKind::kXferChunk
+                      ? xfer_service_.chunk(user.dn, server_peer, role, packed)
+                      : xfer_service_.close(user.dn, server_peer, role,
+                                            packed);
+        if (!reply) return make_error_reply(request_id, reply.error());
+        return make_ok_reply(request_id, reply.value());
+      }
       case RequestKind::kGetBundle:
         break;  // never reaches the NJS
     }
@@ -593,6 +658,7 @@ UsiteServer::PeerConnection& UsiteServer::peer_connection(
   channel_config.credential = credential_;
   channel_config.trust = &gateway_.trust_store();
   channel_config.required_peer_usage = crypto::kUsageServerAuth;
+  channel_config.features = advertised_features_;
 
   std::string peer_name = usite;
   ref.channel = net::SecureChannel::as_client(
@@ -616,6 +682,10 @@ UsiteServer::PeerConnection& UsiteServer::peer_connection(
         for (Bytes& message : connection.backlog)
           connection.channel->send(std::move(message));
         connection.backlog.clear();
+        std::uint64_t features = connection.channel->negotiated_features();
+        auto waiters = std::move(connection.feature_waiters);
+        connection.feature_waiters.clear();
+        for (auto& waiter : waiters) waiter(features);
       });
   return ref;
 }
@@ -630,6 +700,7 @@ void UsiteServer::fail_peer_connection(const std::string& usite,
     if (request.timeout) engine_.cancel(*request.timeout);
     request.handler(error);
   }
+  for (auto& waiter : connection->feature_waiters) waiter(error);
   // Jobs already consigned remotely are reported unsuccessful: the link
   // that would have carried their outcome is gone.
   for (auto& [token, handler] : connection->finals) {
@@ -797,43 +868,192 @@ void UsiteServer::consign(
       });
 }
 
+// ---- file movement: chunked engine with legacy fallback --------------------
+
+void UsiteServer::with_peer_features(
+    const std::string& usite,
+    std::function<void(Result<std::uint64_t>)> ready) {
+  if (!peers_.count(usite)) {
+    ready(util::make_error(ErrorCode::kNotFound,
+                           "unknown peer usite: " + usite));
+    return;
+  }
+  PeerConnection& connection = peer_connection(usite);
+  if (connection.channel == nullptr) {
+    util::Error error = transport_error("cannot reach peer " + usite);
+    peer_connections_.erase(usite);
+    ready(std::move(error));
+    return;
+  }
+  if (connection.established) {
+    ready(connection.channel->negotiated_features());
+    return;
+  }
+  connection.feature_waiters.push_back(std::move(ready));
+}
+
+std::shared_ptr<XferRails> UsiteServer::peer_rails(const std::string& usite) {
+  auto it = peer_rails_.find(usite);
+  if (it != peer_rails_.end() && it->second->streams() == transfer_streams_)
+    return it->second;
+
+  XferRails::Config config;
+  config.local_host = config_.njs_side_host();
+  config.remote = peers_.at(usite);
+  config.streams = transfer_streams_;
+  config.credential = credential_;
+  config.trust = &gateway_.trust_store();
+  config.required_peer_usage = crypto::kUsageServerAuth;
+  config.request_timeout = peer_request_timeout_;
+  auto rails = XferRails::create(engine_, network_, rng_, std::move(config));
+  peer_rails_[usite] = rails;
+  return rails;
+}
+
+void UsiteServer::push_file_chunked(
+    const njs::RemoteJobHandle& target, const std::string& uspace_name,
+    std::shared_ptr<const uspace::FileBlob> blob,
+    std::function<void(Status)> done) {
+  ++transfers_chunked_;
+  xfer::PushSpec spec;
+  spec.source = config_.name;
+  spec.token = target.token;
+  spec.name = uspace_name;
+  xfer_manager_.push(peer_rails(target.usite), spec, std::move(blob),
+                     transfer_options_,
+                     [done = std::move(done)](Result<xfer::TransferStats> r) {
+                       if (!r)
+                         done(r.error());
+                       else
+                         done(Status::ok_status());
+                     });
+}
+
+void UsiteServer::pull_file_chunked(
+    const njs::RemoteJobHandle& source, const std::string& uspace_name,
+    std::function<void(Result<uspace::FileBlob>)> done) {
+  ++transfers_chunked_;
+  xfer::PullSpec spec;
+  spec.role = xfer::Role::kPeerPull;
+  spec.token = source.token;
+  spec.name = uspace_name;
+  xfer_manager_.pull(peer_rails(source.usite), spec, transfer_options_,
+                     [done = std::move(done)](Result<xfer::PullResult> r) {
+                       if (!r)
+                         done(r.error());
+                       else
+                         done(std::move(r.value().blob));
+                     });
+}
+
 void UsiteServer::deliver_file(const njs::RemoteJobHandle& target,
                                const std::string& uspace_name,
-                               const uspace::FileBlob& blob,
+                               std::shared_ptr<const uspace::FileBlob> blob,
                                std::function<void(Status)> done) {
-  ByteWriter payload;
-  payload.u64(target.token);
-  payload.str(uspace_name);
-  blob.encode(payload);
-  peer_call(target.usite, RequestKind::kDeliverFile, payload.take(), 1,
-            [done = std::move(done)](Result<Bytes> reply) {
-                      if (!reply)
-                        done(reply.error());
-                      else
-                        done(Status::ok_status());
-                    });
+  if (blob == nullptr) {
+    done(util::make_error(ErrorCode::kInvalidArgument,
+                          "deliver_file: null blob"));
+    return;
+  }
+  auto done_ptr =
+      std::make_shared<std::function<void(Status)>>(std::move(done));
+  auto legacy = [this, target, uspace_name, done_ptr](
+                    std::shared_ptr<const uspace::FileBlob> blob) {
+    ++transfers_legacy_;
+    ByteWriter payload;
+    payload.u64(target.token);
+    payload.str(uspace_name);
+    blob->encode(payload);
+    peer_call(target.usite, RequestKind::kDeliverFile, payload.take(), 1,
+              [done_ptr](Result<Bytes> reply) {
+                if (!reply)
+                  (*done_ptr)(reply.error());
+                else
+                  (*done_ptr)(Status::ok_status());
+              });
+  };
+  if (blob->size() < transfer_threshold_) {
+    legacy(std::move(blob));
+    return;
+  }
+  with_peer_features(
+      target.usite,
+      [this, target, uspace_name, blob = std::move(blob), done_ptr,
+       legacy](Result<std::uint64_t> features) mutable {
+        if (features &&
+            (features.value() & net::kFeatureChunkedXfer) != 0) {
+          push_file_chunked(
+              target, uspace_name, blob,
+              [done_ptr, legacy, blob](Status status) mutable {
+                // The chunked protocol got refused mid-flight (e.g. the
+                // peer restarted into an old build): repeat through the
+                // legacy whole-blob request once.
+                if (!status.ok() &&
+                    status.error().code == ErrorCode::kFailedPrecondition)
+                  legacy(std::move(blob));
+                else
+                  (*done_ptr)(status);
+              });
+          return;
+        }
+        // v1 peer — or the feature probe itself failed, in which case
+        // the legacy path's own retry ladder takes over.
+        legacy(std::move(blob));
+      });
 }
 
 void UsiteServer::fetch_file(
     const njs::RemoteJobHandle& source, const std::string& uspace_name,
     std::function<void(Result<uspace::FileBlob>)> done) {
-  ByteWriter payload;
-  payload.u64(source.token);
-  payload.str(uspace_name);
-  peer_call(source.usite, RequestKind::kFetchFile, payload.take(), 1,
-            [done = std::move(done)](Result<Bytes> reply) {
-                      if (!reply) {
-                        done(reply.error());
-                        return;
-                      }
-                      try {
-                        ByteReader reader{reply.value()};
-                        done(uspace::FileBlob::decode(reader));
-                      } catch (const std::out_of_range&) {
-                        done(util::make_error(ErrorCode::kInvalidArgument,
-                                              "malformed file reply"));
-                      }
-                    });
+  auto legacy = [this, source, uspace_name](
+                    std::function<void(Result<uspace::FileBlob>)> done) {
+    ++transfers_legacy_;
+    ByteWriter payload;
+    payload.u64(source.token);
+    payload.str(uspace_name);
+    peer_call(source.usite, RequestKind::kFetchFile, payload.take(), 1,
+              [done = std::move(done)](Result<Bytes> reply) {
+                if (!reply) {
+                  done(reply.error());
+                  return;
+                }
+                try {
+                  ByteReader reader{reply.value()};
+                  done(uspace::FileBlob::decode(reader));
+                } catch (const std::out_of_range&) {
+                  done(util::make_error(ErrorCode::kInvalidArgument,
+                                        "malformed file reply"));
+                }
+              });
+  };
+  // Pull size is unknown up front, so every fetch from a chunked peer
+  // goes through the engine; its inline-open fast path keeps small
+  // files at one round trip.
+  if (transfer_threshold_ == std::numeric_limits<std::uint64_t>::max()) {
+    legacy(std::move(done));
+    return;
+  }
+  with_peer_features(
+      source.usite,
+      [this, source, uspace_name, done = std::move(done),
+       legacy = std::move(legacy)](Result<std::uint64_t> features) mutable {
+        if (features &&
+            (features.value() & net::kFeatureChunkedXfer) != 0) {
+          pull_file_chunked(
+              source, uspace_name,
+              [done = std::move(done),
+               legacy](Result<uspace::FileBlob> result) mutable {
+                // Chunked pull refused mid-flight: whole-blob fallback.
+                if (!result && result.error().code ==
+                                   ErrorCode::kFailedPrecondition)
+                  legacy(std::move(done));
+                else
+                  done(std::move(result));
+              });
+          return;
+        }
+        legacy(std::move(done));
+      });
 }
 
 void UsiteServer::control(const njs::RemoteJobHandle& target,

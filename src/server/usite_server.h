@@ -27,8 +27,11 @@
 #include "njs/peer_link.h"
 #include "obs/metrics.h"
 #include "server/protocol.h"
+#include "server/xfer_transport.h"
 #include "util/result.h"
 #include "util/retry.h"
+#include "xfer/service.h"
+#include "xfer/transfer.h"
 
 namespace unicore::server {
 
@@ -86,7 +89,7 @@ class UsiteServer : public njs::PeerLink {
                std::function<void(ajo::Outcome)> on_final) override;
   void deliver_file(const njs::RemoteJobHandle& target,
                     const std::string& uspace_name,
-                    const uspace::FileBlob& blob,
+                    std::shared_ptr<const uspace::FileBlob> blob,
                     std::function<void(util::Status)> done) override;
   void fetch_file(const njs::RemoteJobHandle& source,
                   const std::string& uspace_name,
@@ -118,6 +121,46 @@ class UsiteServer : public njs::PeerLink {
   const std::shared_ptr<obs::MetricsRegistry>& metrics() const {
     return metrics_;
   }
+
+  // --- chunked transfer engine (src/xfer/) ----------------------------
+
+  /// Sender-side tuning (chunk size proposal, window, retry ladder).
+  void set_transfer_options(const xfer::TransferOptions& options) {
+    transfer_options_ = options;
+  }
+  const xfer::TransferOptions& transfer_options() const {
+    return transfer_options_;
+  }
+  /// Files of at least this many bytes move through the chunked engine
+  /// when the peer negotiated kFeatureChunkedXfer; smaller files — and
+  /// every file toward a v1 peer — use the legacy whole-blob requests.
+  /// UINT64_MAX disables the engine outright (pulls included), which is
+  /// how benches measure the legacy baseline.
+  void set_transfer_threshold(std::uint64_t bytes) {
+    transfer_threshold_ = bytes;
+  }
+  std::uint64_t transfer_threshold() const { return transfer_threshold_; }
+  /// Parallel secure channels per peer transfer ("rails").
+  void set_transfer_streams(std::size_t streams) {
+    transfer_streams_ = streams == 0 ? 1 : streams;
+  }
+
+  /// Feature bits this server advertises in the secure-channel
+  /// handshake (both its listener and its outbound peer channels).
+  /// Clearing net::kFeatureChunkedXfer emulates a v1 deployment: every
+  /// transfer toward or from this site falls back to whole-blob
+  /// requests. Must be set before channels are established.
+  void set_advertised_features(std::uint64_t features) {
+    advertised_features_ = features;
+  }
+  std::uint64_t advertised_features() const { return advertised_features_; }
+
+  xfer::Service& xfer_service() { return xfer_service_; }
+  xfer::TransferManager& transfer_manager() { return xfer_manager_; }
+  /// Transfers that fell back to the legacy path (v1 peer or sub-
+  /// threshold size) vs. ones that went chunked.
+  std::uint64_t transfers_chunked() const { return transfers_chunked_; }
+  std::uint64_t transfers_legacy() const { return transfers_legacy_; }
 
  private:
   struct ClientSession;
@@ -162,6 +205,23 @@ class UsiteServer : public njs::PeerLink {
                  util::Bytes payload, int attempt,
                  std::function<void(util::Result<util::Bytes>)> on_reply);
 
+  // Chunked transfer plumbing.
+  /// Calls `ready` with the peer channel's negotiated feature set once
+  /// its handshake settles (immediately when already established).
+  void with_peer_features(
+      const std::string& usite,
+      std::function<void(util::Result<std::uint64_t>)> ready);
+  /// The rail bundle toward a peer's gateway (created lazily, reused
+  /// across transfers to the same Usite).
+  std::shared_ptr<XferRails> peer_rails(const std::string& usite);
+  void push_file_chunked(const njs::RemoteJobHandle& target,
+                         const std::string& uspace_name,
+                         std::shared_ptr<const uspace::FileBlob> blob,
+                         std::function<void(util::Status)> done);
+  void pull_file_chunked(
+      const njs::RemoteJobHandle& source, const std::string& uspace_name,
+      std::function<void(util::Result<uspace::FileBlob>)> done);
+
   sim::Engine& engine_;
   net::Network& network_;
   util::Rng rng_;
@@ -170,6 +230,15 @@ class UsiteServer : public njs::PeerLink {
   gateway::Gateway gateway_;
   njs::Njs njs_;
   std::shared_ptr<obs::MetricsRegistry> metrics_;
+  xfer::TransferManager xfer_manager_;
+  xfer::Service xfer_service_;
+  xfer::TransferOptions transfer_options_;
+  std::uint64_t transfer_threshold_ = 4ull * 1024 * 1024;
+  std::size_t transfer_streams_ = 4;
+  std::map<std::string, std::shared_ptr<XferRails>> peer_rails_;
+  std::uint64_t transfers_chunked_ = 0;
+  std::uint64_t transfers_legacy_ = 0;
+  std::uint64_t advertised_features_ = net::kDefaultFeatures;
   std::map<std::string, crypto::SoftwareBundle> bundles_;
 
   std::map<std::uint64_t, std::shared_ptr<ClientSession>> sessions_;

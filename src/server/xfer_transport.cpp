@@ -1,0 +1,185 @@
+#include "server/xfer_transport.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace unicore::server {
+
+using util::ByteReader;
+using util::Bytes;
+using util::Error;
+using util::ErrorCode;
+using util::Result;
+
+RequestKind xfer_request_kind(xfer::Op op) {
+  switch (op) {
+    case xfer::Op::kOpen: return RequestKind::kXferOpen;
+    case xfer::Op::kChunk: return RequestKind::kXferChunk;
+    case xfer::Op::kClose: return RequestKind::kXferClose;
+  }
+  return RequestKind::kXferOpen;
+}
+
+std::shared_ptr<XferRails> XferRails::create(sim::Engine& engine,
+                                             net::Network& network,
+                                             util::Rng& rng, Config config) {
+  return std::shared_ptr<XferRails>(
+      new XferRails(engine, network, rng, std::move(config)));
+}
+
+XferRails::XferRails(sim::Engine& engine, net::Network& network,
+                     util::Rng& rng, Config config)
+    : engine_(engine),
+      network_(network),
+      rng_(rng),
+      config_(std::move(config)) {
+  if (config_.streams == 0) config_.streams = 1;
+  rails_.resize(config_.streams);
+}
+
+XferRails::~XferRails() {
+  for (auto& rail : rails_) {
+    if (rail.channel) rail.channel->close();
+  }
+}
+
+void XferRails::shutdown() {
+  for (std::size_t i = 0; i < rails_.size(); ++i)
+    fail_rail(i, util::make_error(ErrorCode::kUnavailable,
+                                  "transfer rails shut down"));
+}
+
+void XferRails::call(std::size_t stream, xfer::Op op, Bytes body,
+                     std::function<void(Result<Bytes>)> done) {
+  if (stream >= rails_.size()) stream = stream % rails_.size();
+
+  std::uint64_t request_id = next_request_id_++;
+  Bytes wire = make_request(xfer_request_kind(op), request_id, body);
+
+  Pending pending;
+  pending.handler = std::move(done);
+  std::weak_ptr<XferRails> weak = weak_from_this();
+  pending.timeout =
+      engine_.after(config_.request_timeout, [weak, stream, request_id] {
+        auto self = weak.lock();
+        if (!self) return;
+        Rail& rail = self->rails_[stream];
+        auto it = rail.pending.find(request_id);
+        if (it == rail.pending.end()) return;
+        auto handler = std::move(it->second.handler);
+        rail.pending.erase(it);
+        handler(util::make_error(ErrorCode::kTimeout,
+                                 "transfer request timed out"));
+      });
+  rails_[stream].pending.emplace(request_id, std::move(pending));
+
+  ensure_rail(stream);
+  Rail& rail = rails_[stream];
+  if (!rail.channel) return;  // connect failed; pending already failed
+  if (rail.established) {
+    rail.channel->send(std::move(wire));
+  } else {
+    rail.backlog.push_back(std::move(wire));
+  }
+}
+
+void XferRails::ensure_rail(std::size_t index) {
+  Rail& rail = rails_[index];
+  if (rail.channel && !rail.channel->failed()) return;
+  if (rail.channel) {
+    rail.channel = nullptr;
+    rail.established = false;
+  }
+
+  auto endpoint = network_.connect(config_.local_host, config_.remote);
+  if (!endpoint) {
+    fail_rail(index, endpoint.error());
+    return;
+  }
+
+  net::SecureChannel::Config channel_config;
+  channel_config.credential = config_.credential;
+  channel_config.trust = config_.trust;
+  channel_config.required_peer_usage = config_.required_peer_usage;
+
+  std::weak_ptr<XferRails> weak = weak_from_this();
+  rail.established = false;
+  rail.channel = net::SecureChannel::as_client(
+      engine_, rng_, endpoint.value(), channel_config,
+      [weak, index](util::Status status) {
+        auto self = weak.lock();
+        if (!self) return;
+        if (!status.ok()) {
+          self->fail_rail(index, status.error());
+          return;
+        }
+        Rail& rail = self->rails_[index];
+        if (!rail.channel) return;
+        if (!rail.channel->feature_enabled(net::kFeatureChunkedXfer)) {
+          self->fail_rail(index,
+                          util::make_error(
+                              ErrorCode::kFailedPrecondition,
+                              "peer does not speak chunked transfer"));
+          return;
+        }
+        rail.established = true;
+        while (!rail.backlog.empty()) {
+          rail.channel->send(std::move(rail.backlog.front()));
+          rail.backlog.pop_front();
+        }
+      });
+  rail.channel->set_receiver([weak, index](Bytes&& wire) {
+    if (auto self = weak.lock())
+      self->handle_rail_message(index, std::move(wire));
+  });
+  rail.channel->set_close_handler([weak, index] {
+    if (auto self = weak.lock())
+      self->fail_rail(index, util::make_error(ErrorCode::kUnavailable,
+                                              "transfer rail closed"));
+  });
+  ++reconnects_;
+}
+
+void XferRails::fail_rail(std::size_t index, const Error& error) {
+  Rail& rail = rails_[index];
+  auto channel = std::move(rail.channel);
+  rail.channel = nullptr;
+  rail.established = false;
+  rail.backlog.clear();
+  auto pending = std::move(rail.pending);
+  rail.pending.clear();
+  if (channel) channel->close();
+  for (auto& [id, entry] : pending) {
+    if (entry.timeout) engine_.cancel(*entry.timeout);
+    entry.handler(error);
+  }
+}
+
+void XferRails::handle_rail_message(std::size_t index, Bytes&& wire) {
+  ByteReader r(wire);
+  Result<Bytes> outcome =
+      util::make_error(ErrorCode::kInternal, "malformed transfer reply");
+  std::uint64_t request_id = 0;
+  try {
+    auto type = static_cast<MessageType>(r.u8());
+    if (type != MessageType::kReply) return;  // rails only carry replies
+    request_id = r.u64();
+    bool ok = r.u8() != 0;
+    if (ok) {
+      outcome = r.raw(r.remaining());
+    } else {
+      outcome = decode_error(r);
+    }
+  } catch (const std::out_of_range&) {
+    return;
+  }
+  Rail& rail = rails_[index];
+  auto it = rail.pending.find(request_id);
+  if (it == rail.pending.end()) return;  // already timed out
+  if (it->second.timeout) engine_.cancel(*it->second.timeout);
+  auto handler = std::move(it->second.handler);
+  rail.pending.erase(it);
+  handler(std::move(outcome));
+}
+
+}  // namespace unicore::server

@@ -1,0 +1,94 @@
+// XferRails — the server-layer binding of xfer::ChunkTransport: N
+// parallel mutually-authenticated secure channels ("rails") to one peer
+// gateway, each carrying kXferOpen/kXferChunk/kXferClose envelopes.
+//
+// The simulated network serialises bandwidth per connection direction,
+// exactly like a real TCP stream under one congestion window — so N
+// rails approach N times the single-connection transfer rate. This is
+// the mechanism behind the chunked engine's speedup over the legacy
+// whole-blob kDeliverFile path (one message on one connection).
+//
+// Rails connect lazily on first use and reconnect after failure;
+// requests sent during a handshake are queued. Every in-flight request
+// carries its own timeout. All channel callbacks hold the rails object
+// weakly: dropping the last owning reference tears the rails down.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+#include "net/secure_channel.h"
+#include "server/protocol.h"
+#include "util/result.h"
+#include "xfer/transfer.h"
+
+namespace unicore::server {
+
+class XferRails : public xfer::ChunkTransport,
+                  public std::enable_shared_from_this<XferRails> {
+ public:
+  struct Config {
+    std::string local_host;  // host the rails connect from
+    net::Address remote;     // peer gateway (or own gateway for clients)
+    std::size_t streams = 4;
+    crypto::Credential credential;   // server or user credential
+    const crypto::TrustStore* trust = nullptr;
+    std::uint8_t required_peer_usage = crypto::kUsageServerAuth;
+    sim::Time request_timeout = sim::sec(60);
+  };
+
+  static std::shared_ptr<XferRails> create(sim::Engine& engine,
+                                           net::Network& network,
+                                           util::Rng& rng, Config config);
+
+  ~XferRails() override;
+
+  // xfer::ChunkTransport
+  std::size_t streams() const override { return rails_.size(); }
+  void call(std::size_t stream, xfer::Op op, util::Bytes body,
+            std::function<void(util::Result<util::Bytes>)> done) override;
+
+  /// Closes every rail; pending requests fail kUnavailable.
+  void shutdown();
+
+  std::uint64_t reconnects() const { return reconnects_; }
+
+ private:
+  struct Pending {
+    std::function<void(util::Result<util::Bytes>)> handler;
+    std::optional<sim::EventId> timeout;
+  };
+  struct Rail {
+    std::shared_ptr<net::SecureChannel> channel;
+    bool established = false;
+    std::deque<util::Bytes> backlog;
+    std::map<std::uint64_t, Pending> pending;
+  };
+
+  XferRails(sim::Engine& engine, net::Network& network, util::Rng& rng,
+            Config config);
+
+  void ensure_rail(std::size_t index);
+  void fail_rail(std::size_t index, const util::Error& error);
+  void handle_rail_message(std::size_t index, util::Bytes&& wire);
+
+  sim::Engine& engine_;
+  net::Network& network_;
+  util::Rng& rng_;
+  Config config_;
+  std::vector<Rail> rails_;
+  std::uint64_t next_request_id_ = 1;
+  std::uint64_t reconnects_ = 0;
+};
+
+/// RequestKind carrying each transfer operation.
+RequestKind xfer_request_kind(xfer::Op op);
+
+}  // namespace unicore::server

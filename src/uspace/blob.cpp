@@ -27,6 +27,14 @@ FileBlob FileBlob::synthetic(std::uint64_t size, std::uint64_t seed) {
   return blob;
 }
 
+FileBlob FileBlob::from_identity(std::uint64_t size,
+                                 const crypto::Digest& checksum) {
+  FileBlob blob;
+  blob.size_ = size;
+  blob.checksum_ = checksum;
+  return blob;
+}
+
 void FileBlob::encode(util::ByteWriter& w) const {
   w.boolean(is_synthetic());
   w.u64(size_);

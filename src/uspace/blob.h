@@ -25,6 +25,11 @@ class FileBlob {
   static FileBlob from_string(std::string_view content);
   /// A file of `size` bytes whose content is only identified, not stored.
   static FileBlob synthetic(std::uint64_t size, std::uint64_t seed);
+  /// Reconstructs a synthetic blob from its identity (size, checksum) —
+  /// what a chunked transfer reassembles after moving a synthetic file
+  /// piecewise (the per-chunk digests tie each piece to this identity).
+  static FileBlob from_identity(std::uint64_t size,
+                                const crypto::Digest& checksum);
 
   std::uint64_t size() const { return size_; }
   bool is_synthetic() const { return !content_.has_value(); }

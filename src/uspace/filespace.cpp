@@ -7,10 +7,16 @@ using util::Result;
 using util::Status;
 
 Status Volume::write(const std::string& path, FileBlob blob) {
+  return write_shared(path,
+                      std::make_shared<const FileBlob>(std::move(blob)));
+}
+
+Status Volume::write_shared(const std::string& path,
+                            std::shared_ptr<const FileBlob> blob) {
   std::uint64_t replaced = 0;
   if (auto it = files_.find(path); it != files_.end())
-    replaced = it->second.size();
-  std::uint64_t new_usage = used_bytes_ - replaced + blob.size();
+    replaced = it->second->size();
+  std::uint64_t new_usage = used_bytes_ - replaced + blob->size();
   if (quota_bytes_ > 0 && new_usage > quota_bytes_)
     return util::make_error(ErrorCode::kResourceExhausted,
                             "quota exceeded on " + name_ + " writing " + path +
@@ -22,6 +28,15 @@ Status Volume::write(const std::string& path, FileBlob blob) {
 }
 
 Result<FileBlob> Volume::read(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end())
+    return util::make_error(ErrorCode::kNotFound,
+                            "no such file: " + name_ + ":" + path);
+  return *it->second;
+}
+
+Result<std::shared_ptr<const FileBlob>> Volume::read_shared(
+    const std::string& path) const {
   auto it = files_.find(path);
   if (it == files_.end())
     return util::make_error(ErrorCode::kNotFound,
@@ -38,7 +53,7 @@ Status Volume::remove(const std::string& path) {
   if (it == files_.end())
     return util::make_error(ErrorCode::kNotFound,
                             "no such file: " + name_ + ":" + path);
-  used_bytes_ -= it->second.size();
+  used_bytes_ -= it->second->size();
   files_.erase(it);
   return Status::ok_status();
 }
@@ -85,21 +100,21 @@ Status copy_in(const Xspace& xspace, const std::string& volume,
   if (source == nullptr)
     return util::make_error(ErrorCode::kNotFound,
                             "no such volume: " + volume);
-  auto blob = source->read(path);
+  auto blob = source->read_shared(path);
   if (!blob) return blob.error();
-  return uspace.write(uspace_name, std::move(blob.value()));
+  return uspace.write_shared(uspace_name, std::move(blob.value()));
 }
 
 Status copy_out(const Uspace& uspace, const std::string& uspace_name,
                 Xspace& xspace, const std::string& volume,
                 const std::string& path) {
-  auto blob = uspace.read(uspace_name);
+  auto blob = uspace.read_shared(uspace_name);
   if (!blob) return blob.error();
   Volume* destination = xspace.find_volume(volume);
   if (destination == nullptr)
     return util::make_error(ErrorCode::kNotFound,
                             "no such volume: " + volume);
-  return destination->write(path, std::move(blob.value()));
+  return destination->write_shared(path, std::move(blob.value()));
 }
 
 }  // namespace unicore::uspace

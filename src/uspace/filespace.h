@@ -36,10 +36,21 @@ class Volume {
   std::size_t file_count() const { return files_.size(); }
 
   /// Writes (creates or replaces) a file; fails when the quota would be
-  /// exceeded.
+  /// exceeded. Replacing an existing path charges the quota for the
+  /// size delta only; a failed overwrite leaves the original file and
+  /// `used_bytes()` untouched.
   util::Status write(const std::string& path, FileBlob blob);
+  /// Zero-copy write: stores a reference to an (immutable) blob that
+  /// may be shared with other volumes or an in-flight transfer. Quota
+  /// accounting is identical to write().
+  util::Status write_shared(const std::string& path,
+                            std::shared_ptr<const FileBlob> blob);
 
   util::Result<FileBlob> read(const std::string& path) const;
+  /// Zero-copy read: the returned blob is shared with the volume (and
+  /// stays valid after a subsequent overwrite or remove).
+  util::Result<std::shared_ptr<const FileBlob>> read_shared(
+      const std::string& path) const;
   bool exists(const std::string& path) const;
   util::Status remove(const std::string& path);
 
@@ -50,7 +61,7 @@ class Volume {
   std::string name_;
   std::uint64_t quota_bytes_;
   std::uint64_t used_bytes_ = 0;
-  std::map<std::string, FileBlob> files_;
+  std::map<std::string, std::shared_ptr<const FileBlob>> files_;
 };
 
 /// The external file spaces of a Vsite: named volumes.
@@ -79,8 +90,16 @@ class Uspace {
   util::Status write(const std::string& name, FileBlob blob) {
     return files_.write(name, std::move(blob));
   }
+  util::Status write_shared(const std::string& name,
+                            std::shared_ptr<const FileBlob> blob) {
+    return files_.write_shared(name, std::move(blob));
+  }
   util::Result<FileBlob> read(const std::string& name) const {
     return files_.read(name);
+  }
+  util::Result<std::shared_ptr<const FileBlob>> read_shared(
+      const std::string& name) const {
+    return files_.read_shared(name);
   }
   bool exists(const std::string& name) const { return files_.exists(name); }
   util::Status remove(const std::string& name) { return files_.remove(name); }

@@ -1,0 +1,107 @@
+#include "xfer/chunk.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace unicore::xfer {
+
+using util::ErrorCode;
+using util::make_error;
+
+bool ChunkBitmap::set(std::uint64_t index) {
+  if (index >= have_.size() || have_[index]) return false;
+  have_[index] = true;
+  ++count_;
+  return true;
+}
+
+std::vector<ChunkRange> ChunkBitmap::ranges() const {
+  std::vector<ChunkRange> out;
+  std::uint64_t i = 0;
+  while (i < have_.size()) {
+    if (!have_[i]) {
+      ++i;
+      continue;
+    }
+    std::uint64_t first = i;
+    while (i < have_.size() && have_[i]) ++i;
+    out.push_back(ChunkRange{first, i - first});
+  }
+  return out;
+}
+
+void ChunkBitmap::apply(const std::vector<ChunkRange>& ranges) {
+  for (const ChunkRange& range : ranges) {
+    for (std::uint64_t i = 0; i < range.count; ++i) set(range.first + i);
+  }
+}
+
+std::vector<std::uint64_t> ChunkBitmap::missing() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(have_.size() - count_);
+  for (std::uint64_t i = 0; i < have_.size(); ++i) {
+    if (!have_[i]) out.push_back(i);
+  }
+  return out;
+}
+
+Assembly::Assembly(std::uint64_t size, const crypto::Digest& checksum,
+                   bool synthetic, std::uint32_t chunk_bytes)
+    : size_(size),
+      checksum_(checksum),
+      synthetic_(synthetic),
+      chunk_bytes_(chunk_bytes),
+      bitmap_(chunk_count(size, chunk_bytes)) {}
+
+std::uint32_t Assembly::expected_length(std::uint64_t index) const {
+  std::uint64_t offset = index * static_cast<std::uint64_t>(chunk_bytes_);
+  std::uint64_t remaining = size_ > offset ? size_ - offset : 0;
+  return static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(remaining, chunk_bytes_));
+}
+
+util::Status Assembly::accept(const Chunk& chunk) {
+  if (chunk.index >= bitmap_.total())
+    return make_error(ErrorCode::kInvalidArgument,
+                      "chunk index beyond declared file size");
+  if (chunk.synthetic != synthetic_)
+    return make_error(ErrorCode::kInvalidArgument,
+                      "chunk kind does not match the transfer manifest");
+  if (chunk.length != expected_length(chunk.index))
+    return make_error(ErrorCode::kInvalidArgument,
+                      "chunk length does not match the declared geometry");
+  crypto::Digest expected =
+      synthetic_ ? synthetic_chunk_digest(checksum_, chunk.index, chunk.length)
+                 : chunk_digest(chunk.data);
+  if (expected != chunk.digest)
+    return make_error(ErrorCode::kInvalidArgument, "chunk digest mismatch");
+  if (!synthetic_ && chunk.data.size() != chunk.length)
+    return make_error(ErrorCode::kInvalidArgument,
+                      "chunk payload shorter than its declared length");
+  if (!bitmap_.set(chunk.index))
+    return make_error(ErrorCode::kFailedPrecondition, "duplicate chunk");
+  if (!synthetic_) {
+    buffered_bytes_ += chunk.data.size();
+    buffers_.emplace(chunk.index, chunk.data);
+  }
+  return util::Status::ok_status();
+}
+
+util::Result<uspace::FileBlob> Assembly::finish() const {
+  if (!bitmap_.complete())
+    return make_error(ErrorCode::kFailedPrecondition,
+                      "transfer incomplete: " + std::to_string(bitmap_.count()) +
+                          "/" + std::to_string(bitmap_.total()) + " chunks");
+  if (synthetic_) return uspace::FileBlob::from_identity(size_, checksum_);
+  util::Bytes content;
+  content.reserve(size_);
+  for (const auto& [index, data] : buffers_)
+    content.insert(content.end(), data.begin(), data.end());
+  uspace::FileBlob blob = uspace::FileBlob::from_bytes(std::move(content));
+  if (blob.checksum() != checksum_)
+    return make_error(ErrorCode::kInvalidArgument,
+                      "reassembled file digest does not match the manifest");
+  return blob;
+}
+
+}  // namespace unicore::xfer

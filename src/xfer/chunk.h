@@ -1,0 +1,84 @@
+// Chunk bookkeeping: which pieces of a transfer have arrived, and how
+// they fold back into a FileBlob whose checksum must equal the one
+// declared at open.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "uspace/blob.h"
+#include "util/result.h"
+#include "xfer/wire.h"
+
+namespace unicore::xfer {
+
+/// Presence bitmap over the chunks of one transfer, with the
+/// run-length encoding used by the push open reply (resume state).
+class ChunkBitmap {
+ public:
+  ChunkBitmap() = default;
+  explicit ChunkBitmap(std::uint64_t total) : have_(total, false) {}
+
+  std::uint64_t total() const { return have_.size(); }
+  std::uint64_t count() const { return count_; }
+  bool complete() const { return count_ == have_.size(); }
+  bool test(std::uint64_t index) const {
+    return index < have_.size() && have_[index];
+  }
+  /// Returns false when the chunk was already present.
+  bool set(std::uint64_t index);
+
+  std::vector<ChunkRange> ranges() const;
+  void apply(const std::vector<ChunkRange>& ranges);
+  /// Indices not yet present, in order.
+  std::vector<std::uint64_t> missing() const;
+
+ private:
+  std::vector<bool> have_;
+  std::uint64_t count_ = 0;
+};
+
+/// Reassembles the chunks of one incoming transfer. Verifies each
+/// chunk digest on accept and the whole-file identity on finish;
+/// synthetic transfers buffer no payload bytes (their chunk digests
+/// already bind every piece to the declared file checksum).
+class Assembly {
+ public:
+  Assembly() = default;
+  Assembly(std::uint64_t size, const crypto::Digest& checksum, bool synthetic,
+           std::uint32_t chunk_bytes);
+
+  std::uint64_t size() const { return size_; }
+  const crypto::Digest& checksum() const { return checksum_; }
+  bool synthetic() const { return synthetic_; }
+  std::uint32_t chunk_bytes() const { return chunk_bytes_; }
+  ChunkBitmap& bitmap() { return bitmap_; }
+  const ChunkBitmap& bitmap() const { return bitmap_; }
+  bool complete() const { return bitmap_.complete(); }
+  /// Payload bytes currently buffered (the receive-window currency).
+  std::uint64_t buffered_bytes() const { return buffered_bytes_; }
+
+  /// Expected byte length of chunk `index`.
+  std::uint32_t expected_length(std::uint64_t index) const;
+
+  /// Verifies and stores one chunk. Duplicate chunks are rejected with
+  /// kFailedPrecondition (callers normally check the bitmap first);
+  /// corrupt or misshapen chunks with kInvalidArgument.
+  util::Status accept(const Chunk& chunk);
+
+  /// Folds the complete set back into a blob and verifies its checksum
+  /// against the identity declared at open.
+  util::Result<uspace::FileBlob> finish() const;
+
+ private:
+  std::uint64_t size_ = 0;
+  crypto::Digest checksum_{};
+  bool synthetic_ = false;
+  std::uint32_t chunk_bytes_ = 0;
+  ChunkBitmap bitmap_;
+  std::map<std::uint64_t, util::Bytes> buffers_;  // real transfers only
+  std::uint64_t buffered_bytes_ = 0;
+};
+
+}  // namespace unicore::xfer

@@ -1,0 +1,69 @@
+// Durable transfer state: the manifest describing an inbound transfer,
+// the per-chunk records that make chunk delivery idempotent across a
+// receiver crash, and the fold that reconstructs half-finished
+// transfers from the NJS journal on recovery.
+//
+// The receiver journals a chunk BEFORE acknowledging it. A crash
+// between the append and the ack therefore re-delivers a chunk the
+// journal already holds — recovery rebuilds the bitmap from the log,
+// the re-delivered copy is answered as a duplicate, and no byte is
+// applied twice.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.h"
+#include "crypto/x509.h"
+#include "njs/journal.h"
+#include "util/bytes.h"
+#include "xfer/chunk.h"
+#include "xfer/wire.h"
+
+namespace unicore::xfer {
+
+/// Everything the receiver must remember about an inbound transfer to
+/// survive a crash: the durable key, the target file identity, the
+/// negotiated geometry, and who opened it.
+struct Manifest {
+  util::Bytes key;  // 32-byte transfer key (see make_transfer_key)
+  ajo::JobToken token = 0;
+  std::string name;
+  std::uint64_t size = 0;
+  crypto::Digest checksum{};
+  bool synthetic = false;
+  std::uint32_t chunk_bytes = kDefaultChunkBytes;
+  crypto::DistinguishedName principal;  // who is allowed to resume it
+
+  void encode(util::ByteWriter& w) const;
+  static Manifest decode(util::ByteReader& r);
+};
+
+/// Journal appenders. Chunk records for real transfers carry the
+/// payload bytes (this is a write-ahead log — the bytes must survive
+/// the crash, not just the fact of their arrival); synthetic chunks
+/// journal geometry only.
+void journal_manifest(njs::Journal& journal, const Manifest& manifest);
+void journal_chunk(njs::Journal& journal, const Manifest& manifest,
+                   const Chunk& chunk);
+void journal_done(njs::Journal& journal, const Manifest& manifest);
+
+/// One half-finished transfer folded out of the journal.
+struct RecoveredTransfer {
+  Manifest manifest;
+  std::vector<Chunk> chunks;  // in journal order, no duplicates
+};
+
+/// Replays the journal's xfer records into the set of transfers that
+/// were open at crash time (kXferDone erases). Records that fail to
+/// decode are skipped, mirroring Journal::recover().
+std::vector<RecoveredTransfer> recover_transfers(const njs::Journal& journal);
+
+/// Keys of transfers that finished (kXferDone). After a receiver crash
+/// these make a re-opened completed transfer answer "all chunks
+/// present" instead of accepting the bytes a second time.
+std::vector<util::Bytes> completed_transfer_keys(const njs::Journal& journal);
+
+}  // namespace unicore::xfer

@@ -1,0 +1,358 @@
+#include "xfer/service.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace unicore::xfer {
+
+using util::Bytes;
+using util::ErrorCode;
+using util::make_error;
+using util::Result;
+
+std::uint32_t Service::clamp_chunk_bytes(std::uint32_t proposed) const {
+  return std::clamp(proposed, limits_.min_chunk_bytes,
+                    limits_.max_chunk_bytes);
+}
+
+std::uint64_t Service::buffered_total() const {
+  std::uint64_t total = 0;
+  for (const auto& [key, incoming] : incoming_)
+    total += incoming->assembly.buffered_bytes();
+  return total;
+}
+
+std::uint32_t Service::credit_for(const Assembly& assembly) const {
+  std::uint64_t buffered = buffered_total();
+  std::uint64_t room = buffered < limits_.buffer_limit_bytes
+                           ? limits_.buffer_limit_bytes - buffered
+                           : 0;
+  std::uint64_t chunks = room / std::max<std::uint32_t>(
+                                    assembly.chunk_bytes(), 1);
+  return static_cast<std::uint32_t>(std::clamp<std::uint64_t>(
+      chunks, 1, limits_.max_credit));  // never stall a sender completely
+}
+
+void Service::update_gauges() {
+  auto& m = *njs_.metrics();
+  obs::Labels labels{{"usite", njs_.usite()}};
+  m.gauge("unicore_xfer_open_inbound", labels)
+      .set(static_cast<double>(incoming_.size()));
+  m.gauge("unicore_xfer_open_outbound", labels)
+      .set(static_cast<double>(outgoing_.size()));
+  m.gauge("unicore_xfer_buffered_bytes", labels)
+      .set(static_cast<double>(buffered_total()));
+}
+
+PushOpenReply Service::resume_reply(const Incoming& incoming) const {
+  PushOpenReply reply;
+  reply.transfer_id = incoming.id;
+  reply.chunk_bytes = incoming.assembly.chunk_bytes();
+  reply.credit = credit_for(incoming.assembly);
+  reply.have = incoming.assembly.bitmap().ranges();
+  return reply;
+}
+
+Result<Bytes> Service::open(const crypto::DistinguishedName& principal,
+                            bool server_peer, Role role, util::ByteReader& r) {
+  switch (role) {
+    case Role::kPush:
+      if (!server_peer)
+        return make_error(ErrorCode::kPermissionDenied,
+                          "push requires a peer server certificate");
+      return open_push(principal, r);
+    case Role::kPeerPull:
+      if (!server_peer)
+        return make_error(ErrorCode::kPermissionDenied,
+                          "peer pull requires a peer server certificate");
+      return open_pull(principal, role, r);
+    case Role::kClientPull:
+      if (server_peer)
+        return make_error(ErrorCode::kPermissionDenied,
+                          "client pull requires a user certificate");
+      return open_pull(principal, role, r);
+  }
+  return make_error(ErrorCode::kInvalidArgument, "unknown transfer role");
+}
+
+Result<Bytes> Service::open_push(const crypto::DistinguishedName& principal,
+                                 util::ByteReader& r) {
+  PushOpenRequest request = PushOpenRequest::decode(r);
+
+  if (completed_.count(request.key) != 0) {
+    // Already delivered (possibly before a crash): report every chunk
+    // present so the sender goes straight to close.
+    PushOpenReply reply;
+    reply.transfer_id = 0;
+    reply.chunk_bytes = clamp_chunk_bytes(request.proposed_chunk_bytes);
+    reply.credit = 0;
+    reply.have = {
+        ChunkRange{0, chunk_count(request.size, reply.chunk_bytes)}};
+    return reply.encode();
+  }
+
+  if (auto it = incoming_.find(request.key); it != incoming_.end()) {
+    Incoming& incoming = *it->second;
+    if (incoming.manifest.principal != principal)
+      return make_error(ErrorCode::kPermissionDenied,
+                        "transfer belongs to another principal");
+    if (incoming.manifest.size != request.size ||
+        incoming.manifest.checksum != request.checksum ||
+        incoming.manifest.synthetic != request.synthetic)
+      return make_error(ErrorCode::kFailedPrecondition,
+                        "open does not match the journaled manifest");
+    return resume_reply(incoming).encode();
+  }
+
+  // New transfer: the target job must exist here.
+  if (auto owner = njs_.owner(request.token); !owner.ok())
+    return owner.error();
+
+  auto incoming = std::make_unique<Incoming>();
+  incoming->manifest.key = request.key;
+  incoming->manifest.token = request.token;
+  incoming->manifest.name = request.name;
+  incoming->manifest.size = request.size;
+  incoming->manifest.checksum = request.checksum;
+  incoming->manifest.synthetic = request.synthetic;
+  incoming->manifest.chunk_bytes =
+      clamp_chunk_bytes(request.proposed_chunk_bytes);
+  incoming->manifest.principal = principal;
+  incoming->assembly =
+      Assembly(request.size, request.checksum, request.synthetic,
+               incoming->manifest.chunk_bytes);
+  incoming->id = next_id_++;
+  incoming->opened_at = engine_.now();
+  if (njs_.journal() != nullptr)
+    journal_manifest(*njs_.journal(), incoming->manifest);
+
+  PushOpenReply reply = resume_reply(*incoming);
+  incoming_by_id_[incoming->id] = incoming.get();
+  incoming_.emplace(request.key, std::move(incoming));
+  update_gauges();
+  return reply.encode();
+}
+
+Result<Bytes> Service::open_pull(const crypto::DistinguishedName& principal,
+                                 Role role, util::ByteReader& r) {
+  PullOpenRequest request = PullOpenRequest::decode(role, r);
+  if (role == Role::kClientPull) {
+    auto owner = njs_.owner(request.token);
+    if (!owner.ok()) return owner.error();
+    if (!(owner.value() == principal))
+      return make_error(ErrorCode::kPermissionDenied,
+                        "job belongs to another user");
+  }
+  auto blob = njs_.fetch_file_shared(request.token, request.name);
+  if (!blob.ok()) return blob.error();
+
+  std::uint32_t inline_limit =
+      std::min(request.inline_limit, limits_.inline_limit);
+  PullOpenReply reply;
+  if (blob.value()->size() <= inline_limit) {
+    reply.inline_blob = true;
+    reply.blob = *blob.value();
+    return reply.encode();
+  }
+
+  Outgoing outgoing;
+  outgoing.id = next_id_++;
+  outgoing.blob = std::move(blob).value();
+  outgoing.chunk_bytes = clamp_chunk_bytes(request.proposed_chunk_bytes);
+  reply.inline_blob = false;
+  reply.transfer_id = outgoing.id;
+  reply.chunk_bytes = outgoing.chunk_bytes;
+  reply.size = outgoing.blob->size();
+  reply.checksum = outgoing.blob->checksum();
+  reply.synthetic = outgoing.blob->is_synthetic();
+  auto [it, inserted] = outgoing_.emplace(outgoing.id, std::move(outgoing));
+  touch_outgoing(it->second);
+  update_gauges();
+  return reply.encode();
+}
+
+Result<Bytes> Service::chunk(const crypto::DistinguishedName& principal,
+                             bool server_peer, Role role, util::ByteReader& r) {
+  if (role == Role::kPush) {
+    if (!server_peer)
+      return make_error(ErrorCode::kPermissionDenied,
+                        "push requires a peer server certificate");
+    PushChunkRequest request = PushChunkRequest::decode(r);
+    auto it = incoming_by_id_.find(request.transfer_id);
+    if (it == incoming_by_id_.end())
+      return make_error(ErrorCode::kNotFound,
+                        "no such transfer (receiver restarted?)");
+    Incoming& incoming = *it->second;
+    if (incoming.manifest.principal != principal)
+      return make_error(ErrorCode::kPermissionDenied,
+                        "transfer belongs to another principal");
+
+    PushChunkReply reply;
+    if (incoming.assembly.bitmap().test(request.chunk.index)) {
+      // Idempotent re-delivery: journaled (and possibly acked) before a
+      // crash or a lost ack. Never applied twice.
+      ++duplicates_suppressed_;
+      njs_.metrics()
+          ->counter("unicore_xfer_duplicate_chunks_total",
+                    {{"usite", njs_.usite()}})
+          .increment();
+      reply.applied = false;
+      reply.credit = credit_for(incoming.assembly);
+      return reply.encode();
+    }
+    if (!incoming.assembly.synthetic() &&
+        buffered_total() + request.chunk.length > limits_.buffer_limit_bytes)
+      return make_error(ErrorCode::kResourceExhausted,
+                        "receive window full");  // retryable: backs off
+
+    util::Status accepted = incoming.assembly.accept(request.chunk);
+    if (!accepted.ok()) return accepted.error();
+    // Write-ahead: the chunk must be durable before the ack can leave —
+    // a crash after this append answers the retransmit as a duplicate.
+    if (njs_.journal() != nullptr)
+      journal_chunk(*njs_.journal(), incoming.manifest, request.chunk);
+    ++chunks_applied_;
+    update_gauges();
+    reply.applied = true;
+    reply.credit = credit_for(incoming.assembly);
+    return reply.encode();
+  }
+
+  // Pull side: serve a chunk of an open outbound read.
+  PullChunkRequest request = PullChunkRequest::decode(role, r);
+  auto it = outgoing_.find(request.transfer_id);
+  if (it == outgoing_.end())
+    return make_error(ErrorCode::kNotFound,
+                      "no such transfer (source restarted?)");
+  Outgoing& outgoing = it->second;
+  if (request.index >=
+      chunk_count(outgoing.blob->size(), outgoing.chunk_bytes))
+    return make_error(ErrorCode::kInvalidArgument, "chunk index out of range");
+  touch_outgoing(outgoing);
+  Chunk chunk = make_chunk(*outgoing.blob, request.index, outgoing.chunk_bytes);
+  util::ByteWriter w;
+  chunk.encode(w);
+  return w.take();
+}
+
+Result<Bytes> Service::close(const crypto::DistinguishedName& principal,
+                             bool server_peer, Role role, util::ByteReader& r) {
+  if (role == Role::kPush) {
+    if (!server_peer)
+      return make_error(ErrorCode::kPermissionDenied,
+                        "push requires a peer server certificate");
+    return close_push(principal, r);
+  }
+  CloseRequest request = CloseRequest::decode(role, r);
+  if (auto it = outgoing_.find(request.transfer_id); it != outgoing_.end()) {
+    if (it->second.expiry != 0) engine_.cancel(it->second.expiry);
+    outgoing_.erase(it);
+    update_gauges();
+  }
+  return Bytes{};  // idempotent: closing an unknown read is fine
+}
+
+Result<Bytes> Service::close_push(const crypto::DistinguishedName& principal,
+                                  util::ByteReader& r) {
+  CloseRequest request = CloseRequest::decode(Role::kPush, r);
+  if (completed_.count(request.key) != 0) return Bytes{};  // idempotent
+
+  auto by_id = incoming_by_id_.find(request.transfer_id);
+  Incoming* incoming = by_id != incoming_by_id_.end() ? by_id->second : nullptr;
+  if (incoming == nullptr) {
+    auto by_key = incoming_.find(request.key);
+    if (by_key != incoming_.end()) incoming = by_key->second.get();
+  }
+  if (incoming == nullptr)
+    return make_error(ErrorCode::kNotFound,
+                      "no such transfer (receiver restarted?)");
+  if (incoming->manifest.principal != principal)
+    return make_error(ErrorCode::kPermissionDenied,
+                      "transfer belongs to another principal");
+  if (!incoming->assembly.complete())
+    return make_error(
+        ErrorCode::kFailedPrecondition,
+        "transfer incomplete: " +
+            std::to_string(incoming->assembly.bitmap().count()) + "/" +
+            std::to_string(incoming->assembly.bitmap().total()) + " chunks");
+
+  auto blob = incoming->assembly.finish();
+  if (!blob.ok())
+    return make_error(ErrorCode::kInternal,
+                      "whole-file verification failed: " +
+                          blob.error().message);
+  auto status = njs_.deliver_file(
+      incoming->manifest.token, incoming->manifest.name,
+      std::make_shared<const uspace::FileBlob>(std::move(blob).value()));
+  if (!status.ok()) return status.error();
+
+  if (njs_.journal() != nullptr)
+    journal_done(*njs_.journal(), incoming->manifest);
+  njs_.record_transfer_span(
+      incoming->manifest.token, "xfer-in", incoming->opened_at, engine_.now(),
+      {{"file", incoming->manifest.name},
+       {"bytes", std::to_string(incoming->manifest.size)},
+       {"chunks", std::to_string(incoming->assembly.bitmap().total())},
+       {"from", incoming->manifest.principal.common_name}});
+  ++transfers_completed_;
+  util::Bytes key = incoming->manifest.key;  // copy: erase frees `incoming`
+  completed_.insert(key);
+  incoming_by_id_.erase(incoming->id);
+  incoming_.erase(key);
+  update_gauges();
+  return Bytes{};
+}
+
+void Service::touch_outgoing(Outgoing& outgoing) {
+  if (outgoing.expiry != 0) engine_.cancel(outgoing.expiry);
+  std::uint64_t id = outgoing.id;
+  outgoing.expiry = engine_.after(limits_.read_idle_timeout, [this, id] {
+    outgoing_.erase(id);
+    update_gauges();
+  });
+}
+
+void Service::on_njs_crash() {
+  // The process died: every in-memory table goes. The journal (a disk)
+  // is what on_njs_recover rebuilds from.
+  incoming_.clear();
+  incoming_by_id_.clear();
+  completed_.clear();
+  for (auto& [id, outgoing] : outgoing_)
+    if (outgoing.expiry != 0) engine_.cancel(outgoing.expiry);
+  outgoing_.clear();
+  update_gauges();
+}
+
+void Service::on_njs_recover() {
+  if (njs_.journal() == nullptr) return;
+  for (util::Bytes& key : completed_transfer_keys(*njs_.journal()))
+    completed_.insert(std::move(key));
+  for (RecoveredTransfer& recovered : recover_transfers(*njs_.journal())) {
+    // The target job must have survived recovery too.
+    if (!njs_.owner(recovered.manifest.token).ok()) continue;
+    auto incoming = std::make_unique<Incoming>();
+    incoming->assembly = Assembly(
+        recovered.manifest.size, recovered.manifest.checksum,
+        recovered.manifest.synthetic, recovered.manifest.chunk_bytes);
+    incoming->manifest = std::move(recovered.manifest);
+    incoming->id = next_id_++;  // fresh id: the old one is dead with the
+                                // process, senders re-open by key
+    incoming->opened_at = engine_.now();
+    for (const Chunk& chunk : recovered.chunks) {
+      // Already verified and journaled; re-journaling would double the
+      // log, so fold straight into the assembly.
+      incoming->assembly.accept(chunk);
+    }
+    incoming_by_id_[incoming->id] = incoming.get();
+    incoming_.emplace(incoming->manifest.key, std::move(incoming));
+    ++transfers_recovered_;
+    njs_.metrics()
+        ->counter("unicore_xfer_recovered_transfers_total",
+                  {{"usite", njs_.usite()}})
+        .increment();
+  }
+  update_gauges();
+}
+
+}  // namespace unicore::xfer

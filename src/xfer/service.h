@@ -1,0 +1,130 @@
+// Receiver/source side of the chunked transfer protocol, co-resident
+// with one NJS. Holds the open-transfer table: inbound pushes being
+// reassembled (journaled chunk-by-chunk so a crash resumes instead of
+// restarting) and outbound reads being served chunk-wise to pullers.
+//
+// The server layer owns the envelopes and authentication; it hands this
+// service the authenticated principal, the already-parsed Role byte,
+// and a reader positioned at the body. Every handler returns the reply
+// payload or the error to put in the reply envelope.
+//
+// Idempotency invariants:
+//   - a chunk is journaled before it is acknowledged, so a crash
+//     between the two re-delivers a chunk the journal already holds;
+//     the resumed transfer answers it `applied = false` and never
+//     applies a byte twice;
+//   - a close after completion (or after a crash that followed
+//     completion) succeeds idempotently via the kXferDone tombstone.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "njs/njs.h"
+#include "sim/engine.h"
+#include "util/result.h"
+#include "xfer/chunk.h"
+#include "xfer/manifest.h"
+#include "xfer/wire.h"
+
+namespace unicore::xfer {
+
+class Service : public njs::CrashParticipant {
+ public:
+  struct Limits {
+    std::uint32_t min_chunk_bytes = kMinChunkBytes;
+    std::uint32_t max_chunk_bytes = kMaxChunkBytes;
+    /// Cap on buffered-but-unfinished inbound payload; the advertised
+    /// credit shrinks as this fills (backpressure).
+    std::uint64_t buffer_limit_bytes = 64ull * 1024 * 1024;
+    std::uint32_t max_credit = 64;
+    /// Hard cap on what a pull open may inline.
+    std::uint32_t inline_limit = 256 * 1024;
+    /// Outbound reads with no chunk request for this long are dropped
+    /// (pullers that died without closing).
+    sim::Time read_idle_timeout = sim::sec(300);
+  };
+
+  Service(sim::Engine& engine, njs::Njs& njs) : engine_(engine), njs_(njs) {}
+
+  void set_limits(const Limits& limits) { limits_ = limits; }
+  const Limits& limits() const { return limits_; }
+
+  /// Request handlers. `principal` is the authenticated identity (user
+  /// DN or peer server DN); `server_peer` says which authentication
+  /// path the gateway used; `r` is positioned just after the Role byte.
+  util::Result<util::Bytes> open(const crypto::DistinguishedName& principal,
+                                 bool server_peer, Role role,
+                                 util::ByteReader& r);
+  util::Result<util::Bytes> chunk(const crypto::DistinguishedName& principal,
+                                  bool server_peer, Role role,
+                                  util::ByteReader& r);
+  util::Result<util::Bytes> close(const crypto::DistinguishedName& principal,
+                                  bool server_peer, Role role,
+                                  util::ByteReader& r);
+
+  // CrashParticipant: the table dies with the NJS process and is
+  // rebuilt from the journal.
+  void on_njs_crash() override;
+  void on_njs_recover() override;
+
+  // Introspection for tests and gauges.
+  std::size_t inbound_open() const { return incoming_.size(); }
+  std::size_t outbound_open() const { return outgoing_.size(); }
+  std::uint64_t duplicates_suppressed() const {
+    return duplicates_suppressed_;
+  }
+  std::uint64_t chunks_applied() const { return chunks_applied_; }
+  std::uint64_t transfers_completed() const { return transfers_completed_; }
+  std::uint64_t transfers_recovered() const { return transfers_recovered_; }
+
+ private:
+  struct Incoming {
+    Manifest manifest;
+    Assembly assembly;
+    std::uint64_t id = 0;
+    sim::Time opened_at = 0;
+  };
+  struct Outgoing {
+    std::uint64_t id = 0;
+    std::shared_ptr<const uspace::FileBlob> blob;
+    std::uint32_t chunk_bytes = kDefaultChunkBytes;
+    sim::EventId expiry = 0;
+  };
+
+  util::Result<util::Bytes> open_push(
+      const crypto::DistinguishedName& principal, util::ByteReader& r);
+  util::Result<util::Bytes> open_pull(
+      const crypto::DistinguishedName& principal, Role role,
+      util::ByteReader& r);
+  util::Result<util::Bytes> close_push(
+      const crypto::DistinguishedName& principal, util::ByteReader& r);
+
+  std::uint32_t clamp_chunk_bytes(std::uint32_t proposed) const;
+  std::uint32_t credit_for(const Assembly& assembly) const;
+  std::uint64_t buffered_total() const;
+  PushOpenReply resume_reply(const Incoming& incoming) const;
+  void touch_outgoing(Outgoing& outgoing);
+  void drop_incoming(Incoming& incoming);
+  void update_gauges();
+
+  sim::Engine& engine_;
+  njs::Njs& njs_;
+  Limits limits_;
+
+  std::map<util::Bytes, std::unique_ptr<Incoming>> incoming_;  // by key
+  std::map<std::uint64_t, Incoming*> incoming_by_id_;
+  std::set<util::Bytes> completed_;
+  std::map<std::uint64_t, Outgoing> outgoing_;
+  std::uint64_t next_id_ = 1;
+
+  std::uint64_t duplicates_suppressed_ = 0;
+  std::uint64_t chunks_applied_ = 0;
+  std::uint64_t transfers_completed_ = 0;
+  std::uint64_t transfers_recovered_ = 0;
+};
+
+}  // namespace unicore::xfer

@@ -1,0 +1,135 @@
+// The sender/receiver-driver half of the chunked transfer engine: a
+// TransferManager that pushes a FileBlob to a remote Uspace, or pulls
+// one out of it, as independently acknowledged chunks striped over
+// parallel streams.
+//
+// The engine sits below the server layer, so it talks through an
+// abstract ChunkTransport: stream s, operation op, opaque body. The
+// server binds streams to parallel secure channels (one connection per
+// stream ≈ one bandwidth lane in the simulated network — this is where
+// the paper's single-message transfer rate ceiling (§5.6) is broken);
+// tests bind them to an in-process loopback.
+//
+// Failure handling has two tiers. A failed chunk is retransmitted on
+// its own (bounded retries with backoff); a failure that outlives
+// retransmission — or a receiver crash that invalidates the ephemeral
+// transfer id — triggers a *resume*: re-open by durable key, learn
+// which chunks the receiver already journaled, and send only the rest.
+// Acknowledgements from before a resume carry a stale generation and
+// are ignored.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ajo/job.h"
+#include "obs/metrics.h"
+#include "sim/engine.h"
+#include "uspace/blob.h"
+#include "util/result.h"
+#include "util/retry.h"
+#include "util/rng.h"
+#include "xfer/chunk.h"
+#include "xfer/wire.h"
+
+namespace unicore::xfer {
+
+/// How the engine reaches the peer: `streams()` parallel lanes, each
+/// carrying request/reply exchanges of the three transfer operations.
+/// Implementations own framing, security, and timeouts; the engine owns
+/// retries and resume.
+class ChunkTransport {
+ public:
+  virtual ~ChunkTransport() = default;
+  virtual std::size_t streams() const = 0;
+  virtual void call(std::size_t stream, Op op, util::Bytes body,
+                    std::function<void(util::Result<util::Bytes>)> done) = 0;
+};
+
+struct TransferOptions {
+  std::uint32_t chunk_bytes = kDefaultChunkBytes;  // proposal; receiver clamps
+  std::uint32_t window_per_stream = 4;  // unacked chunks per stream
+  int max_resume_attempts = 5;          // open/resume ladder
+  int max_chunk_retries = 3;            // per-chunk retransmits before resume
+  util::BackoffPolicy backoff;          // between resumes / retransmits
+  /// Pull only: ask the source to inline files at or below this size in
+  /// the open reply (single round trip, no chunk traffic).
+  std::uint32_t pull_inline_limit = 256 * 1024;
+};
+
+/// What one finished transfer did, for benches and metrics.
+struct TransferStats {
+  std::uint64_t bytes = 0;           // file size
+  std::uint64_t chunks = 0;          // chunks moved this run (not resumed-over)
+  std::uint64_t retransmits = 0;     // chunk-level retries
+  std::uint64_t duplicates = 0;      // chunks the receiver already had
+  std::uint64_t resumes = 0;         // re-opens after failure
+  std::uint64_t streams = 0;         // lanes actually used
+  bool inlined = false;              // pull satisfied in the open reply
+  sim::Time started_at = 0;
+  sim::Time finished_at = 0;
+};
+
+/// Identity of a push: where the file goes and where it comes from
+/// (the source label keys the durable transfer key, so the same file
+/// re-pushed from the same site resumes instead of restarting).
+struct PushSpec {
+  std::string source;  // sending Usite name (or "client")
+  ajo::JobToken token = 0;
+  std::string name;
+};
+
+struct PullSpec {
+  Role role = Role::kPeerPull;  // kPeerPull or kClientPull
+  ajo::JobToken token = 0;
+  std::string name;
+};
+
+struct PullResult {
+  uspace::FileBlob blob;
+  TransferStats stats;
+};
+
+/// Drives pushes and pulls. One manager per endpoint (Usite server or
+/// client); transfers run concurrently and independently.
+class TransferManager {
+ public:
+  TransferManager(sim::Engine& engine, util::Rng& rng)
+      : engine_(engine), rng_(rng) {}
+
+  /// Metrics are looked up by name on every update, so a registry swap
+  /// (Njs::set_metrics) takes effect immediately. `site` labels the
+  /// series.
+  void set_metrics(obs::MetricsRegistry* metrics, std::string site) {
+    metrics_ = metrics;
+    site_ = std::move(site);
+  }
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+  const std::string& site() const { return site_; }
+  sim::Engine& engine() const { return engine_; }
+  util::Rng& rng() const { return rng_; }
+
+  /// Streams `blob` into job `spec.token`'s Uspace on the peer behind
+  /// `transport`. The callback fires exactly once.
+  void push(std::shared_ptr<ChunkTransport> transport, const PushSpec& spec,
+            std::shared_ptr<const uspace::FileBlob> blob,
+            const TransferOptions& options,
+            std::function<void(util::Result<TransferStats>)> done);
+
+  /// Fetches `spec.name` from job `spec.token`'s Uspace on the peer.
+  void pull(std::shared_ptr<ChunkTransport> transport, const PullSpec& spec,
+            const TransferOptions& options,
+            std::function<void(util::Result<PullResult>)> done);
+
+ private:
+  sim::Engine& engine_;
+  util::Rng& rng_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::string site_;
+};
+
+}  // namespace unicore::xfer

@@ -1,0 +1,283 @@
+#include "xfer/wire.h"
+
+#include <algorithm>
+
+namespace unicore::xfer {
+
+using util::ByteReader;
+using util::Bytes;
+using util::ByteWriter;
+
+namespace {
+
+crypto::Digest read_digest(ByteReader& r) {
+  Bytes raw = r.raw(32);
+  crypto::Digest digest;
+  std::copy(raw.begin(), raw.end(), digest.begin());
+  return digest;
+}
+
+}  // namespace
+
+std::uint64_t chunk_count(std::uint64_t size, std::uint32_t chunk_bytes) {
+  if (chunk_bytes == 0) return 0;
+  if (size == 0) return 1;
+  return (size + chunk_bytes - 1) / chunk_bytes;
+}
+
+void Chunk::encode(ByteWriter& w) const {
+  w.u64(index);
+  w.u32(length);
+  w.boolean(synthetic);
+  w.raw(digest);
+  if (synthetic)
+    w.pad(length);  // charges the wire without storing the bytes
+  else
+    w.blob(data);
+}
+
+Chunk Chunk::decode(ByteReader& r) {
+  Chunk chunk;
+  chunk.index = r.u64();
+  chunk.length = r.u32();
+  chunk.synthetic = r.boolean();
+  chunk.digest = read_digest(r);
+  if (chunk.synthetic)
+    r.skip(chunk.length);
+  else
+    chunk.data = r.blob();
+  return chunk;
+}
+
+crypto::Digest chunk_digest(util::ByteView payload) {
+  return crypto::sha256(payload);
+}
+
+crypto::Digest synthetic_chunk_digest(const crypto::Digest& file_checksum,
+                                      std::uint64_t index,
+                                      std::uint32_t length) {
+  ByteWriter w;
+  w.str("unicore-xfer-chunk");
+  w.raw(file_checksum);
+  w.u64(index);
+  w.u32(length);
+  return crypto::sha256(w.bytes());
+}
+
+Chunk make_chunk(const uspace::FileBlob& blob, std::uint64_t index,
+                 std::uint32_t chunk_bytes) {
+  Chunk chunk;
+  chunk.index = index;
+  std::uint64_t offset = index * static_cast<std::uint64_t>(chunk_bytes);
+  std::uint64_t remaining = blob.size() > offset ? blob.size() - offset : 0;
+  chunk.length = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(remaining, chunk_bytes));
+  chunk.synthetic = blob.is_synthetic();
+  if (chunk.synthetic) {
+    chunk.digest =
+        synthetic_chunk_digest(blob.checksum(), index, chunk.length);
+  } else {
+    const Bytes& content = *blob.bytes();
+    chunk.data.assign(content.begin() + static_cast<std::ptrdiff_t>(offset),
+                      content.begin() +
+                          static_cast<std::ptrdiff_t>(offset + chunk.length));
+    chunk.digest = chunk_digest(chunk.data);
+  }
+  return chunk;
+}
+
+Bytes make_transfer_key(const std::string& source_usite, ajo::JobToken token,
+                        const std::string& name,
+                        const crypto::Digest& checksum, std::uint64_t size) {
+  ByteWriter w;
+  w.str("unicore-xfer-key");
+  w.str(source_usite);
+  w.u64(token);
+  w.str(name);
+  w.raw(checksum);
+  w.u64(size);
+  return crypto::digest_bytes(crypto::sha256(w.bytes()));
+}
+
+void encode_ranges(ByteWriter& w, const std::vector<ChunkRange>& ranges) {
+  w.varint(ranges.size());
+  for (const ChunkRange& range : ranges) {
+    w.u64(range.first);
+    w.u64(range.count);
+  }
+}
+
+std::vector<ChunkRange> decode_ranges(ByteReader& r) {
+  std::uint64_t n = r.varint();
+  std::vector<ChunkRange> ranges;
+  ranges.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ChunkRange range;
+    range.first = r.u64();
+    range.count = r.u64();
+    ranges.push_back(range);
+  }
+  return ranges;
+}
+
+// ---- kXferOpen -------------------------------------------------------------
+
+Bytes PushOpenRequest::encode() const {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(Role::kPush));
+  w.blob(key);
+  w.u64(token);
+  w.str(name);
+  w.u64(size);
+  w.raw(checksum);
+  w.boolean(synthetic);
+  w.u32(proposed_chunk_bytes);
+  return w.take();
+}
+
+PushOpenRequest PushOpenRequest::decode(ByteReader& r) {
+  PushOpenRequest request;
+  request.key = r.blob();
+  request.token = r.u64();
+  request.name = r.str();
+  request.size = r.u64();
+  request.checksum = read_digest(r);
+  request.synthetic = r.boolean();
+  request.proposed_chunk_bytes = r.u32();
+  return request;
+}
+
+Bytes PushOpenReply::encode() const {
+  ByteWriter w;
+  w.u64(transfer_id);
+  w.u32(chunk_bytes);
+  w.u32(credit);
+  encode_ranges(w, have);
+  return w.take();
+}
+
+PushOpenReply PushOpenReply::decode(ByteReader& r) {
+  PushOpenReply reply;
+  reply.transfer_id = r.u64();
+  reply.chunk_bytes = r.u32();
+  reply.credit = r.u32();
+  reply.have = decode_ranges(r);
+  return reply;
+}
+
+Bytes PullOpenRequest::encode() const {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(role));
+  w.u64(token);
+  w.str(name);
+  w.u32(proposed_chunk_bytes);
+  w.u32(inline_limit);
+  return w.take();
+}
+
+PullOpenRequest PullOpenRequest::decode(Role role, ByteReader& r) {
+  PullOpenRequest request;
+  request.role = role;
+  request.token = r.u64();
+  request.name = r.str();
+  request.proposed_chunk_bytes = r.u32();
+  request.inline_limit = r.u32();
+  return request;
+}
+
+Bytes PullOpenReply::encode() const {
+  ByteWriter w;
+  w.boolean(inline_blob);
+  if (inline_blob) {
+    blob.encode(w);
+    return w.take();
+  }
+  w.u64(transfer_id);
+  w.u32(chunk_bytes);
+  w.u64(size);
+  w.raw(checksum);
+  w.boolean(synthetic);
+  return w.take();
+}
+
+PullOpenReply PullOpenReply::decode(ByteReader& r) {
+  PullOpenReply reply;
+  reply.inline_blob = r.boolean();
+  if (reply.inline_blob) {
+    reply.blob = uspace::FileBlob::decode(r);
+    return reply;
+  }
+  reply.transfer_id = r.u64();
+  reply.chunk_bytes = r.u32();
+  reply.size = r.u64();
+  reply.checksum = read_digest(r);
+  reply.synthetic = r.boolean();
+  return reply;
+}
+
+// ---- kXferChunk ------------------------------------------------------------
+
+Bytes PushChunkRequest::encode() const {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(Role::kPush));
+  w.u64(transfer_id);
+  chunk.encode(w);
+  return w.take();
+}
+
+PushChunkRequest PushChunkRequest::decode(ByteReader& r) {
+  PushChunkRequest request;
+  request.transfer_id = r.u64();
+  request.chunk = Chunk::decode(r);
+  return request;
+}
+
+Bytes PushChunkReply::encode() const {
+  ByteWriter w;
+  w.boolean(applied);
+  w.u32(credit);
+  return w.take();
+}
+
+PushChunkReply PushChunkReply::decode(ByteReader& r) {
+  PushChunkReply reply;
+  reply.applied = r.boolean();
+  reply.credit = r.u32();
+  return reply;
+}
+
+Bytes PullChunkRequest::encode() const {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(role));
+  w.u64(transfer_id);
+  w.u64(index);
+  return w.take();
+}
+
+PullChunkRequest PullChunkRequest::decode(Role role, ByteReader& r) {
+  PullChunkRequest request;
+  request.role = role;
+  request.transfer_id = r.u64();
+  request.index = r.u64();
+  return request;
+}
+
+// ---- kXferClose ------------------------------------------------------------
+
+Bytes CloseRequest::encode() const {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(role));
+  w.u64(transfer_id);
+  if (role == Role::kPush) w.blob(key);
+  return w.take();
+}
+
+CloseRequest CloseRequest::decode(Role role, ByteReader& r) {
+  CloseRequest request;
+  request.role = role;
+  request.transfer_id = r.u64();
+  if (role == Role::kPush) request.key = r.blob();
+  return request;
+}
+
+}  // namespace unicore::xfer

@@ -1,0 +1,194 @@
+// Wire framing of the chunked transfer protocol (kXferOpen /
+// kXferChunk / kXferClose).
+//
+// The paper concedes that Uspace-to-Uspace transfer through one
+// NJS–NJS message "has disadvantages with respect to transfer rates
+// especially for huge data sets" (§5.6). This module defines the
+// request bodies of the replacement data plane: a transfer is opened
+// with a durable identity key, its payload moves as independently
+// acknowledged chunks striped over parallel secure channels, and a
+// close verifies the whole-file digest before the blob becomes visible
+// in the target Uspace.
+//
+// Every body starts with a Role byte so the gateway can pick the right
+// authentication path (server certificate for NJS–NJS push/pull, user
+// certificate for client output pulls) without parsing the rest.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ajo/services.h"
+#include "crypto/sha256.h"
+#include "uspace/blob.h"
+#include "util/bytes.h"
+
+namespace unicore::xfer {
+
+/// The three request kinds of the transfer protocol, abstracted from
+/// the server layer's RequestKind so this library stays below it.
+enum class Op : std::uint8_t {
+  kOpen = 1,
+  kChunk = 2,
+  kClose = 3,
+};
+
+/// Who is driving the transfer (first byte of every body).
+enum class Role : std::uint8_t {
+  kPush = 1,        // peer NJS streams a file into a job's Uspace
+  kPeerPull = 2,    // peer NJS reads a dependency file chunk-wise
+  kClientPull = 3,  // JMC client fetches a job output chunk-wise
+};
+
+/// Chunk-size negotiation bounds. The receiver clamps the sender's
+/// proposal into [kMinChunkBytes, kMaxChunkBytes].
+constexpr std::uint32_t kMinChunkBytes = 64 * 1024;
+constexpr std::uint32_t kMaxChunkBytes = 8 * 1024 * 1024;
+constexpr std::uint32_t kDefaultChunkBytes = 1024 * 1024;
+
+/// Number of chunks a file of `size` bytes splits into (one empty
+/// chunk for an empty file, so open/close still round-trip).
+std::uint64_t chunk_count(std::uint64_t size, std::uint32_t chunk_bytes);
+
+/// One chunk in flight. Synthetic chunks carry no payload bytes in
+/// memory (the wire still charges `length` bytes of padding, so the
+/// simulated network prices them realistically).
+struct Chunk {
+  std::uint64_t index = 0;
+  std::uint32_t length = 0;
+  bool synthetic = false;
+  crypto::Digest digest{};
+  util::Bytes data;  // empty for synthetic chunks
+
+  void encode(util::ByteWriter& w) const;
+  static Chunk decode(util::ByteReader& r);
+};
+
+/// Digest of one chunk. Real chunks hash their payload; synthetic
+/// chunks hash (file checksum, index, length) under a domain-separated
+/// header, tying every piece to the file identity declared at open.
+crypto::Digest chunk_digest(util::ByteView payload);
+crypto::Digest synthetic_chunk_digest(const crypto::Digest& file_checksum,
+                                      std::uint64_t index,
+                                      std::uint32_t length);
+
+/// Cuts chunk `index` out of `blob` (which declared `chunk_bytes` at
+/// open). The digest is filled in.
+Chunk make_chunk(const uspace::FileBlob& blob, std::uint64_t index,
+                 std::uint32_t chunk_bytes);
+
+/// The durable identity of one transfer: SHA-256 over (source site,
+/// target token, Uspace name, file checksum, file size). Stable across
+/// retries, reconnects, and sender or receiver crashes — it is what
+/// lets a resumed transfer find its half-finished manifest instead of
+/// starting over.
+util::Bytes make_transfer_key(const std::string& source_usite,
+                              ajo::JobToken token, const std::string& name,
+                              const crypto::Digest& checksum,
+                              std::uint64_t size);
+
+/// A run of already-applied chunks `[first, first + count)`, the
+/// resume state returned by a push open.
+struct ChunkRange {
+  std::uint64_t first = 0;
+  std::uint64_t count = 0;
+
+  bool operator==(const ChunkRange&) const = default;
+};
+
+void encode_ranges(util::ByteWriter& w, const std::vector<ChunkRange>& ranges);
+std::vector<ChunkRange> decode_ranges(util::ByteReader& r);
+
+// ---- kXferOpen -------------------------------------------------------------
+
+struct PushOpenRequest {
+  util::Bytes key;  // 32-byte transfer key
+  ajo::JobToken token = 0;
+  std::string name;
+  std::uint64_t size = 0;
+  crypto::Digest checksum{};
+  bool synthetic = false;
+  std::uint32_t proposed_chunk_bytes = kDefaultChunkBytes;
+
+  util::Bytes encode() const;  // includes the Role::kPush byte
+  static PushOpenRequest decode(util::ByteReader& r);  // after the role byte
+};
+
+struct PushOpenReply {
+  std::uint64_t transfer_id = 0;
+  std::uint32_t chunk_bytes = 0;
+  std::uint32_t credit = 0;  // how many chunks the receiver will buffer
+  std::vector<ChunkRange> have;  // chunks already journaled (resume)
+
+  util::Bytes encode() const;
+  static PushOpenReply decode(util::ByteReader& r);
+};
+
+struct PullOpenRequest {
+  Role role = Role::kPeerPull;  // kPeerPull or kClientPull
+  ajo::JobToken token = 0;
+  std::string name;
+  std::uint32_t proposed_chunk_bytes = kDefaultChunkBytes;
+  /// Files at or below this size come back inline in the open reply —
+  /// one round trip, no rails (the stdout/stderr fast path).
+  std::uint32_t inline_limit = 0;
+
+  util::Bytes encode() const;
+  static PullOpenRequest decode(Role role, util::ByteReader& r);
+};
+
+struct PullOpenReply {
+  bool inline_blob = false;
+  uspace::FileBlob blob;  // set when inline_blob
+  std::uint64_t transfer_id = 0;
+  std::uint32_t chunk_bytes = 0;
+  std::uint64_t size = 0;
+  crypto::Digest checksum{};
+  bool synthetic = false;
+
+  util::Bytes encode() const;
+  static PullOpenReply decode(util::ByteReader& r);
+};
+
+// ---- kXferChunk ------------------------------------------------------------
+
+struct PushChunkRequest {
+  std::uint64_t transfer_id = 0;
+  Chunk chunk;
+
+  util::Bytes encode() const;
+  static PushChunkRequest decode(util::ByteReader& r);
+};
+
+struct PushChunkReply {
+  bool applied = false;  // false: duplicate, journaled earlier
+  std::uint32_t credit = 0;
+
+  util::Bytes encode() const;
+  static PushChunkReply decode(util::ByteReader& r);
+};
+
+struct PullChunkRequest {
+  Role role = Role::kPeerPull;
+  std::uint64_t transfer_id = 0;
+  std::uint64_t index = 0;
+
+  util::Bytes encode() const;
+  static PullChunkRequest decode(Role role, util::ByteReader& r);
+};
+// A pull chunk reply is a bare Chunk::encode body.
+
+// ---- kXferClose ------------------------------------------------------------
+
+struct CloseRequest {
+  Role role = Role::kPush;
+  std::uint64_t transfer_id = 0;
+  util::Bytes key;  // push only: identifies the transfer across crashes
+
+  util::Bytes encode() const;
+  static CloseRequest decode(Role role, util::ByteReader& r);
+};
+// Close replies carry no payload; errors travel in the envelope.
+
+}  // namespace unicore::xfer

@@ -1,0 +1,295 @@
+// The chunked transfer engine end-to-end across two Usites and down to
+// the client: partition mid-kXferChunk, ack-loss bursts, a receiver
+// NJS crash between journal append and acknowledgement, the v1-peer
+// whole-blob fallback, and chunked client output fetches. The core
+// invariant throughout: a disturbed transfer resumes from the last
+// acked chunk, the delivered file's checksum matches the source, and
+// no chunk is ever applied twice.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "client/sync_client.h"
+#include "common/test_env.h"
+#include "net/faults.h"
+
+namespace unicore {
+namespace {
+
+struct XferSites {
+  grid::Grid grid{42};
+  crypto::Credential user;
+  crypto::TrustStore trust;
+  server::UsiteServer* fz = nullptr;
+  server::UsiteServer* ruka = nullptr;
+  std::shared_ptr<njs::MemoryJournalStore> journal_store =
+      std::make_shared<njs::MemoryJournalStore>();
+  ajo::JobToken receiver = 0;  // finished job at RUKA; its Uspace is the
+                               // target of every delivery below
+
+  XferSites() {
+    fz = &add("FZ-Juelich", "gw.fz-juelich.de",
+              batch::make_cray_t3e("T3E-600", 64));
+    ruka = &add("RUKA", "gw.ruka.de", batch::make_ibm_sp2("SP2", 32));
+    user = grid.create_user("Jane Doe", "Test Org", "jane@example.de");
+    (void)grid.map_user(user.certificate.subject, "FZ-Juelich", "ucjdoe",
+                        {"project-a"});
+    (void)grid.map_user(user.certificate.subject, "RUKA", "rkjdoe",
+                        {"project-a"});
+    grid.connect_all_peers();
+    trust = grid.make_trust_store();
+
+    // Journal the receiver so it survives the crash scenarios.
+    ruka->njs().set_journal(std::make_shared<njs::Journal>(journal_store));
+
+    ajo::AbstractJobObject job;
+    job.set_name("receiver");
+    job.vsite = "SP2";
+    job.user = user.certificate.subject;
+    auto task = std::make_unique<ajo::ExecuteScriptTask>();
+    task->set_name("prepare");
+    task->script = "true\n";
+    task->set_resource_request({1, 600, 64, 0, 8});
+    task->behavior.nominal_seconds = 1;
+    job.add(std::move(task));
+    gateway::AuthenticatedUser auth{user.certificate.subject, "rkjdoe",
+                                    {"project-a"}};
+    auto token = ruka->njs().consign(job, auth, user.certificate);
+    receiver = token.value();
+    grid.engine().run();
+  }
+
+  server::UsiteServer& add(const std::string& name, const std::string& host,
+                           batch::SystemConfig system) {
+    grid::Grid::SiteSpec spec;
+    spec.config.name = name;
+    spec.config.gateway_host = host;
+    spec.config.port = 4433;
+    njs::Njs::VsiteConfig vsite;
+    vsite.system = std::move(system);
+    spec.vsites.push_back(std::move(vsite));
+    return grid.add_site(std::move(spec));
+  }
+
+  util::Status deliver(const std::shared_ptr<const uspace::FileBlob>& blob,
+                       const std::string& name) {
+    std::optional<util::Status> out;
+    fz->deliver_file(njs::RemoteJobHandle{"RUKA", receiver}, name, blob,
+                     [&](util::Status status) { out = status; });
+    while (!out && grid.engine().step()) {
+    }
+    if (!out)
+      return util::make_error(util::ErrorCode::kInternal,
+                              "event queue drained before delivery finished");
+    return *out;
+  }
+
+  crypto::Digest delivered_checksum(const std::string& name) {
+    auto blob = ruka->njs().fetch_file_shared(receiver, name);
+    EXPECT_TRUE(blob.ok()) << blob.error().to_string();
+    return blob.ok() ? blob.value()->checksum() : crypto::Digest{};
+  }
+
+  /// Fast retry/backoff so fault scenarios settle in simulated seconds.
+  void snappy_sender() {
+    xfer::TransferOptions options = fz->transfer_options();
+    options.backoff.initial_us = sim::msec(250);
+    options.backoff.max_us = sim::sec(2);
+    options.backoff.jitter = 0.0;
+    fz->set_transfer_options(options);
+    fz->set_peer_request_timeout(sim::sec(3));
+  }
+
+  std::unique_ptr<client::UnicoreClient> make_client(
+      std::size_t transfer_streams) {
+    client::UnicoreClient::Config config;
+    config.host = "ws.example.de";
+    config.user = user;
+    config.trust = &trust;
+    config.transfer_streams = transfer_streams;
+    return std::make_unique<client::UnicoreClient>(grid.engine(),
+                                                   grid.network(), grid.rng(),
+                                                   config);
+  }
+};
+
+TEST(XferIntegration, ChunkedDeliveryEndToEnd) {
+  XferSites sites;
+  sites.fz->set_transfer_threshold(0);
+  sites.fz->set_transfer_streams(4);
+  auto blob = std::make_shared<const uspace::FileBlob>(
+      uspace::FileBlob::synthetic(8 << 20, 11));
+  ASSERT_TRUE(sites.deliver(blob, "result.bin").ok());
+  EXPECT_EQ(sites.fz->transfers_chunked(), 1u);
+  EXPECT_EQ(sites.fz->transfers_legacy(), 0u);
+  EXPECT_EQ(sites.ruka->xfer_service().transfers_completed(), 1u);
+  EXPECT_EQ(sites.ruka->xfer_service().chunks_applied(), 8u);  // 1 MiB chunks
+  EXPECT_EQ(sites.delivered_checksum("result.bin"), blob->checksum());
+}
+
+TEST(XferIntegration, SmallFilesStayOnTheLegacyPath) {
+  XferSites sites;  // default 4 MiB threshold
+  auto blob = std::make_shared<const uspace::FileBlob>(
+      uspace::FileBlob::synthetic(64 << 10, 12));
+  ASSERT_TRUE(sites.deliver(blob, "small.bin").ok());
+  EXPECT_EQ(sites.fz->transfers_legacy(), 1u);
+  EXPECT_EQ(sites.fz->transfers_chunked(), 0u);
+  EXPECT_EQ(sites.delivered_checksum("small.bin"), blob->checksum());
+}
+
+TEST(XferIntegration, PartitionMidTransferResumesFromLastAckedChunk) {
+  XferSites sites;
+  sites.fz->set_transfer_threshold(0);
+  sites.fz->set_transfer_streams(4);
+  sites.snappy_sender();
+
+  // Cut the inter-gateway path shortly after the chunks start flowing,
+  // heal it 1.5 simulated seconds later.
+  net::FaultInjector faults(sites.grid.engine(), sites.grid.network());
+  sim::Time now = sites.grid.engine().now();
+  faults.partition_for(now + sim::msec(300), sim::msec(1500),
+                       "gw.fz-juelich.de", "gw.ruka.de");
+
+  auto blob = std::make_shared<const uspace::FileBlob>(
+      uspace::FileBlob::synthetic(16 << 20, 13));
+  util::Status status = sites.deliver(blob, "partitioned.bin");
+  ASSERT_TRUE(status.ok()) << status.error().to_string();
+  // Zero duplicate applications: every chunk landed exactly once even
+  // though the outage forced retransmits and a resume.
+  EXPECT_EQ(sites.ruka->xfer_service().chunks_applied(), 16u);
+  EXPECT_EQ(sites.delivered_checksum("partitioned.bin"), blob->checksum());
+  EXPECT_EQ(sites.ruka->xfer_service().inbound_open(), 0u);
+}
+
+TEST(XferIntegration, AckLossBurstIsAnsweredAsDuplicates) {
+  XferSites sites;
+  sites.fz->set_transfer_threshold(0);
+  sites.fz->set_transfer_streams(2);
+  sites.snappy_sender();
+
+  // Drop three consecutive messages on the ack path (RUKA -> FZJ) once
+  // the transfer is underway: the chunks were applied and journaled,
+  // only the acknowledgements vanish.
+  net::FaultInjector faults(sites.grid.engine(), sites.grid.network());
+  faults.drop_next_at(sites.grid.engine().now() + sim::msec(400),
+                      "gw.ruka.de", "gw.fz-juelich.de", 3);
+
+  auto blob = std::make_shared<const uspace::FileBlob>(
+      uspace::FileBlob::synthetic(8 << 20, 14));
+  ASSERT_TRUE(sites.deliver(blob, "lossy.bin").ok());
+  EXPECT_EQ(sites.ruka->xfer_service().chunks_applied(), 8u);
+  EXPECT_GE(sites.ruka->xfer_service().duplicates_suppressed(), 1u);
+  EXPECT_EQ(sites.delivered_checksum("lossy.bin"), blob->checksum());
+}
+
+TEST(XferIntegration, ReceiverCrashBetweenJournalAndAckResumes) {
+  XferSites sites;
+  sites.fz->set_transfer_threshold(0);
+  sites.fz->set_transfer_streams(4);
+  sites.snappy_sender();
+
+  // Crash the receiving NJS while chunks are in flight — anything
+  // journaled but not yet acked must be answered as a duplicate after
+  // recovery, not applied a second time.
+  net::FaultInjector faults(sites.grid.engine(), sites.grid.network());
+  faults.at(sites.grid.engine().now() + sim::msec(400), [&sites] {
+    sites.ruka->njs().crash();
+    EXPECT_TRUE(sites.ruka->njs().recover().ok());
+  });
+
+  auto blob = std::make_shared<const uspace::FileBlob>(
+      uspace::FileBlob::synthetic(16 << 20, 15));
+  util::Status status = sites.deliver(blob, "crashy.bin");
+  ASSERT_TRUE(status.ok()) << status.error().to_string();
+  EXPECT_EQ(sites.ruka->xfer_service().transfers_recovered(), 1u);
+  // The applied counter survives the crash: exactly one application per
+  // chunk across the whole disturbed transfer.
+  EXPECT_EQ(sites.ruka->xfer_service().chunks_applied(), 16u);
+  EXPECT_EQ(sites.delivered_checksum("crashy.bin"), blob->checksum());
+}
+
+TEST(XferIntegration, V1PeerFallsBackToWholeBlobDelivery) {
+  XferSites sites;
+  // RUKA never advertises the chunked-transfer feature bit (a v1
+  // deployment); FZJ must detect that and use the legacy request even
+  // though its own threshold asks for the engine.
+  sites.ruka->set_advertised_features(net::kFeatureJournalInspect);
+  sites.fz->set_transfer_threshold(0);
+  auto blob = std::make_shared<const uspace::FileBlob>(
+      uspace::FileBlob::synthetic(8 << 20, 16));
+  ASSERT_TRUE(sites.deliver(blob, "legacy.bin").ok());
+  EXPECT_EQ(sites.fz->transfers_legacy(), 1u);
+  EXPECT_EQ(sites.fz->transfers_chunked(), 0u);
+  EXPECT_EQ(sites.ruka->xfer_service().transfers_completed(), 0u);
+  EXPECT_EQ(sites.delivered_checksum("legacy.bin"), blob->checksum());
+}
+
+TEST(XferIntegration, ClientFetchesLargeOutputChunked) {
+  XferSites sites;
+
+  // A job at FZJ whose only task leaves a 8 MiB output file behind.
+  client::JobBuilder builder("producer");
+  builder.destination("FZ-Juelich", "T3E-600").account_group("project-a");
+  client::TaskOptions options;
+  options.resources = {1, 600, 64, 0, 8};
+  options.behavior.nominal_seconds = 2;
+  options.behavior.output_files = {{"field.out", 8 << 20}};
+  builder.script("produce", "./solver > field.out\n", options);
+  ajo::AbstractJobObject job =
+      builder.build(sites.user.certificate.subject).value();
+
+  auto chunked_client = sites.make_client(/*transfer_streams=*/4);
+  client::SyncClient sync(sites.grid.engine(), *chunked_client);
+  ASSERT_TRUE(sync.connect(sites.fz->address()).ok());
+  auto token = sync.submit(job);
+  ASSERT_TRUE(token.ok()) << token.error().to_string();
+  sites.grid.engine().run();
+
+  auto chunked = sync.fetch_output(token.value(), "field.out");
+  ASSERT_TRUE(chunked.ok()) << chunked.error().to_string();
+  EXPECT_EQ(chunked.value().size(), 8ull << 20);
+  EXPECT_EQ(chunked_client->outputs_chunked(), 1u);
+  EXPECT_EQ(chunked_client->outputs_legacy(), 0u);
+
+  // A streams=0 client takes the legacy whole-blob request and sees the
+  // same content.
+  auto legacy_client = sites.make_client(/*transfer_streams=*/0);
+  client::SyncClient legacy_sync(sites.grid.engine(), *legacy_client);
+  ASSERT_TRUE(legacy_sync.connect(sites.fz->address()).ok());
+  auto legacy = legacy_sync.fetch_output(token.value(), "field.out");
+  ASSERT_TRUE(legacy.ok()) << legacy.error().to_string();
+  EXPECT_EQ(legacy_client->outputs_legacy(), 1u);
+  EXPECT_EQ(legacy_client->outputs_chunked(), 0u);
+  EXPECT_EQ(legacy.value().checksum(), chunked.value().checksum());
+}
+
+TEST(XferIntegration, SmallOutputInlinesWithoutChunkTraffic) {
+  XferSites sites;
+  client::JobBuilder builder("tiny");
+  builder.destination("FZ-Juelich", "T3E-600").account_group("project-a");
+  client::TaskOptions options;
+  options.resources = {1, 600, 64, 0, 8};
+  options.behavior.nominal_seconds = 1;
+  options.behavior.output_files = {{"note.txt", 1 << 10}};
+  builder.script("step", "true\n", options);
+
+  auto client = sites.make_client(/*transfer_streams=*/4);
+  client::SyncClient sync(sites.grid.engine(), *client);
+  ASSERT_TRUE(sync.connect(sites.fz->address()).ok());
+  auto token =
+      sync.submit(builder.build(sites.user.certificate.subject).value());
+  ASSERT_TRUE(token.ok());
+  sites.grid.engine().run();
+
+  // 1 KiB is far below the inline limit: the pull open returns the blob
+  // in one round trip — the engine is used, but no chunk requests cross
+  // the wire.
+  auto out = sync.fetch_output(token.value(), "note.txt");
+  ASSERT_TRUE(out.ok()) << out.error().to_string();
+  EXPECT_EQ(out.value().size(), 1u << 10);
+  EXPECT_EQ(client->outputs_chunked(), 1u);
+  EXPECT_EQ(sites.fz->xfer_service().outbound_open(), 0u);
+}
+
+}  // namespace
+}  // namespace unicore

@@ -49,9 +49,9 @@ struct FakePeerLink : public PeerLink {
   }
 
   void deliver_file(const RemoteJobHandle&, const std::string& name,
-                    const uspace::FileBlob& blob,
+                    std::shared_ptr<const uspace::FileBlob> blob,
                     std::function<void(util::Status)> done) override {
-    delivered.emplace_back(name, blob);
+    delivered.emplace_back(name, *blob);
     done(util::Status::ok_status());
   }
 

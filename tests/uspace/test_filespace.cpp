@@ -88,6 +88,55 @@ TEST(Volume, ReplaceAccountsCorrectly) {
   EXPECT_EQ(volume.used_bytes(), 0u);
 }
 
+TEST(Volume, OverwriteChargesDeltaNotSum) {
+  Volume volume("v", 100);
+  ASSERT_TRUE(volume.write("x", FileBlob::synthetic(60, 1)).ok());
+  // Naive sum accounting would need 130 bytes; delta accounting only
+  // needs the final 70.
+  EXPECT_TRUE(volume.write("x", FileBlob::synthetic(70, 2)).ok());
+  EXPECT_EQ(volume.used_bytes(), 70u);
+  // Shrinking an existing file frees budget for a sibling.
+  EXPECT_TRUE(volume.write("x", FileBlob::synthetic(10, 3)).ok());
+  EXPECT_EQ(volume.used_bytes(), 10u);
+  EXPECT_TRUE(volume.write("y", FileBlob::synthetic(90, 4)).ok());
+  EXPECT_EQ(volume.used_bytes(), 100u);
+}
+
+TEST(Volume, FailedOverwriteLeavesOriginalAndAccountingIntact) {
+  Volume volume("v", 100);
+  FileBlob original = FileBlob::synthetic(80, 1);
+  ASSERT_TRUE(volume.write("x", original).ok());
+  auto status = volume.write("x", FileBlob::synthetic(150, 2));
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, util::ErrorCode::kResourceExhausted);
+  // The original file and the accounting both survive the rejection.
+  EXPECT_EQ(volume.used_bytes(), 80u);
+  auto read = volume.read("x");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value().checksum(), original.checksum());
+  // The freed headroom is still usable — the books were not corrupted.
+  EXPECT_TRUE(volume.write("y", FileBlob::synthetic(20, 3)).ok());
+  EXPECT_EQ(volume.used_bytes(), 100u);
+}
+
+TEST(Volume, SharedWriteOverwriteAccountsLikeWrite) {
+  Volume volume("v", 100);
+  auto original = std::make_shared<const FileBlob>(FileBlob::synthetic(40, 1));
+  ASSERT_TRUE(volume.write_shared("x", original).ok());
+  EXPECT_EQ(volume.used_bytes(), 40u);
+  auto bigger = std::make_shared<const FileBlob>(FileBlob::synthetic(90, 2));
+  EXPECT_TRUE(volume.write_shared("x", bigger).ok());  // delta fits
+  EXPECT_EQ(volume.used_bytes(), 90u);
+  auto too_big = std::make_shared<const FileBlob>(FileBlob::synthetic(120, 3));
+  auto status = volume.write_shared("x", too_big);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, util::ErrorCode::kResourceExhausted);
+  EXPECT_EQ(volume.used_bytes(), 90u);
+  auto read = volume.read_shared("x");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value()->checksum(), bigger->checksum());
+}
+
 TEST(Volume, ZeroQuotaMeansUnlimited) {
   Volume volume("big", 0);
   EXPECT_TRUE(volume.write("x", FileBlob::synthetic(1ULL << 40, 1)).ok());

@@ -1,0 +1,149 @@
+// Chunk bookkeeping: the presence bitmap with its run-length resume
+// encoding, and the Assembly that folds verified chunks back into a
+// FileBlob whose checksum must match the identity declared at open.
+#include "xfer/chunk.h"
+
+#include <gtest/gtest.h>
+
+namespace unicore::xfer {
+namespace {
+
+TEST(ChunkBitmap, SetRejectsDuplicatesAndCounts) {
+  ChunkBitmap bitmap(5);
+  EXPECT_EQ(bitmap.total(), 5u);
+  EXPECT_EQ(bitmap.count(), 0u);
+  EXPECT_TRUE(bitmap.set(2));
+  EXPECT_FALSE(bitmap.set(2));  // duplicate
+  EXPECT_TRUE(bitmap.set(0));
+  EXPECT_EQ(bitmap.count(), 2u);
+  EXPECT_TRUE(bitmap.test(0));
+  EXPECT_FALSE(bitmap.test(1));
+  EXPECT_FALSE(bitmap.test(99));  // out of range, not UB
+  EXPECT_FALSE(bitmap.complete());
+}
+
+TEST(ChunkBitmap, RangesRoundTripThroughApply) {
+  ChunkBitmap bitmap(10);
+  for (std::uint64_t i : {0u, 1u, 2u, 5u, 8u, 9u}) bitmap.set(i);
+  std::vector<ChunkRange> ranges = bitmap.ranges();
+  ASSERT_EQ(ranges.size(), 3u);
+  EXPECT_EQ(ranges[0], (ChunkRange{0, 3}));
+  EXPECT_EQ(ranges[1], (ChunkRange{5, 1}));
+  EXPECT_EQ(ranges[2], (ChunkRange{8, 2}));
+
+  ChunkBitmap copy(10);
+  copy.apply(ranges);
+  EXPECT_EQ(copy.count(), 6u);
+  EXPECT_EQ(copy.ranges(), ranges);
+  EXPECT_EQ(copy.missing(), (std::vector<std::uint64_t>{3, 4, 6, 7}));
+}
+
+TEST(ChunkBitmap, CompleteWhenEveryChunkPresent) {
+  ChunkBitmap bitmap(3);
+  bitmap.set(0);
+  bitmap.set(1);
+  bitmap.set(2);
+  EXPECT_TRUE(bitmap.complete());
+  EXPECT_TRUE(bitmap.missing().empty());
+  ASSERT_EQ(bitmap.ranges().size(), 1u);
+  EXPECT_EQ(bitmap.ranges()[0], (ChunkRange{0, 3}));
+}
+
+struct AssemblyTest : public ::testing::Test {
+  static constexpr std::uint32_t kChunk = kMinChunkBytes;
+
+  uspace::FileBlob blob = make_blob();
+  Assembly assembly{blob.size(), blob.checksum(), false, kChunk};
+
+  static uspace::FileBlob make_blob() {
+    // Two full chunks plus a short tail.
+    std::string content(2 * kChunk + 123, '\0');
+    for (std::size_t i = 0; i < content.size(); ++i)
+      content[i] = static_cast<char>(i * 31 + 7);
+    return uspace::FileBlob::from_string(content);
+  }
+};
+
+TEST_F(AssemblyTest, AcceptsVerifiesAndFinishes) {
+  std::uint64_t total = chunk_count(blob.size(), kChunk);
+  ASSERT_EQ(total, 3u);
+  EXPECT_EQ(assembly.expected_length(0), kChunk);
+  EXPECT_EQ(assembly.expected_length(2), 123u);
+
+  // Out-of-order arrival is fine.
+  for (std::uint64_t index : {2u, 0u, 1u}) {
+    auto status = assembly.accept(make_chunk(blob, index, kChunk));
+    EXPECT_TRUE(status.ok()) << status.error().to_string();
+  }
+  EXPECT_TRUE(assembly.complete());
+  auto finished = assembly.finish();
+  ASSERT_TRUE(finished.ok());
+  EXPECT_EQ(finished.value().checksum(), blob.checksum());
+  EXPECT_EQ(finished.value().size(), blob.size());
+}
+
+TEST_F(AssemblyTest, DuplicateChunkRejected) {
+  ASSERT_TRUE(assembly.accept(make_chunk(blob, 0, kChunk)).ok());
+  auto dup = assembly.accept(make_chunk(blob, 0, kChunk));
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.error().code, util::ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(assembly.bitmap().count(), 1u);
+}
+
+TEST_F(AssemblyTest, CorruptPayloadRejected) {
+  Chunk chunk = make_chunk(blob, 1, kChunk);
+  chunk.data[0] ^= 0xff;  // payload no longer matches the digest
+  auto status = assembly.accept(chunk);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, util::ErrorCode::kInvalidArgument);
+  EXPECT_FALSE(assembly.bitmap().test(1));
+}
+
+TEST_F(AssemblyTest, WrongLengthRejected) {
+  Chunk chunk = make_chunk(blob, 2, kChunk);
+  chunk.data.push_back(0);
+  chunk.length += 1;
+  chunk.digest = chunk_digest(chunk.data);  // digest is fine, length isn't
+  auto status = assembly.accept(chunk);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, util::ErrorCode::kInvalidArgument);
+}
+
+TEST_F(AssemblyTest, BufferedBytesTrackPayload) {
+  EXPECT_EQ(assembly.buffered_bytes(), 0u);
+  ASSERT_TRUE(assembly.accept(make_chunk(blob, 0, kChunk)).ok());
+  EXPECT_EQ(assembly.buffered_bytes(), kChunk);
+  ASSERT_TRUE(assembly.accept(make_chunk(blob, 2, kChunk)).ok());
+  EXPECT_EQ(assembly.buffered_bytes(), kChunk + 123u);
+}
+
+TEST(AssemblySynthetic, ReassemblesIdentityWithoutBuffering) {
+  uspace::FileBlob blob = uspace::FileBlob::synthetic(5 << 20, 77);
+  Assembly assembly{blob.size(), blob.checksum(), true, 1 << 20};
+  std::uint64_t total = chunk_count(blob.size(), 1 << 20);
+  for (std::uint64_t i = 0; i < total; ++i) {
+    auto status = assembly.accept(make_chunk(blob, i, 1 << 20));
+    ASSERT_TRUE(status.ok()) << status.error().to_string();
+  }
+  EXPECT_EQ(assembly.buffered_bytes(), 0u);  // no payload bytes in memory
+  auto finished = assembly.finish();
+  ASSERT_TRUE(finished.ok());
+  EXPECT_TRUE(finished.value().is_synthetic());
+  EXPECT_EQ(finished.value().checksum(), blob.checksum());
+  EXPECT_EQ(finished.value().size(), blob.size());
+}
+
+TEST(AssemblySynthetic, ForgedSyntheticDigestRejected) {
+  // A synthetic chunk whose digest is not bound to the declared file
+  // identity must not be accepted.
+  uspace::FileBlob blob = uspace::FileBlob::synthetic(2 << 20, 1);
+  uspace::FileBlob other = uspace::FileBlob::synthetic(2 << 20, 2);
+  Assembly assembly{blob.size(), blob.checksum(), true, 1 << 20};
+  Chunk forged = make_chunk(other, 0, 1 << 20);  // digest binds to `other`
+  auto status = assembly.accept(forged);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, util::ErrorCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace unicore::xfer

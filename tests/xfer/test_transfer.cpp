@@ -1,0 +1,342 @@
+// TransferManager against a real xfer::Service over a loopback
+// transport: windowed parallel pushes and pulls, lost-ack idempotent
+// re-delivery, receiver crash/recovery resume, and the completed-
+// transfer tombstone. No network — faults are injected at the
+// transport seam; the service journals through a real NJS journal.
+#include "xfer/transfer.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ajo/tasks.h"
+#include "batch/target_system.h"
+#include "xfer/service.h"
+
+namespace unicore::xfer {
+namespace {
+
+constexpr std::int64_t kEpoch = 935'536'000;
+
+crypto::DistinguishedName dn(const std::string& cn) {
+  crypto::DistinguishedName out;
+  out.country = "DE";
+  out.organization = "Org";
+  out.common_name = cn;
+  return out;
+}
+
+/// In-process transport: every call crosses one simulated millisecond,
+/// decodes the Role byte like the gateway would, and dispatches into a
+/// real Service. Faults are injected per call: `fail_next_calls` fails
+/// without reaching the service; `drop_next_acks` lets the service
+/// apply the chunk but loses the acknowledgement (the WAL-idempotency
+/// scenario).
+class Loopback : public ChunkTransport {
+ public:
+  Loopback(sim::Engine& engine, Service& service, std::size_t streams)
+      : engine_(engine), service_(service), streams_(streams) {}
+
+  std::size_t streams() const override { return streams_; }
+
+  void call(std::size_t /*stream*/, Op op, util::Bytes body,
+            std::function<void(util::Result<util::Bytes>)> done) override {
+    engine_.after(sim::msec(1), [this, op, body = std::move(body),
+                                 done = std::move(done)] {
+      if (fail_next_calls > 0) {
+        --fail_next_calls;
+        done(util::make_error(util::ErrorCode::kUnavailable,
+                              "injected link failure"));
+        return;
+      }
+      util::ByteReader r{body};
+      Role role = static_cast<Role>(r.u8());
+      bool server_peer = role != Role::kClientPull;
+      const crypto::DistinguishedName& principal =
+          server_peer ? peer_dn : client_dn;
+      util::Result<util::Bytes> reply = util::Bytes{};
+      switch (op) {
+        case Op::kOpen:
+          reply = service_.open(principal, server_peer, role, r);
+          break;
+        case Op::kChunk:
+          reply = service_.chunk(principal, server_peer, role, r);
+          break;
+        case Op::kClose:
+          reply = service_.close(principal, server_peer, role, r);
+          break;
+      }
+      if (op == Op::kChunk && drop_next_acks > 0) {
+        --drop_next_acks;
+        done(util::make_error(util::ErrorCode::kTimeout,
+                              "injected ack loss"));
+        return;
+      }
+      done(std::move(reply));
+    });
+  }
+
+  crypto::DistinguishedName peer_dn = dn("peer-njs");
+  crypto::DistinguishedName client_dn = dn("Jane");
+  int fail_next_calls = 0;
+  int drop_next_acks = 0;
+
+ private:
+  sim::Engine& engine_;
+  Service& service_;
+  std::size_t streams_;
+};
+
+struct TransferFixture : public ::testing::Test {
+  sim::Engine engine;
+  util::Rng rng{11};
+  crypto::CertificateAuthority ca{dn("CA"), rng, kEpoch, 10LL * 365 * 86'400};
+  crypto::Credential server_cred = ca.issue_credential(
+      dn("njs"), rng, kEpoch, 365 * 86'400,
+      crypto::kUsageServerAuth | crypto::kUsageDigitalSignature);
+  crypto::Credential user_cred = ca.issue_credential(
+      dn("Jane"), rng, kEpoch, 365 * 86'400,
+      crypto::kUsageClientAuth | crypto::kUsageDigitalSignature);
+  njs::Njs njs{engine, util::Rng(12), "LRZ", server_cred};
+  gateway::AuthenticatedUser user{dn("Jane"), "ucjane", {"project-a"}};
+  std::shared_ptr<njs::MemoryJournalStore> store =
+      std::make_shared<njs::MemoryJournalStore>();
+  Service service{engine, njs};
+  TransferManager manager{engine, rng};
+  ajo::JobToken token = 0;
+
+  void SetUp() override {
+    njs.set_journal(std::make_shared<njs::Journal>(store));
+    njs.add_crash_participant(&service);
+    njs::Njs::VsiteConfig config;
+    config.system = batch::make_cray_t3e("T3E", 32);
+    njs.add_vsite(std::move(config));
+
+    // One finished job whose Uspace receives pushes and serves pulls.
+    ajo::AbstractJobObject job;
+    job.set_name("receiver");
+    job.vsite = "T3E";
+    job.user = dn("Jane");
+    auto task = std::make_unique<ajo::ExecuteScriptTask>();
+    task->set_name("hello");
+    task->script = "echo hello\n";
+    task->set_resource_request({1, 600, 64, 0, 8});
+    task->behavior.nominal_seconds = 1;
+    job.add(std::move(task));
+    auto consigned = njs.consign(job, user, user_cred.certificate);
+    ASSERT_TRUE(consigned.ok()) << consigned.error().to_string();
+    token = consigned.value();
+    engine.run();
+  }
+
+  TransferOptions small_chunks() {
+    TransferOptions options;
+    options.chunk_bytes = kMinChunkBytes;
+    options.window_per_stream = 4;
+    return options;
+  }
+
+  util::Result<TransferStats> push_blob(
+      std::shared_ptr<Loopback> transport, const uspace::FileBlob& blob,
+      const std::string& name, const TransferOptions& options) {
+    util::Result<TransferStats> out =
+        util::make_error(util::ErrorCode::kInternal, "never finished");
+    manager.push(transport, PushSpec{"FZ-Juelich", token, name},
+                 std::make_shared<const uspace::FileBlob>(blob), options,
+                 [&](util::Result<TransferStats> result) {
+                   out = std::move(result);
+                 });
+    engine.run();
+    return out;
+  }
+
+  crypto::Digest delivered_checksum(const std::string& name) {
+    auto blob = njs.fetch_file_shared(token, name);
+    EXPECT_TRUE(blob.ok()) << blob.error().to_string();
+    return blob.ok() ? blob.value()->checksum() : crypto::Digest{};
+  }
+};
+
+TEST_F(TransferFixture, PushStripesChunksOverParallelStreams) {
+  auto transport = std::make_shared<Loopback>(engine, service, 4);
+  uspace::FileBlob blob = uspace::FileBlob::synthetic(2 << 20, 21);
+  auto stats = push_blob(transport, blob, "striped.bin", small_chunks());
+  ASSERT_TRUE(stats.ok()) << stats.error().to_string();
+  EXPECT_EQ(stats.value().bytes, 2ull << 20);
+  EXPECT_EQ(stats.value().chunks, 32u);  // 2 MiB / 64 KiB
+  EXPECT_EQ(stats.value().streams, 4u);
+  EXPECT_EQ(stats.value().retransmits, 0u);
+  EXPECT_EQ(stats.value().resumes, 0u);
+  EXPECT_EQ(delivered_checksum("striped.bin"), blob.checksum());
+  EXPECT_EQ(service.chunks_applied(), 32u);
+  EXPECT_EQ(service.transfers_completed(), 1u);
+  EXPECT_EQ(service.inbound_open(), 0u);  // table drained on close
+}
+
+TEST_F(TransferFixture, PushPreservesRealContent) {
+  auto transport = std::make_shared<Loopback>(engine, service, 2);
+  uspace::FileBlob blob = uspace::FileBlob::from_string("real bytes\n");
+  auto stats = push_blob(transport, blob, "real.txt", small_chunks());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().chunks, 1u);
+  auto fetched = njs.fetch_file_shared(token, "real.txt");
+  ASSERT_TRUE(fetched.ok());
+  ASSERT_NE(fetched.value()->bytes(), nullptr);  // content, not identity
+  EXPECT_EQ(*fetched.value()->bytes(), *blob.bytes());
+}
+
+TEST_F(TransferFixture, LostAckRedeliversWithoutApplyingTwice) {
+  auto transport = std::make_shared<Loopback>(engine, service, 2);
+  transport->drop_next_acks = 3;  // applied, but the sender never hears
+  uspace::FileBlob blob = uspace::FileBlob::synthetic(1 << 20, 8);
+  auto stats = push_blob(transport, blob, "lossy.bin", small_chunks());
+  ASSERT_TRUE(stats.ok()) << stats.error().to_string();
+  EXPECT_GE(stats.value().retransmits, 3u);
+  EXPECT_GE(stats.value().duplicates, 3u);  // receiver said applied=false
+  EXPECT_EQ(service.duplicates_suppressed(), stats.value().duplicates);
+  // Exactly one application per chunk, re-delivery notwithstanding.
+  EXPECT_EQ(service.chunks_applied(), 16u);
+  EXPECT_EQ(delivered_checksum("lossy.bin"), blob.checksum());
+}
+
+TEST_F(TransferFixture, TransientOpenFailureRetriesViaResumeLadder) {
+  auto transport = std::make_shared<Loopback>(engine, service, 2);
+  transport->fail_next_calls = 1;  // the open itself dies on the wire
+  uspace::FileBlob blob = uspace::FileBlob::synthetic(256 << 10, 3);
+  auto stats = push_blob(transport, blob, "retry.bin", small_chunks());
+  ASSERT_TRUE(stats.ok()) << stats.error().to_string();
+  EXPECT_GE(stats.value().resumes, 1u);
+  EXPECT_EQ(delivered_checksum("retry.bin"), blob.checksum());
+}
+
+TEST_F(TransferFixture, ReceiverCrashMidTransferResumesFromJournal) {
+  auto transport = std::make_shared<Loopback>(engine, service, 2);
+  uspace::FileBlob blob = uspace::FileBlob::synthetic(4 << 20, 13);
+
+  // Crash the NJS shortly after the transfer starts moving chunks, then
+  // recover it from the journal. The sender's transfer id goes stale;
+  // it must re-open by key and send only what the journal is missing.
+  engine.after(sim::msec(4), [this] {
+    njs.crash();
+    ASSERT_TRUE(njs.recover().ok());
+  });
+
+  auto stats = push_blob(transport, blob, "crashy.bin", small_chunks());
+  ASSERT_TRUE(stats.ok()) << stats.error().to_string();
+  EXPECT_GE(stats.value().resumes, 1u);
+  EXPECT_EQ(service.transfers_recovered(), 1u);
+  // Chunks journaled before the crash were folded back, not re-applied:
+  // every one of the 64 chunks was applied exactly once overall.
+  EXPECT_EQ(service.chunks_applied(), 64u);
+  EXPECT_EQ(delivered_checksum("crashy.bin"), blob.checksum());
+}
+
+TEST_F(TransferFixture, CompletedTransferTombstoneMakesRepushCheap) {
+  auto transport = std::make_shared<Loopback>(engine, service, 2);
+  uspace::FileBlob blob = uspace::FileBlob::synthetic(1 << 20, 30);
+  auto first = push_blob(transport, blob, "twice.bin", small_chunks());
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value().chunks, 16u);
+
+  // Same file, same destination: the durable key matches the kXferDone
+  // tombstone, so the re-push moves zero chunks.
+  auto second = push_blob(transport, blob, "twice.bin", small_chunks());
+  ASSERT_TRUE(second.ok()) << second.error().to_string();
+  EXPECT_EQ(second.value().chunks, 0u);
+  EXPECT_EQ(service.chunks_applied(), 16u);
+  EXPECT_EQ(delivered_checksum("twice.bin"), blob.checksum());
+}
+
+TEST_F(TransferFixture, BackpressureShrinksCreditButCompletes) {
+  Service::Limits limits;
+  limits.buffer_limit_bytes = 256 << 10;  // exactly the file size
+  limits.max_credit = 2;
+  service.set_limits(limits);
+  auto transport = std::make_shared<Loopback>(engine, service, 4);
+  uspace::FileBlob blob = uspace::FileBlob::from_string(
+      std::string(256 << 10, 'b'));
+  TransferOptions options = small_chunks();
+  options.window_per_stream = 8;  // ask for far more than the credit
+  auto stats = push_blob(transport, blob, "tight.bin", options);
+  ASSERT_TRUE(stats.ok()) << stats.error().to_string();
+  EXPECT_EQ(delivered_checksum("tight.bin"), blob.checksum());
+  EXPECT_EQ(service.inbound_open(), 0u);
+}
+
+TEST_F(TransferFixture, PullChunkedMatchesSourceChecksum) {
+  uspace::FileBlob blob = uspace::FileBlob::synthetic(3 << 20, 17);
+  ASSERT_TRUE(njs.deliver_file(
+                      token, "out.bin",
+                      std::make_shared<const uspace::FileBlob>(blob))
+                  .ok());
+  auto transport = std::make_shared<Loopback>(engine, service, 4);
+  util::Result<PullResult> out =
+      util::make_error(util::ErrorCode::kInternal, "never finished");
+  manager.pull(transport, PullSpec{Role::kPeerPull, token, "out.bin"},
+               small_chunks(),
+               [&](util::Result<PullResult> result) { out = std::move(result); });
+  engine.run();
+  ASSERT_TRUE(out.ok()) << out.error().to_string();
+  EXPECT_EQ(out.value().blob.checksum(), blob.checksum());
+  EXPECT_FALSE(out.value().stats.inlined);
+  EXPECT_EQ(out.value().stats.chunks, 48u);
+  EXPECT_EQ(service.outbound_open(), 0u);  // close released the read
+}
+
+TEST_F(TransferFixture, PullSmallFileInlinesInOpenReply) {
+  ASSERT_TRUE(njs.deliver_file(token, "note.txt",
+                               std::make_shared<const uspace::FileBlob>(
+                                   uspace::FileBlob::from_string("n")))
+                  .ok());
+  auto transport = std::make_shared<Loopback>(engine, service, 2);
+  util::Result<PullResult> out =
+      util::make_error(util::ErrorCode::kInternal, "never finished");
+  manager.pull(transport, PullSpec{Role::kPeerPull, token, "note.txt"},
+               small_chunks(),
+               [&](util::Result<PullResult> result) { out = std::move(result); });
+  engine.run();
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out.value().stats.inlined);
+  EXPECT_EQ(out.value().stats.chunks, 0u);
+  EXPECT_EQ(out.value().blob.size(), 1u);
+}
+
+TEST_F(TransferFixture, ClientPullEnforcesJobOwnership) {
+  ASSERT_TRUE(njs.deliver_file(token, "secret.txt",
+                               std::make_shared<const uspace::FileBlob>(
+                                   uspace::FileBlob::from_string("s")))
+                  .ok());
+  auto transport = std::make_shared<Loopback>(engine, service, 1);
+  transport->client_dn = dn("Mallory");  // not the job owner
+  util::Result<PullResult> out =
+      util::make_error(util::ErrorCode::kInternal, "never finished");
+  TransferOptions options = small_chunks();
+  options.max_resume_attempts = 1;  // permission errors must not retry long
+  manager.pull(transport, PullSpec{Role::kClientPull, token, "secret.txt"},
+               options,
+               [&](util::Result<PullResult> result) { out = std::move(result); });
+  engine.run();
+  ASSERT_FALSE(out.ok());
+}
+
+TEST_F(TransferFixture, PushRequiresServerPeerCertificate) {
+  // A client-authenticated caller must not be able to open a push; the
+  // service enforces it independently of the gateway.
+  uspace::FileBlob blob = uspace::FileBlob::from_string("x");
+  PushOpenRequest request;
+  request.key = make_transfer_key("evil", token, "x.bin", blob.checksum(),
+                                  blob.size());
+  request.token = token;
+  request.name = "x.bin";
+  request.size = blob.size();
+  request.checksum = blob.checksum();
+  util::Bytes wire = request.encode();
+  util::ByteReader r{wire};
+  Role role = static_cast<Role>(r.u8());
+  auto reply = service.open(dn("Jane"), /*server_peer=*/false, role, r);
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.error().code, util::ErrorCode::kPermissionDenied);
+}
+
+}  // namespace
+}  // namespace unicore::xfer

@@ -1,0 +1,272 @@
+// Wire framing of the chunked transfer protocol: chunk math, digests,
+// the durable transfer key, and request/reply codec round-trips.
+#include "xfer/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace unicore::xfer {
+namespace {
+
+TEST(ChunkCount, EmptyFileStillHasOneChunk) {
+  // Open/close must round-trip even for zero-byte files.
+  EXPECT_EQ(chunk_count(0, kDefaultChunkBytes), 1u);
+}
+
+TEST(ChunkCount, ExactMultipleAndRemainder) {
+  EXPECT_EQ(chunk_count(1024, 1024), 1u);
+  EXPECT_EQ(chunk_count(2048, 1024), 2u);
+  EXPECT_EQ(chunk_count(2049, 1024), 3u);
+  EXPECT_EQ(chunk_count(1, kMaxChunkBytes), 1u);
+  EXPECT_EQ(chunk_count(64ull << 20, 1 << 20), 64u);
+}
+
+TEST(Digests, RealAndSyntheticDigestsAreDomainSeparated) {
+  uspace::FileBlob blob = uspace::FileBlob::from_string("payload");
+  crypto::Digest real = chunk_digest(*blob.bytes());
+  crypto::Digest again = chunk_digest(*blob.bytes());
+  EXPECT_EQ(real, again);
+
+  crypto::Digest synth =
+      synthetic_chunk_digest(blob.checksum(), 0, 7);
+  EXPECT_NE(real, synth);
+  // Every coordinate participates in the synthetic digest.
+  EXPECT_NE(synth, synthetic_chunk_digest(blob.checksum(), 1, 7));
+  EXPECT_NE(synth, synthetic_chunk_digest(blob.checksum(), 0, 8));
+}
+
+TEST(MakeChunk, SlicesRealBlobWithShortTail) {
+  std::string content(2500, 'x');
+  for (std::size_t i = 0; i < content.size(); ++i)
+    content[i] = static_cast<char>('a' + i % 26);
+  uspace::FileBlob blob = uspace::FileBlob::from_string(content);
+
+  Chunk first = make_chunk(blob, 0, 1024);
+  Chunk last = make_chunk(blob, 2, 1024);
+  EXPECT_EQ(first.length, 1024u);
+  EXPECT_FALSE(first.synthetic);
+  ASSERT_EQ(first.data.size(), 1024u);
+  EXPECT_EQ(first.digest, chunk_digest(first.data));
+  EXPECT_EQ(last.length, 2500u - 2048u);
+  EXPECT_EQ(last.data.size(), last.length);
+  EXPECT_EQ(static_cast<char>(last.data[0]), content[2048]);
+}
+
+TEST(MakeChunk, SyntheticBlobCarriesNoPayload) {
+  uspace::FileBlob blob = uspace::FileBlob::synthetic(10 << 20, 42);
+  Chunk chunk = make_chunk(blob, 3, 1 << 20);
+  EXPECT_TRUE(chunk.synthetic);
+  EXPECT_TRUE(chunk.data.empty());
+  EXPECT_EQ(chunk.length, 1u << 20);
+  EXPECT_EQ(chunk.digest,
+            synthetic_chunk_digest(blob.checksum(), 3, 1 << 20));
+}
+
+TEST(TransferKey, StableAndSensitiveToEveryField) {
+  uspace::FileBlob blob = uspace::FileBlob::from_string("data");
+  auto key = [&](const std::string& site, ajo::JobToken token,
+                 const std::string& name, std::uint64_t size) {
+    return make_transfer_key(site, token, name, blob.checksum(), size);
+  };
+  util::Bytes base = key("FZ-Juelich", 7, "out.bin", 4);
+  EXPECT_EQ(base.size(), 32u);
+  EXPECT_EQ(base, key("FZ-Juelich", 7, "out.bin", 4));  // deterministic
+  EXPECT_NE(base, key("LRZ", 7, "out.bin", 4));
+  EXPECT_NE(base, key("FZ-Juelich", 8, "out.bin", 4));
+  EXPECT_NE(base, key("FZ-Juelich", 7, "other.bin", 4));
+  EXPECT_NE(base, key("FZ-Juelich", 7, "out.bin", 5));
+}
+
+TEST(Ranges, CodecRoundTrip) {
+  std::vector<ChunkRange> ranges{{0, 4}, {7, 1}, {100, 50}};
+  util::ByteWriter w;
+  encode_ranges(w, ranges);
+  util::ByteReader r{w.bytes()};
+  EXPECT_EQ(decode_ranges(r), ranges);
+  EXPECT_TRUE(r.done());
+
+  util::ByteWriter empty;
+  encode_ranges(empty, {});
+  util::ByteReader er{empty.bytes()};
+  EXPECT_TRUE(decode_ranges(er).empty());
+}
+
+TEST(ChunkCodec, RoundTripRealAndSynthetic) {
+  uspace::FileBlob blob = uspace::FileBlob::from_string("chunk payload");
+  Chunk real = make_chunk(blob, 0, kMinChunkBytes);
+  util::ByteWriter w;
+  real.encode(w);
+  util::ByteReader r{w.bytes()};
+  Chunk decoded = Chunk::decode(r);
+  EXPECT_EQ(decoded.index, real.index);
+  EXPECT_EQ(decoded.length, real.length);
+  EXPECT_FALSE(decoded.synthetic);
+  EXPECT_EQ(decoded.digest, real.digest);
+  EXPECT_EQ(decoded.data, real.data);
+
+  uspace::FileBlob synth = uspace::FileBlob::synthetic(4 << 20, 9);
+  Chunk sc = make_chunk(synth, 2, 1 << 20);
+  util::ByteWriter sw;
+  sc.encode(sw);
+  // The wire charges `length` bytes for the synthetic padding so the
+  // simulated network prices the chunk like a real one.
+  EXPECT_GE(sw.size(), sc.length);
+  util::ByteReader sr{sw.bytes()};
+  Chunk sdec = Chunk::decode(sr);
+  EXPECT_TRUE(sdec.synthetic);
+  EXPECT_TRUE(sdec.data.empty());
+  EXPECT_EQ(sdec.digest, sc.digest);
+}
+
+TEST(OpenCodec, PushRequestLeadsWithRoleByte) {
+  uspace::FileBlob blob = uspace::FileBlob::from_string("f");
+  PushOpenRequest req;
+  req.key = make_transfer_key("FZ-Juelich", 3, "f.bin", blob.checksum(),
+                              blob.size());
+  req.token = 3;
+  req.name = "f.bin";
+  req.size = blob.size();
+  req.checksum = blob.checksum();
+  req.synthetic = false;
+  req.proposed_chunk_bytes = 512 * 1024;
+
+  util::Bytes wire = req.encode();
+  util::ByteReader r{wire};
+  EXPECT_EQ(static_cast<Role>(r.u8()), Role::kPush);
+  PushOpenRequest decoded = PushOpenRequest::decode(r);
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(decoded.key, req.key);
+  EXPECT_EQ(decoded.token, req.token);
+  EXPECT_EQ(decoded.name, req.name);
+  EXPECT_EQ(decoded.size, req.size);
+  EXPECT_EQ(decoded.checksum, req.checksum);
+  EXPECT_EQ(decoded.proposed_chunk_bytes, req.proposed_chunk_bytes);
+}
+
+TEST(OpenCodec, PushReplyRoundTripsResumeState) {
+  PushOpenReply reply;
+  reply.transfer_id = 77;
+  reply.chunk_bytes = kMinChunkBytes;
+  reply.credit = 12;
+  reply.have = {{0, 3}, {5, 2}};
+  util::Bytes wire = reply.encode();
+  util::ByteReader r{wire};
+  PushOpenReply decoded = PushOpenReply::decode(r);
+  EXPECT_EQ(decoded.transfer_id, 77u);
+  EXPECT_EQ(decoded.chunk_bytes, kMinChunkBytes);
+  EXPECT_EQ(decoded.credit, 12u);
+  EXPECT_EQ(decoded.have, reply.have);
+}
+
+TEST(OpenCodec, PullRequestAndInlineReply) {
+  PullOpenRequest req;
+  req.role = Role::kClientPull;
+  req.token = 9;
+  req.name = "stdout";
+  req.proposed_chunk_bytes = kDefaultChunkBytes;
+  req.inline_limit = 4096;
+  util::Bytes wire = req.encode();
+  util::ByteReader r{wire};
+  Role role = static_cast<Role>(r.u8());
+  EXPECT_EQ(role, Role::kClientPull);
+  PullOpenRequest decoded = PullOpenRequest::decode(role, r);
+  EXPECT_EQ(decoded.token, 9u);
+  EXPECT_EQ(decoded.name, "stdout");
+  EXPECT_EQ(decoded.inline_limit, 4096u);
+
+  PullOpenReply inline_reply;
+  inline_reply.inline_blob = true;
+  inline_reply.blob = uspace::FileBlob::from_string("tiny output");
+  util::Bytes inline_wire = inline_reply.encode();
+  util::ByteReader ir{inline_wire};
+  PullOpenReply idec = PullOpenReply::decode(ir);
+  ASSERT_TRUE(idec.inline_blob);
+  EXPECT_EQ(idec.blob.checksum(), inline_reply.blob.checksum());
+
+  PullOpenReply chunked;
+  chunked.transfer_id = 5;
+  chunked.chunk_bytes = kDefaultChunkBytes;
+  chunked.size = 80 << 20;
+  chunked.synthetic = true;
+  chunked.checksum = uspace::FileBlob::synthetic(80 << 20, 1).checksum();
+  util::Bytes chunked_wire = chunked.encode();
+  util::ByteReader cr{chunked_wire};
+  PullOpenReply cdec = PullOpenReply::decode(cr);
+  EXPECT_FALSE(cdec.inline_blob);
+  EXPECT_EQ(cdec.transfer_id, 5u);
+  EXPECT_EQ(cdec.size, 80ull << 20);
+  EXPECT_TRUE(cdec.synthetic);
+  EXPECT_EQ(cdec.checksum, chunked.checksum);
+}
+
+TEST(ChunkOpCodec, PushAndPullRoundTrip) {
+  uspace::FileBlob blob = uspace::FileBlob::from_string("abc");
+  PushChunkRequest req;
+  req.transfer_id = 11;
+  req.chunk = make_chunk(blob, 0, kMinChunkBytes);
+  util::Bytes req_wire = req.encode();
+  util::ByteReader r{req_wire};
+  EXPECT_EQ(static_cast<Role>(r.u8()), Role::kPush);
+  PushChunkRequest decoded = PushChunkRequest::decode(r);
+  EXPECT_EQ(decoded.transfer_id, 11u);
+  EXPECT_EQ(decoded.chunk.digest, req.chunk.digest);
+
+  PushChunkReply reply{/*applied=*/false, /*credit=*/3};
+  util::Bytes reply_wire = reply.encode();
+  util::ByteReader rr{reply_wire};
+  PushChunkReply rdec = PushChunkReply::decode(rr);
+  EXPECT_FALSE(rdec.applied);
+  EXPECT_EQ(rdec.credit, 3u);
+
+  PullChunkRequest pull;
+  pull.role = Role::kPeerPull;
+  pull.transfer_id = 6;
+  pull.index = 41;
+  util::Bytes pull_wire = pull.encode();
+  util::ByteReader pr{pull_wire};
+  Role role = static_cast<Role>(pr.u8());
+  EXPECT_EQ(role, Role::kPeerPull);
+  PullChunkRequest pdec = PullChunkRequest::decode(role, pr);
+  EXPECT_EQ(pdec.transfer_id, 6u);
+  EXPECT_EQ(pdec.index, 41u);
+}
+
+TEST(CloseCodec, PushCarriesKeyPullDoesNot) {
+  CloseRequest close;
+  close.role = Role::kPush;
+  close.transfer_id = 2;
+  close.key = util::Bytes(32, 7);
+  util::Bytes close_wire = close.encode();
+  util::ByteReader r{close_wire};
+  Role role = static_cast<Role>(r.u8());
+  EXPECT_EQ(role, Role::kPush);
+  CloseRequest decoded = CloseRequest::decode(role, r);
+  EXPECT_EQ(decoded.transfer_id, 2u);
+  EXPECT_EQ(decoded.key, close.key);
+
+  CloseRequest pull_close;
+  pull_close.role = Role::kClientPull;
+  pull_close.transfer_id = 9;
+  util::Bytes pull_close_wire = pull_close.encode();
+  util::ByteReader pr{pull_close_wire};
+  Role prole = static_cast<Role>(pr.u8());
+  CloseRequest pdec = CloseRequest::decode(prole, pr);
+  EXPECT_EQ(pdec.transfer_id, 9u);
+  EXPECT_TRUE(pdec.key.empty());
+}
+
+TEST(Codec, TruncatedBodyThrowsInsteadOfMisparsing) {
+  uspace::FileBlob blob = uspace::FileBlob::from_string("abcdef");
+  PushChunkRequest req;
+  req.transfer_id = 1;
+  req.chunk = make_chunk(blob, 0, kMinChunkBytes);
+  util::Bytes wire = req.encode();
+  wire.resize(wire.size() / 2);
+  util::ByteReader r{wire};
+  r.u8();  // role
+  EXPECT_THROW(PushChunkRequest::decode(r), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace unicore::xfer
