@@ -63,6 +63,39 @@ BENCHMARK(BM_CertificateToUidMapping)
     ->Arg(10'000)
     ->Arg(100'000);
 
+// Hit vs miss cost of the gateway's authentication cache. A hit is a
+// map lookup plus a memberwise certificate compare — no chain
+// validation, no signature checks; the acceptance bar is hit >= 10x
+// cheaper than miss.
+void BM_AuthCacheHit(benchmark::State& state) {
+  GatewayBench bench(1'000);
+  const crypto::Credential& user = bench.users[0];
+  // Prime the cache once; every timed iteration hits.
+  if (!bench.gateway.authenticate_user(user.certificate, 100).ok())
+    state.SkipWithError("priming authentication failed");
+  for (auto _ : state) {
+    auto result = bench.gateway.authenticate_user(user.certificate, 100);
+    if (!result.ok()) state.SkipWithError("authentication failed");
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["hits"] =
+      static_cast<double>(bench.gateway.auth_cache_hits());
+}
+BENCHMARK(BM_AuthCacheHit);
+
+void BM_AuthCacheMiss(benchmark::State& state) {
+  GatewayBench bench(1'000);
+  bench.gateway.set_auth_cache_ttl(0);  // disable: every call is the
+                                        // full validation path
+  const crypto::Credential& user = bench.users[0];
+  for (auto _ : state) {
+    auto result = bench.gateway.authenticate_user(user.certificate, 100);
+    if (!result.ok()) state.SkipWithError("authentication failed");
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_AuthCacheMiss);
+
 void BM_ConsignmentCheck(benchmark::State& state) {
   GatewayBench bench(1'000);
   const crypto::Credential& user = bench.users[0];

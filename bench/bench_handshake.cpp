@@ -7,6 +7,9 @@
 #include <benchmark/benchmark.h>
 
 #include "common/test_env.h"
+#include "crypto/modmath.h"
+#include "net/channel_pool.h"
+#include "net/session.h"
 
 namespace {
 
@@ -67,6 +70,88 @@ void BM_ConsignLatency(benchmark::State& state) {
   state.SetLabel(split ? "firewall-split" : "combined");
 }
 BENCHMARK(BM_ConsignLatency)->Arg(0)->Arg(1)->ArgNames({"split"});
+
+// Full vs resumed handshake on a bare channel pair. The powmod_ops
+// counter is the "crypto operation" meter: every RSA sign/verify and DH
+// step is one or more modular exponentiations. The acceptance bar is
+// resumed <= 1/5 of full; the resumed path measures 0.
+void BM_SecureHandshake(benchmark::State& state) {
+  const bool resume = state.range(0) != 0;
+  sim::Engine engine;
+  util::Rng rng{41};
+  net::Network network{engine, util::Rng(42)};
+  constexpr std::int64_t kYear = 365 * 86'400LL;
+  crypto::CertificateAuthority ca{{"DE", "Bench", "", "CA", ""}, rng,
+                                  net::kSimulationEpoch, 10 * kYear};
+  crypto::TrustStore trust;
+  trust.add_root(ca.certificate());
+  crypto::Credential server_cred = ca.issue_credential(
+      {"DE", "Bench", "", "server", ""}, rng, net::kSimulationEpoch, kYear,
+      crypto::kUsageServerAuth | crypto::kUsageDigitalSignature);
+  crypto::Credential client_cred = ca.issue_credential(
+      {"DE", "Bench", "", "client", ""}, rng, net::kSimulationEpoch, kYear,
+      crypto::kUsageClientAuth | crypto::kUsageDigitalSignature);
+  net::SessionTicketManager tickets{rng};
+  tickets.attach_trust(&trust);
+  net::SessionCache cache;
+
+  std::shared_ptr<net::SecureChannel> server;
+  (void)network.listen({"server", 443},
+                       [&](std::shared_ptr<net::Endpoint> endpoint) {
+                         net::SecureChannel::Config config;
+                         config.credential = server_cred;
+                         config.trust = &trust;
+                         config.required_peer_usage = crypto::kUsageClientAuth;
+                         config.ticket_manager = &tickets;
+                         server = net::SecureChannel::as_server(
+                             engine, rng, std::move(endpoint), config,
+                             [](util::Status) {});
+                       });
+
+  auto connect = [&](bool* ok) {
+    net::SecureChannel::Config config;
+    config.credential = client_cred;
+    config.trust = &trust;
+    config.required_peer_usage = crypto::kUsageServerAuth;
+    config.session_cache = &cache;
+    auto endpoint = network.connect("client", {"server", 443}).value();
+    auto channel = net::SecureChannel::as_client(
+        engine, rng, std::move(endpoint), config,
+        [ok](util::Status status) { *ok = status.ok(); });
+    engine.run();
+    return channel;
+  };
+
+  if (resume) {  // one full handshake warms the ticket cache
+    bool ok = false;
+    connect(&ok);
+    if (!ok) state.SkipWithError("warmup handshake failed");
+  }
+
+  double virtual_ms_total = 0;
+  std::uint64_t ops_total = 0;
+  std::uint64_t resumed_count = 0;
+  int handshakes = 0;
+  for (auto _ : state) {
+    if (!resume) cache.clear();
+    crypto::reset_powmod_ops();
+    sim::Time start = engine.now();
+    bool ok = false;
+    auto channel = connect(&ok);
+    if (!ok) state.SkipWithError("handshake failed");
+    ops_total += crypto::powmod_ops();
+    virtual_ms_total += sim::to_seconds(engine.now() - start) * 1e3;
+    if (channel->resumed()) ++resumed_count;
+    ++handshakes;
+  }
+  state.counters["virtual_ms"] = virtual_ms_total / handshakes;
+  state.counters["powmod_ops"] =
+      static_cast<double>(ops_total) / handshakes;
+  state.counters["resumed"] =
+      static_cast<double>(resumed_count) / handshakes;
+  state.SetLabel(resume ? "resumed" : "full");
+}
+BENCHMARK(BM_SecureHandshake)->Arg(0)->Arg(1)->ArgNames({"resume"});
 
 void BM_SecureChannelMessageThroughput(benchmark::State& state) {
   SingleSite site(/*seed=*/3);

@@ -78,6 +78,12 @@ void UnicoreClient::connect(net::Address usite,
   channel_config.required_peer_usage = crypto::kUsageServerAuth;
   channel_config.protocol_version = config_.protocol_version;
   channel_config.features = config_.channel_features;
+  // Reconnects resume from the cached session ticket — one round trip,
+  // no public-key operations — until the ticket expires or the server
+  // invalidates it.
+  channel_config.session_cache = &sessions_;
+  channel_config.session_key =
+      net::SessionCache::key_for(usite.host, usite.port);
 
   channel_ = net::SecureChannel::as_client(
       engine_, rng_, std::move(endpoint.value()), channel_config,
@@ -325,6 +331,8 @@ std::shared_ptr<xfer::ChunkTransport> UnicoreClient::transfer_transport() {
     rails_config.trust = config_.trust;
     rails_config.required_peer_usage = crypto::kUsageServerAuth;
     rails_config.request_timeout = config_.request_timeout;
+    rails_config.session_cache = &sessions_;
+    rails_config.features = config_.channel_features;
     rails = server::XferRails::create(engine_, network_, rng_,
                                       std::move(rails_config));
   }

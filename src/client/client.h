@@ -308,6 +308,13 @@ class UnicoreClient {
   /// legacy whole-blob request.
   std::uint64_t outputs_chunked() const { return outputs_chunked_; }
   std::uint64_t outputs_legacy() const { return outputs_legacy_; }
+  /// True when the current channel was established by session
+  /// resumption (a reconnect that skipped the public-key handshake).
+  bool session_resumed() const {
+    return channel_ != nullptr && channel_->resumed();
+  }
+  /// The client's session cache (main channel and rails share it).
+  net::SessionCache& sessions() { return sessions_; }
 
  private:
   void send_request(server::RequestKind kind, util::Bytes payload,
@@ -325,6 +332,7 @@ class UnicoreClient {
   Config config_;
   net::Address usite_address_;
   std::shared_ptr<net::SecureChannel> channel_;
+  net::SessionCache sessions_;
   bool established_ = false;
 
   struct PendingRequest {

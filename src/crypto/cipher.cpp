@@ -1,46 +1,124 @@
 #include "crypto/cipher.h"
 
+#include <cstring>
+
 #include "crypto/hmac.h"
 
 namespace unicore::crypto {
 
-util::Bytes ctr_crypt(const SymmetricKey& key, std::uint64_t nonce,
-                      util::ByteView data) {
-  util::Bytes out(data.size());
+namespace {
+
+/// Generic keystream for non-standard key lengths (kept for tests that
+/// exercise odd keys); assembles (key || nonce || counter) per block.
+void ctr_crypt_generic(const SymmetricKey& key, std::uint64_t nonce,
+                       std::uint8_t* data, std::size_t size) {
   std::uint64_t counter = 0;
   std::size_t pos = 0;
-  while (pos < data.size()) {
+  while (pos < size) {
     util::ByteWriter block_input;
     block_input.raw(key.material);
     block_input.u64(nonce);
     block_input.u64(counter++);
     Digest stream = sha256(block_input.bytes());
-    std::size_t take = std::min<std::size_t>(stream.size(), data.size() - pos);
-    for (std::size_t i = 0; i < take; ++i)
-      out[pos + i] = data[pos + i] ^ stream[i];
+    std::size_t take = std::min<std::size_t>(stream.size(), size - pos);
+    for (std::size_t i = 0; i < take; ++i) data[pos + i] ^= stream[i];
     pos += take;
   }
+}
+
+std::size_t put_varint(std::uint8_t* out, std::uint64_t v) {
+  std::size_t n = 0;
+  while (v >= 0x80) {
+    out[n++] = static_cast<std::uint8_t>(v) | 0x80;
+    v >>= 7;
+  }
+  out[n++] = static_cast<std::uint8_t>(v);
+  return n;
+}
+
+/// Tag over (nonce || blob(ciphertext) || blob(aad)) — the same bytes
+/// the original one-shot HMAC consumed, streamed so multi-megabyte
+/// transfer chunks are never copied into a MAC input buffer.
+Digest record_tag(const SymmetricKey& mac_key, std::uint64_t nonce,
+                  util::ByteView ciphertext, util::ByteView aad) {
+  HmacSha256 mac(mac_key.material);
+  std::uint8_t header[18];  // 8-byte nonce + worst-case varint
+  for (int i = 0; i < 8; ++i)
+    header[i] = static_cast<std::uint8_t>(nonce >> (56 - 8 * i));
+  std::size_t n = 8 + put_varint(header + 8, ciphertext.size());
+  mac.update(util::ByteView(header, n));
+  mac.update(ciphertext);
+  std::uint8_t aad_len[10];
+  mac.update(util::ByteView(aad_len, put_varint(aad_len, aad.size())));
+  mac.update(aad);
+  return mac.finish();
+}
+
+}  // namespace
+
+void ctr_crypt_inplace(const SymmetricKey& key, std::uint64_t nonce,
+                       std::uint8_t* data, std::size_t size) {
+  if (key.material.size() != 32)
+    return ctr_crypt_generic(key, nonce, data, size);
+  // One pre-padded compression block: key(32) || nonce(8) || counter(8)
+  // || 0x80 || zeros || 384 as the 64-bit bit length. Identical bytes to
+  // what Sha256 would feed its compression for the 48-byte message, so
+  // the keystream matches the generic path exactly.
+  std::uint8_t block[64];
+  std::memcpy(block, key.material.data(), 32);
+  for (int i = 0; i < 8; ++i)
+    block[32 + i] = static_cast<std::uint8_t>(nonce >> (56 - 8 * i));
+  std::memset(block + 40, 0, 24);
+  block[48] = 0x80;
+  block[62] = 0x01;  // 48 * 8 = 384 = 0x0180 bits
+  block[63] = 0x80;
+
+  std::uint64_t counter = 0;
+  std::size_t pos = 0;
+  while (pos < size) {
+    for (int i = 0; i < 8; ++i)
+      block[40 + i] = static_cast<std::uint8_t>(counter >> (56 - 8 * i));
+    ++counter;
+    Digest stream = sha256_single_block(block);
+    std::size_t take = std::min<std::size_t>(stream.size(), size - pos);
+    for (std::size_t i = 0; i < take; ++i) data[pos + i] ^= stream[i];
+    pos += take;
+  }
+}
+
+util::Bytes ctr_crypt(const SymmetricKey& key, std::uint64_t nonce,
+                      util::ByteView data) {
+  util::Bytes out(data.begin(), data.end());
+  ctr_crypt_inplace(key, nonce, out.data(), out.size());
   return out;
 }
 
-namespace {
-Digest record_tag(const SymmetricKey& mac_key, std::uint64_t nonce,
-                  util::ByteView ciphertext, util::ByteView aad) {
-  util::ByteWriter mac_input;
-  mac_input.u64(nonce);
-  mac_input.blob(ciphertext);
-  mac_input.blob(aad);
-  return hmac_sha256(mac_key.material, mac_input.bytes());
+Digest seal_inplace(const SymmetricKey& enc_key, const SymmetricKey& mac_key,
+                    std::uint64_t nonce, util::Bytes& data,
+                    util::ByteView aad) {
+  ctr_crypt_inplace(enc_key, nonce, data.data(), data.size());
+  return record_tag(mac_key, nonce, data, aad);
 }
-}  // namespace
+
+util::Status open_inplace(const SymmetricKey& enc_key,
+                          const SymmetricKey& mac_key, std::uint64_t nonce,
+                          util::Bytes& data, const Digest& tag,
+                          util::ByteView aad) {
+  Digest expected = record_tag(mac_key, nonce, data, aad);
+  if (!util::constant_time_equal(expected, tag))
+    return util::make_error(util::ErrorCode::kAuthenticationFailed,
+                            "record MAC verification failed");
+  ctr_crypt_inplace(enc_key, nonce, data.data(), data.size());
+  return util::Status::ok_status();
+}
 
 SealedRecord seal(const SymmetricKey& enc_key, const SymmetricKey& mac_key,
                   std::uint64_t nonce, util::ByteView plaintext,
                   util::ByteView aad) {
   SealedRecord record;
   record.nonce = nonce;
-  record.ciphertext = ctr_crypt(enc_key, nonce, plaintext);
-  record.tag = record_tag(mac_key, nonce, record.ciphertext, aad);
+  record.ciphertext.assign(plaintext.begin(), plaintext.end());
+  record.tag = seal_inplace(enc_key, mac_key, nonce, record.ciphertext, aad);
   return record;
 }
 
@@ -48,11 +126,12 @@ util::Result<util::Bytes> open(const SymmetricKey& enc_key,
                                const SymmetricKey& mac_key,
                                const SealedRecord& record,
                                util::ByteView aad) {
-  Digest expected = record_tag(mac_key, record.nonce, record.ciphertext, aad);
-  if (!util::constant_time_equal(expected, record.tag))
-    return util::make_error(util::ErrorCode::kAuthenticationFailed,
-                            "record MAC verification failed");
-  return ctr_crypt(enc_key, record.nonce, record.ciphertext);
+  util::Bytes data = record.ciphertext;
+  if (auto status = open_inplace(enc_key, mac_key, record.nonce, data,
+                                 record.tag, aad);
+      !status.ok())
+    return status.error();
+  return data;
 }
 
 }  // namespace unicore::crypto

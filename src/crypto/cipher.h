@@ -24,6 +24,13 @@ struct SymmetricKey {
 util::Bytes ctr_crypt(const SymmetricKey& key, std::uint64_t nonce,
                       util::ByteView data);
 
+/// In-place variant — the record-layer hot path. For the standard
+/// 32-byte keys each keystream block is one pre-padded SHA-256
+/// compression with only the counter bytes patched per block: no
+/// allocation and no per-block input assembly.
+void ctr_crypt_inplace(const SymmetricKey& key, std::uint64_t nonce,
+                       std::uint8_t* data, std::size_t size);
+
 /// Sealed (encrypted + authenticated) record.
 struct SealedRecord {
   std::uint64_t nonce = 0;
@@ -42,5 +49,18 @@ SealedRecord seal(const SymmetricKey& enc_key, const SymmetricKey& mac_key,
 util::Result<util::Bytes> open(const SymmetricKey& enc_key,
                                const SymmetricKey& mac_key,
                                const SealedRecord& record, util::ByteView aad);
+
+/// Copy-free seal: encrypts `data` in place (plaintext -> ciphertext)
+/// and returns the tag over (nonce || ciphertext || aad).
+Digest seal_inplace(const SymmetricKey& enc_key, const SymmetricKey& mac_key,
+                    std::uint64_t nonce, util::Bytes& data,
+                    util::ByteView aad);
+
+/// Copy-free open: verifies `tag` (constant-time) and decrypts `data` in
+/// place (ciphertext -> plaintext). On failure `data` is left encrypted.
+util::Status open_inplace(const SymmetricKey& enc_key,
+                          const SymmetricKey& mac_key, std::uint64_t nonce,
+                          util::Bytes& data, const Digest& tag,
+                          util::ByteView aad);
 
 }  // namespace unicore::crypto

@@ -23,6 +23,27 @@ Digest hmac_sha256(util::ByteView key, util::ByteView data) {
   return Sha256().update(opad).update(inner).finish();
 }
 
+HmacSha256::HmacSha256(util::ByteView key) {
+  std::array<std::uint8_t, 64> block{};
+  if (key.size() > block.size()) {
+    Digest kd = sha256(key);
+    std::copy(kd.begin(), kd.end(), block.begin());
+  } else {
+    std::copy(key.begin(), key.end(), block.begin());
+  }
+  std::array<std::uint8_t, 64> ipad;
+  for (std::size_t i = 0; i < 64; ++i) {
+    ipad[i] = block[i] ^ 0x36;
+    opad_[i] = block[i] ^ 0x5c;
+  }
+  inner_.update(ipad);
+}
+
+Digest HmacSha256::finish() {
+  Digest inner = inner_.finish();
+  return Sha256().update(opad_).update(inner).finish();
+}
+
 Digest hkdf_extract(util::ByteView salt, util::ByteView ikm) {
   return hmac_sha256(salt, ikm);
 }

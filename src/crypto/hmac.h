@@ -13,6 +13,26 @@ namespace unicore::crypto {
 /// HMAC-SHA256 over `data` with `key` (any key length).
 Digest hmac_sha256(util::ByteView key, util::ByteView data);
 
+/// Incremental HMAC-SHA256: streams large inputs (record-layer MACs over
+/// multi-megabyte transfer chunks) without assembling the whole message
+/// in one buffer first.
+class HmacSha256 {
+ public:
+  explicit HmacSha256(util::ByteView key);
+
+  HmacSha256& update(util::ByteView data) {
+    inner_.update(data);
+    return *this;
+  }
+
+  /// Finishes the MAC; the context must not be reused afterwards.
+  Digest finish();
+
+ private:
+  Sha256 inner_;
+  std::array<std::uint8_t, 64> opad_{};
+};
+
 /// HKDF-Extract: PRK = HMAC(salt, ikm).
 Digest hkdf_extract(util::ByteView salt, util::ByteView ikm);
 

@@ -9,7 +9,16 @@ std::uint64_t mulmod(std::uint64_t a, std::uint64_t b, std::uint64_t m) {
       static_cast<__uint128_t>(a) * b % m);
 }
 
+namespace {
+std::uint64_t g_powmod_ops = 0;
+}  // namespace
+
+std::uint64_t powmod_ops() { return g_powmod_ops; }
+
+void reset_powmod_ops() { g_powmod_ops = 0; }
+
 std::uint64_t powmod(std::uint64_t base, std::uint64_t exp, std::uint64_t m) {
+  ++g_powmod_ops;
   if (m == 1) return 0;
   std::uint64_t result = 1;
   base %= m;

@@ -15,6 +15,13 @@ std::uint64_t mulmod(std::uint64_t a, std::uint64_t b, std::uint64_t m);
 /// (base ^ exp) mod m by square-and-multiply.
 std::uint64_t powmod(std::uint64_t base, std::uint64_t exp, std::uint64_t m);
 
+/// Running count of powmod invocations — every public-key operation
+/// (RSA sign/verify, DH key generation and agreement) is one or more
+/// modular exponentiations, so this is the "crypto operation" meter the
+/// handshake benchmarks read to compare full vs resumed handshakes.
+std::uint64_t powmod_ops();
+void reset_powmod_ops();
+
 /// Greatest common divisor.
 std::uint64_t gcd(std::uint64_t a, std::uint64_t b);
 

@@ -21,13 +21,36 @@ constexpr std::array<std::uint32_t, 64> kRound = {
 
 std::uint32_t rotr(std::uint32_t x, int n) { return (x >> n) | (x << (32 - n)); }
 
+constexpr std::array<std::uint32_t, 8> kInitialState = {
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+    0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+
+void compress(std::array<std::uint32_t, 8>& state, const std::uint8_t* block);
+
 }  // namespace
 
-Sha256::Sha256()
-    : state_{0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
-             0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19} {}
+Sha256::Sha256() : state_(kInitialState) {}
 
 void Sha256::process_block(const std::uint8_t* block) {
+  compress(state_, block);
+}
+
+Digest sha256_single_block(const std::uint8_t block[64]) {
+  std::array<std::uint32_t, 8> state = kInitialState;
+  compress(state, block);
+  Digest out;
+  for (int i = 0; i < 8; ++i) {
+    out[4 * i] = static_cast<std::uint8_t>(state[static_cast<std::size_t>(i)] >> 24);
+    out[4 * i + 1] = static_cast<std::uint8_t>(state[static_cast<std::size_t>(i)] >> 16);
+    out[4 * i + 2] = static_cast<std::uint8_t>(state[static_cast<std::size_t>(i)] >> 8);
+    out[4 * i + 3] = static_cast<std::uint8_t>(state[static_cast<std::size_t>(i)]);
+  }
+  return out;
+}
+
+namespace {
+
+void compress(std::array<std::uint32_t, 8>& state_, const std::uint8_t* block) {
   std::uint32_t w[64];
   for (int i = 0; i < 16; ++i) {
     w[i] = static_cast<std::uint32_t>(block[4 * i]) << 24 |
@@ -70,6 +93,8 @@ void Sha256::process_block(const std::uint8_t* block) {
   state_[6] += g;
   state_[7] += h;
 }
+
+}  // namespace
 
 Sha256& Sha256::update(util::ByteView data) {
   total_bits_ += static_cast<std::uint64_t>(data.size()) * 8;

@@ -41,6 +41,13 @@ class Sha256 {
 Digest sha256(util::ByteView data);
 Digest sha256(std::string_view s);
 
+/// Digest of a message that is exactly one pre-padded compression block:
+/// `block` must already carry the 0x80 terminator and the 64-bit length
+/// in its last 8 bytes. One compression call, no buffering — the CTR
+/// keystream kernel patches a counter into a fixed 64-byte template and
+/// calls this per block instead of re-running the incremental context.
+Digest sha256_single_block(const std::uint8_t block[64]);
+
 /// Digest as a Bytes value (for wire formats).
 util::Bytes digest_bytes(const Digest& d);
 

@@ -165,6 +165,7 @@ bool RevocationList::contains(std::uint64_t serial) const {
 
 void TrustStore::add_root(Certificate root) {
   roots_.push_back(std::move(root));
+  ++generation_;
 }
 
 Status TrustStore::add_crl(RevocationList crl) {
@@ -176,6 +177,7 @@ Status TrustStore::add_crl(RevocationList crl) {
         return existing.issuer == crl.issuer;
       });
       crls_.push_back(std::move(crl));
+      ++generation_;
       return Status::ok_status();
     }
   }

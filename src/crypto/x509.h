@@ -126,6 +126,12 @@ class TrustStore {
 
   const std::vector<Certificate>& roots() const { return roots_; }
 
+  /// Bumped on every root or CRL change. Validation caches and session
+  /// tickets stamp the generation they were minted under and treat a
+  /// mismatch as "revalidate from scratch" — the invalidation hook that
+  /// makes revocation take effect on already-warm fast paths.
+  std::uint64_t generation() const { return generation_; }
+
  private:
   const Certificate* find_issuer(const DistinguishedName& name,
                                  std::span<const Certificate> pool) const;
@@ -133,6 +139,7 @@ class TrustStore {
 
   std::vector<Certificate> roots_;
   std::vector<RevocationList> crls_;
+  std::uint64_t generation_ = 1;
 };
 
 /// A certificate authority: issues certificates, maintains revocations,

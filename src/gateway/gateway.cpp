@@ -1,6 +1,16 @@
 #include "gateway/gateway.h"
 
+#include "crypto/sha256.h"
+
 namespace unicore::gateway {
+
+namespace {
+/// Bound on the endorsement-verification memo; one entry per distinct
+/// (input, signature, key) triple, so legitimate traffic stays far
+/// below this and a flood of garbage signatures cannot grow it
+/// unboundedly — it is simply wiped and rebuilt.
+constexpr std::size_t kVerifyMemoLimit = 1024;
+}  // namespace
 
 using util::ErrorCode;
 using util::Result;
@@ -19,8 +29,40 @@ void Gateway::audit(std::int64_t now, const std::string& subject,
   audit_.push_back({now, subject, action, accepted, std::move(detail)});
 }
 
+const AuthenticatedUser* Gateway::auth_cache_lookup(
+    const crypto::Certificate& cert, std::int64_t now) {
+  if (auth_cache_ttl_ == 0) return nullptr;
+  auto count = [this](const char* result) {
+    if (metrics_)
+      metrics_
+          ->counter("unicore_gateway_auth_cache_total",
+                    {{"usite", usite_}, {"result", result}})
+          .increment();
+  };
+  auto it = auth_cache_.find(cert.subject.to_string());
+  if (it != auth_cache_.end()) {
+    const CachedAuth& cached = it->second;
+    if (cached.certificate == cert &&
+        cached.trust_generation == trust_.generation() &&
+        cached.uudb_generation == uudb_.generation() &&
+        now < cached.cached_at + auth_cache_ttl_ &&
+        cached.certificate.valid_at(now)) {
+      ++auth_cache_hits_;
+      count("hit");
+      return &cached.user;
+    }
+    auth_cache_.erase(it);  // stale — fall through to the full path
+  }
+  ++auth_cache_misses_;
+  count("miss");
+  return nullptr;
+}
+
 Result<AuthenticatedUser> Gateway::authenticate_user(
     const crypto::Certificate& cert, std::int64_t now) {
+  if (const AuthenticatedUser* cached = auth_cache_lookup(cert, now))
+    return *cached;
+
   crypto::ValidationOptions options;
   options.now = now;
   options.required_usage = crypto::kUsageClientAuth;
@@ -49,7 +91,25 @@ Result<AuthenticatedUser> Gateway::authenticate_user(
   user.account_groups = entry.value().account_groups;
   audit(now, cert.subject.to_string(), "authenticate", true,
         "login=" + user.login);
+  if (auth_cache_ttl_ != 0)
+    auth_cache_[cert.subject.to_string()] = {cert, user, now,
+                                             trust_.generation(),
+                                             uudb_.generation()};
   return user;
+}
+
+bool Gateway::verify_endorsement(const crypto::PublicKey& key,
+                                 util::ByteView signing_input,
+                                 const crypto::Signature& signature) {
+  const crypto::Digest digest = crypto::sha256(signing_input);
+  VerifyKey memo_key{std::string(digest.begin(), digest.end()),
+                     signature.value, key.n, key.e};
+  if (auto it = verify_memo_.find(memo_key); it != verify_memo_.end())
+    return it->second;
+  const bool ok = crypto::verify_digest(key, digest, signature);
+  if (verify_memo_.size() >= kVerifyMemoLimit) verify_memo_.clear();
+  verify_memo_.emplace(std::move(memo_key), ok);
+  return ok;
 }
 
 Status Gateway::authenticate_server(const crypto::Certificate& cert,
@@ -137,8 +197,8 @@ Result<AuthenticatedUser> Gateway::check_forwarded_consignment(
     return status.error();
   }
 
-  if (!crypto::verify_message(consignor_certificate.subject_key,
-                              signing_input, signature)) {
+  if (!verify_endorsement(consignor_certificate.subject_key, signing_input,
+                          signature)) {
     audit(now, subject, "consign-forwarded", false,
           "endorsement signature invalid");
     return util::make_error(ErrorCode::kAuthenticationFailed,

@@ -8,7 +8,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "ajo/job.h"
@@ -87,9 +89,49 @@ class Gateway {
   /// unicore_gateway_auth_total{usite, action, result}. nullptr detaches.
   void set_metrics(obs::MetricsRegistry* registry) { metrics_ = registry; }
 
+  // --- authentication fast path ---------------------------------------
+  // Successful authenticate_user results are memoized per subject DN.
+  // A hit requires (a) the presented certificate to equal the cached
+  // one byte for byte — so a different certificate with the same DN can
+  // never borrow a cached decision — and (b) the trust-store and UUDB
+  // generations recorded at caching time to still be current, so any
+  // root/CRL change or UUDB edit invalidates every entry at once.
+  // Only positives are cached; rejections always re-run the full path.
+  // Cache hits are not written to the audit trail (they repeat the
+  // recorded decision) but are counted in
+  // unicore_gateway_auth_cache_total{usite, result}.
+
+  /// Seconds a cached decision stays valid; 0 disables the cache.
+  void set_auth_cache_ttl(std::int64_t seconds) {
+    auth_cache_ttl_ = seconds;
+    if (seconds == 0) auth_cache_.clear();
+  }
+  std::int64_t auth_cache_ttl() const { return auth_cache_ttl_; }
+  /// Drops every cached decision (e.g. after an out-of-band revocation).
+  void invalidate_auth_cache() { auth_cache_.clear(); }
+  std::uint64_t auth_cache_hits() const { return auth_cache_hits_; }
+  std::uint64_t auth_cache_misses() const { return auth_cache_misses_; }
+
  private:
+  struct CachedAuth {
+    crypto::Certificate certificate;  // must match the presented one
+    AuthenticatedUser user;
+    std::int64_t cached_at = 0;
+    std::uint64_t trust_generation = 0;
+    std::uint64_t uudb_generation = 0;
+  };
+  /// Key of a memoized endorsement-signature verification: digest of
+  /// the signing input, the signature, and the verifying key.
+  using VerifyKey =
+      std::tuple<std::string, std::uint64_t, std::uint64_t, std::uint64_t>;
+
   void audit(std::int64_t now, const std::string& subject,
              const std::string& action, bool accepted, std::string detail);
+  const AuthenticatedUser* auth_cache_lookup(const crypto::Certificate& cert,
+                                             std::int64_t now);
+  bool verify_endorsement(const crypto::PublicKey& key,
+                          util::ByteView signing_input,
+                          const crypto::Signature& signature);
 
   std::string usite_;
   crypto::TrustStore trust_;
@@ -97,6 +139,11 @@ class Gateway {
   SiteAuthHook site_hook_;
   std::vector<AuditRecord> audit_;
   obs::MetricsRegistry* metrics_ = nullptr;
+  std::map<std::string, CachedAuth> auth_cache_;
+  std::int64_t auth_cache_ttl_ = 300;
+  std::uint64_t auth_cache_hits_ = 0;
+  std::uint64_t auth_cache_misses_ = 0;
+  std::map<VerifyKey, bool> verify_memo_;
 };
 
 }  // namespace unicore::gateway

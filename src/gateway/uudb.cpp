@@ -9,12 +9,14 @@ using util::Status;
 void UserDatabase::add_mapping(const crypto::DistinguishedName& dn,
                                UserEntry entry) {
   entries_[dn.to_string()] = std::move(entry);
+  ++generation_;
 }
 
 Status UserDatabase::remove_mapping(const crypto::DistinguishedName& dn) {
   if (entries_.erase(dn.to_string()) == 0)
     return util::make_error(ErrorCode::kNotFound,
                             "no mapping for " + dn.to_string());
+  ++generation_;
   return Status::ok_status();
 }
 
@@ -25,6 +27,7 @@ Status UserDatabase::set_suspended(const crypto::DistinguishedName& dn,
     return util::make_error(ErrorCode::kNotFound,
                             "no mapping for " + dn.to_string());
   it->second.suspended = suspended;
+  ++generation_;
   return Status::ok_status();
 }
 

@@ -48,10 +48,16 @@ class UserDatabase {
 
   std::size_t size() const { return entries_.size(); }
 
+  /// Bumped on every mapping edit (add/remove/suspend). The gateway's
+  /// authentication cache stamps the generation its entries were filled
+  /// under, so any UUDB edit invalidates every cached decision.
+  std::uint64_t generation() const { return generation_; }
+
  private:
   // Keyed by the RFC 2253 rendering of the DN — distinct DNs render
   // distinctly because attribute order is fixed.
   std::map<std::string, UserEntry> entries_;
+  std::uint64_t generation_ = 1;
 };
 
 }  // namespace unicore::gateway

@@ -24,9 +24,24 @@ enum MessageType : std::uint8_t {
   kRecord = 4,
   kAlert = 5,
   kServerFinished = 6,  // key confirmation after client-cert validation
+  kClientHelloResumed = 7,
+  kServerHelloResumed = 8,
+  kHelloRetry = 9,  // resumption refused: restart with a full ClientHello
 };
 
 constexpr std::string_view kKdfLabel = "unicore-secure-channel-v1";
+constexpr std::string_view kResumeKdfLabel = "unicore-secure-channel-resume";
+constexpr std::string_view kBinderLabel = "unicore-resume-binder";
+
+// The binder key proves possession of the ticket's master secret: only
+// the two original handshake parties can derive it, so a stolen or
+// replayed ticket without the secret fails the binder check.
+Bytes resumption_binder_key(const Bytes& master_secret) {
+  crypto::Digest prk{};
+  std::copy(master_secret.begin(), master_secret.end(), prk.begin());
+  return crypto::hkdf_expand(prk, util::to_bytes(std::string(kBinderLabel)),
+                             32);
+}
 
 void write_chain(ByteWriter& w, const Certificate& leaf) {
   // This reproduction issues user/server certificates directly from the
@@ -104,23 +119,64 @@ void SecureChannel::start() {
     }
   });
 
-  dh_ = crypto::dh_generate(rng_);
-  if (is_client_) {
-    client_random_ = rng_.bytes(32);
-    ByteWriter hello;
-    hello.u8(kClientHello);
-    hello.blob(client_random_);
-    hello.u64(dh_.public_value);
-    // v2 negotiation tail: version byte + advertised feature bits. A v1
-    // peer never reads past the DH value and the transcript still covers
-    // the full message, so the tail is backward compatible.
-    if (config_.protocol_version >= 2) {
-      hello.u8(config_.protocol_version);
-      hello.u64(config_.features);
-    }
-    util::append(transcript_, hello.bytes());
-    endpoint_->send(hello.take());
+  if (!is_client_) return;  // the server's DH pair is generated lazily
+                            // when a full ClientHello arrives
+
+  // Resume when we hold a fresh ticket for this destination; otherwise
+  // (or on HelloRetry) do the full Diffie–Hellman handshake.
+  if (config_.session_cache != nullptr && config_.protocol_version >= 2 &&
+      (config_.features & kFeatureResumption) != 0) {
+    if (const SessionCache::Entry* cached = config_.session_cache->get(
+            session_cache_key(), epoch_seconds(engine_.now()));
+        cached != nullptr)
+      return send_resumed_client_hello(*cached);
   }
+  send_full_client_hello();
+}
+
+void SecureChannel::send_full_client_hello() {
+  dh_ = crypto::dh_generate(rng_);
+  client_random_ = rng_.bytes(32);
+  ByteWriter hello;
+  hello.u8(kClientHello);
+  hello.blob(client_random_);
+  hello.u64(dh_.public_value);
+  // v2 negotiation tail: version byte + advertised feature bits. A v1
+  // peer never reads past the DH value and the transcript still covers
+  // the full message, so the tail is backward compatible.
+  if (config_.protocol_version >= 2) {
+    hello.u8(config_.protocol_version);
+    hello.u64(config_.features);
+  }
+  util::append(transcript_, hello.bytes());
+  endpoint_->send(hello.take());
+  state_ = State::kClientAwaitServerHello;
+}
+
+void SecureChannel::send_resumed_client_hello(
+    const SessionCache::Entry& cached) {
+  resumption_attempted_ = true;
+  master_secret_ = cached.master_secret;
+  // The server's certificate was chain-validated by the full handshake
+  // this ticket descends from; the server refuses the ticket if its
+  // trust material changed since.
+  peer_certificate_ = cached.server_certificate;
+  client_random_ = rng_.bytes(32);
+
+  ByteWriter hello;
+  hello.u8(kClientHelloResumed);
+  hello.blob(client_random_);
+  hello.blob(cached.ticket);
+  hello.u8(config_.protocol_version);
+  hello.u64(config_.features);
+  // Binder: MAC over everything above, keyed from the master secret.
+  crypto::Digest binder =
+      crypto::hmac_sha256(resumption_binder_key(master_secret_),
+                          hello.bytes());
+  hello.raw(binder);
+  util::append(transcript_, hello.bytes());
+  endpoint_->send(hello.take());
+  state_ = State::kClientAwaitResumedReply;
 }
 
 void SecureChannel::handle_wire_message(Bytes&& wire) {
@@ -155,6 +211,27 @@ void SecureChannel::handle_wire_message(Bytes&& wire) {
                                        "unexpected ServerFinished"),
                       true);
         return handle_server_finished(reader);
+      case kClientHelloResumed:
+        if (state_ != State::kServerAwaitClientHello)
+          return fail(util::make_error(ErrorCode::kFailedPrecondition,
+                                       "unexpected ClientHelloResumed"),
+                      true);
+        // Transcript handling is inside the handler: a declined
+        // resumption must leave the transcript empty for the full
+        // handshake that follows.
+        return handle_client_hello_resumed(reader, wire);
+      case kServerHelloResumed:
+        if (state_ != State::kClientAwaitResumedReply)
+          return fail(util::make_error(ErrorCode::kFailedPrecondition,
+                                       "unexpected ServerHelloResumed"),
+                      true);
+        return handle_server_hello_resumed(reader);
+      case kHelloRetry:
+        if (state_ != State::kClientAwaitResumedReply)
+          return fail(util::make_error(ErrorCode::kFailedPrecondition,
+                                       "unexpected HelloRetry"),
+                      true);
+        return handle_hello_retry();
       case kRecord:
         if (state_ != State::kEstablished)
           return fail(util::make_error(ErrorCode::kFailedPrecondition,
@@ -162,6 +239,12 @@ void SecureChannel::handle_wire_message(Bytes&& wire) {
                       true);
         return handle_record(reader);
       case kAlert:
+        // A pre-resumption server alerts on ClientHelloResumed instead
+        // of sending HelloRetry; drop the cached session so the owner's
+        // reconnect retry performs a full handshake.
+        if (state_ == State::kClientAwaitResumedReply &&
+            config_.session_cache != nullptr)
+          config_.session_cache->remove(session_cache_key());
         return fail(util::make_error(ErrorCode::kAuthenticationFailed,
                                      "peer alert: " + reader.str()),
                     false);
@@ -187,6 +270,7 @@ util::Status SecureChannel::validate_peer(
 }
 
 void SecureChannel::handle_client_hello(ByteReader& reader) {
+  dh_ = crypto::dh_generate(rng_);
   client_random_ = reader.blob();
   peer_dh_public_ = reader.u64();
   // Tolerant tail parse: a v1 client's hello ends at the DH value.
@@ -315,6 +399,18 @@ void SecureChannel::handle_server_finished(ByteReader& reader) {
     return fail(util::make_error(ErrorCode::kAuthenticationFailed,
                                  "ServerFinished verification failed"),
                 true);
+  // Ticket tail (only present when both sides negotiated resumption).
+  if ((negotiated_features_ & kFeatureResumption) != 0 &&
+      config_.session_cache != nullptr && reader.remaining() > 0) {
+    SessionCache::Entry entry;
+    entry.ticket = reader.blob();
+    entry.master_secret = master_secret_;
+    entry.server_certificate = peer_certificate_;
+    entry.features = negotiated_features_;
+    entry.expires_at = epoch_seconds(engine_.now()) +
+                       static_cast<std::int64_t>(reader.u64());
+    config_.session_cache->put(session_cache_key(), std::move(entry));
+  }
   succeed();
 }
 
@@ -357,8 +453,156 @@ void SecureChannel::handle_client_cert(ByteReader& reader) {
   finished.u8(kServerFinished);
   crypto::Digest verify = crypto::hmac_sha256(send_mac_.material, transcript_);
   finished.raw(verify);
+  // Ticket tail: offer a resumable session to clients that negotiated
+  // the feature. Outside the transcript MAC — a corrupted ticket only
+  // costs the client a refused resumption later, never a weaker channel.
+  if (config_.ticket_manager != nullptr &&
+      (negotiated_features_ & kFeatureResumption) != 0) {
+    ResumptionState session{master_secret_, peer_certificate_,
+                            negotiated_features_};
+    finished.blob(config_.ticket_manager->issue(
+        session, epoch_seconds(engine_.now())));
+    finished.u64(static_cast<std::uint64_t>(config_.ticket_manager->ttl()));
+  }
   endpoint_->send(finished.take());
   succeed();
+}
+
+void SecureChannel::handle_client_hello_resumed(ByteReader& reader,
+                                                const Bytes& wire) {
+  Bytes client_random = reader.blob();
+  Bytes ticket = reader.blob();
+  std::uint8_t client_version = reader.u8();
+  std::uint64_t client_features = reader.u64();
+  Bytes binder = reader.raw(32);
+
+  auto decline = [this] {
+    // Transcript stays empty and the state machine stays put: the
+    // client restarts with a full ClientHello on this connection.
+    if (auto* metrics = endpoint_->metrics())
+      metrics
+          ->counter("unicore_channel_resumptions_total",
+                    {{"result", "refused"}})
+          .increment();
+    ByteWriter retry;
+    retry.u8(kHelloRetry);
+    endpoint_->send(retry.take());
+  };
+
+  if (config_.ticket_manager == nullptr || config_.protocol_version < 2 ||
+      (config_.features & kFeatureResumption) == 0 || client_version < 2)
+    return decline();
+  auto session = config_.ticket_manager->redeem(
+      ticket, epoch_seconds(engine_.now()));
+  if (!session) return decline();
+
+  // The binder covers the message minus its own 32 bytes. A valid
+  // ticket with a bad binder is an active attack (replay of a captured
+  // ticket without the master secret) — fail hard, don't fall back.
+  crypto::Digest expected = crypto::hmac_sha256(
+      resumption_binder_key(session.value().master_secret),
+      util::ByteView(wire.data(), wire.size() - 32));
+  if (!util::constant_time_equal(expected, binder))
+    return fail(util::make_error(ErrorCode::kAuthenticationFailed,
+                                 "resumption binder invalid"),
+                true);
+
+  client_random_ = std::move(client_random);
+  master_secret_ = std::move(session.value().master_secret);
+  peer_certificate_ = std::move(session.value().peer_certificate);
+  negotiated_version_ = std::min(config_.protocol_version, client_version);
+  // The effective feature set can only shrink relative to the original
+  // handshake's — the AND with the ticket's set prevents a resumed
+  // channel from gaining features the full validation never granted.
+  negotiated_features_ =
+      client_features & config_.features & session.value().features;
+  util::append(transcript_, wire);
+
+  server_random_ = rng_.bytes(32);
+  derive_resumed_keys();
+  resumed_ = true;
+
+  // Rotate the ticket (fresh TTL, same master secret) so a busy client
+  // can chain resumptions indefinitely between trust changes.
+  ResumptionState rotated{master_secret_, peer_certificate_,
+                          negotiated_features_};
+  std::int64_t now = epoch_seconds(engine_.now());
+
+  ByteWriter core;
+  core.u8(kServerHelloResumed);
+  core.blob(server_random_);
+  core.u64(negotiated_features_);
+  core.blob(config_.ticket_manager->issue(rotated, now));
+  core.u64(static_cast<std::uint64_t>(config_.ticket_manager->ttl()));
+  util::append(transcript_, core.bytes());
+  // Key confirmation: MAC the transcript with the freshly derived write
+  // key, proving we redeemed the ticket and derived the same schedule.
+  crypto::Digest verify =
+      crypto::hmac_sha256(send_mac_.material, transcript_);
+  ByteWriter message;
+  message.raw(core.bytes());
+  message.raw(verify);
+  endpoint_->send(message.take());
+
+  if (auto* metrics = endpoint_->metrics())
+    metrics
+        ->counter("unicore_channel_resumptions_total", {{"result", "ok"}})
+        .increment();
+  succeed();
+}
+
+void SecureChannel::handle_server_hello_resumed(ByteReader& reader) {
+  server_random_ = reader.blob();
+  std::uint64_t server_features = reader.u64();
+  Bytes new_ticket = reader.blob();
+  std::uint64_t lifetime = reader.u64();
+  Bytes verify = reader.raw(32);
+
+  negotiated_version_ = std::min(config_.protocol_version, kProtocolVersion);
+  negotiated_features_ = server_features & config_.features;
+
+  // Re-serialise the core (canonical encoding) into the transcript and
+  // check the server's key confirmation before trusting anything.
+  ByteWriter core;
+  core.u8(kServerHelloResumed);
+  core.blob(server_random_);
+  core.u64(server_features);
+  core.blob(new_ticket);
+  core.u64(lifetime);
+  util::append(transcript_, core.bytes());
+  derive_resumed_keys();
+  crypto::Digest expected =
+      crypto::hmac_sha256(recv_mac_.material, transcript_);
+  if (!util::constant_time_equal(expected, verify))
+    return fail(util::make_error(ErrorCode::kAuthenticationFailed,
+                                 "ServerHelloResumed verification failed"),
+                true);
+  resumed_ = true;
+
+  if (config_.session_cache != nullptr) {
+    SessionCache::Entry entry;
+    entry.ticket = std::move(new_ticket);
+    entry.master_secret = master_secret_;
+    entry.server_certificate = peer_certificate_;
+    entry.features = negotiated_features_;
+    entry.expires_at = epoch_seconds(engine_.now()) +
+                       static_cast<std::int64_t>(lifetime);
+    config_.session_cache->put(session_cache_key(), std::move(entry));
+  }
+  succeed();
+}
+
+void SecureChannel::handle_hello_retry() {
+  // The server refused our ticket (expired, invalidated, trust change).
+  // Drop it and restart with a full handshake on the same connection —
+  // callers never see the refusal, only a slightly slower connect.
+  if (config_.session_cache != nullptr)
+    config_.session_cache->remove(session_cache_key());
+  transcript_.clear();
+  resumption_attempted_ = false;
+  master_secret_.clear();
+  peer_certificate_ = Certificate{};
+  send_full_client_hello();
 }
 
 void SecureChannel::derive_keys() {
@@ -368,6 +612,9 @@ void SecureChannel::derive_keys() {
   Bytes salt = client_random_;
   util::append(salt, server_random_);
   crypto::Digest prk = crypto::hkdf_extract(salt, ikm.bytes());
+  // Retain the PRK as this session's master secret: the server seals it
+  // into tickets, the client keeps it beside the ticket in its cache.
+  master_secret_.assign(prk.begin(), prk.end());
   Bytes material = crypto::hkdf_expand(
       prk, util::to_bytes(std::string(kKdfLabel)), 128);
 
@@ -392,6 +639,46 @@ void SecureChannel::derive_keys() {
     recv_enc_ = client_enc;
     recv_mac_ = client_mac;
   }
+}
+
+void SecureChannel::derive_resumed_keys() {
+  // Same schedule shape as derive_keys(), but the input keying material
+  // is the cached master secret instead of a fresh DH secret — zero
+  // public-key operations. Fresh randoms from both sides ensure the
+  // per-direction keys (and thus record nonces) never repeat across
+  // resumptions of the same ticket lineage.
+  Bytes salt = client_random_;
+  util::append(salt, server_random_);
+  crypto::Digest prk = crypto::hkdf_extract(salt, master_secret_);
+  Bytes material = crypto::hkdf_expand(
+      prk, util::to_bytes(std::string(kResumeKdfLabel)), 128);
+
+  auto slice = [&material](std::size_t offset) {
+    return crypto::SymmetricKey{
+        Bytes(material.begin() + static_cast<std::ptrdiff_t>(offset),
+              material.begin() + static_cast<std::ptrdiff_t>(offset + 32))};
+  };
+  crypto::SymmetricKey client_enc = slice(0);
+  crypto::SymmetricKey client_mac = slice(32);
+  crypto::SymmetricKey server_enc = slice(64);
+  crypto::SymmetricKey server_mac = slice(96);
+
+  if (is_client_) {
+    send_enc_ = client_enc;
+    send_mac_ = client_mac;
+    recv_enc_ = server_enc;
+    recv_mac_ = server_mac;
+  } else {
+    send_enc_ = server_enc;
+    send_mac_ = server_mac;
+    recv_enc_ = client_enc;
+    recv_mac_ = client_mac;
+  }
+}
+
+std::string SecureChannel::session_cache_key() const {
+  return config_.session_key.empty() ? endpoint_->remote_host()
+                                     : config_.session_key;
 }
 
 void SecureChannel::succeed() {
@@ -450,42 +737,51 @@ void SecureChannel::fail(Error error, bool send_alert) {
 void SecureChannel::send(Bytes plaintext) {
   if (state_ != State::kEstablished) return;
   std::uint64_t seq = send_seq_++;
-  ByteWriter aad;
-  aad.u8(is_client_ ? 0 : 1);
-  aad.u64(seq);
-  crypto::SealedRecord record =
-      crypto::seal(send_enc_, send_mac_, seq, plaintext, aad.bytes());
+  std::uint8_t aad[9];
+  aad[0] = is_client_ ? 0 : 1;
+  for (int i = 0; i < 8; ++i)
+    aad[1 + i] = static_cast<std::uint8_t>(seq >> (56 - 8 * i));
+  // Encrypt in place — the caller's buffer becomes the ciphertext, so a
+  // large transfer chunk is never duplicated on the send path.
+  crypto::Digest tag = crypto::seal_inplace(
+      send_enc_, send_mac_, seq, plaintext, util::ByteView(aad, 9));
 
   ByteWriter wire;
+  wire.reserve(1 + 8 + 10 + plaintext.size() + tag.size());
   wire.u8(kRecord);
-  wire.u64(record.nonce);
-  wire.blob(record.ciphertext);
-  wire.raw(record.tag);
+  wire.u64(seq);
+  wire.blob(plaintext);
+  wire.raw(tag);
   endpoint_->send(wire.take());
 }
 
 void SecureChannel::handle_record(ByteReader& reader) {
-  crypto::SealedRecord record;
-  record.nonce = reader.u64();
-  record.ciphertext = reader.blob();
-  Bytes tag = reader.raw(32);
-  std::copy(tag.begin(), tag.end(), record.tag.begin());
+  std::uint64_t nonce = reader.u64();
+  Bytes ciphertext = reader.blob();
+  Bytes tag_bytes = reader.raw(32);
+  crypto::Digest tag;
+  std::copy(tag_bytes.begin(), tag_bytes.end(), tag.begin());
 
   // The expected sequence number doubles as replay protection: with a
   // lossless record path (loss only affects the wire before decryption,
   // dropping the whole record), any gap or repeat indicates tampering.
-  std::uint64_t expected_seq = recv_seq_;
-  if (record.nonce != expected_seq)
+  if (nonce != recv_seq_)
     return fail(util::make_error(ErrorCode::kAuthenticationFailed,
                                  "record out of sequence"),
                 true);
-  ByteWriter aad;
-  aad.u8(is_client_ ? 1 : 0);
-  aad.u64(record.nonce);
-  auto plaintext = crypto::open(recv_enc_, recv_mac_, record, aad.bytes());
-  if (!plaintext) return fail(plaintext.error(), true);
+  std::uint8_t aad[9];
+  aad[0] = is_client_ ? 1 : 0;
+  for (int i = 0; i < 8; ++i)
+    aad[1 + i] = static_cast<std::uint8_t>(nonce >> (56 - 8 * i));
+  // Verify-then-decrypt in place: the wire buffer becomes the plaintext
+  // handed to the application, with no intermediate copy.
+  if (auto status = crypto::open_inplace(recv_enc_, recv_mac_, nonce,
+                                         ciphertext, tag,
+                                         util::ByteView(aad, 9));
+      !status.ok())
+    return fail(status.error(), true);
   ++recv_seq_;
-  if (on_message_) on_message_(std::move(plaintext.value()));
+  if (on_message_) on_message_(std::move(ciphertext));
 }
 
 void SecureChannel::set_receiver(MessageHandler handler) {

@@ -13,6 +13,13 @@
 //   client -> ClientCert   { cert chain, signature over transcript }
 // Either side aborts with an Alert on validation failure; a lost
 // handshake message surfaces as a timeout (the link may drop packets).
+//
+// Session resumption (v2 feature, see docs/PROTOCOL.md): a client
+// holding a session ticket from a prior full handshake sends
+// ClientHelloResumed instead; the server answers ServerHelloResumed
+// (accept, 1 round trip, zero public-key operations) or HelloRetry
+// (refuse — the client transparently restarts with a full ClientHello
+// on the same connection).
 #pragma once
 
 #include <cstdint>
@@ -24,6 +31,7 @@
 #include "crypto/cipher.h"
 #include "crypto/x509.h"
 #include "net/network.h"
+#include "net/session.h"
 #include "sim/engine.h"
 #include "util/bytes.h"
 #include "util/result.h"
@@ -44,8 +52,11 @@ constexpr std::uint64_t kFeatureJournalInspect = 1ull << 0;
 /// kXferChunk / kXferClose). Without it the sender falls back to the
 /// legacy whole-blob kDeliverFile / kFetchFile requests.
 constexpr std::uint64_t kFeatureChunkedXfer = 1ull << 1;
+/// Peer supports session resumption (ticket in the ServerFinished tail,
+/// ClientHelloResumed / ServerHelloResumed / HelloRetry messages).
+constexpr std::uint64_t kFeatureResumption = 1ull << 2;
 constexpr std::uint64_t kDefaultFeatures =
-    kFeatureJournalInspect | kFeatureChunkedXfer;
+    kFeatureJournalInspect | kFeatureChunkedXfer | kFeatureResumption;
 
 class SecureChannel : public std::enable_shared_from_this<SecureChannel> {
  public:
@@ -60,6 +71,18 @@ class SecureChannel : public std::enable_shared_from_this<SecureChannel> {
     std::uint8_t protocol_version = kProtocolVersion;
     /// Features we advertise (only meaningful for version >= 2).
     std::uint64_t features = kDefaultFeatures;
+    /// Server side: mints and redeems session tickets. nullptr means
+    /// this server never offers resumption (resumed hellos are answered
+    /// with HelloRetry and clients fall back to full handshakes).
+    SessionTicketManager* ticket_manager = nullptr;
+    /// Client side: cache of resumable sessions, typically shared by
+    /// every channel the component opens (main channel, transfer rails,
+    /// peer pool slots) so one full handshake warms them all.
+    SessionCache* session_cache = nullptr;
+    /// Cache key for this destination; defaults to the endpoint's
+    /// remote host when empty. Owners that multiplex several logical
+    /// peers over one host should set it to SessionCache::key_for().
+    std::string session_key;
   };
 
   /// Fired exactly once with the handshake result.
@@ -94,6 +117,10 @@ class SecureChannel : public std::enable_shared_from_this<SecureChannel> {
   bool established() const { return state_ == State::kEstablished; }
   bool failed() const { return state_ == State::kFailed; }
 
+  /// True when the channel was established by ticket resumption rather
+  /// than a full handshake (meaningful once established).
+  bool resumed() const { return resumed_; }
+
   /// The peer's validated certificate (only after establishment).
   const crypto::Certificate& peer_certificate() const {
     return peer_certificate_;
@@ -119,6 +146,7 @@ class SecureChannel : public std::enable_shared_from_this<SecureChannel> {
   enum class State {
     kClientAwaitServerHello,
     kClientAwaitServerFinished,
+    kClientAwaitResumedReply,
     kServerAwaitClientHello,
     kServerAwaitClientCert,
     kEstablished,
@@ -130,15 +158,23 @@ class SecureChannel : public std::enable_shared_from_this<SecureChannel> {
                 EstablishedHandler on_established, bool is_client);
 
   void start();
+  void send_full_client_hello();
+  void send_resumed_client_hello(const SessionCache::Entry& cached);
   void handle_wire_message(util::Bytes&& wire);
   void handle_server_hello(util::ByteReader& reader);
   void handle_client_hello(util::ByteReader& reader);
   void handle_client_cert(util::ByteReader& reader);
   void handle_server_finished(util::ByteReader& reader);
+  void handle_client_hello_resumed(util::ByteReader& reader,
+                                   const util::Bytes& wire);
+  void handle_server_hello_resumed(util::ByteReader& reader);
+  void handle_hello_retry();
   void handle_record(util::ByteReader& reader);
   void fail(util::Error error, bool send_alert);
   void succeed();
   void derive_keys();
+  void derive_resumed_keys();
+  std::string session_cache_key() const;
   util::Status validate_peer(const crypto::Certificate& leaf,
                              const std::vector<crypto::Certificate>& chain);
 
@@ -160,6 +196,12 @@ class SecureChannel : public std::enable_shared_from_this<SecureChannel> {
   crypto::Certificate peer_certificate_;
   std::uint8_t negotiated_version_ = 1;
   std::uint64_t negotiated_features_ = 0;
+  /// PRK of the handshake (full: extracted from the DH secret; resumed:
+  /// carried over from the ticket). Source material for tickets and for
+  /// resumed key schedules — never sent on the wire in the clear.
+  util::Bytes master_secret_;
+  bool resumed_ = false;
+  bool resumption_attempted_ = false;
 
   crypto::SymmetricKey send_enc_, send_mac_, recv_enc_, recv_mac_;
   std::uint64_t send_seq_ = 0;

@@ -40,18 +40,23 @@ struct UsiteServer::PeerConnection {
   struct PendingPeer {
     std::function<void(Result<Bytes>)> handler;
     std::optional<sim::EventId> timeout;
+    std::size_t slot = 0;  // pool slot the request went out on
+  };
+  struct FinalHandler {
+    std::function<void(ajo::Outcome)> handler;
+    /// The peer's NJS notifies through the session that carried the
+    /// consignment — i.e. this slot's channel. If it dies, the
+    /// notification path is gone and the outcome must be failed.
+    std::size_t slot = 0;
   };
 
   std::string usite;
-  net::Address address;
-  std::shared_ptr<net::SecureChannel> channel;
-  bool established = false;
-  std::deque<Bytes> backlog;  // requests queued during the handshake
+  std::shared_ptr<net::ChannelPool> pool;
   std::map<std::uint64_t, PendingPeer> pending;
-  std::map<std::uint64_t, std::function<void(ajo::Outcome)>> finals;
-  /// Callers waiting to learn the channel's negotiated feature set
-  /// (chunked-vs-legacy transfer routing) while the handshake runs.
-  std::vector<std::function<void(Result<std::uint64_t>)>> feature_waiters;
+  std::map<std::uint64_t, FinalHandler> finals;
+  /// Slot of the most recently dispatched reply; valid only during the
+  /// synchronous extent of that reply's handler.
+  std::size_t last_reply_slot = 0;
 };
 
 // ---- construction ----------------------------------------------------------
@@ -70,11 +75,15 @@ UsiteServer::UsiteServer(sim::Engine& engine, net::Network& network,
       njs_(engine, rng_.fork(), config_.name, std::move(server_credential)),
       metrics_(njs_.metrics()),
       xfer_manager_(engine, rng_),
-      xfer_service_(engine, njs_) {
+      xfer_service_(engine, njs_),
+      ticket_manager_(rng_) {
   njs_.set_peer_link(this);
   njs_.add_crash_participant(&xfer_service_);
   gateway_.set_metrics(metrics_.get());
   xfer_manager_.set_metrics(metrics_.get(), config_.name);
+  // Any trust change (new root, new CRL) instantly kills every session
+  // ticket this server has handed out.
+  ticket_manager_.attach_trust(&gateway_.trust_store());
 }
 
 void UsiteServer::set_metrics(std::shared_ptr<obs::MetricsRegistry> registry) {
@@ -155,6 +164,7 @@ void UsiteServer::accept_session(std::shared_ptr<net::Endpoint> endpoint) {
   channel_config.trust = &gateway_.trust_store();
   channel_config.required_peer_usage = 0;  // user or server; checked per-op
   channel_config.features = advertised_features_;
+  channel_config.ticket_manager = &ticket_manager_;
 
   std::uint64_t id = session->id;
   session->channel = net::SecureChannel::as_server(
@@ -643,76 +653,77 @@ UsiteServer::PeerConnection& UsiteServer::peer_connection(
 
   auto connection = std::make_unique<PeerConnection>();
   connection->usite = usite;
-  connection->address = peers_.at(usite);
-  PeerConnection& ref = *connection;
-  peer_connections_[usite] = std::move(connection);
 
-  auto endpoint =
-      network_.connect(config_.njs_side_host(), ref.address);
-  if (!endpoint) {
-    // Leave channel null; callers see the failure when they try to send.
-    return ref;
-  }
-
-  net::SecureChannel::Config channel_config;
-  channel_config.credential = credential_;
-  channel_config.trust = &gateway_.trust_store();
-  channel_config.required_peer_usage = crypto::kUsageServerAuth;
-  channel_config.features = advertised_features_;
+  net::ChannelPool::Config pool_config;
+  pool_config.local_host = config_.njs_side_host();
+  pool_config.remote = peers_.at(usite);
+  pool_config.size = peer_pool_size_;
+  pool_config.channel.credential = credential_;
+  pool_config.channel.trust = &gateway_.trust_store();
+  pool_config.channel.required_peer_usage = crypto::kUsageServerAuth;
+  pool_config.channel.features = advertised_features_;
+  pool_config.channel.session_cache = &peer_sessions_;
+  connection->pool =
+      net::ChannelPool::create(engine_, network_, rng_,
+                               std::move(pool_config));
 
   std::string peer_name = usite;
-  ref.channel = net::SecureChannel::as_client(
-      engine_, rng_, std::move(endpoint.value()), channel_config,
-      [this, peer_name](Status status) {
-        auto it = peer_connections_.find(peer_name);
-        if (it == peer_connections_.end()) return;
-        PeerConnection& connection = *it->second;
-        if (!status.ok()) {
-          fail_peer_connection(peer_name, status.error());
-          return;
-        }
-        connection.established = true;
-        connection.channel->set_receiver([this, peer_name](Bytes&& wire) {
-          handle_peer_message(peer_name, std::move(wire));
-        });
-        connection.channel->set_close_handler([this, peer_name] {
-          fail_peer_connection(peer_name,
-                               transport_error("peer channel closed"));
-        });
-        for (Bytes& message : connection.backlog)
-          connection.channel->send(std::move(message));
-        connection.backlog.clear();
-        std::uint64_t features = connection.channel->negotiated_features();
-        auto waiters = std::move(connection.feature_waiters);
-        connection.feature_waiters.clear();
-        for (auto& waiter : waiters) waiter(features);
+  connection->pool->set_receiver(
+      [this, peer_name](std::size_t slot, Bytes&& wire) {
+        handle_peer_message(peer_name, slot, std::move(wire));
       });
+  connection->pool->set_slot_failure(
+      [this, peer_name](std::size_t slot, const util::Error& error) {
+        fail_peer_slot(peer_name, slot, error);
+      });
+
+  PeerConnection& ref = *connection;
+  peer_connections_[usite] = std::move(connection);
   return ref;
 }
 
-void UsiteServer::fail_peer_connection(const std::string& usite,
-                                       const util::Error& error) {
+void UsiteServer::fail_peer_slot(const std::string& usite, std::size_t slot,
+                                 const util::Error& error) {
   auto it = peer_connections_.find(usite);
   if (it == peer_connections_.end()) return;
-  auto connection = std::move(it->second);
-  peer_connections_.erase(it);
-  for (auto& [id, request] : connection->pending) {
-    if (request.timeout) engine_.cancel(*request.timeout);
-    request.handler(error);
+  PeerConnection& connection = *it->second;
+  // Only the failed slot's work dies — requests and outcome watchers on
+  // the pool's other slots are untouched. Collect before invoking:
+  // handlers may re-enter and register new work.
+  std::vector<std::function<void(Result<Bytes>)>> failed;
+  for (auto pit = connection.pending.begin();
+       pit != connection.pending.end();) {
+    if (pit->second.slot == slot) {
+      if (pit->second.timeout) engine_.cancel(*pit->second.timeout);
+      failed.push_back(std::move(pit->second.handler));
+      pit = connection.pending.erase(pit);
+    } else {
+      ++pit;
+    }
   }
-  for (auto& waiter : connection->feature_waiters) waiter(error);
-  // Jobs already consigned remotely are reported unsuccessful: the link
-  // that would have carried their outcome is gone.
-  for (auto& [token, handler] : connection->finals) {
+  std::vector<std::function<void(ajo::Outcome)>> lost_finals;
+  for (auto fit = connection.finals.begin();
+       fit != connection.finals.end();) {
+    if (fit->second.slot == slot) {
+      lost_finals.push_back(std::move(fit->second.handler));
+      fit = connection.finals.erase(fit);
+    } else {
+      ++fit;
+    }
+  }
+  for (auto& handler : failed) handler(error);
+  // Jobs already consigned remotely are reported unsuccessful: the
+  // session that would have carried their outcome is gone.
+  for (auto& handler : lost_finals) {
     ajo::Outcome outcome;
     outcome.status = ajo::ActionStatus::kNotSuccessful;
     outcome.message = "peer link to " + usite + " lost: " + error.message;
     handler(std::move(outcome));
   }
-  if (connection->channel) connection->channel->close();
 }
 
-void UsiteServer::handle_peer_message(const std::string& usite, Bytes&& wire) {
+void UsiteServer::handle_peer_message(const std::string& usite,
+                                      std::size_t slot, Bytes&& wire) {
   auto it = peer_connections_.find(usite);
   if (it == peer_connections_.end()) return;
   PeerConnection& connection = *it->second;
@@ -727,6 +738,7 @@ void UsiteServer::handle_peer_message(const std::string& usite, Bytes&& wire) {
       if (handler_it->second.timeout) engine_.cancel(*handler_it->second.timeout);
       auto handler = std::move(handler_it->second.handler);
       connection.pending.erase(handler_it);
+      connection.last_reply_slot = slot;
       if (ok)
         handler(reader.raw(reader.remaining()));
       else
@@ -737,7 +749,7 @@ void UsiteServer::handle_peer_message(const std::string& usite, Bytes&& wire) {
       if (!outcome) return;
       auto final_it = connection.finals.find(token);
       if (final_it == connection.finals.end()) return;
-      auto handler = std::move(final_it->second);
+      auto handler = std::move(final_it->second.handler);
       connection.finals.erase(final_it);
       handler(std::move(outcome.value()));
     }
@@ -756,15 +768,11 @@ void UsiteServer::send_peer_request(
     return;
   }
   PeerConnection& connection = peer_connection(usite);
-  if (connection.channel == nullptr) {
-    util::Error error = transport_error("cannot reach peer " + usite);
-    peer_connections_.erase(usite);
-    on_reply(std::move(error));
-    return;
-  }
   std::uint64_t request_id = next_request_id_++;
+  std::size_t slot = connection.pool->next_slot();
   PeerConnection::PendingPeer pending;
   pending.handler = std::move(on_reply);
+  pending.slot = slot;
   // A lost request or reply must not hang the caller forever: after the
   // deadline the request fails kTimeout — retryable, and the peer may
   // have acted, which is why consignments carry idempotency keys.
@@ -784,11 +792,9 @@ void UsiteServer::send_peer_request(
                                  "peer request to " + usite + " timed out"));
       });
   connection.pending[request_id] = std::move(pending);
-  Bytes wire = make_request(kind, request_id, payload);
-  if (connection.established)
-    connection.channel->send(std::move(wire));
-  else
-    connection.backlog.push_back(std::move(wire));
+  // A synchronous connect failure fails the entry we just registered
+  // through the pool's slot-failure callback.
+  connection.pool->send_on(slot, make_request(kind, request_id, payload));
 }
 
 void UsiteServer::peer_call(const std::string& usite, RequestKind kind,
@@ -861,9 +867,12 @@ void UsiteServer::consign(
         njs::RemoteJobHandle handle;
         handle.usite = usite;
         handle.token = reader.u64();
+        // Bind the outcome watcher to the slot whose session carried
+        // the consignment — the peer notifies through that session.
         if (auto it = peer_connections_.find(usite);
             it != peer_connections_.end() && on_final)
-          it->second->finals[handle.token] = std::move(on_final);
+          it->second->finals[handle.token] = {std::move(on_final),
+                                              it->second->last_reply_slot};
         on_accepted(handle);
       });
 }
@@ -878,18 +887,7 @@ void UsiteServer::with_peer_features(
                            "unknown peer usite: " + usite));
     return;
   }
-  PeerConnection& connection = peer_connection(usite);
-  if (connection.channel == nullptr) {
-    util::Error error = transport_error("cannot reach peer " + usite);
-    peer_connections_.erase(usite);
-    ready(std::move(error));
-    return;
-  }
-  if (connection.established) {
-    ready(connection.channel->negotiated_features());
-    return;
-  }
-  connection.feature_waiters.push_back(std::move(ready));
+  peer_connection(usite).pool->with_features(std::move(ready));
 }
 
 std::shared_ptr<XferRails> UsiteServer::peer_rails(const std::string& usite) {
@@ -905,6 +903,8 @@ std::shared_ptr<XferRails> UsiteServer::peer_rails(const std::string& usite) {
   config.trust = &gateway_.trust_store();
   config.required_peer_usage = crypto::kUsageServerAuth;
   config.request_timeout = peer_request_timeout_;
+  config.session_cache = &peer_sessions_;
+  config.features = advertised_features_;
   auto rails = XferRails::create(engine_, network_, rng_, std::move(config));
   peer_rails_[usite] = rails;
   return rails;

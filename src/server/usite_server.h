@@ -21,8 +21,10 @@
 
 #include "crypto/bundle.h"
 #include "gateway/gateway.h"
+#include "net/channel_pool.h"
 #include "net/network.h"
 #include "net/secure_channel.h"
+#include "net/session.h"
 #include "njs/njs.h"
 #include "njs/peer_link.h"
 #include "obs/metrics.h"
@@ -114,6 +116,19 @@ class UsiteServer : public njs::PeerLink {
     peer_request_timeout_ = timeout;
   }
 
+  /// Warm secure channels kept per peer Usite for NJS–NJS requests
+  /// (defaults to 2). Must be set before the first peer request.
+  void set_peer_pool_size(std::size_t size) {
+    peer_pool_size_ = size == 0 ? 1 : size;
+  }
+
+  /// The listener's session-ticket mint — tests invalidate it to prove
+  /// that resumed handshakes are refused after a revocation event.
+  net::SessionTicketManager& ticket_manager() { return ticket_manager_; }
+  /// This server's outbound session cache (peer pools and transfer
+  /// rails share it, so one full handshake per peer warms everything).
+  net::SessionCache& peer_sessions() { return peer_sessions_; }
+
   /// Shares a deployment-wide registry (set by the grid layer so one
   /// MonitorService snapshot covers gateway, NJS, batch, and network).
   /// By default the server uses the registry its NJS created.
@@ -191,9 +206,10 @@ class UsiteServer : public njs::PeerLink {
 
   // Peer connections.
   PeerConnection& peer_connection(const std::string& usite);
-  void fail_peer_connection(const std::string& usite,
-                            const util::Error& error);
-  void handle_peer_message(const std::string& usite, util::Bytes&& wire);
+  void fail_peer_slot(const std::string& usite, std::size_t slot,
+                      const util::Error& error);
+  void handle_peer_message(const std::string& usite, std::size_t slot,
+                           util::Bytes&& wire);
   void send_peer_request(const std::string& usite, RequestKind kind,
                          util::Bytes payload,
                          std::function<void(util::Result<util::Bytes>)>
@@ -246,6 +262,9 @@ class UsiteServer : public njs::PeerLink {
 
   std::map<std::string, net::Address> peers_;
   std::map<std::string, std::unique_ptr<PeerConnection>> peer_connections_;
+  std::size_t peer_pool_size_ = 2;
+  net::SessionTicketManager ticket_manager_;
+  net::SessionCache peer_sessions_;
   std::map<std::string, util::CircuitBreaker> peer_breakers_;
   util::BackoffPolicy peer_backoff_;
   sim::Time peer_request_timeout_ = sim::sec(60);

@@ -23,27 +23,44 @@ RequestKind xfer_request_kind(xfer::Op op) {
 std::shared_ptr<XferRails> XferRails::create(sim::Engine& engine,
                                              net::Network& network,
                                              util::Rng& rng, Config config) {
-  return std::shared_ptr<XferRails>(
+  auto rails = std::shared_ptr<XferRails>(
       new XferRails(engine, network, rng, std::move(config)));
+  std::weak_ptr<XferRails> weak = rails;
+  rails->pool_->set_receiver([weak](std::size_t index, Bytes&& wire) {
+    if (auto self = weak.lock())
+      self->handle_rail_message(index, std::move(wire));
+  });
+  rails->pool_->set_slot_failure([weak](std::size_t index,
+                                        const Error& error) {
+    if (auto self = weak.lock()) self->fail_rail(index, error);
+  });
+  return rails;
 }
 
 XferRails::XferRails(sim::Engine& engine, net::Network& network,
                      util::Rng& rng, Config config)
-    : engine_(engine),
-      network_(network),
-      rng_(rng),
-      config_(std::move(config)) {
+    : engine_(engine), config_(std::move(config)) {
   if (config_.streams == 0) config_.streams = 1;
   rails_.resize(config_.streams);
+
+  net::ChannelPool::Config pool_config;
+  pool_config.local_host = config_.local_host;
+  pool_config.remote = config_.remote;
+  pool_config.size = config_.streams;
+  pool_config.channel.credential = config_.credential;
+  pool_config.channel.trust = config_.trust;
+  pool_config.channel.required_peer_usage = config_.required_peer_usage;
+  pool_config.channel.features = config_.features;
+  pool_config.channel.session_cache = config_.session_cache;
+  pool_config.required_features = net::kFeatureChunkedXfer;
+  pool_ = net::ChannelPool::create(engine, network, rng,
+                                   std::move(pool_config));
 }
 
-XferRails::~XferRails() {
-  for (auto& rail : rails_) {
-    if (rail.channel) rail.channel->close();
-  }
-}
+XferRails::~XferRails() = default;
 
 void XferRails::shutdown() {
+  pool_->shutdown();  // fires no failure callbacks; fail pendings below
   for (std::size_t i = 0; i < rails_.size(); ++i)
     fail_rail(i, util::make_error(ErrorCode::kUnavailable,
                                   "transfer rails shut down"));
@@ -72,83 +89,15 @@ void XferRails::call(std::size_t stream, xfer::Op op, Bytes body,
                                  "transfer request timed out"));
       });
   rails_[stream].pending.emplace(request_id, std::move(pending));
-
-  ensure_rail(stream);
-  Rail& rail = rails_[stream];
-  if (!rail.channel) return;  // connect failed; pending already failed
-  if (rail.established) {
-    rail.channel->send(std::move(wire));
-  } else {
-    rail.backlog.push_back(std::move(wire));
-  }
-}
-
-void XferRails::ensure_rail(std::size_t index) {
-  Rail& rail = rails_[index];
-  if (rail.channel && !rail.channel->failed()) return;
-  if (rail.channel) {
-    rail.channel = nullptr;
-    rail.established = false;
-  }
-
-  auto endpoint = network_.connect(config_.local_host, config_.remote);
-  if (!endpoint) {
-    fail_rail(index, endpoint.error());
-    return;
-  }
-
-  net::SecureChannel::Config channel_config;
-  channel_config.credential = config_.credential;
-  channel_config.trust = config_.trust;
-  channel_config.required_peer_usage = config_.required_peer_usage;
-
-  std::weak_ptr<XferRails> weak = weak_from_this();
-  rail.established = false;
-  rail.channel = net::SecureChannel::as_client(
-      engine_, rng_, endpoint.value(), channel_config,
-      [weak, index](util::Status status) {
-        auto self = weak.lock();
-        if (!self) return;
-        if (!status.ok()) {
-          self->fail_rail(index, status.error());
-          return;
-        }
-        Rail& rail = self->rails_[index];
-        if (!rail.channel) return;
-        if (!rail.channel->feature_enabled(net::kFeatureChunkedXfer)) {
-          self->fail_rail(index,
-                          util::make_error(
-                              ErrorCode::kFailedPrecondition,
-                              "peer does not speak chunked transfer"));
-          return;
-        }
-        rail.established = true;
-        while (!rail.backlog.empty()) {
-          rail.channel->send(std::move(rail.backlog.front()));
-          rail.backlog.pop_front();
-        }
-      });
-  rail.channel->set_receiver([weak, index](Bytes&& wire) {
-    if (auto self = weak.lock())
-      self->handle_rail_message(index, std::move(wire));
-  });
-  rail.channel->set_close_handler([weak, index] {
-    if (auto self = weak.lock())
-      self->fail_rail(index, util::make_error(ErrorCode::kUnavailable,
-                                              "transfer rail closed"));
-  });
-  ++reconnects_;
+  // Connect failure is synchronous: the pool's slot-failure callback
+  // (fail_rail) has already failed the pending entry in that case.
+  pool_->send_on(stream, std::move(wire));
 }
 
 void XferRails::fail_rail(std::size_t index, const Error& error) {
   Rail& rail = rails_[index];
-  auto channel = std::move(rail.channel);
-  rail.channel = nullptr;
-  rail.established = false;
-  rail.backlog.clear();
   auto pending = std::move(rail.pending);
   rail.pending.clear();
-  if (channel) channel->close();
   for (auto& [id, entry] : pending) {
     if (entry.timeout) engine_.cancel(*entry.timeout);
     entry.handler(error);

@@ -8,14 +8,14 @@
 // the mechanism behind the chunked engine's speedup over the legacy
 // whole-blob kDeliverFile path (one message on one connection).
 //
-// Rails connect lazily on first use and reconnect after failure;
-// requests sent during a handshake are queued. Every in-flight request
-// carries its own timeout. All channel callbacks hold the rails object
-// weakly: dropping the last owning reference tears the rails down.
+// The rails draw from a net::ChannelPool: slots connect lazily on
+// first use, reconnect after failure, and — when a SessionCache is
+// wired — resume from the peer's session ticket instead of repeating
+// the full public-key handshake on every rail. Every in-flight request
+// carries its own timeout.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "net/channel_pool.h"
 #include "net/network.h"
 #include "net/secure_channel.h"
 #include "server/protocol.h"
@@ -42,6 +43,12 @@ class XferRails : public xfer::ChunkTransport,
     const crypto::TrustStore* trust = nullptr;
     std::uint8_t required_peer_usage = crypto::kUsageServerAuth;
     sim::Time request_timeout = sim::sec(60);
+    /// Session-resumption cache shared with the owner's other channels
+    /// toward the same peer; nullptr disables resumption on the rails.
+    net::SessionCache* session_cache = nullptr;
+    /// Feature bits to advertise; rails always require chunked transfer
+    /// on top of these.
+    std::uint64_t features = net::kDefaultFeatures;
   };
 
   static std::shared_ptr<XferRails> create(sim::Engine& engine,
@@ -58,7 +65,11 @@ class XferRails : public xfer::ChunkTransport,
   /// Closes every rail; pending requests fail kUnavailable.
   void shutdown();
 
-  std::uint64_t reconnects() const { return reconnects_; }
+  /// Handshakes started over the rails' lifetime (> streams() after a
+  /// reconnect).
+  std::uint64_t reconnects() const { return pool_->connects(); }
+  /// How many of those handshakes were session resumptions.
+  std::uint64_t resumptions() const { return pool_->resumptions(); }
 
  private:
   struct Pending {
@@ -66,26 +77,20 @@ class XferRails : public xfer::ChunkTransport,
     std::optional<sim::EventId> timeout;
   };
   struct Rail {
-    std::shared_ptr<net::SecureChannel> channel;
-    bool established = false;
-    std::deque<util::Bytes> backlog;
     std::map<std::uint64_t, Pending> pending;
   };
 
   XferRails(sim::Engine& engine, net::Network& network, util::Rng& rng,
             Config config);
 
-  void ensure_rail(std::size_t index);
   void fail_rail(std::size_t index, const util::Error& error);
   void handle_rail_message(std::size_t index, util::Bytes&& wire);
 
   sim::Engine& engine_;
-  net::Network& network_;
-  util::Rng& rng_;
   Config config_;
+  std::shared_ptr<net::ChannelPool> pool_;
   std::vector<Rail> rails_;
   std::uint64_t next_request_id_ = 1;
-  std::uint64_t reconnects_ = 0;
 };
 
 /// RequestKind carrying each transfer operation.

@@ -37,6 +37,10 @@ class ByteWriter {
  public:
   ByteWriter() = default;
 
+  /// Pre-sizes the buffer for `n` further bytes (hot paths that know the
+  /// frame size up front avoid the vector growth doublings).
+  void reserve(std::size_t n) { buf_.reserve(buf_.size() + n); }
+
   void u8(std::uint8_t v) { buf_.push_back(v); }
 
   void u16(std::uint16_t v) {

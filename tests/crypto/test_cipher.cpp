@@ -98,5 +98,84 @@ TEST(Seal, WrongMacKeyRejected) {
   EXPECT_FALSE(open(enc, key_of(0xbc), record, {}).ok());
 }
 
+// --- in-place variants (the record-layer hot path) ---------------------
+
+TEST(InPlace, CtrMatchesCopyingVariant) {
+  util::Rng rng(77);
+  SymmetricKey key{rng.bytes(32)};
+  for (std::size_t size : {1u, 31u, 32u, 33u, 64u, 1000u, 4096u}) {
+    Bytes data = rng.bytes(size);
+    Bytes expected = ctr_crypt(key, 42, data);
+    Bytes in_place = data;
+    ctr_crypt_inplace(key, 42, in_place.data(), in_place.size());
+    EXPECT_EQ(in_place, expected) << "size " << size;
+  }
+}
+
+TEST(InPlace, SealMatchesCopyingVariant) {
+  util::Rng rng(78);
+  SymmetricKey enc{rng.bytes(32)}, mac{rng.bytes(32)};
+  Bytes plaintext = rng.bytes(500);
+  Bytes aad = util::to_bytes("hdr");
+  SealedRecord copied = seal(enc, mac, 5, plaintext, aad);
+  Bytes data = plaintext;
+  Digest tag = seal_inplace(enc, mac, 5, data, aad);
+  EXPECT_EQ(data, copied.ciphertext);
+  EXPECT_EQ(tag, copied.tag);
+}
+
+TEST(InPlace, SealOpenRoundTrip) {
+  SymmetricKey enc = key_of(0x31), mac = key_of(0x32);
+  Bytes plaintext = util::to_bytes("in-place record payload");
+  Bytes aad = util::to_bytes("seq=1");
+  Bytes data = plaintext;
+  Digest tag = seal_inplace(enc, mac, 1, data, aad);
+  EXPECT_NE(data, plaintext);
+  ASSERT_TRUE(open_inplace(enc, mac, 1, data, tag, aad).ok());
+  EXPECT_EQ(data, plaintext);
+}
+
+TEST(InPlace, OpenLeavesDataEncryptedOnFailure) {
+  SymmetricKey enc = key_of(0x31), mac = key_of(0x32);
+  Bytes data = util::to_bytes("payload");
+  Digest tag = seal_inplace(enc, mac, 1, data, {});
+  Bytes ciphertext = data;
+  Digest bad_tag = tag;
+  bad_tag[0] ^= 0x01;
+  auto status = open_inplace(enc, mac, 1, data, bad_tag, {});
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, util::ErrorCode::kAuthenticationFailed);
+  // The buffer must not hold plaintext after a failed verification.
+  EXPECT_EQ(data, ciphertext);
+}
+
+TEST(InPlace, TamperedCiphertextRejected) {
+  SymmetricKey enc = key_of(0x31), mac = key_of(0x32);
+  Bytes data = util::to_bytes("payload");
+  Digest tag = seal_inplace(enc, mac, 1, data, {});
+  data[3] ^= 0x10;
+  EXPECT_FALSE(open_inplace(enc, mac, 1, data, tag, {}).ok());
+}
+
+TEST(InPlace, CrossCompatibleWithCopyingSealOpen) {
+  // A record sealed in place opens through the legacy API and vice
+  // versa — both ends of a channel may run either code path.
+  SymmetricKey enc = key_of(0x41), mac = key_of(0x42);
+  Bytes aad = util::to_bytes("dir=0 seq=9");
+  Bytes data = util::to_bytes("interop");
+  SealedRecord record;
+  record.nonce = 9;
+  record.tag = seal_inplace(enc, mac, 9, data, aad);
+  record.ciphertext = data;
+  auto opened = open(enc, mac, record, aad);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(opened.value(), util::to_bytes("interop"));
+
+  SealedRecord legacy = seal(enc, mac, 10, util::to_bytes("reverse"), aad);
+  Bytes buffer = legacy.ciphertext;
+  ASSERT_TRUE(open_inplace(enc, mac, 10, buffer, legacy.tag, aad).ok());
+  EXPECT_EQ(buffer, util::to_bytes("reverse"));
+}
+
 }  // namespace
 }  // namespace unicore::crypto

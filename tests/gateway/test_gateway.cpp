@@ -169,6 +169,120 @@ TEST_F(GatewayFixture, ForwardedConsignmentRejectsBadEndorsement) {
                    .ok());
 }
 
+// --- authentication fast path -----------------------------------------
+
+TEST_F(GatewayFixture, AuthCacheServesRepeatedAuthentications) {
+  ASSERT_TRUE(gateway.authenticate_user(user.certificate, kEpoch + 1).ok());
+  const std::size_t audited = gateway.audit_log().size();
+  auto again = gateway.authenticate_user(user.certificate, kEpoch + 2);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().login, "ucjane");
+  EXPECT_EQ(gateway.auth_cache_hits(), 1u);
+  EXPECT_EQ(gateway.auth_cache_misses(), 1u);
+  // Hits repeat an already-recorded decision; the audit trail does not
+  // grow.
+  EXPECT_EQ(gateway.audit_log().size(), audited);
+}
+
+TEST_F(GatewayFixture, AuthCacheRejectionsAreNeverCached) {
+  ASSERT_FALSE(
+      gateway.authenticate_user(peer_server.certificate, kEpoch + 1).ok());
+  ASSERT_FALSE(
+      gateway.authenticate_user(peer_server.certificate, kEpoch + 2).ok());
+  EXPECT_EQ(gateway.auth_cache_hits(), 0u);
+}
+
+TEST_F(GatewayFixture, AuthCacheDemandsIdenticalCertificate) {
+  ASSERT_TRUE(gateway.authenticate_user(user.certificate, kEpoch + 1).ok());
+  // A different certificate with the same subject DN (e.g. reissued
+  // with another key) must not borrow the cached decision.
+  crypto::Credential reissued = ca.issue_credential(
+      dn("Jane"), rng, kEpoch, kYear,
+      crypto::kUsageClientAuth | crypto::kUsageDigitalSignature);
+  ASSERT_TRUE(
+      gateway.authenticate_user(reissued.certificate, kEpoch + 2).ok());
+  EXPECT_EQ(gateway.auth_cache_hits(), 0u);
+  EXPECT_EQ(gateway.auth_cache_misses(), 2u);
+}
+
+TEST_F(GatewayFixture, AuthCacheExpiresWithTtl) {
+  gateway.set_auth_cache_ttl(10);
+  ASSERT_TRUE(gateway.authenticate_user(user.certificate, kEpoch + 1).ok());
+  EXPECT_TRUE(gateway.authenticate_user(user.certificate, kEpoch + 10).ok());
+  EXPECT_EQ(gateway.auth_cache_hits(), 1u);
+  EXPECT_TRUE(gateway.authenticate_user(user.certificate, kEpoch + 11).ok());
+  EXPECT_EQ(gateway.auth_cache_hits(), 1u);  // expired -> full path again
+  gateway.set_auth_cache_ttl(0);  // disables and clears
+  EXPECT_TRUE(gateway.authenticate_user(user.certificate, kEpoch + 12).ok());
+  EXPECT_EQ(gateway.auth_cache_hits(), 1u);
+}
+
+TEST_F(GatewayFixture, UudbEditInvalidatesCache) {
+  ASSERT_TRUE(gateway.authenticate_user(user.certificate, kEpoch + 1).ok());
+  ASSERT_TRUE(gateway.uudb().remove_mapping(dn("Jane")).ok());
+  // The removal bumps the UUDB generation: the cached positive is dead
+  // and the full path rejects the now-unmapped user.
+  EXPECT_FALSE(gateway.authenticate_user(user.certificate, kEpoch + 2).ok());
+  EXPECT_EQ(gateway.auth_cache_hits(), 0u);
+}
+
+TEST_F(GatewayFixture, SuspensionInvalidatesCache) {
+  ASSERT_TRUE(gateway.authenticate_user(user.certificate, kEpoch + 1).ok());
+  ASSERT_TRUE(gateway.uudb().set_suspended(dn("Jane"), true).ok());
+  EXPECT_FALSE(gateway.authenticate_user(user.certificate, kEpoch + 2).ok());
+  // Re-enable: the next authentication is a miss, then hits again.
+  ASSERT_TRUE(gateway.uudb().set_suspended(dn("Jane"), false).ok());
+  EXPECT_TRUE(gateway.authenticate_user(user.certificate, kEpoch + 3).ok());
+  EXPECT_TRUE(gateway.authenticate_user(user.certificate, kEpoch + 4).ok());
+  EXPECT_EQ(gateway.auth_cache_hits(), 1u);
+}
+
+TEST_F(GatewayFixture, CrlRevocationInvalidatesCache) {
+  ASSERT_TRUE(gateway.authenticate_user(user.certificate, kEpoch + 1).ok());
+  ca.revoke(user.certificate.serial);
+  ASSERT_TRUE(gateway.trust_store().add_crl(ca.crl(kEpoch + 1)).ok());
+  // The CRL bumps the trust generation: no hit, and full validation
+  // rejects the revoked certificate.
+  EXPECT_FALSE(gateway.authenticate_user(user.certificate, kEpoch + 2).ok());
+  EXPECT_EQ(gateway.auth_cache_hits(), 0u);
+}
+
+TEST_F(GatewayFixture, ExplicitInvalidationDropsCache) {
+  ASSERT_TRUE(gateway.authenticate_user(user.certificate, kEpoch + 1).ok());
+  gateway.invalidate_auth_cache();
+  EXPECT_TRUE(gateway.authenticate_user(user.certificate, kEpoch + 2).ok());
+  EXPECT_EQ(gateway.auth_cache_hits(), 0u);
+  EXPECT_EQ(gateway.auth_cache_misses(), 2u);
+}
+
+TEST_F(GatewayFixture, ForwardedConsignmentMemoizesEndorsement) {
+  ajo::AbstractJobObject group = job();
+  util::Bytes input;
+  {
+    util::ByteWriter w;
+    w.blob(ajo::encode_action(group));
+    w.blob(user.certificate.der());
+    input = w.take();
+  }
+  crypto::Signature endorsement =
+      crypto::sign_message(peer_server.key, input);
+  for (int i = 0; i < 3; ++i) {
+    auto result = gateway.check_forwarded_consignment(
+        group, user.certificate, peer_server.certificate, endorsement, input,
+        kEpoch + 1 + i);
+    ASSERT_TRUE(result.ok()) << result.error().to_string();
+  }
+  // A forged signature is refused even when a verification for the same
+  // input is memoized.
+  crypto::Signature forged = endorsement;
+  forged.value ^= 1;
+  EXPECT_FALSE(gateway
+                   .check_forwarded_consignment(group, user.certificate,
+                                                peer_server.certificate,
+                                                forged, input, kEpoch + 5)
+                   .ok());
+}
+
 TEST_F(GatewayFixture, AuditTrailRecordsDecisions) {
   (void)gateway.authenticate_user(user.certificate, kEpoch + 1);
   (void)gateway.authenticate_user(peer_server.certificate, kEpoch + 1);

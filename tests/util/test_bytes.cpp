@@ -120,5 +120,27 @@ TEST(ConstantTimeEqual, Semantics) {
   EXPECT_TRUE(constant_time_equal({}, {}));
 }
 
+TEST(ConstantTimeEqual, DetectsDifferenceAtEveryPosition) {
+  // The implementation accumulates a XOR over the full width with no
+  // data-dependent branch, so a flipped bit at any offset — and any
+  // combination of flipped bits, including ones that would cancel in a
+  // sum — must be caught. This pins the semantics the MAC checks in
+  // cipher open() and the channel handshake rely on.
+  const Bytes tag(32, 0x5c);
+  for (std::size_t pos = 0; pos < tag.size(); ++pos) {
+    for (std::uint8_t bit = 0; bit < 8; ++bit) {
+      Bytes other = tag;
+      other[pos] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_FALSE(constant_time_equal(tag, other))
+          << "byte " << pos << " bit " << int(bit);
+    }
+  }
+  // Two differences that XOR to the same value at different offsets.
+  Bytes twisted = tag;
+  twisted[0] ^= 0x0f;
+  twisted[31] ^= 0x0f;
+  EXPECT_FALSE(constant_time_equal(tag, twisted));
+}
+
 }  // namespace
 }  // namespace unicore::util
