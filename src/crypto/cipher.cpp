@@ -94,22 +94,39 @@ util::Bytes ctr_crypt(const SymmetricKey& key, std::uint64_t nonce,
 }
 
 Digest seal_inplace(const SymmetricKey& enc_key, const SymmetricKey& mac_key,
-                    std::uint64_t nonce, util::Bytes& data,
+                    std::uint64_t nonce, MutableByteView data,
                     util::ByteView aad) {
   ctr_crypt_inplace(enc_key, nonce, data.data(), data.size());
-  return record_tag(mac_key, nonce, data, aad);
+  return record_tag(mac_key, nonce, util::ByteView(data.data(), data.size()),
+                    aad);
+}
+
+Digest seal_inplace(const SymmetricKey& enc_key, const SymmetricKey& mac_key,
+                    std::uint64_t nonce, util::Bytes& data,
+                    util::ByteView aad) {
+  return seal_inplace(enc_key, mac_key, nonce,
+                      MutableByteView(data.data(), data.size()), aad);
+}
+
+util::Status open_inplace(const SymmetricKey& enc_key,
+                          const SymmetricKey& mac_key, std::uint64_t nonce,
+                          MutableByteView data, const Digest& tag,
+                          util::ByteView aad) {
+  Digest expected = record_tag(
+      mac_key, nonce, util::ByteView(data.data(), data.size()), aad);
+  if (!util::constant_time_equal(expected, tag))
+    return util::make_error(util::ErrorCode::kAuthenticationFailed,
+                            "record MAC verification failed");
+  ctr_crypt_inplace(enc_key, nonce, data.data(), data.size());
+  return util::Status::ok_status();
 }
 
 util::Status open_inplace(const SymmetricKey& enc_key,
                           const SymmetricKey& mac_key, std::uint64_t nonce,
                           util::Bytes& data, const Digest& tag,
                           util::ByteView aad) {
-  Digest expected = record_tag(mac_key, nonce, data, aad);
-  if (!util::constant_time_equal(expected, tag))
-    return util::make_error(util::ErrorCode::kAuthenticationFailed,
-                            "record MAC verification failed");
-  ctr_crypt_inplace(enc_key, nonce, data.data(), data.size());
-  return util::Status::ok_status();
+  return open_inplace(enc_key, mac_key, nonce,
+                      MutableByteView(data.data(), data.size()), tag, aad);
 }
 
 SealedRecord seal(const SymmetricKey& enc_key, const SymmetricKey& mac_key,

@@ -50,10 +50,23 @@ util::Result<util::Bytes> open(const SymmetricKey& enc_key,
                                const SymmetricKey& mac_key,
                                const SealedRecord& record, util::ByteView aad);
 
+/// Mutable view over a slice of an existing buffer. The vectored record
+/// path seals/opens records through views like this — slices of one
+/// batch frame or of a caller's payload — so the kernels never require
+/// the record to own its memory.
+using MutableByteView = std::span<std::uint8_t>;
+
 /// Copy-free seal: encrypts `data` in place (plaintext -> ciphertext)
 /// and returns the tag over (nonce || ciphertext || aad).
 Digest seal_inplace(const SymmetricKey& enc_key, const SymmetricKey& mac_key,
                     std::uint64_t nonce, util::Bytes& data,
+                    util::ByteView aad);
+
+/// Vectored variant: the record is a view into a larger buffer (e.g. one
+/// record of a coalesced batch frame, or a fragment slice of a large
+/// payload). Byte-identical output to the owning overload.
+Digest seal_inplace(const SymmetricKey& enc_key, const SymmetricKey& mac_key,
+                    std::uint64_t nonce, MutableByteView data,
                     util::ByteView aad);
 
 /// Copy-free open: verifies `tag` (constant-time) and decrypts `data` in
@@ -61,6 +74,12 @@ Digest seal_inplace(const SymmetricKey& enc_key, const SymmetricKey& mac_key,
 util::Status open_inplace(const SymmetricKey& enc_key,
                           const SymmetricKey& mac_key, std::uint64_t nonce,
                           util::Bytes& data, const Digest& tag,
+                          util::ByteView aad);
+
+/// Vectored variant of open_inplace (see the seal counterpart).
+util::Status open_inplace(const SymmetricKey& enc_key,
+                          const SymmetricKey& mac_key, std::uint64_t nonce,
+                          MutableByteView data, const Digest& tag,
                           util::ByteView aad);
 
 }  // namespace unicore::crypto

@@ -48,6 +48,16 @@ Digest sha256(std::string_view s);
 /// calls this per block instead of re-running the incremental context.
 Digest sha256_single_block(const std::uint8_t block[64]);
 
+/// True when the process selected a hardware (SHA-NI) compression path at
+/// startup. Both paths produce bit-identical digests; this only reports
+/// which one is active (benchmarks record it in their context).
+bool sha256_hardware_accelerated();
+
+/// Forces the portable compression path (false) or re-runs hardware
+/// detection (true). Exists so tests can cross-check both backends on the
+/// same machine; not thread-safe against concurrent hashing.
+void set_sha256_acceleration(bool enabled);
+
 /// Digest as a Bytes value (for wire formats).
 util::Bytes digest_bytes(const Digest& d);
 

@@ -13,10 +13,6 @@ struct Endpoint::ConnectionState {
   LinkProfile link;
   bool open_a = true;  // initiator side
   bool open_b = true;  // acceptor side
-  // FIFO ordering per direction: a message may not overtake its
-  // predecessor even when bandwidth delays differ.
-  sim::Time next_free_a_to_b = 0;
-  sim::Time next_free_b_to_a = 0;
   std::weak_ptr<Endpoint> side_a;  // initiator
   std::weak_ptr<Endpoint> side_b;  // acceptor
 
@@ -38,6 +34,16 @@ void Endpoint::set_receiver(Receiver receiver) {
   }
 }
 
+void Endpoint::set_batch_receiver(BatchReceiver receiver) {
+  batch_receiver_ = std::move(receiver);
+  if (batch_receiver_ && !inbox_.empty()) {
+    std::vector<util::Bytes> queued(std::make_move_iterator(inbox_.begin()),
+                                    std::make_move_iterator(inbox_.end()));
+    inbox_.clear();
+    batch_receiver_(std::move(queued));
+  }
+}
+
 void Endpoint::set_close_handler(std::function<void()> handler) {
   close_handler_ = std::move(handler);
 }
@@ -46,21 +52,10 @@ void Endpoint::close() {
   if (!is_open()) return;
   state_->side_open(is_initiator_) = false;
   auto peer = is_initiator_ ? state_->side_b.lock() : state_->side_a.lock();
-  if (peer) {
-    // The close notification travels behind everything already queued in
-    // this direction: it departs once the pipe is free and then takes one
-    // link latency, so in-flight messages (scheduled earlier, same or
-    // earlier arrival time) are delivered first.
-    sim::Engine& engine = state_->network->engine_;
-    sim::Time next_free =
-        is_initiator_ ? state_->next_free_a_to_b : state_->next_free_b_to_a;
-    sim::Time notice_at =
-        std::max(engine.now(), next_free) + state_->link.latency;
-    std::weak_ptr<Endpoint> weak_peer = peer;
-    engine.at(notice_at, [weak_peer] {
-      if (auto p = weak_peer.lock()) p->handle_peer_close();
-    });
-  }
+  // The close notification travels the same FIFO path as data — through
+  // the shared link queue and the peer host's reactor — so every message
+  // already in flight (including spike-delayed ones) arrives first.
+  if (peer) state_->network->transmit_close(*this, peer);
 }
 
 bool Endpoint::is_open() const {
@@ -134,11 +129,12 @@ void Network::add_latency_spike(const std::string& a, const std::string& b,
 }
 
 util::Status Network::listen(const Address& address, Acceptor acceptor) {
-  auto [it, inserted] = listeners_.emplace(address, std::move(acceptor));
-  (void)it;
-  if (!inserted)
+  // Check, then insert: the error path must not construct (and tear down)
+  // a map node from the moved acceptor.
+  if (listeners_.find(address) != listeners_.end())
     return util::make_error(util::ErrorCode::kFailedPrecondition,
                             "address already bound: " + address.to_string());
+  listeners_.emplace(address, std::move(acceptor));
   return util::Status::ok_status();
 }
 
@@ -194,23 +190,73 @@ void Network::set_metrics(std::shared_ptr<obs::MetricsRegistry> registry) {
     bytes_sent_counter_ = &metrics_->counter("unicore_net_bytes_sent_total");
     bytes_delivered_counter_ =
         &metrics_->counter("unicore_net_bytes_delivered_total");
+    sent_counter_ = &metrics_->counter("unicore_net_messages_sent_total");
     delivered_counter_ =
         &metrics_->counter("unicore_net_messages_delivered_total");
     dropped_counter_ = &metrics_->counter("unicore_net_messages_dropped_total");
   } else {
     bytes_sent_counter_ = nullptr;
     bytes_delivered_counter_ = nullptr;
+    sent_counter_ = nullptr;
     delivered_counter_ = nullptr;
     dropped_counter_ = nullptr;
   }
 }
 
+Reactor& Network::reactor_for(const std::string& host) {
+  auto it = reactors_.find(host);
+  if (it == reactors_.end())
+    it = reactors_.emplace(host, std::make_unique<Reactor>(engine_, *this))
+             .first;
+  return *it->second;
+}
+
+sim::Time Network::spike_extra(const std::string& a, const std::string& b) {
+  auto spike = spikes_.find(host_pair(a, b));
+  if (spike == spikes_.end()) return 0;
+  if (engine_.now() < spike->second.until) return spike->second.extra;
+  spikes_.erase(spike);
+  return 0;
+}
+
+sim::Time Network::link_arrival(const std::string& from, const std::string& to,
+                                std::size_t bytes, const LinkProfile& link) {
+  sim::Time transmission =
+      link.bandwidth_bytes_per_sec > 0
+          ? sim::from_seconds(static_cast<double>(bytes) /
+                              link.bandwidth_bytes_per_sec)
+          : 0;
+  LinkQueue& queue = link_queues_[{from, to}];
+  sim::Time departure = std::max(engine_.now(), queue.busy_until);
+  queue.busy_until = departure + transmission;
+  sim::Time arrival =
+      departure + transmission + link.latency + spike_extra(from, to);
+  // FIFO on the wire: even when the delay model shrinks (a latency spike
+  // expires), nothing overtakes what is already in flight.
+  arrival = std::max(arrival, queue.last_arrival);
+  queue.last_arrival = arrival;
+  return arrival;
+}
+
+void Network::count_drop(std::size_t n) {
+  messages_dropped_ += n;
+  if (dropped_counter_)
+    dropped_counter_->add(static_cast<double>(n));
+}
+
 void Network::transmit(Endpoint& from, util::Bytes message) {
   auto state = from.state_;
+  ++messages_sent_;
+  if (sent_counter_) sent_counter_->increment();
   if (bytes_sent_counter_)
     bytes_sent_counter_->add(static_cast<double>(message.size()));
   auto target = from.is_initiator_ ? state->side_b.lock() : state->side_a.lock();
-  if (!target) return;
+  if (!target) {
+    // Peer endpoint already destroyed: the message is gone, and the books
+    // must say so (sent = delivered + dropped).
+    count_drop();
+    return;
+  }
 
   // Injected faults take precedence over probabilistic link loss: a
   // partitioned pair drops everything, a drop schedule eats the next N
@@ -225,53 +271,80 @@ void Network::transmit(Endpoint& from, util::Bytes message) {
     if (--sched->second <= 0) drop_schedules_.erase(sched);
   }
   if (fault_drop) {
-    ++messages_dropped_;
+    count_drop();
     ++messages_dropped_by_faults_;
-    if (dropped_counter_) dropped_counter_->increment();
     return;
   }
 
   if (rng_.chance(state->link.loss_probability)) {
-    ++messages_dropped_;
-    if (dropped_counter_) dropped_counter_->increment();
+    count_drop();
     return;
   }
 
-  sim::Time transmission =
-      state->link.bandwidth_bytes_per_sec > 0
-          ? sim::from_seconds(static_cast<double>(message.size()) /
-                              state->link.bandwidth_bytes_per_sec)
-          : 0;
-  sim::Time& next_free =
-      from.is_initiator_ ? state->next_free_a_to_b : state->next_free_b_to_a;
-  sim::Time departure = std::max(engine_.now(), next_free);
-  sim::Time arrival = departure + transmission + state->link.latency;
-  next_free = departure + transmission;
+  sim::Time arrival = link_arrival(from.local_host_, target->local_host_,
+                                   message.size(), state->link);
+  reactor_for(target->local_host_)
+      .enqueue_message(arrival, target, from.weak_from_this(),
+                       std::move(message));
+}
 
-  if (auto spike = spikes_.find(host_pair(from.local_host_, target->local_host_));
-      spike != spikes_.end()) {
-    if (engine_.now() < spike->second.until)
-      arrival += spike->second.extra;
-    else
-      spikes_.erase(spike);
+void Network::transmit_close(Endpoint& from,
+                             const std::shared_ptr<Endpoint>& peer) {
+  // A close notice carries no payload but flows through the same link
+  // queue and reactor as data, so it cannot overtake in-flight messages.
+  // It deliberately skips the fault knobs: teardown is observed even
+  // across partitions (the local side is gone either way).
+  sim::Time arrival =
+      link_arrival(from.local_host_, peer->local_host_, 0, from.state_->link);
+  reactor_for(peer->local_host_).enqueue_close(arrival, peer);
+}
+
+void Network::dispatch_batch(const std::shared_ptr<Endpoint>& target,
+                             std::vector<Reactor::Item>&& batch) {
+  if (!target) {
+    // Every weak reference expired while the batch was in flight.
+    count_drop(batch.size());
+    return;
   }
-
-  std::weak_ptr<Endpoint> weak_target = target;
-  std::weak_ptr<Endpoint> weak_sender = from.weak_from_this();
-  engine_.at(arrival, [this, weak_target, weak_sender,
-                       payload = std::move(message)]() mutable {
-    auto endpoint = weak_target.lock();
+  if (target->batch_receiver_) {
+    if (!target->is_open()) {
+      count_drop(batch.size());
+      return;
+    }
+    std::vector<util::Bytes> payloads;
+    payloads.reserve(batch.size());
+    for (Reactor::Item& item : batch) {
+      ++messages_delivered_;
+      if (delivered_counter_) delivered_counter_->increment();
+      if (bytes_delivered_counter_)
+        bytes_delivered_counter_->add(static_cast<double>(item.payload.size()));
+      if (auto sender = item.sender.lock())
+        sender->bytes_delivered_ += item.payload.size();
+      payloads.push_back(std::move(item.payload));
+    }
+    target->batch_receiver_(std::move(payloads));
+    return;
+  }
+  for (Reactor::Item& item : batch) {
     // Only the *receiving* side's open flag gates delivery: a sender
-    // that closed after the send has already paid for the bytes.
-    if (!endpoint || !endpoint->is_open()) return;
+    // that closed after the send has already paid for the bytes. A
+    // receiver that closes mid-batch drops the tail — counted.
+    if (!target->is_open()) {
+      count_drop();
+      continue;
+    }
     ++messages_delivered_;
     if (delivered_counter_) delivered_counter_->increment();
     if (bytes_delivered_counter_)
-      bytes_delivered_counter_->add(static_cast<double>(payload.size()));
-    if (auto sender = weak_sender.lock())
-      sender->bytes_delivered_ += payload.size();
-    endpoint->deliver(std::move(payload));
-  });
+      bytes_delivered_counter_->add(static_cast<double>(item.payload.size()));
+    if (auto sender = item.sender.lock())
+      sender->bytes_delivered_ += item.payload.size();
+    target->deliver(std::move(item.payload));
+  }
+}
+
+void Network::dispatch_close(const std::shared_ptr<Endpoint>& target) {
+  target->handle_peer_close();
 }
 
 }  // namespace unicore::net

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "net/reactor.h"
 #include "obs/metrics.h"
 #include "sim/engine.h"
 #include "util/bytes.h"
@@ -89,6 +90,7 @@ class Network;
 class Endpoint : public std::enable_shared_from_this<Endpoint> {
  public:
   using Receiver = std::function<void(util::Bytes&&)>;
+  using BatchReceiver = std::function<void(std::vector<util::Bytes>&&)>;
 
   /// Queues a message toward the peer. Silently drops on closed
   /// connections (like writing to a dead TCP socket whose RST has not
@@ -98,6 +100,12 @@ class Endpoint : public std::enable_shared_from_this<Endpoint> {
   /// Installs the receive callback; any messages that arrived before the
   /// receiver was set are delivered immediately (same event).
   void set_receiver(Receiver receiver);
+
+  /// Installs a batch receive callback. When set, it takes precedence
+  /// over the per-message receiver: the reactor hands over every message
+  /// that became ready in the same tick as one vector, preserving arrival
+  /// order. Messages queued in the inbox are flushed to it immediately.
+  void set_batch_receiver(BatchReceiver receiver);
 
   /// Installs a callback fired once when the connection closes.
   void set_close_handler(std::function<void()> handler);
@@ -131,6 +139,7 @@ class Endpoint : public std::enable_shared_from_this<Endpoint> {
   std::uint16_t remote_port_ = 0;
   bool is_initiator_ = false;
   Receiver receiver_;
+  BatchReceiver batch_receiver_;
   std::function<void()> close_handler_;
   std::deque<util::Bytes> inbox_;
   std::uint64_t bytes_sent_ = 0;
@@ -172,8 +181,15 @@ class Network {
   util::Result<std::shared_ptr<Endpoint>> connect(const std::string& from_host,
                                                   const Address& to);
 
+  /// Messages handed to transmit (counted whether or not they survive the
+  /// trip); the fabric maintains sent = delivered + dropped.
+  std::uint64_t messages_sent() const { return messages_sent_; }
   std::uint64_t messages_delivered() const { return messages_delivered_; }
   std::uint64_t messages_dropped() const { return messages_dropped_; }
+
+  /// The delivery reactor for `host` (created on first use). Exposed for
+  /// tests and benches that assert on batching behaviour.
+  Reactor& reactor_for(const std::string& host);
 
   // --- fault injection ---------------------------------------------------
   // Knobs consulted per message in transmit(); see net/faults.h for the
@@ -207,17 +223,46 @@ class Network {
 
  private:
   friend class Endpoint;
+  friend class Reactor;
 
   void transmit(Endpoint& from, util::Bytes message);
+  void transmit_close(Endpoint& from, const std::shared_ptr<Endpoint>& peer);
+
+  /// Reactor callbacks: a batch of ready messages for one endpoint
+  /// (`target` may be null when every weak reference expired) and a close
+  /// notice reaching the peer.
+  void dispatch_batch(const std::shared_ptr<Endpoint>& target,
+                      std::vector<Reactor::Item>&& batch);
+  void dispatch_close(const std::shared_ptr<Endpoint>& target);
 
   struct LatencySpike {
     sim::Time extra = 0;
     sim::Time until = 0;
   };
+  /// Shared capacity of one direction of the pipe between a host pair:
+  /// every connection a->b serializes through the same link, and arrival
+  /// times are clamped monotonic so nothing — data or close — overtakes
+  /// on the wire (e.g. when a latency spike expires mid-stream).
+  struct LinkQueue {
+    sim::Time busy_until = 0;
+    sim::Time last_arrival = 0;
+  };
   static std::pair<std::string, std::string> host_pair(const std::string& a,
                                                        const std::string& b) {
     return a <= b ? std::make_pair(a, b) : std::make_pair(b, a);
   }
+
+  /// Extra delay from an active latency spike between two hosts; expired
+  /// spikes are garbage-collected here.
+  sim::Time spike_extra(const std::string& a, const std::string& b);
+
+  /// Computes the arrival time of `bytes` payload bytes sent now from
+  /// `from` to `to`, advancing the shared link queue. Used by data and
+  /// close notices alike so FIFO holds across both.
+  sim::Time link_arrival(const std::string& from, const std::string& to,
+                         std::size_t bytes, const LinkProfile& link);
+
+  void count_drop(std::size_t n = 1);
 
   sim::Engine& engine_;
   util::Rng rng_;
@@ -228,12 +273,16 @@ class Network {
   std::map<std::pair<std::string, std::string>, bool> partitions_;
   std::map<std::pair<std::string, std::string>, int> drop_schedules_;
   std::map<std::pair<std::string, std::string>, LatencySpike> spikes_;
+  std::map<std::pair<std::string, std::string>, LinkQueue> link_queues_;
+  std::map<std::string, std::unique_ptr<Reactor>> reactors_;
+  std::uint64_t messages_sent_ = 0;
   std::uint64_t messages_delivered_ = 0;
   std::uint64_t messages_dropped_ = 0;
   std::uint64_t messages_dropped_by_faults_ = 0;
   std::shared_ptr<obs::MetricsRegistry> metrics_;
   obs::Counter* bytes_sent_counter_ = nullptr;
   obs::Counter* bytes_delivered_counter_ = nullptr;
+  obs::Counter* sent_counter_ = nullptr;
   obs::Counter* delivered_counter_ = nullptr;
   obs::Counter* dropped_counter_ = nullptr;
 };

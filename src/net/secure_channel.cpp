@@ -4,6 +4,7 @@
 
 #include "crypto/hmac.h"
 #include "util/log.h"
+#include "util/thread_pool.h"
 
 namespace unicore::net {
 
@@ -27,7 +28,50 @@ enum MessageType : std::uint8_t {
   kClientHelloResumed = 7,
   kServerHelloResumed = 8,
   kHelloRetry = 9,  // resumption refused: restart with a full ClientHello
+  kRecordBatch = 10,  // coalesced records (kFeatureBatchRecords)
 };
+
+// Batched record framing limits. A record within a batch carries at most
+// kFragmentLimit plaintext bytes — larger messages are split into
+// fragment records (flags below) that the receiver reassembles. A frame
+// coalesces records up to roughly kMaxFrameBytes of payload.
+constexpr std::size_t kFragmentLimit = 256 * 1024;
+constexpr std::size_t kMaxFrameBytes = 1024 * 1024;
+constexpr std::uint64_t kMaxRecordsPerFrame = 4096;
+/// Upper bound a peer can announce for a fragmented message — caps the
+/// reassembly allocation a corrupt length field could demand.
+constexpr std::uint64_t kMaxReassemblyBytes = 1ull << 30;
+
+// Per-record fragmentation flags (authenticated via the record AAD).
+enum RecordFlags : std::uint8_t {
+  kComplete = 0,  // one record == one application message
+  kFirst = 1,     // first fragment; carries the total plaintext size
+  kMiddle = 2,
+  kFinal = 3,
+};
+
+/// Record AAD: direction byte + big-endian sequence number, and for
+/// batched records the fragmentation flags (plus the announced total for
+/// first fragments) so a tampered flag or total fails the MAC, not the
+/// reassembly.
+std::size_t encode_record_aad(std::uint8_t* out, std::uint8_t direction,
+                              std::uint64_t seq) {
+  out[0] = direction;
+  for (int i = 0; i < 8; ++i)
+    out[1 + i] = static_cast<std::uint8_t>(seq >> (56 - 8 * i));
+  return 9;
+}
+
+std::size_t encode_batch_aad(std::uint8_t* out, std::uint8_t direction,
+                             std::uint64_t seq, std::uint8_t flags,
+                             std::uint64_t total) {
+  std::size_t n = encode_record_aad(out, direction, seq);
+  out[n++] = flags;
+  if (flags == kFirst)
+    for (int i = 0; i < 8; ++i)
+      out[n++] = static_cast<std::uint8_t>(total >> (56 - 8 * i));
+  return n;
+}
 
 constexpr std::string_view kKdfLabel = "unicore-secure-channel-v1";
 constexpr std::string_view kResumeKdfLabel = "unicore-secure-channel-resume";
@@ -93,6 +137,18 @@ void SecureChannel::start() {
   std::weak_ptr<SecureChannel> weak = shared_from_this();
   endpoint_->set_receiver([weak](Bytes&& wire) {
     if (auto self = weak.lock()) self->handle_wire_message(std::move(wire));
+  });
+  // Reactor batch delivery: one callback per drained batch instead of one
+  // per wire message. Frames still process strictly in order; a failure
+  // mid-batch discards the rest, matching per-message semantics (the
+  // channel is dead either way).
+  endpoint_->set_batch_receiver([weak](std::vector<Bytes>&& frames) {
+    auto self = weak.lock();
+    if (!self) return;
+    for (Bytes& frame : frames) {
+      if (self->state_ == State::kFailed) return;
+      self->handle_wire_message(std::move(frame));
+    }
   });
   endpoint_->set_close_handler([weak] {
     auto self = weak.lock();
@@ -238,6 +294,12 @@ void SecureChannel::handle_wire_message(Bytes&& wire) {
                                        "record before establishment"),
                       true);
         return handle_record(reader);
+      case kRecordBatch:
+        if (state_ != State::kEstablished)
+          return fail(util::make_error(ErrorCode::kFailedPrecondition,
+                                       "record before establishment"),
+                      true);
+        return handle_record_batch(reader, wire);
       case kAlert:
         // A pre-resumption server alerts on ClientHelloResumed instead
         // of sending HelloRetry; drop the cached session so the owner's
@@ -700,6 +762,9 @@ void SecureChannel::succeed() {
 void SecureChannel::fail(Error error, bool send_alert) {
   if (state_ == State::kFailed) return;
   bool was_established = state_ == State::kEstablished;
+  // Queued application records depart ahead of the alert/close so the
+  // peer never sees teardown overtake data it was meant to receive.
+  flush_send_queue();
   state_ = State::kFailed;
   if (!was_established) {
     if (auto* metrics = endpoint_->metrics())
@@ -721,6 +786,7 @@ void SecureChannel::fail(Error error, bool send_alert) {
   // may run inside the endpoint's receiver callback.
   engine_.after(0, [endpoint = endpoint_] {
     endpoint->set_receiver(nullptr);
+    endpoint->set_batch_receiver(nullptr);
     endpoint->set_close_handler(nullptr);
   });
   UNICORE_DEBUG("secure_channel") << "handshake/channel failure: "
@@ -736,11 +802,25 @@ void SecureChannel::fail(Error error, bool send_alert) {
 
 void SecureChannel::send(Bytes plaintext) {
   if (state_ != State::kEstablished) return;
+  if (feature_enabled(kFeatureBatchRecords)) {
+    // Queue for the end-of-instant flush: every message sent within one
+    // simulation instant coalesces into as few kRecordBatch frames as
+    // the frame cap allows. Sequence numbers are assigned at flush time
+    // so queued records stay contiguous with records of other frames.
+    send_queue_.push_back(std::move(plaintext));
+    if (!flush_scheduled_) {
+      flush_scheduled_ = true;
+      std::weak_ptr<SecureChannel> weak = shared_from_this();
+      engine_.after(0, [weak] {
+        if (auto self = weak.lock()) self->flush_send_queue();
+      });
+    }
+    return;
+  }
+
   std::uint64_t seq = send_seq_++;
   std::uint8_t aad[9];
-  aad[0] = is_client_ ? 0 : 1;
-  for (int i = 0; i < 8; ++i)
-    aad[1 + i] = static_cast<std::uint8_t>(seq >> (56 - 8 * i));
+  encode_record_aad(aad, is_client_ ? 0 : 1, seq);
   // Encrypt in place — the caller's buffer becomes the ciphertext, so a
   // large transfer chunk is never duplicated on the send path.
   crypto::Digest tag = crypto::seal_inplace(
@@ -753,6 +833,96 @@ void SecureChannel::send(Bytes plaintext) {
   wire.blob(plaintext);
   wire.raw(tag);
   endpoint_->send(wire.take());
+}
+
+void SecureChannel::flush_send_queue() {
+  flush_scheduled_ = false;
+  if (send_queue_.empty() || state_ != State::kEstablished) return;
+  std::vector<Bytes> queue = std::move(send_queue_);
+  send_queue_.clear();
+  if (!endpoint_->is_open()) return;
+
+  // Stage 1 — slice: one record per message, except messages above the
+  // fragment limit which split into first/middle/final fragment records.
+  // Each record is a view into the queued buffer it came from; sealing
+  // encrypts those bytes in place, so nothing is copied until the final
+  // frame assembly.
+  struct PendingRecord {
+    crypto::MutableByteView data;
+    std::uint64_t seq = 0;
+    std::uint8_t flags = kComplete;
+    std::uint64_t total = 0;  // announced size, first fragments only
+    crypto::Digest tag{};
+  };
+  std::vector<PendingRecord> records;
+  records.reserve(queue.size());
+  for (Bytes& message : queue) {
+    if (message.size() <= kFragmentLimit) {
+      PendingRecord r;
+      r.data = crypto::MutableByteView(message.data(), message.size());
+      r.seq = send_seq_++;
+      records.push_back(r);
+      continue;
+    }
+    std::size_t offset = 0;
+    while (offset < message.size()) {
+      std::size_t take = std::min(kFragmentLimit, message.size() - offset);
+      PendingRecord r;
+      r.data = crypto::MutableByteView(message.data() + offset, take);
+      r.seq = send_seq_++;
+      r.flags = offset == 0                        ? kFirst
+                : offset + take == message.size()  ? kFinal
+                                                   : kMiddle;
+      r.total = message.size();
+      records.push_back(r);
+      offset += take;
+    }
+  }
+
+  // Stage 2 — seal. Records are independent (own buffer slice, own
+  // sequence number), so a multi-record flush fans the crypto out over
+  // the record pool when one is configured.
+  const std::uint8_t direction = is_client_ ? 0 : 1;
+  auto seal_one = [this, direction, &records](std::size_t i) {
+    PendingRecord& r = records[i];
+    std::uint8_t aad[18];
+    std::size_t n = encode_batch_aad(aad, direction, r.seq, r.flags, r.total);
+    r.tag = crypto::seal_inplace(send_enc_, send_mac_, r.seq, r.data,
+                                 util::ByteView(aad, n));
+  };
+  if (config_.record_pool != nullptr && records.size() > 1)
+    config_.record_pool->parallel_for(records.size(), seal_one);
+  else
+    for (std::size_t i = 0; i < records.size(); ++i) seal_one(i);
+
+  // Stage 3 — frame assembly: greedy fill up to the frame payload cap.
+  std::size_t i = 0;
+  while (i < records.size()) {
+    std::size_t first = i;
+    std::size_t payload = 0;
+    do {
+      payload += records[i].data.size();
+      ++i;
+    } while (i < records.size() &&
+             payload + records[i].data.size() <= kMaxFrameBytes &&
+             i - first < kMaxRecordsPerFrame);
+
+    ByteWriter frame;
+    frame.reserve(1 + 8 + 10 + payload + (i - first) * 48);
+    frame.u8(kRecordBatch);
+    frame.u64(records[first].seq);
+    frame.varint(i - first);
+    for (std::size_t j = first; j < i; ++j) {
+      const PendingRecord& r = records[j];
+      frame.varint(r.data.size());
+      frame.u8(r.flags);
+      if (r.flags == kFirst) frame.varint(r.total);
+      frame.raw(util::ByteView(r.data.data(), r.data.size()));
+      frame.raw(r.tag);
+    }
+    ++batch_frames_sent_;
+    endpoint_->send(frame.take());
+  }
 }
 
 void SecureChannel::handle_record(ByteReader& reader) {
@@ -784,6 +954,149 @@ void SecureChannel::handle_record(ByteReader& reader) {
   if (on_message_) on_message_(std::move(ciphertext));
 }
 
+void SecureChannel::handle_record_batch(ByteReader& reader, Bytes& wire) {
+  if (!feature_enabled(kFeatureBatchRecords))
+    return fail(util::make_error(ErrorCode::kInvalidArgument,
+                                 "batch record without negotiated feature"),
+                true);
+  std::uint64_t first_seq = reader.u64();
+  std::uint64_t count = reader.varint();
+  if (count == 0 || count > kMaxRecordsPerFrame)
+    return fail(util::make_error(ErrorCode::kInvalidArgument,
+                                 "bad batch record count"),
+                true);
+  if (first_seq != recv_seq_)
+    return fail(util::make_error(ErrorCode::kAuthenticationFailed,
+                                 "record out of sequence"),
+                true);
+
+  // Stage 1 — parse: locate each record's ciphertext slice inside the
+  // wire buffer without copying it out.
+  struct WireRecord {
+    std::size_t offset = 0;
+    std::size_t size = 0;
+    std::uint8_t flags = kComplete;
+    std::uint64_t total = 0;
+    crypto::Digest tag{};
+  };
+  std::vector<WireRecord> records;
+  records.reserve(count);
+  for (std::uint64_t k = 0; k < count; ++k) {
+    WireRecord r;
+    r.size = reader.varint();
+    r.flags = reader.u8();
+    if (r.flags == kFirst) r.total = reader.varint();
+    r.offset = reader.position();
+    reader.skip(r.size);
+    Bytes tag_bytes = reader.raw(32);
+    std::copy(tag_bytes.begin(), tag_bytes.end(), r.tag.begin());
+    records.push_back(r);
+  }
+
+  // Stage 2 — verify + decrypt every record in place. Records carry
+  // independent tags and sequence numbers, so the open kernels fan out
+  // over the record pool; any single failure kills the channel exactly
+  // like a failed legacy record would.
+  const std::uint8_t direction = is_client_ ? 1 : 0;
+  std::vector<util::Status> statuses(records.size());
+  auto open_one = [this, direction, first_seq, &records, &statuses,
+                   &wire](std::size_t i) {
+    WireRecord& r = records[i];
+    std::uint8_t aad[18];
+    std::size_t n =
+        encode_batch_aad(aad, direction, first_seq + i, r.flags, r.total);
+    statuses[i] = crypto::open_inplace(
+        recv_enc_, recv_mac_, first_seq + i,
+        crypto::MutableByteView(wire.data() + r.offset, r.size), r.tag,
+        util::ByteView(aad, n));
+  };
+  if (config_.record_pool != nullptr && records.size() > 1)
+    config_.record_pool->parallel_for(records.size(), open_one);
+  else
+    for (std::size_t i = 0; i < records.size(); ++i) open_one(i);
+  for (const util::Status& status : statuses)
+    if (!status.ok()) return fail(status.error(), true);
+  recv_seq_ += count;
+  ++batch_frames_received_;
+
+  // Stage 3 — reassemble fragments and queue plaintexts in record order;
+  // the ring drain below re-imposes that order on the application even
+  // when the open stage ran out of order on the pool.
+  for (const WireRecord& r : records) {
+    auto begin = wire.begin() + static_cast<std::ptrdiff_t>(r.offset);
+    auto end = begin + static_cast<std::ptrdiff_t>(r.size);
+    switch (r.flags) {
+      case kComplete:
+        if (reassembly_expected_ != 0)
+          return fail(util::make_error(
+                          ErrorCode::kInvalidArgument,
+                          "complete record inside a fragmented message"),
+                      true);
+        dispatch_plaintext(Bytes(begin, end));
+        break;
+      case kFirst:
+        if (reassembly_expected_ != 0)
+          return fail(util::make_error(ErrorCode::kInvalidArgument,
+                                       "nested fragmented message"),
+                      true);
+        if (r.total < r.size || r.total > kMaxReassemblyBytes)
+          return fail(util::make_error(ErrorCode::kInvalidArgument,
+                                       "bad fragment total"),
+                      true);
+        reassembly_.clear();
+        reassembly_.reserve(r.total);
+        reassembly_.assign(begin, end);
+        reassembly_expected_ = r.total;
+        break;
+      case kMiddle:
+      case kFinal:
+        if (reassembly_expected_ == 0)
+          return fail(util::make_error(ErrorCode::kInvalidArgument,
+                                       "fragment without a first fragment"),
+                      true);
+        if (reassembly_.size() + r.size > reassembly_expected_)
+          return fail(util::make_error(ErrorCode::kInvalidArgument,
+                                       "fragmented message overflows total"),
+                      true);
+        reassembly_.insert(reassembly_.end(), begin, end);
+        if (r.flags == kFinal) {
+          if (reassembly_.size() != reassembly_expected_)
+            return fail(util::make_error(ErrorCode::kInvalidArgument,
+                                         "fragmented message short of total"),
+                        true);
+          reassembly_expected_ = 0;
+          dispatch_plaintext(std::move(reassembly_));
+          reassembly_ = Bytes();
+        }
+        break;
+      default:
+        return fail(util::make_error(ErrorCode::kInvalidArgument,
+                                     "invalid record flags"),
+                    true);
+    }
+  }
+  drain_dispatch_ring();
+}
+
+void SecureChannel::dispatch_plaintext(Bytes&& plaintext) {
+  // push() leaves the value untouched when the ring is full, so a failed
+  // push can drain in-line (we are the consumer too) and retry.
+  if (!dispatch_ring_.push(std::move(plaintext))) {
+    drain_dispatch_ring();
+    dispatch_ring_.push(std::move(plaintext));
+  }
+}
+
+void SecureChannel::drain_dispatch_ring() {
+  Bytes plaintext;
+  while (dispatch_ring_.pop(plaintext)) {
+    // A handler may close or fail the channel mid-drain; keep popping to
+    // empty the ring but stop delivering.
+    if (state_ != State::kEstablished) continue;
+    if (on_message_) on_message_(std::move(plaintext));
+  }
+}
+
 void SecureChannel::set_receiver(MessageHandler handler) {
   on_message_ = std::move(handler);
 }
@@ -794,6 +1107,9 @@ void SecureChannel::set_close_handler(std::function<void()> handler) {
 
 void SecureChannel::close() {
   if (state_ == State::kFailed) return;
+  // Flush before closing: send() followed by close() in the same instant
+  // must put the queued records on the wire ahead of the close notice.
+  flush_send_queue();
   state_ = State::kFailed;
   if (timeout_event_) {
     engine_.cancel(*timeout_event_);
@@ -802,6 +1118,7 @@ void SecureChannel::close() {
   endpoint_->close();
   engine_.after(0, [endpoint = endpoint_] {
     endpoint->set_receiver(nullptr);
+    endpoint->set_batch_receiver(nullptr);
     endpoint->set_close_handler(nullptr);
   });
 }

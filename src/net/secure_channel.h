@@ -36,6 +36,11 @@
 #include "util/bytes.h"
 #include "util/result.h"
 #include "util/rng.h"
+#include "util/spsc_ring.h"
+
+namespace unicore::util {
+class ThreadPool;
+}
 
 namespace unicore::net {
 
@@ -55,8 +60,14 @@ constexpr std::uint64_t kFeatureChunkedXfer = 1ull << 1;
 /// Peer supports session resumption (ticket in the ServerFinished tail,
 /// ClientHelloResumed / ServerHelloResumed / HelloRetry messages).
 constexpr std::uint64_t kFeatureResumption = 1ull << 2;
+/// Peer understands kRecordBatch frames: multiple sealed records
+/// coalesced into one wire message, large payloads fragmented across
+/// records (see docs/PROTOCOL.md "Batched records"). Without it every
+/// application message travels as a single kRecord frame.
+constexpr std::uint64_t kFeatureBatchRecords = 1ull << 3;
 constexpr std::uint64_t kDefaultFeatures =
-    kFeatureJournalInspect | kFeatureChunkedXfer | kFeatureResumption;
+    kFeatureJournalInspect | kFeatureChunkedXfer | kFeatureResumption |
+    kFeatureBatchRecords;
 
 class SecureChannel : public std::enable_shared_from_this<SecureChannel> {
  public:
@@ -83,6 +94,12 @@ class SecureChannel : public std::enable_shared_from_this<SecureChannel> {
     /// remote host when empty. Owners that multiplex several logical
     /// peers over one host should set it to SessionCache::key_for().
     std::string session_key;
+    /// Worker pool for the record pipeline: when set, the seal/open
+    /// kernels of a multi-record batch run as a parallel_for over the
+    /// records (independent buffers, order-independent results — the
+    /// deterministic dispatch order is re-imposed by the ring drain).
+    /// nullptr keeps all crypto on the calling thread.
+    util::ThreadPool* record_pool = nullptr;
   };
 
   /// Fired exactly once with the handshake result.
@@ -142,6 +159,13 @@ class SecureChannel : public std::enable_shared_from_this<SecureChannel> {
   std::uint64_t messages_sent() const { return send_seq_; }
   std::uint64_t messages_received() const { return recv_seq_; }
 
+  /// Batched-record diagnostics: wire frames carrying coalesced records
+  /// in each direction (0 when the feature was not negotiated).
+  std::uint64_t batch_frames_sent() const { return batch_frames_sent_; }
+  std::uint64_t batch_frames_received() const {
+    return batch_frames_received_;
+  }
+
  private:
   enum class State {
     kClientAwaitServerHello,
@@ -170,6 +194,10 @@ class SecureChannel : public std::enable_shared_from_this<SecureChannel> {
   void handle_server_hello_resumed(util::ByteReader& reader);
   void handle_hello_retry();
   void handle_record(util::ByteReader& reader);
+  void handle_record_batch(util::ByteReader& reader, util::Bytes& wire);
+  void flush_send_queue();
+  void dispatch_plaintext(util::Bytes&& plaintext);
+  void drain_dispatch_ring();
   void fail(util::Error error, bool send_alert);
   void succeed();
   void derive_keys();
@@ -207,6 +235,22 @@ class SecureChannel : public std::enable_shared_from_this<SecureChannel> {
   std::uint64_t send_seq_ = 0;
   std::uint64_t recv_seq_ = 0;
   std::optional<sim::EventId> timeout_event_;
+
+  // --- batched record pipeline (kFeatureBatchRecords) -------------------
+  /// Messages queued by send() awaiting the end-of-instant flush that
+  /// coalesces them into kRecordBatch frames.
+  std::vector<util::Bytes> send_queue_;
+  bool flush_scheduled_ = false;
+  /// Reassembly buffer for a fragmented message in progress (flags 1/2/3
+  /// records); sized once from the first fragment's announced total.
+  util::Bytes reassembly_;
+  std::size_t reassembly_expected_ = 0;
+  /// Decrypt -> dispatch hand-off: the open stage (possibly fanned out on
+  /// the record pool) pushes plaintexts, the drain calls the application
+  /// handler in record order.
+  util::SpscRing<util::Bytes> dispatch_ring_{256};
+  std::uint64_t batch_frames_sent_ = 0;
+  std::uint64_t batch_frames_received_ = 0;
 };
 
 }  // namespace unicore::net

@@ -165,6 +165,7 @@ void UsiteServer::accept_session(std::shared_ptr<net::Endpoint> endpoint) {
   channel_config.required_peer_usage = 0;  // user or server; checked per-op
   channel_config.features = advertised_features_;
   channel_config.ticket_manager = &ticket_manager_;
+  channel_config.record_pool = record_pool_;
 
   std::uint64_t id = session->id;
   session->channel = net::SecureChannel::as_server(
@@ -663,6 +664,7 @@ UsiteServer::PeerConnection& UsiteServer::peer_connection(
   pool_config.channel.required_peer_usage = crypto::kUsageServerAuth;
   pool_config.channel.features = advertised_features_;
   pool_config.channel.session_cache = &peer_sessions_;
+  pool_config.channel.record_pool = record_pool_;
   connection->pool =
       net::ChannelPool::create(engine_, network_, rng_,
                                std::move(pool_config));
@@ -905,6 +907,7 @@ std::shared_ptr<XferRails> UsiteServer::peer_rails(const std::string& usite) {
   config.request_timeout = peer_request_timeout_;
   config.session_cache = &peer_sessions_;
   config.features = advertised_features_;
+  config.record_pool = record_pool_;
   auto rails = XferRails::create(engine_, network_, rng_, std::move(config));
   peer_rails_[usite] = rails;
   return rails;

@@ -160,6 +160,14 @@ class UsiteServer : public njs::PeerLink {
     transfer_streams_ = streams == 0 ? 1 : streams;
   }
 
+  /// Worker pool handed to every secure channel this server creates
+  /// (inbound sessions, peer pools, transfer rails): the seal/open
+  /// kernels of multi-record batch frames fan out over it, so request
+  /// handling never serializes behind one channel's crypto. nullptr
+  /// (the default) keeps all record crypto on the simulation thread.
+  void set_record_pool(util::ThreadPool* pool) { record_pool_ = pool; }
+  util::ThreadPool* record_pool() const { return record_pool_; }
+
   /// Feature bits this server advertises in the secure-channel
   /// handshake (both its listener and its outbound peer channels).
   /// Clearing net::kFeatureChunkedXfer emulates a v1 deployment: every
@@ -255,6 +263,7 @@ class UsiteServer : public njs::PeerLink {
   std::uint64_t transfers_chunked_ = 0;
   std::uint64_t transfers_legacy_ = 0;
   std::uint64_t advertised_features_ = net::kDefaultFeatures;
+  util::ThreadPool* record_pool_ = nullptr;
   std::map<std::string, crypto::SoftwareBundle> bundles_;
 
   std::map<std::uint64_t, std::shared_ptr<ClientSession>> sessions_;

@@ -49,6 +49,8 @@ class XferRails : public xfer::ChunkTransport,
     /// Feature bits to advertise; rails always require chunked transfer
     /// on top of these.
     std::uint64_t features = net::kDefaultFeatures;
+    /// Worker pool for each rail channel's batched record crypto.
+    util::ThreadPool* record_pool = nullptr;
   };
 
   static std::shared_ptr<XferRails> create(sim::Engine& engine,

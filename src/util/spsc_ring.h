@@ -1,0 +1,75 @@
+// Lock-free single-producer / single-consumer ring buffer.
+//
+// The hand-off point between the secure channel's record pipeline and
+// request handling: the decrypt stage (which may run its crypto on the
+// ThreadPool) pushes plaintext records, the dispatch stage pops them in
+// order. One producer, one consumer, no locks: each side owns one index
+// and only reads the other's with acquire/release ordering, so neither
+// stage ever blocks on the other's progress.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace unicore::util {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 2) so index
+  /// wrapping is a mask, not a modulo.
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t size = 2;
+    while (size < capacity) size <<= 1;
+    slots_.resize(size);
+    mask_ = size - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Producer side. Returns false when the ring is full (the producer
+  /// decides whether to drain, spin, or drop).
+  bool push(T&& value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) == slots_.size())
+      return false;
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  bool pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) return false;
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+  /// Approximate under concurrency; exact when either side is quiescent.
+  std::size_t size() const {
+    return tail_.load(std::memory_order_acquire) -
+           head_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  // Separate cache lines so the producer's tail writes never invalidate
+  // the consumer's head line and vice versa.
+  alignas(64) std::atomic<std::size_t> head_{0};  // consumer index
+  alignas(64) std::atomic<std::size_t> tail_{0};  // producer index
+};
+
+}  // namespace unicore::util

@@ -67,5 +67,26 @@ TEST(Sha256, DifferentInputsDiffer) {
   EXPECT_NE(sha256(""), sha256(std::string(1, '\0')));
 }
 
+TEST(Sha256, HardwareAndPortableBackendsAgree) {
+  if (!sha256_hardware_accelerated())
+    GTEST_SKIP() << "no SHA-NI on this machine";
+  // Lengths that cover empty input, sub-block, the padding straddle
+  // (55/56/64), multi-block, and a bulk buffer.
+  std::vector<std::string> inputs;
+  for (std::size_t n : {0u, 1u, 3u, 31u, 32u, 55u, 56u, 63u, 64u, 65u,
+                        127u, 128u, 1000u, 100'000u})
+    inputs.push_back(std::string(n, static_cast<char>('a' + n % 26)));
+  std::vector<Digest> accelerated;
+  for (const std::string& in : inputs) accelerated.push_back(sha256(in));
+
+  set_sha256_acceleration(false);
+  EXPECT_FALSE(sha256_hardware_accelerated());
+  for (std::size_t i = 0; i < inputs.size(); ++i)
+    EXPECT_EQ(sha256(inputs[i]), accelerated[i])
+        << "length " << inputs[i].size();
+  set_sha256_acceleration(true);
+  EXPECT_TRUE(sha256_hardware_accelerated());
+}
+
 }  // namespace
 }  // namespace unicore::crypto

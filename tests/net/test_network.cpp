@@ -273,6 +273,144 @@ TEST_F(NetworkFixture, DuplicateListenerRejected) {
   EXPECT_TRUE(network.listen({"b", 80}, [](std::shared_ptr<Endpoint>) {}).ok());
 }
 
+TEST_F(NetworkFixture, CloseDoesNotOvertakeSpikeDelayedData) {
+  // Regression: the close notice used to be scheduled from the base link
+  // latency only, so data delayed by an active latency spike was still in
+  // flight when the peer's side shut — and the delivery gate then silently
+  // discarded it, violating the "close may not overtake data" contract.
+  LinkProfile link;
+  link.latency = sim::msec(10);
+  link.bandwidth_bytes_per_sec = 0;
+  network.set_link("a", "b", link);
+  network.add_latency_spike("a", "b", sim::msec(50), sim::msec(1));
+
+  std::shared_ptr<Endpoint> server;
+  (void)network.listen({"b", 80}, [&](std::shared_ptr<Endpoint> e) {
+    server = std::move(e);
+  });
+  auto client = network.connect("a", {"b", 80});
+  ASSERT_TRUE(client.ok());
+
+  std::vector<std::string> events;
+  server->set_receiver([&](util::Bytes&& message) {
+    events.push_back(util::to_string(message));
+  });
+  server->set_close_handler([&] { events.push_back("<close>"); });
+
+  client.value()->send(util::to_bytes("goodbye"));  // arrives at 10ms + 50ms
+  client.value()->close();
+  engine.run();
+
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0], "goodbye");
+  EXPECT_EQ(events[1], "<close>");
+}
+
+TEST_F(NetworkFixture, VanishedPeerCountsAsDrop) {
+  // Regression: transmit used to return early when the peer endpoint had
+  // been destroyed — after counting bytes_sent but without counting a
+  // drop, so sent = delivered + dropped no longer held.
+  std::shared_ptr<Endpoint> server;
+  (void)network.listen({"b", 80}, [&](std::shared_ptr<Endpoint> e) {
+    server = std::move(e);
+  });
+  auto client = network.connect("a", {"b", 80});
+  ASSERT_TRUE(client.ok());
+
+  server.reset();  // the acceptor side is gone before the send
+  client.value()->send(util::to_bytes("into the void"));
+  engine.run();
+
+  EXPECT_EQ(network.messages_sent(), 1u);
+  EXPECT_EQ(network.messages_delivered(), 0u);
+  EXPECT_EQ(network.messages_dropped(), 1u);
+  EXPECT_EQ(network.messages_delivered() + network.messages_dropped(),
+            network.messages_sent());
+}
+
+TEST_F(NetworkFixture, DiscardAtClosedReceiverCountsAsDrop) {
+  // Companion to the vanished-peer case: data that arrives after the
+  // receiving side closed is discarded by the delivery gate and must be
+  // accounted as dropped, not lost from the books.
+  LinkProfile link;
+  link.latency = sim::msec(10);
+  link.bandwidth_bytes_per_sec = 0;
+  network.set_link("a", "b", link);
+
+  std::shared_ptr<Endpoint> server;
+  (void)network.listen({"b", 80}, [&](std::shared_ptr<Endpoint> e) {
+    server = std::move(e);
+  });
+  auto client = network.connect("a", {"b", 80});
+  ASSERT_TRUE(client.ok());
+
+  client.value()->send(util::to_bytes("racing the close"));
+  server->close();  // receiver goes down immediately; data is in flight
+  engine.run();
+
+  EXPECT_EQ(network.messages_sent(), 1u);
+  EXPECT_EQ(network.messages_delivered(), 0u);
+  EXPECT_EQ(network.messages_dropped(), 1u);
+}
+
+TEST_F(NetworkFixture, FailedBindLeavesExistingListenerIntact) {
+  // Regression: listen used to move the acceptor into the listener map
+  // before detecting the duplicate bind, constructing (and destroying) a
+  // map node on the error path. Check-then-insert keeps the error path
+  // free of side effects: the original acceptor must keep working and a
+  // close + re-bind cycle must succeed.
+  int first_accepts = 0;
+  ASSERT_TRUE(network.listen({"b", 80}, [&](std::shared_ptr<Endpoint>) {
+    ++first_accepts;
+  }).ok());
+
+  auto status = network.listen({"b", 80}, [](std::shared_ptr<Endpoint>) {});
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, util::ErrorCode::kFailedPrecondition);
+
+  ASSERT_TRUE(network.connect("a", {"b", 80}).ok());
+  EXPECT_EQ(first_accepts, 1);
+
+  network.close_listener({"b", 80});
+  int second_accepts = 0;
+  ASSERT_TRUE(network.listen({"b", 80}, [&](std::shared_ptr<Endpoint>) {
+    ++second_accepts;
+  }).ok());
+  ASSERT_TRUE(network.connect("a", {"b", 80}).ok());
+  EXPECT_EQ(second_accepts, 1);
+}
+
+TEST_F(NetworkFixture, ConnectionsShareLinkCapacity) {
+  // Two connections between the same host pair share one physical pipe:
+  // two simultaneous 1 MB sends over a 1 MB/s link take ~2 s total, not
+  // ~1 s each. (Serialization used to be per-connection, so every stream
+  // saw the full link bandwidth.)
+  LinkProfile link;
+  link.latency = 0;
+  link.bandwidth_bytes_per_sec = 1'000'000;
+  network.set_link("a", "b", link);
+
+  std::vector<std::shared_ptr<Endpoint>> servers;
+  (void)network.listen({"b", 80}, [&](std::shared_ptr<Endpoint> e) {
+    servers.push_back(std::move(e));
+  });
+  auto c1 = network.connect("a", {"b", 80});
+  auto c2 = network.connect("a", {"b", 80});
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(c2.ok());
+  ASSERT_EQ(servers.size(), 2u);
+
+  sim::Time first = -1, second = -1;
+  servers[0]->set_receiver([&](util::Bytes&&) { first = engine.now(); });
+  servers[1]->set_receiver([&](util::Bytes&&) { second = engine.now(); });
+  c1.value()->send(util::Bytes(1'000'000, 0));
+  c2.value()->send(util::Bytes(1'000'000, 0));
+  engine.run();
+
+  EXPECT_EQ(first, sim::from_seconds(1.0));
+  EXPECT_EQ(second, sim::from_seconds(2.0));
+}
+
 TEST_F(NetworkFixture, LoopbackIsFast) {
   const LinkProfile& loop = network.link_between("a", "a");
   EXPECT_LT(loop.latency, sim::msec(1));

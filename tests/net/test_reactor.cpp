@@ -1,0 +1,175 @@
+#include "net/reactor.h"
+
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+
+namespace unicore::net {
+namespace {
+
+struct ReactorFixture : public ::testing::Test {
+  sim::Engine engine;
+  Network network{engine, util::Rng(1)};
+
+  std::shared_ptr<Endpoint> server;
+  std::shared_ptr<Endpoint> client;
+
+  void connect_pair(const std::string& from = "a") {
+    LinkProfile link;
+    link.latency = sim::msec(10);
+    link.bandwidth_bytes_per_sec = 0;
+    network.set_link(from, "b", link);
+    (void)network.listen({"b", 80}, [&](std::shared_ptr<Endpoint> e) {
+      server = std::move(e);
+    });
+    auto endpoint = network.connect(from, {"b", 80});
+    ASSERT_TRUE(endpoint.ok());
+    client = std::move(endpoint.value());
+  }
+};
+
+TEST_F(ReactorFixture, SameInstantMessagesArriveAsOneBatch) {
+  connect_pair();
+  std::vector<std::vector<std::string>> batches;
+  server->set_batch_receiver([&](std::vector<util::Bytes>&& messages) {
+    std::vector<std::string> batch;
+    for (util::Bytes& m : messages) batch.push_back(util::to_string(m));
+    batches.push_back(std::move(batch));
+  });
+
+  Reactor& reactor = network.reactor_for("b");
+  std::uint64_t ticks_before = reactor.ticks();
+  for (int i = 0; i < 5; ++i)
+    client->send(util::to_bytes("m" + std::to_string(i)));
+  engine.run();
+
+  // Five messages sent in one instant over one link: one tick, one batch.
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0],
+            (std::vector<std::string>{"m0", "m1", "m2", "m3", "m4"}));
+  EXPECT_EQ(reactor.ticks() - ticks_before, 1u);
+  EXPECT_EQ(engine.now(), sim::msec(10));
+}
+
+TEST_F(ReactorFixture, DistinctArrivalTimesDispatchInSeparateTicks) {
+  connect_pair();
+  std::vector<sim::Time> arrivals;
+  server->set_batch_receiver([&](std::vector<util::Bytes>&& messages) {
+    for (std::size_t i = 0; i < messages.size(); ++i)
+      arrivals.push_back(engine.now());
+  });
+
+  Reactor& reactor = network.reactor_for("b");
+  std::uint64_t ticks_before = reactor.ticks();
+  client->send(util::to_bytes("first"));
+  engine.after(sim::msec(5), [&] { client->send(util::to_bytes("second")); });
+  engine.run();
+
+  // Delivery times are exactly what per-message scheduling produced:
+  // the reactor tick fires at each earliest pending arrival.
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0], sim::msec(10));
+  EXPECT_EQ(arrivals[1], sim::msec(15));
+  EXPECT_EQ(reactor.ticks() - ticks_before, 2u);
+}
+
+TEST_F(ReactorFixture, BatchesSplitAtEndpointBoundaries) {
+  // Two connections from different hosts into one server host: the
+  // reactor serves both, but a batch never spans endpoints.
+  std::vector<std::shared_ptr<Endpoint>> accepted;
+  for (const char* host : {"a1", "a2"}) {
+    LinkProfile link;
+    link.latency = sim::msec(10);
+    link.bandwidth_bytes_per_sec = 0;
+    network.set_link(host, "b", link);
+  }
+  (void)network.listen({"b", 80}, [&](std::shared_ptr<Endpoint> e) {
+    accepted.push_back(std::move(e));
+  });
+  auto c1 = network.connect("a1", {"b", 80});
+  auto c2 = network.connect("a2", {"b", 80});
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(c2.ok());
+  ASSERT_EQ(accepted.size(), 2u);
+
+  std::vector<std::pair<int, std::size_t>> batches;  // (endpoint, size)
+  for (int i = 0; i < 2; ++i)
+    accepted[static_cast<std::size_t>(i)]->set_batch_receiver(
+        [&, i](std::vector<util::Bytes>&& messages) {
+          batches.emplace_back(i, messages.size());
+        });
+
+  Reactor& reactor = network.reactor_for("b");
+  std::uint64_t before = reactor.batches_dispatched();
+  // Contiguous per endpoint: two for c1, then two for c2.
+  c1.value()->send(util::to_bytes("x"));
+  c1.value()->send(util::to_bytes("y"));
+  c2.value()->send(util::to_bytes("x"));
+  c2.value()->send(util::to_bytes("y"));
+  engine.run();
+
+  ASSERT_EQ(batches.size(), 2u);
+  EXPECT_EQ(batches[0], std::make_pair(0, std::size_t{2}));
+  EXPECT_EQ(batches[1], std::make_pair(1, std::size_t{2}));
+  EXPECT_EQ(reactor.batches_dispatched() - before, 2u);
+}
+
+TEST_F(ReactorFixture, CloseTravelsThroughQueueBehindData) {
+  connect_pair();
+  std::vector<std::string> events;
+  server->set_batch_receiver([&](std::vector<util::Bytes>&& messages) {
+    for (util::Bytes& m : messages) events.push_back(util::to_string(m));
+  });
+  server->set_close_handler([&] { events.push_back("<close>"); });
+
+  client->send(util::to_bytes("data"));
+  client->close();
+  engine.run();
+
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0], "data");
+  EXPECT_EQ(events[1], "<close>");
+}
+
+TEST_F(ReactorFixture, InstallingBatchReceiverFlushesQueuedInbox) {
+  connect_pair();
+  client->send(util::to_bytes("early"));
+  client->send(util::to_bytes("bird"));
+  engine.run();  // delivered into the inbox; no receiver yet
+
+  std::vector<std::vector<std::string>> batches;
+  server->set_batch_receiver([&](std::vector<util::Bytes>&& messages) {
+    std::vector<std::string> batch;
+    for (util::Bytes& m : messages) batch.push_back(util::to_string(m));
+    batches.push_back(std::move(batch));
+  });
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0], (std::vector<std::string>{"early", "bird"}));
+}
+
+TEST_F(ReactorFixture, PerMessageReceiverStillSeesEveryMessageInOrder) {
+  // Legacy consumers that never install a batch receiver keep their
+  // exact delivery semantics: one callback per message, FIFO.
+  connect_pair();
+  std::vector<std::string> received;
+  server->set_receiver(
+      [&](util::Bytes&& m) { received.push_back(util::to_string(m)); });
+  for (int i = 0; i < 4; ++i)
+    client->send(util::to_bytes(std::to_string(i)));
+  engine.run();
+  EXPECT_EQ(received, (std::vector<std::string>{"0", "1", "2", "3"}));
+}
+
+TEST_F(ReactorFixture, MessageCountersTrackDispatches) {
+  connect_pair();
+  server->set_batch_receiver([](std::vector<util::Bytes>&&) {});
+  Reactor& reactor = network.reactor_for("b");
+  std::uint64_t messages_before = reactor.messages_dispatched();
+  for (int i = 0; i < 7; ++i) client->send(util::to_bytes("m"));
+  engine.run();
+  EXPECT_EQ(reactor.messages_dispatched() - messages_before, 7u);
+  EXPECT_EQ(reactor.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace unicore::net

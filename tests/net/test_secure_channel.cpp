@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "crypto/modmath.h"
+#include "util/thread_pool.h"
 
 namespace unicore::net {
 namespace {
@@ -215,6 +216,201 @@ TEST_F(ChannelFixture, LargePayloadRoundTrip) {
   client_channel->send(big);
   engine.run();
   EXPECT_EQ(received, big);
+}
+
+// --- batched records ---------------------------------------------------
+
+TEST_F(ChannelFixture, BatchedSendsCoalesceIntoOneFrame) {
+  establish(client_config(), server_config());
+  ASSERT_TRUE(client_channel->feature_enabled(kFeatureBatchRecords));
+  std::vector<std::string> received;
+  server_channel->set_receiver(
+      [&](util::Bytes&& m) { received.push_back(util::to_string(m)); });
+  for (int i = 0; i < 10; ++i)
+    client_channel->send(util::to_bytes("msg" + std::to_string(i)));
+  engine.run();
+  ASSERT_EQ(received.size(), 10u);
+  for (int i = 0; i < 10; ++i)
+    EXPECT_EQ(received[static_cast<std::size_t>(i)],
+              "msg" + std::to_string(i));
+  // Ten messages queued in one instant coalesce into a single wire frame.
+  EXPECT_EQ(client_channel->batch_frames_sent(), 1u);
+  EXPECT_EQ(server_channel->batch_frames_received(), 1u);
+  EXPECT_EQ(client_channel->messages_sent(), 10u);
+  EXPECT_EQ(server_channel->messages_received(), 10u);
+}
+
+TEST_F(ChannelFixture, FragmentedMessageReassemblesExactly) {
+  establish(client_config(), server_config());
+  // 700 KiB exceeds the 256 KiB fragment limit: three records, one frame
+  // batch plus reassembly on the far side.
+  util::Bytes big = util::Rng(11).bytes(700 * 1024);
+  util::Bytes received;
+  server_channel->set_receiver([&](util::Bytes&& m) { received = m; });
+  client_channel->send(big);
+  engine.run();
+  EXPECT_EQ(received, big);
+  EXPECT_GE(client_channel->batch_frames_sent(), 1u);
+  EXPECT_EQ(client_channel->messages_sent(), 3u);  // one seq per record
+}
+
+TEST_F(ChannelFixture, MultiMegabyteFlushSpansMultipleFrames) {
+  establish(client_config(), server_config());
+  util::Bytes big = util::Rng(12).bytes(5 * 1024 * 1024 / 2);  // 2.5 MiB
+  util::Bytes received;
+  server_channel->set_receiver([&](util::Bytes&& m) { received = m; });
+  client_channel->send(big);
+  engine.run();
+  EXPECT_EQ(received, big);
+  // The flush respects the ~1 MiB frame payload cap, so 2.5 MiB of
+  // fragments needs several frames — and they all reassemble in order.
+  EXPECT_GE(client_channel->batch_frames_sent(), 2u);
+  EXPECT_EQ(server_channel->batch_frames_received(),
+            client_channel->batch_frames_sent());
+}
+
+TEST_F(ChannelFixture, MixedSmallAndFragmentedMessagesKeepOrder) {
+  establish(client_config(), server_config());
+  util::Bytes big = util::Rng(13).bytes(300 * 1024);
+  std::vector<std::size_t> sizes;
+  util::Bytes big_received;
+  server_channel->set_receiver([&](util::Bytes&& m) {
+    sizes.push_back(m.size());
+    if (m.size() > 1000) big_received = std::move(m);
+  });
+  client_channel->send(util::to_bytes("before"));
+  client_channel->send(big);
+  client_channel->send(util::to_bytes("after"));
+  engine.run();
+  ASSERT_EQ(sizes.size(), 3u);
+  EXPECT_EQ(sizes[0], 6u);
+  EXPECT_EQ(sizes[1], big.size());
+  EXPECT_EQ(sizes[2], 5u);
+  EXPECT_EQ(big_received, big);
+}
+
+TEST_F(ChannelFixture, V1PeerUsesLegacyRecordsOnly) {
+  SecureChannel::Config old_client = client_config();
+  old_client.protocol_version = 1;
+  establish(old_client, server_config());
+  ASSERT_TRUE(client_status.ok()) << client_status.to_string();
+  EXPECT_FALSE(client_channel->feature_enabled(kFeatureBatchRecords));
+  std::string at_server, at_client;
+  server_channel->set_receiver([&](util::Bytes&& m) {
+    at_server = util::to_string(m);
+    server_channel->send(util::to_bytes("pong"));
+  });
+  client_channel->set_receiver(
+      [&](util::Bytes&& m) { at_client = util::to_string(m); });
+  client_channel->send(util::to_bytes("ping"));
+  engine.run();
+  EXPECT_EQ(at_server, "ping");
+  EXPECT_EQ(at_client, "pong");
+  EXPECT_EQ(client_channel->batch_frames_sent(), 0u);
+  EXPECT_EQ(server_channel->batch_frames_sent(), 0u);
+  EXPECT_EQ(server_channel->batch_frames_received(), 0u);
+}
+
+TEST_F(ChannelFixture, BatchFeatureOffFallsBackToLegacyRecords) {
+  SecureChannel::Config plain_server = server_config();
+  plain_server.features = kDefaultFeatures & ~kFeatureBatchRecords;
+  establish(client_config(), plain_server);
+  ASSERT_TRUE(client_status.ok()) << client_status.to_string();
+  EXPECT_FALSE(client_channel->feature_enabled(kFeatureBatchRecords));
+  std::vector<std::string> received;
+  server_channel->set_receiver(
+      [&](util::Bytes&& m) { received.push_back(util::to_string(m)); });
+  client_channel->send(util::to_bytes("a"));
+  client_channel->send(util::to_bytes("b"));
+  engine.run();
+  EXPECT_EQ(received, (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(client_channel->batch_frames_sent(), 0u);
+}
+
+TEST_F(ChannelFixture, SendThenCloseDeliversQueuedRecordsFirst) {
+  establish(client_config(), server_config());
+  std::vector<std::string> events;
+  server_channel->set_receiver(
+      [&](util::Bytes&& m) { events.push_back(util::to_string(m)); });
+  server_channel->set_close_handler([&] { events.push_back("<close>"); });
+  // send() queues for the end-of-instant flush; close() in the same
+  // instant must flush that queue before tearing the connection down.
+  client_channel->send(util::to_bytes("last words"));
+  client_channel->close();
+  engine.run();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0], "last words");
+  EXPECT_EQ(events[1], "<close>");
+}
+
+TEST_F(ChannelFixture, TamperedBatchRecordTearsDownChannel) {
+  // Man-in-the-middle relay between client and server that flips one
+  // tag byte in every kRecordBatch frame it forwards.
+  std::shared_ptr<Endpoint> relay_to_server;
+  std::shared_ptr<Endpoint> relay_from_client;
+  (void)network.listen({"server", 443},
+                       [&](std::shared_ptr<Endpoint> endpoint) {
+                         server_channel = SecureChannel::as_server(
+                             engine, rng, std::move(endpoint),
+                             server_config(),
+                             [&](util::Status s) { server_status = s; });
+                       });
+  (void)network.listen({"relay", 443}, [&](std::shared_ptr<Endpoint> e) {
+    relay_from_client = std::move(e);
+    auto upstream = network.connect("relay", {"server", 443});
+    ASSERT_TRUE(upstream.ok());
+    relay_to_server = std::move(upstream.value());
+    relay_from_client->set_receiver([&](util::Bytes&& wire) {
+      if (!wire.empty() && wire[0] == 10)  // kRecordBatch
+        wire.back() ^= 0x01;               // last tag byte
+      relay_to_server->send(std::move(wire));
+    });
+    relay_to_server->set_receiver(
+        [&](util::Bytes&& wire) { relay_from_client->send(std::move(wire)); });
+  });
+  auto endpoint = network.connect("client", {"relay", 443});
+  ASSERT_TRUE(endpoint.ok());
+  client_channel = SecureChannel::as_client(
+      engine, rng, std::move(endpoint.value()), client_config(),
+      [&](util::Status s) { client_status = s; });
+  engine.run();
+  ASSERT_TRUE(client_status.ok()) << client_status.to_string();
+
+  bool delivered = false;
+  server_channel->set_receiver([&](util::Bytes&&) { delivered = true; });
+  client_channel->send(util::to_bytes("secret"));
+  engine.run();
+  EXPECT_FALSE(delivered);
+  EXPECT_TRUE(server_channel->failed());
+}
+
+TEST_F(ChannelFixture, RecordPoolProducesIdenticalPlaintext) {
+  util::ThreadPool pool(3);
+  SecureChannel::Config pc = client_config();
+  SecureChannel::Config ps = server_config();
+  pc.record_pool = &pool;
+  ps.record_pool = &pool;
+  establish(pc, ps);
+  ASSERT_TRUE(client_status.ok()) << client_status.to_string();
+
+  util::Bytes big = util::Rng(14).bytes(900 * 1024);
+  std::vector<std::string> small_received;
+  util::Bytes big_received;
+  server_channel->set_receiver([&](util::Bytes&& m) {
+    if (m.size() > 1000)
+      big_received = std::move(m);
+    else
+      small_received.push_back(util::to_string(m));
+  });
+  for (int i = 0; i < 20; ++i)
+    client_channel->send(util::to_bytes("s" + std::to_string(i)));
+  client_channel->send(big);
+  engine.run();
+  ASSERT_EQ(small_received.size(), 20u);
+  for (int i = 0; i < 20; ++i)
+    EXPECT_EQ(small_received[static_cast<std::size_t>(i)],
+              "s" + std::to_string(i));
+  EXPECT_EQ(big_received, big);
 }
 
 // --- session resumption -----------------------------------------------

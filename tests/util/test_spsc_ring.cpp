@@ -1,0 +1,77 @@
+#include "util/spsc_ring.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+namespace unicore::util {
+namespace {
+
+TEST(SpscRing, PushPopPreservesFifoOrder) {
+  SpscRing<int> ring(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(ring.push(int{i}));
+  int out = -1;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(ring.pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(ring.pop(out));
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(8).capacity(), 8u);
+  EXPECT_EQ(SpscRing<int>(100).capacity(), 128u);
+}
+
+TEST(SpscRing, PushFailsWhenFullAndLeavesValueIntact) {
+  SpscRing<std::string> ring(2);
+  EXPECT_TRUE(ring.push("a"));
+  EXPECT_TRUE(ring.push("b"));
+  std::string kept = "survives";
+  EXPECT_FALSE(ring.push(std::move(kept)));
+  // A refused push must not consume the value — callers retry it after
+  // draining.
+  EXPECT_EQ(kept, "survives");
+  std::string out;
+  ASSERT_TRUE(ring.pop(out));
+  EXPECT_EQ(out, "a");
+  EXPECT_TRUE(ring.push(std::move(kept)));
+}
+
+TEST(SpscRing, IndicesWrapAroundManyTimes) {
+  SpscRing<int> ring(4);
+  int out = -1;
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(ring.push(int{i}));
+    ASSERT_TRUE(ring.pop(out));
+    EXPECT_EQ(out, i);
+  }
+}
+
+TEST(SpscRing, ConcurrentProducerConsumerSeesEveryValueInOrder) {
+  constexpr int kCount = 100'000;
+  SpscRing<int> ring(64);
+  std::thread producer([&] {
+    for (int i = 0; i < kCount; ++i)
+      while (!ring.push(int{i})) std::this_thread::yield();
+  });
+  int expected = 0;
+  while (expected < kCount) {
+    int value = -1;
+    if (!ring.pop(value)) {
+      std::this_thread::yield();
+      continue;
+    }
+    ASSERT_EQ(value, expected);
+    ++expected;
+  }
+  producer.join();
+  EXPECT_TRUE(ring.empty());
+}
+
+}  // namespace
+}  // namespace unicore::util
