@@ -1,7 +1,10 @@
 // Application-specific interfaces (§6, first enhancement): the user
 // fills in a "Gaussian form" — an input deck and nothing else — and the
 // launcher finds a site offering the package, builds the UNICORE job,
-// and submits it. The WebSubmit-style experience (§2) on top of the JPA.
+// and submits it. The WebSubmit-style experience (§2) on top of the JPA,
+// running over a gateway session token the way a shared web portal
+// would: one certificate handshake, then bearer-token requests
+// (docs/PORTAL.md).
 //
 // Run: ./application_portal
 #include <cstdio>
@@ -9,6 +12,7 @@
 #include "batch/target_system.h"
 #include "client/app_templates.h"
 #include "client/client.h"
+#include "client/sync_client.h"
 #include "grid/grid.h"
 
 using namespace unicore;
@@ -37,18 +41,21 @@ int main() {
   config.host = "pc.acme.de";
   config.user = user;
   config.trust = &trust;
-  client::UnicoreClient client(grid.engine(), grid.network(), grid.rng(),
-                               config);
-  client.connect(site.address(), [](util::Status) {});
-  grid.engine().run();
+  client::UnicoreClient async_client(grid.engine(), grid.network(),
+                                     grid.rng(), config);
+  client::SyncClient client(grid.engine(), async_client);
+  (void)client.connect(site.address());
+
+  // One certificate contact, then a bearer token for everything else —
+  // the pattern that lets a web portal pool few channels for many users.
+  auto grant = client.open_session();
+  if (grant.ok())
+    std::printf("portal session for login '%s' opened\n\n",
+                grant.value().login.c_str());
 
   // The portal downloads the resource pages and knows the templates.
-  std::vector<resources::ResourcePage> pages;
-  client.fetch_resource_pages(
-      [&pages](util::Result<std::vector<resources::ResourcePage>> result) {
-        if (result.ok()) pages = std::move(result.value());
-      });
-  grid.engine().run();
+  std::vector<resources::ResourcePage> pages =
+      client.fetch_resource_pages().value_or({});
 
   client::ApplicationLauncher launcher(pages);
   std::printf("packages with templates:");
@@ -76,29 +83,36 @@ int main() {
               job.value().name().c_str(), job.value().usite.c_str(),
               job.value().vsite.c_str());
 
-  ajo::JobToken token = 0;
-  client.submit(job.value(), [&](util::Result<ajo::JobToken> result) {
-    token = result.ok() ? result.value() : 0;
-  });
-  grid.engine().run_until(grid.engine().now() + sim::sec(1));
+  // Token consign: the AJO travels unsigned, the session is the proof.
+  auto token = client.submit(job.value());
+  if (!token.ok()) {
+    std::printf("consignment rejected: %s\n",
+                token.error().to_string().c_str());
+    return 1;
+  }
 
-  client.wait_for_completion(token, sim::sec(30),
-                             [&](util::Result<ajo::Outcome> outcome) {
-                               if (outcome.ok())
-                                 std::printf("\n%s",
-                                             outcome.value()
-                                                 .to_tree_string()
-                                                 .c_str());
-                             });
-  grid.engine().run();
+  auto outcome = client.wait_for_completion(token.value(), sim::sec(30));
+  if (outcome.ok())
+    std::printf("\n%s", outcome.value().to_tree_string().c_str());
 
-  client.fetch_output(token, "benzene.log",
-                      [](util::Result<uspace::FileBlob> blob) {
-                        if (blob.ok())
-                          std::printf("\nfetched benzene.log (%llu bytes)\n",
-                                      static_cast<unsigned long long>(
-                                          blob.value().size()));
-                      });
-  grid.engine().run();
+  auto blob = client.fetch_output(token.value(), "benzene.log");
+  if (blob.ok())
+    std::printf("\nfetched benzene.log (%llu bytes)\n",
+                static_cast<unsigned long long>(blob.value().size()));
+
+  // Every submission owns a managed working storage; the portal lists
+  // and reaps it once the results are safe (quota hygiene).
+  auto storages = client.list_storages();
+  if (storages.ok())
+    for (const auto& storage : storages.value())
+      std::printf("storage '%s': %llu bytes in %zu file(s)%s\n",
+                  storage.name.c_str(),
+                  static_cast<unsigned long long>(storage.used_bytes),
+                  storage.files, storage.terminal ? " [terminal]" : "");
+  auto freed = client.reap_storage(token.value());
+  if (freed.ok())
+    std::printf("reaped job storage: %llu bytes freed\n",
+                static_cast<unsigned long long>(freed.value()));
+  (void)client.close_session();
   return 0;
 }

@@ -9,6 +9,7 @@
 #include "batch/target_system.h"
 #include "client/client.h"
 #include "client/job_builder.h"
+#include "client/sync_client.h"
 #include "grid/grid.h"
 
 using namespace unicore;
@@ -54,13 +55,12 @@ int main() {
   config.host = "ws.uni-koeln.de";
   config.user = user;
   config.trust = &trust;
-  client::UnicoreClient client(grid.engine(), grid.network(), grid.rng(),
-                               config);
-  client.connect(site.address(), [](util::Status status) {
-    std::printf("user handshake through the firewall host: %s\n",
-                status.to_string().c_str());
-  });
-  grid.engine().run();
+  client::UnicoreClient async_client(grid.engine(), grid.network(),
+                                     grid.rng(), config);
+  client::SyncClient client(grid.engine(), async_client);
+  util::Status handshake = client.connect(site.address());
+  std::printf("user handshake through the firewall host: %s\n",
+              handshake.to_string().c_str());
 
   client::JobBuilder builder("behind the firewall");
   builder.destination("FZ-Juelich", "T3E-600").account_group("project-a");
@@ -71,23 +71,15 @@ int main() {
   builder.script("compute", "mpprun -n 32 ./app\n", options);
   auto job = builder.build(user.certificate.subject);
 
-  ajo::JobToken token = 0;
-  client.submit(job.value(), [&](util::Result<ajo::JobToken> result) {
-    token = result.ok() ? result.value() : 0;
-    std::printf("consigned through gateway->pipe->NJS: token %llu\n",
-                static_cast<unsigned long long>(token));
-  });
-  grid.engine().run_until(grid.engine().now() + sim::sec(1));
+  auto token = client.submit(job.value());
+  std::printf("consigned through gateway->pipe->NJS: token %llu\n",
+              static_cast<unsigned long long>(token.value_or(0)));
 
-  client.wait_for_completion(token, sim::sec(30),
-                             [&](util::Result<ajo::Outcome> outcome) {
-                               if (outcome.ok())
-                                 std::printf("\n%s",
-                                             outcome.value()
-                                                 .to_tree_string()
-                                                 .c_str());
-                             });
-  grid.engine().run();
+  if (token.ok()) {
+    auto outcome = client.wait_for_completion(token.value(), sim::sec(30));
+    if (outcome.ok())
+      std::printf("\n%s", outcome.value().to_tree_string().c_str());
+  }
 
   std::printf("\naudit log at the gateway:\n");
   for (const auto& record : site.gateway().audit_log())

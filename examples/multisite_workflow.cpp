@@ -9,6 +9,7 @@
 
 #include "client/client.h"
 #include "client/job_builder.h"
+#include "client/sync_client.h"
 #include "grid/grid.h"
 #include "grid/testbed.h"
 
@@ -90,50 +91,48 @@ int main() {
   config.trust = &trust;
   client::UnicoreClient client(grid.engine(), grid.network(), grid.rng(),
                                config);
-  client.connect(grid.site("FZ-Juelich")->address(), [](util::Status s) {
-    std::printf("connected to FZ-Juelich gateway: %s\n",
-                s.to_string().c_str());
-  });
-  grid.engine().run();
+  client::SyncClient sync(grid.engine(), client);
+  util::Status connected = sync.connect(grid.site("FZ-Juelich")->address());
+  std::printf("connected to FZ-Juelich gateway: %s\n",
+              connected.to_string().c_str());
 
   ajo::AbstractJobObject pipeline =
       build_pipeline(erika.certificate.subject);
   std::printf("pipeline: %zu actions across 3 sites, depth %zu\n\n",
               pipeline.total_actions(), pipeline.depth());
 
-  ajo::JobToken token = 0;
-  client.submit(pipeline, [&token](util::Result<ajo::JobToken> result) {
-    token = result.ok() ? result.value() : 0;
-  });
-  grid.engine().run_until(grid.engine().now() + sim::sec(2));
+  auto token = sync.submit(pipeline);
+  if (!token.ok()) {
+    std::printf("consignment rejected: %s\n",
+                token.error().to_string().c_str());
+    return 1;
+  }
 
-  // Poll like the JMC and narrate progress.
+  // Poll like the JMC and narrate progress: each query goes through the
+  // promise surface, rescheduling itself until the root is terminal.
   sim::Time last_print = 0;
   std::function<void()> poll = [&] {
-    client.query(token, ajo::QueryService::Detail::kJobGroups,
-                 [&](util::Result<ajo::Outcome> outcome) {
-                   if (!outcome.ok()) return;
-                   if (grid.engine().now() - last_print > sim::minutes(5)) {
-                     last_print = grid.engine().now();
-                     std::printf("t=%7.1f s  root=%s\n",
-                                 sim::to_seconds(grid.engine().now()),
-                                 ajo::action_status_name(
-                                     outcome.value().status));
-                   }
-                   if (!ajo::is_terminal(outcome.value().status))
-                     grid.engine().after(sim::minutes(1), poll);
-                 });
+    client.query(token.value(), ajo::QueryService::Detail::kJobGroups)
+        .then([&](const util::Result<ajo::Outcome>& outcome) {
+          if (!outcome.ok()) return;
+          if (grid.engine().now() - last_print > sim::minutes(5)) {
+            last_print = grid.engine().now();
+            std::printf("t=%7.1f s  root=%s\n",
+                        sim::to_seconds(grid.engine().now()),
+                        ajo::action_status_name(outcome.value().status));
+          }
+          if (!ajo::is_terminal(outcome.value().status))
+            grid.engine().after(sim::minutes(1), poll);
+        });
   };
   poll();
   grid.engine().run();
 
-  client.query(token, ajo::QueryService::Detail::kTasks,
-               [&](util::Result<ajo::Outcome> outcome) {
-                 if (!outcome.ok()) return;
-                 std::printf("\nfinal JMC view:\n%s\n",
-                             outcome.value().to_tree_string().c_str());
-               });
-  grid.engine().run();
+  auto final_view = sync.query(token.value(),
+                               ajo::QueryService::Detail::kTasks);
+  if (final_view.ok())
+    std::printf("\nfinal JMC view:\n%s\n",
+                final_view.value().to_tree_string().c_str());
 
   std::printf("per-site consignments: ");
   for (const std::string& name : grid.sites())

@@ -6,6 +6,8 @@
 //      verify the signed JPA "applet" bundle.
 //   4. Build a compile-link-execute job from the resource pages.
 //   5. Submit, monitor (JMC-style polling), fetch stdout and results.
+//   6. Open a portal session and run a multi-step workflow end to end
+//      with one one_run() call (token-authenticated, docs/PORTAL.md).
 //
 // Run: ./quickstart
 #include <cstdio>
@@ -141,6 +143,63 @@ int main() {
     std::printf("fetched solution.dat: %llu bytes\n",
                 static_cast<unsigned long long>(blob.value().size()));
   grid.engine().run();
+
+  // --- 6. portal session + one_run workflow -------------------------------
+  // One certificate-authenticated contact mints a bearer token; every
+  // request after this — including the consign — rides the token.
+  auto grant = client.open_session();
+  if (!grant.ok()) {
+    std::printf("session rejected: %s\n", grant.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("\nportal session opened for login '%s' (expires at epoch "
+              "%lld)\n",
+              grant.value().login.c_str(),
+              static_cast<long long>(grant.value().expires_at));
+
+  client::WorkflowStep prepare;
+  prepare.name = "prepare";
+  prepare.script = "grep converged solution.log > summary.txt\n";
+  prepare.behavior.nominal_seconds = 5;
+  prepare.behavior.stdout_text = "summary written\n";
+  client::WorkflowStep analyse;
+  analyse.name = "analyse";
+  analyse.script = "./analyse summary.txt\n";
+  analyse.after = {"prepare"};
+  analyse.behavior.nominal_seconds = 30;
+  analyse.behavior.stdout_text = "residual 1.2e-9\n";
+  client::WorkflowStep report;
+  report.name = "report";
+  report.script = "mail -s done jane@uni-koeln.de < summary.txt\n";
+  report.after = {"analyse"};
+  report.behavior.nominal_seconds = 1;
+
+  client::WorkflowParameters parameters;
+  parameters.job_name = "post-processing";
+  parameters.usite = "FZ-Juelich";
+  parameters.vsite = "T3E-600";
+  parameters.account_group = "project-a";
+  parameters.poll_interval = sim::sec(30);
+
+  client::WorkflowManager::Options workflow_options;
+  workflow_options.clean_job_storages = true;  // reap the uspace after
+  auto flow = client.one_run({prepare, analyse, report}, parameters,
+                            workflow_options);
+  if (!flow.ok()) {
+    std::printf("workflow failed: %s\n", flow.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("one_run finished: job token %llu, %zu steps\n",
+              static_cast<unsigned long long>(flow.value().token),
+              flow.value().steps.size());
+  for (const auto& [name, step] : flow.value().steps)
+    std::printf("  %-8s %-14s exit=%d stdout=%s", name.c_str(),
+                ajo::action_status_name(step.status), step.exit_code,
+                step.stdout_text.empty() ? "-\n" : step.stdout_text.c_str());
+  std::printf("working storage reaped: %s\n",
+              flow.value().storage_reaped ? "yes" : "no");
+  util::Status closed = client.close_session();
+  std::printf("session closed: %s\n", closed.to_string().c_str());
 
   std::printf("\ndone: %llu request(s) served by the gateway, %.1f virtual "
               "seconds elapsed\n",

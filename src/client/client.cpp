@@ -1,5 +1,6 @@
 #include "client/client.h"
 
+#include "ajo/codec.h"
 #include "util/log.h"
 
 namespace unicore::client {
@@ -46,6 +47,31 @@ class ClientTransport : public xfer::ChunkTransport {
   std::shared_ptr<bool> alive_;
   std::shared_ptr<server::XferRails> rails_;
 };
+
+/// Request kinds that may ride the kTokenRequest envelope once a
+/// session is adopted. kSessionOpen always authenticates the channel's
+/// peer certificate; bundle / resource-page downloads and the chunked
+/// transfer envelopes keep their certificate-bound plain form.
+bool token_eligible(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kConsign:
+    case RequestKind::kQuery:
+    case RequestKind::kList:
+    case RequestKind::kControl:
+    case RequestKind::kFetchOutput:
+    case RequestKind::kMonitorMetrics:
+    case RequestKind::kMonitorTrace:
+    case RequestKind::kJournalInspect:
+    case RequestKind::kSessionRefresh:
+    case RequestKind::kSessionClose:
+    case RequestKind::kStorageList:
+    case RequestKind::kStorageFiles:
+    case RequestKind::kStorageReap:
+      return true;
+    default:
+      return false;
+  }
+}
 
 }  // namespace
 
@@ -151,7 +177,11 @@ void UnicoreClient::send_request(
                              "request timed out (message lost?)"));
   });
   pending_[request_id] = std::move(pending);
-  channel_->send(server::make_request(kind, request_id, payload));
+  if (!session_token_.empty() && token_eligible(kind))
+    channel_->send(
+        server::make_token_request(kind, request_id, session_token_, payload));
+  else
+    channel_->send(server::make_request(kind, request_id, payload));
 }
 
 void UnicoreClient::handle_message(Bytes&& wire) {
@@ -215,6 +245,12 @@ void UnicoreClient::fetch_resource_pages(
 
 void UnicoreClient::submit(const ajo::AbstractJobObject& job,
                            std::function<void(Result<ajo::JobToken>)> done) {
+  if (has_session()) {
+    // Token consign: the bearer token already proves the identity, so
+    // the AJO travels unsigned — no signature powmods on this path.
+    call<wire::ConsignCodec>(ajo::encode_action(job), std::move(done));
+    return;
+  }
   ajo::SignedAjo signed_ajo = ajo::sign_ajo(job, config_.user);
   call<wire::ConsignCodec>(signed_ajo.encode(), std::move(done));
 }
@@ -305,7 +341,7 @@ void UnicoreClient::control(ajo::JobToken token,
 void UnicoreClient::fetch_output_legacy(
     ajo::JobToken token, const std::string& name,
     std::function<void(Result<uspace::FileBlob>)> done) {
-  ++outputs_legacy_;
+  ++output_stats_.legacy;
   ByteWriter payload;
   payload.u64(token);
   payload.str(name);
@@ -352,7 +388,7 @@ void UnicoreClient::fetch_output(
     fetch_output_legacy(token, name, std::move(done));
     return;
   }
-  ++outputs_chunked_;
+  ++output_stats_.chunked;
   xfer::PullSpec spec;
   spec.role = xfer::Role::kClientPull;
   spec.token = token;
@@ -413,6 +449,198 @@ void UnicoreClient::wait_for_completion(
             wait_for_completion(token, interval, done);
           });
         });
+}
+
+// ---- portal sessions (docs/PORTAL.md) --------------------------------------
+
+void UnicoreClient::open_session(
+    std::int64_t requested_ttl_seconds,
+    std::function<void(Result<SessionGrant>)> done) {
+  ByteWriter payload;
+  payload.i64(requested_ttl_seconds);
+  // Deliberately sent plain even when a token is already adopted: the
+  // gateway mints sessions only for the channel's peer certificate.
+  Bytes previous = std::move(session_token_);
+  session_token_.clear();
+  call<wire::SessionOpenCodec>(
+      payload.take(),
+      [this, previous = std::move(previous),
+       done = std::move(done)](Result<SessionGrant> grant) mutable {
+        if (grant)
+          session_token_ = grant.value().token;
+        else
+          session_token_ = std::move(previous);  // keep what we had
+        done(std::move(grant));
+      });
+}
+
+void UnicoreClient::refresh_session(
+    std::function<void(Result<SessionGrant>)> done) {
+  if (!has_session()) {
+    done(util::make_error(ErrorCode::kFailedPrecondition,
+                          "no session to refresh"));
+    return;
+  }
+  call<wire::SessionRefreshCodec>({}, std::move(done));
+}
+
+void UnicoreClient::close_session(std::function<void(Status)> done) {
+  if (!has_session()) {
+    done(util::make_error(ErrorCode::kFailedPrecondition,
+                          "no session to close"));
+    return;
+  }
+  call<wire::SessionCloseCodec>(
+      {}, [this, done = std::move(done)](Result<Ack> reply) {
+        // The local token is dropped either way — a server that already
+        // expired the session leaves the client in the same logged-out
+        // state an explicit close does.
+        session_token_.clear();
+        if (!reply)
+          done(reply.error());
+        else
+          done(Status::ok_status());
+      });
+}
+
+// ---- managed job storages --------------------------------------------------
+
+void UnicoreClient::list_storages(
+    std::function<void(Result<std::vector<StorageEntry>>)> done) {
+  call<wire::StorageListCodec>({}, std::move(done));
+}
+
+void UnicoreClient::storage_files(
+    ajo::JobToken token,
+    std::function<void(Result<std::vector<std::string>>)> done) {
+  ByteWriter payload;
+  payload.u64(token);
+  call<wire::StorageFilesCodec>(payload.take(), std::move(done));
+}
+
+void UnicoreClient::reap_storage(
+    ajo::JobToken token, std::function<void(Result<std::uint64_t>)> done) {
+  ByteWriter payload;
+  payload.u64(token);
+  call<wire::StorageReapCodec>(payload.take(), std::move(done));
+}
+
+// ---- the promise surface ---------------------------------------------------
+// Thin adapters: each starts the callback operation and settles a
+// promise from its completion.
+
+namespace {
+
+/// Converts a Status completion into a Future<Ack> settlement.
+std::function<void(Status)> settle_ack(const Promise<Ack>& promise) {
+  return [promise](Status status) {
+    if (status.ok())
+      promise.set(Ack{});
+    else
+      promise.set(status.error());
+  };
+}
+
+}  // namespace
+
+Future<Ack> UnicoreClient::connect(net::Address usite) {
+  Promise<Ack> promise;
+  connect(usite, settle_ack(promise));
+  return promise.future();
+}
+
+Future<ajo::JobToken> UnicoreClient::submit(const ajo::AbstractJobObject& job) {
+  Promise<ajo::JobToken> promise;
+  submit(job, [promise](Result<ajo::JobToken> r) { promise.set(std::move(r)); });
+  return promise.future();
+}
+
+Future<ajo::Outcome> UnicoreClient::query(ajo::JobToken token,
+                                          ajo::QueryService::Detail detail) {
+  Promise<ajo::Outcome> promise;
+  query(token, detail,
+        [promise](Result<ajo::Outcome> r) { promise.set(std::move(r)); });
+  return promise.future();
+}
+
+Future<std::vector<JobEntry>> UnicoreClient::list() {
+  Promise<std::vector<JobEntry>> promise;
+  list([promise](Result<std::vector<JobEntry>> r) {
+    promise.set(std::move(r));
+  });
+  return promise.future();
+}
+
+Future<Ack> UnicoreClient::control(ajo::JobToken token,
+                                   ajo::ControlService::Command command) {
+  Promise<Ack> promise;
+  control(token, command, settle_ack(promise));
+  return promise.future();
+}
+
+Future<uspace::FileBlob> UnicoreClient::fetch_output(ajo::JobToken token,
+                                                     const std::string& name) {
+  Promise<uspace::FileBlob> promise;
+  fetch_output(token, name, [promise](Result<uspace::FileBlob> r) {
+    promise.set(std::move(r));
+  });
+  return promise.future();
+}
+
+Future<ajo::Outcome> UnicoreClient::wait_for_completion(ajo::JobToken token,
+                                                        sim::Time interval) {
+  Promise<ajo::Outcome> promise;
+  wait_for_completion(token, interval, [promise](Result<ajo::Outcome> r) {
+    promise.set(std::move(r));
+  });
+  return promise.future();
+}
+
+Future<SessionGrant> UnicoreClient::open_session(
+    std::int64_t requested_ttl_seconds) {
+  Promise<SessionGrant> promise;
+  open_session(requested_ttl_seconds, [promise](Result<SessionGrant> r) {
+    promise.set(std::move(r));
+  });
+  return promise.future();
+}
+
+Future<SessionGrant> UnicoreClient::refresh_session() {
+  Promise<SessionGrant> promise;
+  refresh_session(
+      [promise](Result<SessionGrant> r) { promise.set(std::move(r)); });
+  return promise.future();
+}
+
+Future<Ack> UnicoreClient::close_session() {
+  Promise<Ack> promise;
+  close_session(settle_ack(promise));
+  return promise.future();
+}
+
+Future<std::vector<StorageEntry>> UnicoreClient::list_storages() {
+  Promise<std::vector<StorageEntry>> promise;
+  list_storages([promise](Result<std::vector<StorageEntry>> r) {
+    promise.set(std::move(r));
+  });
+  return promise.future();
+}
+
+Future<std::vector<std::string>> UnicoreClient::storage_files(
+    ajo::JobToken token) {
+  Promise<std::vector<std::string>> promise;
+  storage_files(token, [promise](Result<std::vector<std::string>> r) {
+    promise.set(std::move(r));
+  });
+  return promise.future();
+}
+
+Future<std::uint64_t> UnicoreClient::reap_storage(ajo::JobToken token) {
+  Promise<std::uint64_t> promise;
+  reap_storage(token, [promise](Result<std::uint64_t> r) {
+    promise.set(std::move(r));
+  });
+  return promise.future();
 }
 
 }  // namespace unicore::client

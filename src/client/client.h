@@ -22,6 +22,7 @@
 #include "ajo/job.h"
 #include "ajo/outcome.h"
 #include "ajo/services.h"
+#include "client/future.h"
 #include "crypto/bundle.h"
 #include "crypto/x509.h"
 #include "net/network.h"
@@ -57,6 +58,29 @@ struct JournalInfo {
 
 /// Reply type of request kinds whose success carries no payload.
 struct Ack {};
+
+/// A gateway-issued portal session (docs/PORTAL.md): the bearer token
+/// maps back to the certificate identity it was minted for, so requests
+/// carrying it skip the per-request certificate work and may share a
+/// pooled channel with other users' sessions.
+struct SessionGrant {
+  util::Bytes token;
+  std::int64_t expires_at = 0;  // epoch seconds; refresh extends it
+  std::string login;            // the UUDB login the identity maps to
+};
+
+/// One row of the managed-job-storage listing: the named uspace working
+/// storage a submission created (docs/PORTAL.md).
+struct StorageEntry {
+  ajo::JobToken token = 0;
+  std::string name;
+  std::uint64_t used_bytes = 0;
+  std::uint64_t quota_bytes = 0;
+  std::size_t files = 0;
+  bool terminal = false;  // job finished — storage is reapable
+  bool reaped = false;
+  sim::Time consigned_at = 0;
+};
 
 /// Per-request codec traits: each RequestKind the client speaks is one
 /// struct binding the kind, its reply type, and the reply decoder. The
@@ -182,6 +206,90 @@ struct JournalInspectCodec {
   }
 };
 
+/// Session-open and -refresh share one reply shape: the grant.
+inline SessionGrant decode_session_grant(util::ByteReader& r) {
+  SessionGrant grant;
+  grant.token = r.blob();
+  grant.expires_at = r.i64();
+  grant.login = r.str();
+  return grant;
+}
+
+struct SessionOpenCodec {
+  using Reply = SessionGrant;
+  static constexpr server::RequestKind kKind =
+      server::RequestKind::kSessionOpen;
+  static constexpr const char* kName = "session-open";
+  static Reply decode(util::ByteReader& r) {
+    return decode_session_grant(r);
+  }
+};
+
+struct SessionRefreshCodec {
+  using Reply = SessionGrant;
+  static constexpr server::RequestKind kKind =
+      server::RequestKind::kSessionRefresh;
+  static constexpr const char* kName = "session-refresh";
+  static Reply decode(util::ByteReader& r) {
+    return decode_session_grant(r);
+  }
+};
+
+struct SessionCloseCodec {
+  using Reply = Ack;
+  static constexpr server::RequestKind kKind =
+      server::RequestKind::kSessionClose;
+  static constexpr const char* kName = "session-close";
+  static Reply decode(util::ByteReader&) { return {}; }
+};
+
+struct StorageListCodec {
+  using Reply = std::vector<StorageEntry>;
+  static constexpr server::RequestKind kKind =
+      server::RequestKind::kStorageList;
+  static constexpr const char* kName = "storage-list";
+  static Reply decode(util::ByteReader& r) {
+    std::uint64_t count = r.varint();
+    Reply storages;
+    storages.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      StorageEntry entry;
+      entry.token = r.u64();
+      entry.name = r.str();
+      entry.used_bytes = r.u64();
+      entry.quota_bytes = r.u64();
+      entry.files = r.varint();
+      entry.terminal = r.u8() != 0;
+      entry.reaped = r.u8() != 0;
+      entry.consigned_at = r.i64();
+      storages.push_back(std::move(entry));
+    }
+    return storages;
+  }
+};
+
+struct StorageFilesCodec {
+  using Reply = std::vector<std::string>;
+  static constexpr server::RequestKind kKind =
+      server::RequestKind::kStorageFiles;
+  static constexpr const char* kName = "storage-files";
+  static Reply decode(util::ByteReader& r) {
+    std::uint64_t count = r.varint();
+    Reply names;
+    names.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) names.push_back(r.str());
+    return names;
+  }
+};
+
+struct StorageReapCodec {
+  using Reply = std::uint64_t;  // bytes freed
+  static constexpr server::RequestKind kKind =
+      server::RequestKind::kStorageReap;
+  static constexpr const char* kName = "storage-reap";
+  static Reply decode(util::ByteReader& r) { return r.u64(); }
+};
+
 }  // namespace wire
 
 class UnicoreClient {
@@ -259,6 +367,61 @@ class UnicoreClient {
                            std::function<void(util::Result<ajo::Outcome>)>
                                done);
 
+  // --- portal sessions (docs/PORTAL.md) ---------------------------------
+  /// Asks the gateway for a bearer token bound to this client's
+  /// certificate identity. `requested_ttl_seconds` of 0 accepts the
+  /// broker default; larger requests are clamped. On success the grant's
+  /// token is adopted: every subsequent eligible request rides the
+  /// kTokenRequest envelope and submit() consigns unsigned AJOs.
+  void open_session(std::int64_t requested_ttl_seconds,
+                    std::function<void(util::Result<SessionGrant>)> done);
+  /// Extends the adopted session's expiry by one TTL.
+  void refresh_session(std::function<void(util::Result<SessionGrant>)> done);
+  /// Explicit logout: invalidates the token server-side and drops it.
+  void close_session(std::function<void(util::Status)> done);
+
+  /// Adopts a token minted elsewhere (e.g. over another connection —
+  /// the portal pattern: many user sessions multiplexed over few pooled
+  /// channels). An empty token reverts to certificate authentication.
+  void set_session_token(util::Bytes token) {
+    session_token_ = std::move(token);
+  }
+  const util::Bytes& session_token() const { return session_token_; }
+  bool has_session() const { return !session_token_.empty(); }
+
+  // --- managed job storages (docs/PORTAL.md) ----------------------------
+  /// Lists the caller's per-job working storages at the Usite.
+  void list_storages(
+      std::function<void(util::Result<std::vector<StorageEntry>>)> done);
+  /// Names of the files in one job's storage (sub-job files prefixed).
+  void storage_files(
+      ajo::JobToken token,
+      std::function<void(util::Result<std::vector<std::string>>)> done);
+  /// Empties a finished job's storage; resolves to the bytes freed.
+  void reap_storage(ajo::JobToken token,
+                    std::function<void(util::Result<std::uint64_t>)> done);
+
+  // --- the promise surface ----------------------------------------------
+  // Every operation above, returning a Future instead of taking a
+  // callback — the building blocks of WorkflowManager and the examples.
+  Future<Ack> connect(net::Address usite);
+  Future<ajo::JobToken> submit(const ajo::AbstractJobObject& job);
+  Future<ajo::Outcome> query(ajo::JobToken token,
+                             ajo::QueryService::Detail detail);
+  Future<std::vector<JobEntry>> list();
+  Future<Ack> control(ajo::JobToken token,
+                      ajo::ControlService::Command command);
+  Future<uspace::FileBlob> fetch_output(ajo::JobToken token,
+                                        const std::string& name);
+  Future<ajo::Outcome> wait_for_completion(ajo::JobToken token,
+                                           sim::Time interval);
+  Future<SessionGrant> open_session(std::int64_t requested_ttl_seconds = 0);
+  Future<SessionGrant> refresh_session();
+  Future<Ack> close_session();
+  Future<std::vector<StorageEntry>> list_storages();
+  Future<std::vector<std::string>> storage_files(ajo::JobToken token);
+  Future<std::uint64_t> reap_storage(ajo::JobToken token);
+
   // --- MonitorService ----------------------------------------------------
   /// Fetches the Usite's current metrics snapshot (gateway, NJS, batch,
   /// and — with a grid-shared registry — network series).
@@ -272,9 +435,31 @@ class UnicoreClient {
   /// exchange); v1 servers reject the request.
   void inspect_journal(std::function<void(util::Result<JournalInfo>)> done);
 
-  // --- the generic request path ------------------------------------------
+  /// Sends one chunked-transfer operation over the *main* channel
+  /// (stream 0 of the hybrid transport; extra streams ride XferRails).
+  void xfer_call(xfer::Op op, util::Bytes body,
+                 std::function<void(util::Result<util::Bytes>)> done);
+
+  // --- diagnostics ---------------------------------------------------------
+  std::uint64_t requests_sent() const { return requests_sent_; }
+  std::uint64_t requests_failed() const { return requests_failed_; }
+  /// Which wire path each fetch_output took: the chunked engine, or the
+  /// internal legacy whole-blob fallback (v1 server / chunking off).
+  const server::TransferStats& output_stats() const { return output_stats_; }
+  /// True when the current channel was established by session
+  /// resumption (a reconnect that skipped the public-key handshake).
+  bool session_resumed() const {
+    return channel_ != nullptr && channel_->resumed();
+  }
+  /// The client's session cache (main channel and rails share it).
+  net::SessionCache& sessions() { return sessions_; }
+
+ private:
+  // --- the generic request path (internal) -------------------------------
   /// Sends one request of `Codec`'s kind and decodes the reply with its
-  /// codec. All named operations above are thin wrappers around this.
+  /// codec. All named operations above are thin wrappers around this;
+  /// callers outside the client use those (or the promise surface), not
+  /// this free-form payload overload.
   template <typename Codec>
   void call(util::Bytes payload,
             std::function<void(util::Result<typename Codec::Reply>)> done) {
@@ -296,27 +481,6 @@ class UnicoreClient {
         });
   }
 
-  /// Sends one chunked-transfer operation over the *main* channel
-  /// (stream 0 of the hybrid transport; extra streams ride XferRails).
-  void xfer_call(xfer::Op op, util::Bytes body,
-                 std::function<void(util::Result<util::Bytes>)> done);
-
-  // --- diagnostics ---------------------------------------------------------
-  std::uint64_t requests_sent() const { return requests_sent_; }
-  std::uint64_t requests_failed() const { return requests_failed_; }
-  /// fetch_output calls that went through the chunked engine vs. the
-  /// legacy whole-blob request.
-  std::uint64_t outputs_chunked() const { return outputs_chunked_; }
-  std::uint64_t outputs_legacy() const { return outputs_legacy_; }
-  /// True when the current channel was established by session
-  /// resumption (a reconnect that skipped the public-key handshake).
-  bool session_resumed() const {
-    return channel_ != nullptr && channel_->resumed();
-  }
-  /// The client's session cache (main channel and rails share it).
-  net::SessionCache& sessions() { return sessions_; }
-
- private:
   void send_request(server::RequestKind kind, util::Bytes payload,
                     std::function<void(util::Result<util::Bytes>)> on_reply);
   void handle_message(util::Bytes&& wire);
@@ -349,8 +513,9 @@ class UnicoreClient {
   /// Guards the main-channel leg of in-flight transfers against the
   /// client being destroyed while the engine still runs.
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
-  std::uint64_t outputs_chunked_ = 0;
-  std::uint64_t outputs_legacy_ = 0;
+  server::TransferStats output_stats_;
+  /// The adopted portal session token; empty = certificate auth.
+  util::Bytes session_token_;
 };
 
 }  // namespace unicore::client

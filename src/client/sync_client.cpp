@@ -5,15 +5,17 @@ namespace unicore::client {
 using util::Result;
 using util::Status;
 
+namespace {
+
+/// Collapses a Future<Ack> settlement back into a Status.
+Status to_status(const Result<Ack>& result) {
+  return result.ok() ? Status::ok_status() : Status(result.error());
+}
+
+}  // namespace
+
 Status SyncClient::connect(net::Address usite) {
-  std::optional<Status> result;
-  client_.connect(usite, [&result](Status s) { result = std::move(s); });
-  while (!result.has_value() && engine_.step()) {
-  }
-  if (!result.has_value())
-    return util::make_error(util::ErrorCode::kInternal,
-                            "event queue drained before the reply");
-  return std::move(*result);
+  return to_status(wait(client_.connect(usite)));
 }
 
 Result<crypto::SoftwareBundle> SyncClient::fetch_bundle(
@@ -30,8 +32,7 @@ SyncClient::fetch_resource_pages() {
 }
 
 Result<ajo::JobToken> SyncClient::submit(const ajo::AbstractJobObject& job) {
-  return await<ajo::JobToken>(
-      [&](auto done) { client_.submit(job, std::move(done)); });
+  return wait(client_.submit(job));
 }
 
 Result<ajo::JobToken> SyncClient::submit_with_retry(
@@ -43,40 +44,26 @@ Result<ajo::JobToken> SyncClient::submit_with_retry(
 
 Result<ajo::Outcome> SyncClient::query(ajo::JobToken token,
                                        ajo::QueryService::Detail detail) {
-  return await<ajo::Outcome>(
-      [&](auto done) { client_.query(token, detail, std::move(done)); });
+  return wait(client_.query(token, detail));
 }
 
 Result<std::vector<JobEntry>> SyncClient::list() {
-  return await<std::vector<JobEntry>>(
-      [&](auto done) { client_.list(std::move(done)); });
+  return wait(client_.list());
 }
 
 Status SyncClient::control(ajo::JobToken token,
                            ajo::ControlService::Command command) {
-  std::optional<Status> result;
-  client_.control(token, command,
-                  [&result](Status s) { result = std::move(s); });
-  while (!result.has_value() && engine_.step()) {
-  }
-  if (!result.has_value())
-    return util::make_error(util::ErrorCode::kInternal,
-                            "event queue drained before the reply");
-  return std::move(*result);
+  return to_status(wait(client_.control(token, command)));
 }
 
 Result<uspace::FileBlob> SyncClient::fetch_output(ajo::JobToken token,
                                                   const std::string& name) {
-  return await<uspace::FileBlob>([&](auto done) {
-    client_.fetch_output(token, name, std::move(done));
-  });
+  return wait(client_.fetch_output(token, name));
 }
 
 Result<ajo::Outcome> SyncClient::wait_for_completion(ajo::JobToken token,
                                                      sim::Time interval) {
-  return await<ajo::Outcome>([&](auto done) {
-    client_.wait_for_completion(token, interval, std::move(done));
-  });
+  return wait(client_.wait_for_completion(token, interval));
 }
 
 Result<obs::MetricsSnapshot> SyncClient::fetch_metrics() {
@@ -92,6 +79,45 @@ Result<obs::TraceTimeline> SyncClient::fetch_trace(ajo::JobToken token) {
 Result<JournalInfo> SyncClient::inspect_journal() {
   return await<JournalInfo>(
       [&](auto done) { client_.inspect_journal(std::move(done)); });
+}
+
+Result<SessionGrant> SyncClient::open_session(std::int64_t requested_ttl) {
+  return wait(client_.open_session(requested_ttl));
+}
+
+Result<SessionGrant> SyncClient::refresh_session() {
+  return wait(client_.refresh_session());
+}
+
+Status SyncClient::close_session() {
+  return to_status(wait(client_.close_session()));
+}
+
+Result<std::vector<StorageEntry>> SyncClient::list_storages() {
+  return wait(client_.list_storages());
+}
+
+Result<std::vector<std::string>> SyncClient::storage_files(
+    ajo::JobToken token) {
+  return wait(client_.storage_files(token));
+}
+
+Result<std::uint64_t> SyncClient::reap_storage(ajo::JobToken token) {
+  return wait(client_.reap_storage(token));
+}
+
+Result<WorkflowRun> SyncClient::one_run(const std::vector<WorkflowStep>& steps,
+                                        const WorkflowParameters& parameters,
+                                        WorkflowManager::Options options) {
+  WorkflowManager manager(client_, options);
+  return wait(manager.one_run(steps, parameters));
+}
+
+Result<WorkflowRun> SyncClient::one_run(
+    const std::vector<std::string>& command_lines,
+    const WorkflowParameters& parameters, WorkflowManager::Options options) {
+  WorkflowManager manager(client_, options);
+  return wait(manager.one_run(command_lines, parameters));
 }
 
 }  // namespace unicore::client

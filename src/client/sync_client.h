@@ -1,8 +1,8 @@
 // Blocking facade over UnicoreClient for tests and examples: each call
-// issues the asynchronous request and steps the simulation engine until
-// the reply (or timeout) arrives, turning the callback protocol into
-// plain return values. Only usable from code that owns the engine loop —
-// i.e. drivers, never from inside an event handler.
+// starts the operation through the promise surface and steps the
+// simulation engine until the future settles, turning the asynchronous
+// protocol into plain return values. Only usable from code that owns
+// the engine loop — i.e. drivers, never from inside an event handler.
 #pragma once
 
 #include <optional>
@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "client/client.h"
+#include "client/future.h"
+#include "client/workflow.h"
 #include "sim/engine.h"
 
 namespace unicore::client {
@@ -18,6 +20,19 @@ class SyncClient {
  public:
   SyncClient(sim::Engine& engine, UnicoreClient& client)
       : engine_(engine), client_(client) {}
+
+  /// Pumps the engine until `future` settles, then returns its result —
+  /// the bridge from any Future-returning call (UnicoreClient promise
+  /// surface, WorkflowManager::one_run) to straight-line driver code.
+  template <typename T>
+  util::Result<T> wait(Future<T> future) {
+    while (!future.ready() && engine_.step()) {
+    }
+    if (!future.ready())
+      return util::make_error(util::ErrorCode::kInternal,
+                              "event queue drained before the reply");
+    return future.result();
+  }
 
   util::Status connect(net::Address usite);
 
@@ -40,11 +55,30 @@ class SyncClient {
   util::Result<obs::TraceTimeline> fetch_trace(ajo::JobToken token);
   util::Result<JournalInfo> inspect_journal();
 
+  // --- portal sessions & managed storages (docs/PORTAL.md) -------------
+  util::Result<SessionGrant> open_session(std::int64_t requested_ttl = 0);
+  util::Result<SessionGrant> refresh_session();
+  util::Status close_session();
+  util::Result<std::vector<StorageEntry>> list_storages();
+  util::Result<std::vector<std::string>> storage_files(ajo::JobToken token);
+  util::Result<std::uint64_t> reap_storage(ajo::JobToken token);
+
+  /// Compiles, consigns, and waits for a whole workflow (see
+  /// WorkflowManager::one_run).
+  util::Result<WorkflowRun> one_run(const std::vector<WorkflowStep>& steps,
+                                    const WorkflowParameters& parameters,
+                                    WorkflowManager::Options options = {});
+  util::Result<WorkflowRun> one_run(
+      const std::vector<std::string>& command_lines,
+      const WorkflowParameters& parameters,
+      WorkflowManager::Options options = {});
+
   UnicoreClient& async() { return client_; }
 
  private:
   /// Starts an async operation and pumps the engine until its callback
-  /// fires. `start` receives the completion callback to pass on.
+  /// fires. `start` receives the completion callback to pass on. Used
+  /// for the few operations without a Future overload.
   template <typename T, typename Start>
   util::Result<T> await(Start&& start) {
     std::optional<util::Result<T>> result;

@@ -140,19 +140,32 @@ Result<AuthenticatedUser> Gateway::check_consignment(
                             "presented certificate");
   }
 
-  // The job must be consigned under the identity that signed it.
-  if (signed_ajo.job.user != signed_ajo.user_certificate.subject) {
+  if (auto status = authorize_job(signed_ajo.job, user.value(),
+                                  signed_ajo.user_certificate, now);
+      !status.ok())
+    return status.error();
+  return user;
+}
+
+Status Gateway::authorize_job(const ajo::AbstractJobObject& job,
+                              const AuthenticatedUser& user,
+                              const crypto::Certificate& cert,
+                              std::int64_t now) {
+  const std::string subject = cert.subject.to_string();
+
+  // The job must be consigned under the authenticated identity.
+  if (job.user != cert.subject) {
     audit(now, subject, "consign", false, "AJO user != certificate subject");
     return util::make_error(ErrorCode::kPermissionDenied,
-                            "AJO names a different user than the signing "
-                            "certificate");
+                            "AJO names a different user than the "
+                            "authenticated identity");
   }
 
   // Account-group authorisation: an explicit group must be one of the
   // user's; an empty group falls back to the user's first group.
-  const std::string& group = signed_ajo.job.account_group;
+  const std::string& group = job.account_group;
   auto in_group = [&user](const std::string& g) {
-    for (const auto& candidate : user.value().account_groups)
+    for (const auto& candidate : user.account_groups)
       if (candidate == g) return true;
     return false;
   };
@@ -162,14 +175,13 @@ Result<AuthenticatedUser> Gateway::check_consignment(
                             "account group not authorised: " + group);
   }
 
-  if (auto status = signed_ajo.job.validate(); !status.ok()) {
+  if (auto status = job.validate(); !status.ok()) {
     audit(now, subject, "consign", false, status.error().message);
     return status.error();
   }
 
   if (site_hook_) {
-    auto status = site_hook_(signed_ajo.user_certificate,
-                             signed_ajo.job.site_security_info);
+    auto status = site_hook_(cert, job.site_security_info);
     if (!status.ok()) {
       audit(now, subject, "consign", false,
             "site auth: " + status.error().message);
@@ -177,8 +189,8 @@ Result<AuthenticatedUser> Gateway::check_consignment(
     }
   }
 
-  audit(now, subject, "consign", true, "login=" + user.value().login);
-  return user;
+  audit(now, subject, "consign", true, "login=" + user.login);
+  return Status();
 }
 
 Result<AuthenticatedUser> Gateway::check_forwarded_consignment(

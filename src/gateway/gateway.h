@@ -72,6 +72,17 @@ class Gateway {
   util::Result<AuthenticatedUser> check_consignment(
       const ajo::SignedAjo& signed_ajo, std::int64_t now_epoch_seconds);
 
+  /// Authorisation half of a consignment check for an identity that is
+  /// already authenticated (token consigns, docs/PORTAL.md): the job
+  /// must name the authenticated subject, its account group must be one
+  /// of the user's, it must validate structurally, and the site hook
+  /// must pass. No AJO signature is verified — the session token (or
+  /// whatever produced `user`) already proves the submitting identity.
+  util::Status authorize_job(const ajo::AbstractJobObject& job,
+                             const AuthenticatedUser& user,
+                             const crypto::Certificate& cert,
+                             std::int64_t now_epoch_seconds);
+
   /// Consignment check for a job group forwarded NJS-to-NJS (§4.3): the
   /// consigning *server* endorses the job with its own signature over
   /// `signing_input`; the original user's certificate is still mapped

@@ -1,0 +1,179 @@
+#include "gateway/session_broker.h"
+
+#include <utility>
+
+namespace unicore::gateway {
+
+using util::Bytes;
+using util::ByteView;
+using util::ErrorCode;
+using util::Result;
+using util::Status;
+
+namespace {
+/// 128-bit bearer tokens: unguessable, and small enough that the
+/// kTokenRequest envelope stays cheaper than a certificate blob.
+constexpr std::size_t kTokenBytes = 16;
+}  // namespace
+
+SessionBroker::SessionBroker(Gateway& gateway, util::Rng& rng)
+    : gateway_(gateway), rng_(rng.fork()) {}
+
+Bytes SessionBroker::mint_token() {
+  Bytes token = rng_.bytes(kTokenBytes);
+  // Astronomically unlikely, but a collision must never splice two
+  // users' sessions together.
+  while (sessions_.count(token) != 0) token = rng_.bytes(kTokenBytes);
+  return token;
+}
+
+void SessionBroker::count(const char* action, bool accepted) {
+  if (!metrics_) return;
+  metrics_
+      ->counter("unicore_gateway_sessions_total",
+                {{"usite", gateway_.usite()},
+                 {"action", action},
+                 {"result", accepted ? "accept" : "reject"}})
+      .increment();
+}
+
+void SessionBroker::update_gauge() {
+  if (!metrics_) return;
+  metrics_
+      ->gauge("unicore_gateway_active_sessions",
+              {{"usite", gateway_.usite()}})
+      .set(static_cast<double>(sessions_.size()));
+}
+
+void SessionBroker::sweep(std::int64_t now) {
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (now >= it->second.expires_at) {
+      ++expired_;
+      count("expire", true);
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Result<SessionGrant> SessionBroker::open(const crypto::Certificate& cert,
+                                         std::int64_t now,
+                                         std::int64_t requested_ttl) {
+  sweep(now);
+  if (sessions_.size() >= max_sessions_) {
+    ++rejected_;
+    count("open", false);
+    return util::make_error(ErrorCode::kResourceExhausted,
+                            "session table full at " + gateway_.usite());
+  }
+
+  auto user = gateway_.authenticate_user(cert, now);
+  if (!user) {
+    ++rejected_;
+    count("open", false);
+    return user.error();
+  }
+
+  std::int64_t ttl = ttl_seconds_;
+  if (requested_ttl > 0 && requested_ttl < ttl) ttl = requested_ttl;
+
+  Session session;
+  session.certificate = cert;
+  session.user = user.value();
+  session.issued_at = now;
+  session.expires_at = now + ttl;
+  session.trust_generation = gateway_.trust_store().generation();
+  session.uudb_generation = gateway_.uudb().generation();
+
+  Bytes token = mint_token();
+  SessionGrant grant{token, session.expires_at, session.user.login};
+  sessions_.emplace(std::move(token), std::move(session));
+  ++opened_;
+  count("open", true);
+  update_gauge();
+  return grant;
+}
+
+Result<SessionBroker::Session*> SessionBroker::validate(ByteView token,
+                                                        std::int64_t now) {
+  auto it = sessions_.find(Bytes(token.begin(), token.end()));
+  if (it == sessions_.end()) {
+    ++rejected_;
+    return util::make_error(ErrorCode::kAuthenticationFailed,
+                            "unknown or closed session token");
+  }
+  Session& session = it->second;
+  if (now >= session.expires_at) {
+    ++expired_;
+    count("expire", true);
+    sessions_.erase(it);
+    update_gauge();
+    ++rejected_;
+    return util::make_error(ErrorCode::kAuthenticationFailed,
+                            "session token expired");
+  }
+  if (session.trust_generation == gateway_.trust_store().generation() &&
+      session.uudb_generation == gateway_.uudb().generation()) {
+    ++fast_validations_;
+    return &session;
+  }
+  // The world changed underneath the session (CRL/root update or UUDB
+  // edit). Re-run the gateway's certificate authentication — the same
+  // decision a fresh certificate presentation would get — and either
+  // re-stamp the session with the current generations or drop it, so a
+  // revoked or suspended user's token dies exactly like their cert.
+  auto user = gateway_.authenticate_user(session.certificate, now);
+  if (!user) {
+    sessions_.erase(it);
+    update_gauge();
+    ++rejected_;
+    return user.error();
+  }
+  session.user = user.value();  // pick up login/group edits
+  session.trust_generation = gateway_.trust_store().generation();
+  session.uudb_generation = gateway_.uudb().generation();
+  return &session;
+}
+
+Result<SessionGrant> SessionBroker::refresh(ByteView token, std::int64_t now) {
+  auto session = validate(token, now);
+  if (!session) {
+    count("refresh", false);
+    return session.error();
+  }
+  session.value()->expires_at = now + ttl_seconds_;
+  ++session.value()->refreshes;
+  ++refreshed_;
+  count("refresh", true);
+  return SessionGrant{Bytes(token.begin(), token.end()),
+                      session.value()->expires_at,
+                      session.value()->user.login};
+}
+
+Status SessionBroker::close(ByteView token) {
+  auto it = sessions_.find(Bytes(token.begin(), token.end()));
+  if (it == sessions_.end()) {
+    count("close", false);
+    return util::make_error(ErrorCode::kNotFound, "unknown session token");
+  }
+  sessions_.erase(it);
+  ++closed_;
+  count("close", true);
+  update_gauge();
+  return util::Status();
+}
+
+Result<SessionIdentity> SessionBroker::authenticate(ByteView token,
+                                                    std::int64_t now) {
+  auto session = validate(token, now);
+  if (!session) {
+    count("authenticate", false);
+    return session.error();
+  }
+  count("authenticate", true);
+  return SessionIdentity{session.value()->user,
+                         session.value()->certificate};
+}
+
+}  // namespace unicore::gateway

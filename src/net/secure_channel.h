@@ -65,9 +65,16 @@ constexpr std::uint64_t kFeatureResumption = 1ull << 2;
 /// records (see docs/PROTOCOL.md "Batched records"). Without it every
 /// application message travels as a single kRecord frame.
 constexpr std::uint64_t kFeatureBatchRecords = 1ull << 3;
+/// Peer speaks the portal facade: gateway-issued session tokens
+/// (kSessionOpen / kSessionRefresh / kSessionClose), token-authenticated
+/// requests (the kTokenRequest envelope), and managed job storages
+/// (kStorageList / kStorageFiles / kStorageReap). Without it the portal
+/// request kinds are refused and clients stay on per-request
+/// certificate authentication.
+constexpr std::uint64_t kFeaturePortal = 1ull << 4;
 constexpr std::uint64_t kDefaultFeatures =
     kFeatureJournalInspect | kFeatureChunkedXfer | kFeatureResumption |
-    kFeatureBatchRecords;
+    kFeatureBatchRecords | kFeaturePortal;
 
 class SecureChannel : public std::enable_shared_from_this<SecureChannel> {
  public:

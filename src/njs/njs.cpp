@@ -81,6 +81,7 @@ struct Njs::JobRun {
   GroupRun root;
   sim::Time consigned_at = 0;
   bool finalized = false;
+  bool storage_reaped = false;  // workspaces emptied, quota freed
   util::Bytes idempotency_key;  // non-empty for forwarded consignments
   // Terminal Outcome restored from the journal; when set, the job has no
   // live GroupRun tree and query/list answer from this record.
@@ -116,6 +117,8 @@ void Njs::wire_metrics() {
       &metrics_->counter("unicore_njs_batch_retries_total", labels);
   reattach_counter_ =
       &metrics_->counter("unicore_njs_batch_reattached_total", labels);
+  storage_reap_counter_ =
+      &metrics_->counter("unicore_njs_storages_reaped_total", labels);
   dispatch_latency_hist_ = &metrics_->histogram(
       "unicore_njs_dispatch_latency_seconds", labels, obs::latency_buckets());
   job_duration_hist_ = &metrics_->histogram("unicore_njs_job_duration_seconds",
@@ -1107,6 +1110,10 @@ void Njs::finalize_if_done(JobRun& job) {
     job.on_final = nullptr;
     handler(job.token, outcome);
   }
+  // With a storage policy set, a finishing job may tip the combined
+  // terminal-storage bytes over the line; the oldest storages go first,
+  // so this job's own outputs survive as long as the quota allows.
+  clean_job_storages();
 }
 
 ajo::ActionStatus Njs::aggregate_status(const GroupRun& group) const {
@@ -1463,6 +1470,125 @@ Result<uspace::FileBlob> Njs::read_output(JobToken token,
 Result<std::shared_ptr<const uspace::FileBlob>> Njs::read_output_shared(
     JobToken token, const std::string& name) const {
   return fetch_file_shared(token, name);
+}
+
+// ---- managed job storages ---------------------------------------------------
+
+void Njs::visit_workspaces(
+    const GroupRun& group, const std::string& prefix,
+    const std::function<void(const std::string&, uspace::Uspace&)>& visit) {
+  if (group.workspace != nullptr) visit(prefix, *group.workspace);
+  for (const auto& [id, run] : group.actions) {
+    if (run.subgroup == nullptr) continue;
+    visit_workspaces(
+        *run.subgroup,
+        prefix + "g" + std::to_string(run.subgroup->group->id()) + "/",
+        visit);
+  }
+}
+
+StorageInfo Njs::make_storage_info(const JobRun& job) const {
+  StorageInfo info;
+  info.token = job.token;
+  info.name = "job" + std::to_string(job.token);
+  info.terminal = job.finalized;
+  info.reaped = job.storage_reaped;
+  info.consigned_at = job.consigned_at;
+  visit_workspaces(job.root, "",
+                   [&info](const std::string&, uspace::Uspace& workspace) {
+                     info.used_bytes += workspace.used_bytes();
+                     info.files += workspace.list().size();
+                   });
+  if (job.root.workspace != nullptr)
+    info.quota_bytes = job.root.workspace->quota_bytes();
+  return info;
+}
+
+std::vector<StorageInfo> Njs::storages(
+    const crypto::DistinguishedName& user) const {
+  std::vector<StorageInfo> out;
+  for (const auto& [token, job] : jobs_) {
+    if (job->user.dn != user) continue;
+    out.push_back(make_storage_info(*job));
+  }
+  return out;
+}
+
+Result<StorageInfo> Njs::storage_info(JobToken token) const {
+  auto it = jobs_.find(token);
+  if (it == jobs_.end())
+    return util::make_error(ErrorCode::kNotFound,
+                            "no such job: " + std::to_string(token));
+  return make_storage_info(*it->second);
+}
+
+Result<std::vector<std::string>> Njs::storage_files(JobToken token) const {
+  auto it = jobs_.find(token);
+  if (it == jobs_.end())
+    return util::make_error(ErrorCode::kNotFound,
+                            "no such job: " + std::to_string(token));
+  std::vector<std::string> names;
+  visit_workspaces(it->second->root, "",
+                   [&names](const std::string& prefix,
+                            uspace::Uspace& workspace) {
+                     for (auto& name : workspace.list())
+                       names.push_back(prefix + name);
+                   });
+  return names;
+}
+
+Result<std::uint64_t> Njs::reap_storage(JobToken token) {
+  auto it = jobs_.find(token);
+  if (it == jobs_.end())
+    return util::make_error(ErrorCode::kNotFound,
+                            "no such job: " + std::to_string(token));
+  JobRun& job = *it->second;
+  if (!job.finalized)
+    return util::make_error(ErrorCode::kFailedPrecondition,
+                            "job " + std::to_string(token) +
+                                " still running: storage not reapable");
+  std::uint64_t freed = 0;
+  visit_workspaces(job.root, "",
+                   [&freed](const std::string&, uspace::Uspace& workspace) {
+                     freed += workspace.used_bytes();
+                     for (auto& name : workspace.list())
+                       (void)workspace.remove(name);
+                   });
+  if (!job.storage_reaped) {
+    job.storage_reaped = true;
+    ++storages_reaped_;
+    if (storage_reap_counter_) storage_reap_counter_->increment();
+  }
+  UNICORE_INFO("njs/" + usite_)
+      << "reaped storage of job " << token << ": " << freed << " bytes freed";
+  return freed;
+}
+
+std::size_t Njs::clean_job_storages() {
+  if (storage_policy_.max_terminal_bytes == 0) return 0;
+  // Terminal, unreaped storages oldest-first, with their current sizes.
+  std::vector<std::pair<sim::Time, JobToken>> candidates;
+  std::uint64_t total = 0;
+  for (const auto& [token, job] : jobs_) {
+    if (!job->finalized || job->storage_reaped) continue;
+    std::uint64_t used = 0;
+    visit_workspaces(job->root, "",
+                     [&used](const std::string&, uspace::Uspace& workspace) {
+                       used += workspace.used_bytes();
+                     });
+    total += used;
+    candidates.emplace_back(job->consigned_at, token);
+  }
+  std::sort(candidates.begin(), candidates.end());
+  std::size_t reaped = 0;
+  for (const auto& [consigned_at, token] : candidates) {
+    if (total <= storage_policy_.max_terminal_bytes) break;
+    auto freed = reap_storage(token);
+    if (!freed) continue;
+    total -= freed.value() < total ? freed.value() : total;
+    ++reaped;
+  }
+  return reaped;
 }
 
 void Njs::record_transfer_span(

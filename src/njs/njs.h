@@ -63,6 +63,28 @@ struct JobSummary {
   sim::Time consigned_at = 0;
 };
 
+/// One job's managed working storage (docs/PORTAL.md): the Uspace tree
+/// the NJS created for the job, kept around after completion so outputs
+/// can be revisited until the storage is reaped.
+struct StorageInfo {
+  ajo::JobToken token = 0;
+  std::string name;  // "job<token>"
+  std::uint64_t used_bytes = 0;
+  std::uint64_t quota_bytes = 0;  // 0 = unlimited
+  std::size_t files = 0;
+  bool terminal = false;  // job finished — the storage is reapable
+  bool reaped = false;
+  sim::Time consigned_at = 0;
+};
+
+/// Quota-driven cleanup of finished jobs' storages (the portal's
+/// clean_job_storages behaviour, applied server-side).
+struct StoragePolicy {
+  /// Combined bytes the storages of *terminal* jobs may hold before the
+  /// oldest are reaped automatically. 0 disables automatic cleanup.
+  std::uint64_t max_terminal_bytes = 0;
+};
+
 class Njs {
  public:
   struct VsiteConfig {
@@ -155,6 +177,31 @@ class Njs {
                                              const std::string& name) const;
   util::Result<std::shared_ptr<const uspace::FileBlob>> read_output_shared(
       ajo::JobToken token, const std::string& name) const;
+
+  // --- managed job storages -----------------------------------------------
+
+  /// The working storages of every job `user` consigned here, newest
+  /// last (iteration order is token order, which is consignment order).
+  std::vector<StorageInfo> storages(const crypto::DistinguishedName& user)
+      const;
+  util::Result<StorageInfo> storage_info(ajo::JobToken token) const;
+  /// Names in the job's storage: root-workspace files plain, sub-group
+  /// workspace files prefixed "g<group-id>/".
+  util::Result<std::vector<std::string>> storage_files(
+      ajo::JobToken token) const;
+  /// Empties every workspace of a *terminal* job, freeing its quota
+  /// bytes. The job record stays for queries; reading reaped outputs
+  /// fails kNotFound. Returns the bytes freed.
+  util::Result<std::uint64_t> reap_storage(ajo::JobToken token);
+
+  void set_storage_policy(StoragePolicy policy) { storage_policy_ = policy; }
+  const StoragePolicy& storage_policy() const { return storage_policy_; }
+  /// Applies the storage policy now: reaps the oldest terminal storages
+  /// until their combined bytes fit max_terminal_bytes. Runs
+  /// automatically after every job finalization; returns storages
+  /// reaped. No-op while the policy is disabled.
+  std::size_t clean_job_storages();
+  std::uint64_t storages_reaped() const { return storages_reaped_; }
 
   // --- crash recovery -----------------------------------------------------
 
@@ -282,6 +329,13 @@ class Njs {
 
   sim::Time staging_delay(const GroupRun& group, std::uint64_t bytes) const;
 
+  /// Visits the root workspace (prefix "") and every sub-group
+  /// workspace (prefix "g<id>/") of a job's live GroupRun tree.
+  static void visit_workspaces(
+      const GroupRun& group, const std::string& prefix,
+      const std::function<void(const std::string&, uspace::Uspace&)>& visit);
+  StorageInfo make_storage_info(const JobRun& job) const;
+
   sim::Engine& engine_;
   util::Rng rng_;
   std::string usite_;
@@ -295,6 +349,8 @@ class Njs {
   ajo::JobToken next_token_ = 1;
   std::uint64_t jobs_consigned_ = 0;
   std::uint64_t jobs_completed_ = 0;
+  StoragePolicy storage_policy_;
+  std::uint64_t storages_reaped_ = 0;
 
   // Crash-recovery state. `epoch_` is bumped by crash(): every async
   // callback captures the epoch it was created under and drops itself
@@ -318,6 +374,7 @@ class Njs {
   obs::Counter* dedupe_counter_ = nullptr;
   obs::Counter* batch_retry_counter_ = nullptr;
   obs::Counter* reattach_counter_ = nullptr;
+  obs::Counter* storage_reap_counter_ = nullptr;
   obs::Histogram* dispatch_latency_hist_ = nullptr;
   obs::Histogram* job_duration_hist_ = nullptr;
 };

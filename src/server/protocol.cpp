@@ -31,6 +31,12 @@ const char* request_kind_name(RequestKind kind) {
     case RequestKind::kXferOpen: return "xfer-open";
     case RequestKind::kXferChunk: return "xfer-chunk";
     case RequestKind::kXferClose: return "xfer-close";
+    case RequestKind::kSessionOpen: return "session-open";
+    case RequestKind::kSessionRefresh: return "session-refresh";
+    case RequestKind::kSessionClose: return "session-close";
+    case RequestKind::kStorageList: return "storage-list";
+    case RequestKind::kStorageFiles: return "storage-files";
+    case RequestKind::kStorageReap: return "storage-reap";
   }
   return "?";
 }
@@ -41,6 +47,17 @@ Bytes make_request(RequestKind kind, std::uint64_t request_id,
   w.u8(static_cast<std::uint8_t>(MessageType::kRequest));
   w.u8(static_cast<std::uint8_t>(kind));
   w.u64(request_id);
+  w.raw(payload);
+  return w.take();
+}
+
+Bytes make_token_request(RequestKind kind, std::uint64_t request_id,
+                         ByteView token, ByteView payload) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MessageType::kTokenRequest));
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u64(request_id);
+  w.blob(token);
   w.raw(payload);
   return w.take();
 }

@@ -8,6 +8,10 @@
 //   kReply        u8 | request_id u64 | ok u8 | payload-or-error
 //   kNotification u8 | job token u64 | Outcome      (server -> client push
 //                                                    for forwarded jobs)
+//   kTokenRequest u8 | kind u8 | request_id u64 | token blob | payload
+//                 (portal facade: the bearer token selects the identity
+//                  instead of the channel's peer certificate; requires
+//                  the negotiated kFeaturePortal channel feature)
 #pragma once
 
 #include <cstdint>
@@ -28,6 +32,7 @@ enum class MessageType : std::uint8_t {
   kRequest = 1,
   kReply = 2,
   kNotification = 3,
+  kTokenRequest = 4,  // kRequest with a leading session-token blob
 };
 
 enum class RequestKind : std::uint8_t {
@@ -56,14 +61,39 @@ enum class RequestKind : std::uint8_t {
   kXferOpen = 15,   // open or resume a transfer by durable key
   kXferChunk = 16,  // one chunk (push) or one chunk request (pull)
   kXferClose = 17,  // verify + commit (push) / release (pull)
+  // Portal facade (docs/PORTAL.md). All six require the negotiated
+  // kFeaturePortal channel feature — v1 peers get kFailedPrecondition.
+  // kSessionOpen authenticates the channel's peer certificate (the one
+  // full- or resumed-handshake contact) and mints a bearer token; the
+  // other five normally ride the kTokenRequest envelope.
+  kSessionOpen = 18,     // ttl request -> token + expiry + login
+  kSessionRefresh = 19,  // envelope token -> extended expiry
+  kSessionClose = 20,    // envelope token -> explicit logout
+  kStorageList = 21,     // caller's per-job working storages
+  kStorageFiles = 22,    // job token -> names in that job's storage
+  kStorageReap = 23,     // job token -> empty the storage, free quota
 };
 
 const char* request_kind_name(RequestKind kind);
+
+/// File-movement counters shared by both ends of the fetch/deliver API:
+/// which wire path each transfer took. The chunked engine and the
+/// legacy whole-blob requests are an internal fallback pair — callers
+/// see one entry point and these stats.
+struct TransferStats {
+  std::uint64_t chunked = 0;  // through the chunked engine (src/xfer/)
+  std::uint64_t legacy = 0;   // whole-blob kDeliverFile / kFetchFile
+  std::uint64_t total() const { return chunked + legacy; }
+};
 
 // --- envelope builders ---------------------------------------------------
 
 util::Bytes make_request(RequestKind kind, std::uint64_t request_id,
                          util::ByteView payload);
+/// A request authenticated by a gateway-issued session token instead of
+/// the channel's peer certificate (portal facade).
+util::Bytes make_token_request(RequestKind kind, std::uint64_t request_id,
+                               util::ByteView token, util::ByteView payload);
 util::Bytes make_ok_reply(std::uint64_t request_id, util::ByteView payload);
 util::Bytes make_error_reply(std::uint64_t request_id,
                              const util::Error& error);

@@ -73,6 +73,7 @@ UsiteServer::UsiteServer(sim::Engine& engine, net::Network& network,
       credential_(server_credential),
       gateway_(config_.name, std::move(trust), std::move(uudb)),
       njs_(engine, rng_.fork(), config_.name, std::move(server_credential)),
+      session_broker_(gateway_, rng_),
       metrics_(njs_.metrics()),
       xfer_manager_(engine, rng_),
       xfer_service_(engine, njs_),
@@ -80,6 +81,7 @@ UsiteServer::UsiteServer(sim::Engine& engine, net::Network& network,
   njs_.set_peer_link(this);
   njs_.add_crash_participant(&xfer_service_);
   gateway_.set_metrics(metrics_.get());
+  session_broker_.set_metrics(metrics_.get());
   xfer_manager_.set_metrics(metrics_.get(), config_.name);
   // Any trust change (new root, new CRL) instantly kills every session
   // ticket this server has handed out.
@@ -91,6 +93,7 @@ void UsiteServer::set_metrics(std::shared_ptr<obs::MetricsRegistry> registry) {
   metrics_ = std::move(registry);
   njs_.set_metrics(metrics_);
   gateway_.set_metrics(metrics_.get());
+  session_broker_.set_metrics(metrics_.get());
   xfer_manager_.set_metrics(metrics_.get(), config_.name);
 }
 
@@ -197,11 +200,15 @@ void UsiteServer::handle_session_message(
   try {
     ByteReader reader{wire};
     auto type = static_cast<MessageType>(reader.u8());
-    if (type != MessageType::kRequest) return;  // clients only send requests
+    // Clients only send requests: plain, or the portal's token envelope.
+    if (type != MessageType::kRequest && type != MessageType::kTokenRequest)
+      return;
     auto kind = static_cast<RequestKind>(reader.u8());
     std::uint64_t request_id = reader.u64();
+    std::optional<Bytes> token;
+    if (type == MessageType::kTokenRequest) token = reader.blob();
     ++requests_served_;
-    handle_request(session, kind, request_id, reader);
+    handle_request(session, kind, request_id, reader, token);
   } catch (const std::out_of_range&) {
     UNICORE_WARN("server/" + config_.name) << "malformed request dropped";
   }
@@ -225,7 +232,8 @@ Bytes pack_njs_request(RequestKind kind, std::uint64_t request_id,
 
 void UsiteServer::handle_request(const std::shared_ptr<ClientSession>& session,
                                  RequestKind kind, std::uint64_t request_id,
-                                 ByteReader& payload) {
+                                 ByteReader& payload,
+                                 const std::optional<Bytes>& token) {
   std::int64_t now_epoch = net::epoch_seconds(engine_.now());
   std::uint64_t session_id = session->id;
 
@@ -255,7 +263,75 @@ void UsiteServer::handle_request(const std::shared_ptr<ClientSession>& session,
         });
   };
 
+  // The portal facade — its six request kinds and the token envelope —
+  // is negotiated at the hello exchange like the other v2 features.
+  const bool portal_kind = kind == RequestKind::kSessionOpen ||
+                           kind == RequestKind::kSessionRefresh ||
+                           kind == RequestKind::kSessionClose ||
+                           kind == RequestKind::kStorageList ||
+                           kind == RequestKind::kStorageFiles ||
+                           kind == RequestKind::kStorageReap;
+  if ((portal_kind || token.has_value()) &&
+      !session->channel->feature_enabled(net::kFeaturePortal))
+    return reply_error(
+        request_id,
+        util::make_error(ErrorCode::kFailedPrecondition,
+                         "portal facade requires the v2 channel feature "
+                         "(peer negotiated v" +
+                             std::to_string(
+                                 session->channel->negotiated_version()) +
+                             ")"));
+  // Resolves the caller: the envelope's bearer token when present (the
+  // channel may then belong to a portal pooling many users), otherwise
+  // the channel's peer certificate.
+  auto client_identity =
+      [&]() -> Result<gateway::SessionIdentity> {
+    if (token) return session_broker_.authenticate(*token, now_epoch);
+    auto user = gateway_.authenticate_user(
+        session->channel->peer_certificate(), now_epoch);
+    if (!user) return user.error();
+    return gateway::SessionIdentity{user.value(),
+                                    session->channel->peer_certificate()};
+  };
+
   switch (kind) {
+    case RequestKind::kSessionOpen: {
+      // The one certificate-authenticated contact: the channel's peer
+      // (full or resumed handshake) is who the session is minted for.
+      std::int64_t requested_ttl = payload.i64();
+      auto grant = session_broker_.open(session->channel->peer_certificate(),
+                                       now_epoch, requested_ttl);
+      if (!grant) return reply_error(request_id, grant.error());
+      ByteWriter out;
+      out.blob(grant.value().token);
+      out.i64(grant.value().expires_at);
+      out.str(grant.value().login);
+      return session->channel->send(make_ok_reply(request_id, out.bytes()));
+    }
+    case RequestKind::kSessionRefresh: {
+      if (!token)
+        return reply_error(
+            request_id,
+            util::make_error(ErrorCode::kInvalidArgument,
+                             "session refresh must ride the token envelope"));
+      auto grant = session_broker_.refresh(*token, now_epoch);
+      if (!grant) return reply_error(request_id, grant.error());
+      ByteWriter out;
+      out.blob(grant.value().token);
+      out.i64(grant.value().expires_at);
+      out.str(grant.value().login);
+      return session->channel->send(make_ok_reply(request_id, out.bytes()));
+    }
+    case RequestKind::kSessionClose: {
+      if (!token)
+        return reply_error(
+            request_id,
+            util::make_error(ErrorCode::kInvalidArgument,
+                             "session close must ride the token envelope"));
+      if (auto status = session_broker_.close(*token); !status.ok())
+        return reply_error(request_id, status.error());
+      return session->channel->send(make_ok_reply(request_id, {}));
+    }
     case RequestKind::kGetBundle: {
       // Served by the Web-server half directly: the signed applet.
       std::string name = payload.str();
@@ -268,6 +344,34 @@ void UsiteServer::handle_request(const std::shared_ptr<ClientSession>& session,
           make_ok_reply(request_id, it->second.encode()));
     }
     case RequestKind::kConsign: {
+      if (token) {
+        // Portal consign: the bearer token proves the submitting
+        // identity, so the AJO travels unsigned — no signature powmods
+        // on this path, only the authorisation half of the check.
+        auto identity = client_identity();
+        if (!identity) return reply_error(request_id, identity.error());
+        Bytes job_wire = payload.raw(payload.remaining());
+        auto action = ajo::decode_action(job_wire);
+        if (!action) return reply_error(request_id, action.error());
+        if (!action.value()->is_job())
+          return reply_error(
+              request_id,
+              util::make_error(ErrorCode::kInvalidArgument,
+                               "consigned action is not a job"));
+        auto& job = static_cast<ajo::AbstractJobObject&>(*action.value());
+        if (auto status =
+                gateway_.authorize_job(job, identity.value().user,
+                                       identity.value().certificate,
+                                       now_epoch);
+            !status.ok())
+          return reply_error(request_id, status.error());
+        ByteWriter inner;
+        inner.blob(job_wire);
+        inner.blob(identity.value().certificate.der());
+        return forward(pack_njs_request(kind, request_id,
+                                        identity.value().user,
+                                        inner.bytes()));
+      }
       Bytes signed_wire = payload.raw(payload.remaining());
       auto signed_ajo = ajo::SignedAjo::decode(signed_wire);
       if (!signed_ajo) return reply_error(request_id, signed_ajo.error());
@@ -309,13 +413,17 @@ void UsiteServer::handle_request(const std::shared_ptr<ClientSession>& session,
     case RequestKind::kControl:
     case RequestKind::kFetchOutput:
     case RequestKind::kMonitorMetrics:
-    case RequestKind::kMonitorTrace: {
-      // JMC operations: the channel's peer certificate is the user.
-      auto user = gateway_.authenticate_user(
-          session->channel->peer_certificate(), now_epoch);
-      if (!user) return reply_error(request_id, user.error());
+    case RequestKind::kMonitorTrace:
+    case RequestKind::kStorageList:
+    case RequestKind::kStorageFiles:
+    case RequestKind::kStorageReap: {
+      // JMC operations: the session token or the channel's peer
+      // certificate is the user.
+      auto identity = client_identity();
+      if (!identity) return reply_error(request_id, identity.error());
       Bytes rest = payload.raw(payload.remaining());
-      return forward(pack_njs_request(kind, request_id, user.value(), rest));
+      return forward(pack_njs_request(kind, request_id,
+                                      identity.value().user, rest));
     }
     case RequestKind::kDeliverFile:
     case RequestKind::kFetchFile:
@@ -554,8 +662,48 @@ Bytes UsiteServer::njs_execute(std::uint64_t session_id, ByteReader& packed) {
         if (!reply) return make_error_reply(request_id, reply.error());
         return make_ok_reply(request_id, reply.value());
       }
+      case RequestKind::kStorageList: {
+        auto storages = njs_.storages(user.dn);
+        ByteWriter out;
+        out.varint(storages.size());
+        for (const auto& storage : storages) {
+          out.u64(storage.token);
+          out.str(storage.name);
+          out.u64(storage.used_bytes);
+          out.u64(storage.quota_bytes);
+          out.varint(storage.files);
+          out.u8(storage.terminal ? 1 : 0);
+          out.u8(storage.reaped ? 1 : 0);
+          out.i64(storage.consigned_at);
+        }
+        return make_ok_reply(request_id, out.bytes());
+      }
+      case RequestKind::kStorageFiles: {
+        JobToken token = packed.u64();
+        if (auto status = check_owner(token); !status.ok())
+          return make_error_reply(request_id, status.error());
+        auto files = njs_.storage_files(token);
+        if (!files) return make_error_reply(request_id, files.error());
+        ByteWriter out;
+        out.varint(files.value().size());
+        for (const auto& name : files.value()) out.str(name);
+        return make_ok_reply(request_id, out.bytes());
+      }
+      case RequestKind::kStorageReap: {
+        JobToken token = packed.u64();
+        if (auto status = check_owner(token); !status.ok())
+          return make_error_reply(request_id, status.error());
+        auto freed = njs_.reap_storage(token);
+        if (!freed) return make_error_reply(request_id, freed.error());
+        ByteWriter out;
+        out.u64(freed.value());
+        return make_ok_reply(request_id, out.bytes());
+      }
+      case RequestKind::kSessionOpen:
+      case RequestKind::kSessionRefresh:
+      case RequestKind::kSessionClose:
       case RequestKind::kGetBundle:
-        break;  // never reaches the NJS
+        break;  // handled at the gateway; never reaches the NJS
     }
   } catch (const std::out_of_range&) {
     return make_error_reply(request_id,
@@ -917,7 +1065,7 @@ void UsiteServer::push_file_chunked(
     const njs::RemoteJobHandle& target, const std::string& uspace_name,
     std::shared_ptr<const uspace::FileBlob> blob,
     std::function<void(Status)> done) {
-  ++transfers_chunked_;
+  ++transfer_stats_.chunked;
   xfer::PushSpec spec;
   spec.source = config_.name;
   spec.token = target.token;
@@ -935,7 +1083,7 @@ void UsiteServer::push_file_chunked(
 void UsiteServer::pull_file_chunked(
     const njs::RemoteJobHandle& source, const std::string& uspace_name,
     std::function<void(Result<uspace::FileBlob>)> done) {
-  ++transfers_chunked_;
+  ++transfer_stats_.chunked;
   xfer::PullSpec spec;
   spec.role = xfer::Role::kPeerPull;
   spec.token = source.token;
@@ -962,7 +1110,7 @@ void UsiteServer::deliver_file(const njs::RemoteJobHandle& target,
       std::make_shared<std::function<void(Status)>>(std::move(done));
   auto legacy = [this, target, uspace_name, done_ptr](
                     std::shared_ptr<const uspace::FileBlob> blob) {
-    ++transfers_legacy_;
+    ++transfer_stats_.legacy;
     ByteWriter payload;
     payload.u64(target.token);
     payload.str(uspace_name);
@@ -1010,7 +1158,7 @@ void UsiteServer::fetch_file(
     std::function<void(Result<uspace::FileBlob>)> done) {
   auto legacy = [this, source, uspace_name](
                     std::function<void(Result<uspace::FileBlob>)> done) {
-    ++transfers_legacy_;
+    ++transfer_stats_.legacy;
     ByteWriter payload;
     payload.u64(source.token);
     payload.str(uspace_name);

@@ -17,10 +17,12 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "crypto/bundle.h"
 #include "gateway/gateway.h"
+#include "gateway/session_broker.h"
 #include "net/channel_pool.h"
 #include "net/network.h"
 #include "net/secure_channel.h"
@@ -72,6 +74,8 @@ class UsiteServer : public njs::PeerLink {
   net::Address address() const { return {config_.gateway_host, config_.port}; }
   gateway::Gateway& gateway() { return gateway_; }
   njs::Njs& njs() { return njs_; }
+  /// The portal-session mint/validator (docs/PORTAL.md).
+  gateway::SessionBroker& session_broker() { return session_broker_; }
 
   /// Installs default-deny firewall rules for a split deployment: only
   /// the gateway host may reach the NJS port.
@@ -180,10 +184,9 @@ class UsiteServer : public njs::PeerLink {
 
   xfer::Service& xfer_service() { return xfer_service_; }
   xfer::TransferManager& transfer_manager() { return xfer_manager_; }
-  /// Transfers that fell back to the legacy path (v1 peer or sub-
-  /// threshold size) vs. ones that went chunked.
-  std::uint64_t transfers_chunked() const { return transfers_chunked_; }
-  std::uint64_t transfers_legacy() const { return transfers_legacy_; }
+  /// Which path outbound transfers took: chunked engine, or the legacy
+  /// whole-blob fallback (v1 peer / sub-threshold size).
+  const TransferStats& transfer_stats() const { return transfer_stats_; }
 
  private:
   struct ClientSession;
@@ -193,9 +196,12 @@ class UsiteServer : public njs::PeerLink {
   void accept_session(std::shared_ptr<net::Endpoint> endpoint);
   void handle_session_message(const std::shared_ptr<ClientSession>& session,
                               util::Bytes&& wire);
+  /// `token` carries the session-token blob of a kTokenRequest envelope
+  /// (portal facade); empty for plain kRequest messages.
   void handle_request(const std::shared_ptr<ClientSession>& session,
                       RequestKind kind, std::uint64_t request_id,
-                      util::ByteReader& payload);
+                      util::ByteReader& payload,
+                      const std::optional<util::Bytes>& token);
 
   /// Runs the NJS part of a request. In a split deployment the packed
   /// request crosses the internal pipe; combined, it executes directly.
@@ -253,6 +259,7 @@ class UsiteServer : public njs::PeerLink {
   crypto::Credential credential_;
   gateway::Gateway gateway_;
   njs::Njs njs_;
+  gateway::SessionBroker session_broker_;
   std::shared_ptr<obs::MetricsRegistry> metrics_;
   xfer::TransferManager xfer_manager_;
   xfer::Service xfer_service_;
@@ -260,8 +267,7 @@ class UsiteServer : public njs::PeerLink {
   std::uint64_t transfer_threshold_ = 4ull * 1024 * 1024;
   std::size_t transfer_streams_ = 4;
   std::map<std::string, std::shared_ptr<XferRails>> peer_rails_;
-  std::uint64_t transfers_chunked_ = 0;
-  std::uint64_t transfers_legacy_ = 0;
+  TransferStats transfer_stats_;
   std::uint64_t advertised_features_ = net::kDefaultFeatures;
   util::ThreadPool* record_pool_ = nullptr;
   std::map<std::string, crypto::SoftwareBundle> bundles_;

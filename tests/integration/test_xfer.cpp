@@ -120,8 +120,8 @@ TEST(XferIntegration, ChunkedDeliveryEndToEnd) {
   auto blob = std::make_shared<const uspace::FileBlob>(
       uspace::FileBlob::synthetic(8 << 20, 11));
   ASSERT_TRUE(sites.deliver(blob, "result.bin").ok());
-  EXPECT_EQ(sites.fz->transfers_chunked(), 1u);
-  EXPECT_EQ(sites.fz->transfers_legacy(), 0u);
+  EXPECT_EQ(sites.fz->transfer_stats().chunked, 1u);
+  EXPECT_EQ(sites.fz->transfer_stats().legacy, 0u);
   EXPECT_EQ(sites.ruka->xfer_service().transfers_completed(), 1u);
   EXPECT_EQ(sites.ruka->xfer_service().chunks_applied(), 8u);  // 1 MiB chunks
   EXPECT_EQ(sites.delivered_checksum("result.bin"), blob->checksum());
@@ -132,8 +132,8 @@ TEST(XferIntegration, SmallFilesStayOnTheLegacyPath) {
   auto blob = std::make_shared<const uspace::FileBlob>(
       uspace::FileBlob::synthetic(64 << 10, 12));
   ASSERT_TRUE(sites.deliver(blob, "small.bin").ok());
-  EXPECT_EQ(sites.fz->transfers_legacy(), 1u);
-  EXPECT_EQ(sites.fz->transfers_chunked(), 0u);
+  EXPECT_EQ(sites.fz->transfer_stats().legacy, 1u);
+  EXPECT_EQ(sites.fz->transfer_stats().chunked, 0u);
   EXPECT_EQ(sites.delivered_checksum("small.bin"), blob->checksum());
 }
 
@@ -218,8 +218,8 @@ TEST(XferIntegration, V1PeerFallsBackToWholeBlobDelivery) {
   auto blob = std::make_shared<const uspace::FileBlob>(
       uspace::FileBlob::synthetic(8 << 20, 16));
   ASSERT_TRUE(sites.deliver(blob, "legacy.bin").ok());
-  EXPECT_EQ(sites.fz->transfers_legacy(), 1u);
-  EXPECT_EQ(sites.fz->transfers_chunked(), 0u);
+  EXPECT_EQ(sites.fz->transfer_stats().legacy, 1u);
+  EXPECT_EQ(sites.fz->transfer_stats().chunked, 0u);
   EXPECT_EQ(sites.ruka->xfer_service().transfers_completed(), 0u);
   EXPECT_EQ(sites.delivered_checksum("legacy.bin"), blob->checksum());
 }
@@ -248,8 +248,8 @@ TEST(XferIntegration, ClientFetchesLargeOutputChunked) {
   auto chunked = sync.fetch_output(token.value(), "field.out");
   ASSERT_TRUE(chunked.ok()) << chunked.error().to_string();
   EXPECT_EQ(chunked.value().size(), 8ull << 20);
-  EXPECT_EQ(chunked_client->outputs_chunked(), 1u);
-  EXPECT_EQ(chunked_client->outputs_legacy(), 0u);
+  EXPECT_EQ(chunked_client->output_stats().chunked, 1u);
+  EXPECT_EQ(chunked_client->output_stats().legacy, 0u);
 
   // A streams=0 client takes the legacy whole-blob request and sees the
   // same content.
@@ -258,8 +258,8 @@ TEST(XferIntegration, ClientFetchesLargeOutputChunked) {
   ASSERT_TRUE(legacy_sync.connect(sites.fz->address()).ok());
   auto legacy = legacy_sync.fetch_output(token.value(), "field.out");
   ASSERT_TRUE(legacy.ok()) << legacy.error().to_string();
-  EXPECT_EQ(legacy_client->outputs_legacy(), 1u);
-  EXPECT_EQ(legacy_client->outputs_chunked(), 0u);
+  EXPECT_EQ(legacy_client->output_stats().legacy, 1u);
+  EXPECT_EQ(legacy_client->output_stats().chunked, 0u);
   EXPECT_EQ(legacy.value().checksum(), chunked.value().checksum());
 }
 
@@ -287,7 +287,7 @@ TEST(XferIntegration, SmallOutputInlinesWithoutChunkTraffic) {
   auto out = sync.fetch_output(token.value(), "note.txt");
   ASSERT_TRUE(out.ok()) << out.error().to_string();
   EXPECT_EQ(out.value().size(), 1u << 10);
-  EXPECT_EQ(client->outputs_chunked(), 1u);
+  EXPECT_EQ(client->output_stats().chunked, 1u);
   EXPECT_EQ(sites.fz->xfer_service().outbound_open(), 0u);
 }
 
