@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Runs the content-addressed store benchmark grid and writes its JSON
+# output as the BENCH_store.json artifact:
+#   - BM_DatasetRestageColdVsWarm     cold stage-in vs dedup-warm restage
+#                                     of one virtual dataset (16 MiB ..
+#                                     4 GiB); `warm_payload_chunks` is the
+#                                     number of chunk messages the warm
+#                                     leg moved (headline: 0) and
+#                                     `speedup` the cold/warm ratio
+#   - BM_SmallFilesRestageColdVsWarm  the same comparison for a
+#                                     directory of 64 KiB files
+#   - BM_InternDedup                  local interning: SHA-256-bound
+#                                     cold path vs the dedup fast path
+#   - BM_SpillFaultRoundTrip          LRU eviction to the spill tier and
+#                                     the fault-back on read
+#
+# Usage: scripts/bench_store.sh [build-dir] [out-file]
+# Extra benchmark flags go through BENCH_FLAGS, e.g.
+#   BENCH_FLAGS=--benchmark_min_time=0.01 scripts/bench_store.sh
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_store.json}"
+FLAGS="${BENCH_FLAGS:-}"
+
+"$BUILD_DIR/bench/bench_store" \
+  --benchmark_filter='BM_(Dataset|SmallFiles|Intern|Spill)' $FLAGS \
+  --benchmark_out="$OUT" --benchmark_out_format=json
+
+echo "wrote $OUT"

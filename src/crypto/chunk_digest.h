@@ -1,0 +1,37 @@
+// Per-chunk content digests, shared by the transfer wire (src/xfer)
+// and the content-addressed chunk store (src/store).
+//
+// Both layers key chunks by the same SHA-256 digest: the wire verifies
+// each chunk against it on accept, and the store interns chunks under
+// it. Keeping the computation in one place below both layers is what
+// makes chunk-level dedup sound — a chunk that arrives over the wire
+// with digest D is byte-identical to the stored chunk filed under D,
+// so the receiver may acknowledge it without writing a byte.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+
+namespace unicore::crypto {
+
+/// Digest of a real chunk: SHA-256 over its payload bytes.
+Digest chunk_content_digest(util::ByteView payload);
+
+/// Digest of a synthetic chunk (no payload bytes exist): a
+/// domain-separated hash over (file checksum, index, length), tying
+/// every piece to the file identity declared at open.
+Digest synthetic_chunk_digest(const Digest& file_checksum,
+                              std::uint64_t index, std::uint32_t length);
+
+/// Number of chunks a file of `size` bytes splits into at `chunk_bytes`
+/// granularity (one empty chunk for an empty file, so open/close still
+/// round-trip).
+std::uint64_t chunk_count(std::uint64_t size, std::uint32_t chunk_bytes);
+
+/// Byte length of chunk `index` of a `size`-byte file.
+std::uint32_t chunk_length(std::uint64_t size, std::uint32_t chunk_bytes,
+                           std::uint64_t index);
+
+}  // namespace unicore::crypto

@@ -1441,6 +1441,11 @@ Status Njs::deliver_file(JobToken token, const std::string& name,
   if (it == jobs_.end())
     return util::make_error(ErrorCode::kNotFound,
                             "no such job: " + std::to_string(token));
+  // Store-backed sites intern inbound files: identical content across
+  // files and jobs is held once (the chunked transfer path arrives
+  // already interned; this covers whole-blob deliveries).
+  if (chunk_store_ != nullptr)
+    blob = uspace::intern_blob(chunk_store_, std::move(blob));
   return it->second->root.workspace->write_shared(name, std::move(blob));
 }
 
@@ -1547,6 +1552,8 @@ Result<std::uint64_t> Njs::reap_storage(JobToken token) {
     return util::make_error(ErrorCode::kFailedPrecondition,
                             "job " + std::to_string(token) +
                                 " still running: storage not reapable");
+  std::uint64_t physical_before =
+      chunk_store_ != nullptr ? chunk_store_->stats().physical_bytes : 0;
   std::uint64_t freed = 0;
   visit_workspaces(job.root, "",
                    [&freed](const std::string&, uspace::Uspace& workspace) {
@@ -1559,8 +1566,23 @@ Result<std::uint64_t> Njs::reap_storage(JobToken token) {
     ++storages_reaped_;
     if (storage_reap_counter_) storage_reap_counter_->increment();
   }
+  std::uint64_t physical_freed = 0;
+  if (chunk_store_ != nullptr) {
+    // Removing the files dropped their chunk pins; chunks nobody else
+    // references were freed. Physical reclaim can be less than `freed`
+    // when surviving files still share chunks with the reaped ones.
+    physical_freed = physical_before - chunk_store_->stats().physical_bytes;
+    metrics_
+        ->counter("unicore_store_reap_reclaimed_bytes_total",
+                  {{"usite", usite_}})
+        .add(static_cast<double>(physical_freed));
+  }
   UNICORE_INFO("njs/" + usite_)
-      << "reaped storage of job " << token << ": " << freed << " bytes freed";
+      << "reaped storage of job " << token << ": " << freed
+      << " logical bytes freed"
+      << (chunk_store_ != nullptr
+              ? ", " + std::to_string(physical_freed) + " physical"
+              : "");
   return freed;
 }
 

@@ -147,6 +147,17 @@ class Njs {
       std::vector<std::pair<std::string, uspace::FileBlob>> staged_files = {},
       util::Bytes idempotency_key = {});
 
+  /// Attaches the site's content-addressed chunk store. Delivered files
+  /// that are not already store-backed are interned into it (chunk-level
+  /// dedup across files and jobs), and reap_storage reports the physical
+  /// bytes each reap actually returned to the store.
+  void set_chunk_store(std::shared_ptr<store::ChunkStore> chunk_store) {
+    chunk_store_ = std::move(chunk_store);
+  }
+  const std::shared_ptr<store::ChunkStore>& chunk_store() const {
+    return chunk_store_;
+  }
+
   /// Files arriving with / for a consigned job (inter-site transfers and
   /// consignment-staged dependency data) land in the root Uspace.
   util::Status deliver_file(ajo::JobToken token, const std::string& name,
@@ -351,6 +362,7 @@ class Njs {
   std::uint64_t jobs_completed_ = 0;
   StoragePolicy storage_policy_;
   std::uint64_t storages_reaped_ = 0;
+  std::shared_ptr<store::ChunkStore> chunk_store_;
 
   // Crash-recovery state. `epoch_` is bumped by crash(): every async
   // callback captures the epoch it was created under and drops itself

@@ -80,6 +80,14 @@ UsiteServer::UsiteServer(sim::Engine& engine, net::Network& network,
       ticket_manager_(rng_) {
   njs_.set_peer_link(this);
   njs_.add_crash_participant(&xfer_service_);
+  // One content-addressed chunk store per Usite (it models the site's
+  // disk array, shared by every Uspace): the NJS interns delivered
+  // files into it and the transfer receiver dedups inbound chunks
+  // against it.
+  chunk_store_ = std::make_shared<store::ChunkStore>();
+  chunk_store_->set_metrics(metrics_, config_.name);
+  njs_.set_chunk_store(chunk_store_);
+  xfer_service_.set_chunk_store(chunk_store_);
   gateway_.set_metrics(metrics_.get());
   session_broker_.set_metrics(metrics_.get());
   xfer_manager_.set_metrics(metrics_.get(), config_.name);
@@ -92,6 +100,7 @@ void UsiteServer::set_metrics(std::shared_ptr<obs::MetricsRegistry> registry) {
   if (registry == nullptr || registry == metrics_) return;
   metrics_ = std::move(registry);
   njs_.set_metrics(metrics_);
+  chunk_store_->set_metrics(metrics_, config_.name);
   gateway_.set_metrics(metrics_.get());
   session_broker_.set_metrics(metrics_.get());
   xfer_manager_.set_metrics(metrics_.get(), config_.name);

@@ -32,6 +32,7 @@
 #include "obs/metrics.h"
 #include "server/protocol.h"
 #include "server/xfer_transport.h"
+#include "store/chunk_store.h"
 #include "util/result.h"
 #include "util/retry.h"
 #include "xfer/service.h"
@@ -184,6 +185,11 @@ class UsiteServer : public njs::PeerLink {
 
   xfer::Service& xfer_service() { return xfer_service_; }
   xfer::TransferManager& transfer_manager() { return xfer_manager_; }
+  /// The site's content-addressed chunk store (shared by the NJS and
+  /// the transfer receiver). Configure spill/budget through it.
+  const std::shared_ptr<store::ChunkStore>& chunk_store() {
+    return chunk_store_;
+  }
   /// Which path outbound transfers took: chunked engine, or the legacy
   /// whole-blob fallback (v1 peer / sub-threshold size).
   const TransferStats& transfer_stats() const { return transfer_stats_; }
@@ -263,6 +269,7 @@ class UsiteServer : public njs::PeerLink {
   std::shared_ptr<obs::MetricsRegistry> metrics_;
   xfer::TransferManager xfer_manager_;
   xfer::Service xfer_service_;
+  std::shared_ptr<store::ChunkStore> chunk_store_;
   xfer::TransferOptions transfer_options_;
   std::uint64_t transfer_threshold_ = 4ull * 1024 * 1024;
   std::size_t transfer_streams_ = 4;

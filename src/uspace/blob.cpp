@@ -1,5 +1,7 @@
 #include "uspace/blob.h"
 
+#include "crypto/chunk_digest.h"
+
 namespace unicore::uspace {
 
 FileBlob FileBlob::from_bytes(util::Bytes content) {
@@ -35,12 +37,73 @@ FileBlob FileBlob::from_identity(std::uint64_t size,
   return blob;
 }
 
+FileBlob FileBlob::from_pinned(
+    std::shared_ptr<const store::PinnedBlob> pinned) {
+  FileBlob blob;
+  blob.size_ = pinned->manifest().size;
+  blob.checksum_ = pinned->manifest().checksum;
+  blob.stored_ = std::move(pinned);
+  return blob;
+}
+
+util::Status FileBlob::read_range(std::uint64_t offset, std::uint64_t length,
+                                  util::Bytes& out) const {
+  if (offset + length > size_)
+    return util::make_error(util::ErrorCode::kInvalidArgument,
+                            "read beyond the end of the file");
+  if (stored_ != nullptr && !stored_->manifest().synthetic)
+    return stored_->read_range(offset, length, out);
+  if (!content_)
+    return util::make_error(util::ErrorCode::kFailedPrecondition,
+                            "synthetic blob has no bytes to read");
+  out.insert(out.end(),
+             content_->begin() + static_cast<std::ptrdiff_t>(offset),
+             content_->begin() + static_cast<std::ptrdiff_t>(offset + length));
+  return util::Status::ok_status();
+}
+
+std::vector<crypto::Digest> FileBlob::chunk_digests(
+    std::uint32_t chunk_bytes) const {
+  std::vector<crypto::Digest> digests;
+  if (chunk_bytes == 0) return digests;
+  if (stored_ != nullptr && stored_->manifest().chunk_bytes == chunk_bytes)
+    return stored_->manifest().chunks;
+  std::uint64_t count = crypto::chunk_count(size_, chunk_bytes);
+  digests.reserve(count);
+  for (std::uint64_t index = 0; index < count; ++index) {
+    std::uint32_t length = crypto::chunk_length(size_, chunk_bytes, index);
+    if (is_synthetic()) {
+      digests.push_back(
+          crypto::synthetic_chunk_digest(checksum_, index, length));
+      continue;
+    }
+    util::Bytes piece;
+    // Re-chunking a stored real blob at a foreign granularity reads it
+    // chunk-wise; the common path (granularity match) never gets here.
+    if (!read_range(index * static_cast<std::uint64_t>(chunk_bytes), length,
+                    piece)
+             .ok())
+      return {};
+    digests.push_back(crypto::chunk_content_digest(piece));
+  }
+  return digests;
+}
+
 void FileBlob::encode(util::ByteWriter& w) const {
   w.boolean(is_synthetic());
   w.u64(size_);
   w.raw(checksum_);
   if (content_) {
     w.blob(*content_);
+  } else if (stored_ != nullptr && !stored_->manifest().synthetic) {
+    // Stored real content crosses the wire as real bytes, one chunk
+    // resident at a time.
+    w.varint(size_);
+    const store::BlobManifest& manifest = stored_->manifest();
+    for (std::uint64_t i = 0; i < manifest.chunks.size(); ++i) {
+      auto piece = stored_->chunk(i);
+      if (piece.ok()) w.raw(piece.value());
+    }
   } else {
     // A synthetic blob still costs its logical size on the wire — the
     // simulated network charges by message length, so transfers of
@@ -61,6 +124,22 @@ FileBlob FileBlob::decode(util::ByteReader& r) {
   else
     blob.content_ = r.blob();
   return blob;
+}
+
+std::shared_ptr<const FileBlob> intern_blob(
+    const std::shared_ptr<store::ChunkStore>& chunk_store,
+    std::shared_ptr<const FileBlob> blob, std::uint32_t chunk_bytes) {
+  if (chunk_store == nullptr || blob == nullptr || blob->is_stored())
+    return blob;
+  util::Result<std::shared_ptr<const store::PinnedBlob>> pinned =
+      blob->bytes() != nullptr
+          ? store::intern_bytes(chunk_store, *blob->bytes(), blob->checksum(),
+                                chunk_bytes)
+          : store::intern_synthetic(chunk_store, blob->size(),
+                                    blob->checksum(), chunk_bytes);
+  if (!pinned.ok()) return blob;
+  return std::make_shared<const FileBlob>(
+      FileBlob::from_pinned(std::move(pinned).value()));
 }
 
 }  // namespace unicore::uspace

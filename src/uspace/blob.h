@@ -6,14 +6,25 @@
 // without allocating them. Both kinds hash stably, which is what the
 // data-integrity invariants (import → transfer → export preserves
 // content) are tested against.
+//
+// A third backing exists on sites with a content-addressed store
+// (store/chunk_store.h): a *stored* blob holds no bytes of its own,
+// only a pinned manifest of chunk digests. Its chunks are shared with
+// every other file that has equal pieces, and dropping the last
+// FileBlob reference releases the pins — overwrite, delete, and
+// storage reap reclaim physical bytes with no extra bookkeeping.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "crypto/sha256.h"
+#include "store/chunk_store.h"
 #include "util/bytes.h"
+#include "util/result.h"
 
 namespace unicore::uspace {
 
@@ -30,14 +41,40 @@ class FileBlob {
   /// piecewise (the per-chunk digests tie each piece to this identity).
   static FileBlob from_identity(std::uint64_t size,
                                 const crypto::Digest& checksum);
+  /// A blob backed by a pinned store manifest: the content lives in the
+  /// chunk store (deduped, possibly spilled), the blob owns one pin.
+  static FileBlob from_pinned(std::shared_ptr<const store::PinnedBlob> pinned);
 
   std::uint64_t size() const { return size_; }
-  bool is_synthetic() const { return !content_.has_value(); }
+  bool is_synthetic() const {
+    return !content_.has_value() &&
+           (stored_ == nullptr || stored_->manifest().synthetic);
+  }
+  /// True when the content is held by a chunk store manifest rather than
+  /// inline bytes.
+  bool is_stored() const { return stored_ != nullptr; }
+  const std::shared_ptr<const store::PinnedBlob>& pinned() const {
+    return stored_;
+  }
 
-  /// Real content; nullptr for synthetic blobs.
+  /// Real inline content; nullptr for synthetic and stored blobs (read
+  /// stored content chunk-wise via read_range / pinned()).
   const util::Bytes* bytes() const {
     return content_ ? &*content_ : nullptr;
   }
+
+  /// Copies `[offset, offset+length)` of the content into `out`
+  /// (appending). For stored blobs this walks one chunk at a time —
+  /// the whole file is never materialised. Synthetic blobs have no
+  /// bytes to read (kFailedPrecondition).
+  util::Status read_range(std::uint64_t offset, std::uint64_t length,
+                          util::Bytes& out) const;
+
+  /// Per-chunk digests of this blob at `chunk_bytes` granularity —
+  /// exactly what the transfer wire computes per chunk, so a receiver
+  /// can match incoming chunks against its store. Stored blobs return
+  /// their manifest when the granularity matches (no hashing).
+  std::vector<crypto::Digest> chunk_digests(std::uint32_t chunk_bytes) const;
 
   /// Content identity: equal checksums <=> equal logical content.
   const crypto::Digest& checksum() const { return checksum_; }
@@ -46,7 +83,8 @@ class FileBlob {
     return size_ == other.size_ && checksum_ == other.checksum_;
   }
 
-  /// Wire encoding (synthetic blobs stay synthetic across transfers).
+  /// Wire encoding (synthetic blobs stay synthetic across transfers;
+  /// stored blobs encode as real content, chunk by chunk).
   void encode(util::ByteWriter& w) const;
   static FileBlob decode(util::ByteReader& r);
 
@@ -54,6 +92,16 @@ class FileBlob {
   std::uint64_t size_ = 0;
   crypto::Digest checksum_{};
   std::optional<util::Bytes> content_;
+  std::shared_ptr<const store::PinnedBlob> stored_;
 };
+
+/// Interns `blob` into `chunk_store` and returns a store-backed
+/// equivalent (same size, same checksum): inline content is chunked and
+/// deduped, synthetic identities get zero-footprint synthetic chunks.
+/// Already-stored blobs (and failures) pass through unchanged.
+std::shared_ptr<const FileBlob> intern_blob(
+    const std::shared_ptr<store::ChunkStore>& chunk_store,
+    std::shared_ptr<const FileBlob> blob,
+    std::uint32_t chunk_bytes = store::kDefaultStoreChunkBytes);
 
 }  // namespace unicore::uspace

@@ -53,6 +53,66 @@ Assembly::Assembly(std::uint64_t size, const crypto::Digest& checksum,
       chunk_bytes_(chunk_bytes),
       bitmap_(chunk_count(size, chunk_bytes)) {}
 
+Assembly::~Assembly() { release_refs(); }
+
+Assembly::Assembly(Assembly&& other) noexcept
+    : size_(other.size_),
+      checksum_(other.checksum_),
+      synthetic_(other.synthetic_),
+      chunk_bytes_(other.chunk_bytes_),
+      bitmap_(std::move(other.bitmap_)),
+      buffers_(std::move(other.buffers_)),
+      buffered_bytes_(other.buffered_bytes_),
+      store_(std::move(other.store_)),
+      stored_(std::move(other.stored_)) {
+  // The moved-from assembly must not release the references we now own.
+  other.store_.reset();
+  other.stored_.clear();
+}
+
+Assembly& Assembly::operator=(Assembly&& other) noexcept {
+  if (this == &other) return *this;
+  release_refs();
+  size_ = other.size_;
+  checksum_ = other.checksum_;
+  synthetic_ = other.synthetic_;
+  chunk_bytes_ = other.chunk_bytes_;
+  bitmap_ = std::move(other.bitmap_);
+  buffers_ = std::move(other.buffers_);
+  buffered_bytes_ = other.buffered_bytes_;
+  store_ = std::move(other.store_);
+  stored_ = std::move(other.stored_);
+  other.store_.reset();
+  other.stored_.clear();
+  return *this;
+}
+
+void Assembly::release_refs() {
+  if (store_ == nullptr) return;
+  for (const auto& [index, digest] : stored_) store_->release(digest);
+  stored_.clear();
+}
+
+void Assembly::attach_store(std::shared_ptr<store::ChunkStore> chunk_store) {
+  store_ = std::move(chunk_store);
+}
+
+std::uint64_t Assembly::satisfy_from_store(
+    const std::vector<crypto::Digest>& digests) {
+  if (store_ == nullptr || digests.size() != bitmap_.total()) return 0;
+  std::uint64_t satisfied = 0;
+  for (std::uint64_t index = 0; index < digests.size(); ++index) {
+    if (bitmap_.test(index)) continue;
+    auto length = store_->chunk_length(digests[index]);
+    if (!length.ok() || length.value() != expected_length(index)) continue;
+    if (!store_->add_ref(digests[index])) continue;
+    bitmap_.set(index);
+    stored_.emplace(index, digests[index]);
+    ++satisfied;
+  }
+  return satisfied;
+}
+
 std::uint32_t Assembly::expected_length(std::uint64_t index) const {
   std::uint64_t offset = index * static_cast<std::uint64_t>(chunk_bytes_);
   std::uint64_t remaining = size_ > offset ? size_ - offset : 0;
@@ -80,6 +140,16 @@ util::Status Assembly::accept(const Chunk& chunk) {
                       "chunk payload shorter than its declared length");
   if (!bitmap_.set(chunk.index))
     return make_error(ErrorCode::kFailedPrecondition, "duplicate chunk");
+  if (store_ != nullptr) {
+    // Intern into the shared store: a chunk some other file already
+    // holds costs nothing but a refcount bump.
+    util::Status added =
+        synthetic_ ? store_->add_synthetic_chunk(chunk.digest, chunk.length)
+                   : store_->add_chunk(chunk.digest, chunk.data);
+    if (!added.ok()) return added;
+    stored_.emplace(chunk.index, chunk.digest);
+    return util::Status::ok_status();
+  }
   if (!synthetic_) {
     buffered_bytes_ += chunk.data.size();
     buffers_.emplace(chunk.index, chunk.data);
@@ -87,11 +157,41 @@ util::Status Assembly::accept(const Chunk& chunk) {
   return util::Status::ok_status();
 }
 
-util::Result<uspace::FileBlob> Assembly::finish() const {
+util::Result<uspace::FileBlob> Assembly::finish() {
   if (!bitmap_.complete())
     return make_error(ErrorCode::kFailedPrecondition,
                       "transfer incomplete: " + std::to_string(bitmap_.count()) +
                           "/" + std::to_string(bitmap_.total()) + " chunks");
+  if (store_ != nullptr) {
+    store::BlobManifest manifest;
+    manifest.size = size_;
+    manifest.checksum = checksum_;
+    manifest.synthetic = synthetic_;
+    manifest.chunk_bytes = chunk_bytes_;
+    manifest.chunks.reserve(stored_.size());
+    for (const auto& [index, digest] : stored_)
+      manifest.chunks.push_back(digest);
+    if (!synthetic_) {
+      // Stream the chunks through the hash one at a time — the file is
+      // never materialised, even at verification.
+      crypto::Sha256 hasher;
+      for (const crypto::Digest& digest : manifest.chunks) {
+        auto data = store_->read(digest);
+        if (!data.ok()) return data.error();
+        hasher.update(data.value());
+      }
+      if (hasher.finish() != checksum_)
+        return make_error(
+            ErrorCode::kInvalidArgument,
+            "reassembled file digest does not match the manifest");
+    }
+    // Hand the accumulated references to the blob's pin; this assembly
+    // no longer owns them.
+    auto pinned = std::make_shared<const store::PinnedBlob>(
+        store_, std::move(manifest));
+    stored_.clear();
+    return uspace::FileBlob::from_pinned(std::move(pinned));
+  }
   if (synthetic_) return uspace::FileBlob::from_identity(size_, checksum_);
   util::Bytes content;
   content.reserve(size_);

@@ -5,8 +5,10 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <vector>
 
+#include "store/chunk_store.h"
 #include "uspace/blob.h"
 #include "util/result.h"
 #include "xfer/wire.h"
@@ -43,11 +45,24 @@ class ChunkBitmap {
 /// chunk digest on accept and the whole-file identity on finish;
 /// synthetic transfers buffer no payload bytes (their chunk digests
 /// already bind every piece to the declared file checksum).
+///
+/// With a chunk store attached, accepted chunks go straight into the
+/// store (one reference each) instead of per-transfer buffers, and the
+/// sender's open-time digest manifest can satisfy chunks the store
+/// already holds without a byte crossing the wire. finish() hands the
+/// accumulated references to the resulting blob's pin; an abandoned
+/// assembly releases them on destruction, so no refcount ever leaks.
 class Assembly {
  public:
   Assembly() = default;
   Assembly(std::uint64_t size, const crypto::Digest& checksum, bool synthetic,
            std::uint32_t chunk_bytes);
+  ~Assembly();
+
+  Assembly(const Assembly&) = delete;
+  Assembly& operator=(const Assembly&) = delete;
+  Assembly(Assembly&& other) noexcept;
+  Assembly& operator=(Assembly&& other) noexcept;
 
   std::uint64_t size() const { return size_; }
   const crypto::Digest& checksum() const { return checksum_; }
@@ -62,16 +77,35 @@ class Assembly {
   /// Expected byte length of chunk `index`.
   std::uint32_t expected_length(std::uint64_t index) const;
 
+  /// Switches the assembly to store mode: accepted chunks are interned
+  /// into `chunk_store` instead of buffered, and finish() produces a
+  /// store-backed blob. Must be called before any chunk is accepted.
+  void attach_store(std::shared_ptr<store::ChunkStore> chunk_store);
+  bool has_store() const { return store_ != nullptr; }
+
+  /// Store mode only: marks every still-missing chunk whose digest the
+  /// store already holds (at the right length) as present, taking one
+  /// reference each — the wire-level dedup that lets a receiver ack
+  /// chunks at open time. `digests` is the sender's manifest at this
+  /// assembly's granularity; mismatched sizes are ignored. Returns the
+  /// number of chunks satisfied.
+  std::uint64_t satisfy_from_store(const std::vector<crypto::Digest>& digests);
+
   /// Verifies and stores one chunk. Duplicate chunks are rejected with
   /// kFailedPrecondition (callers normally check the bitmap first);
   /// corrupt or misshapen chunks with kInvalidArgument.
   util::Status accept(const Chunk& chunk);
 
   /// Folds the complete set back into a blob and verifies its checksum
-  /// against the identity declared at open.
-  util::Result<uspace::FileBlob> finish() const;
+  /// against the identity declared at open. In store mode the content
+  /// is verified by streaming the chunks through the hash one at a time
+  /// (never materialising the file), and the chunk references move into
+  /// the returned blob's pin.
+  util::Result<uspace::FileBlob> finish();
 
  private:
+  void release_refs();
+
   std::uint64_t size_ = 0;
   crypto::Digest checksum_{};
   bool synthetic_ = false;
@@ -79,6 +113,9 @@ class Assembly {
   ChunkBitmap bitmap_;
   std::map<std::uint64_t, util::Bytes> buffers_;  // real transfers only
   std::uint64_t buffered_bytes_ = 0;
+  // Store mode: one held store reference per present chunk.
+  std::shared_ptr<store::ChunkStore> store_;
+  std::map<std::uint64_t, crypto::Digest> stored_;
 };
 
 }  // namespace unicore::xfer

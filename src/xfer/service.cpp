@@ -44,6 +44,25 @@ void Service::update_gauges() {
       .set(static_cast<double>(buffered_total()));
 }
 
+std::uint64_t Service::satisfy_open(Incoming& incoming,
+                                    const PushOpenRequest& request) {
+  // The sender's digest manifest is only meaningful at the granularity
+  // it was computed for; a clamped chunk size invalidates it.
+  if (store_ == nullptr || request.digests.empty() ||
+      incoming.assembly.chunk_bytes() != request.proposed_chunk_bytes)
+    return 0;
+  std::uint64_t satisfied =
+      incoming.assembly.satisfy_from_store(request.digests);
+  if (satisfied > 0) {
+    chunks_deduped_ += satisfied;
+    njs_.metrics()
+        ->counter("unicore_xfer_dedup_chunks_total",
+                  {{"usite", njs_.usite()}})
+        .add(static_cast<double>(satisfied));
+  }
+  return satisfied;
+}
+
 PushOpenReply Service::resume_reply(const Incoming& incoming) const {
   PushOpenReply reply;
   reply.transfer_id = incoming.id;
@@ -101,6 +120,9 @@ Result<Bytes> Service::open_push(const crypto::DistinguishedName& principal,
         incoming.manifest.synthetic != request.synthetic)
       return make_error(ErrorCode::kFailedPrecondition,
                         "open does not match the journaled manifest");
+    // Chunks the store gained since the interruption (or that recovery
+    // could not re-satisfy) are acked here instead of retransmitted.
+    satisfy_open(incoming, request);
     return resume_reply(incoming).encode();
   }
 
@@ -121,10 +143,15 @@ Result<Bytes> Service::open_push(const crypto::DistinguishedName& principal,
   incoming->assembly =
       Assembly(request.size, request.checksum, request.synthetic,
                incoming->manifest.chunk_bytes);
+  if (store_ != nullptr) incoming->assembly.attach_store(store_);
   incoming->id = next_id_++;
   incoming->opened_at = engine_.now();
   if (njs_.journal() != nullptr)
     journal_manifest(*njs_.journal(), incoming->manifest);
+  // Dedup at open: chunks the store already holds are reported in the
+  // reply's `have` ranges — for an unchanged dataset the sender goes
+  // straight to close without pushing a byte of payload.
+  satisfy_open(*incoming, request);
 
   PushOpenReply reply = resume_reply(*incoming);
   incoming_by_id_[incoming->id] = incoming.get();
@@ -335,6 +362,7 @@ void Service::on_njs_recover() {
     incoming->assembly = Assembly(
         recovered.manifest.size, recovered.manifest.checksum,
         recovered.manifest.synthetic, recovered.manifest.chunk_bytes);
+    if (store_ != nullptr) incoming->assembly.attach_store(store_);
     incoming->manifest = std::move(recovered.manifest);
     incoming->id = next_id_++;  // fresh id: the old one is dead with the
                                 // process, senders re-open by key

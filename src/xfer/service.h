@@ -53,6 +53,17 @@ class Service : public njs::CrashParticipant {
   void set_limits(const Limits& limits) { limits_ = limits; }
   const Limits& limits() const { return limits_; }
 
+  /// Attaches the site's content-addressed store: inbound assemblies
+  /// intern chunks into it, and push opens carrying a digest manifest
+  /// are satisfied from it (already-present chunks are acked in the
+  /// open reply's `have` ranges without moving a payload byte).
+  void set_chunk_store(std::shared_ptr<store::ChunkStore> chunk_store) {
+    store_ = std::move(chunk_store);
+  }
+  const std::shared_ptr<store::ChunkStore>& chunk_store() const {
+    return store_;
+  }
+
   /// Request handlers. `principal` is the authenticated identity (user
   /// DN or peer server DN); `server_peer` says which authentication
   /// path the gateway used; `r` is positioned just after the Role byte.
@@ -80,6 +91,7 @@ class Service : public njs::CrashParticipant {
   std::uint64_t chunks_applied() const { return chunks_applied_; }
   std::uint64_t transfers_completed() const { return transfers_completed_; }
   std::uint64_t transfers_recovered() const { return transfers_recovered_; }
+  std::uint64_t chunks_deduped() const { return chunks_deduped_; }
 
  private:
   struct Incoming {
@@ -111,9 +123,13 @@ class Service : public njs::CrashParticipant {
   void drop_incoming(Incoming& incoming);
   void update_gauges();
 
+  std::uint64_t satisfy_open(Incoming& incoming,
+                             const PushOpenRequest& request);
+
   sim::Engine& engine_;
   njs::Njs& njs_;
   Limits limits_;
+  std::shared_ptr<store::ChunkStore> store_;
 
   std::map<util::Bytes, std::unique_ptr<Incoming>> incoming_;  // by key
   std::map<std::uint64_t, Incoming*> incoming_by_id_;
@@ -125,6 +141,7 @@ class Service : public njs::CrashParticipant {
   std::uint64_t chunks_applied_ = 0;
   std::uint64_t transfers_completed_ = 0;
   std::uint64_t transfers_recovered_ = 0;
+  std::uint64_t chunks_deduped_ = 0;
 };
 
 }  // namespace unicore::xfer

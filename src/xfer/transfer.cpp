@@ -65,6 +65,14 @@ class PushRun : public std::enable_shared_from_this<PushRun> {
     request.checksum = blob_->checksum();
     request.synthetic = blob_->is_synthetic();
     request.proposed_chunk_bytes = options_.chunk_bytes;
+    // Offer the per-chunk digests so a store-backed receiver can ack
+    // every chunk it already holds in the open reply. Computed once per
+    // run (re-opens after a resume reuse the cache).
+    if (!digests_computed_) {
+      digests_ = blob_->chunk_digests(options_.chunk_bytes);
+      digests_computed_ = true;
+    }
+    request.digests = digests_;
     auto self = shared_from_this();
     std::uint64_t gen = generation_;
     transport_->call(0, Op::kOpen, request.encode(),
@@ -265,6 +273,8 @@ class PushRun : public std::enable_shared_from_this<PushRun> {
   std::function<void(util::Result<TransferStats>)> done_cb_;
 
   util::Bytes key_;
+  std::vector<crypto::Digest> digests_;  // at options_.chunk_bytes
+  bool digests_computed_ = false;
   std::uint64_t transfer_id_ = 0;
   std::uint32_t chunk_bytes_ = kDefaultChunkBytes;
   std::uint32_t credit_ = 1;

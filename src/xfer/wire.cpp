@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "crypto/chunk_digest.h"
+
 namespace unicore::xfer {
 
 using util::ByteReader;
@@ -20,9 +22,7 @@ crypto::Digest read_digest(ByteReader& r) {
 }  // namespace
 
 std::uint64_t chunk_count(std::uint64_t size, std::uint32_t chunk_bytes) {
-  if (chunk_bytes == 0) return 0;
-  if (size == 0) return 1;
-  return (size + chunk_bytes - 1) / chunk_bytes;
+  return crypto::chunk_count(size, chunk_bytes);
 }
 
 void Chunk::encode(ByteWriter& w) const {
@@ -50,18 +50,13 @@ Chunk Chunk::decode(ByteReader& r) {
 }
 
 crypto::Digest chunk_digest(util::ByteView payload) {
-  return crypto::sha256(payload);
+  return crypto::chunk_content_digest(payload);
 }
 
 crypto::Digest synthetic_chunk_digest(const crypto::Digest& file_checksum,
                                       std::uint64_t index,
                                       std::uint32_t length) {
-  ByteWriter w;
-  w.str("unicore-xfer-chunk");
-  w.raw(file_checksum);
-  w.u64(index);
-  w.u32(length);
-  return crypto::sha256(w.bytes());
+  return crypto::synthetic_chunk_digest(file_checksum, index, length);
 }
 
 Chunk make_chunk(const uspace::FileBlob& blob, std::uint64_t index,
@@ -77,10 +72,11 @@ Chunk make_chunk(const uspace::FileBlob& blob, std::uint64_t index,
     chunk.digest =
         synthetic_chunk_digest(blob.checksum(), index, chunk.length);
   } else {
-    const Bytes& content = *blob.bytes();
-    chunk.data.assign(content.begin() + static_cast<std::ptrdiff_t>(offset),
-                      content.begin() +
-                          static_cast<std::ptrdiff_t>(offset + chunk.length));
+    // Inline and store-backed blobs alike: read_range walks stored
+    // blobs one chunk at a time, so a multi-GiB file never has to be
+    // resident to be sent.
+    chunk.data.reserve(chunk.length);
+    (void)blob.read_range(offset, chunk.length, chunk.data);
     chunk.digest = chunk_digest(chunk.data);
   }
   return chunk;
@@ -132,6 +128,8 @@ Bytes PushOpenRequest::encode() const {
   w.raw(checksum);
   w.boolean(synthetic);
   w.u32(proposed_chunk_bytes);
+  w.varint(digests.size());
+  for (const crypto::Digest& digest : digests) w.raw(digest);
   return w.take();
 }
 
@@ -144,6 +142,9 @@ PushOpenRequest PushOpenRequest::decode(ByteReader& r) {
   request.checksum = read_digest(r);
   request.synthetic = r.boolean();
   request.proposed_chunk_bytes = r.u32();
+  std::uint64_t n = r.varint();
+  request.digests.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) request.digests.push_back(read_digest(r));
   return request;
 }
 

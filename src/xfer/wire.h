@@ -49,6 +49,7 @@ constexpr std::uint32_t kDefaultChunkBytes = 1024 * 1024;
 
 /// Number of chunks a file of `size` bytes splits into (one empty
 /// chunk for an empty file, so open/close still round-trip).
+/// Forwards to crypto::chunk_count — the store counts the same way.
 std::uint64_t chunk_count(std::uint64_t size, std::uint32_t chunk_bytes);
 
 /// One chunk in flight. Synthetic chunks carry no payload bytes in
@@ -68,6 +69,9 @@ struct Chunk {
 /// Digest of one chunk. Real chunks hash their payload; synthetic
 /// chunks hash (file checksum, index, length) under a domain-separated
 /// header, tying every piece to the file identity declared at open.
+/// Both forward to crypto/chunk_digest.h — the content-addressed store
+/// keys chunks by the very same digests, which is what makes the
+/// receiver's dedup-ack sound.
 crypto::Digest chunk_digest(util::ByteView payload);
 crypto::Digest synthetic_chunk_digest(const crypto::Digest& file_checksum,
                                       std::uint64_t index,
@@ -110,6 +114,12 @@ struct PushOpenRequest {
   crypto::Digest checksum{};
   bool synthetic = false;
   std::uint32_t proposed_chunk_bytes = kDefaultChunkBytes;
+  /// Per-chunk digests at proposed_chunk_bytes granularity (may be
+  /// empty). A receiver with a chunk store matches them against chunks
+  /// it already holds and reports the hits in PushOpenReply::have, so
+  /// the sender never transmits a byte the receiver can dedup. Only
+  /// meaningful when the receiver accepts the proposed chunk size.
+  std::vector<crypto::Digest> digests;
 
   util::Bytes encode() const;  // includes the Role::kPush byte
   static PushOpenRequest decode(util::ByteReader& r);  // after the role byte

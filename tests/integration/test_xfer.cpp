@@ -208,6 +208,56 @@ TEST(XferIntegration, ReceiverCrashBetweenJournalAndAckResumes) {
   EXPECT_EQ(sites.delivered_checksum("crashy.bin"), blob->checksum());
 }
 
+TEST(XferIntegration, DedupWarmRestageMovesZeroPayloadChunks) {
+  XferSites sites;
+  sites.fz->set_transfer_threshold(0);
+  sites.fz->set_transfer_streams(4);
+
+  auto blob = std::make_shared<const uspace::FileBlob>(
+      uspace::FileBlob::synthetic(8 << 20, 31));
+  ASSERT_TRUE(sites.deliver(blob, "cold.bin").ok());
+  EXPECT_EQ(sites.ruka->xfer_service().chunks_applied(), 8u);
+
+  // Same content under a different name: a different durable transfer
+  // key, so this is NOT the completed-transfer tombstone — the digest
+  // manifest in the open lets RUKA ack every chunk straight out of its
+  // content-addressed store. Zero payload chunks cross the wire.
+  ASSERT_TRUE(sites.deliver(blob, "warm.bin").ok());
+  EXPECT_EQ(sites.ruka->xfer_service().chunks_applied(), 8u);  // unchanged
+  EXPECT_EQ(sites.ruka->xfer_service().chunks_deduped(), 8u);
+  EXPECT_EQ(sites.delivered_checksum("warm.bin"), blob->checksum());
+
+  const store::StoreStats stats = sites.ruka->chunk_store()->stats();
+  EXPECT_EQ(stats.chunks, 8u);               // one physical copy
+  EXPECT_EQ(stats.logical_bytes, 16u << 20); // two files' worth pinned
+  EXPECT_EQ(stats.dedup_hits, 8u);
+}
+
+TEST(XferIntegration, PartitionResumeLandsInStoreWithExactRefcounts) {
+  XferSites sites;
+  sites.fz->set_transfer_threshold(0);
+  sites.fz->set_transfer_streams(4);
+  sites.snappy_sender();
+
+  const std::uint64_t refs_before =
+      sites.ruka->chunk_store()->stats().total_refs;
+
+  net::FaultInjector faults(sites.grid.engine(), sites.grid.network());
+  sim::Time now = sites.grid.engine().now();
+  faults.partition_for(now + sim::msec(300), sim::msec(1500),
+                       "gw.fz-juelich.de", "gw.ruka.de");
+
+  auto blob = std::make_shared<const uspace::FileBlob>(
+      uspace::FileBlob::synthetic(16 << 20, 32));
+  util::Status status = sites.deliver(blob, "partitioned.bin");
+  ASSERT_TRUE(status.ok()) << status.error().to_string();
+  EXPECT_EQ(sites.delivered_checksum("partitioned.bin"), blob->checksum());
+  EXPECT_EQ(sites.ruka->xfer_service().inbound_open(), 0u);
+  // The disturbed transfer landed as a manifest of 16 pinned chunks —
+  // retransmits and the resume added no extra refcounts.
+  EXPECT_EQ(sites.ruka->chunk_store()->stats().total_refs, refs_before + 16);
+}
+
 TEST(XferIntegration, V1PeerFallsBackToWholeBlobDelivery) {
   XferSites sites;
   // RUKA never advertises the chunked-transfer feature bit (a v1

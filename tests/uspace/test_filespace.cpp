@@ -102,6 +102,36 @@ TEST(Volume, OverwriteChargesDeltaNotSum) {
   EXPECT_EQ(volume.used_bytes(), 100u);
 }
 
+TEST(Volume, OverwriteWithShrinkAtQuotaLimit) {
+  // Shrinking must succeed even when the volume is exactly full: the
+  // delta is negative, so no headroom check may reject it.
+  Volume volume("v", 100);
+  ASSERT_TRUE(volume.write("x", FileBlob::synthetic(100, 1)).ok());
+  EXPECT_EQ(volume.used_bytes(), 100u);
+  EXPECT_TRUE(volume.write("x", FileBlob::synthetic(25, 2)).ok());
+  EXPECT_EQ(volume.used_bytes(), 25u);
+  // Shrink to zero length is a legal file, not a remove.
+  EXPECT_TRUE(volume.write("x", FileBlob::synthetic(0, 3)).ok());
+  EXPECT_EQ(volume.used_bytes(), 0u);
+  EXPECT_TRUE(volume.exists("x"));
+  EXPECT_EQ(volume.file_count(), 1u);
+}
+
+TEST(Volume, DeleteRecreateCycleLeavesNoAccountingDrift) {
+  Volume volume("v", 100);
+  for (int round = 0; round < 10; ++round) {
+    ASSERT_TRUE(
+        volume.write("x", FileBlob::synthetic(100, std::uint8_t(round))).ok());
+    EXPECT_EQ(volume.used_bytes(), 100u);
+    // At quota: a sibling is rejected, and the rejection leaves no
+    // residue that would break the next round.
+    EXPECT_FALSE(volume.write("y", FileBlob::synthetic(1, 9)).ok());
+    ASSERT_TRUE(volume.remove("x").ok());
+    EXPECT_EQ(volume.used_bytes(), 0u);
+  }
+  EXPECT_EQ(volume.file_count(), 0u);
+}
+
 TEST(Volume, FailedOverwriteLeavesOriginalAndAccountingIntact) {
   Volume volume("v", 100);
   FileBlob original = FileBlob::synthetic(80, 1);

@@ -11,6 +11,8 @@
 
 #include "ajo/tasks.h"
 #include "batch/target_system.h"
+#include "obs/metrics.h"
+#include "store/chunk_store.h"
 #include "xfer/service.h"
 
 namespace unicore::xfer {
@@ -245,6 +247,133 @@ TEST_F(TransferFixture, CompletedTransferTombstoneMakesRepushCheap) {
   EXPECT_EQ(second.value().chunks, 0u);
   EXPECT_EQ(service.chunks_applied(), 16u);
   EXPECT_EQ(delivered_checksum("twice.bin"), blob.checksum());
+}
+
+// ---- content-addressed store integration ----------------------------------
+
+struct StoreTransferFixture : public TransferFixture {
+  std::shared_ptr<store::ChunkStore> chunk_store =
+      std::make_shared<store::ChunkStore>();
+
+  void SetUp() override {
+    TransferFixture::SetUp();
+    njs.set_chunk_store(chunk_store);
+    service.set_chunk_store(chunk_store);
+  }
+
+  /// Refs the receiver job's stored files pin right now. With no
+  /// transfer in flight, the store must hold exactly this many refs —
+  /// anything above is an orphaned refcount.
+  std::uint64_t refs_pinned_by_storage() {
+    std::uint64_t refs = 0;
+    auto files = njs.storage_files(token);
+    if (!files.ok()) return 0;
+    for (const std::string& name : files.value()) {
+      auto blob = njs.fetch_file_shared(token, name);
+      if (blob.ok() && blob.value()->is_stored())
+        refs += blob.value()->pinned()->manifest().chunks.size();
+    }
+    return refs;
+  }
+};
+
+TEST_F(StoreTransferFixture, RepushToNewNameMovesZeroPayloadBytes) {
+  auto transport = std::make_shared<Loopback>(engine, service, 2);
+  uspace::FileBlob blob = uspace::FileBlob::synthetic(1 << 20, 30);
+  auto first = push_blob(transport, blob, "cold.bin", small_chunks());
+  ASSERT_TRUE(first.ok()) << first.error().to_string();
+  EXPECT_EQ(first.value().chunks, 16u);
+  EXPECT_EQ(service.chunks_applied(), 16u);
+
+  // Different target name, so the durable key differs and the completed-
+  // transfer tombstone does NOT apply. The sender's digest manifest in
+  // the open finds every chunk already present: zero payload moves.
+  auto second = push_blob(transport, blob, "warm.bin", small_chunks());
+  ASSERT_TRUE(second.ok()) << second.error().to_string();
+  EXPECT_EQ(second.value().chunks, 0u);  // zero payload chunks moved
+  EXPECT_EQ(service.chunks_applied(), 16u);  // nothing re-applied
+  EXPECT_EQ(service.chunks_deduped(), 16u);
+  EXPECT_EQ(delivered_checksum("warm.bin"), blob.checksum());
+  EXPECT_EQ(delivered_checksum("cold.bin"), blob.checksum());
+  // One physical copy, pinned by both files.
+  EXPECT_EQ(chunk_store->stats().chunks, 16u);
+  EXPECT_EQ(chunk_store->stats().dedup_hits, 16u);
+  EXPECT_EQ(chunk_store->stats().total_refs, refs_pinned_by_storage());
+}
+
+TEST_F(StoreTransferFixture, CrashResumeLeavesNoOrphanedRefcounts) {
+  auto transport = std::make_shared<Loopback>(engine, service, 2);
+  uspace::FileBlob blob = uspace::FileBlob::synthetic(4 << 20, 13);
+
+  // The crash destroys the in-flight assembly (its chunk refs must be
+  // released), recovery folds the journaled chunks back in (their refs
+  // must be re-taken), and the resumed transfer fills the rest.
+  engine.after(sim::msec(4), [this] {
+    njs.crash();
+    ASSERT_TRUE(njs.recover().ok());
+  });
+
+  auto stats = push_blob(transport, blob, "crashy.bin", small_chunks());
+  ASSERT_TRUE(stats.ok()) << stats.error().to_string();
+  EXPECT_GE(stats.value().resumes, 1u);
+  EXPECT_EQ(service.chunks_applied(), 64u);  // exactly once per chunk
+  EXPECT_EQ(delivered_checksum("crashy.bin"), blob.checksum());
+  EXPECT_EQ(service.inbound_open(), 0u);
+  // Every surviving ref is pinned by a file: nothing leaked across the
+  // crash/recover/resume cycle.
+  EXPECT_EQ(chunk_store->stats().total_refs, refs_pinned_by_storage());
+}
+
+TEST_F(StoreTransferFixture, AbandonedTransferReleasesInFlightRefs) {
+  auto transport = std::make_shared<Loopback>(engine, service, 2);
+  uspace::FileBlob blob = uspace::FileBlob::synthetic(1 << 20, 5);
+  TransferOptions options = small_chunks();
+  options.max_resume_attempts = 1;  // give up on the first outage
+  options.max_chunk_retries = 0;
+  // Let the open and the first chunks through, then cut the link for
+  // good: the sender abandons a half-assembled inbound transfer whose
+  // chunks hold store refs.
+  engine.after(sim::msec(3), [&transport] {
+    transport->fail_next_calls = 1'000'000;
+  });
+  auto stats = push_blob(transport, blob, "doomed.bin", options);
+  ASSERT_FALSE(stats.ok());
+  ASSERT_EQ(service.inbound_open(), 1u);
+
+  // The process dies with the half-open table: every in-flight
+  // assembly's refs must be released, leaving the store empty (the
+  // receiver job's own files predate the store and pin nothing).
+  njs.crash();
+  EXPECT_EQ(service.inbound_open(), 0u);
+  EXPECT_EQ(chunk_store->stats().total_refs, 0u);
+  EXPECT_EQ(chunk_store->stats().physical_bytes, 0u);
+}
+
+TEST_F(StoreTransferFixture, ReapReclaimsPhysicalBytesAndRecordsMetric) {
+  auto registry = std::make_shared<obs::MetricsRegistry>();
+  njs.set_metrics(registry);
+  chunk_store->set_metrics(registry, "LRZ");
+  auto transport = std::make_shared<Loopback>(engine, service, 2);
+  // Real payload so physical bytes are non-zero. The constant fill
+  // makes all four 64 KiB chunks identical: intra-file dedup stores
+  // exactly one physical chunk for a 256 KiB file.
+  uspace::FileBlob blob =
+      uspace::FileBlob::from_bytes(util::Bytes(256 << 10, 0xab));
+  auto stats = push_blob(transport, blob, "data.bin", small_chunks());
+  ASSERT_TRUE(stats.ok()) << stats.error().to_string();
+  EXPECT_EQ(chunk_store->stats().physical_bytes, 64u << 10);
+  EXPECT_EQ(chunk_store->stats().logical_bytes, 256u << 10);
+
+  auto freed = njs.reap_storage(token);
+  ASSERT_TRUE(freed.ok()) << freed.error().to_string();
+  // Reaping released the files' pins: the payload is physically gone.
+  EXPECT_EQ(chunk_store->stats().physical_bytes, 0u);
+  EXPECT_EQ(chunk_store->stats().total_refs, 0u);
+  auto snapshot = registry->snapshot();
+  const obs::MetricPoint* reclaimed = snapshot.find(
+      "unicore_store_reap_reclaimed_bytes_total", {{"usite", "LRZ"}});
+  ASSERT_NE(reclaimed, nullptr);
+  EXPECT_EQ(reclaimed->value, double(64 << 10));
 }
 
 TEST_F(TransferFixture, BackpressureShrinksCreditButCompletes) {
