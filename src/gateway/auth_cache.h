@@ -1,0 +1,104 @@
+// The gateway's authentication fast path: successful
+// authenticate_user results memoized per subject DN, sharded by the
+// same DN hash as the UUDB.
+//
+// Each shard carries its own lock, hit/miss counters, and map, so N
+// gateway replicas fronting one Usite can share a single cache (one
+// fill warms every replica) while concurrent lookups contend only per
+// shard. Entries stamp the trust-store generation and the generation
+// of the *subject's UUDB shard*; a CRL change still flushes everything
+// (trust is global), but a UUDB edit only invalidates the one shard it
+// touched — every other subject's cached decision stays hot.
+//
+// Only positives are cached; rejections always re-run the full path.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/x509.h"
+#include "obs/metrics.h"
+
+namespace unicore::gateway {
+
+/// Result of a successful authentication: who the certificate is locally.
+struct AuthenticatedUser {
+  crypto::DistinguishedName dn;
+  std::string login;
+  std::vector<std::string> account_groups;
+};
+
+class ShardedAuthCache {
+ public:
+  explicit ShardedAuthCache(std::size_t shard_count = 16);
+
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// Seconds a cached decision stays valid; 0 disables the cache.
+  void set_ttl(std::int64_t seconds);
+  std::int64_t ttl() const { return ttl_; }
+
+  /// Counts hits/misses into unicore_gateway_auth_cache_total{usite,
+  /// result} and keeps the per-shard gauges
+  /// unicore_gateway_auth_shard_{hits,misses,entries}{usite,shard}
+  /// current. nullptr detaches.
+  void set_metrics(obs::MetricsRegistry* registry, std::string usite);
+
+  /// A hit requires the presented certificate to equal the cached one
+  /// byte for byte, both generation stamps to be current, the TTL to
+  /// have time left, and the certificate itself to still be in its
+  /// validity window. A stale entry is erased on the way through.
+  std::optional<AuthenticatedUser> lookup(const crypto::Certificate& cert,
+                                          std::int64_t now,
+                                          std::uint64_t trust_generation,
+                                          std::uint64_t uudb_generation);
+
+  /// Caches a positive decision under the given generation stamps.
+  void store(const crypto::Certificate& cert, const AuthenticatedUser& user,
+             std::int64_t now, std::uint64_t trust_generation,
+             std::uint64_t uudb_generation);
+
+  /// Drops every cached decision (e.g. after an out-of-band revocation).
+  void invalidate_all();
+
+  // Aggregates across shards.
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::size_t size() const;
+
+  // Per-shard introspection for tests and the bench.
+  std::uint64_t shard_hits(std::size_t shard) const;
+  std::uint64_t shard_misses(std::size_t shard) const;
+  std::size_t shard_size(std::size_t shard) const;
+
+ private:
+  struct Entry {
+    crypto::Certificate certificate;  // must match the presented one
+    AuthenticatedUser user;
+    std::int64_t cached_at = 0;
+    std::uint64_t trust_generation = 0;
+    std::uint64_t uudb_generation = 0;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::map<std::string, Entry> entries;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+
+  Shard& shard_for(const std::string& subject);
+  void count(const char* result);
+  void publish_shard_gauges(std::size_t index, const Shard& shard);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::int64_t ttl_ = 300;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::string usite_;
+};
+
+}  // namespace unicore::gateway

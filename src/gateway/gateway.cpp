@@ -29,50 +29,22 @@ void Gateway::audit(std::int64_t now, const std::string& subject,
   audit_.push_back({now, subject, action, accepted, std::move(detail)});
 }
 
-const AuthenticatedUser* Gateway::auth_cache_lookup(
-    const crypto::Certificate& cert, std::int64_t now) {
-  if (auth_cache_ttl_ == 0) return nullptr;
-  auto count = [this](const char* result) {
-    if (metrics_)
-      metrics_
-          ->counter("unicore_gateway_auth_cache_total",
-                    {{"usite", usite_}, {"result", result}})
-          .increment();
-  };
-  auto it = auth_cache_.find(cert.subject.to_string());
-  if (it != auth_cache_.end()) {
-    const CachedAuth& cached = it->second;
-    if (cached.certificate == cert &&
-        cached.trust_generation == trust_.generation() &&
-        cached.uudb_generation == uudb_.generation() &&
-        now < cached.cached_at + auth_cache_ttl_ &&
-        cached.certificate.valid_at(now)) {
-      ++auth_cache_hits_;
-      count("hit");
-      return &cached.user;
-    }
-    auth_cache_.erase(it);  // stale — fall through to the full path
-  }
-  ++auth_cache_misses_;
-  count("miss");
-  return nullptr;
-}
-
 Result<AuthenticatedUser> Gateway::authenticate_user(
     const crypto::Certificate& cert, std::int64_t now) {
-  if (const AuthenticatedUser* cached = auth_cache_lookup(cert, now))
+  if (auto cached = auth_cache_->lookup(cert, now, trust_->generation(),
+                                        uudb_->generation(cert.subject)))
     return *cached;
 
   crypto::ValidationOptions options;
   options.now = now;
   options.required_usage = crypto::kUsageClientAuth;
-  if (auto status = trust_.validate(cert, {}, options); !status.ok()) {
+  if (auto status = trust_->validate(cert, {}, options); !status.ok()) {
     audit(now, cert.subject.to_string(), "authenticate", false,
           status.error().message);
     return status.error();
   }
 
-  auto entry = uudb_.lookup(cert.subject);
+  auto entry = uudb_->lookup(cert.subject);
   if (!entry) {
     audit(now, cert.subject.to_string(), "authenticate", false,
           entry.error().message);
@@ -91,10 +63,8 @@ Result<AuthenticatedUser> Gateway::authenticate_user(
   user.account_groups = entry.value().account_groups;
   audit(now, cert.subject.to_string(), "authenticate", true,
         "login=" + user.login);
-  if (auth_cache_ttl_ != 0)
-    auth_cache_[cert.subject.to_string()] = {cert, user, now,
-                                             trust_.generation(),
-                                             uudb_.generation()};
+  auth_cache_->store(cert, user, now, trust_->generation(),
+                     uudb_->generation(cert.subject));
   return user;
 }
 
@@ -117,7 +87,7 @@ Status Gateway::authenticate_server(const crypto::Certificate& cert,
   crypto::ValidationOptions options;
   options.now = now;
   options.required_usage = crypto::kUsageServerAuth;
-  auto status = trust_.validate(cert, {}, options);
+  auto status = trust_->validate(cert, {}, options);
   audit(now, cert.subject.to_string(), "server-auth", status.ok(),
         status.ok() ? "" : status.error().message);
   return status;

@@ -4,29 +4,30 @@
 // (smart cards / DCE), authorises account groups, and keeps an audit
 // trail. Every consignment entering a Usite — from a user's JPA/JMC or
 // from a peer NJS — passes through here.
+//
+// A Usite may front itself with N Gateway instances. The trust store,
+// the UUDB, and the sharded authentication cache are shared state
+// (every replica sees the same mappings, and a cache fill on one
+// replica warms all of them); the audit trail and the endorsement memo
+// stay per-instance.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <tuple>
 #include <vector>
 
 #include "ajo/job.h"
 #include "crypto/x509.h"
+#include "gateway/auth_cache.h"
 #include "gateway/uudb.h"
 #include "obs/metrics.h"
 #include "util/result.h"
 
 namespace unicore::gateway {
-
-/// Result of a successful authentication: who the certificate is locally.
-struct AuthenticatedUser {
-  crypto::DistinguishedName dn;
-  std::string login;
-  std::vector<std::string> account_groups;
-};
 
 /// Hook for "sites that require the use of smart cards or run DCE"
 /// (§4.2): called after certificate validation with the AJO's opaque
@@ -44,15 +45,35 @@ struct AuditRecord {
 
 class Gateway {
  public:
+  /// Sole owner of its security state (the single-gateway Usite).
   Gateway(std::string usite, crypto::TrustStore trust, UserDatabase uudb)
+      : Gateway(std::move(usite),
+                std::make_shared<crypto::TrustStore>(std::move(trust)),
+                std::make_shared<UserDatabase>(std::move(uudb)),
+                std::make_shared<ShardedAuthCache>()) {}
+
+  /// A replica sharing the Usite's trust store, UUDB, and auth cache.
+  Gateway(std::string usite, std::shared_ptr<crypto::TrustStore> trust,
+          std::shared_ptr<UserDatabase> uudb,
+          std::shared_ptr<ShardedAuthCache> auth_cache)
       : usite_(std::move(usite)),
         trust_(std::move(trust)),
-        uudb_(std::move(uudb)) {}
+        uudb_(std::move(uudb)),
+        auth_cache_(std::move(auth_cache)) {}
 
   const std::string& usite() const { return usite_; }
-  crypto::TrustStore& trust_store() { return trust_; }
-  const crypto::TrustStore& trust_store() const { return trust_; }
-  UserDatabase& uudb() { return uudb_; }
+  crypto::TrustStore& trust_store() { return *trust_; }
+  const crypto::TrustStore& trust_store() const { return *trust_; }
+  UserDatabase& uudb() { return *uudb_; }
+
+  // Shared handles, for wiring additional replicas.
+  const std::shared_ptr<crypto::TrustStore>& shared_trust_store() const {
+    return trust_;
+  }
+  const std::shared_ptr<UserDatabase>& shared_uudb() const { return uudb_; }
+  const std::shared_ptr<ShardedAuthCache>& shared_auth_cache() const {
+    return auth_cache_;
+  }
 
   void set_site_auth_hook(SiteAuthHook hook) { site_hook_ = std::move(hook); }
 
@@ -97,40 +118,31 @@ class Gateway {
   const std::vector<AuditRecord>& audit_log() const { return audit_; }
 
   /// Counts every audited decision into `registry` as
-  /// unicore_gateway_auth_total{usite, action, result}. nullptr detaches.
-  void set_metrics(obs::MetricsRegistry* registry) { metrics_ = registry; }
+  /// unicore_gateway_auth_total{usite, action, result}, and attaches the
+  /// shared auth cache's counters/gauges. nullptr detaches.
+  void set_metrics(obs::MetricsRegistry* registry) {
+    metrics_ = registry;
+    auth_cache_->set_metrics(registry, usite_);
+  }
 
   // --- authentication fast path ---------------------------------------
-  // Successful authenticate_user results are memoized per subject DN.
-  // A hit requires (a) the presented certificate to equal the cached
-  // one byte for byte — so a different certificate with the same DN can
-  // never borrow a cached decision — and (b) the trust-store and UUDB
-  // generations recorded at caching time to still be current, so any
-  // root/CRL change or UUDB edit invalidates every entry at once.
-  // Only positives are cached; rejections always re-run the full path.
-  // Cache hits are not written to the audit trail (they repeat the
-  // recorded decision) but are counted in
-  // unicore_gateway_auth_cache_total{usite, result}.
+  // Delegates to the shared ShardedAuthCache (gateway/auth_cache.h):
+  // positives memoized per subject DN, sharded by DN hash, stamped with
+  // the trust generation and the generation of the subject's UUDB
+  // shard. A CRL change flushes everything; a UUDB edit only
+  // invalidates the shard it touched.
 
   /// Seconds a cached decision stays valid; 0 disables the cache.
   void set_auth_cache_ttl(std::int64_t seconds) {
-    auth_cache_ttl_ = seconds;
-    if (seconds == 0) auth_cache_.clear();
+    auth_cache_->set_ttl(seconds);
   }
-  std::int64_t auth_cache_ttl() const { return auth_cache_ttl_; }
+  std::int64_t auth_cache_ttl() const { return auth_cache_->ttl(); }
   /// Drops every cached decision (e.g. after an out-of-band revocation).
-  void invalidate_auth_cache() { auth_cache_.clear(); }
-  std::uint64_t auth_cache_hits() const { return auth_cache_hits_; }
-  std::uint64_t auth_cache_misses() const { return auth_cache_misses_; }
+  void invalidate_auth_cache() { auth_cache_->invalidate_all(); }
+  std::uint64_t auth_cache_hits() const { return auth_cache_->hits(); }
+  std::uint64_t auth_cache_misses() const { return auth_cache_->misses(); }
 
  private:
-  struct CachedAuth {
-    crypto::Certificate certificate;  // must match the presented one
-    AuthenticatedUser user;
-    std::int64_t cached_at = 0;
-    std::uint64_t trust_generation = 0;
-    std::uint64_t uudb_generation = 0;
-  };
   /// Key of a memoized endorsement-signature verification: digest of
   /// the signing input, the signature, and the verifying key.
   using VerifyKey =
@@ -138,22 +150,17 @@ class Gateway {
 
   void audit(std::int64_t now, const std::string& subject,
              const std::string& action, bool accepted, std::string detail);
-  const AuthenticatedUser* auth_cache_lookup(const crypto::Certificate& cert,
-                                             std::int64_t now);
   bool verify_endorsement(const crypto::PublicKey& key,
                           util::ByteView signing_input,
                           const crypto::Signature& signature);
 
   std::string usite_;
-  crypto::TrustStore trust_;
-  UserDatabase uudb_;
+  std::shared_ptr<crypto::TrustStore> trust_;
+  std::shared_ptr<UserDatabase> uudb_;
+  std::shared_ptr<ShardedAuthCache> auth_cache_;
   SiteAuthHook site_hook_;
   std::vector<AuditRecord> audit_;
   obs::MetricsRegistry* metrics_ = nullptr;
-  std::map<std::string, CachedAuth> auth_cache_;
-  std::int64_t auth_cache_ttl_ = 300;
-  std::uint64_t auth_cache_hits_ = 0;
-  std::uint64_t auth_cache_misses_ = 0;
   std::map<VerifyKey, bool> verify_memo_;
 };
 

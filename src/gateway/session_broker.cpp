@@ -46,15 +46,20 @@ void SessionBroker::update_gauge() {
 }
 
 void SessionBroker::sweep(std::int64_t now) {
-  for (auto it = sessions_.begin(); it != sessions_.end();) {
-    if (now >= it->second.expires_at) {
-      ++expired_;
-      count("expire", true);
-      it = sessions_.erase(it);
-    } else {
-      ++it;
-    }
+  bool erased = false;
+  while (!expiry_heap_.empty() && expiry_heap_.top().first <= now) {
+    ExpiryEntry due = expiry_heap_.top();
+    expiry_heap_.pop();
+    auto it = sessions_.find(due.second);
+    // Gone already (closed, or expired through validate), or refreshed
+    // to a later deadline — the heap entry is stale; skip it.
+    if (it == sessions_.end() || now < it->second.expires_at) continue;
+    ++expired_;
+    count("expire", true);
+    sessions_.erase(it);
+    erased = true;
   }
+  if (erased) update_gauge();
 }
 
 Result<SessionGrant> SessionBroker::open(const crypto::Certificate& cert,
@@ -84,10 +89,13 @@ Result<SessionGrant> SessionBroker::open(const crypto::Certificate& cert,
   session.issued_at = now;
   session.expires_at = now + ttl;
   session.trust_generation = gateway_.trust_store().generation();
-  session.uudb_generation = gateway_.uudb().generation();
+  // Per-shard stamp: a UUDB edit elsewhere leaves this session's
+  // generation fast path intact.
+  session.uudb_generation = gateway_.uudb().generation(cert.subject);
 
   Bytes token = mint_token();
   SessionGrant grant{token, session.expires_at, session.user.login};
+  expiry_heap_.emplace(session.expires_at, token);
   sessions_.emplace(std::move(token), std::move(session));
   ++opened_;
   count("open", true);
@@ -114,7 +122,8 @@ Result<SessionBroker::Session*> SessionBroker::validate(ByteView token,
                             "session token expired");
   }
   if (session.trust_generation == gateway_.trust_store().generation() &&
-      session.uudb_generation == gateway_.uudb().generation()) {
+      session.uudb_generation ==
+          gateway_.uudb().generation(session.certificate.subject)) {
     ++fast_validations_;
     return &session;
   }
@@ -132,7 +141,8 @@ Result<SessionBroker::Session*> SessionBroker::validate(ByteView token,
   }
   session.user = user.value();  // pick up login/group edits
   session.trust_generation = gateway_.trust_store().generation();
-  session.uudb_generation = gateway_.uudb().generation();
+  session.uudb_generation =
+      gateway_.uudb().generation(session.certificate.subject);
   return &session;
 }
 
@@ -144,6 +154,8 @@ Result<SessionGrant> SessionBroker::refresh(ByteView token, std::int64_t now) {
   }
   session.value()->expires_at = now + ttl_seconds_;
   ++session.value()->refreshes;
+  expiry_heap_.emplace(session.value()->expires_at,
+                       Bytes(token.begin(), token.end()));
   ++refreshed_;
   count("refresh", true);
   return SessionGrant{Bytes(token.begin(), token.end()),

@@ -10,17 +10,22 @@
 // A token session maps onto an existing certificate identity and is
 // never weaker than the certificate it wraps:
 //   - it carries its own TTL (refresh extends, close revokes),
-//   - it is stamped with the trust-store and UUDB generations it was
-//     validated under; any CRL/root change or UUDB edit forces the next
+//   - it is stamped with the trust-store generation and the generation
+//     of the *subject's UUDB shard* it was validated under; any CRL or
+//     root change, or a UUDB edit touching that shard, forces the next
 //     authentication through the gateway's full path again (which the
 //     PR-4 auth cache keeps cheap), so a revoked or suspended user's
-//     token fails exactly like their certificate,
+//     token fails exactly like their certificate — while edits to other
+//     shards leave the fast path intact,
 //   - the mapped login/groups refresh automatically on UUDB edits.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <queue>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "gateway/gateway.h"
 #include "obs/metrics.h"
@@ -99,8 +104,14 @@ class SessionBroker {
   };
 
   util::Bytes mint_token();
-  /// Drops every session past its expiry (called on open so the table
-  /// cannot grow without bound under abandoned sessions).
+  /// Drops sessions past their expiry (called on open so the table
+  /// cannot grow without bound under abandoned sessions). Amortized:
+  /// a min-heap of (expires_at, token) deadlines is popped only down
+  /// to `now`, so an open among 10⁵ live sessions does O(expired ·
+  /// log n) work instead of scanning the whole table. Refreshing a
+  /// session pushes a later deadline; the superseded heap entry is
+  /// recognised (the session's actual expiry is re-checked at pop
+  /// time) and skipped.
   void sweep(std::int64_t now);
   void count(const char* action, bool accepted);
   void update_gauge();
@@ -108,9 +119,14 @@ class SessionBroker {
   /// stamps, and the certificate re-validation fallback.
   util::Result<Session*> validate(util::ByteView token, std::int64_t now);
 
+  using ExpiryEntry = std::pair<std::int64_t, util::Bytes>;
+
   Gateway& gateway_;
   util::Rng rng_;
   std::map<util::Bytes, Session> sessions_;
+  std::priority_queue<ExpiryEntry, std::vector<ExpiryEntry>,
+                      std::greater<ExpiryEntry>>
+      expiry_heap_;
   std::int64_t ttl_seconds_ = 1800;
   std::size_t max_sessions_ = 1ull << 20;
   std::uint64_t opened_ = 0;

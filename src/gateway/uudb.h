@@ -8,6 +8,13 @@
 //
 // "This mechanism eliminates the need to install uniform UNIX uid/gid
 //  pairs for UNICORE users." (§4)
+//
+// The database is sharded by a hash of the subject DN. Each shard keeps
+// its own generation counter, bumped only by edits to that shard, so a
+// consumer that memoizes a lookup (the gateway auth cache, the session
+// broker) can stamp the generation of the *subject's* shard and stay
+// valid across edits to every other shard. The aggregate generation()
+// remains for coarse consumers that want "anything changed".
 #pragma once
 
 #include <cstdint>
@@ -33,8 +40,18 @@ struct UserEntry {
   }
 };
 
+/// Stable shard index for a DN rendering (FNV-1a — identical across
+/// processes, so every gateway replica of a Usite agrees on the shard).
+std::size_t dn_shard_of(const std::string& dn, std::size_t shard_count);
+
 class UserDatabase {
  public:
+  static constexpr std::size_t kDefaultShards = 16;
+
+  UserDatabase() : UserDatabase(kDefaultShards) {}
+  explicit UserDatabase(std::size_t shard_count)
+      : shards_(shard_count == 0 ? 1 : shard_count) {}
+
   /// Adds or replaces the mapping for `dn`.
   void add_mapping(const crypto::DistinguishedName& dn, UserEntry entry);
 
@@ -46,18 +63,43 @@ class UserDatabase {
 
   util::Result<UserEntry> lookup(const crypto::DistinguishedName& dn) const;
 
-  std::size_t size() const { return entries_.size(); }
+  std::size_t size() const;
 
-  /// Bumped on every mapping edit (add/remove/suspend). The gateway's
-  /// authentication cache stamps the generation its entries were filled
-  /// under, so any UUDB edit invalidates every cached decision.
-  std::uint64_t generation() const { return generation_; }
+  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t shard_of(const crypto::DistinguishedName& dn) const {
+    return dn_shard_of(dn.to_string(), shards_.size());
+  }
+
+  /// Generation of one shard; bumped only by edits to that shard.
+  std::uint64_t shard_generation(std::size_t shard) const {
+    return shards_[shard % shards_.size()].generation;
+  }
+
+  /// Generation of the *subject's* shard — what per-DN memoizers stamp.
+  std::uint64_t generation(const crypto::DistinguishedName& dn) const {
+    return shards_[shard_of(dn)].generation;
+  }
+
+  /// Aggregate generation: changes on every mapping edit anywhere.
+  /// Coarse consumers that only need "did anything change" use this.
+  std::uint64_t generation() const;
 
  private:
   // Keyed by the RFC 2253 rendering of the DN — distinct DNs render
   // distinctly because attribute order is fixed.
-  std::map<std::string, UserEntry> entries_;
-  std::uint64_t generation_ = 1;
+  struct Shard {
+    std::map<std::string, UserEntry> entries;
+    std::uint64_t generation = 1;
+  };
+
+  Shard& shard_for(const std::string& key) {
+    return shards_[dn_shard_of(key, shards_.size())];
+  }
+  const Shard& shard_for(const std::string& key) const {
+    return shards_[dn_shard_of(key, shards_.size())];
+  }
+
+  std::vector<Shard> shards_;
 };
 
 }  // namespace unicore::gateway

@@ -62,7 +62,9 @@ server::UsiteServer& Grid::add_site(SiteSpec spec) {
       engine_, network_, rng_, spec.config, std::move(credential),
       make_trust_store(), gateway::UserDatabase{});
   server->set_metrics(metrics_);
-  for (auto& vsite : spec.vsites) server->njs().add_vsite(std::move(vsite));
+  // Through the cluster so every NJS replica shares the Vsite runtime.
+  for (auto& vsite : spec.vsites)
+    server->njs_cluster().add_vsite(std::move(vsite));
 
   auto payload = [this](const std::string& component) {
     return util::to_bytes("UNICORE " + component + " applet v" +

@@ -46,6 +46,7 @@ const char* journal_record_type_name(JournalRecordType type) {
     case JournalRecordType::kXferManifest: return "xfer-manifest";
     case JournalRecordType::kXferChunk: return "xfer-chunk";
     case JournalRecordType::kXferDone: return "xfer-done";
+    case JournalRecordType::kOwnerClaim: return "owner-claim";
   }
   return "unknown";
 }
@@ -172,6 +173,8 @@ std::vector<Journal::RecoveredJob> Journal::recover() const {
         case JournalRecordType::kXferChunk:
         case JournalRecordType::kXferDone:
           break;  // owned by the transfer engine (xfer::recover_transfers)
+        case JournalRecordType::kOwnerClaim:
+          break;  // handoff bookkeeping (try_claim), not job state
       }
     } catch (const std::out_of_range&) {
       // Truncated record: skip it rather than abandoning recovery.
@@ -181,6 +184,31 @@ std::vector<Journal::RecoveredJob> Journal::recover() const {
   out.reserve(jobs.size());
   for (auto& [token, job] : jobs) out.push_back(std::move(job));
   return out;
+}
+
+util::Status Journal::try_claim(const std::string& claimant,
+                                const std::string& supersede) {
+  const std::string current = this->claimant();
+  if (!current.empty() && current != claimant && current != supersede)
+    return util::make_error(util::ErrorCode::kFailedPrecondition,
+                            "journal already claimed by " + current);
+  util::ByteWriter w;
+  w.str(claimant);
+  store_->append({JournalRecordType::kOwnerClaim, 0, w.take()});
+  return util::Status::ok_status();
+}
+
+std::string Journal::claimant() const {
+  std::string current;
+  store_->replay([&](const JournalRecord& record) {
+    if (record.type != JournalRecordType::kOwnerClaim) return;
+    try {
+      util::ByteReader r{record.payload};
+      current = r.str();
+    } catch (const std::out_of_range&) {
+    }
+  });
+  return current;
 }
 
 }  // namespace unicore::njs

@@ -48,6 +48,10 @@ enum class JournalRecordType : std::uint8_t {
   kXferManifest = 6,
   kXferChunk = 7,
   kXferDone = 8,
+  // Handoff claim (docs/SCALING.md): the named peer replica now owns
+  // this journal's partition. Appended by Journal::try_claim; job
+  // recovery skips it.
+  kOwnerClaim = 9,
 };
 
 const char* journal_record_type_name(JournalRecordType type);
@@ -150,6 +154,22 @@ class Journal {
   }
 
   std::size_t records() const { return store_->size(); }
+
+  /// Journal-handoff claim. A claim is an ordinary appended record, so
+  /// it lives on the shared store exactly like the job records: the
+  /// first peer to claim an orphaned journal owns it, and a later
+  /// claim by a *different* claimant is refused kFailedPrecondition —
+  /// two peers can never both adopt the same partition. Re-claiming
+  /// under the same name is idempotent (a claimant retrying after its
+  /// own hiccup). A non-empty `supersede` names one claimant whose
+  /// claim may be replaced — the cluster layer passes the name of a
+  /// replica it has *itself* declared dead, so a partition whose
+  /// adopter also died can be handed off again.
+  util::Status try_claim(const std::string& claimant,
+                         const std::string& supersede = "");
+  /// The latest claimant on the log; empty if the journal was never
+  /// handed off.
+  std::string claimant() const;
 
  private:
   std::shared_ptr<JournalStore> store_;

@@ -147,7 +147,7 @@ Result<const obs::TraceTimeline*> Njs::trace(JobToken token) const {
 }
 
 batch::BatchSubsystem& Njs::add_vsite(VsiteConfig config) {
-  auto runtime = std::make_unique<VsiteRuntime>();
+  auto runtime = std::make_shared<VsiteRuntime>();
   runtime->table = config.table.value_or(
       default_translation_table(config.system.architecture));
   runtime->config = std::move(config);
@@ -160,6 +160,10 @@ batch::BatchSubsystem& Njs::add_vsite(VsiteConfig config) {
   slot = std::move(runtime);
   slot->subsystem->set_metrics(metrics_.get(), usite_);
   return *slot->subsystem;
+}
+
+void Njs::share_vsites(Njs& primary) {
+  for (const auto& [name, runtime] : primary.vsites_) vsites_[name] = runtime;
 }
 
 std::vector<std::string> Njs::vsites() const {
@@ -306,15 +310,16 @@ Result<JobToken> Njs::admit(
 
   // Write-ahead: the journal record lands before any action dispatches
   // (dispatch runs behind engine events, never synchronously from here).
-  if (journal_it && journal_ != nullptr)
-    journal_->record_consigned(token, ref.job, user, user_certificate,
-                               idempotency_key, staged_files, engine_.now());
+  if (journal_it)
+    if (Journal* journal = journal_for(token))
+      journal->record_consigned(token, ref.job, user, user_certificate,
+                                idempotency_key, staged_files, engine_.now());
   if (!idempotency_key.empty())
     consign_keys_[std::move(idempotency_key)] = token;
 
   if (auto status = start_group(ref, ref.root); !status.ok()) {
     if (!ref.idempotency_key.empty()) consign_keys_.erase(ref.idempotency_key);
-    if (journal_ != nullptr) journal_->record_deleted(token);
+    if (Journal* journal = journal_for(token)) journal->record_deleted(token);
     jobs_.erase(token);
     --jobs_consigned_;
     return status.error();
@@ -353,7 +358,7 @@ Status Njs::start_group(JobRun& job, GroupRun& group) {
                           std::to_string(group.group->id());
   std::uint64_t quota =
       group.runtime != nullptr ? group.runtime->config.uspace_quota_bytes : 0;
-  group.workspace = make_workspace(directory, quota);
+  group.workspace = make_workspace(job.token, directory, quota);
 
   // Build the action table and the dependency counters.
   for (const auto& child : group.group->children()) {
@@ -629,10 +634,10 @@ void Njs::dispatch_execute_attempt(JobRun& job, GroupRun& group,
   run.batch_id = submitted.value();
   run.status = ActionStatus::kQueued;
   run.outcome.status = ActionStatus::kQueued;
-  if (journal_ != nullptr)
-    journal_->record_batch_submitted(token,
-                                     action_path(group, run.action->id()),
-                                     run.batch_id);
+  if (Journal* journal = journal_for(token))
+    journal->record_batch_submitted(token,
+                                    action_path(group, run.action->id()),
+                                    run.batch_id);
 }
 
 void Njs::dispatch_file_task(JobRun& job, GroupRun& group, ActionRun& run) {
@@ -911,10 +916,10 @@ void Njs::complete_action(JobRun& job, GroupRun& group, ActionRun& run,
     job.trace.annotate(run.span, "status", ajo::action_status_name(status));
     job.trace.end(run.span, engine_.now());
   }
-  if (journal_ != nullptr)
-    journal_->record_action_state(job.token,
-                                  action_path(group, run.outcome.action),
-                                  status);
+  if (Journal* journal = journal_for(job.token))
+    journal->record_action_state(job.token,
+                                 action_path(group, run.outcome.action),
+                                 status);
   --group.open_actions;
 
   if (status == ActionStatus::kSuccessful)
@@ -1099,8 +1104,8 @@ void Njs::finalize_if_done(JobRun& job) {
   UNICORE_INFO("njs/" + usite_)
       << "job " << job.token << " finished: "
       << ajo::action_status_name(aggregate);
-  if (journal_ != nullptr)
-    journal_->record_finalized(
+  if (Journal* journal = journal_for(job.token))
+    journal->record_finalized(
         job.token,
         build_outcome(job, job.root, ajo::QueryService::Detail::kTasks));
   if (job.on_final) {
@@ -1195,9 +1200,38 @@ void Njs::set_journal(std::shared_ptr<Journal> journal) {
   journal_ = std::move(journal);
 }
 
+void Njs::set_token_partition(std::uint64_t partition) {
+  partition_ = partition;
+  next_token_ = std::max(next_token_, token_partition_base(partition) + 1);
+}
+
+Journal* Njs::journal_for(ajo::JobToken token) const {
+  if (adopted_journals_.empty()) return journal_.get();
+  auto it = adopted_journals_.find(njs::token_partition(token));
+  if (it != adopted_journals_.end()) return it->second.get();
+  return journal_.get();
+}
+
+std::vector<Journal*> Njs::all_journals() const {
+  std::vector<Journal*> out;
+  if (journal_ != nullptr) out.push_back(journal_.get());
+  for (const auto& [partition, journal] : adopted_journals_)
+    if (journal != nullptr) out.push_back(journal.get());
+  return out;
+}
+
+std::optional<ajo::JobToken> Njs::consign_key_lookup(
+    const util::Bytes& key) const {
+  auto it = consign_keys_.find(key);
+  if (it == consign_keys_.end()) return std::nullopt;
+  return it->second;
+}
+
 std::shared_ptr<uspace::Uspace> Njs::make_workspace(
-    const std::string& directory, std::uint64_t quota_bytes) {
-  if (journal_ != nullptr) return journal_->workspace(directory, quota_bytes);
+    ajo::JobToken token, const std::string& directory,
+    std::uint64_t quota_bytes) {
+  if (Journal* journal = journal_for(token))
+    return journal->workspace(directory, quota_bytes);
   return std::make_shared<uspace::Uspace>(directory, quota_bytes);
 }
 
@@ -1225,13 +1259,10 @@ void Njs::crash() {
   UNICORE_INFO("njs/" + usite_) << "simulated crash (epoch " << epoch_ << ")";
 }
 
-Result<std::size_t> Njs::recover() {
-  if (journal_ == nullptr)
-    return util::make_error(ErrorCode::kFailedPrecondition,
-                            "no journal attached");
+std::size_t Njs::replay_journal(Journal& journal, bool own_partition) {
   std::size_t recovered = 0;
-  for (auto& image : journal_->recover()) {
-    next_token_ = std::max(next_token_, image.token + 1);
+  for (auto& image : journal.recover()) {
+    if (own_partition) next_token_ = std::max(next_token_, image.token + 1);
     if (jobs_.count(image.token) != 0) continue;  // already live
 
     if (image.outcome.has_value()) {
@@ -1252,7 +1283,7 @@ Result<std::size_t> Njs::recover() {
       std::uint64_t quota = 0;
       if (auto it = vsites_.find(run->job.vsite); it != vsites_.end())
         quota = it->second->config.uspace_quota_bytes;
-      run->root.workspace = make_workspace(directory, quota);
+      run->root.workspace = make_workspace(run->token, directory, quota);
       if (!image.idempotency_key.empty())
         consign_keys_[image.idempotency_key] = image.token;
       jobs_[image.token] = std::move(run);
@@ -1283,6 +1314,18 @@ Result<std::size_t> Njs::recover() {
     }
     ++recovered;
   }
+  return recovered;
+}
+
+Result<std::size_t> Njs::recover() {
+  if (journal_ == nullptr)
+    return util::make_error(ErrorCode::kFailedPrecondition,
+                            "no journal attached");
+  std::size_t recovered = replay_journal(*journal_, /*own_partition=*/true);
+  // Partitions adopted before the crash come back too — their journals
+  // are this replica's responsibility now.
+  for (auto& [partition, journal] : adopted_journals_)
+    recovered += replay_journal(*journal, /*own_partition=*/false);
   recoveries_ += recovered;
   if (recoveries_counter_ && recovered > 0)
     recoveries_counter_->add(static_cast<double>(recovered));
@@ -1294,6 +1337,30 @@ Result<std::size_t> Njs::recover() {
       << "recovered " << recovered << " job(s) from " << journal_->records()
       << " journal record(s)";
   return recovered;
+}
+
+Result<std::size_t> Njs::adopt(std::uint64_t partition,
+                               std::shared_ptr<Journal> journal) {
+  if (journal == nullptr)
+    return util::make_error(ErrorCode::kInvalidArgument,
+                            "adopt: no journal given");
+  if (partition == partition_)
+    return util::make_error(ErrorCode::kInvalidArgument,
+                            "adopt: partition " + std::to_string(partition) +
+                                " is this replica's own");
+  auto [it, inserted] = adopted_journals_.emplace(partition, journal);
+  if (!inserted)
+    return util::make_error(ErrorCode::kFailedPrecondition,
+                            "partition " + std::to_string(partition) +
+                                " already adopted here");
+  std::size_t adopted = replay_journal(*journal, /*own_partition=*/false);
+  ++adoptions_;
+  for (CrashParticipant* participant : crash_participants_)
+    participant->on_njs_adopt(*journal);
+  UNICORE_INFO("njs/" + usite_)
+      << "adopted partition " << partition << ": " << adopted
+      << " job(s) from " << journal->records() << " journal record(s)";
+  return adopted;
 }
 
 // ---- public services -------------------------------------------------------
@@ -1421,7 +1488,7 @@ Status Njs::control(JobToken token, ajo::ControlService::Command command) {
                                 "job still active; abort it first");
       if (!job.idempotency_key.empty())
         consign_keys_.erase(job.idempotency_key);
-      if (journal_ != nullptr) journal_->record_deleted(token);
+      if (Journal* journal = journal_for(token)) journal->record_deleted(token);
       jobs_.erase(it);
       return Status::ok_status();
     }

@@ -43,16 +43,34 @@
 
 namespace unicore::njs {
 
+/// Token-space striding for NJS partitioning (docs/SCALING.md): replica
+/// p of a Usite mints tokens in [p << kTokenPartitionShift,
+/// (p+1) << kTokenPartitionShift), so a token names its home partition
+/// and replicas never collide. A single-NJS Usite is partition 0 and
+/// keeps the familiar tokens 1, 2, 3, …
+constexpr unsigned kTokenPartitionShift = 40;
+
+constexpr std::uint64_t token_partition(ajo::JobToken token) {
+  return token >> kTokenPartitionShift;
+}
+constexpr ajo::JobToken token_partition_base(std::uint64_t partition) {
+  return static_cast<ajo::JobToken>(partition) << kTokenPartitionShift;
+}
+
 /// A subsystem whose in-memory state lives inside the NJS process and
 /// must die and be rebuilt with it (the transfer engine's open-transfer
 /// table). `on_njs_crash` fires after the NJS wiped its own state;
 /// `on_njs_recover` after jobs were rebuilt from the journal, so
 /// participants can fold their own journal records against live jobs.
+/// `on_njs_adopt` fires after the NJS adopted a dead peer replica's
+/// journal (handoff), so participants can fold that journal's records
+/// without wiping their own live state.
 class CrashParticipant {
  public:
   virtual ~CrashParticipant() = default;
   virtual void on_njs_crash() = 0;
   virtual void on_njs_recover() = 0;
+  virtual void on_njs_adopt(const Journal& journal) { (void)journal; }
 };
 
 /// One-line job record for the ListService.
@@ -108,6 +126,14 @@ class Njs {
 
   /// Registers a Vsite (one destination system) at this Usite.
   batch::BatchSubsystem& add_vsite(VsiteConfig config);
+
+  /// Shares every Vsite runtime of `primary` with this NJS: the batch
+  /// subsystems, Xspace volumes, and translation tables model the
+  /// destination systems themselves, which all NJS replicas of one
+  /// Usite front together. Required for journal handoff — re-attaching
+  /// an adopted batch submission needs the *same* BatchSubsystem
+  /// instance the dead replica submitted to.
+  void share_vsites(Njs& primary);
 
   std::vector<std::string> vsites() const;
   batch::BatchSubsystem* subsystem(const std::string& vsite);
@@ -222,6 +248,37 @@ class Njs {
   void set_journal(std::shared_ptr<Journal> journal);
   const std::shared_ptr<Journal>& journal() const { return journal_; }
 
+  // --- partitioning / handoff (docs/SCALING.md) ---------------------------
+
+  /// Places this replica's tokens at partition `p` of the token space;
+  /// call before the first consign. Partition 0 (the default) is the
+  /// single-NJS Usite.
+  void set_token_partition(std::uint64_t partition);
+  std::uint64_t token_partition() const { return partition_; }
+
+  /// The journal a token's records belong to: the replica's own journal
+  /// for its home partition, an adopted journal for a partition taken
+  /// over by handoff. nullptr when no journal is attached.
+  Journal* journal_for(ajo::JobToken token) const;
+  /// Own journal first, then every adopted one (no nulls).
+  std::vector<Journal*> all_journals() const;
+
+  /// Journal handoff: takes over partition `partition` of a dead peer
+  /// replica by replaying its journal — live jobs are re-admitted
+  /// through the normal dispatch path and re-attach to batch jobs the
+  /// dead replica already submitted (zero duplicate submissions);
+  /// terminal jobs are restored as records. The adopted journal keeps
+  /// receiving this partition's records afterwards (it is the
+  /// partition's log on the shared store). Returns jobs adopted.
+  util::Result<std::size_t> adopt(std::uint64_t partition,
+                                  std::shared_ptr<Journal> journal);
+  std::uint64_t adoptions() const { return adoptions_; }
+
+  /// Token a consign idempotency key already maps to, if any — lets the
+  /// routing layer send a retried consign to the replica that owns it.
+  std::optional<ajo::JobToken> consign_key_lookup(
+      const util::Bytes& key) const;
+
   /// Registers a subsystem that must be wiped on crash() and rebuilt on
   /// recover(). The pointer must outlive the NJS (or be removed by
   /// destroying the NJS first).
@@ -333,10 +390,18 @@ class Njs {
   /// action id), used as the journal's batch-submission key.
   static std::string action_path(const GroupRun& group, ajo::ActionId id);
 
-  /// Makes a workspace for `directory`: from the journal's durable
-  /// store when attached, otherwise a fresh in-memory Uspace.
-  std::shared_ptr<uspace::Uspace> make_workspace(const std::string& directory,
+  /// Makes a workspace for `directory`: from the durable store of the
+  /// token's journal when attached (an adopted job's directory resolves
+  /// on the dead replica's store, files intact), otherwise a fresh
+  /// in-memory Uspace.
+  std::shared_ptr<uspace::Uspace> make_workspace(ajo::JobToken token,
+                                                 const std::string& directory,
                                                  std::uint64_t quota_bytes);
+
+  /// Replays one journal's images into live/terminal jobs — the shared
+  /// core of recover() and adopt(). `own_partition` advances
+  /// next_token_ past replayed tokens (never for adopted partitions).
+  std::size_t replay_journal(Journal& journal, bool own_partition);
 
   sim::Time staging_delay(const GroupRun& group, std::uint64_t bytes) const;
 
@@ -354,10 +419,11 @@ class Njs {
   PeerLink* peer_link_ = nullptr;
   sim::Time dispatch_latency_ = sim::msec(50);
 
-  std::map<std::string, std::unique_ptr<VsiteRuntime>> vsites_;
+  std::map<std::string, std::shared_ptr<VsiteRuntime>> vsites_;
   std::map<std::string, double> accounting_;
   std::map<ajo::JobToken, std::unique_ptr<JobRun>> jobs_;
   ajo::JobToken next_token_ = 1;
+  std::uint64_t partition_ = 0;
   std::uint64_t jobs_consigned_ = 0;
   std::uint64_t jobs_completed_ = 0;
   StoragePolicy storage_policy_;
@@ -369,6 +435,8 @@ class Njs {
   // when the NJS has restarted since (the token alone is not enough —
   // recovery re-inserts the same token with fresh GroupRuns).
   std::shared_ptr<Journal> journal_;
+  std::map<std::uint64_t, std::shared_ptr<Journal>> adopted_journals_;
+  std::uint64_t adoptions_ = 0;
   std::uint64_t epoch_ = 0;
   std::map<util::Bytes, ajo::JobToken> consign_keys_;
   std::map<std::pair<ajo::JobToken, std::string>, batch::BatchJobId>

@@ -33,6 +33,8 @@ util::Error transport_error(const std::string& what) {
 
 struct UsiteServer::ClientSession {
   std::uint64_t id = 0;
+  /// Which gateway replica's listener accepted this session.
+  std::size_t gateway_index = 0;
   std::shared_ptr<net::SecureChannel> channel;
 };
 
@@ -72,23 +74,44 @@ UsiteServer::UsiteServer(sim::Engine& engine, net::Network& network,
       config_(std::move(config)),
       credential_(server_credential),
       gateway_(config_.name, std::move(trust), std::move(uudb)),
-      njs_(engine, rng_.fork(), config_.name, std::move(server_credential)),
+      njs_cluster_(engine, rng_, config_.name, std::move(server_credential),
+                   config_.njs_replicas == 0 ? 1 : config_.njs_replicas),
       session_broker_(gateway_, rng_),
-      metrics_(njs_.metrics()),
+      metrics_(njs_cluster_.primary().metrics()),
       xfer_manager_(engine, rng_),
-      xfer_service_(engine, njs_),
       ticket_manager_(rng_) {
-  njs_.set_peer_link(this);
-  njs_.add_crash_participant(&xfer_service_);
   // One content-addressed chunk store per Usite (it models the site's
   // disk array, shared by every Uspace): the NJS interns delivered
   // files into it and the transfer receiver dedups inbound chunks
   // against it.
   chunk_store_ = std::make_shared<store::ChunkStore>();
   chunk_store_->set_metrics(metrics_, config_.name);
-  njs_.set_chunk_store(chunk_store_);
-  xfer_service_.set_chunk_store(chunk_store_);
+  // Every NJS replica gets the site-wide wiring plus its own transfer
+  // receiver, ids strided to the replica's token partition.
+  for (std::size_t i = 0; i < njs_cluster_.replica_count(); ++i) {
+    njs::Njs& replica = njs_cluster_.replica(i);
+    replica.set_peer_link(this);
+    replica.set_chunk_store(chunk_store_);
+    auto service = std::make_unique<xfer::Service>(engine, replica);
+    service->set_id_partition(i);
+    service->set_chunk_store(chunk_store_);
+    replica.add_crash_participant(service.get());
+    xfer_services_.push_back(std::move(service));
+  }
+  njs_cluster_.set_metrics(metrics_);
+  // Gateway replicas 1..G-1 share replica 0's trust store, UUDB, and
+  // auth cache: one CRL push or UUDB edit is visible on every listener,
+  // and an identity cached by one replica is warm on all of them.
+  for (std::size_t g = 1; g < config_.gateway_replicas; ++g)
+    gateway_replicas_.push_back(std::make_unique<gateway::Gateway>(
+        config_.name, gateway_.shared_trust_store(), gateway_.shared_uudb(),
+        gateway_.shared_auth_cache()));
   gateway_.set_metrics(metrics_.get());
+  for (auto& replica : gateway_replicas_) replica->set_metrics(metrics_.get());
+  for (std::size_t g = 0; g < gateway_replica_count(); ++g)
+    gateway_ring_.add(std::to_string(g));
+  gateway_busy_until_.assign(gateway_replica_count(), 0);
+  njs_busy_until_.assign(njs_cluster_.replica_count(), 0);
   session_broker_.set_metrics(metrics_.get());
   xfer_manager_.set_metrics(metrics_.get(), config_.name);
   // Any trust change (new root, new CRL) instantly kills every session
@@ -99,9 +122,10 @@ UsiteServer::UsiteServer(sim::Engine& engine, net::Network& network,
 void UsiteServer::set_metrics(std::shared_ptr<obs::MetricsRegistry> registry) {
   if (registry == nullptr || registry == metrics_) return;
   metrics_ = std::move(registry);
-  njs_.set_metrics(metrics_);
+  njs_cluster_.set_metrics(metrics_);
   chunk_store_->set_metrics(metrics_, config_.name);
   gateway_.set_metrics(metrics_.get());
+  for (auto& replica : gateway_replicas_) replica->set_metrics(metrics_.get());
   session_broker_.set_metrics(metrics_.get());
   xfer_manager_.set_metrics(metrics_.get(), config_.name);
 }
@@ -112,11 +136,19 @@ Status UsiteServer::start() {
   if (started_)
     return util::make_error(ErrorCode::kFailedPrecondition,
                             "server already started");
-  auto status = network_.listen(
-      address(), [this](std::shared_ptr<net::Endpoint> endpoint) {
-        accept_session(std::move(endpoint));
-      });
-  if (!status.ok()) return status;
+  // Gateway replica g listens on port+g; every listener feeds the same
+  // session table, broker, and ticket mint, so a client may contact any
+  // of them (and resume tickets minted through any other).
+  for (std::size_t g = 0; g < gateway_replica_count(); ++g) {
+    net::Address listen_address{config_.gateway_host,
+                                static_cast<std::uint16_t>(config_.port + g)};
+    auto status = network_.listen(
+        listen_address, [this, g](std::shared_ptr<net::Endpoint> endpoint) {
+          accept_session(std::move(endpoint), g);
+        });
+    if (!status.ok()) return status;
+  }
+  Status status = Status::ok_status();
 
   if (config_.split()) {
     // The "IP socket connection to a site selectable port" between the
@@ -161,15 +193,33 @@ void UsiteServer::add_peer(const std::string& usite,
   peers_[usite] = std::move(gateway_address);
 }
 
+std::vector<net::Address> UsiteServer::gateway_addresses() const {
+  std::vector<net::Address> addresses;
+  for (std::size_t g = 0; g < 1 + gateway_replicas_.size(); ++g)
+    addresses.push_back({config_.gateway_host,
+                         static_cast<std::uint16_t>(config_.port + g)});
+  return addresses;
+}
+
+net::Address UsiteServer::route_address(
+    const crypto::DistinguishedName& dn) const {
+  const std::string* node = gateway_ring_.node_for(dn.to_string());
+  std::size_t index = node == nullptr ? 0 : std::stoul(*node);
+  return {config_.gateway_host,
+          static_cast<std::uint16_t>(config_.port + index)};
+}
+
 void UsiteServer::publish_bundle(crypto::SoftwareBundle bundle) {
   bundles_[bundle.name] = std::move(bundle);
 }
 
 // ---- inbound sessions -------------------------------------------------------
 
-void UsiteServer::accept_session(std::shared_ptr<net::Endpoint> endpoint) {
+void UsiteServer::accept_session(std::shared_ptr<net::Endpoint> endpoint,
+                                 std::size_t gateway_index) {
   auto session = std::make_shared<ClientSession>();
   session->id = next_session_id_++;
+  session->gateway_index = gateway_index;
 
   net::SecureChannel::Config channel_config;
   channel_config.credential = credential_;
@@ -205,6 +255,23 @@ void UsiteServer::accept_session(std::shared_ptr<net::Endpoint> endpoint) {
 }
 
 void UsiteServer::handle_session_message(
+    const std::shared_ptr<ClientSession>& session, Bytes&& wire) {
+  if (gateway_service_time_ > 0) {
+    // The replica is a serial server: this request waits for everything
+    // already queued on it, then occupies it for the service time.
+    std::size_t g = session->gateway_index;
+    sim::Time start = std::max(engine_.now(), gateway_busy_until_[g]);
+    gateway_busy_until_[g] = start + gateway_service_time_;
+    engine_.at(gateway_busy_until_[g],
+               [this, session, wire = std::move(wire)]() mutable {
+                 process_session_message(session, std::move(wire));
+               });
+    return;
+  }
+  process_session_message(session, std::move(wire));
+}
+
+void UsiteServer::process_session_message(
     const std::shared_ptr<ClientSession>& session, Bytes&& wire) {
   try {
     ByteReader reader{wire};
@@ -245,6 +312,10 @@ void UsiteServer::handle_request(const std::shared_ptr<ClientSession>& session,
                                  const std::optional<Bytes>& token) {
   std::int64_t now_epoch = net::epoch_seconds(engine_.now());
   std::uint64_t session_id = session->id;
+  // The replica whose listener carries this session authenticates it;
+  // all replicas share trust/UUDB/auth-cache state, so the answer is
+  // identical on any of them (and cache fills warm every listener).
+  gateway::Gateway& gw = gateway_replica(session->gateway_index);
 
   auto reply_error = [session](std::uint64_t request_id,
                                const util::Error& error) {
@@ -296,7 +367,7 @@ void UsiteServer::handle_request(const std::shared_ptr<ClientSession>& session,
   auto client_identity =
       [&]() -> Result<gateway::SessionIdentity> {
     if (token) return session_broker_.authenticate(*token, now_epoch);
-    auto user = gateway_.authenticate_user(
+    auto user = gw.authenticate_user(
         session->channel->peer_certificate(), now_epoch);
     if (!user) return user.error();
     return gateway::SessionIdentity{user.value(),
@@ -369,7 +440,7 @@ void UsiteServer::handle_request(const std::shared_ptr<ClientSession>& session,
                                "consigned action is not a job"));
         auto& job = static_cast<ajo::AbstractJobObject&>(*action.value());
         if (auto status =
-                gateway_.authorize_job(job, identity.value().user,
+                gw.authorize_job(job, identity.value().user,
                                        identity.value().certificate,
                                        now_epoch);
             !status.ok())
@@ -384,7 +455,7 @@ void UsiteServer::handle_request(const std::shared_ptr<ClientSession>& session,
       Bytes signed_wire = payload.raw(payload.remaining());
       auto signed_ajo = ajo::SignedAjo::decode(signed_wire);
       if (!signed_ajo) return reply_error(request_id, signed_ajo.error());
-      auto user = gateway_.check_consignment(signed_ajo.value(), now_epoch);
+      auto user = gw.check_consignment(signed_ajo.value(), now_epoch);
       if (!user) return reply_error(request_id, user.error());
       ByteWriter inner;
       inner.blob(ajo::encode_action(signed_ajo.value().job));
@@ -396,7 +467,7 @@ void UsiteServer::handle_request(const std::shared_ptr<ClientSession>& session,
       auto consignment = decode_forwarded(payload);
       if (!consignment) return reply_error(request_id, consignment.error());
       const auto& c = consignment.value();
-      auto user = gateway_.check_forwarded_consignment(
+      auto user = gw.check_forwarded_consignment(
           c.job, c.user_certificate, c.consignor_certificate, c.signature,
           njs::ForwardedConsignment::signing_input(c.job, c.user_certificate),
           now_epoch);
@@ -438,7 +509,7 @@ void UsiteServer::handle_request(const std::shared_ptr<ClientSession>& session,
     case RequestKind::kFetchFile:
     case RequestKind::kPeerControl: {
       // Peer-NJS operations: the channel peer must be a UNICORE server.
-      auto status = gateway_.authenticate_server(
+      auto status = gw.authenticate_server(
           session->channel->peer_certificate(), now_epoch);
       if (!status.ok()) return reply_error(request_id, status.error());
       gateway::AuthenticatedUser server_identity;
@@ -473,12 +544,12 @@ void UsiteServer::handle_request(const std::shared_ptr<ClientSession>& session,
       bool server_peer = role != xfer::Role::kClientPull;
       gateway::AuthenticatedUser principal;
       if (server_peer) {
-        auto status = gateway_.authenticate_server(
+        auto status = gw.authenticate_server(
             session->channel->peer_certificate(), now_epoch);
         if (!status.ok()) return reply_error(request_id, status.error());
         principal.dn = session->channel->peer_certificate().subject;
       } else {
-        auto user = gateway_.authenticate_user(
+        auto user = gw.authenticate_user(
             session->channel->peer_certificate(), now_epoch);
         if (!user) return reply_error(request_id, user.error());
         principal = user.value();
@@ -497,13 +568,46 @@ void UsiteServer::handle_request(const std::shared_ptr<ClientSession>& session,
 
 // ---- the NJS-side executor --------------------------------------------------
 
-Bytes UsiteServer::njs_execute(std::uint64_t session_id, ByteReader& packed) {
+Bytes UsiteServer::njs_execute(std::uint64_t session_id, ByteReader& packed,
+                               sim::Time* ready_at) {
   auto kind = static_cast<RequestKind>(packed.u8());
   std::uint64_t request_id = packed.u64();
   gateway::AuthenticatedUser user = decode_user(packed);
 
-  auto check_owner = [this, &user](JobToken token) -> Status {
-    auto owner = njs_.owner(token);
+  // Charges one admission to the token's owning replica (a serial
+  // server, like the gateway's service queue) and reports when that
+  // queue drains.
+  auto charge_admission = [this, ready_at](JobToken token) {
+    if (njs_admission_cost_ <= 0) return;
+    auto owner = njs_cluster_.owner_of(token);
+    if (!owner) return;
+    sim::Time start = std::max(engine_.now(), njs_busy_until_[*owner]);
+    njs_busy_until_[*owner] = start + njs_admission_cost_;
+    if (ready_at != nullptr) *ready_at = njs_busy_until_[*owner];
+  };
+
+  // Token-addressed requests go to the partition's current owner: the
+  // minting replica, or its adopter after a journal handoff. A dead,
+  // unadopted partition answers kUnavailable (clients retry; the peer
+  // link's idempotency keys make that safe).
+  auto njs_for = [this](JobToken token) -> njs::Njs* {
+    return njs_cluster_.replica_for_token(token);
+  };
+  auto replica_down = [request_id](JobToken token) {
+    return make_error_reply(
+        request_id,
+        util::make_error(ErrorCode::kUnavailable,
+                         "NJS replica owning job " + std::to_string(token) +
+                             " is down"));
+  };
+
+  auto check_owner = [&user, &njs_for](JobToken token) -> Status {
+    njs::Njs* replica = njs_for(token);
+    if (replica == nullptr)
+      return util::make_error(ErrorCode::kUnavailable,
+                              "NJS replica owning job " +
+                                  std::to_string(token) + " is down");
+    auto owner = replica->owner(token);
     if (!owner) return owner.error();
     if (owner.value() != user.dn)
       return util::make_error(ErrorCode::kPermissionDenied,
@@ -520,10 +624,11 @@ Bytes UsiteServer::njs_execute(std::uint64_t session_id, ByteReader& packed) {
         Bytes cert_der = packed.blob();
         auto cert = crypto::Certificate::from_der(cert_der);
         if (!cert) return make_error_reply(request_id, cert.error());
-        auto token = njs_.consign(
+        auto token = njs_cluster_.consign(
             static_cast<ajo::AbstractJobObject&>(*action.value()), user,
             cert.value());
         if (!token) return make_error_reply(request_id, token.error());
+        charge_admission(token.value());
         ByteWriter out;
         out.u64(token.value());
         return make_ok_reply(request_id, out.bytes());
@@ -537,7 +642,7 @@ Bytes UsiteServer::njs_execute(std::uint64_t session_id, ByteReader& packed) {
         // retried kForwardConsign (sender timed out, we had accepted)
         // maps onto the existing job and returns its original token.
         Bytes key = c.idempotency_key();
-        auto token = njs_.consign(
+        auto token = njs_cluster_.consign(
             c.job, user, c.user_certificate,
             [this, session_id](JobToken token, const ajo::Outcome& outcome) {
               notify_session_raw(session_id,
@@ -545,6 +650,7 @@ Bytes UsiteServer::njs_execute(std::uint64_t session_id, ByteReader& packed) {
             },
             std::move(c.staged_files), std::move(key));
         if (!token) return make_error_reply(request_id, token.error());
+        charge_admission(token.value());
         ByteWriter out;
         out.u64(token.value());
         return make_ok_reply(request_id, out.bytes());
@@ -554,14 +660,14 @@ Bytes UsiteServer::njs_execute(std::uint64_t session_id, ByteReader& packed) {
         auto detail = static_cast<ajo::QueryService::Detail>(packed.u8());
         if (auto status = check_owner(token); !status.ok())
           return make_error_reply(request_id, status.error());
-        auto outcome = njs_.query(token, detail);
+        auto outcome = njs_for(token)->query(token, detail);
         if (!outcome) return make_error_reply(request_id, outcome.error());
         ByteWriter out;
         outcome.value().encode(out);
         return make_ok_reply(request_id, out.bytes());
       }
       case RequestKind::kList: {
-        auto summaries = njs_.list(user.dn);
+        auto summaries = njs_cluster_.list(user.dn);
         ByteWriter out;
         out.varint(summaries.size());
         for (const auto& summary : summaries) {
@@ -577,7 +683,8 @@ Bytes UsiteServer::njs_execute(std::uint64_t session_id, ByteReader& packed) {
         auto command = static_cast<ajo::ControlService::Command>(packed.u8());
         if (auto status = check_owner(token); !status.ok())
           return make_error_reply(request_id, status.error());
-        if (auto status = njs_.control(token, command); !status.ok())
+        if (auto status = njs_for(token)->control(token, command);
+            !status.ok())
           return make_error_reply(request_id, status.error());
         return make_ok_reply(request_id, {});
       }
@@ -586,14 +693,14 @@ Bytes UsiteServer::njs_execute(std::uint64_t session_id, ByteReader& packed) {
         std::string name = packed.str();
         if (auto status = check_owner(token); !status.ok())
           return make_error_reply(request_id, status.error());
-        auto blob = njs_.read_output(token, name);
+        auto blob = njs_for(token)->read_output(token, name);
         if (!blob) return make_error_reply(request_id, blob.error());
         ByteWriter out;
         blob.value().encode(out);
         return make_ok_reply(request_id, out.bytes());
       }
       case RequestKind::kResourcePages: {
-        auto pages = njs_.resource_pages();
+        auto pages = njs_cluster_.primary().resource_pages();
         ByteWriter out;
         out.varint(pages.size());
         for (const auto& page : pages) out.blob(page.encode());
@@ -603,7 +710,9 @@ Bytes UsiteServer::njs_execute(std::uint64_t session_id, ByteReader& packed) {
         JobToken token = packed.u64();
         std::string name = packed.str();
         uspace::FileBlob blob = uspace::FileBlob::decode(packed);
-        if (auto status = njs_.deliver_file(token, name, std::move(blob));
+        njs::Njs* replica = njs_for(token);
+        if (replica == nullptr) return replica_down(token);
+        if (auto status = replica->deliver_file(token, name, std::move(blob));
             !status.ok())
           return make_error_reply(request_id, status.error());
         return make_ok_reply(request_id, {});
@@ -611,7 +720,9 @@ Bytes UsiteServer::njs_execute(std::uint64_t session_id, ByteReader& packed) {
       case RequestKind::kFetchFile: {
         JobToken token = packed.u64();
         std::string name = packed.str();
-        auto blob = njs_.fetch_file(token, name);
+        njs::Njs* replica = njs_for(token);
+        if (replica == nullptr) return replica_down(token);
+        auto blob = replica->fetch_file(token, name);
         if (!blob) return make_error_reply(request_id, blob.error());
         ByteWriter out;
         blob.value().encode(out);
@@ -622,14 +733,18 @@ Bytes UsiteServer::njs_execute(std::uint64_t session_id, ByteReader& packed) {
         auto command = static_cast<ajo::ControlService::Command>(packed.u8());
         // Authorised by the gateway's server authentication; the job was
         // consigned here by the requesting NJS in the first place.
-        if (auto status = njs_.control(token, command); !status.ok())
+        njs::Njs* replica = njs_for(token);
+        if (replica == nullptr) return replica_down(token);
+        if (auto status = replica->control(token, command); !status.ok())
           return make_error_reply(request_id, status.error());
         return make_ok_reply(request_id, {});
       }
       case RequestKind::kMonitorMetrics: {
         // MonitorService: a point-in-time snapshot of every metric the
         // Usite (and, with a shared registry, the whole grid) recorded.
-        njs_.refresh_gauges();
+        for (std::size_t i = 0; i < njs_cluster_.replica_count(); ++i)
+          njs_cluster_.replica(i).refresh_gauges();
+        njs_cluster_.refresh_gauges();
         obs::MetricsSnapshot snapshot = metrics_->snapshot();
         ByteWriter out;
         snapshot.encode(out);
@@ -639,21 +754,32 @@ Bytes UsiteServer::njs_execute(std::uint64_t session_id, ByteReader& packed) {
         JobToken token = packed.u64();
         if (auto status = check_owner(token); !status.ok())
           return make_error_reply(request_id, status.error());
-        auto timeline = njs_.trace(token);
+        auto timeline = njs_for(token)->trace(token);
         if (!timeline) return make_error_reply(request_id, timeline.error());
         ByteWriter out;
         timeline.value()->encode(out);
         return make_ok_reply(request_id, out.bytes());
       }
       case RequestKind::kJournalInspect: {
-        // Recovery diagnostics: journal depth plus the fault counters.
+        // Recovery diagnostics: journal depth plus the fault counters,
+        // summed across the replica set.
         ByteWriter out;
-        auto journal = njs_.journal();
+        auto journal = njs_cluster_.primary().journal();
+        std::size_t records = 0;
+        std::uint64_t recoveries = 0, deduped = 0, retries = 0;
+        for (std::size_t i = 0; i < njs_cluster_.replica_count(); ++i) {
+          const njs::Njs& replica = njs_cluster_.replica(i);
+          if (replica.journal() != nullptr)
+            records += replica.journal()->records();
+          recoveries += replica.recoveries();
+          deduped += replica.consigns_deduped();
+          retries += replica.batch_retries();
+        }
         out.u8(journal != nullptr ? 1 : 0);
-        out.varint(journal != nullptr ? journal->records() : 0);
-        out.u64(njs_.recoveries());
-        out.u64(njs_.consigns_deduped());
-        out.u64(njs_.batch_retries());
+        out.varint(records);
+        out.u64(recoveries);
+        out.u64(deduped);
+        out.u64(retries);
         return make_ok_reply(request_id, out.bytes());
       }
       case RequestKind::kXferOpen:
@@ -661,18 +787,50 @@ Bytes UsiteServer::njs_execute(std::uint64_t session_id, ByteReader& packed) {
       case RequestKind::kXferClose: {
         bool server_peer = packed.u8() != 0;
         auto role = static_cast<xfer::Role>(packed.u8());
+        // Route to the partition owner's transfer receiver. Opens carry
+        // the job token, so they follow the job — after a handoff that
+        // is the adopter. Chunks and closes carry the transfer id,
+        // which is strided by the service that minted it; an id from a
+        // crashed replica's table answers kNotFound and the sender
+        // re-opens by durable key (landing on the adopter).
+        std::size_t target = 0;
+        {
+          ByteReader peek = packed;  // routing must not consume the body
+          if (kind == RequestKind::kXferOpen) {
+            JobToken token;
+            if (role == xfer::Role::kPush) {
+              peek.blob();  // transfer key
+              token = peek.u64();
+            } else {
+              token = peek.u64();
+            }
+            auto owner = njs_cluster_.owner_of(token);
+            if (!owner) return replica_down(token);
+            target = *owner;
+          } else {
+            std::uint64_t transfer_id = peek.u64();
+            std::uint64_t partition =
+                transfer_id >> njs::kTokenPartitionShift;
+            if (partition >= xfer_services_.size())
+              return make_error_reply(
+                  request_id,
+                  util::make_error(ErrorCode::kNotFound,
+                                   "no such transfer id"));
+            target = partition;
+          }
+        }
+        xfer::Service& service = *xfer_services_[target];
         Result<Bytes> reply =
             kind == RequestKind::kXferOpen
-                ? xfer_service_.open(user.dn, server_peer, role, packed)
+                ? service.open(user.dn, server_peer, role, packed)
                 : kind == RequestKind::kXferChunk
-                      ? xfer_service_.chunk(user.dn, server_peer, role, packed)
-                      : xfer_service_.close(user.dn, server_peer, role,
-                                            packed);
+                      ? service.chunk(user.dn, server_peer, role, packed)
+                      : service.close(user.dn, server_peer, role, packed);
         if (!reply) return make_error_reply(request_id, reply.error());
         return make_ok_reply(request_id, reply.value());
       }
       case RequestKind::kStorageList: {
-        auto storages = njs_.storages(user.dn);
+        auto storages = njs_cluster_.storages(user.dn);
         ByteWriter out;
         out.varint(storages.size());
         for (const auto& storage : storages) {
@@ -691,7 +849,7 @@ Bytes UsiteServer::njs_execute(std::uint64_t session_id, ByteReader& packed) {
         JobToken token = packed.u64();
         if (auto status = check_owner(token); !status.ok())
           return make_error_reply(request_id, status.error());
-        auto files = njs_.storage_files(token);
+        auto files = njs_for(token)->storage_files(token);
         if (!files) return make_error_reply(request_id, files.error());
         ByteWriter out;
         out.varint(files.value().size());
@@ -702,7 +860,7 @@ Bytes UsiteServer::njs_execute(std::uint64_t session_id, ByteReader& packed) {
         JobToken token = packed.u64();
         if (auto status = check_owner(token); !status.ok())
           return make_error_reply(request_id, status.error());
-        auto freed = njs_.reap_storage(token);
+        auto freed = njs_for(token)->reap_storage(token);
         if (!freed) return make_error_reply(request_id, freed.error());
         ByteWriter out;
         out.u64(freed.value());
@@ -728,7 +886,19 @@ void UsiteServer::execute_at_njs(std::uint64_t session_id, Bytes packed,
                                  std::function<void(Bytes)> reply) {
   if (!config_.split() || pipe_client_ == nullptr) {
     ByteReader reader{packed};
-    reply(njs_execute(session_id, reader));
+    sim::Time ready_at = 0;
+    Bytes out = njs_execute(session_id, reader, &ready_at);
+    // An admission-cost model holds the consign ack until the owning
+    // replica's queue drains — that back-pressure is what the closed-
+    // loop generators measure.
+    if (ready_at > engine_.now()) {
+      engine_.at(ready_at, [reply = std::move(reply),
+                            out = std::move(out)]() mutable {
+        reply(std::move(out));
+      });
+      return;
+    }
+    reply(std::move(out));
     return;
   }
   std::uint64_t pipe_id = next_pipe_id_++;
@@ -749,12 +919,20 @@ void UsiteServer::handle_pipe_server_message(Bytes&& wire) {
     if (type != kPipeRequest) return;
     std::uint64_t pipe_id = reader.u64();
     std::uint64_t session_id = reader.u64();
-    Bytes reply = njs_execute(session_id, reader);
+    sim::Time ready_at = 0;
+    Bytes reply = njs_execute(session_id, reader, &ready_at);
     ByteWriter w;
     w.u8(kPipeReply);
     w.u64(pipe_id);
     w.raw(reply);
-    if (pipe_server_) pipe_server_->send(w.take());
+    Bytes framed = w.take();
+    if (ready_at > engine_.now()) {
+      engine_.at(ready_at, [this, framed = std::move(framed)]() mutable {
+        if (pipe_server_) pipe_server_->send(std::move(framed));
+      });
+      return;
+    }
+    if (pipe_server_) pipe_server_->send(std::move(framed));
   } catch (const std::out_of_range&) {
     UNICORE_WARN("server/" + config_.name) << "malformed pipe request";
   }

@@ -19,6 +19,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "crypto/bundle.h"
 #include "gateway/gateway.h"
@@ -27,12 +28,14 @@
 #include "net/network.h"
 #include "net/secure_channel.h"
 #include "net/session.h"
+#include "njs/cluster.h"
 #include "njs/njs.h"
 #include "njs/peer_link.h"
 #include "obs/metrics.h"
 #include "server/protocol.h"
 #include "server/xfer_transport.h"
 #include "store/chunk_store.h"
+#include "util/chash.h"
 #include "util/result.h"
 #include "util/retry.h"
 #include "xfer/service.h"
@@ -48,6 +51,15 @@ struct UsiteConfig {
   /// the NJS runs on this host behind the firewall.
   std::string njs_host;
   std::uint16_t njs_port = 7700;  // the "site selectable port"
+
+  // Horizontal scale-out (docs/SCALING.md). Gateway replica g listens
+  // on port+g; all replicas share the trust store, UUDB, auth cache,
+  // session broker, and ticket mint, so any client token or resumption
+  // ticket validates on any replica. NJS replica i owns partition i of
+  // the token space; consignments hash across the alive replicas and a
+  // replica failure hands its journal to a surviving peer.
+  std::size_t gateway_replicas = 1;
+  std::size_t njs_replicas = 1;
 
   bool split() const {
     return !njs_host.empty() && njs_host != gateway_host;
@@ -74,9 +86,39 @@ class UsiteServer : public njs::PeerLink {
   const UsiteConfig& config() const { return config_; }
   net::Address address() const { return {config_.gateway_host, config_.port}; }
   gateway::Gateway& gateway() { return gateway_; }
-  njs::Njs& njs() { return njs_; }
+  njs::Njs& njs() { return njs_cluster_.primary(); }
   /// The portal-session mint/validator (docs/PORTAL.md).
   gateway::SessionBroker& session_broker() { return session_broker_; }
+
+  // --- scale-out (docs/SCALING.md) ------------------------------------
+
+  /// The NJS replica set behind this Usite (primary() == njs()).
+  njs::NjsCluster& njs_cluster() { return njs_cluster_; }
+  /// Gateway replica `index` (0 == gateway()); all replicas share auth
+  /// state, so they differ only in listener address and audit trail.
+  gateway::Gateway& gateway_replica(std::size_t index) {
+    return index == 0 ? gateway_ : *gateway_replicas_[index - 1];
+  }
+  std::size_t gateway_replica_count() const {
+    return 1 + gateway_replicas_.size();
+  }
+  /// Every public listener address, replica order (port, port+1, …).
+  std::vector<net::Address> gateway_addresses() const;
+  /// The listener a client with `dn` should contact: consistent-hash
+  /// routing over the replica addresses.
+  net::Address route_address(const crypto::DistinguishedName& dn) const;
+
+  /// Modeled per-request processing cost of one gateway replica. Each
+  /// replica is a serial server: its requests queue behind each other
+  /// (M/D/1 per replica), so adding replicas adds real capacity. 0 (the
+  /// default) models infinitely fast gateways — exactly the pre-scale-
+  /// out behaviour.
+  void set_gateway_service_time(sim::Time cost) {
+    gateway_service_time_ = cost;
+  }
+  /// Modeled per-consignment admission cost of one NJS replica,
+  /// serialized per replica like the gateway service time. 0 default.
+  void set_njs_admission_cost(sim::Time cost) { njs_admission_cost_ = cost; }
 
   /// Installs default-deny firewall rules for a split deployment: only
   /// the gateway host may reach the NJS port.
@@ -183,7 +225,11 @@ class UsiteServer : public njs::PeerLink {
   }
   std::uint64_t advertised_features() const { return advertised_features_; }
 
-  xfer::Service& xfer_service() { return xfer_service_; }
+  xfer::Service& xfer_service() { return *xfer_services_[0]; }
+  /// NJS replica `index`'s transfer receiver (0 == xfer_service()).
+  xfer::Service& xfer_service_replica(std::size_t index) {
+    return *xfer_services_[index];
+  }
   xfer::TransferManager& transfer_manager() { return xfer_manager_; }
   /// The site's content-addressed chunk store (shared by the NJS and
   /// the transfer receiver). Configure spill/budget through it.
@@ -199,9 +245,14 @@ class UsiteServer : public njs::PeerLink {
   struct PeerConnection;
   struct PendingPipeRequest;
 
-  void accept_session(std::shared_ptr<net::Endpoint> endpoint);
+  void accept_session(std::shared_ptr<net::Endpoint> endpoint,
+                      std::size_t gateway_index);
+  /// Entry point for inbound session messages: applies the gateway
+  /// replica's modeled service-time queue, then processes.
   void handle_session_message(const std::shared_ptr<ClientSession>& session,
                               util::Bytes&& wire);
+  void process_session_message(const std::shared_ptr<ClientSession>& session,
+                               util::Bytes&& wire);
   /// `token` carries the session-token blob of a kTokenRequest envelope
   /// (portal facade); empty for plain kRequest messages.
   void handle_request(const std::shared_ptr<ClientSession>& session,
@@ -213,8 +264,12 @@ class UsiteServer : public njs::PeerLink {
   /// request crosses the internal pipe; combined, it executes directly.
   void execute_at_njs(std::uint64_t session_id, util::Bytes packed,
                       std::function<void(util::Bytes)> reply);
-  /// The NJS-side executor (runs on the NJS host).
-  util::Bytes njs_execute(std::uint64_t session_id, util::ByteReader& packed);
+  /// The NJS-side executor (runs on the NJS host). When a consignment
+  /// is admitted under a modeled admission cost, `*ready_at` is set to
+  /// when the owning replica's admission queue drains — the caller
+  /// holds the reply until then.
+  util::Bytes njs_execute(std::uint64_t session_id, util::ByteReader& packed,
+                          sim::Time* ready_at = nullptr);
   /// Sends a raw wire message (reply or notification) toward a session,
   /// crossing the pipe first when running split.
   void notify_session_raw(std::uint64_t session_id, util::Bytes wire);
@@ -264,11 +319,23 @@ class UsiteServer : public njs::PeerLink {
   UsiteConfig config_;
   crypto::Credential credential_;
   gateway::Gateway gateway_;
-  njs::Njs njs_;
+  /// Gateway replicas 1..G-1 (replica 0 is gateway_); they share
+  /// gateway_'s trust store, UUDB, and auth cache.
+  std::vector<std::unique_ptr<gateway::Gateway>> gateway_replicas_;
+  /// Consistent-hash ring over the replica indices for route_address.
+  util::ConsistentHash gateway_ring_;
+  /// Modeled service-time queues (one serial server per replica).
+  sim::Time gateway_service_time_ = 0;
+  sim::Time njs_admission_cost_ = 0;
+  std::vector<sim::Time> gateway_busy_until_;
+  std::vector<sim::Time> njs_busy_until_;
+  njs::NjsCluster njs_cluster_;
   gateway::SessionBroker session_broker_;
   std::shared_ptr<obs::MetricsRegistry> metrics_;
   xfer::TransferManager xfer_manager_;
-  xfer::Service xfer_service_;
+  /// One transfer receiver per NJS replica, ids strided to its
+  /// partition so chunks and closes route back to their minter.
+  std::vector<std::unique_ptr<xfer::Service>> xfer_services_;
   std::shared_ptr<store::ChunkStore> chunk_store_;
   xfer::TransferOptions transfer_options_;
   std::uint64_t transfer_threshold_ = 4ull * 1024 * 1024;

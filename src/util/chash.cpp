@@ -1,0 +1,48 @@
+#include "util/chash.h"
+
+namespace unicore::util {
+namespace {
+
+std::uint64_t fnv1a(const std::string& text) {
+  std::uint64_t hash = 14695981039346656037ull;
+  for (unsigned char c : text) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+std::string vnode_key(const std::string& node, std::size_t replica) {
+  return node + "#" + std::to_string(replica);
+}
+
+}  // namespace
+
+void ConsistentHash::add(const std::string& node) {
+  bool fresh = false;
+  for (std::size_t i = 0; i < vnodes_; ++i)
+    fresh = ring_.emplace(fnv1a(vnode_key(node, i)), node).second || fresh;
+  if (fresh) ++nodes_;
+}
+
+void ConsistentHash::remove(const std::string& node) {
+  std::size_t removed = 0;
+  for (auto it = ring_.begin(); it != ring_.end();) {
+    if (it->second == node) {
+      it = ring_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  if (removed != 0 && nodes_ != 0) --nodes_;
+}
+
+const std::string* ConsistentHash::node_for(const std::string& key) const {
+  if (ring_.empty()) return nullptr;
+  auto it = ring_.lower_bound(fnv1a(key));
+  if (it == ring_.end()) it = ring_.begin();  // wrap around the ring
+  return &it->second;
+}
+
+}  // namespace unicore::util

@@ -1,0 +1,36 @@
+// Consistent-hash ring (docs/SCALING.md): clients of a scaled-out Usite
+// pick which gateway replica to connect to by hashing their identity
+// onto a ring of virtual nodes. Adding or removing one replica moves
+// only ~1/N of the keys — every other client keeps its gateway, its
+// warm secure-channel session cache entry, and its resumption tickets.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace unicore::util {
+
+class ConsistentHash {
+ public:
+  /// `vnodes` virtual points per node; more points = smoother balance.
+  explicit ConsistentHash(std::size_t vnodes = 64) : vnodes_(vnodes) {}
+
+  void add(const std::string& node);
+  void remove(const std::string& node);
+
+  /// The node owning `key`: the first virtual point at or clockwise of
+  /// the key's hash. nullptr while the ring is empty. The pointer is
+  /// invalidated by add/remove.
+  const std::string* node_for(const std::string& key) const;
+
+  std::size_t size() const { return nodes_; }
+  bool empty() const { return ring_.empty(); }
+
+ private:
+  std::size_t vnodes_;
+  std::size_t nodes_ = 0;
+  std::map<std::uint64_t, std::string> ring_;
+};
+
+}  // namespace unicore::util

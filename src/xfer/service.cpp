@@ -146,8 +146,8 @@ Result<Bytes> Service::open_push(const crypto::DistinguishedName& principal,
   if (store_ != nullptr) incoming->assembly.attach_store(store_);
   incoming->id = next_id_++;
   incoming->opened_at = engine_.now();
-  if (njs_.journal() != nullptr)
-    journal_manifest(*njs_.journal(), incoming->manifest);
+  if (njs::Journal* journal = njs_.journal_for(incoming->manifest.token))
+    journal_manifest(*journal, incoming->manifest);
   // Dedup at open: chunks the store already holds are reported in the
   // reply's `have` ranges — for an unchanged dataset the sender goes
   // straight to close without pushing a byte of payload.
@@ -236,8 +236,8 @@ Result<Bytes> Service::chunk(const crypto::DistinguishedName& principal,
     if (!accepted.ok()) return accepted.error();
     // Write-ahead: the chunk must be durable before the ack can leave —
     // a crash after this append answers the retransmit as a duplicate.
-    if (njs_.journal() != nullptr)
-      journal_chunk(*njs_.journal(), incoming.manifest, request.chunk);
+    if (njs::Journal* journal = njs_.journal_for(incoming.manifest.token))
+      journal_chunk(*journal, incoming.manifest, request.chunk);
     ++chunks_applied_;
     update_gauges();
     reply.applied = true;
@@ -313,8 +313,8 @@ Result<Bytes> Service::close_push(const crypto::DistinguishedName& principal,
       std::make_shared<const uspace::FileBlob>(std::move(blob).value()));
   if (!status.ok()) return status.error();
 
-  if (njs_.journal() != nullptr)
-    journal_done(*njs_.journal(), incoming->manifest);
+  if (njs::Journal* journal = njs_.journal_for(incoming->manifest.token))
+    journal_done(*journal, incoming->manifest);
   njs_.record_transfer_span(
       incoming->manifest.token, "xfer-in", incoming->opened_at, engine_.now(),
       {{"file", incoming->manifest.name},
@@ -352,10 +352,19 @@ void Service::on_njs_crash() {
 }
 
 void Service::on_njs_recover() {
-  if (njs_.journal() == nullptr) return;
-  for (util::Bytes& key : completed_transfer_keys(*njs_.journal()))
+  for (njs::Journal* journal : njs_.all_journals()) fold_journal(*journal);
+}
+
+void Service::on_njs_adopt(const njs::Journal& journal) {
+  fold_journal(journal);
+}
+
+void Service::fold_journal(const njs::Journal& journal) {
+  for (util::Bytes& key : completed_transfer_keys(journal))
     completed_.insert(std::move(key));
-  for (RecoveredTransfer& recovered : recover_transfers(*njs_.journal())) {
+  for (RecoveredTransfer& recovered : recover_transfers(journal)) {
+    // Already live here (adopt fold beside open transfers) — keep it.
+    if (incoming_.count(recovered.manifest.key) != 0) continue;
     // The target job must have survived recovery too.
     if (!njs_.owner(recovered.manifest.token).ok()) continue;
     auto incoming = std::make_unique<Incoming>();

@@ -53,6 +53,14 @@ class Service : public njs::CrashParticipant {
   void set_limits(const Limits& limits) { limits_ = limits; }
   const Limits& limits() const { return limits_; }
 
+  /// Places this service's transfer ids at partition `p` of the id
+  /// space (striding mirrors njs::kTokenPartitionShift), so the server
+  /// layer can route a chunk or close by its transfer id to the NJS
+  /// replica whose service minted it. Call before the first open.
+  void set_id_partition(std::uint64_t partition) {
+    next_id_ = (partition << njs::kTokenPartitionShift) + 1;
+  }
+
   /// Attaches the site's content-addressed store: inbound assemblies
   /// intern chunks into it, and push opens carrying a digest manifest
   /// are satisfied from it (already-present chunks are acked in the
@@ -78,9 +86,11 @@ class Service : public njs::CrashParticipant {
                                   util::ByteReader& r);
 
   // CrashParticipant: the table dies with the NJS process and is
-  // rebuilt from the journal.
+  // rebuilt from the journal; an adopted journal's half-finished
+  // transfers fold in beside the live ones (handoff).
   void on_njs_crash() override;
   void on_njs_recover() override;
+  void on_njs_adopt(const njs::Journal& journal) override;
 
   // Introspection for tests and gauges.
   std::size_t inbound_open() const { return incoming_.size(); }
@@ -122,6 +132,7 @@ class Service : public njs::CrashParticipant {
   void touch_outgoing(Outgoing& outgoing);
   void drop_incoming(Incoming& incoming);
   void update_gauges();
+  void fold_journal(const njs::Journal& journal);
 
   std::uint64_t satisfy_open(Incoming& incoming,
                              const PushOpenRequest& request);

@@ -300,5 +300,63 @@ TEST_F(GatewayFixture, AuditTrailRecordsDecisions) {
   EXPECT_NE(log.back().detail.find("project-z"), std::string::npos);
 }
 
+// A UUDB edit must only invalidate cached identities in the edited
+// entry's *shard* — every other shard's cache entries stay hot. This is
+// the regression guard for the sharded generation counters
+// (gateway/uudb.h): before sharding, any edit bumped one global
+// generation and cold-started the whole auth cache.
+TEST_F(GatewayFixture, UudbEditInvalidatesOnlyTheEditedShard) {
+  // Mint users until one lands in a different UUDB shard than Jane.
+  crypto::Credential other;
+  for (int i = 0; i < 64; ++i) {
+    crypto::DistinguishedName candidate = dn("User" + std::to_string(i));
+    if (gateway.uudb().shard_of(candidate) ==
+        gateway.uudb().shard_of(dn("Jane")))
+      continue;
+    other = ca.issue_credential(
+        candidate, rng, kEpoch, kYear,
+        crypto::kUsageClientAuth | crypto::kUsageDigitalSignature);
+    gateway.uudb().add_mapping(candidate, {"ucother", {"project-a"}});
+    break;
+  }
+  ASSERT_FALSE(other.certificate.subject.common_name.empty());
+
+  // Warm both identities, then prove the second lookups are hits.
+  ASSERT_TRUE(gateway.authenticate_user(user.certificate, kEpoch + 1).ok());
+  ASSERT_TRUE(gateway.authenticate_user(other.certificate, kEpoch + 1).ok());
+  std::uint64_t hits = gateway.auth_cache_hits();
+  ASSERT_TRUE(gateway.authenticate_user(user.certificate, kEpoch + 2).ok());
+  ASSERT_TRUE(gateway.authenticate_user(other.certificate, kEpoch + 2).ok());
+  ASSERT_EQ(gateway.auth_cache_hits(), hits + 2);
+
+  // Edit Jane's mapping: her shard's generation bumps, the other
+  // shard's does not.
+  gateway.uudb().add_mapping(dn("Jane"), {"ucjane2", {"project-a"}});
+  std::uint64_t misses = gateway.auth_cache_misses();
+  hits = gateway.auth_cache_hits();
+
+  // Jane re-validates (miss) and picks up the new login; the other
+  // user's cached identity is still served hot.
+  auto jane = gateway.authenticate_user(user.certificate, kEpoch + 3);
+  ASSERT_TRUE(jane.ok());
+  EXPECT_EQ(jane.value().login, "ucjane2");
+  EXPECT_EQ(gateway.auth_cache_misses(), misses + 1);
+  auto warm = gateway.authenticate_user(other.certificate, kEpoch + 3);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm.value().login, "ucother");
+  EXPECT_EQ(gateway.auth_cache_hits(), hits + 1);
+}
+
+TEST_F(GatewayFixture, AuthShardGaugesArePublished) {
+  obs::MetricsRegistry registry;
+  gateway.set_metrics(&registry);
+  ASSERT_TRUE(gateway.authenticate_user(user.certificate, kEpoch + 1).ok());
+  ASSERT_TRUE(gateway.authenticate_user(user.certificate, kEpoch + 2).ok());
+  auto snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.total("unicore_gateway_auth_shard_entries"), 1.0);
+  EXPECT_EQ(snapshot.total("unicore_gateway_auth_shard_hits"), 1.0);
+  EXPECT_GE(snapshot.total("unicore_gateway_auth_shard_misses"), 1.0);
+}
+
 }  // namespace
 }  // namespace unicore::gateway

@@ -233,13 +233,27 @@ TEST(Portal, NewUudbMappingRefreshesSessionIdentity) {
   ASSERT_TRUE(client.list_storages().ok());
   EXPECT_GT(site.server->session_broker().fast_validations(), fast_before);
 
-  // An unrelated UUDB edit bumps the generation; the session survives
-  // (the user is still mapped) but the validation takes the slow path
-  // once before the new stamps make it fast again.
+  // A UUDB edit in *another* shard no longer touches this session's
+  // generation stamp: the fast path stays fast.
   crypto::Credential other =
       site.grid.create_user("Max Mustermann", "Test Org", "max@example.de");
   (void)site.grid.map_user(other.certificate.subject, SingleSite::kUsite,
                            "ucmax", {"project-a"});
+  const auto& uudb = site.server->gateway().uudb();
+  if (uudb.shard_of(site.user.certificate.subject) !=
+      uudb.shard_of(other.certificate.subject)) {
+    std::uint64_t fast_after_other =
+        site.server->session_broker().fast_validations();
+    ASSERT_TRUE(client.list_storages().ok());
+    EXPECT_GT(site.server->session_broker().fast_validations(),
+              fast_after_other);
+  }
+
+  // An edit to the session user's *own* mapping bumps their shard; the
+  // session survives (the user is still mapped) but the validation
+  // takes the slow path once before the new stamps make it fast again.
+  (void)site.grid.map_user(site.user.certificate.subject, SingleSite::kUsite,
+                           "ucjdoe", {"project-a", "project-b"});
   std::uint64_t fast_after_edit =
       site.server->session_broker().fast_validations();
   ASSERT_TRUE(client.list_storages().ok());
