@@ -97,7 +97,41 @@ struct StoreSites {
   store::ChunkStore& receiver_store() {
     return *grid.site("LRZ")->chunk_store();
   }
+
+  /// Delivers a whole tree through the bundle path (deliver_files →
+  /// kXferBundleOpen manifests), returning simulated milliseconds.
+  double deliver_tree_ms(
+      std::vector<std::pair<std::string,
+                            std::shared_ptr<const uspace::FileBlob>>>
+          files) {
+    sim::Time start = grid.engine().now();
+    bool replied = false;
+    bool ok = false;
+    grid.site("FZ-Juelich")
+        ->deliver_files(njs::RemoteJobHandle{"LRZ", receiver_token},
+                        std::move(files), [&](util::Status status) {
+                          replied = true;
+                          ok = status.ok();
+                        });
+    while (!replied && grid.engine().step()) {
+    }
+    if (!ok) return -1;
+    return sim::to_seconds(grid.engine().now() - start) * 1e3;
+  }
 };
+
+std::vector<std::pair<std::string, std::shared_ptr<const uspace::FileBlob>>>
+small_file_tree(int files, std::uint64_t file_bytes, int seed_base,
+                const std::string& stem) {
+  std::vector<std::pair<std::string, std::shared_ptr<const uspace::FileBlob>>>
+      tree;
+  tree.reserve(files);
+  for (int i = 0; i < files; ++i)
+    tree.emplace_back(stem + std::to_string(i),
+                      std::make_shared<const uspace::FileBlob>(
+                          uspace::FileBlob::synthetic(file_bytes, seed_base + i)));
+  return tree;
+}
 
 /// Cold stage-in of a fresh dataset, then a warm restage of the same
 /// content under a different target name.
@@ -189,6 +223,115 @@ BENCHMARK(BM_SmallFilesRestageColdVsWarm)
     ->Arg(1'000)
     ->Arg(10'000)
     ->Arg(100'000);
+
+/// Bundle manifests vs the per-file path for the same directory of
+/// 64 KiB files. The per-file leg pays open+chunk+close round trips
+/// per file; the bundle leg pays ONE open and ONE close for the whole
+/// batch with chunks interleaved over the shared window — the
+/// kXferBundleOpen headline (≥10x at 1e4 files).
+void BM_SmallFilesBundleVsPerFile(benchmark::State& state) {
+  StoreSites env;
+  int files = static_cast<int>(state.range(0));
+  constexpr std::uint64_t kFileBytes = 16 << 10;
+  double per_file_ms = 0, bundle_ms = 0, warm_ms = 0;
+  std::uint64_t warm_chunks = 0;
+  int runs = 0;
+  for (auto _ : state) {
+    int seed = 1'000'000 + runs * 4 * files;
+    std::string tag = std::to_string(runs) + "/";
+    // Per-file leg: fresh content, one transfer per file.
+    for (int i = 0; i < files; ++i) {
+      double ms = env.deliver_ms(
+          std::make_shared<const uspace::FileBlob>(
+              uspace::FileBlob::synthetic(kFileBytes, seed + i)),
+          "single" + tag + std::to_string(i));
+      if (ms < 0) {
+        state.SkipWithError("per-file delivery failed");
+        return;
+      }
+      per_file_ms += ms;
+    }
+    // Bundle leg: fresh content again (no dedup against the first leg).
+    auto tree =
+        small_file_tree(files, kFileBytes, seed + files, "bundle" + tag);
+    double cold = env.deliver_tree_ms(tree);
+    if (cold < 0) {
+      state.SkipWithError("bundle delivery failed");
+      return;
+    }
+    bundle_ms += cold;
+    // Warm restage of the bundle under new names: the open manifests
+    // settle the whole batch out of the store — zero payload chunks.
+    std::uint64_t applied_before = env.receiver_xfer().chunks_applied();
+    for (auto& [name, blob] : tree) name = "re" + name;
+    double warm = env.deliver_tree_ms(std::move(tree));
+    if (warm < 0) {
+      state.SkipWithError("warm bundle delivery failed");
+      return;
+    }
+    warm_ms += warm;
+    warm_chunks += env.receiver_xfer().chunks_applied() - applied_before;
+    ++runs;
+  }
+  if (runs == 0) return;
+  state.counters["files"] = files;
+  state.counters["per_file_virtual_ms"] = per_file_ms / runs;
+  state.counters["bundle_virtual_ms"] = bundle_ms / runs;
+  state.counters["speedup"] = per_file_ms / bundle_ms;
+  state.counters["warm_virtual_ms"] = warm_ms / runs;
+  state.counters["warm_payload_chunks"] =
+      static_cast<double>(warm_chunks) / runs;
+  state.SetLabel("bundle vs per-file FZJ->LRZ");
+}
+BENCHMARK(BM_SmallFilesBundleVsPerFile)
+    ->Arg(1'000)
+    ->Arg(10'000)
+    ->Iterations(1);
+
+/// Bundle-path scale: cold stage-in and dedup-warm restage of 1e5 and
+/// 1e6 small files (the per-file path is hopeless at this count — see
+/// BM_SmallFilesBundleVsPerFile for the direct comparison).
+void BM_SmallFilesBundleScale(benchmark::State& state) {
+  StoreSites env;
+  int files = static_cast<int>(state.range(0));
+  constexpr std::uint64_t kFileBytes = 16 << 10;
+  double cold_ms = 0, warm_ms = 0;
+  std::uint64_t warm_chunks = 0;
+  int runs = 0;
+  for (auto _ : state) {
+    int seed = 5'000'000 + runs * files;
+    std::string tag = std::to_string(runs) + "/";
+    auto tree = small_file_tree(files, kFileBytes, seed, "scale" + tag);
+    double cold = env.deliver_tree_ms(tree);
+    if (cold < 0) {
+      state.SkipWithError("bundle delivery failed");
+      return;
+    }
+    cold_ms += cold;
+    std::uint64_t applied_before = env.receiver_xfer().chunks_applied();
+    for (auto& [name, blob] : tree) name = "re" + name;
+    double warm = env.deliver_tree_ms(std::move(tree));
+    if (warm < 0) {
+      state.SkipWithError("warm bundle delivery failed");
+      return;
+    }
+    warm_ms += warm;
+    warm_chunks += env.receiver_xfer().chunks_applied() - applied_before;
+    ++runs;
+  }
+  if (runs == 0) return;
+  state.counters["files"] = files;
+  state.counters["cold_virtual_ms"] = cold_ms / runs;
+  state.counters["warm_virtual_ms"] = warm_ms / runs;
+  state.counters["speedup"] = cold_ms / warm_ms;
+  state.counters["warm_payload_chunks"] =
+      static_cast<double>(warm_chunks) / runs;
+  state.SetLabel("bundle stage-in at scale FZJ->LRZ");
+}
+BENCHMARK(BM_SmallFilesBundleScale)
+    ->Arg(100'000)
+    ->Arg(1'000'000)
+    ->Iterations(1);
 
 /// Local interning: SHA-256-bound cold path vs the dedup fast path
 /// (digest + refcount bump, no copy). Real wall-clock time.

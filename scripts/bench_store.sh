@@ -9,6 +9,14 @@
 #                                     `speedup` the cold/warm ratio
 #   - BM_SmallFilesRestageColdVsWarm  the same comparison for a
 #                                     directory of 64 KiB files
+#   - BM_SmallFilesBundleVsPerFile    bundle transfer vs per-file chunked
+#                                     opens for a tree of 16 KiB files
+#                                     (10^3 / 10^4); `speedup` is the
+#                                     per-file/bundle ratio, plus a
+#                                     dedup-warm restage leg
+#   - BM_SmallFilesBundleScale        bundle cold stage-in and warm
+#                                     restage at 10^5 / 10^6 files
+#                                     (warm_payload_chunks stays 0)
 #   - BM_InternDedup                  local interning: SHA-256-bound
 #                                     cold path vs the dedup fast path
 #   - BM_SpillFaultRoundTrip          LRU eviction to the spill tier and

@@ -132,6 +132,27 @@ void UnicoreClient::connect(net::Address usite,
       });
 }
 
+void UnicoreClient::connect_any(std::vector<net::Address> addresses,
+                                std::function<void(Status)> done) {
+  if (addresses.empty()) {
+    done(util::make_error(ErrorCode::kUnavailable,
+                          "no gateway replica addresses to try"));
+    return;
+  }
+  net::Address first = addresses.front();
+  addresses.erase(addresses.begin());
+  connect(first, [this, addresses = std::move(addresses),
+                  done = std::move(done)](Status status) mutable {
+    if (status.ok() || addresses.empty()) {
+      done(std::move(status));
+      return;
+    }
+    // Dead listener or failed handshake: walk the ring to the next
+    // replica (the re-routing half of consistent-hash addressing).
+    connect_any(std::move(addresses), std::move(done));
+  });
+}
+
 bool UnicoreClient::connected() const {
   return established_ && channel_ && channel_->established();
 }
@@ -413,6 +434,153 @@ void UnicoreClient::fetch_output(
       });
 }
 
+void UnicoreClient::push_tree(
+    ajo::JobToken token,
+    std::vector<std::pair<std::string, uspace::FileBlob>> files,
+    std::function<void(Result<xfer::BundleStats>)> done) {
+  if (files.empty()) {
+    done(xfer::BundleStats{});
+    return;
+  }
+  if (!connected()) {
+    done(util::make_error(ErrorCode::kUnavailable, "not connected"));
+    return;
+  }
+  if (config_.transfer_streams == 0 ||
+      !channel_->feature_enabled(net::kFeatureChunkedXfer)) {
+    // v1 server (or chunking disabled): there is no client staging
+    // path at all — files travel inside the AJO instead.
+    done(util::make_error(ErrorCode::kFailedPrecondition,
+                          "client staging requires the chunked transfer "
+                          "channel feature"));
+    return;
+  }
+  if (!channel_->feature_enabled(net::kFeatureBundleXfer)) {
+    // Chunked but bundleless: one kClientPush transfer per file.
+    auto shared = std::make_shared<
+        std::vector<std::pair<std::string, uspace::FileBlob>>>(
+        std::move(files));
+    auto stats = std::make_shared<xfer::BundleStats>();
+    stats->started_at = engine_.now();
+    push_tree_singles(token, shared, 0, stats, std::move(done));
+    return;
+  }
+  ++output_stats_.bundled;
+  xfer::BundlePushSpec spec;
+  spec.source = "client:" + config_.user.certificate.subject.common_name;
+  spec.token = token;
+  spec.role = xfer::Role::kClientPush;
+  std::vector<xfer::BundleFile> bundle;
+  bundle.reserve(files.size());
+  for (auto& [name, blob] : files)
+    bundle.push_back(
+        {name, std::make_shared<const uspace::FileBlob>(std::move(blob))});
+  xfer_manager_.push_tree(transfer_transport(), spec, std::move(bundle),
+                          config_.transfer_options, std::move(done));
+}
+
+void UnicoreClient::push_tree_singles(
+    ajo::JobToken token,
+    std::shared_ptr<std::vector<std::pair<std::string, uspace::FileBlob>>>
+        files,
+    std::size_t next, std::shared_ptr<xfer::BundleStats> stats,
+    std::function<void(Result<xfer::BundleStats>)> done) {
+  if (next >= files->size()) {
+    stats->finished_at = engine_.now();
+    done(*stats);
+    return;
+  }
+  xfer::PushSpec spec;
+  spec.source = "client:" + config_.user.certificate.subject.common_name;
+  spec.token = token;
+  spec.name = (*files)[next].first;
+  spec.role = xfer::Role::kClientPush;
+  auto blob =
+      std::make_shared<const uspace::FileBlob>((*files)[next].second);
+  xfer_manager_.push(
+      transfer_transport(), spec, std::move(blob), config_.transfer_options,
+      [this, token, files, next, stats,
+       done = std::move(done)](Result<xfer::TransferStats> r) mutable {
+        if (!r) {
+          done(r.error());
+          return;
+        }
+        ++stats->files;
+        stats->bytes += r.value().bytes;
+        stats->chunks += r.value().chunks;
+        stats->deduped += r.value().duplicates + r.value().deduped;
+        stats->retransmits += r.value().retransmits;
+        stats->resumes += r.value().resumes;
+        stats->streams = std::max(stats->streams, r.value().streams);
+        push_tree_singles(token, files, next + 1, stats, std::move(done));
+      });
+}
+
+void UnicoreClient::fetch_tree(
+    ajo::JobToken token, std::vector<std::string> names,
+    std::function<void(Result<std::vector<uspace::FileBlob>>)> done) {
+  if (names.empty()) {
+    done(std::vector<uspace::FileBlob>{});
+    return;
+  }
+  bool bundled = config_.transfer_streams > 0 && connected() &&
+                 channel_->feature_enabled(net::kFeatureChunkedXfer) &&
+                 channel_->feature_enabled(net::kFeatureBundleXfer);
+  if (!bundled) {
+    auto shared = std::make_shared<std::vector<std::string>>(std::move(names));
+    auto blobs = std::make_shared<std::vector<uspace::FileBlob>>();
+    blobs->reserve(shared->size());
+    fetch_tree_sequential(token, shared, blobs, std::move(done));
+    return;
+  }
+  ++output_stats_.bundled;
+  xfer::BundlePullSpec spec;
+  spec.role = xfer::Role::kClientPull;
+  spec.token = token;
+  spec.names = names;
+  auto alive = alive_;
+  xfer_manager_.pull_tree(
+      transfer_transport(), spec, config_.transfer_options,
+      [this, alive, token, names = std::move(names),
+       done = std::move(done)](Result<xfer::BundlePullResult> result) mutable {
+        if (!result && *alive &&
+            result.error().code == ErrorCode::kFailedPrecondition) {
+          // Refused mid-flight (server restarted into a bundleless
+          // build): per-file retrieval.
+          auto shared =
+              std::make_shared<std::vector<std::string>>(std::move(names));
+          auto blobs = std::make_shared<std::vector<uspace::FileBlob>>();
+          blobs->reserve(shared->size());
+          fetch_tree_sequential(token, shared, blobs, std::move(done));
+          return;
+        }
+        if (!result)
+          done(result.error());
+        else
+          done(std::move(result.value().blobs));
+      });
+}
+
+void UnicoreClient::fetch_tree_sequential(
+    ajo::JobToken token, std::shared_ptr<std::vector<std::string>> names,
+    std::shared_ptr<std::vector<uspace::FileBlob>> blobs,
+    std::function<void(Result<std::vector<uspace::FileBlob>>)> done) {
+  if (blobs->size() >= names->size()) {
+    done(std::move(*blobs));
+    return;
+  }
+  fetch_output(token, (*names)[blobs->size()],
+               [this, token, names, blobs,
+                done = std::move(done)](Result<uspace::FileBlob> r) mutable {
+                 if (!r) {
+                   done(r.error());
+                   return;
+                 }
+                 blobs->push_back(std::move(r).value());
+                 fetch_tree_sequential(token, names, blobs, std::move(done));
+               });
+}
+
 void UnicoreClient::fetch_metrics(
     std::function<void(Result<obs::MetricsSnapshot>)> done) {
   call<wire::MetricsCodec>({}, std::move(done));
@@ -584,6 +752,26 @@ Future<uspace::FileBlob> UnicoreClient::fetch_output(ajo::JobToken token,
   fetch_output(token, name, [promise](Result<uspace::FileBlob> r) {
     promise.set(std::move(r));
   });
+  return promise.future();
+}
+
+Future<xfer::BundleStats> UnicoreClient::push_tree(
+    ajo::JobToken token,
+    std::vector<std::pair<std::string, uspace::FileBlob>> files) {
+  Promise<xfer::BundleStats> promise;
+  push_tree(token, std::move(files), [promise](Result<xfer::BundleStats> r) {
+    promise.set(std::move(r));
+  });
+  return promise.future();
+}
+
+Future<std::vector<uspace::FileBlob>> UnicoreClient::fetch_tree(
+    ajo::JobToken token, std::vector<std::string> names) {
+  Promise<std::vector<uspace::FileBlob>> promise;
+  fetch_tree(token, std::move(names),
+             [promise](Result<std::vector<uspace::FileBlob>> r) {
+               promise.set(std::move(r));
+             });
   return promise.future();
 }
 

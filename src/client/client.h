@@ -325,6 +325,12 @@ class UnicoreClient {
 
   // --- connection -----------------------------------------------------
   void connect(net::Address usite, std::function<void(util::Status)> done);
+  /// connect() across a replica ring (UsiteServer::route_addresses):
+  /// tries each address in order, skipping dead listeners and failed
+  /// handshakes, and succeeds on the first replica that answers. Fails
+  /// with the last error when every address is dead.
+  void connect_any(std::vector<net::Address> addresses,
+                   std::function<void(util::Status)> done);
   bool connected() const;
   void disconnect();
 
@@ -361,6 +367,23 @@ class UnicoreClient {
                std::function<void(util::Status)> done);
   void fetch_output(ajo::JobToken token, const std::string& name,
                     std::function<void(util::Result<uspace::FileBlob>)> done);
+
+  // --- bundle staging (docs/DATA.md §3) ---------------------------------
+  /// Stages a whole file tree into job `token`'s Uspace. With the
+  /// negotiated kFeatureBundleXfer the tree moves as bundles (one
+  /// manifest round trip per xfer::kMaxBundleFiles slice); with only
+  /// kFeatureChunkedXfer it degrades to one chunked push per file; a v1
+  /// server fails kFailedPrecondition (stage files inside the AJO
+  /// instead).
+  void push_tree(ajo::JobToken token,
+                 std::vector<std::pair<std::string, uspace::FileBlob>> files,
+                 std::function<void(util::Result<xfer::BundleStats>)> done);
+  /// Fetches many outputs of job `token` in request order — bundled
+  /// when the server negotiated the feature, sequential fetch_output
+  /// otherwise.
+  void fetch_tree(
+      ajo::JobToken token, std::vector<std::string> names,
+      std::function<void(util::Result<std::vector<uspace::FileBlob>>)> done);
 
   /// Polls query() every `interval` until the job is terminal.
   void wait_for_completion(ajo::JobToken token, sim::Time interval,
@@ -413,6 +436,11 @@ class UnicoreClient {
                       ajo::ControlService::Command command);
   Future<uspace::FileBlob> fetch_output(ajo::JobToken token,
                                         const std::string& name);
+  Future<xfer::BundleStats> push_tree(
+      ajo::JobToken token,
+      std::vector<std::pair<std::string, uspace::FileBlob>> files);
+  Future<std::vector<uspace::FileBlob>> fetch_tree(
+      ajo::JobToken token, std::vector<std::string> names);
   Future<ajo::Outcome> wait_for_completion(ajo::JobToken token,
                                            sim::Time interval);
   Future<SessionGrant> open_session(std::int64_t requested_ttl_seconds = 0);
@@ -489,6 +517,20 @@ class UnicoreClient {
   void fetch_output_legacy(
       ajo::JobToken token, const std::string& name,
       std::function<void(util::Result<uspace::FileBlob>)> done);
+  /// push_tree fallback for chunked-but-bundleless servers: one
+  /// kClientPush transfer per file, sequential.
+  void push_tree_singles(
+      ajo::JobToken token,
+      std::shared_ptr<std::vector<std::pair<std::string, uspace::FileBlob>>>
+          files,
+      std::size_t next, std::shared_ptr<xfer::BundleStats> stats,
+      std::function<void(util::Result<xfer::BundleStats>)> done);
+  /// fetch_tree fallback: sequential fetch_output (itself chunked or
+  /// legacy per file).
+  void fetch_tree_sequential(
+      ajo::JobToken token, std::shared_ptr<std::vector<std::string>> names,
+      std::shared_ptr<std::vector<uspace::FileBlob>> blobs,
+      std::function<void(util::Result<std::vector<uspace::FileBlob>>)> done);
 
   sim::Engine& engine_;
   net::Network& network_;

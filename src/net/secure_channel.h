@@ -72,9 +72,15 @@ constexpr std::uint64_t kFeatureBatchRecords = 1ull << 3;
 /// request kinds are refused and clients stay on per-request
 /// certificate authentication.
 constexpr std::uint64_t kFeaturePortal = 1ull << 4;
+/// Peer understands bundle transfers (kXferBundleOpen /
+/// kXferBundleClose): one open carries the manifests of many files,
+/// whose chunks interleave over the ordinary kXferChunk frames tagged
+/// with an in-bundle file index. Requires kFeatureChunkedXfer. Without
+/// it the sender falls back to one transfer per file.
+constexpr std::uint64_t kFeatureBundleXfer = 1ull << 5;
 constexpr std::uint64_t kDefaultFeatures =
     kFeatureJournalInspect | kFeatureChunkedXfer | kFeatureResumption |
-    kFeatureBatchRecords | kFeaturePortal;
+    kFeatureBatchRecords | kFeaturePortal | kFeatureBundleXfer;
 
 class SecureChannel : public std::enable_shared_from_this<SecureChannel> {
  public:

@@ -47,6 +47,9 @@ const char* journal_record_type_name(JournalRecordType type) {
     case JournalRecordType::kXferChunk: return "xfer-chunk";
     case JournalRecordType::kXferDone: return "xfer-done";
     case JournalRecordType::kOwnerClaim: return "owner-claim";
+    case JournalRecordType::kXferBundleManifest: return "xfer-bundle-manifest";
+    case JournalRecordType::kXferBundleChunk: return "xfer-bundle-chunk";
+    case JournalRecordType::kXferBundleDone: return "xfer-bundle-done";
   }
   return "unknown";
 }

@@ -52,6 +52,14 @@ enum class JournalRecordType : std::uint8_t {
   // this journal's partition. Appended by Journal::try_claim; job
   // recovery skips it.
   kOwnerClaim = 9,
+  // Bundle-transfer records (docs/DATA.md §3): ONE manifest per bundle
+  // of up to kMaxBundleFiles files — the durable-write amortization
+  // that pairs with the wire-side RTT amortization — then one record
+  // per applied chunk tagged with its in-bundle file index, and the
+  // committed-bundle tombstone.
+  kXferBundleManifest = 10,
+  kXferBundleChunk = 11,
+  kXferBundleDone = 12,
 };
 
 const char* journal_record_type_name(JournalRecordType type);

@@ -1040,49 +1040,44 @@ void Njs::stage_edge_files_async(JobRun& job, GroupRun& group,
                           "remote sub-job handle unavailable"));
     return;
   }
-  auto remaining = std::make_shared<std::vector<std::string>>(files);
   auto handle = *predecessor.remote;
   JobToken token = job.token;
   GroupRun* group_ptr = &group;
 
-  // The loop function holds itself only weakly; the strong reference
-  // that keeps the chain alive across each async hop lives in the
-  // in-flight fetch callback, so the whole closure is freed as soon as
-  // the last callback runs (a self-capture here would be a permanent
-  // shared_ptr cycle).
-  auto fetch_next = std::make_shared<std::function<void()>>();
-  *fetch_next = [this, remaining, handle, token, group_ptr, done,
-                 weak_next =
-                     std::weak_ptr<std::function<void()>>(fetch_next)]() {
-    if (remaining->empty()) {
-      done(Status::ok_status());
-      return;
-    }
-    std::string file = remaining->back();
-    remaining->pop_back();
-    peer_link_->fetch_file(
-        handle, file,
-        [this, token, group_ptr, file, done, fetch_next = weak_next.lock(),
-         epoch = epoch_](Result<uspace::FileBlob> blob) {
-          if (epoch != epoch_) return;
-          auto it = jobs_.find(token);
-          if (it == jobs_.end()) return;
-          if (!blob) {
-            done(util::make_error(ErrorCode::kNotFound,
-                                  "remote dependency file unavailable: " +
-                                      file + ": " + blob.error().message));
-            return;
-          }
+  // One fetch_files call for the whole dependency set: a bundle-capable
+  // peer link answers it with one manifest round trip (docs/DATA.md §3);
+  // the PeerLink default degrades to sequential per-file fetches.
+  peer_link_->fetch_files(
+      handle, files,
+      [this, token, group_ptr, names = files, done, epoch = epoch_](
+          Result<std::vector<uspace::FileBlob>> blobs) {
+        if (epoch != epoch_) return;
+        auto it = jobs_.find(token);
+        if (it == jobs_.end()) return;
+        if (!blobs) {
+          done(util::make_error(ErrorCode::kNotFound,
+                                "remote dependency files unavailable: " +
+                                    blobs.error().message));
+          return;
+        }
+        if (blobs.value().size() != names.size()) {
+          done(util::make_error(ErrorCode::kInternal,
+                                "dependency fetch returned " +
+                                    std::to_string(blobs.value().size()) +
+                                    " files, expected " +
+                                    std::to_string(names.size())));
+          return;
+        }
+        for (std::size_t i = 0; i < names.size(); ++i) {
           if (auto status = group_ptr->workspace->write(
-                  file, std::move(blob.value()));
+                  names[i], std::move(blobs.value()[i]));
               !status.ok()) {
             done(status);
             return;
           }
-          (*fetch_next)();
-        });
-  };
-  (*fetch_next)();
+        }
+        done(Status::ok_status());
+      });
 }
 
 void Njs::finalize_if_done(JobRun& job) {

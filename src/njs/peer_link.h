@@ -9,6 +9,8 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "ajo/job.h"
 #include "ajo/outcome.h"
@@ -76,10 +78,83 @@ class PeerLink {
                           std::function<void(util::Result<uspace::FileBlob>)>
                               done) = 0;
 
+  /// Delivers many files into one remote Uspace. The default walks
+  /// deliver_file sequentially; links that negotiated the bundle
+  /// feature override this with one manifest round trip for the whole
+  /// batch (src/xfer bundle mode). Calling with an empty vector
+  /// succeeds immediately.
+  virtual void deliver_files(
+      const RemoteJobHandle& target,
+      std::vector<std::pair<std::string,
+                            std::shared_ptr<const uspace::FileBlob>>>
+          files,
+      std::function<void(util::Status)> done) {
+    deliver_files_sequential(target, std::move(files), 0, std::move(done));
+  }
+
+  /// Fetches many files from one remote Uspace, in request order. The
+  /// default walks fetch_file sequentially; bundle-capable links
+  /// override.
+  virtual void fetch_files(
+      const RemoteJobHandle& source, std::vector<std::string> names,
+      std::function<void(util::Result<std::vector<uspace::FileBlob>>)> done) {
+    auto blobs = std::make_shared<std::vector<uspace::FileBlob>>();
+    blobs->reserve(names.size());
+    fetch_files_sequential(source, std::move(names), blobs, std::move(done));
+  }
+
   /// Forwards a control command (abort/hold/release/delete).
   virtual void control(const RemoteJobHandle& target,
                        ajo::ControlService::Command command,
                        std::function<void(util::Status)> done) = 0;
+
+ private:
+  void deliver_files_sequential(
+      const RemoteJobHandle& target,
+      std::vector<std::pair<std::string,
+                            std::shared_ptr<const uspace::FileBlob>>>
+          files,
+      std::size_t next, std::function<void(util::Status)> done) {
+    if (next >= files.size()) {
+      done(util::Status());
+      return;
+    }
+    auto name = files[next].first;
+    auto blob = files[next].second;
+    deliver_file(target, name, std::move(blob),
+                 [this, target, files = std::move(files), next,
+                  done = std::move(done)](util::Status status) mutable {
+                   if (!status.ok()) {
+                     done(std::move(status));
+                     return;
+                   }
+                   deliver_files_sequential(target, std::move(files), next + 1,
+                                            std::move(done));
+                 });
+  }
+
+  void fetch_files_sequential(
+      const RemoteJobHandle& source, std::vector<std::string> names,
+      std::shared_ptr<std::vector<uspace::FileBlob>> blobs,
+      std::function<void(util::Result<std::vector<uspace::FileBlob>>)> done) {
+    if (blobs->size() >= names.size()) {
+      done(std::move(*blobs));
+      return;
+    }
+    std::string name = names[blobs->size()];
+    fetch_file(source, name,
+               [this, source, names = std::move(names), blobs,
+                done = std::move(done)](
+                   util::Result<uspace::FileBlob> blob) mutable {
+                 if (!blob.ok()) {
+                   done(blob.error());
+                   return;
+                 }
+                 blobs->push_back(std::move(blob).value());
+                 fetch_files_sequential(source, std::move(names), blobs,
+                                        std::move(done));
+               });
+  }
 };
 
 }  // namespace unicore::njs

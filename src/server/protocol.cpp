@@ -37,6 +37,8 @@ const char* request_kind_name(RequestKind kind) {
     case RequestKind::kStorageList: return "storage-list";
     case RequestKind::kStorageFiles: return "storage-files";
     case RequestKind::kStorageReap: return "storage-reap";
+    case RequestKind::kXferBundleOpen: return "xfer-bundle-open";
+    case RequestKind::kXferBundleClose: return "xfer-bundle-close";
   }
   return "?";
 }

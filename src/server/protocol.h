@@ -72,6 +72,15 @@ enum class RequestKind : std::uint8_t {
   kStorageList = 21,     // caller's per-job working storages
   kStorageFiles = 22,    // job token -> names in that job's storage
   kStorageReap = 23,     // job token -> empty the storage, free quota
+  // Bundle transfers (docs/DATA.md §3): one open carries the manifests
+  // of up to xfer::kMaxBundleFiles files; their chunks interleave over
+  // ordinary kXferChunk frames tagged with an in-bundle file index; one
+  // close commits the lot. Requires kFeatureChunkedXfer AND
+  // kFeatureBundleXfer — peers without the bundle bit get
+  // kFailedPrecondition and the sender falls back to one transfer per
+  // file.
+  kXferBundleOpen = 24,   // open or resume a bundle by durable key
+  kXferBundleClose = 25,  // commit (push) / release (pull) the bundle
 };
 
 const char* request_kind_name(RequestKind kind);
@@ -83,7 +92,8 @@ const char* request_kind_name(RequestKind kind);
 struct TransferStats {
   std::uint64_t chunked = 0;  // through the chunked engine (src/xfer/)
   std::uint64_t legacy = 0;   // whole-blob kDeliverFile / kFetchFile
-  std::uint64_t total() const { return chunked + legacy; }
+  std::uint64_t bundled = 0;  // batches moved as bundle manifests
+  std::uint64_t total() const { return chunked + legacy + bundled; }
 };
 
 // --- envelope builders ---------------------------------------------------

@@ -209,6 +209,36 @@ net::Address UsiteServer::route_address(
           static_cast<std::uint16_t>(config_.port + index)};
 }
 
+std::vector<net::Address> UsiteServer::route_addresses(
+    const crypto::DistinguishedName& dn) const {
+  std::vector<net::Address> addresses;
+  for (const std::string& node : gateway_ring_.walk(dn.to_string()))
+    addresses.push_back(
+        {config_.gateway_host,
+         static_cast<std::uint16_t>(config_.port + std::stoul(node))});
+  if (addresses.empty()) addresses.push_back(address());  // every replica dead
+  return addresses;
+}
+
+void UsiteServer::stop_gateway_replica(std::size_t index) {
+  if (index >= gateway_replica_count()) return;
+  network_.close_listener(
+      {config_.gateway_host,
+       static_cast<std::uint16_t>(config_.port + index)});
+  // Off the ring: route_address now hands out the next clockwise node,
+  // and route_addresses stops listing this replica entirely.
+  gateway_ring_.remove(std::to_string(index));
+  // Sessions the dead replica accepted die with it (their channels
+  // close mid-request from the client's point of view).
+  std::vector<std::shared_ptr<ClientSession>> doomed;
+  for (auto& [id, session] : sessions_)
+    if (session->gateway_index == index) doomed.push_back(session);
+  for (auto& session : doomed) {
+    session->channel->close();
+    sessions_.erase(session->id);
+  }
+}
+
 void UsiteServer::publish_bundle(crypto::SoftwareBundle bundle) {
   bundles_[bundle.name] = std::move(bundle);
 }
@@ -524,7 +554,9 @@ void UsiteServer::handle_request(const std::shared_ptr<ClientSession>& session,
     }
     case RequestKind::kXferOpen:
     case RequestKind::kXferChunk:
-    case RequestKind::kXferClose: {
+    case RequestKind::kXferClose:
+    case RequestKind::kXferBundleOpen:
+    case RequestKind::kXferBundleClose: {
       // Negotiated at the hello exchange like kJournalInspect: a v1
       // channel never agreed to the chunked protocol, so senders fall
       // back to kDeliverFile / kFetchFile on this error.
@@ -537,11 +569,23 @@ void UsiteServer::handle_request(const std::shared_ptr<ClientSession>& session,
                                  std::to_string(
                                      session->channel->negotiated_version()) +
                                  ")"));
+      // Bundles are a further negotiation on top of chunked transfer:
+      // a chunked-but-bundleless peer gets the same error shape, and
+      // senders fall back to one open per file.
+      if ((kind == RequestKind::kXferBundleOpen ||
+           kind == RequestKind::kXferBundleClose) &&
+          !session->channel->feature_enabled(net::kFeatureBundleXfer))
+        return reply_error(
+            request_id,
+            util::make_error(ErrorCode::kFailedPrecondition,
+                             "bundle transfer requires the bundle channel "
+                             "feature"));
       // The leading Role byte picks the authentication path: pushes and
-      // peer pulls are NJS–NJS (server certificate), client pulls are
-      // JMC traffic (user certificate + ownership check in the NJS).
+      // peer pulls are NJS–NJS (server certificate), client pulls and
+      // client pushes are JMC traffic (user certificate + ownership
+      // check in the NJS).
       auto role = static_cast<xfer::Role>(payload.u8());
-      bool server_peer = role != xfer::Role::kClientPull;
+      bool server_peer = xfer::role_is_server_peer(role);
       gateway::AuthenticatedUser principal;
       if (server_peer) {
         auto status = gw.authenticate_server(
@@ -784,7 +828,9 @@ Bytes UsiteServer::njs_execute(std::uint64_t session_id, ByteReader& packed,
       }
       case RequestKind::kXferOpen:
       case RequestKind::kXferChunk:
-      case RequestKind::kXferClose: {
+      case RequestKind::kXferClose:
+      case RequestKind::kXferBundleOpen:
+      case RequestKind::kXferBundleClose: {
         bool server_peer = packed.u8() != 0;
         auto role = static_cast<xfer::Role>(packed.u8());
         // Route to the partition owner's transfer receiver. Opens carry
@@ -793,13 +839,15 @@ Bytes UsiteServer::njs_execute(std::uint64_t session_id, ByteReader& packed,
         // which is strided by the service that minted it; an id from a
         // crashed replica's table answers kNotFound and the sender
         // re-opens by durable key (landing on the adopter).
+        bool is_open = kind == RequestKind::kXferOpen ||
+                       kind == RequestKind::kXferBundleOpen;
         std::size_t target = 0;
         {
           ByteReader peek = packed;  // routing must not consume the body
-          if (kind == RequestKind::kXferOpen) {
+          if (is_open) {
             JobToken token;
-            if (role == xfer::Role::kPush) {
-              peek.blob();  // transfer key
+            if (xfer::role_is_push(role)) {
+              peek.blob();  // transfer key (single-file or bundle)
               token = peek.u64();
             } else {
               token = peek.u64();
@@ -820,12 +868,24 @@ Bytes UsiteServer::njs_execute(std::uint64_t session_id, ByteReader& packed,
           }
         }
         xfer::Service& service = *xfer_services_[target];
-        Result<Bytes> reply =
-            kind == RequestKind::kXferOpen
-                ? service.open(user.dn, server_peer, role, packed)
-                : kind == RequestKind::kXferChunk
-                      ? service.chunk(user.dn, server_peer, role, packed)
-                      : service.close(user.dn, server_peer, role, packed);
+        Result<Bytes> reply = util::make_error(ErrorCode::kInternal, "");
+        switch (kind) {
+          case RequestKind::kXferOpen:
+            reply = service.open(user.dn, server_peer, role, packed);
+            break;
+          case RequestKind::kXferChunk:
+            reply = service.chunk(user.dn, server_peer, role, packed);
+            break;
+          case RequestKind::kXferClose:
+            reply = service.close(user.dn, server_peer, role, packed);
+            break;
+          case RequestKind::kXferBundleOpen:
+            reply = service.bundle_open(user.dn, server_peer, role, packed);
+            break;
+          default:
+            reply = service.bundle_close(user.dn, server_peer, role, packed);
+            break;
+        }
         if (!reply) return make_error_reply(request_id, reply.error());
         return make_ok_reply(request_id, reply.value());
       }
@@ -1275,6 +1335,7 @@ void UsiteServer::pull_file_chunked(
   spec.role = xfer::Role::kPeerPull;
   spec.token = source.token;
   spec.name = uspace_name;
+  spec.store = chunk_store_;  // open-reply manifest dedup on the pull path
   xfer_manager_.pull(peer_rails(source.usite), spec, transfer_options_,
                      [done = std::move(done)](Result<xfer::PullResult> r) {
                        if (!r)
@@ -1391,6 +1452,111 @@ void UsiteServer::fetch_file(
           return;
         }
         legacy(std::move(done));
+      });
+}
+
+void UsiteServer::deliver_files(
+    const njs::RemoteJobHandle& target,
+    std::vector<std::pair<std::string,
+                          std::shared_ptr<const uspace::FileBlob>>>
+        files,
+    std::function<void(Status)> done) {
+  if (files.empty()) {
+    done(Status::ok_status());
+    return;
+  }
+  for (const auto& [name, blob] : files) {
+    if (blob == nullptr) {
+      done(util::make_error(ErrorCode::kInvalidArgument,
+                            "deliver_files: null blob for " + name));
+      return;
+    }
+  }
+  with_peer_features(
+      target.usite,
+      [this, target, files = std::move(files),
+       done = std::move(done)](Result<std::uint64_t> features) mutable {
+        constexpr std::uint64_t kBundleBits =
+            net::kFeatureChunkedXfer | net::kFeatureBundleXfer;
+        if (!features || (features.value() & kBundleBits) != kBundleBits) {
+          // v1 or bundleless peer: the PeerLink default walks the batch
+          // one deliver_file at a time (each still picking chunked vs
+          // legacy per file).
+          njs::PeerLink::deliver_files(target, std::move(files),
+                                       std::move(done));
+          return;
+        }
+        ++transfer_stats_.bundled;
+        xfer::BundlePushSpec spec;
+        spec.source = config_.name;
+        spec.token = target.token;
+        std::vector<xfer::BundleFile> bundle;
+        bundle.reserve(files.size());
+        for (const auto& [name, blob] : files)
+          bundle.push_back({name, blob});
+        xfer_manager_.push_tree(
+            peer_rails(target.usite), spec, std::move(bundle),
+            transfer_options_,
+            [this, target, files = std::move(files), done = std::move(done)](
+                Result<xfer::BundleStats> r) mutable {
+              // Bundle refused mid-flight (peer restarted into a
+              // bundleless build): repeat through per-file delivery.
+              if (!r && r.error().code == ErrorCode::kFailedPrecondition) {
+                njs::PeerLink::deliver_files(target, std::move(files),
+                                             std::move(done));
+                return;
+              }
+              if (!r)
+                done(r.error());
+              else
+                done(Status::ok_status());
+            });
+      });
+}
+
+void UsiteServer::fetch_files(
+    const njs::RemoteJobHandle& source, std::vector<std::string> names,
+    std::function<void(Result<std::vector<uspace::FileBlob>>)> done) {
+  if (names.empty()) {
+    done(std::vector<uspace::FileBlob>{});
+    return;
+  }
+  if (transfer_threshold_ == std::numeric_limits<std::uint64_t>::max()) {
+    // The chunked engine is disabled outright: per-file legacy requests.
+    njs::PeerLink::fetch_files(source, std::move(names), std::move(done));
+    return;
+  }
+  with_peer_features(
+      source.usite,
+      [this, source, names = std::move(names),
+       done = std::move(done)](Result<std::uint64_t> features) mutable {
+        constexpr std::uint64_t kBundleBits =
+            net::kFeatureChunkedXfer | net::kFeatureBundleXfer;
+        if (!features || (features.value() & kBundleBits) != kBundleBits) {
+          njs::PeerLink::fetch_files(source, std::move(names),
+                                     std::move(done));
+          return;
+        }
+        ++transfer_stats_.bundled;
+        xfer::BundlePullSpec spec;
+        spec.role = xfer::Role::kPeerPull;
+        spec.token = source.token;
+        spec.names = names;
+        spec.store = chunk_store_;
+        xfer_manager_.pull_tree(
+            peer_rails(source.usite), spec, transfer_options_,
+            [this, source, names = std::move(names), done = std::move(done)](
+                Result<xfer::BundlePullResult> r) mutable {
+              if (!r && r.error().code == ErrorCode::kFailedPrecondition) {
+                njs::PeerLink::fetch_files(source, std::move(names),
+                                           std::move(done));
+                return;
+              }
+              if (!r)
+                done(r.error());
+              else
+                done(std::move(r.value().blobs));
+            });
       });
 }
 

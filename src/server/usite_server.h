@@ -107,6 +107,15 @@ class UsiteServer : public njs::PeerLink {
   /// The listener a client with `dn` should contact: consistent-hash
   /// routing over the replica addresses.
   net::Address route_address(const crypto::DistinguishedName& dn) const;
+  /// Failover order for `dn`: the ring owner first, then every other
+  /// alive replica clockwise. A client whose connect (or session) dies
+  /// tries the next entry — stopped replicas never appear.
+  std::vector<net::Address> route_addresses(
+      const crypto::DistinguishedName& dn) const;
+  /// Kills gateway replica `index` (fault injection / drain): closes
+  /// its listener and every session it accepted, and removes it from
+  /// the routing ring so route_address re-routes around it.
+  void stop_gateway_replica(std::size_t index);
 
   /// Modeled per-request processing cost of one gateway replica. Each
   /// replica is a serial server: its requests queue behind each other
@@ -144,6 +153,22 @@ class UsiteServer : public njs::PeerLink {
                   const std::string& uspace_name,
                   std::function<void(util::Result<uspace::FileBlob>)> done)
       override;
+  /// Batch staging: one bundle manifest round trip for the whole set
+  /// when the peer negotiated kFeatureBundleXfer; otherwise the
+  /// PeerLink default (one transfer per file) takes over. A mid-flight
+  /// kFailedPrecondition (peer restarted into a bundleless build) also
+  /// falls back per file.
+  void deliver_files(
+      const njs::RemoteJobHandle& target,
+      std::vector<std::pair<std::string,
+                            std::shared_ptr<const uspace::FileBlob>>>
+          files,
+      std::function<void(util::Status)> done) override;
+  void fetch_files(const njs::RemoteJobHandle& source,
+                   std::vector<std::string> names,
+                   std::function<
+                       void(util::Result<std::vector<uspace::FileBlob>>)>
+                       done) override;
   void control(const njs::RemoteJobHandle& target,
                ajo::ControlService::Command command,
                std::function<void(util::Status)> done) override;

@@ -16,6 +16,8 @@ RequestKind xfer_request_kind(xfer::Op op) {
     case xfer::Op::kOpen: return RequestKind::kXferOpen;
     case xfer::Op::kChunk: return RequestKind::kXferChunk;
     case xfer::Op::kClose: return RequestKind::kXferClose;
+    case xfer::Op::kBundleOpen: return RequestKind::kXferBundleOpen;
+    case xfer::Op::kBundleClose: return RequestKind::kXferBundleClose;
   }
   return RequestKind::kXferOpen;
 }

@@ -1,5 +1,7 @@
 #include "util/chash.h"
 
+#include <algorithm>
+
 namespace unicore::util {
 namespace {
 
@@ -43,6 +45,20 @@ const std::string* ConsistentHash::node_for(const std::string& key) const {
   auto it = ring_.lower_bound(fnv1a(key));
   if (it == ring_.end()) it = ring_.begin();  // wrap around the ring
   return &it->second;
+}
+
+std::vector<std::string> ConsistentHash::walk(const std::string& key) const {
+  std::vector<std::string> out;
+  if (ring_.empty()) return out;
+  out.reserve(nodes_);
+  auto it = ring_.lower_bound(fnv1a(key));
+  for (std::size_t steps = 0; steps < ring_.size() && out.size() < nodes_;
+       ++steps, ++it) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (std::find(out.begin(), out.end(), it->second) == out.end())
+      out.push_back(it->second);
+  }
+  return out;
 }
 
 }  // namespace unicore::util

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace unicore::util {
 
@@ -23,6 +24,11 @@ class ConsistentHash {
   /// the key's hash. nullptr while the ring is empty. The pointer is
   /// invalidated by add/remove.
   const std::string* node_for(const std::string& key) const;
+
+  /// Every distinct node in clockwise order starting from `key`'s
+  /// owner: walk(key)[0] == *node_for(key), and the rest are the
+  /// failover order a client should try when the owner is down.
+  std::vector<std::string> walk(const std::string& key) const;
 
   std::size_t size() const { return nodes_; }
   bool empty() const { return ring_.empty(); }

@@ -143,4 +143,133 @@ std::vector<util::Bytes> completed_transfer_keys(const njs::Journal& journal) {
   return keys;
 }
 
+// ---- bundles ---------------------------------------------------------------
+
+void BundleFileMeta::encode(util::ByteWriter& w) const {
+  w.str(name);
+  w.u64(size);
+  w.raw(checksum);
+  w.boolean(synthetic);
+}
+
+BundleFileMeta BundleFileMeta::decode(util::ByteReader& r) {
+  BundleFileMeta meta;
+  meta.name = r.str();
+  meta.size = r.u64();
+  meta.checksum = read_digest(r);
+  meta.synthetic = r.boolean();
+  return meta;
+}
+
+void BundleManifest::encode(util::ByteWriter& w) const {
+  w.blob(key);
+  w.u64(token);
+  w.u32(chunk_bytes);
+  encode_dn(w, principal);
+  w.varint(files.size());
+  for (const BundleFileMeta& file : files) file.encode(w);
+}
+
+BundleManifest BundleManifest::decode(util::ByteReader& r) {
+  BundleManifest manifest;
+  manifest.key = r.blob();
+  manifest.token = r.u64();
+  manifest.chunk_bytes = r.u32();
+  manifest.principal = decode_dn(r);
+  std::uint64_t n = r.varint();
+  manifest.files.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i)
+    manifest.files.push_back(BundleFileMeta::decode(r));
+  return manifest;
+}
+
+void journal_bundle_manifest(njs::Journal& journal,
+                             const BundleManifest& manifest) {
+  util::ByteWriter w;
+  manifest.encode(w);
+  journal.append({njs::JournalRecordType::kXferBundleManifest, manifest.token,
+                  w.take()});
+}
+
+void journal_bundle_chunk(njs::Journal& journal,
+                          const BundleManifest& manifest,
+                          std::uint32_t file_index, const Chunk& chunk) {
+  util::ByteWriter w;
+  w.blob(manifest.key);
+  w.u32(file_index);
+  // Real chunks keep their payload bytes (WAL semantics), synthetic
+  // chunks stay metadata-only — same contract as journal_chunk.
+  chunk.encode(w);
+  journal.append(
+      {njs::JournalRecordType::kXferBundleChunk, manifest.token, w.take()});
+}
+
+void journal_bundle_done(njs::Journal& journal,
+                         const BundleManifest& manifest) {
+  util::ByteWriter w;
+  w.blob(manifest.key);
+  journal.append(
+      {njs::JournalRecordType::kXferBundleDone, manifest.token, w.take()});
+}
+
+std::vector<RecoveredBundle> recover_bundles(const njs::Journal& journal) {
+  std::map<util::Bytes, RecoveredBundle> open;
+  // Duplicate suppression per (file index, chunk index).
+  std::map<util::Bytes, std::set<std::pair<std::uint32_t, std::uint64_t>>>
+      seen;
+  journal.replay([&](const njs::JournalRecord& record) {
+    try {
+      util::ByteReader r{record.payload};
+      switch (record.type) {
+        case njs::JournalRecordType::kXferBundleManifest: {
+          BundleManifest manifest = BundleManifest::decode(r);
+          util::Bytes key = manifest.key;
+          RecoveredBundle& bundle = open[key];
+          bundle.manifest = std::move(manifest);
+          break;
+        }
+        case njs::JournalRecordType::kXferBundleChunk: {
+          util::Bytes key = r.blob();
+          auto it = open.find(key);
+          if (it == open.end()) return;  // done or never opened
+          std::uint32_t file_index = r.u32();
+          Chunk chunk = Chunk::decode(r);
+          if (!seen[key].insert({file_index, chunk.index}).second)
+            return;  // duplicate
+          it->second.chunks.emplace_back(file_index, std::move(chunk));
+          break;
+        }
+        case njs::JournalRecordType::kXferBundleDone: {
+          util::Bytes key = r.blob();
+          open.erase(key);
+          seen.erase(key);
+          break;
+        }
+        default:
+          break;  // job or single-file records, owned elsewhere
+      }
+    } catch (const std::out_of_range&) {
+      // Truncated record (crash mid-append): drop it; the sender will
+      // re-deliver the chunk because it never saw the ack.
+    }
+  });
+  std::vector<RecoveredBundle> out;
+  out.reserve(open.size());
+  for (auto& [key, bundle] : open) out.push_back(std::move(bundle));
+  return out;
+}
+
+std::vector<util::Bytes> completed_bundle_keys(const njs::Journal& journal) {
+  std::vector<util::Bytes> keys;
+  journal.replay([&](const njs::JournalRecord& record) {
+    if (record.type != njs::JournalRecordType::kXferBundleDone) return;
+    try {
+      util::ByteReader r{record.payload};
+      keys.push_back(r.blob());
+    } catch (const std::out_of_range&) {
+    }
+  });
+  return keys;
+}
+
 }  // namespace unicore::xfer

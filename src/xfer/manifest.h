@@ -66,4 +66,55 @@ std::vector<RecoveredTransfer> recover_transfers(const njs::Journal& journal);
 /// present" instead of accepting the bytes a second time.
 std::vector<util::Bytes> completed_transfer_keys(const njs::Journal& journal);
 
+// ---- bundles ---------------------------------------------------------------
+
+/// Identity of one file inside a durable bundle manifest.
+struct BundleFileMeta {
+  std::string name;
+  std::uint64_t size = 0;
+  crypto::Digest checksum{};
+  bool synthetic = false;
+
+  void encode(util::ByteWriter& w) const;
+  static BundleFileMeta decode(util::ByteReader& r);
+};
+
+/// Everything the receiver must remember about an inbound bundle: one
+/// journal record covers every file, which is the durable-write
+/// amortization that pairs with the wire's single open/close RTT.
+struct BundleManifest {
+  util::Bytes key;  // 32-byte bundle key (see make_bundle_key)
+  ajo::JobToken token = 0;
+  std::uint32_t chunk_bytes = kDefaultChunkBytes;
+  crypto::DistinguishedName principal;  // who is allowed to resume it
+  std::vector<BundleFileMeta> files;
+
+  void encode(util::ByteWriter& w) const;
+  static BundleManifest decode(util::ByteReader& r);
+};
+
+/// Bundle journal appenders — same WAL-before-ack contract as the
+/// single-file trio; chunk records add the in-bundle file index.
+void journal_bundle_manifest(njs::Journal& journal,
+                             const BundleManifest& manifest);
+void journal_bundle_chunk(njs::Journal& journal,
+                          const BundleManifest& manifest,
+                          std::uint32_t file_index, const Chunk& chunk);
+void journal_bundle_done(njs::Journal& journal,
+                         const BundleManifest& manifest);
+
+/// One half-finished bundle folded out of the journal.
+struct RecoveredBundle {
+  BundleManifest manifest;
+  /// (file index, chunk) pairs in journal order, no duplicates.
+  std::vector<std::pair<std::uint32_t, Chunk>> chunks;
+};
+
+/// Replays the journal's bundle records into the bundles that were
+/// open at crash time (kXferBundleDone erases).
+std::vector<RecoveredBundle> recover_bundles(const njs::Journal& journal);
+
+/// Keys of bundles that committed (kXferBundleDone).
+std::vector<util::Bytes> completed_bundle_keys(const njs::Journal& journal);
+
 }  // namespace unicore::xfer

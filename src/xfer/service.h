@@ -84,6 +84,15 @@ class Service : public njs::CrashParticipant {
   util::Result<util::Bytes> close(const crypto::DistinguishedName& principal,
                                   bool server_peer, Role role,
                                   util::ByteReader& r);
+  /// Bundle handlers (kXferBundleOpen / kXferBundleClose). Bundle
+  /// chunks ride the ordinary chunk() entry point: the transfer id
+  /// tells bundles from single files (one id counter covers both).
+  util::Result<util::Bytes> bundle_open(
+      const crypto::DistinguishedName& principal, bool server_peer, Role role,
+      util::ByteReader& r);
+  util::Result<util::Bytes> bundle_close(
+      const crypto::DistinguishedName& principal, bool server_peer, Role role,
+      util::ByteReader& r);
 
   // CrashParticipant: the table dies with the NJS process and is
   // rebuilt from the journal; an adopted journal's half-finished
@@ -95,6 +104,7 @@ class Service : public njs::CrashParticipant {
   // Introspection for tests and gauges.
   std::size_t inbound_open() const { return incoming_.size(); }
   std::size_t outbound_open() const { return outgoing_.size(); }
+  std::size_t bundles_open() const { return bundles_.size(); }
   std::uint64_t duplicates_suppressed() const {
     return duplicates_suppressed_;
   }
@@ -102,6 +112,11 @@ class Service : public njs::CrashParticipant {
   std::uint64_t transfers_completed() const { return transfers_completed_; }
   std::uint64_t transfers_recovered() const { return transfers_recovered_; }
   std::uint64_t chunks_deduped() const { return chunks_deduped_; }
+  std::uint64_t bundles_completed() const { return bundles_completed_; }
+  std::uint64_t bundles_recovered() const { return bundles_recovered_; }
+  std::uint64_t bundle_files_delivered() const {
+    return bundle_files_delivered_;
+  }
 
  private:
   struct Incoming {
@@ -116,26 +131,69 @@ class Service : public njs::CrashParticipant {
     std::uint32_t chunk_bytes = kDefaultChunkBytes;
     sim::EventId expiry = 0;
   };
+  /// One inbound bundle: per-file assemblies sharing one manifest, one
+  /// journal, and one credit window. Files deliver eagerly as their
+  /// last chunk lands (delivered[i] guards idempotency; the drained
+  /// assembly slot is reset so it stops counting against the window).
+  struct IncomingBundle {
+    BundleManifest manifest;
+    std::vector<Assembly> assemblies;   // aligned with manifest.files
+    std::vector<bool> delivered;
+    std::uint64_t id = 0;
+    sim::Time opened_at = 0;
+  };
+  struct OutgoingBundle {
+    std::uint64_t id = 0;
+    std::uint32_t chunk_bytes = kDefaultChunkBytes;
+    std::vector<std::shared_ptr<const uspace::FileBlob>> blobs;
+    sim::EventId expiry = 0;
+  };
 
   util::Result<util::Bytes> open_push(
-      const crypto::DistinguishedName& principal, util::ByteReader& r);
+      const crypto::DistinguishedName& principal, Role role,
+      util::ByteReader& r);
   util::Result<util::Bytes> open_pull(
       const crypto::DistinguishedName& principal, Role role,
       util::ByteReader& r);
   util::Result<util::Bytes> close_push(
-      const crypto::DistinguishedName& principal, util::ByteReader& r);
+      const crypto::DistinguishedName& principal, Role role,
+      util::ByteReader& r);
+  util::Result<util::Bytes> bundle_open_push(
+      const crypto::DistinguishedName& principal, Role role,
+      util::ByteReader& r);
+  util::Result<util::Bytes> bundle_open_pull(
+      const crypto::DistinguishedName& principal, Role role,
+      util::ByteReader& r);
+  util::Result<util::Bytes> bundle_push_chunk(
+      const crypto::DistinguishedName& principal, IncomingBundle& bundle,
+      util::ByteReader& r);
+  util::Result<util::Bytes> bundle_close_push(
+      const crypto::DistinguishedName& principal, Role role,
+      util::ByteReader& r);
 
   std::uint32_t clamp_chunk_bytes(std::uint32_t proposed) const;
   std::uint32_t credit_for(const Assembly& assembly) const;
+  std::uint32_t credit_for_bytes(std::uint32_t chunk_bytes) const;
   std::uint64_t buffered_total() const;
   PushOpenReply resume_reply(const Incoming& incoming) const;
+  BundleOpenReply bundle_resume_reply(const IncomingBundle& bundle) const;
   void touch_outgoing(Outgoing& outgoing);
+  void touch_outgoing_bundle(OutgoingBundle& outgoing);
   void drop_incoming(Incoming& incoming);
   void update_gauges();
   void fold_journal(const njs::Journal& journal);
+  void count_open(const char* kind);
 
   std::uint64_t satisfy_open(Incoming& incoming,
                              const PushOpenRequest& request);
+  /// Store-dedups every still-missing chunk of every undelivered file
+  /// and eagerly delivers files that complete; returns chunks satisfied.
+  std::uint64_t satisfy_bundle_open(IncomingBundle& bundle,
+                                    const BundleOpenRequest& request);
+  /// Finishes assembly `index` and hands the file to the NJS; resets
+  /// the assembly slot on success.
+  util::Status deliver_bundle_file(IncomingBundle& bundle,
+                                   std::uint32_t index);
 
   sim::Engine& engine_;
   njs::Njs& njs_;
@@ -146,6 +204,10 @@ class Service : public njs::CrashParticipant {
   std::map<std::uint64_t, Incoming*> incoming_by_id_;
   std::set<util::Bytes> completed_;
   std::map<std::uint64_t, Outgoing> outgoing_;
+  std::map<util::Bytes, std::unique_ptr<IncomingBundle>> bundles_;  // by key
+  std::map<std::uint64_t, IncomingBundle*> bundles_by_id_;
+  std::set<util::Bytes> completed_bundles_;
+  std::map<std::uint64_t, OutgoingBundle> outgoing_bundles_;
   std::uint64_t next_id_ = 1;
 
   std::uint64_t duplicates_suppressed_ = 0;
@@ -153,6 +215,9 @@ class Service : public njs::CrashParticipant {
   std::uint64_t transfers_completed_ = 0;
   std::uint64_t transfers_recovered_ = 0;
   std::uint64_t chunks_deduped_ = 0;
+  std::uint64_t bundles_completed_ = 0;
+  std::uint64_t bundles_recovered_ = 0;
+  std::uint64_t bundle_files_delivered_ = 0;
 };
 
 }  // namespace unicore::xfer

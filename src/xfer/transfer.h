@@ -67,6 +67,8 @@ struct TransferStats {
   std::uint64_t chunks = 0;          // chunks moved this run (not resumed-over)
   std::uint64_t retransmits = 0;     // chunk-level retries
   std::uint64_t duplicates = 0;      // chunks the receiver already had
+  std::uint64_t deduped = 0;         // pull: chunks satisfied from the local
+                                     // store via the open reply's manifest
   std::uint64_t resumes = 0;         // re-opens after failure
   std::uint64_t streams = 0;         // lanes actually used
   bool inlined = false;              // pull satisfied in the open reply
@@ -81,17 +83,64 @@ struct PushSpec {
   std::string source;  // sending Usite name (or "client")
   ajo::JobToken token = 0;
   std::string name;
+  Role role = Role::kPush;  // kPush (NJS–NJS) or kClientPush (staging)
 };
 
 struct PullSpec {
   Role role = Role::kPeerPull;  // kPeerPull or kClientPull
   ajo::JobToken token = 0;
   std::string name;
+  /// Optional local chunk store: chunks the open reply's digest
+  /// manifest says we already hold are satisfied without a request
+  /// (the pull-path mirror of the push-open dedup).
+  std::shared_ptr<store::ChunkStore> store;
 };
 
 struct PullResult {
   uspace::FileBlob blob;
   TransferStats stats;
+};
+
+// ---- bundles ---------------------------------------------------------------
+
+/// One file of a bundle push.
+struct BundleFile {
+  std::string name;
+  std::shared_ptr<const uspace::FileBlob> blob;
+};
+
+struct BundlePushSpec {
+  std::string source;  // sending Usite name (or "client")
+  ajo::JobToken token = 0;
+  Role role = Role::kPush;  // kPush or kClientPush
+};
+
+struct BundlePullSpec {
+  Role role = Role::kPeerPull;  // kPeerPull or kClientPull
+  ajo::JobToken token = 0;
+  std::vector<std::string> names;
+  /// Optional local chunk store, as in PullSpec.
+  std::shared_ptr<store::ChunkStore> store;
+};
+
+/// What a bundle transfer (one or more wire bundles) did.
+struct BundleStats {
+  std::uint64_t files = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t chunks = 0;       // chunks moved this run
+  std::uint64_t deduped = 0;      // chunks the open round trip settled
+  std::uint64_t duplicates = 0;   // chunks the receiver already had
+  std::uint64_t retransmits = 0;
+  std::uint64_t resumes = 0;
+  std::uint64_t bundles = 0;      // wire bundles (tree calls may slice)
+  std::uint64_t streams = 0;
+  sim::Time started_at = 0;
+  sim::Time finished_at = 0;
+};
+
+struct BundlePullResult {
+  std::vector<uspace::FileBlob> blobs;  // aligned with spec.names
+  BundleStats stats;
 };
 
 /// Drives pushes and pulls. One manager per endpoint (Usite server or
@@ -124,6 +173,34 @@ class TransferManager {
   void pull(std::shared_ptr<ChunkTransport> transport, const PullSpec& spec,
             const TransferOptions& options,
             std::function<void(util::Result<PullResult>)> done);
+
+  /// Streams up to kMaxBundleFiles files in ONE bundle: one open whose
+  /// reply dedups the whole batch, interleaved chunks sharing one
+  /// credit window, one close. Fails with kInvalidArgument above the
+  /// cap — use push_tree for arbitrary counts.
+  void push_bundle(std::shared_ptr<ChunkTransport> transport,
+                   const BundlePushSpec& spec, std::vector<BundleFile> files,
+                   const TransferOptions& options,
+                   std::function<void(util::Result<BundleStats>)> done);
+
+  /// Pushes any number of files, slicing them into sequential bundles
+  /// of kMaxBundleFiles; the returned stats aggregate all slices.
+  void push_tree(std::shared_ptr<ChunkTransport> transport,
+                 const BundlePushSpec& spec, std::vector<BundleFile> files,
+                 const TransferOptions& options,
+                 std::function<void(util::Result<BundleStats>)> done);
+
+  /// Fetches up to kMaxBundleFiles files in one bundle; the open
+  /// reply's per-file digest manifests let `spec.store` satisfy warm
+  /// chunks locally before anything is requested.
+  void pull_bundle(std::shared_ptr<ChunkTransport> transport,
+                   const BundlePullSpec& spec, const TransferOptions& options,
+                   std::function<void(util::Result<BundlePullResult>)> done);
+
+  /// Fetches any number of files, slicing into sequential bundles.
+  void pull_tree(std::shared_ptr<ChunkTransport> transport,
+                 const BundlePullSpec& spec, const TransferOptions& options,
+                 std::function<void(util::Result<BundlePullResult>)> done);
 
  private:
   sim::Engine& engine_;

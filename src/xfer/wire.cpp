@@ -120,7 +120,7 @@ std::vector<ChunkRange> decode_ranges(ByteReader& r) {
 
 Bytes PushOpenRequest::encode() const {
   ByteWriter w;
-  w.u8(static_cast<std::uint8_t>(Role::kPush));
+  w.u8(static_cast<std::uint8_t>(role));
   w.blob(key);
   w.u64(token);
   w.str(name);
@@ -133,8 +133,9 @@ Bytes PushOpenRequest::encode() const {
   return w.take();
 }
 
-PushOpenRequest PushOpenRequest::decode(ByteReader& r) {
+PushOpenRequest PushOpenRequest::decode(Role role, ByteReader& r) {
   PushOpenRequest request;
+  request.role = role;
   request.key = r.blob();
   request.token = r.u64();
   request.name = r.str();
@@ -198,6 +199,8 @@ Bytes PullOpenReply::encode() const {
   w.u64(size);
   w.raw(checksum);
   w.boolean(synthetic);
+  w.varint(digests.size());
+  for (const crypto::Digest& digest : digests) w.raw(digest);
   return w.take();
 }
 
@@ -213,6 +216,9 @@ PullOpenReply PullOpenReply::decode(ByteReader& r) {
   reply.size = r.u64();
   reply.checksum = read_digest(r);
   reply.synthetic = r.boolean();
+  std::uint64_t n = r.varint();
+  reply.digests.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) reply.digests.push_back(read_digest(r));
   return reply;
 }
 
@@ -220,7 +226,7 @@ PullOpenReply PullOpenReply::decode(ByteReader& r) {
 
 Bytes PushChunkRequest::encode() const {
   ByteWriter w;
-  w.u8(static_cast<std::uint8_t>(Role::kPush));
+  w.u8(static_cast<std::uint8_t>(role));
   w.u64(transfer_id);
   chunk.encode(w);
   return w.take();
@@ -269,7 +275,7 @@ Bytes CloseRequest::encode() const {
   ByteWriter w;
   w.u8(static_cast<std::uint8_t>(role));
   w.u64(transfer_id);
-  if (role == Role::kPush) w.blob(key);
+  if (role_is_push(role)) w.blob(key);
   return w.take();
 }
 
@@ -277,8 +283,219 @@ CloseRequest CloseRequest::decode(Role role, ByteReader& r) {
   CloseRequest request;
   request.role = role;
   request.transfer_id = r.u64();
-  if (role == Role::kPush) request.key = r.blob();
+  if (role_is_push(role)) request.key = r.blob();
   return request;
+}
+
+// ---- kXferBundleOpen -------------------------------------------------------
+
+void BundleFileEntry::encode(ByteWriter& w) const {
+  w.str(name);
+  w.u64(size);
+  w.raw(checksum);
+  w.boolean(synthetic);
+  w.varint(digests.size());
+  for (const crypto::Digest& digest : digests) w.raw(digest);
+}
+
+BundleFileEntry BundleFileEntry::decode(ByteReader& r) {
+  BundleFileEntry entry;
+  entry.name = r.str();
+  entry.size = r.u64();
+  entry.checksum = read_digest(r);
+  entry.synthetic = r.boolean();
+  std::uint64_t n = r.varint();
+  entry.digests.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) entry.digests.push_back(read_digest(r));
+  return entry;
+}
+
+Bytes BundleOpenRequest::encode() const {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(role));
+  w.blob(key);
+  w.u64(token);
+  w.u32(proposed_chunk_bytes);
+  w.varint(files.size());
+  for (const BundleFileEntry& file : files) file.encode(w);
+  return w.take();
+}
+
+BundleOpenRequest BundleOpenRequest::decode(ByteReader& r) {
+  BundleOpenRequest request;
+  request.key = r.blob();
+  request.token = r.u64();
+  request.proposed_chunk_bytes = r.u32();
+  std::uint64_t n = r.varint();
+  request.files.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i)
+    request.files.push_back(BundleFileEntry::decode(r));
+  return request;
+}
+
+void BundleFileState::encode(ByteWriter& w) const {
+  w.boolean(complete);
+  encode_ranges(w, have);
+}
+
+BundleFileState BundleFileState::decode(ByteReader& r) {
+  BundleFileState state;
+  state.complete = r.boolean();
+  state.have = decode_ranges(r);
+  return state;
+}
+
+Bytes BundleOpenReply::encode() const {
+  ByteWriter w;
+  w.u64(transfer_id);
+  w.u32(chunk_bytes);
+  w.u32(credit);
+  w.varint(files.size());
+  for (const BundleFileState& file : files) file.encode(w);
+  return w.take();
+}
+
+BundleOpenReply BundleOpenReply::decode(ByteReader& r) {
+  BundleOpenReply reply;
+  reply.transfer_id = r.u64();
+  reply.chunk_bytes = r.u32();
+  reply.credit = r.u32();
+  std::uint64_t n = r.varint();
+  reply.files.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i)
+    reply.files.push_back(BundleFileState::decode(r));
+  return reply;
+}
+
+Bytes BundleChunkRequest::encode() const {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(role));
+  w.u64(transfer_id);
+  w.u32(file_index);
+  chunk.encode(w);
+  return w.take();
+}
+
+BundleChunkRequest BundleChunkRequest::decode(std::uint64_t transfer_id,
+                                              ByteReader& r) {
+  BundleChunkRequest request;
+  request.transfer_id = transfer_id;
+  request.file_index = r.u32();
+  request.chunk = Chunk::decode(r);
+  return request;
+}
+
+Bytes BundlePullOpenRequest::encode() const {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(role));
+  w.u64(token);
+  w.u32(proposed_chunk_bytes);
+  w.varint(names.size());
+  for (const std::string& name : names) w.str(name);
+  return w.take();
+}
+
+BundlePullOpenRequest BundlePullOpenRequest::decode(Role role, ByteReader& r) {
+  BundlePullOpenRequest request;
+  request.role = role;
+  request.token = r.u64();
+  request.proposed_chunk_bytes = r.u32();
+  std::uint64_t n = r.varint();
+  request.names.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) request.names.push_back(r.str());
+  return request;
+}
+
+void BundlePullFileInfo::encode(ByteWriter& w) const {
+  w.u64(size);
+  w.raw(checksum);
+  w.boolean(synthetic);
+  w.varint(digests.size());
+  for (const crypto::Digest& digest : digests) w.raw(digest);
+}
+
+BundlePullFileInfo BundlePullFileInfo::decode(ByteReader& r) {
+  BundlePullFileInfo info;
+  info.size = r.u64();
+  info.checksum = read_digest(r);
+  info.synthetic = r.boolean();
+  std::uint64_t n = r.varint();
+  info.digests.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) info.digests.push_back(read_digest(r));
+  return info;
+}
+
+Bytes BundlePullOpenReply::encode() const {
+  ByteWriter w;
+  w.u64(transfer_id);
+  w.u32(chunk_bytes);
+  w.varint(files.size());
+  for (const BundlePullFileInfo& file : files) file.encode(w);
+  return w.take();
+}
+
+BundlePullOpenReply BundlePullOpenReply::decode(ByteReader& r) {
+  BundlePullOpenReply reply;
+  reply.transfer_id = r.u64();
+  reply.chunk_bytes = r.u32();
+  std::uint64_t n = r.varint();
+  reply.files.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i)
+    reply.files.push_back(BundlePullFileInfo::decode(r));
+  return reply;
+}
+
+Bytes BundlePullChunkRequest::encode() const {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(role));
+  w.u64(transfer_id);
+  w.u32(file_index);
+  w.u64(index);
+  return w.take();
+}
+
+BundlePullChunkRequest BundlePullChunkRequest::decode(Role role,
+                                                      std::uint64_t transfer_id,
+                                                      ByteReader& r) {
+  BundlePullChunkRequest request;
+  request.role = role;
+  request.transfer_id = transfer_id;
+  request.file_index = r.u32();
+  request.index = r.u64();
+  return request;
+}
+
+// ---- kXferBundleClose ------------------------------------------------------
+
+Bytes BundleCloseRequest::encode() const {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(role));
+  w.u64(transfer_id);
+  if (role_is_push(role)) w.blob(key);
+  return w.take();
+}
+
+BundleCloseRequest BundleCloseRequest::decode(Role role, ByteReader& r) {
+  BundleCloseRequest request;
+  request.role = role;
+  request.transfer_id = r.u64();
+  if (role_is_push(role)) request.key = r.blob();
+  return request;
+}
+
+Bytes make_bundle_key(const std::string& source_usite, ajo::JobToken token,
+                      const std::vector<BundleFileEntry>& files) {
+  ByteWriter w;
+  w.str("unicore-xfer-bundle-key");
+  w.str(source_usite);
+  w.u64(token);
+  w.varint(files.size());
+  for (const BundleFileEntry& file : files) {
+    w.str(file.name);
+    w.raw(file.checksum);
+    w.u64(file.size);
+  }
+  return crypto::digest_bytes(crypto::sha256(w.bytes()));
 }
 
 }  // namespace unicore::xfer

@@ -26,12 +26,16 @@
 
 namespace unicore::xfer {
 
-/// The three request kinds of the transfer protocol, abstracted from
-/// the server layer's RequestKind so this library stays below it.
+/// The request kinds of the transfer protocol, abstracted from the
+/// server layer's RequestKind so this library stays below it.
 enum class Op : std::uint8_t {
   kOpen = 1,
   kChunk = 2,
   kClose = 3,
+  // Bundle transfers: one open/close pair covers many files whose
+  // chunks interleave over ordinary kChunk frames (docs/DATA.md §3).
+  kBundleOpen = 4,
+  kBundleClose = 5,
 };
 
 /// Who is driving the transfer (first byte of every body).
@@ -39,7 +43,23 @@ enum class Role : std::uint8_t {
   kPush = 1,        // peer NJS streams a file into a job's Uspace
   kPeerPull = 2,    // peer NJS reads a dependency file chunk-wise
   kClientPull = 3,  // JMC client fetches a job output chunk-wise
+  kClientPush = 4,  // JPA client stages files into its own job's Uspace
 };
+
+/// Does the role authenticate with a peer-server certificate (NJS–NJS
+/// traffic) rather than a user certificate (JPA/JMC traffic)?
+constexpr bool role_is_server_peer(Role role) {
+  return role == Role::kPush || role == Role::kPeerPull;
+}
+/// Is the role the sending end of a push-style transfer?
+constexpr bool role_is_push(Role role) {
+  return role == Role::kPush || role == Role::kClientPush;
+}
+
+/// Most files one bundle open may carry. Larger trees slice into
+/// several bundles (TransferManager::push_tree / pull_tree), keeping
+/// open-reply bodies and per-bundle journal records bounded.
+constexpr std::uint32_t kMaxBundleFiles = 4096;
 
 /// Chunk-size negotiation bounds. The receiver clamps the sender's
 /// proposal into [kMinChunkBytes, kMaxChunkBytes].
@@ -107,7 +127,8 @@ std::vector<ChunkRange> decode_ranges(util::ByteReader& r);
 // ---- kXferOpen -------------------------------------------------------------
 
 struct PushOpenRequest {
-  util::Bytes key;  // 32-byte transfer key
+  Role role = Role::kPush;  // kPush or kClientPush
+  util::Bytes key;          // 32-byte transfer key
   ajo::JobToken token = 0;
   std::string name;
   std::uint64_t size = 0;
@@ -121,8 +142,8 @@ struct PushOpenRequest {
   /// meaningful when the receiver accepts the proposed chunk size.
   std::vector<crypto::Digest> digests;
 
-  util::Bytes encode() const;  // includes the Role::kPush byte
-  static PushOpenRequest decode(util::ByteReader& r);  // after the role byte
+  util::Bytes encode() const;  // includes the role byte
+  static PushOpenRequest decode(Role role, util::ByteReader& r);
 };
 
 struct PushOpenReply {
@@ -156,6 +177,11 @@ struct PullOpenReply {
   std::uint64_t size = 0;
   crypto::Digest checksum{};
   bool synthetic = false;
+  /// Per-chunk digests at chunk_bytes granularity (may be empty). A
+  /// puller with a chunk store satisfies matching chunks locally and
+  /// only requests the rest — the pull-path mirror of the push-open
+  /// dedup manifest.
+  std::vector<crypto::Digest> digests;
 
   util::Bytes encode() const;
   static PullOpenReply decode(util::ByteReader& r);
@@ -164,11 +190,12 @@ struct PullOpenReply {
 // ---- kXferChunk ------------------------------------------------------------
 
 struct PushChunkRequest {
+  Role role = Role::kPush;  // kPush or kClientPush
   std::uint64_t transfer_id = 0;
   Chunk chunk;
 
   util::Bytes encode() const;
-  static PushChunkRequest decode(util::ByteReader& r);
+  static PushChunkRequest decode(util::ByteReader& r);  // after the role byte
 };
 
 struct PushChunkReply {
@@ -200,5 +227,141 @@ struct CloseRequest {
   static CloseRequest decode(Role role, util::ByteReader& r);
 };
 // Close replies carry no payload; errors travel in the envelope.
+
+// ---- kXferBundleOpen -------------------------------------------------------
+//
+// One bundle open carries the manifests of up to kMaxBundleFiles files.
+// The reply's per-file have-ranges let the receiver's chunk store dedup
+// the whole batch in a single round trip, and all files share one
+// windowed credit loop, one durable journal manifest, and one close —
+// which is what amortizes the per-file open/close RTTs away for
+// small-file trees (docs/DATA.md §3).
+
+/// The manifest of one file inside a bundle open.
+struct BundleFileEntry {
+  std::string name;
+  std::uint64_t size = 0;
+  crypto::Digest checksum{};
+  bool synthetic = false;
+  /// Per-chunk digests at the bundle's proposed_chunk_bytes (may be
+  /// empty). Same dedup contract as PushOpenRequest::digests.
+  std::vector<crypto::Digest> digests;
+
+  void encode(util::ByteWriter& w) const;
+  static BundleFileEntry decode(util::ByteReader& r);
+};
+
+struct BundleOpenRequest {
+  Role role = Role::kPush;  // kPush or kClientPush
+  util::Bytes key;          // 32-byte bundle key (make_bundle_key)
+  ajo::JobToken token = 0;
+  std::uint32_t proposed_chunk_bytes = kDefaultChunkBytes;
+  std::vector<BundleFileEntry> files;
+
+  util::Bytes encode() const;  // includes the role byte
+  static BundleOpenRequest decode(util::ByteReader& r);  // after the role byte
+};
+
+/// Resume/dedup state of one file, aligned with the request's files.
+struct BundleFileState {
+  bool complete = false;  // already delivered (dedup or resume)
+  std::vector<ChunkRange> have;
+
+  void encode(util::ByteWriter& w) const;
+  static BundleFileState decode(util::ByteReader& r);
+};
+
+struct BundleOpenReply {
+  /// 0 when the bundle was already committed (tombstone) — every file
+  /// reads complete and there is nothing left to send.
+  std::uint64_t transfer_id = 0;
+  std::uint32_t chunk_bytes = 0;
+  std::uint32_t credit = 0;  // one shared window across all files
+  std::vector<BundleFileState> files;
+
+  util::Bytes encode() const;
+  static BundleOpenReply decode(util::ByteReader& r);
+};
+
+/// A bundle chunk rides the ordinary kXferChunk frame; the receiver
+/// tells bundles from single-file transfers by the transfer_id (both
+/// draw ids from one counter). file_index selects the bundle entry.
+struct BundleChunkRequest {
+  Role role = Role::kPush;  // kPush or kClientPush
+  std::uint64_t transfer_id = 0;
+  std::uint32_t file_index = 0;
+  Chunk chunk;
+
+  util::Bytes encode() const;
+  static BundleChunkRequest decode(std::uint64_t transfer_id,
+                                   util::ByteReader& r);
+};
+// Bundle chunk replies reuse PushChunkReply.
+
+/// Pull-side bundle open: name the files, get back each one's identity
+/// AND its chunk digests — the manifest negotiation the single-file
+/// pull path lacks, letting the puller's chunk store satisfy warm
+/// chunks locally before requesting anything.
+struct BundlePullOpenRequest {
+  Role role = Role::kPeerPull;  // kPeerPull or kClientPull
+  ajo::JobToken token = 0;
+  std::uint32_t proposed_chunk_bytes = kDefaultChunkBytes;
+  std::vector<std::string> names;
+
+  util::Bytes encode() const;
+  static BundlePullOpenRequest decode(Role role, util::ByteReader& r);
+};
+
+struct BundlePullFileInfo {
+  std::uint64_t size = 0;
+  crypto::Digest checksum{};
+  bool synthetic = false;
+  /// Chunk digests at the reply's chunk_bytes — the pull-path manifest.
+  std::vector<crypto::Digest> digests;
+
+  void encode(util::ByteWriter& w) const;
+  static BundlePullFileInfo decode(util::ByteReader& r);
+};
+
+struct BundlePullOpenReply {
+  std::uint64_t transfer_id = 0;
+  std::uint32_t chunk_bytes = 0;
+  std::vector<BundlePullFileInfo> files;  // aligned with request names
+
+  util::Bytes encode() const;
+  static BundlePullOpenReply decode(util::ByteReader& r);
+};
+
+struct BundlePullChunkRequest {
+  Role role = Role::kPeerPull;
+  std::uint64_t transfer_id = 0;
+  std::uint32_t file_index = 0;
+  std::uint64_t index = 0;
+
+  util::Bytes encode() const;
+  static BundlePullChunkRequest decode(Role role, std::uint64_t transfer_id,
+                                       util::ByteReader& r);
+};
+// A bundle pull chunk reply is a bare Chunk::encode body.
+
+// ---- kXferBundleClose ------------------------------------------------------
+
+struct BundleCloseRequest {
+  Role role = Role::kPush;
+  std::uint64_t transfer_id = 0;
+  util::Bytes key;  // push roles only: identifies the bundle across crashes
+
+  util::Bytes encode() const;
+  static BundleCloseRequest decode(Role role, util::ByteReader& r);
+};
+// Bundle close replies carry no payload; errors travel in the envelope.
+
+/// The durable identity of one bundle: SHA-256 over (source site,
+/// target token, each file's name/checksum/size). Stable across
+/// retries and crashes, like make_transfer_key, and distinct from any
+/// single-file key by domain separation.
+util::Bytes make_bundle_key(const std::string& source_usite,
+                            ajo::JobToken token,
+                            const std::vector<BundleFileEntry>& files);
 
 }  // namespace unicore::xfer

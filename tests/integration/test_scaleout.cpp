@@ -292,5 +292,71 @@ TEST(Scaleout, HandoffUnderMidFlightChunkedTransfer) {
   EXPECT_EQ(ruka.xfer_service_replica(0).inbound_open(), 0u);
 }
 
+TEST(Scaleout, KilledReplicaIsSkippedByRingRoutingMidSession) {
+  ScaleoutSite site;
+  const crypto::DistinguishedName& dn = site.user.certificate.subject;
+  std::vector<net::Address> route = site.server->route_addresses(dn);
+  ASSERT_EQ(route.size(), 3u);
+  // The failover list's head is the plain routed address; the rest are
+  // the clockwise ring walk.
+  EXPECT_EQ(route[0], site.server->route_address(dn));
+
+  auto async_client = site.make_client();
+  client::SyncClient sync(site.grid.engine(), *async_client);
+  ASSERT_TRUE(sync.connect(route[0]).ok());
+  auto first = sync.submit(site.job("before-kill"));
+  ASSERT_TRUE(first.ok()) << first.error().to_string();
+  site.grid.engine().run();
+
+  // Kill the replica this session landed on: listener closed, ring
+  // entry removed, live sessions severed.
+  site.server->stop_gateway_replica(route[0].port - 4433);
+
+  std::vector<net::Address> rerouted = site.server->route_addresses(dn);
+  ASSERT_EQ(rerouted.size(), 2u);
+  EXPECT_EQ(rerouted[0], route[1]);  // failover preserves ring order
+  EXPECT_EQ(std::find(rerouted.begin(), rerouted.end(), route[0]),
+            rerouted.end());
+  EXPECT_EQ(site.server->route_address(dn), route[1]);
+
+  // The severed session cannot serve requests any more.
+  auto dead_list = sync.list();
+  EXPECT_FALSE(dead_list.ok());
+
+  // connect_any against the ORIGINAL preference list: the dead head is
+  // skipped, the handshake lands on the next ring node, and the new
+  // session sees the consigned job.
+  auto failover_client = site.make_client();
+  std::optional<util::Status> connected;
+  failover_client->connect_any(
+      route, [&](util::Status status) { connected = status; });
+  while (!connected && site.grid.engine().step()) {
+  }
+  ASSERT_TRUE(connected.has_value());
+  ASSERT_TRUE(connected->ok()) << connected->error().to_string();
+  client::SyncClient failover_sync(site.grid.engine(), *failover_client);
+  auto listed = failover_sync.list();
+  ASSERT_TRUE(listed.ok()) << listed.error().to_string();
+  EXPECT_EQ(listed.value().size(), 1u);
+  auto second = failover_sync.submit(site.job("after-failover"));
+  EXPECT_TRUE(second.ok()) << second.error().to_string();
+}
+
+TEST(Scaleout, ConnectAnyFailsCleanlyWhenEveryReplicaIsDead) {
+  ScaleoutSite site;
+  std::vector<net::Address> route =
+      site.server->route_addresses(site.user.certificate.subject);
+  for (std::size_t i = 0; i < 3; ++i) site.server->stop_gateway_replica(i);
+
+  auto client = site.make_client();
+  std::optional<util::Status> connected;
+  client->connect_any(route, [&](util::Status status) { connected = status; });
+  while (!connected && site.grid.engine().step()) {
+  }
+  ASSERT_TRUE(connected.has_value());
+  EXPECT_FALSE(connected->ok());
+  EXPECT_FALSE(client->connected());
+}
+
 }  // namespace
 }  // namespace unicore

@@ -341,5 +341,174 @@ TEST(XferIntegration, SmallOutputInlinesWithoutChunkTraffic) {
   EXPECT_EQ(sites.fz->xfer_service().outbound_open(), 0u);
 }
 
+// ---- bundle transfers (docs/DATA.md §3) ------------------------------------
+
+std::vector<std::pair<std::string, std::shared_ptr<const uspace::FileBlob>>>
+make_tree(std::size_t count, std::uint64_t bytes, const std::string& stem) {
+  std::vector<std::pair<std::string, std::shared_ptr<const uspace::FileBlob>>>
+      files;
+  for (std::size_t i = 0; i < count; ++i)
+    files.emplace_back(stem + std::to_string(i),
+                       std::make_shared<const uspace::FileBlob>(
+                           uspace::FileBlob::synthetic(bytes, 500 + i)));
+  return files;
+}
+
+util::Status deliver_tree(
+    XferSites& sites,
+    std::vector<std::pair<std::string,
+                          std::shared_ptr<const uspace::FileBlob>>>
+        files) {
+  std::optional<util::Status> out;
+  sites.fz->deliver_files(njs::RemoteJobHandle{"RUKA", sites.receiver},
+                          std::move(files),
+                          [&](util::Status status) { out = status; });
+  while (!out && sites.grid.engine().step()) {
+  }
+  if (!out)
+    return util::make_error(util::ErrorCode::kInternal,
+                            "event queue drained before delivery finished");
+  return *out;
+}
+
+TEST(XferIntegration, BundleDeliveryMovesTreeInOneManifestRoundTrip) {
+  XferSites sites;
+  auto files = make_tree(40, 128 << 10, "tree/f");
+  ASSERT_TRUE(deliver_tree(sites, files).ok());
+  // One bundle covered all 40 files — not 40 transfers, and none of
+  // them took the legacy path despite sitting under the 4 MiB
+  // threshold (the bundle carries the batch regardless of size).
+  EXPECT_EQ(sites.fz->transfer_stats().bundled, 1u);
+  EXPECT_EQ(sites.fz->transfer_stats().chunked, 0u);
+  EXPECT_EQ(sites.fz->transfer_stats().legacy, 0u);
+  EXPECT_EQ(sites.ruka->xfer_service().bundles_completed(), 1u);
+  EXPECT_EQ(sites.ruka->xfer_service().bundle_files_delivered(), 40u);
+  for (const auto& [name, blob] : files)
+    EXPECT_EQ(sites.delivered_checksum(name), blob->checksum());
+}
+
+TEST(XferIntegration, PartitionMidBundleResumesFromLastAckedChunk) {
+  XferSites sites;
+  sites.snappy_sender();
+
+  // Cut the inter-gateway path while bundle chunks are interleaving,
+  // heal it 1.5 simulated seconds later: the re-open by bundle key
+  // restores every per-file bitmap from the receiver's journal.
+  net::FaultInjector faults(sites.grid.engine(), sites.grid.network());
+  sim::Time now = sites.grid.engine().now();
+  faults.partition_for(now + sim::msec(300), sim::msec(1500),
+                       "gw.fz-juelich.de", "gw.ruka.de");
+
+  auto files = make_tree(16, 1 << 20, "part/f");  // 16 chunks total
+  util::Status status = deliver_tree(sites, files);
+  ASSERT_TRUE(status.ok()) << status.error().to_string();
+  // Zero duplicate applications: every one of the 16 chunks landed
+  // exactly once even though the outage forced retransmits and a
+  // resume — the same invariant the single-file path keeps.
+  EXPECT_EQ(sites.ruka->xfer_service().chunks_applied(), 16u);
+  EXPECT_EQ(sites.ruka->xfer_service().bundle_files_delivered(), 16u);
+  EXPECT_EQ(sites.ruka->xfer_service().bundles_open(), 0u);
+  for (const auto& [name, blob] : files)
+    EXPECT_EQ(sites.delivered_checksum(name), blob->checksum());
+}
+
+TEST(XferIntegration, BundlelessPeerFallsBackToPerFileTransfers) {
+  XferSites sites;
+  // RUKA speaks chunked transfers but not bundles (a pre-bundle
+  // deployment): FZJ must degrade to one transfer per file.
+  sites.ruka->set_advertised_features(net::kFeatureJournalInspect |
+                                      net::kFeatureChunkedXfer);
+  auto files = make_tree(6, 128 << 10, "v1/f");
+  ASSERT_TRUE(deliver_tree(sites, files).ok());
+  EXPECT_EQ(sites.fz->transfer_stats().bundled, 0u);
+  EXPECT_EQ(sites.ruka->xfer_service().bundles_completed(), 0u);
+  // Each file still arrived (chunked or legacy per the threshold).
+  EXPECT_EQ(sites.fz->transfer_stats().total(), 6u);
+  for (const auto& [name, blob] : files)
+    EXPECT_EQ(sites.delivered_checksum(name), blob->checksum());
+}
+
+TEST(XferIntegration, ClientPushTreeStagesInputsAsOneBundle) {
+  XferSites sites;
+
+  client::JobBuilder builder("consumer");
+  builder.destination("FZ-Juelich", "T3E-600").account_group("project-a");
+  client::TaskOptions options;
+  options.resources = {1, 600, 64, 0, 8};
+  options.behavior.nominal_seconds = 2;
+  builder.script("consume", "./solver mesh/*\n", options);
+  ajo::AbstractJobObject job =
+      builder.build(sites.user.certificate.subject).value();
+
+  auto client = sites.make_client(/*transfer_streams=*/4);
+  client::SyncClient sync(sites.grid.engine(), *client);
+  ASSERT_TRUE(sync.connect(sites.fz->address()).ok());
+  auto token = sync.submit(job);
+  ASSERT_TRUE(token.ok()) << token.error().to_string();
+
+  std::vector<std::pair<std::string, uspace::FileBlob>> inputs;
+  for (std::size_t i = 0; i < 25; ++i)
+    inputs.emplace_back("mesh/part" + std::to_string(i),
+                        uspace::FileBlob::synthetic(96 << 10, 700 + i));
+  auto stats = sync.wait(client->push_tree(token.value(), inputs));
+  ASSERT_TRUE(stats.ok()) << stats.error().to_string();
+  EXPECT_EQ(stats.value().files, 25u);
+  EXPECT_EQ(stats.value().bundles, 1u);
+  EXPECT_EQ(client->output_stats().bundled, 1u);
+  EXPECT_EQ(sites.fz->xfer_service().bundle_files_delivered(), 25u);
+  for (const auto& [name, blob] : inputs) {
+    auto staged = sites.fz->njs().fetch_file_shared(token.value(), name);
+    ASSERT_TRUE(staged.ok()) << staged.error().to_string();
+    EXPECT_EQ(staged.value()->checksum(), blob.checksum());
+  }
+}
+
+TEST(XferIntegration, ClientFetchTreeFetchesOutputsAsOneBundle) {
+  XferSites sites;
+
+  client::JobBuilder builder("producer");
+  builder.destination("FZ-Juelich", "T3E-600").account_group("project-a");
+  client::TaskOptions options;
+  options.resources = {1, 600, 64, 0, 8};
+  options.behavior.nominal_seconds = 2;
+  options.behavior.output_files = {{"out0", 512 << 10},
+                                   {"out1", 512 << 10},
+                                   {"out2", 512 << 10}};
+  builder.script("produce", "./solver\n", options);
+
+  auto client = sites.make_client(/*transfer_streams=*/4);
+  client::SyncClient sync(sites.grid.engine(), *client);
+  ASSERT_TRUE(sync.connect(sites.fz->address()).ok());
+  auto token =
+      sync.submit(builder.build(sites.user.certificate.subject).value());
+  ASSERT_TRUE(token.ok()) << token.error().to_string();
+  sites.grid.engine().run();
+
+  std::vector<std::string> names{"out0", "out1", "out2"};
+  auto blobs = sync.wait(client->fetch_tree(token.value(), names));
+  ASSERT_TRUE(blobs.ok()) << blobs.error().to_string();
+  ASSERT_EQ(blobs.value().size(), 3u);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    auto direct = sites.fz->njs().fetch_file_shared(token.value(), names[i]);
+    ASSERT_TRUE(direct.ok());
+    EXPECT_EQ(blobs.value()[i].checksum(), direct.value()->checksum());
+  }
+  // One bundled fetch, not three sequential pulls.
+  EXPECT_EQ(client->output_stats().bundled, 1u);
+  EXPECT_EQ(sites.fz->xfer_service().outbound_open(), 0u);
+
+  // A streams=0 client sees the same content through the sequential
+  // fallback path.
+  auto legacy_client = sites.make_client(/*transfer_streams=*/0);
+  client::SyncClient legacy_sync(sites.grid.engine(), *legacy_client);
+  ASSERT_TRUE(legacy_sync.connect(sites.fz->address()).ok());
+  auto legacy = legacy_sync.wait(
+      legacy_client->fetch_tree(token.value(), names));
+  ASSERT_TRUE(legacy.ok()) << legacy.error().to_string();
+  EXPECT_EQ(legacy_client->output_stats().bundled, 0u);
+  ASSERT_EQ(legacy.value().size(), 3u);
+  EXPECT_EQ(legacy.value()[0].checksum(), blobs.value()[0].checksum());
+}
+
 }  // namespace
 }  // namespace unicore

@@ -134,7 +134,7 @@ TEST(OpenCodec, PushRequestLeadsWithRoleByte) {
   util::Bytes wire = req.encode();
   util::ByteReader r{wire};
   EXPECT_EQ(static_cast<Role>(r.u8()), Role::kPush);
-  PushOpenRequest decoded = PushOpenRequest::decode(r);
+  PushOpenRequest decoded = PushOpenRequest::decode(Role::kPush, r);
   EXPECT_TRUE(r.done());
   EXPECT_EQ(decoded.key, req.key);
   EXPECT_EQ(decoded.token, req.token);
@@ -252,6 +252,159 @@ TEST(CloseCodec, PushCarriesKeyPullDoesNot) {
   util::ByteReader pr{pull_close_wire};
   Role prole = static_cast<Role>(pr.u8());
   CloseRequest pdec = CloseRequest::decode(prole, pr);
+  EXPECT_EQ(pdec.transfer_id, 9u);
+  EXPECT_TRUE(pdec.key.empty());
+}
+
+TEST(BundleCodec, OpenRequestRoundTripsManifests) {
+  uspace::FileBlob a = uspace::FileBlob::from_string("alpha");
+  uspace::FileBlob b = uspace::FileBlob::synthetic(3 << 20, 5);
+  BundleOpenRequest request;
+  request.role = Role::kClientPush;
+  request.token = 42;
+  request.proposed_chunk_bytes = kMinChunkBytes;
+  for (const uspace::FileBlob* blob : {&a, &b}) {
+    BundleFileEntry entry;
+    entry.name = blob == &a ? "a.txt" : "b.bin";
+    entry.size = blob->size();
+    entry.checksum = blob->checksum();
+    entry.synthetic = blob->is_synthetic();
+    entry.digests = blob->chunk_digests(kMinChunkBytes);
+    request.files.push_back(std::move(entry));
+  }
+  request.key = make_bundle_key("FZJ", request.token, request.files);
+  ASSERT_EQ(request.key.size(), 32u);
+
+  util::Bytes wire = request.encode();
+  util::ByteReader r{wire};
+  Role role = static_cast<Role>(r.u8());
+  EXPECT_EQ(role, Role::kClientPush);
+  BundleOpenRequest decoded = BundleOpenRequest::decode(r);
+  EXPECT_EQ(decoded.key, request.key);
+  EXPECT_EQ(decoded.token, 42u);
+  EXPECT_EQ(decoded.proposed_chunk_bytes, kMinChunkBytes);
+  ASSERT_EQ(decoded.files.size(), 2u);
+  EXPECT_EQ(decoded.files[0].name, "a.txt");
+  EXPECT_EQ(decoded.files[0].checksum, a.checksum());
+  EXPECT_EQ(decoded.files[0].digests, a.chunk_digests(kMinChunkBytes));
+  EXPECT_EQ(decoded.files[1].size, b.size());
+  EXPECT_TRUE(decoded.files[1].synthetic);
+  EXPECT_EQ(decoded.files[1].digests.size(), 48u);  // 3 MiB / 64 KiB
+}
+
+TEST(BundleCodec, BundleKeyIsOrderAndContentSensitive) {
+  BundleFileEntry a;
+  a.name = "a";
+  a.size = 1;
+  BundleFileEntry b;
+  b.name = "b";
+  b.size = 2;
+  util::Bytes key = make_bundle_key("FZJ", 7, {a, b});
+  EXPECT_EQ(key, make_bundle_key("FZJ", 7, {a, b}));  // deterministic
+  EXPECT_NE(key, make_bundle_key("FZJ", 7, {b, a}));  // order matters
+  EXPECT_NE(key, make_bundle_key("LRZ", 7, {a, b}));  // source matters
+  EXPECT_NE(key, make_bundle_key("FZJ", 8, {a, b}));  // token matters
+  b.size = 3;
+  EXPECT_NE(key, make_bundle_key("FZJ", 7, {a, b}));  // content matters
+}
+
+TEST(BundleCodec, OpenReplyRoundTripsPerFileState) {
+  BundleOpenReply reply;
+  reply.transfer_id = 99;
+  reply.chunk_bytes = kMinChunkBytes;
+  reply.credit = 12;
+  BundleFileState done;
+  done.complete = true;
+  BundleFileState partial;
+  partial.have = {{0, 3}, {7, 9}};
+  reply.files = {done, partial};
+
+  util::Bytes wire = reply.encode();
+  util::ByteReader r{wire};
+  BundleOpenReply decoded = BundleOpenReply::decode(r);
+  EXPECT_EQ(decoded.transfer_id, 99u);
+  EXPECT_EQ(decoded.credit, 12u);
+  ASSERT_EQ(decoded.files.size(), 2u);
+  EXPECT_TRUE(decoded.files[0].complete);
+  EXPECT_TRUE(decoded.files[0].have.empty());
+  EXPECT_FALSE(decoded.files[1].complete);
+  ASSERT_EQ(decoded.files[1].have.size(), 2u);
+  EXPECT_EQ(decoded.files[1].have[1].first, 7u);
+  EXPECT_EQ(decoded.files[1].have[1].count, 9u);
+}
+
+TEST(BundleCodec, ChunkRequestCarriesFileIndexAfterTransferId) {
+  uspace::FileBlob blob = uspace::FileBlob::from_string("bundle chunk");
+  BundleChunkRequest request;
+  request.role = Role::kPush;
+  request.transfer_id = 7;
+  request.file_index = 3;
+  request.chunk = make_chunk(blob, 0, kMinChunkBytes);
+
+  util::Bytes wire = request.encode();
+  util::ByteReader r{wire};
+  EXPECT_EQ(static_cast<Role>(r.u8()), Role::kPush);
+  // The service reads the id itself to tell bundles from single files.
+  std::uint64_t id = r.u64();
+  EXPECT_EQ(id, 7u);
+  BundleChunkRequest decoded = BundleChunkRequest::decode(id, r);
+  EXPECT_EQ(decoded.file_index, 3u);
+  EXPECT_EQ(decoded.chunk.digest, request.chunk.digest);
+  EXPECT_EQ(decoded.chunk.data, request.chunk.data);
+}
+
+TEST(BundleCodec, PullOpenRoundTripsNamesAndManifests) {
+  BundlePullOpenRequest request;
+  request.role = Role::kClientPull;
+  request.token = 11;
+  request.proposed_chunk_bytes = kMinChunkBytes;
+  request.names = {"out0", "out1", "out2"};
+  util::Bytes wire = request.encode();
+  util::ByteReader r{wire};
+  Role role = static_cast<Role>(r.u8());
+  EXPECT_EQ(role, Role::kClientPull);
+  BundlePullOpenRequest decoded = BundlePullOpenRequest::decode(role, r);
+  EXPECT_EQ(decoded.token, 11u);
+  EXPECT_EQ(decoded.names, request.names);
+
+  uspace::FileBlob blob = uspace::FileBlob::synthetic(256 << 10, 9);
+  BundlePullOpenReply reply;
+  reply.transfer_id = 5;
+  reply.chunk_bytes = kMinChunkBytes;
+  BundlePullFileInfo info;
+  info.size = blob.size();
+  info.checksum = blob.checksum();
+  info.synthetic = true;
+  info.digests = blob.chunk_digests(kMinChunkBytes);
+  reply.files.push_back(info);
+  util::Bytes reply_wire = reply.encode();
+  util::ByteReader rr{reply_wire};
+  BundlePullOpenReply rdec = BundlePullOpenReply::decode(rr);
+  EXPECT_EQ(rdec.transfer_id, 5u);
+  ASSERT_EQ(rdec.files.size(), 1u);
+  EXPECT_EQ(rdec.files[0].checksum, blob.checksum());
+  EXPECT_EQ(rdec.files[0].digests, info.digests);
+}
+
+TEST(BundleCodec, CloseRequestKeyTravelsOnPushRolesOnly) {
+  BundleCloseRequest close;
+  close.role = Role::kPush;
+  close.transfer_id = 2;
+  close.key = util::Bytes(32, 0x5a);
+  util::Bytes wire = close.encode();
+  util::ByteReader r{wire};
+  Role role = static_cast<Role>(r.u8());
+  BundleCloseRequest decoded = BundleCloseRequest::decode(role, r);
+  EXPECT_EQ(decoded.transfer_id, 2u);
+  EXPECT_EQ(decoded.key, close.key);
+
+  BundleCloseRequest pull_close;
+  pull_close.role = Role::kPeerPull;
+  pull_close.transfer_id = 9;
+  util::Bytes pull_wire = pull_close.encode();
+  util::ByteReader pr{pull_wire};
+  Role prole = static_cast<Role>(pr.u8());
+  BundleCloseRequest pdec = BundleCloseRequest::decode(prole, pr);
   EXPECT_EQ(pdec.transfer_id, 9u);
   EXPECT_TRUE(pdec.key.empty());
 }
